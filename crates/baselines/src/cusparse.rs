@@ -1,0 +1,146 @@
+//! cuSPARSE-like baseline: CSR SpMM on CUDA cores.
+//!
+//! Models the vendor `cusparseSpMM` CSR algorithm: one warp per matrix row
+//! (vector-CSR), lanes split the row's nonzeros, each lane gathers the B row
+//! of its column index (uncoalesced — one sector per lane), partial sums are
+//! combined with warp shuffles. No Tensor Cores, no blocking: the per-nonzero
+//! decode cost and scattered B traffic are exactly the weaknesses the paper
+//! exploits (§VI-B, up to 125× slower than SMaT).
+
+use smat_formats::{Csr, Dense, Element};
+use smat_gpusim::{CopyMode, Gpu, LaunchConfig, LaunchResult, SimError};
+
+/// Prepared cuSPARSE-like engine (CSR is already its native format, so
+/// "preparation" is only a footprint computation).
+pub struct CusparseLike<'a, T> {
+    gpu: &'a Gpu,
+    csr: &'a Csr<T>,
+}
+
+impl<'a, T: Element> CusparseLike<'a, T> {
+    pub fn new(gpu: &'a Gpu, csr: &'a Csr<T>) -> Self {
+        CusparseLike { gpu, csr }
+    }
+
+    /// `C = A·B` with the vector-CSR kernel.
+    pub fn spmm(&self, b: &Dense<T>) -> Result<(LaunchResult, Dense<T>), SimError> {
+        let csr = self.csr;
+        assert_eq!(csr.ncols(), b.nrows(), "inner dimensions must match");
+        let n = b.ncols();
+        let n_warps = csr.nrows();
+
+        let cfg = LaunchConfig {
+            copy_mode: CopyMode::Synchronous, // no async staging in csrmm
+            label: "cusparse-like[csr-spmm]".to_string(),
+            footprint_bytes: csr.nnz() * (T::BYTES + 4)
+                + (csr.nrows() + 1) * 4
+                + (b.nrows() * n + csr.nrows() * n) * T::BYTES,
+            shared_bytes_per_block: 0,
+            assignment: None,
+        };
+
+        let (mut result, rows) = self.gpu.launch(n_warps, &cfg, |ctx| {
+            let row = ctx.warp_id;
+            let nnz_row = csr.row_nnz(row) as u64;
+            let chunks = nnz_row.div_ceil(32).max(1);
+
+            // rowPtr pair.
+            ctx.global_contiguous(8);
+            // Per 32-nnz chunk: contiguous value+index read, then the B
+            // accesses. The reference cuSPARSE SpMM sample (the paper's
+            // comparison target, footnote 4) uses column-major B
+            // (CUSPARSE_ORDER_COL): element (col, j) of B sits K·2 bytes
+            // from (col, j+1), so every (nonzero, output-column) pair is
+            // its own scattered sector — N sectors per nonzero. This is
+            // the dominant cost and the reason cuSPARSE degrades both on
+            // dense matrices (Fig. 9) and with growing N (Fig. 10).
+            let useful_bytes = 32 * (T::BYTES as u64 + 4);
+            for _ in 0..chunks {
+                ctx.global_contiguous(useful_bytes);
+                ctx.global_gather(32 * n as u64, T::BYTES as u64);
+                ctx.fma(n as u64);
+                ctx.alu(5 * n as u64 / 2 + 5); // shuffles + index decode
+            }
+            // Epilogue: write the C row (column-major: one sector per
+            // output column).
+            ctx.global_gather(n as u64, T::BYTES as u64);
+
+            // Functional: accumulate the row in the accumulator precision.
+            let mut acc = vec![T::accum_zero(); n];
+            for (&col, &val) in csr.row_cols(row).iter().zip(csr.row_values(row)) {
+                let brow = b.row(col);
+                for (a, &bv) in acc.iter_mut().zip(brow) {
+                    *a = T::mul_acc(*a, val, bv);
+                }
+            }
+            acc.into_iter().map(T::from_accum).collect::<Vec<T>>()
+        })?;
+
+        result.totals.flop_useful = 2 * csr.nnz() as u64 * n as u64;
+
+        let mut c = Dense::zeros(csr.nrows(), n);
+        for (row, vals) in rows.into_iter().enumerate() {
+            c.row_mut(row).copy_from_slice(&vals);
+        }
+        Ok((result, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_formats::{Coo, F16};
+
+    fn sample(n: usize) -> Csr<F16> {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if (i * 13 + j * 7) % 11 == 0 {
+                    coo.push(i, j, F16::from_f64(((i + j) % 5) as f64 - 2.0));
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn rhs(k: usize, n: usize) -> Dense<F16> {
+        Dense::from_fn(k, n, |i, j| F16::from_f64(((i * 2 + j) % 5) as f64 - 2.0))
+    }
+
+    #[test]
+    fn matches_reference() {
+        let a = sample(60);
+        for n in [1, 8, 13] {
+            let b = rhs(60, n);
+            let (_, got) = CusparseLike::new(&Gpu::a100(), &a).spmm(&b).unwrap();
+            assert_eq!(got, a.spmm_reference(&b), "N={n}");
+        }
+    }
+
+    #[test]
+    fn cost_scales_with_nnz() {
+        let gpu = Gpu::a100();
+        let small = sample(64);
+        let large = sample(256);
+        let t1 = CusparseLike::new(&gpu, &small)
+            .spmm(&rhs(64, 8))
+            .unwrap()
+            .0
+            .cycles;
+        let t2 = CusparseLike::new(&gpu, &large)
+            .spmm(&rhs(256, 8))
+            .unwrap()
+            .0
+            .cycles;
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn empty_rows_cost_little_but_run() {
+        let a = Csr::<F16>::empty(32, 32);
+        let b = rhs(32, 4);
+        let (res, c) = CusparseLike::new(&Gpu::a100(), &a).spmm(&b).unwrap();
+        assert_eq!(c, Dense::zeros(32, 4));
+        assert_eq!(res.warps, 32);
+    }
+}

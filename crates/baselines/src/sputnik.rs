@@ -1,0 +1,171 @@
+//! Sputnik-like baseline: CSR SpMM on CUDA cores with the optimizations of
+//! Gale et al. ("Sparse GPU kernels for deep learning", SC'20) — row-major
+//! `B`, vector memory accesses, one-dimensional tiling, and **row
+//! swizzling** (rows scheduled in decreasing-length order so the static SM
+//! assignment stays balanced). Not part of the paper's comparison set, but
+//! cited in its related work; included here as the strongest CUDA-core
+//! baseline — it brackets cuSPARSE from above and shows how much of SMaT's
+//! advantage comes from the Tensor Cores rather than from mere access
+//! pattern hygiene.
+
+use smat_formats::{Csr, Dense, Element};
+use smat_gpusim::{CopyMode, Gpu, LaunchConfig, LaunchResult, SimError};
+
+/// Prepared Sputnik-like engine.
+pub struct SputnikLike<'a, T> {
+    gpu: &'a Gpu,
+    csr: &'a Csr<T>,
+    /// Rows in decreasing nnz order (the swizzle).
+    schedule: Vec<u32>,
+}
+
+impl<'a, T: Element> SputnikLike<'a, T> {
+    /// Runs the row-swizzle preprocessing.
+    pub fn new(gpu: &'a Gpu, csr: &'a Csr<T>) -> Self {
+        let mut schedule: Vec<u32> = (0..csr.nrows() as u32).collect();
+        schedule.sort_by_key(|&r| core::cmp::Reverse(csr.row_nnz(r as usize)));
+        SputnikLike {
+            gpu,
+            csr,
+            schedule,
+        }
+    }
+
+    /// `C = A·B` with the swizzled vector-CSR kernel (row-major `B`).
+    pub fn spmm(&self, b: &Dense<T>) -> Result<(LaunchResult, Dense<T>), SimError> {
+        let csr = self.csr;
+        assert_eq!(csr.ncols(), b.nrows(), "inner dimensions must match");
+        let n = b.ncols();
+        let n_warps = csr.nrows();
+
+        let cfg = LaunchConfig {
+            copy_mode: CopyMode::AsyncPipelined, // Sputnik prefetches
+            label: "sputnik-like[swizzled-csr]".to_string(),
+            footprint_bytes: csr.nnz() * (T::BYTES + 4)
+                + (csr.nrows() + 1) * 4
+                + (b.nrows() * n + csr.nrows() * n) * T::BYTES,
+            shared_bytes_per_block: 8 * 1024,
+            assignment: None,
+        };
+
+        let (mut result, rows) = self.gpu.launch(n_warps, &cfg, |ctx| {
+            // The swizzle maps launch slots to rows: heavy rows spread
+            // round-robin over SMs instead of clustering.
+            let row = self.schedule[ctx.warp_id] as usize;
+            let nnz_row = csr.row_nnz(row) as u64;
+            let chunks = nnz_row.div_ceil(32).max(1);
+
+            ctx.global_contiguous(8);
+            // Per 32-nnz chunk: contiguous value+index vector loads, and a
+            // per-lane gather of the B row *segment* — row-major B means
+            // the N elements of one row are one contiguous (sub-)sector
+            // access, unlike the column-major layout cuSPARSE's sample
+            // uses. FMAs and a shuffle reduction follow.
+            let useful_bytes = 32 * (T::BYTES as u64 + 4);
+            for _ in 0..chunks {
+                ctx.global_contiguous(useful_bytes);
+                ctx.global_gather(32, (n * T::BYTES) as u64);
+                ctx.fma(n as u64);
+                ctx.alu(2 * n as u64 + 4);
+            }
+            // Row-major C store: one contiguous segment.
+            ctx.global_contiguous((n * T::BYTES) as u64);
+
+            // Functional: the row product in accumulator precision.
+            let mut acc = vec![T::accum_zero(); n];
+            for (&col, &val) in csr.row_cols(row).iter().zip(csr.row_values(row)) {
+                let brow = b.row(col);
+                for (a, &bv) in acc.iter_mut().zip(brow) {
+                    *a = T::mul_acc(*a, val, bv);
+                }
+            }
+            (row, acc.into_iter().map(T::from_accum).collect::<Vec<T>>())
+        })?;
+
+        result.totals.flop_useful = 2 * csr.nnz() as u64 * n as u64;
+
+        let mut c = Dense::zeros(csr.nrows(), n);
+        for (row, vals) in rows {
+            c.row_mut(row).copy_from_slice(&vals);
+        }
+        Ok((result, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_formats::{Coo, F16};
+
+    fn sample(n: usize) -> Csr<F16> {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                if (i * 7 + j * 11) % 13 == 0 {
+                    coo.push(i, j, F16::from_f64(((i + j) % 5) as f64 - 2.0));
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn rhs(k: usize, n: usize) -> Dense<F16> {
+        Dense::from_fn(k, n, |i, j| F16::from_f64(((i * 2 + j) % 5) as f64 - 2.0))
+    }
+
+    #[test]
+    fn matches_reference_despite_swizzle() {
+        let a = sample(70);
+        for n in [1, 8, 13] {
+            let b = rhs(70, n);
+            let (_, got) = SputnikLike::new(&Gpu::a100(), &a).spmm(&b).unwrap();
+            assert_eq!(got, a.spmm_reference(&b), "N={n}");
+        }
+    }
+
+    #[test]
+    fn faster_than_cusparse_like_at_n8() {
+        // Row-major B + prefetching must beat the column-major sample
+        // kernel — the bracketing property the engine exists for.
+        let a = sample(256);
+        let b = rhs(256, 8);
+        let gpu = Gpu::a100();
+        let sputnik = SputnikLike::new(&gpu, &a).spmm(&b).unwrap().0;
+        let cusparse = crate::CusparseLike::new(&gpu, &a).spmm(&b).unwrap().0;
+        assert!(
+            sputnik.time_ms < cusparse.time_ms,
+            "sputnik {} vs cusparse {}",
+            sputnik.time_ms,
+            cusparse.time_ms
+        );
+    }
+
+    #[test]
+    fn swizzle_balances_power_law_rows() {
+        // Heavy rows at stride 216 = 2 x 108 SMs: under the unswizzled
+        // round-robin schedule they all collide on SM 0; the swizzle packs
+        // them into consecutive launch slots, one per SM.
+        let n = 1080;
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            if i % 216 == 0 {
+                for j in 0..n {
+                    coo.push(i, j, F16::from_f64(1.0));
+                }
+            } else {
+                coo.push(i, i, F16::from_f64(1.0));
+            }
+        }
+        let a = coo.to_csr();
+        let gpu = Gpu::a100();
+        let b = rhs(n, 4);
+        let sputnik = SputnikLike::new(&gpu, &a).spmm(&b).unwrap().0;
+        let cusparse = crate::CusparseLike::new(&gpu, &a).spmm(&b).unwrap().0;
+        assert!(
+            sputnik.sm_imbalance() <= cusparse.sm_imbalance(),
+            "swizzled {} vs unswizzled {}",
+            sputnik.sm_imbalance(),
+            cusparse.sm_imbalance()
+        );
+    }
+}

@@ -1,0 +1,44 @@
+//! Fig. 2 companion bench: wall-clock cost of the simulated SMaT kernel for
+//! every T/B/C optimization combination on a band workload. (The *simulated
+//! device* times are produced by `reproduce fig2`; this Criterion bench
+//! measures the host-side execution of the library itself.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smat::{OptFlags, Smat, SmatConfig};
+use smat_formats::F16;
+use smat_reorder::ReorderAlgorithm;
+use smat_workloads::{band, dense_b};
+
+fn bench_ablation(c: &mut Criterion) {
+    let n = 512;
+    let a = band::<F16>(n, 32);
+    let b = dense_b::<F16>(n, 8);
+
+    let mut group = c.benchmark_group("fig2_ablation");
+    group.sample_size(10);
+    for opts in OptFlags::all_combinations() {
+        let cfg = SmatConfig {
+            reorder: ReorderAlgorithm::Identity,
+            opts,
+            ..SmatConfig::default()
+        };
+        let engine = Smat::prepare(&a, cfg);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(opts.label()),
+            &engine,
+            |bch, engine| bch.iter(|| std::hint::black_box(engine.spmm(&b))),
+        );
+    }
+    group.finish();
+
+    // Preparation (reorder + BCSR conversion) cost, separately.
+    let mut prep = c.benchmark_group("fig2_prepare");
+    prep.sample_size(10);
+    prep.bench_function("prepare_band512", |bch| {
+        bch.iter(|| std::hint::black_box(Smat::prepare(&a, SmatConfig::default())))
+    });
+    prep.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Fig. 9 companion bench: SMaT kernel wall-clock as the band matrix
+//! densifies (host-side; simulated GFLOP/s come from `reproduce fig9a/9b`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smat::{Smat, SmatConfig};
+use smat_formats::F16;
+use smat_reorder::ReorderAlgorithm;
+use smat_workloads::{band, dense_b};
+
+fn bench_band_sweep(c: &mut Criterion) {
+    let n = 1024;
+    let b = dense_b::<F16>(n, 8);
+    let mut group = c.benchmark_group("fig9_band_sweep");
+    group.sample_size(10);
+    for bw in [16usize, 64, 256] {
+        let a = band::<F16>(n, bw);
+        let cfg = SmatConfig {
+            reorder: ReorderAlgorithm::Identity,
+            ..SmatConfig::default()
+        };
+        let engine = Smat::prepare(&a, cfg);
+        group.throughput(Throughput::Elements(2 * a.nnz() as u64 * 8));
+        group.bench_with_input(BenchmarkId::from_parameter(bw), &engine, |bch, engine| {
+            bch.iter(|| std::hint::black_box(engine.spmm(&b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_band_sweep);
+criterion_main!(benches);

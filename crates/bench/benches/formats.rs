@@ -1,0 +1,71 @@
+//! Microbenches of the format substrate: half-precision conversion, format
+//! conversions (CSR→BCSR, CSR→SR-BCRS), and row permutation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use smat_formats::{scalar, Bcsr, Csr, Permutation, SrBcrs, F16};
+use smat_workloads::{by_name, random_uniform};
+
+fn bench_f16_conversion(c: &mut Criterion) {
+    let values: Vec<f32> = (0..4096).map(|i| (i as f32 - 2048.0) * 0.37).collect();
+    let mut group = c.benchmark_group("f16_conversion");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("f32_to_f16_x4096", |b| {
+        b.iter(|| {
+            values
+                .iter()
+                .map(|&v| scalar::f32_to_f16_bits(v.to_bits()))
+                .fold(0u32, |acc, h| acc.wrapping_add(h as u32))
+        })
+    });
+    let halves: Vec<u16> = (0..4096).collect();
+    group.bench_function("f16_to_f32_x4096", |b| {
+        b.iter(|| {
+            halves
+                .iter()
+                .map(|&h| scalar::f16_bits_to_f32(h))
+                .fold(0u32, u32::wrapping_add)
+        })
+    });
+    group.finish();
+}
+
+fn bench_format_conversion(c: &mut Criterion) {
+    let a: Csr<F16> = by_name("consph").unwrap().generate(0.01);
+    let mut group = c.benchmark_group("format_conversion");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(a.nnz() as u64));
+    group.bench_function("csr_to_bcsr_16x16", |b| {
+        b.iter(|| std::hint::black_box(Bcsr::from_csr(&a, 16, 16)))
+    });
+    group.bench_function("csr_to_srbcrs_8x4", |b| {
+        b.iter(|| std::hint::black_box(SrBcrs::from_csr(&a.cast::<i16>(), 8, 4)))
+    });
+    group.bench_function("csr_transpose", |b| {
+        b.iter(|| std::hint::black_box(a.transpose()))
+    });
+    group.finish();
+}
+
+fn bench_permutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("row_permutation");
+    group.sample_size(10);
+    for sparsity in [0.99f64, 0.90] {
+        let a: Csr<F16> = random_uniform(2000, 2000, sparsity, 5);
+        let perm = Permutation::from_vec((0..2000).map(|i| (i * 997) % 2000).collect());
+        group.throughput(Throughput::Elements(a.nnz() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("sparsity_{sparsity}")),
+            &a,
+            |b, a| b.iter(|| std::hint::black_box(a.permute_rows(&perm))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_f16_conversion,
+    bench_format_conversion,
+    bench_permutation
+);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Preprocessing bench: wall-clock of every reordering algorithm of §IV-C
+//! on a scrambled FEM mesh (the one-time inspector cost of the pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smat_formats::{Csr, F16};
+use smat_reorder::{reorder, ReorderAlgorithm};
+use smat_workloads::by_name;
+
+fn bench_reorder_algos(c: &mut Criterion) {
+    let a: Csr<F16> = by_name("cop20k_A").unwrap().generate(0.01);
+    let algs = [
+        ReorderAlgorithm::JaccardRows { tau: 0.7 },
+        ReorderAlgorithm::JaccardRowsCols { tau: 0.7 },
+        ReorderAlgorithm::ReverseCuthillMcKee,
+        ReorderAlgorithm::Saad { tau: 0.6 },
+        ReorderAlgorithm::GrayCode,
+        ReorderAlgorithm::Bisection,
+        ReorderAlgorithm::DegreeSort,
+    ];
+    let mut group = c.benchmark_group("reorder_algorithms");
+    group.sample_size(10);
+    for alg in algs {
+        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |bch, &alg| {
+            bch.iter(|| std::hint::black_box(reorder(&a, alg, 16, 16)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reorder_algos);
+criterion_main!(benches);

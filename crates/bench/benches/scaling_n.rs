@@ -1,0 +1,25 @@
+//! Fig. 10 companion bench: SMaT wall-clock as the outer dimension N of the
+//! dense operand grows (host-side; simulated times come from
+//! `reproduce fig10`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smat::{Smat, SmatConfig};
+use smat_formats::{Csr, F16};
+use smat_workloads::{by_name, dense_b};
+
+fn bench_scaling_n(c: &mut Criterion) {
+    let a: Csr<F16> = by_name("cop20k_A").unwrap().generate(0.005);
+    let engine = Smat::prepare(&a, SmatConfig::default());
+    let mut group = c.benchmark_group("fig10_scaling_n");
+    group.sample_size(10);
+    for n in [1usize, 8, 32, 128] {
+        let b = dense_b::<F16>(a.ncols(), n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &b, |bch, b| {
+            bch.iter(|| std::hint::black_box(engine.spmm(b)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling_n);
+criterion_main!(benches);

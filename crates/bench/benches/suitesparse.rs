@@ -1,0 +1,41 @@
+//! Fig. 8 companion bench: host-side wall-clock of all four engines on
+//! Table I mimics (small scale so `cargo bench` stays quick; the simulated
+//! figures come from `reproduce fig8`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smat_bench::{run_engine, Engine};
+use smat_formats::{Csr, F16};
+use smat_gpusim::Gpu;
+use smat_reorder::ReorderAlgorithm;
+use smat_workloads::{by_name, dense_b};
+
+fn bench_suitesparse(c: &mut Criterion) {
+    let gpu = Gpu::a100();
+    let mut group = c.benchmark_group("fig8_suitesparse");
+    group.sample_size(10);
+    for name in ["cop20k_A", "dc2"] {
+        let a: Csr<F16> = by_name(name).unwrap().generate(0.005);
+        let b = dense_b::<F16>(a.ncols(), 8);
+        for engine in Engine::all() {
+            group.bench_with_input(
+                BenchmarkId::new(engine.name(), name),
+                &engine,
+                |bch, &engine| {
+                    bch.iter(|| {
+                        std::hint::black_box(run_engine(
+                            engine,
+                            &gpu,
+                            &a,
+                            &b,
+                            ReorderAlgorithm::Identity,
+                        ))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_suitesparse);
+criterion_main!(benches);

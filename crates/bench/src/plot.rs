@@ -1,0 +1,185 @@
+//! Terminal plotting for the reproduction harness: the paper's figures are
+//! bar charts and line plots, so `reproduce` renders ASCII equivalents
+//! under each table (log-scale bars — the paper's performance axes are
+//! logarithmic too).
+
+/// Renders a horizontal bar chart. Values are plotted on a log10 axis when
+/// they span more than one decade (matching the paper's figures), linearly
+/// otherwise. Non-finite or non-positive values render as `OOM`.
+pub fn bar_chart(title: &str, rows: &[(String, f64)], width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let finite: Vec<f64> = rows
+        .iter()
+        .map(|&(_, v)| v)
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
+    if finite.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let max = finite.iter().cloned().fold(f64::MIN, f64::max);
+    let min = finite.iter().cloned().fold(f64::MAX, f64::min);
+    let log_scale = max / min > 10.0;
+    let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+
+    for (label, v) in rows {
+        let bar = if !v.is_finite() || *v <= 0.0 {
+            "OOM".to_string()
+        } else {
+            let frac = if log_scale {
+                // Map [min/2, max] logarithmically onto the width so the
+                // smallest value still shows a sliver.
+                let lo = (min / 2.0).ln();
+                ((v.ln() - lo) / (max.ln() - lo)).clamp(0.0, 1.0)
+            } else {
+                (v / max).clamp(0.0, 1.0)
+            };
+            let n = ((frac * width as f64).round() as usize).max(1);
+            format!("{} {}", "#".repeat(n), format_value(*v))
+        };
+        out.push_str(&format!("  {label:<label_w$} |{bar}\n"));
+    }
+    if log_scale {
+        out.push_str("  (log scale)\n");
+    }
+    out
+}
+
+/// Renders a simple x/y line plot as an ASCII grid (used for the band
+/// sweeps: x = sparsity points, one line per series).
+pub fn line_plot(
+    title: &str,
+    x_labels: &[String],
+    series: &[(String, Vec<f64>)],
+    height: usize,
+) -> String {
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let all: Vec<f64> = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter().copied())
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .collect();
+    if all.is_empty() || x_labels.is_empty() {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let max = all.iter().cloned().fold(f64::MIN, f64::max).ln();
+    let min = all.iter().cloned().fold(f64::MAX, f64::min).ln();
+    let span = (max - min).max(1e-9);
+    let cols = x_labels.len();
+    let mut grid = vec![vec![' '; cols * 3]; height];
+    let marks = ['S', 'D', 'M', 'c', 'B', 'x', '+', 'o'];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let mark = marks[si % marks.len()];
+        for (xi, &y) in ys.iter().enumerate().take(cols) {
+            if !(y.is_finite() && y > 0.0) {
+                continue;
+            }
+            let fy = (y.ln() - min) / span;
+            let row = height - 1 - ((fy * (height - 1) as f64).round() as usize).min(height - 1);
+            grid[row][xi * 3 + 1] = mark;
+        }
+    }
+    for row in grid {
+        out.push_str("  |");
+        out.push_str(&row.into_iter().collect::<String>());
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"-".repeat(cols * 3));
+    out.push('\n');
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(si, (name, _))| format!("{}={}", marks[si % marks.len()], name))
+        .collect();
+    out.push_str(&format!(
+        "  x: {} .. {}   {}  (log y)\n",
+        x_labels.first().unwrap(),
+        x_labels.last().unwrap(),
+        legend.join("  ")
+    ));
+    out
+}
+
+fn format_value(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_renders_all_rows() {
+        let rows = vec![
+            ("SMaT".to_string(), 1232.0),
+            ("DASP".to_string(), 193.0),
+            ("cuSPARSE".to_string(), 60.0),
+        ];
+        let s = bar_chart("Fig. 8 mip1", &rows, 40);
+        assert!(s.contains("SMaT"));
+        assert!(s.contains("cuSPARSE"));
+        assert!(s.contains("1232"));
+        // Larger value gets a longer bar.
+        let bar_len = |name: &str| {
+            s.lines()
+                .find(|l| l.contains(name))
+                .unwrap()
+                .matches('#')
+                .count()
+        };
+        assert!(bar_len("SMaT") > bar_len("DASP"));
+        assert!(bar_len("DASP") > bar_len("cuSPARSE"));
+        assert!(s.contains("log scale"), "3 decades -> log axis");
+    }
+
+    #[test]
+    fn bar_chart_marks_failed_runs() {
+        let rows = vec![
+            ("ok".to_string(), 10.0),
+            ("failed".to_string(), f64::NAN),
+        ];
+        let s = bar_chart("t", &rows, 20);
+        assert!(s.lines().any(|l| l.contains("failed") && l.contains("OOM")));
+    }
+
+    #[test]
+    fn bar_chart_linear_when_narrow_range() {
+        let rows = vec![("a".to_string(), 90.0), ("b".to_string(), 100.0)];
+        let s = bar_chart("t", &rows, 20);
+        assert!(!s.contains("log scale"));
+    }
+
+    #[test]
+    fn empty_chart_is_graceful() {
+        let s = bar_chart("t", &[("x".to_string(), f64::NAN)], 20);
+        assert!(s.contains("no data") || s.contains("OOM"));
+    }
+
+    #[test]
+    fn line_plot_renders_series_markers() {
+        let x: Vec<String> = (0..6).map(|i| format!("{}", 1 << i)).collect();
+        let series = vec![
+            ("SMaT".to_string(), vec![100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0]),
+            ("DASP".to_string(), vec![50.0, 60.0, 70.0, 80.0, 90.0, 100.0]),
+        ];
+        let s = line_plot("Fig. 9a", &x, &series, 10);
+        assert!(s.contains('S') && s.contains('D'));
+        assert!(s.contains("S=SMaT"));
+        assert!(s.contains("log y"));
+        // The top row should contain only the fastest series' marker.
+        let first_data_row = s.lines().nth(1).unwrap();
+        assert!(!first_data_row.contains('D'));
+    }
+}

@@ -1,0 +1,214 @@
+//! Inspector-stage autotuning: pick the block shape and reordering scheme
+//! for a given matrix by dry-running candidates on the simulated device.
+//!
+//! The paper fixes 16×16 blocks and Jaccard clustering; its own block-size
+//! discussion (§II-B3: padding cost grows with block size, block count with
+//! its inverse) implies the optimum is matrix-dependent. Since preparation
+//! is a one-time inspector cost and the executor is launched many times,
+//! spending a few simulated launches to choose the configuration is the
+//! natural extension — this module implements that search.
+
+use serde::Serialize;
+use smat_formats::{Csr, Dense, Element};
+use smat_reorder::ReorderAlgorithm;
+
+use crate::config::SmatConfig;
+use crate::pipeline::Smat;
+
+/// One evaluated candidate configuration.
+#[derive(Clone, Debug, Serialize)]
+pub struct Trial {
+    /// Block height.
+    pub block_h: usize,
+    /// Block width.
+    pub block_w: usize,
+    /// Reordering scheme name.
+    pub reorder: String,
+    /// Simulated kernel time for the probe SpMM, in milliseconds.
+    pub time_ms: f64,
+    /// Stored blocks after preprocessing.
+    pub nblocks: usize,
+    /// Fraction of true nonzeros per stored block.
+    pub fill_ratio: f64,
+}
+
+/// Autotuning outcome: the winning configuration plus the full trial log.
+#[derive(Clone, Debug)]
+pub struct TuneReport {
+    /// Best configuration found (lowest simulated time).
+    pub best: SmatConfig,
+    /// All trials, in evaluation order.
+    pub trials: Vec<Trial>,
+}
+
+impl TuneReport {
+    /// Simulated speedup of the winner over the paper's default
+    /// configuration (16×16, Jaccard rows), if the default was evaluated.
+    pub fn speedup_over_default(&self) -> Option<f64> {
+        let default = self
+            .trials
+            .iter()
+            .find(|t| t.block_h == 16 && t.block_w == 16 && t.reorder == "jaccard-rows")?;
+        let best = self
+            .trials
+            .iter()
+            .map(|t| t.time_ms)
+            .fold(f64::INFINITY, f64::min);
+        Some(default.time_ms / best)
+    }
+}
+
+/// Candidate search space.
+#[derive(Clone, Debug)]
+pub struct TuneSpace {
+    /// Block shapes to try (each must map to a supported MMA fragment
+    /// shape: `m = h`, `k = w`).
+    pub block_shapes: Vec<(usize, usize)>,
+    /// Reordering schemes to try.
+    pub reorderings: Vec<ReorderAlgorithm>,
+}
+
+impl Default for TuneSpace {
+    fn default() -> Self {
+        TuneSpace {
+            block_shapes: vec![(16, 16), (16, 8)],
+            reorderings: vec![
+                ReorderAlgorithm::Identity,
+                ReorderAlgorithm::JaccardRows { tau: 0.7 },
+                ReorderAlgorithm::GrayCode,
+            ],
+        }
+    }
+}
+
+/// Tunes the SMaT configuration for matrix `a` and an SpMM with `n_cols`
+/// output columns: prepares and probe-runs every candidate in `space`,
+/// returning the fastest.
+///
+/// # Panics
+/// Panics if `space` is empty or a probe launch fails.
+pub fn autotune<T: Element>(
+    a: &Csr<T>,
+    n_cols: usize,
+    base: &SmatConfig,
+    space: &TuneSpace,
+) -> TuneReport {
+    assert!(
+        !space.block_shapes.is_empty() && !space.reorderings.is_empty(),
+        "empty tuning space"
+    );
+    // A fixed probe right-hand side; values are irrelevant for timing.
+    let probe = Dense::from_fn(a.ncols(), n_cols, |i, j| {
+        T::from_f64(((i + j) % 3) as f64)
+    });
+
+    let mut trials = Vec::new();
+    let mut best: Option<(f64, SmatConfig)> = None;
+    for &(h, w) in &space.block_shapes {
+        for &alg in &space.reorderings {
+            let cfg = SmatConfig {
+                block_h: h,
+                block_w: w,
+                reorder: alg,
+                ..base.clone()
+            };
+            let engine = Smat::prepare(a, cfg.clone());
+            let run = engine.spmm(&probe);
+            let t = run.report.elapsed_ms();
+            trials.push(Trial {
+                block_h: h,
+                block_w: w,
+                reorder: alg.name().to_string(),
+                time_ms: t,
+                nblocks: run.report.nblocks,
+                fill_ratio: engine.bcsr().fill_ratio(),
+            });
+            if best.as_ref().is_none_or(|(bt, _)| t < *bt) {
+                best = Some((t, cfg));
+            }
+        }
+    }
+
+    TuneReport {
+        best: best.expect("non-empty space").1,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_formats::{Coo, F16};
+
+    fn scrambled_families(n: usize) -> Csr<F16> {
+        let mut coo = Coo::new(n, n);
+        for r in 0..n {
+            let base = (r % 4) * (n / 4);
+            for j in 0..6 {
+                coo.push(r, (base + j * 16) % n, F16::from_f64(1.0));
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn explores_the_whole_space() {
+        let a = scrambled_families(128);
+        let report = autotune(&a, 8, &SmatConfig::default(), &TuneSpace::default());
+        assert_eq!(report.trials.len(), 2 * 3);
+        assert!(report.trials.iter().all(|t| t.time_ms > 0.0));
+    }
+
+    #[test]
+    fn best_is_the_minimum_trial() {
+        let a = scrambled_families(96);
+        let report = autotune(&a, 8, &SmatConfig::default(), &TuneSpace::default());
+        let min = report
+            .trials
+            .iter()
+            .map(|t| t.time_ms)
+            .fold(f64::INFINITY, f64::min);
+        let best_trial = report
+            .trials
+            .iter()
+            .find(|t| {
+                t.block_h == report.best.block_h
+                    && t.block_w == report.best.block_w
+                    && t.reorder == report.best.reorder.name()
+            })
+            .expect("best config corresponds to a trial");
+        assert_eq!(best_trial.time_ms, min);
+    }
+
+    #[test]
+    fn reordering_wins_on_scrambled_input() {
+        // On an interleaved-family matrix the tuner must not pick Identity.
+        let a = scrambled_families(256);
+        let report = autotune(&a, 8, &SmatConfig::default(), &TuneSpace::default());
+        assert_ne!(
+            report.best.reorder,
+            ReorderAlgorithm::Identity,
+            "trials: {:?}",
+            report.trials
+        );
+    }
+
+    #[test]
+    fn speedup_over_default_reported() {
+        let a = scrambled_families(128);
+        let report = autotune(&a, 8, &SmatConfig::default(), &TuneSpace::default());
+        let s = report.speedup_over_default().expect("default in space");
+        assert!(s >= 1.0, "winner can't be slower than the default: {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty tuning space")]
+    fn rejects_empty_space() {
+        let a = scrambled_families(32);
+        let space = TuneSpace {
+            block_shapes: vec![],
+            reorderings: vec![],
+        };
+        let _ = autotune(&a, 8, &SmatConfig::default(), &space);
+    }
+}

@@ -1,0 +1,214 @@
+//! SMaT configuration: block shape, optimization toggles (the T/B/C of the
+//! Fig. 2 ablation), accumulation mode, preprocessing scheme, and device.
+
+use serde::Serialize;
+use smat_gpusim::{DeviceConfig, MmaShape};
+use smat_reorder::ReorderAlgorithm;
+
+/// The three low-level optimizations ablated in Fig. 2 of the paper.
+///
+/// * `tc` (**T**) — execute block multiplies on Tensor Cores through the
+///   MMA API instead of CUDA-core scalar FMAs;
+/// * `bcsr_iter` (**B**) — iterate only nonzero blocks through the BCSR
+///   `rowPtr`/`colIdx` arrays instead of scanning every block of the row;
+/// * `async_copy` (**C**) — `cuda::memcpy_async` double buffering that
+///   overlaps global→shared transfers with compute.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub struct OptFlags {
+    /// Use the Tensor Core MMA API (**T**).
+    pub tc: bool,
+    /// Iterate nonzero blocks only via BCSR pointers (**B**).
+    pub bcsr_iter: bool,
+    /// Overlap data movement with compute via async copies (**C**).
+    pub async_copy: bool,
+}
+
+impl OptFlags {
+    /// The fully optimized kernel (T+B+C) — SMaT's production configuration.
+    pub fn all() -> Self {
+        OptFlags {
+            tc: true,
+            bcsr_iter: true,
+            async_copy: true,
+        }
+    }
+
+    /// The naive kernel: scalar FMAs, dense block scan, synchronous copies.
+    pub fn none() -> Self {
+        OptFlags {
+            tc: false,
+            bcsr_iter: false,
+            async_copy: false,
+        }
+    }
+
+    /// All eight combinations in the order of Fig. 2 (naive → T+B+C).
+    pub fn all_combinations() -> [OptFlags; 8] {
+        let f = |tc, bcsr_iter, async_copy| OptFlags {
+            tc,
+            bcsr_iter,
+            async_copy,
+        };
+        [
+            f(false, false, false),
+            f(false, false, true),
+            f(false, true, false),
+            f(true, false, false),
+            f(false, true, true),
+            f(true, false, true),
+            f(true, true, false),
+            f(true, true, true),
+        ]
+    }
+
+    /// Display label matching the paper's figure legend ("naive", "C", "B",
+    /// "T", "B+C", "T+C", "T+B", "T+B+C").
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if self.tc {
+            parts.push("T");
+        }
+        if self.bcsr_iter {
+            parts.push("B");
+        }
+        if self.async_copy {
+            parts.push("C");
+        }
+        if parts.is_empty() {
+            "naive".to_string()
+        } else {
+            parts.join("+")
+        }
+    }
+}
+
+/// How warps are assigned to SMs.
+///
+/// The paper's kernel uses a fixed 2D grid — [`Schedule::Static2D`] — whose
+/// sensitivity to skewed blocks-per-row distributions is analyzed in §VI-E
+/// (dc2 is the pathological case). [`Schedule::BalancedGreedy`] is this
+/// reproduction's extension: warps are pre-assigned to SMs by
+/// longest-processing-time-first over their block counts, which is what a
+/// persistent-kernel / work-queue implementation achieves on real hardware.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum Schedule {
+    /// Fixed grid, warp→SM round-robin (the paper's kernel).
+    Static2D,
+    /// LPT pre-balancing by per-warp block count.
+    BalancedGreedy,
+}
+
+/// Where block partial sums live between MMA instructions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum AccumMode {
+    /// Keep the C fragment in the wide accumulator type (f32 for f16/bf16
+    /// inputs) across the whole block-row loop; round once in the epilogue.
+    /// This is the `mma...f32.f16.f16.f32` variant and the default.
+    Wide,
+    /// Round to the storage type after every MMA (the
+    /// `mma...f16.f16.f16.f16` variant shown verbatim in Listing 1).
+    Narrow,
+}
+
+/// Full SMaT configuration.
+#[derive(Clone, Debug)]
+pub struct SmatConfig {
+    /// BCSR block height `h` (M dimension of the MMA).
+    pub block_h: usize,
+    /// BCSR block width `w` (K dimension of the MMA).
+    pub block_w: usize,
+    /// Preprocessing permutation scheme.
+    pub reorder: ReorderAlgorithm,
+    /// Low-level kernel optimizations.
+    pub opts: OptFlags,
+    /// Accumulation mode.
+    pub accum: AccumMode,
+    /// Warp→SM scheduling policy.
+    pub schedule: Schedule,
+    /// Simulated device.
+    pub device: DeviceConfig,
+}
+
+impl Default for SmatConfig {
+    /// The production configuration: 16×16 blocks feeding `mma.m16n8k16`,
+    /// Jaccard row reordering, all optimizations on, wide accumulation, on
+    /// the A100 model.
+    fn default() -> Self {
+        SmatConfig {
+            block_h: 16,
+            block_w: 16,
+            reorder: ReorderAlgorithm::smat_default(),
+            opts: OptFlags::all(),
+            accum: AccumMode::Wide,
+            schedule: Schedule::Static2D,
+            device: DeviceConfig::a100_sxm4_40gb(),
+        }
+    }
+}
+
+impl SmatConfig {
+    /// The MMA shape implied by the block dimensions (`m = h`, `k = w`,
+    /// `n = 8` on Ampere).
+    pub fn mma_shape(&self) -> MmaShape {
+        MmaShape {
+            m: self.block_h,
+            n: 8,
+            k: self.block_w,
+        }
+    }
+
+    /// Configuration without preprocessing (identity permutation) — used by
+    /// the reordering-effect experiments as the "original" arm.
+    pub fn without_reordering(mut self) -> Self {
+        self.reorder = ReorderAlgorithm::Identity;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_figure_legend() {
+        assert_eq!(OptFlags::none().label(), "naive");
+        assert_eq!(OptFlags::all().label(), "T+B+C");
+        let t = OptFlags {
+            tc: true,
+            bcsr_iter: false,
+            async_copy: false,
+        };
+        assert_eq!(t.label(), "T");
+        let bc = OptFlags {
+            tc: false,
+            bcsr_iter: true,
+            async_copy: true,
+        };
+        assert_eq!(bc.label(), "B+C");
+    }
+
+    #[test]
+    fn eight_unique_combinations() {
+        let combos = OptFlags::all_combinations();
+        let labels: std::collections::HashSet<String> =
+            combos.iter().map(|f| f.label()).collect();
+        assert_eq!(labels.len(), 8);
+        assert_eq!(combos[0], OptFlags::none());
+        assert_eq!(combos[7], OptFlags::all());
+    }
+
+    #[test]
+    fn default_config_matches_paper() {
+        let c = SmatConfig::default();
+        assert_eq!(c.block_h, 16);
+        assert_eq!(c.block_w, 16);
+        assert_eq!(c.mma_shape(), MmaShape::M16N8K16);
+        assert_eq!(c.opts, OptFlags::all());
+    }
+
+    #[test]
+    fn without_reordering_sets_identity() {
+        let c = SmatConfig::default().without_reordering();
+        assert_eq!(c.reorder, ReorderAlgorithm::Identity);
+    }
+}

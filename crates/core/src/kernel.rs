@@ -1,0 +1,577 @@
+//! The warp-level SMaT SpMM kernel (Algorithm 1 of the paper) on the
+//! simulated device.
+//!
+//! Grid: one warp per (block row `bi`, output column tile `tj`), the
+//! bottom-up 2D parallel schedule. Warps covering the same block row are
+//! grouped into thread blocks of up to [`WARPS_PER_TB`] column tiles; the
+//! leader warp stages the A block into shared memory once per thread block
+//! (`memcpy_async`), every warp `ldmatrix`-loads its fragments and issues
+//! one Tensor Core MMA per nonzero block, and the epilogue writes the C
+//! tile back through shared memory (Algorithm 1 lines 10–11).
+//!
+//! The same function also executes the *ablation* variants of Fig. 2:
+//! without **T** the block multiply runs as CUDA-core scalar FMAs, without
+//! **B** every block of the row is scanned and tested for emptiness, and
+//! without **C** the launch runs with synchronous two-step copies. All
+//! variants are functionally identical — they differ only in recorded cost.
+
+use smat_formats::{Bcsr, Dense, Element};
+use smat_gpusim::{mma_tile, mma_tile_wide, CopyMode, Gpu, LaunchConfig, LaunchResult, MmaShape, SimError, WarpCtx};
+
+use crate::config::{AccumMode, OptFlags, Schedule};
+
+/// Column tiles per thread block: warps of one thread block share the
+/// staged A block, amortizing its global traffic when `N` is large.
+pub const WARPS_PER_TB: usize = 4;
+
+/// Width of one output column tile (the MMA N dimension on Ampere).
+pub const NTILE: usize = 8;
+
+/// One warp's output: its C tile, row-major `block_h × NTILE`.
+type WarpTile<T> = Vec<T>;
+
+/// BLAS-style epilogue parameters: `C = alpha * A * B + beta * C_in`.
+///
+/// `alpha`/`beta` are applied in the accumulator precision during the
+/// epilogue (one extra rounding at most), exactly as a fused GEMM epilogue
+/// would. `beta != 0` requires `c_in` and charges the extra C-tile load
+/// traffic.
+#[derive(Clone, Copy, Debug)]
+pub struct Epilogue<'a, T> {
+    /// Scale on the product.
+    pub alpha: f64,
+    /// Scale on the existing C.
+    pub beta: f64,
+    /// Existing C (required when `beta != 0`), in the *permuted* row order.
+    pub c_in: Option<&'a Dense<T>>,
+}
+
+impl<T> Default for Epilogue<'_, T> {
+    fn default() -> Self {
+        Epilogue {
+            alpha: 1.0,
+            beta: 0.0,
+            c_in: None,
+        }
+    }
+}
+
+/// Launches the SMaT kernel `C = A·B` for a preprocessed BCSR matrix.
+///
+/// Returns the launch timing/counters and the assembled (still
+/// row-permuted) output matrix.
+pub fn smat_spmm<T: Element>(
+    gpu: &Gpu,
+    a: &Bcsr<T>,
+    b: &Dense<T>,
+    opts: OptFlags,
+    accum: AccumMode,
+) -> Result<(LaunchResult, Dense<T>), SimError> {
+    smat_spmm_scheduled(gpu, a, b, opts, accum, Epilogue::default(), Schedule::Static2D)
+}
+
+/// Launches the SMaT kernel with a BLAS-style epilogue:
+/// `C = alpha * A * B + beta * C_in`.
+///
+/// # Panics
+/// Panics if `beta != 0` and `epilogue.c_in` is missing or mis-shaped.
+pub fn smat_spmm_axpby<T: Element>(
+    gpu: &Gpu,
+    a: &Bcsr<T>,
+    b: &Dense<T>,
+    opts: OptFlags,
+    accum: AccumMode,
+    epilogue: Epilogue<'_, T>,
+) -> Result<(LaunchResult, Dense<T>), SimError> {
+    smat_spmm_scheduled(gpu, a, b, opts, accum, epilogue, Schedule::Static2D)
+}
+
+/// Full-control variant of the kernel launch: BLAS epilogue plus warp→SM
+/// scheduling policy.
+pub fn smat_spmm_scheduled<T: Element>(
+    gpu: &Gpu,
+    a: &Bcsr<T>,
+    b: &Dense<T>,
+    opts: OptFlags,
+    accum: AccumMode,
+    epilogue: Epilogue<'_, T>,
+    schedule: Schedule,
+) -> Result<(LaunchResult, Dense<T>), SimError> {
+    if epilogue.beta != 0.0 {
+        let c_in = epilogue.c_in.expect("beta != 0 requires c_in");
+        assert_eq!(
+            c_in.shape(),
+            (a.nrows(), b.ncols()),
+            "c_in must be {}x{}",
+            a.nrows(),
+            b.ncols()
+        );
+    }
+    assert_eq!(
+        a.ncols(),
+        b.nrows(),
+        "inner dimensions must match: A is {}x{}, B is {}x{}",
+        a.nrows(),
+        a.ncols(),
+        b.nrows(),
+        b.ncols()
+    );
+    let h = a.block_h();
+    let w = a.block_w();
+    let n = b.ncols();
+    let ntiles = n.div_ceil(NTILE).max(1);
+    let nblock_rows = a.nblock_rows();
+    let n_warps = nblock_rows * ntiles;
+    let shape = MmaShape { m: h, n: NTILE, k: w };
+
+    let launch_cfg = LaunchConfig {
+        copy_mode: if opts.async_copy {
+            CopyMode::AsyncPipelined
+        } else {
+            CopyMode::Synchronous
+        },
+        label: format!("smat[{}]", opts.label()),
+        footprint_bytes: a.payload_bytes()
+            + a.index_bytes()
+            + (b.nrows() * b.ncols() + a.nrows() * n) * T::BYTES,
+        shared_bytes_per_block: (h * w + WARPS_PER_TB * w * NTILE + WARPS_PER_TB * h * NTILE)
+            * T::BYTES,
+        assignment: match schedule {
+            Schedule::Static2D => None,
+            Schedule::BalancedGreedy => Some(lpt_assignment(
+                n_warps,
+                ntiles,
+                a,
+                gpu.cfg.num_sms,
+            )),
+        },
+    };
+
+    let (mut result, tiles) = gpu.launch(n_warps, &launch_cfg, |ctx| {
+        let bi = ctx.warp_id / ntiles;
+        let tj = ctx.warp_id % ntiles;
+        smat_warp(ctx, a, b, bi, tj, shape, opts, accum, &epilogue)
+    })?;
+
+    // Useful work: 2·nnz·N FLOP (padding work is excluded by definition).
+    result.totals.flop_useful = 2 * a.nnz() as u64 * n as u64;
+
+    // Assemble C from the per-warp tiles.
+    let mut c = Dense::<T>::zeros(a.nrows(), n);
+    for (warp_id, tile) in tiles.iter().enumerate() {
+        let bi = warp_id / ntiles;
+        let tj = warp_id % ntiles;
+        for lr in 0..h {
+            let r = bi * h + lr;
+            if r >= a.nrows() {
+                break;
+            }
+            for lc in 0..NTILE {
+                let cc = tj * NTILE + lc;
+                if cc >= n {
+                    break;
+                }
+                c.set(r, cc, tile[lr * NTILE + lc]);
+            }
+        }
+    }
+    Ok((result, c))
+}
+
+/// Longest-processing-time-first warp→SM assignment: warps sorted by their
+/// block count (the dominant cost), each placed on the least-loaded SM.
+fn lpt_assignment<T: Element>(
+    n_warps: usize,
+    ntiles: usize,
+    a: &Bcsr<T>,
+    num_sms: usize,
+) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n_warps).collect();
+    order.sort_by_key(|&w| core::cmp::Reverse(a.blocks_in_row(w / ntiles)));
+    // Min-heap of (load, sm).
+    let mut heap: std::collections::BinaryHeap<core::cmp::Reverse<(u64, usize)>> =
+        (0..num_sms).map(|sm| core::cmp::Reverse((0u64, sm))).collect();
+    let mut assignment = vec![0usize; n_warps];
+    for w in order {
+        let core::cmp::Reverse((load, sm)) = heap.pop().expect("non-empty heap");
+        assignment[w] = sm;
+        let cost = a.blocks_in_row(w / ntiles) as u64 + 1;
+        heap.push(core::cmp::Reverse((load + cost, sm)));
+    }
+    assignment
+}
+
+/// Body of one warp (Algorithm 1): compute C tile `(bi, tj)`.
+#[allow(clippy::too_many_arguments)]
+fn smat_warp<T: Element>(
+    ctx: &mut WarpCtx<'_>,
+    a: &Bcsr<T>,
+    b: &Dense<T>,
+    bi: usize,
+    tj: usize,
+    shape: MmaShape,
+    opts: OptFlags,
+    accum: AccumMode,
+    epilogue: &Epilogue<'_, T>,
+) -> WarpTile<T> {
+    let h = a.block_h();
+    let w = a.block_w();
+    let n = b.ncols();
+    let sector = ctx.cfg.sector_bytes as u64;
+    let a_block_bytes = (h * w * T::BYTES) as u64;
+    let b_tile_bytes = (NTILE * T::BYTES) as u64; // per B row touched
+    let is_tb_leader = tj.is_multiple_of(WARPS_PER_TB);
+
+    // RC <- 0 (Algorithm 1 line 2).
+    let mut acc_wide = vec![T::accum_zero(); h * NTILE];
+    let mut acc_narrow = vec![T::zero(); h * NTILE];
+    let mut b_tile = vec![T::zero(); w * NTILE];
+
+    // Read this block row's BCSR metadata: rowPtr pair + colIdx slice.
+    let nblocks = a.blocks_in_row(bi);
+    ctx.global_contiguous(8);
+    if nblocks > 0 {
+        ctx.global_contiguous(4 * nblocks as u64);
+    }
+
+    if !opts.bcsr_iter {
+        // Without B: scan every block of the row and test for emptiness
+        // (one flag gather + predicate per block; the nonzero ones fall
+        // through to the compute path below).
+        let scanned = a.nblock_cols() as u64;
+        ctx.global_gather(scanned, 4);
+        ctx.alu(2 * scanned);
+    }
+
+    for (k, &bc) in a.row_block_cols(bi).iter().enumerate() {
+        let slot = a.row_ptr()[bi] + k;
+        let a_vals = a.block_values(slot);
+
+        // --- data movement + compute accounting ---
+        let b_rows = w.min(b.nrows().saturating_sub(bc * w)) as u64;
+        if opts.tc {
+            // Staged Tensor Core path. The leader warp memcpy_asyncs the A
+            // block into shared once per thread block.
+            if is_tb_leader {
+                ctx.global_contiguous(a_block_bytes);
+                ctx.shared_tx(a_block_bytes.div_ceil(128));
+            }
+            // B slab of this column tile: when the tile spans all of B's
+            // width the `w` rows are one contiguous region; otherwise each
+            // 16-byte row segment is a strided (sector-rounded) access.
+            if b.ncols() <= NTILE {
+                ctx.global_contiguous(b_rows * (b.ncols() * T::BYTES) as u64);
+            } else {
+                ctx.counters.global_bytes +=
+                    b_rows * b_tile_bytes.div_ceil(sector) * sector;
+                ctx.counters.global_rounds += 1;
+            }
+            ctx.shared_tx((b_rows * b_tile_bytes).div_ceil(128).max(1));
+            // ldmatrix: x4 for the A fragment, x2 for B (Listings 2-3),
+            // reading the staged tiles from shared conflict-free; then one
+            // Tensor Core MMA per block.
+            ctx.ldmatrix(2);
+            ctx.shared_tx((a_block_bytes + b_rows * b_tile_bytes).div_ceil(128));
+            ctx.mma(1);
+        } else {
+            // Naive CUDA-core path (no ldmatrix staging): A streams from
+            // global, every B element is fetched by the lane that needs it
+            // (one sector each), and the K loop is a dependent load chain.
+            ctx.global_contiguous(a_block_bytes);
+            ctx.global_gather(b_rows * NTILE as u64, T::BYTES as u64);
+            ctx.counters.global_rounds += b_rows;
+            ctx.fma(((h * w * NTILE) as u64).div_ceil(32));
+        }
+        ctx.alu(4); // loop control + address arithmetic
+
+        // --- functional execution ---
+        stage_b_tile(a, b, bc, tj, &mut b_tile);
+        match accum {
+            AccumMode::Wide => mma_tile_wide(shape, a_vals, &b_tile, &mut acc_wide),
+            AccumMode::Narrow => mma_tile(shape, a_vals, &b_tile, &mut acc_narrow),
+        }
+    }
+
+    // Epilogue: RC -> shared -> global (lines 10-11), with the BLAS-style
+    // alpha/beta combine in accumulator precision.
+    let c_bytes = (h * NTILE * T::BYTES) as u64;
+    ctx.shared_tx(c_bytes.div_ceil(128).max(1));
+    if epilogue.beta != 0.0 {
+        // Loading the existing C tile costs the same traffic as storing it.
+        ctx.counters.global_bytes += (h as u64) * b_tile_bytes.div_ceil(sector) * sector;
+        ctx.counters.global_rounds += 1;
+    }
+    ctx.counters.global_bytes += (h as u64) * b_tile_bytes.div_ceil(sector) * sector;
+    ctx.counters.global_rounds += 1;
+
+    let combine = |idx: usize, product: f64| -> T {
+        let mut out = epilogue.alpha * product;
+        if epilogue.beta != 0.0 {
+            let (lr, lc) = (idx / NTILE, idx % NTILE);
+            let r = bi * h + lr;
+            let cc = tj * NTILE + lc;
+            let prev = epilogue
+                .c_in
+                .map(|c| {
+                    if r < c.nrows() && cc < n {
+                        c.get(r, cc).to_f64()
+                    } else {
+                        0.0
+                    }
+                })
+                .unwrap_or(0.0);
+            out += epilogue.beta * prev;
+        }
+        T::from_f64(out)
+    };
+
+    match accum {
+        AccumMode::Wide => acc_wide
+            .into_iter()
+            .enumerate()
+            .map(|(i, acc)| combine(i, T::accum_to_f64(acc)))
+            .collect(),
+        AccumMode::Narrow => acc_narrow
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| combine(i, v.to_f64()))
+            .collect(),
+    }
+}
+
+/// Copies the `w×NTILE` tile of B rows `[bc·w, bc·w + w)`, columns
+/// `[tj·NTILE, tj·NTILE + NTILE)` into `tile`, zero-padding past the edges.
+fn stage_b_tile<T: Element>(
+    a: &Bcsr<T>,
+    b: &Dense<T>,
+    bc: usize,
+    tj: usize,
+    tile: &mut [T],
+) {
+    let w = a.block_w();
+    let n = b.ncols();
+    for lr in 0..w {
+        let k = bc * w + lr;
+        for lc in 0..NTILE {
+            let cc = tj * NTILE + lc;
+            tile[lr * NTILE + lc] = if k < b.nrows() && cc < n {
+                b.get(k, cc)
+            } else {
+                T::zero()
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_formats::{Coo, Csr, F16};
+    use smat_gpusim::Gpu;
+
+    fn random_csr(n: usize, density_pct: usize, seed: usize) -> Csr<F16> {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                let h = i
+                    .wrapping_mul(31)
+                    .wrapping_add(j.wrapping_mul(17))
+                    .wrapping_add(seed.wrapping_mul(97));
+                if h % 100 < density_pct {
+                    coo.push(i, j, F16::from_f64(((h % 7) as f64) - 3.0));
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn rhs(k: usize, n: usize) -> Dense<F16> {
+        Dense::from_fn(k, n, |i, j| F16::from_f64(((i * 3 + j * 5) % 7) as f64 - 3.0))
+    }
+
+    #[test]
+    fn matches_reference_on_random_matrix() {
+        let csr = random_csr(70, 12, 1);
+        let b = rhs(70, 8);
+        let want = csr.spmm_reference(&b);
+        let bcsr = Bcsr::from_csr(&csr, 16, 16);
+        let gpu = Gpu::a100();
+        let (_, got) =
+            smat_spmm(&gpu, &bcsr, &b, OptFlags::all(), AccumMode::Wide).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn all_opt_variants_compute_identical_results() {
+        let csr = random_csr(50, 10, 2);
+        let b = rhs(50, 8);
+        let bcsr = Bcsr::from_csr(&csr, 16, 16);
+        let gpu = Gpu::a100();
+        let want = csr.spmm_reference(&b);
+        for opts in OptFlags::all_combinations() {
+            let (_, got) = smat_spmm(&gpu, &bcsr, &b, opts, AccumMode::Wide).unwrap();
+            assert_eq!(got, want, "variant {} diverged", opts.label());
+        }
+    }
+
+    #[test]
+    fn wide_n_is_tiled_correctly() {
+        let csr = random_csr(40, 15, 3);
+        for n in [1, 5, 8, 9, 24, 33] {
+            let b = rhs(40, n);
+            let want = csr.spmm_reference(&b);
+            let bcsr = Bcsr::from_csr(&csr, 16, 16);
+            let (_, got) =
+                smat_spmm(&Gpu::a100(), &bcsr, &b, OptFlags::all(), AccumMode::Wide)
+                    .unwrap();
+            assert_eq!(got, want, "N={n}");
+        }
+    }
+
+    #[test]
+    fn block_16x8_shape_also_correct() {
+        let csr = random_csr(40, 15, 4);
+        let b = rhs(40, 8);
+        let want = csr.spmm_reference(&b);
+        let bcsr = Bcsr::from_csr(&csr, 16, 8);
+        let (_, got) =
+            smat_spmm(&Gpu::a100(), &bcsr, &b, OptFlags::all(), AccumMode::Wide).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn narrow_accumulation_rounds_per_block() {
+        // Row 0 spans two blocks: block 0 sums to 2049 (2048 + 1), block 1
+        // adds 2. Narrow rounds after each block: f16(2049) = 2048, then
+        // 2048 + 2 = 2050. Wide sums 2051 in f32 and rounds once:
+        // f16(2051) = 2052 (ties to even).
+        let mut coo = Coo::new(16, 32);
+        coo.push(0, 0, F16::from_f32(2048.0));
+        coo.push(0, 1, F16::from_f32(1.0));
+        coo.push(0, 16, F16::from_f32(2.0));
+        let csr = coo.to_csr();
+        let b = Dense::from_fn(32, 8, |_, _| F16::ONE);
+        let bcsr = Bcsr::from_csr(&csr, 16, 16);
+        let gpu = Gpu::a100();
+        let (_, wide) =
+            smat_spmm(&gpu, &bcsr, &b, OptFlags::all(), AccumMode::Wide).unwrap();
+        let (_, narrow) =
+            smat_spmm(&gpu, &bcsr, &b, OptFlags::all(), AccumMode::Narrow).unwrap();
+        assert_eq!(wide.get(0, 0).to_f32(), 2052.0);
+        assert_eq!(narrow.get(0, 0).to_f32(), 2050.0);
+    }
+
+    #[test]
+    fn tc_variant_is_faster_than_scalar() {
+        let csr = random_csr(128, 20, 5);
+        let b = rhs(128, 8);
+        let bcsr = Bcsr::from_csr(&csr, 16, 16);
+        let gpu = Gpu::a100();
+        let t = |opts: OptFlags| {
+            smat_spmm(&gpu, &bcsr, &b, opts, AccumMode::Wide)
+                .unwrap()
+                .0
+                .cycles
+        };
+        let mut tc_off = OptFlags::all();
+        tc_off.tc = false;
+        assert!(t(OptFlags::all()) < t(tc_off));
+    }
+
+    #[test]
+    fn bcsr_iteration_saves_scanning_on_sparse_input() {
+        let csr = random_csr(160, 2, 6); // very sparse
+        let b = rhs(160, 8);
+        let bcsr = Bcsr::from_csr(&csr, 16, 16);
+        let gpu = Gpu::a100();
+        let mut no_b = OptFlags::all();
+        no_b.bcsr_iter = false;
+        let with_b = smat_spmm(&gpu, &bcsr, &b, OptFlags::all(), AccumMode::Wide)
+            .unwrap()
+            .0;
+        let without_b = smat_spmm(&gpu, &bcsr, &b, no_b, AccumMode::Wide).unwrap().0;
+        assert!(with_b.cycles < without_b.cycles);
+        assert!(without_b.totals.global_bytes > with_b.totals.global_bytes);
+    }
+
+    #[test]
+    fn empty_matrix_yields_zero_output() {
+        let csr = Csr::<F16>::empty(32, 32);
+        let bcsr = Bcsr::from_csr(&csr, 16, 16);
+        let b = rhs(32, 8);
+        let (_, got) =
+            smat_spmm(&Gpu::a100(), &bcsr, &b, OptFlags::all(), AccumMode::Wide).unwrap();
+        assert_eq!(got, Dense::zeros(32, 8));
+    }
+
+    #[test]
+    fn lpt_assignment_balances_block_counts() {
+        // Block rows with wildly different block counts: the LPT schedule
+        // must keep per-SM block totals within one max-warp of each other.
+        let mut coo = Coo::new(16 * 40, 4096);
+        for bi in 0..40usize {
+            let blocks = if bi % 10 == 0 { 100 } else { 2 };
+            for k in 0..blocks {
+                coo.push(bi * 16, k * 16, F16::from_f64(1.0));
+            }
+        }
+        let csr = coo.to_csr();
+        let bcsr = Bcsr::from_csr(&csr, 16, 16);
+        let num_sms = 8;
+        let assignment = super::lpt_assignment(40, 1, &bcsr, num_sms);
+        assert_eq!(assignment.len(), 40);
+        let mut load = vec![0u64; num_sms];
+        for (w, &sm) in assignment.iter().enumerate() {
+            load[sm] += bcsr.blocks_in_row(w) as u64 + 1;
+        }
+        let max = *load.iter().max().unwrap();
+        let min = *load.iter().min().unwrap();
+        assert!(
+            max - min <= 101,
+            "LPT must balance within one heavy warp: {load:?}"
+        );
+    }
+
+    #[test]
+    fn balanced_schedule_does_not_change_results() {
+        let csr = random_csr(90, 10, 8);
+        let b = rhs(90, 8);
+        let bcsr = Bcsr::from_csr(&csr, 16, 16);
+        let gpu = Gpu::a100();
+        let (_, c_static) = smat_spmm_scheduled(
+            &gpu,
+            &bcsr,
+            &b,
+            OptFlags::all(),
+            AccumMode::Wide,
+            Epilogue::default(),
+            Schedule::Static2D,
+        )
+        .unwrap();
+        let (_, c_balanced) = smat_spmm_scheduled(
+            &gpu,
+            &bcsr,
+            &b,
+            OptFlags::all(),
+            AccumMode::Wide,
+            Epilogue::default(),
+            Schedule::BalancedGreedy,
+        )
+        .unwrap();
+        assert_eq!(c_static, c_balanced);
+    }
+
+    #[test]
+    fn footprint_overflow_reports_oom() {
+        // A tiny device cannot hold the operands.
+        let csr = random_csr(64, 50, 7);
+        let bcsr = Bcsr::from_csr(&csr, 16, 16);
+        let b = rhs(64, 8);
+        let gpu = Gpu::new(smat_gpusim::DeviceConfig {
+            global_mem_bytes: 16,
+            ..smat_gpusim::DeviceConfig::a100_sxm4_40gb()
+        });
+        let err = smat_spmm(&gpu, &bcsr, &b, OptFlags::all(), AccumMode::Wide).unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { .. }));
+    }
+}

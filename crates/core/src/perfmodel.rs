@@ -1,0 +1,129 @@
+//! The empirical performance model of §III:
+//! `T_tot = T_e · n_e + T_init`  (Eq. 1),
+//! where `n_e` is the number of BCSR blocks (elementary computations) and
+//! `T_e` the cost of one elementary computation. Fitted by ordinary least
+//! squares over (n_e, T_tot) samples, exactly as the paper fits it on band
+//! matrices of varying bandwidth.
+
+use serde::Serialize;
+
+/// One measurement: block count and total kernel time.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PerfSample {
+    /// Number of elementary computations (BCSR blocks), `n_e`.
+    pub n_e: f64,
+    /// Measured total time in milliseconds, `T_tot`.
+    pub t_ms: f64,
+}
+
+/// The fitted linear model.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PerfModel {
+    /// Per-block execution time `T_e` in milliseconds.
+    pub t_e_ms: f64,
+    /// Startup/initialization overhead `T_init` in milliseconds.
+    pub t_init_ms: f64,
+    /// Coefficient of determination of the fit.
+    pub r2: f64,
+}
+
+impl PerfModel {
+    /// Ordinary least-squares fit of Eq. (1).
+    ///
+    /// # Panics
+    /// Panics with fewer than two samples or when all `n_e` are equal (the
+    /// slope is not identifiable).
+    pub fn fit(samples: &[PerfSample]) -> PerfModel {
+        assert!(samples.len() >= 2, "need at least two samples to fit");
+        let n = samples.len() as f64;
+        let sx: f64 = samples.iter().map(|s| s.n_e).sum();
+        let sy: f64 = samples.iter().map(|s| s.t_ms).sum();
+        let sxx: f64 = samples.iter().map(|s| s.n_e * s.n_e).sum();
+        let sxy: f64 = samples.iter().map(|s| s.n_e * s.t_ms).sum();
+        let denom = n * sxx - sx * sx;
+        assert!(
+            denom.abs() > f64::EPSILON * n * sxx.max(1.0),
+            "all n_e equal; slope unidentifiable"
+        );
+        let t_e = (n * sxy - sx * sy) / denom;
+        let t_init = (sy - t_e * sx) / n;
+
+        let mean_y = sy / n;
+        let ss_tot: f64 = samples.iter().map(|s| (s.t_ms - mean_y).powi(2)).sum();
+        let ss_res: f64 = samples
+            .iter()
+            .map(|s| (s.t_ms - (t_e * s.n_e + t_init)).powi(2))
+            .sum();
+        let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+
+        PerfModel {
+            t_e_ms: t_e,
+            t_init_ms: t_init,
+            r2,
+        }
+    }
+
+    /// Predicted total time for `n_e` blocks.
+    pub fn predict(&self, n_e: f64) -> f64 {
+        self.t_e_ms * n_e + self.t_init_ms
+    }
+
+    /// Mean relative error of the model on a sample set.
+    pub fn mean_relative_error(&self, samples: &[PerfSample]) -> f64 {
+        let mut acc = 0.0;
+        for s in samples {
+            acc += ((self.predict(s.n_e) - s.t_ms) / s.t_ms).abs();
+        }
+        acc / samples.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_fit_on_linear_data() {
+        let samples: Vec<PerfSample> = (1..=10)
+            .map(|i| PerfSample {
+                n_e: i as f64 * 100.0,
+                t_ms: 0.5 * i as f64 * 100.0 + 3.0,
+            })
+            .collect();
+        let m = PerfModel::fit(&samples);
+        assert!((m.t_e_ms - 0.5).abs() < 1e-9);
+        assert!((m.t_init_ms - 3.0).abs() < 1e-9);
+        assert!(m.r2 > 1.0 - 1e-12);
+        assert!((m.predict(2000.0) - 1003.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noisy_fit_recovers_parameters_approximately() {
+        let samples: Vec<PerfSample> = (1..=20)
+            .map(|i| {
+                let noise = if i % 2 == 0 { 1.02 } else { 0.98 };
+                PerfSample {
+                    n_e: i as f64 * 50.0,
+                    t_ms: (0.2 * i as f64 * 50.0 + 1.0) * noise,
+                }
+            })
+            .collect();
+        let m = PerfModel::fit(&samples);
+        assert!((m.t_e_ms - 0.2).abs() < 0.02);
+        assert!(m.r2 > 0.99);
+        assert!(m.mean_relative_error(&samples) < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn rejects_single_sample() {
+        let _ = PerfModel::fit(&[PerfSample { n_e: 1.0, t_ms: 1.0 }]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unidentifiable")]
+    fn rejects_degenerate_x() {
+        let s = PerfSample { n_e: 5.0, t_ms: 1.0 };
+        let _ = PerfModel::fit(&[s, s, s]);
+    }
+}

@@ -1,0 +1,424 @@
+//! Blocked CSR (BCSR): the internal format of SMaT.
+//!
+//! The matrix is tiled into fixed `h×w` blocks aligned to multiples of `h`
+//! and `w`; only blocks containing at least one nonzero are stored, each as a
+//! dense row-major `h·w` slab (zero entries inside a stored block are
+//! *padding*). `row_ptr`/`col_idx` mirror CSR at block granularity, so the
+//! kernel can iterate exclusively over nonzero blocks (the paper's **B**
+//! optimization), and each stored block feeds one MMA fragment directly.
+
+use crate::csr::Csr;
+use crate::dense::Dense;
+use crate::scalar::Element;
+
+/// Block-sparse matrix in BCSR layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Bcsr<T> {
+    nrows: usize,
+    ncols: usize,
+    block_h: usize,
+    block_w: usize,
+    /// Offsets into `col_idx` per block row; length `nblock_rows + 1`.
+    row_ptr: Vec<usize>,
+    /// Block-column index of each stored block.
+    col_idx: Vec<usize>,
+    /// Dense block payloads, `block_h * block_w` consecutive values each,
+    /// row-major within the block.
+    values: Vec<T>,
+    /// Number of true nonzeros (excluding padding).
+    nnz: usize,
+}
+
+impl<T: Element> Bcsr<T> {
+    /// Converts a CSR matrix into BCSR with the given block shape.
+    ///
+    /// # Panics
+    /// Panics if either block dimension is zero.
+    pub fn from_csr(csr: &Csr<T>, block_h: usize, block_w: usize) -> Self {
+        assert!(block_h > 0 && block_w > 0, "block dimensions must be nonzero");
+        let nrows = csr.nrows();
+        let ncols = csr.ncols();
+        let nblock_rows = nrows.div_ceil(block_h);
+        let nblock_cols = ncols.div_ceil(block_w);
+
+        let mut row_ptr = Vec::with_capacity(nblock_rows + 1);
+        row_ptr.push(0usize);
+        let mut col_idx: Vec<usize> = Vec::new();
+        let mut values: Vec<T> = Vec::new();
+        // Scratch: block column -> position in this block row's block list.
+        let mut slot_of_bc: Vec<usize> = vec![usize::MAX; nblock_cols];
+
+        for bi in 0..nblock_rows {
+            let row_lo = bi * block_h;
+            let row_hi = (row_lo + block_h).min(nrows);
+            let first_block = col_idx.len();
+
+            // Pass 1: discover the nonzero block columns of this block row,
+            // in increasing order (merge of sorted rows via collect+sort of
+            // unique block columns).
+            for r in row_lo..row_hi {
+                for &c in csr.row_cols(r) {
+                    let bc = c / block_w;
+                    if slot_of_bc[bc] == usize::MAX {
+                        slot_of_bc[bc] = 0; // mark present
+                        col_idx.push(bc);
+                    }
+                }
+            }
+            col_idx[first_block..].sort_unstable();
+            for (slot, &bc) in col_idx[first_block..].iter().enumerate() {
+                slot_of_bc[bc] = first_block + slot;
+            }
+
+            // Pass 2: fill dense payloads.
+            let nblocks_here = col_idx.len() - first_block;
+            values.resize(values.len() + nblocks_here * block_h * block_w, T::zero());
+            for r in row_lo..row_hi {
+                let local_r = r - row_lo;
+                for (&c, &v) in csr.row_cols(r).iter().zip(csr.row_values(r)) {
+                    let bc = c / block_w;
+                    let slot = slot_of_bc[bc];
+                    let base = slot * block_h * block_w;
+                    values[base + local_r * block_w + (c - bc * block_w)] = v;
+                }
+            }
+
+            // Reset scratch for the next block row.
+            for &bc in &col_idx[first_block..] {
+                slot_of_bc[bc] = usize::MAX;
+            }
+            row_ptr.push(col_idx.len());
+        }
+
+        Bcsr {
+            nrows,
+            ncols,
+            block_h,
+            block_w,
+            row_ptr,
+            col_idx,
+            values,
+            nnz: csr.nnz(),
+        }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+    #[inline]
+    pub fn block_h(&self) -> usize {
+        self.block_h
+    }
+    #[inline]
+    pub fn block_w(&self) -> usize {
+        self.block_w
+    }
+    #[inline]
+    pub fn nblock_rows(&self) -> usize {
+        self.row_ptr.len() - 1
+    }
+    #[inline]
+    pub fn nblock_cols(&self) -> usize {
+        self.ncols.div_ceil(self.block_w)
+    }
+    /// Total number of stored (nonzero) blocks — the paper's `n_e`.
+    #[inline]
+    pub fn nblocks(&self) -> usize {
+        self.col_idx.len()
+    }
+    /// True nonzeros, excluding padding.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+    #[inline]
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+    #[inline]
+    pub fn values(&self) -> &[T] {
+        &self.values
+    }
+
+    /// Number of stored blocks in block row `bi`.
+    #[inline]
+    pub fn blocks_in_row(&self, bi: usize) -> usize {
+        self.row_ptr[bi + 1] - self.row_ptr[bi]
+    }
+
+    /// Block-column indices of block row `bi`.
+    #[inline]
+    pub fn row_block_cols(&self, bi: usize) -> &[usize] {
+        &self.col_idx[self.row_ptr[bi]..self.row_ptr[bi + 1]]
+    }
+
+    /// Dense payload of the `slot`-th stored block (global slot index),
+    /// row-major `block_h × block_w`.
+    #[inline]
+    pub fn block_values(&self, slot: usize) -> &[T] {
+        let sz = self.block_h * self.block_w;
+        &self.values[slot * sz..(slot + 1) * sz]
+    }
+
+    /// Explicitly stored zeros: `nblocks·h·w − nnz`.
+    pub fn padding(&self) -> usize {
+        self.nblocks() * self.block_h * self.block_w - self.nnz
+    }
+
+    /// Average fraction of true nonzeros per stored block, in `(0, 1]`.
+    pub fn fill_ratio(&self) -> f64 {
+        if self.nblocks() == 0 {
+            return 1.0;
+        }
+        self.nnz as f64 / (self.nblocks() * self.block_h * self.block_w) as f64
+    }
+
+    /// The paper's Eq. (2) bounds on the number of elementary computations:
+    /// `ceil(nnz/(h·w)) ≤ n_e ≤ min(ceil(N/h)·ceil(M/w), nnz)`.
+    pub fn block_count_bounds(&self) -> (usize, usize) {
+        let hw = self.block_h * self.block_w;
+        let lower = self.nnz.div_ceil(hw);
+        let upper = (self.nblock_rows() * self.nblock_cols()).min(self.nnz);
+        (lower, upper)
+    }
+
+    /// Reconstructs the CSR matrix (drops padding zeros).
+    pub fn to_csr(&self) -> Csr<T> {
+        let mut coo = crate::coo::Coo::with_capacity(self.nrows, self.ncols, self.nnz);
+        for bi in 0..self.nblock_rows() {
+            for (k, &bc) in self.row_block_cols(bi).iter().enumerate() {
+                let slot = self.row_ptr[bi] + k;
+                let vals = self.block_values(slot);
+                for lr in 0..self.block_h {
+                    let r = bi * self.block_h + lr;
+                    if r >= self.nrows {
+                        break;
+                    }
+                    for lc in 0..self.block_w {
+                        let c = bc * self.block_w + lc;
+                        if c >= self.ncols {
+                            break;
+                        }
+                        let v = vals[lr * self.block_w + lc];
+                        if !v.is_zero() {
+                            coo.push(r, c, v);
+                        }
+                    }
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Exact reference block SpMM with f64 accumulation (test oracle for the
+    /// simulated kernels; exercises the same block iteration order).
+    pub fn spmm_reference(&self, b: &Dense<T>) -> Dense<T> {
+        assert_eq!(self.ncols, b.nrows(), "inner dimensions must match");
+        let n = b.ncols();
+        let mut out64 = vec![0f64; self.nrows * n];
+        for bi in 0..self.nblock_rows() {
+            for (k, &bc) in self.row_block_cols(bi).iter().enumerate() {
+                let slot = self.row_ptr[bi] + k;
+                let vals = self.block_values(slot);
+                for lr in 0..self.block_h {
+                    let r = bi * self.block_h + lr;
+                    if r >= self.nrows {
+                        break;
+                    }
+                    for lc in 0..self.block_w {
+                        let c = bc * self.block_w + lc;
+                        if c >= self.ncols {
+                            break;
+                        }
+                        let a = vals[lr * self.block_w + lc].to_f64();
+                        if a == 0.0 {
+                            continue;
+                        }
+                        let brow = b.row(c);
+                        let orow = &mut out64[r * n..(r + 1) * n];
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o += a * bv.to_f64();
+                        }
+                    }
+                }
+            }
+        }
+        Dense::from_vec(
+            self.nrows,
+            n,
+            out64.into_iter().map(T::from_f64).collect(),
+        )
+    }
+
+    /// Bytes of payload storage (values only), used by memory-footprint
+    /// accounting in the simulator.
+    pub fn payload_bytes(&self) -> usize {
+        self.values.len() * T::BYTES
+    }
+
+    /// Index-structure bytes (row_ptr + col_idx as 4-byte entries, as the
+    /// CUDA implementation stores them).
+    pub fn index_bytes(&self) -> usize {
+        (self.row_ptr.len() + self.col_idx.len()) * 4
+    }
+}
+
+/// Distribution statistics of blocks per block-row; drives the Fig. 3
+/// load-balance analysis and the 2D-schedule imbalance discussion.
+#[derive(Clone, Debug, PartialEq, serde::Serialize)]
+pub struct BlockRowStats {
+    pub nblocks: usize,
+    pub nblock_rows: usize,
+    pub mean: f64,
+    pub stddev: f64,
+    pub max: usize,
+    pub min: usize,
+}
+
+impl BlockRowStats {
+    pub fn of<T: Element>(bcsr: &Bcsr<T>) -> Self {
+        let counts: Vec<usize> = (0..bcsr.nblock_rows())
+            .map(|bi| bcsr.blocks_in_row(bi))
+            .collect();
+        Self::from_counts(&counts)
+    }
+
+    pub fn from_counts(counts: &[usize]) -> Self {
+        let n = counts.len().max(1);
+        let total: usize = counts.iter().sum();
+        let mean = total as f64 / n as f64;
+        let var = counts
+            .iter()
+            .map(|&c| (c as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
+        BlockRowStats {
+            nblocks: total,
+            nblock_rows: counts.len(),
+            mean,
+            stddev: var.sqrt(),
+            max: counts.iter().copied().max().unwrap_or(0),
+            min: counts.iter().copied().min().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn small_csr() -> Csr<f32> {
+        let mut coo = Coo::new(5, 6);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 2.0);
+        coo.push(1, 0, 3.0);
+        coo.push(2, 4, 4.0);
+        coo.push(4, 5, 5.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn block_structure_2x2() {
+        let m = small_csr();
+        let b = Bcsr::from_csr(&m, 2, 2);
+        // Block rows: 0 -> {bc 0}, 1 -> {bc 2}, 2 -> {bc 2}
+        assert_eq!(b.nblock_rows(), 3);
+        assert_eq!(b.nblock_cols(), 3);
+        assert_eq!(b.nblocks(), 3);
+        assert_eq!(b.row_block_cols(0), &[0]);
+        assert_eq!(b.row_block_cols(1), &[2]);
+        assert_eq!(b.row_block_cols(2), &[2]);
+        assert_eq!(b.nnz(), 5);
+        assert_eq!(b.padding(), 3 * 4 - 5);
+    }
+
+    #[test]
+    fn block_payload_layout() {
+        let m = small_csr();
+        let b = Bcsr::from_csr(&m, 2, 2);
+        // First block (rows 0..2, cols 0..2): [1 2; 3 0] row-major.
+        assert_eq!(b.block_values(0), &[1.0, 2.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let m = small_csr();
+        for (h, w) in [(1, 1), (2, 2), (2, 3), (4, 4), (16, 8), (7, 5)] {
+            let b = Bcsr::from_csr(&m, h, w);
+            assert_eq!(b.to_csr(), m, "roundtrip failed for block {h}x{w}");
+        }
+    }
+
+    #[test]
+    fn one_by_one_blocks_equal_csr() {
+        let m = small_csr();
+        let b = Bcsr::from_csr(&m, 1, 1);
+        assert_eq!(b.nblocks(), m.nnz());
+        assert_eq!(b.padding(), 0);
+        assert_eq!(b.fill_ratio(), 1.0);
+    }
+
+    #[test]
+    fn eq2_bounds_hold() {
+        let m = small_csr();
+        for (h, w) in [(1, 1), (2, 2), (3, 3), (16, 8)] {
+            let b = Bcsr::from_csr(&m, h, w);
+            let (lo, hi) = b.block_count_bounds();
+            assert!(
+                lo <= b.nblocks() && b.nblocks() <= hi,
+                "Eq. (2) violated for {h}x{w}: {lo} <= {} <= {hi}",
+                b.nblocks()
+            );
+        }
+    }
+
+    #[test]
+    fn spmm_reference_matches_csr_reference() {
+        let m = small_csr();
+        let rhs = Dense::from_fn(6, 3, |i, j| ((i + 1) * (j + 2)) as f32 * 0.25);
+        let want = m.spmm_reference(&rhs);
+        for (h, w) in [(2, 2), (2, 3), (16, 8), (4, 1)] {
+            let b = Bcsr::from_csr(&m, h, w);
+            let got = b.spmm_reference(&rhs);
+            assert_eq!(got, want, "mismatch for block {h}x{w}");
+        }
+    }
+
+    #[test]
+    fn ragged_edge_blocks_are_clipped() {
+        // 5x6 with 2x4 blocks: last block column is 6..8, clipped at 6.
+        let m = small_csr();
+        let b = Bcsr::from_csr(&m, 2, 4);
+        assert_eq!(b.to_csr(), m);
+        assert_eq!(b.nblock_cols(), 2);
+    }
+
+    #[test]
+    fn stats_mean_and_stddev() {
+        let s = BlockRowStats::from_counts(&[2, 4, 6]);
+        assert_eq!(s.nblocks, 12);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!((s.stddev - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.max, 6);
+        assert_eq!(s.min, 2);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let m = Csr::<f32>::empty(10, 10);
+        let b = Bcsr::from_csr(&m, 4, 4);
+        assert_eq!(b.nblocks(), 0);
+        assert_eq!(b.padding(), 0);
+        assert_eq!(b.to_csr(), m);
+    }
+}

@@ -1,0 +1,180 @@
+//! Coordinate (COO) format: the ingestion format for generators and Matrix
+//! Market files, converted to CSR before any kernel runs.
+
+use crate::csr::Csr;
+use crate::scalar::Element;
+
+/// Coordinate-format sparse matrix (triplet list, unsorted, duplicates
+/// allowed until [`Coo::compact`] is called).
+#[derive(Clone, Debug)]
+pub struct Coo<T> {
+    nrows: usize,
+    ncols: usize,
+    entries: Vec<(usize, usize, T)>,
+}
+
+impl<T: Element> Coo<T> {
+    pub fn new(nrows: usize, ncols: usize) -> Self {
+        Coo {
+            nrows,
+            ncols,
+            entries: Vec::new(),
+        }
+    }
+
+    pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
+        Coo {
+            nrows,
+            ncols,
+            entries: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Builds directly from a triplet list.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of bounds.
+    pub fn from_entries(nrows: usize, ncols: usize, entries: Vec<(usize, usize, T)>) -> Self {
+        for &(r, c, _) in &entries {
+            assert!(
+                r < nrows && c < ncols,
+                "entry ({r},{c}) out of bounds for {nrows}x{ncols}"
+            );
+        }
+        Coo {
+            nrows,
+            ncols,
+            entries,
+        }
+    }
+
+    /// Appends a triplet. Zero values are kept (callers may store explicit
+    /// zeros; `compact` drops them).
+    pub fn push(&mut self, row: usize, col: usize, val: T) {
+        assert!(
+            row < self.nrows && col < self.ncols,
+            "entry ({row},{col}) out of bounds for {}x{}",
+            self.nrows,
+            self.ncols
+        );
+        self.entries.push((row, col, val));
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+    /// Number of stored triplets (including duplicates and explicit zeros).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+    #[inline]
+    pub fn entries(&self) -> &[(usize, usize, T)] {
+        &self.entries
+    }
+
+    /// Sorts by (row, col), sums duplicates in f64, and drops entries that
+    /// sum to zero. After this the triplet list is canonical.
+    pub fn compact(&mut self) {
+        self.entries.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        let mut out: Vec<(usize, usize, T)> = Vec::with_capacity(self.entries.len());
+        for &(r, c, v) in &self.entries {
+            match out.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => {
+                    last.2 = T::from_f64(last.2.to_f64() + v.to_f64());
+                }
+                _ => out.push((r, c, v)),
+            }
+        }
+        out.retain(|e| !e.2.is_zero());
+        self.entries = out;
+    }
+
+    /// Converts to CSR. Duplicates are summed and zeros dropped on the way.
+    pub fn to_csr(&self) -> Csr<T> {
+        let mut canonical = self.clone();
+        canonical.compact();
+        let mut row_ptr = vec![0usize; self.nrows + 1];
+        for &(r, _, _) in &canonical.entries {
+            row_ptr[r + 1] += 1;
+        }
+        for i in 0..self.nrows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = canonical.entries.iter().map(|&(_, c, _)| c).collect();
+        let values = canonical.entries.iter().map(|&(_, _, v)| v).collect();
+        Csr::from_raw(self.nrows, self.ncols, row_ptr, col_idx, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_len() {
+        let mut m = Coo::<f32>::new(2, 2);
+        m.push(0, 0, 1.0);
+        m.push(1, 1, 2.0);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_checks_bounds() {
+        let mut m = Coo::<f32>::new(2, 2);
+        m.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn compact_sums_duplicates() {
+        let mut m = Coo::<f32>::new(2, 2);
+        m.push(0, 1, 1.5);
+        m.push(0, 1, 2.5);
+        m.push(1, 0, 3.0);
+        m.compact();
+        assert_eq!(m.entries(), &[(0, 1, 4.0f32), (1, 0, 3.0)]);
+    }
+
+    #[test]
+    fn compact_drops_cancelling_duplicates() {
+        let mut m = Coo::<f32>::new(1, 2);
+        m.push(0, 0, 1.0);
+        m.push(0, 0, -1.0);
+        m.push(0, 1, 2.0);
+        m.compact();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.entries()[0], (0, 1, 2.0));
+    }
+
+    #[test]
+    fn to_csr_orders_rows_and_columns() {
+        let mut m = Coo::<f32>::new(3, 3);
+        m.push(2, 0, 5.0);
+        m.push(0, 2, 1.0);
+        m.push(0, 0, 2.0);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.row_cols(0), &[0, 2]);
+        assert_eq!(csr.row_cols(1), &[] as &[usize]);
+        assert_eq!(csr.row_cols(2), &[0]);
+        assert_eq!(csr.get(0, 0), Some(2.0));
+    }
+
+    #[test]
+    fn empty_matrix_roundtrip() {
+        let m = Coo::<f32>::new(4, 4);
+        let csr = m.to_csr();
+        assert_eq!(csr.nnz(), 0);
+        assert_eq!(csr.nrows(), 4);
+    }
+}

@@ -1,0 +1,114 @@
+//! Compressed Sparse Column (CSC), provided for completeness of the format
+//! family discussed in §II-B of the paper. Internally a CSR of the transpose.
+
+use crate::csr::Csr;
+use crate::dense::Dense;
+use crate::scalar::Element;
+
+/// CSC sparse matrix with sorted row indices within each column.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csc<T> {
+    /// CSR of the transpose: its rows are our columns.
+    t: Csr<T>,
+}
+
+impl<T: Element> Csc<T> {
+    pub fn from_csr(csr: &Csr<T>) -> Self {
+        Csc { t: csr.transpose() }
+    }
+
+    /// Builds from raw CSC arrays (`col_ptr`, `row_idx`, `values`).
+    ///
+    /// # Panics
+    /// Panics on violated CSC invariants (delegates to CSR validation on the
+    /// transpose).
+    pub fn from_raw(
+        nrows: usize,
+        ncols: usize,
+        col_ptr: Vec<usize>,
+        row_idx: Vec<usize>,
+        values: Vec<T>,
+    ) -> Self {
+        Csc {
+            t: Csr::from_raw(ncols, nrows, col_ptr, row_idx, values),
+        }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.t.ncols()
+    }
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.t.nrows()
+    }
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.t.nnz()
+    }
+
+    /// Row indices of column `j`.
+    #[inline]
+    pub fn col_rows(&self, j: usize) -> &[usize] {
+        self.t.row_cols(j)
+    }
+
+    /// Values of column `j`.
+    #[inline]
+    pub fn col_values(&self, j: usize) -> &[T] {
+        self.t.row_values(j)
+    }
+
+    pub fn get(&self, i: usize, j: usize) -> Option<T> {
+        self.t.get(j, i)
+    }
+
+    pub fn to_csr(&self) -> Csr<T> {
+        self.t.transpose()
+    }
+
+    /// Exact reference SpMM in column-major traversal order.
+    pub fn spmm_reference(&self, b: &Dense<T>) -> Dense<T> {
+        self.to_csr().spmm_reference(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn sample() -> Csr<f32> {
+        let mut coo = Coo::new(3, 4);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 3, 2.0);
+        coo.push(2, 1, 3.0);
+        coo.push(1, 3, 4.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn csr_csc_roundtrip() {
+        let m = sample();
+        let c = Csc::from_csr(&m);
+        assert_eq!(c.to_csr(), m);
+        assert_eq!(c.nrows(), 3);
+        assert_eq!(c.ncols(), 4);
+    }
+
+    #[test]
+    fn column_access() {
+        let c = Csc::from_csr(&sample());
+        assert_eq!(c.col_rows(3), &[0, 1]);
+        assert_eq!(c.col_values(3), &[2.0, 4.0]);
+        assert_eq!(c.get(2, 1), Some(3.0));
+        assert_eq!(c.get(2, 2), None);
+    }
+
+    #[test]
+    fn spmm_matches_csr_reference() {
+        let m = sample();
+        let b = Dense::from_fn(4, 2, |i, j| (i + 2 * j) as f32);
+        assert_eq!(Csc::from_csr(&m).spmm_reference(&b), m.spmm_reference(&b));
+    }
+}

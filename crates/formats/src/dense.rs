@@ -1,0 +1,216 @@
+//! Dense row-major matrix used for the right-hand side `B`, the output `C`,
+//! and as the exact reference in tests.
+
+use crate::scalar::Element;
+
+/// Dense matrix in row-major layout.
+///
+/// Row-major matches how the SMaT kernel streams rows of `B` into shared
+/// memory: the `N` columns of one K-row form one contiguous, coalesced line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dense<T> {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Element> Dense<T> {
+    /// All-zero matrix of the given shape.
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Dense {
+            nrows,
+            ncols,
+            data: vec![T::zero(); nrows * ncols],
+        }
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != nrows * ncols`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            nrows * ncols,
+            "dense data length {} does not match shape {}x{}",
+            data.len(),
+            nrows,
+            ncols
+        );
+        Dense { nrows, ncols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                data.push(f(i, j));
+            }
+        }
+        Dense { nrows, ncols, data }
+    }
+
+    /// Identity-like matrix (ones on the main diagonal).
+    pub fn eye(n: usize) -> Self {
+        Self::from_fn(n, n, |i, j| {
+            if i == j {
+                T::from_f64(1.0)
+            } else {
+                T::zero()
+            }
+        })
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> T {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        self.data[i * self.ncols + j]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: T) {
+        debug_assert!(i < self.nrows && j < self.ncols);
+        self.data[i * self.ncols + j] = v;
+    }
+
+    /// One row as a contiguous slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        &self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [T] {
+        &mut self.data[i * self.ncols..(i + 1) * self.ncols]
+    }
+
+    /// Row-major backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
+    /// Number of explicitly stored zero entries.
+    pub fn count_zeros(&self) -> usize {
+        self.data.iter().filter(|v| v.is_zero()).count()
+    }
+
+    pub fn transpose(&self) -> Dense<T> {
+        Dense::from_fn(self.ncols, self.nrows, |i, j| self.get(j, i))
+    }
+
+    /// Returns a copy with rows permuted: `out[i] = self[perm[i]]`.
+    pub fn select_rows(&self, perm: &[usize]) -> Dense<T> {
+        let mut out = Dense::zeros(perm.len(), self.ncols);
+        for (dst, &src) in perm.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+
+    /// Maximum absolute element-wise difference against another matrix,
+    /// computed in f64. Used by accuracy tests.
+    pub fn max_abs_diff(&self, other: &Dense<T>) -> f64 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a.to_f64() - b.to_f64()).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Converts element type (through `f64`).
+    pub fn cast<U: Element>(&self) -> Dense<U> {
+        Dense {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data: self.data.iter().map(|v| U::from_f64(v.to_f64())).collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::F16;
+
+    #[test]
+    fn zeros_and_shape() {
+        let m: Dense<f32> = Dense::zeros(3, 5);
+        assert_eq!(m.shape(), (3, 5));
+        assert_eq!(m.count_zeros(), 15);
+    }
+
+    #[test]
+    fn from_fn_and_get_set() {
+        let mut m = Dense::<f32>::from_fn(2, 3, |i, j| (i * 3 + j) as f32);
+        assert_eq!(m.get(1, 2), 5.0);
+        m.set(1, 2, 9.0);
+        assert_eq!(m.get(1, 2), 9.0);
+        assert_eq!(m.row(0), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_validates_length() {
+        let _ = Dense::<f32>::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = Dense::<f32>::from_fn(3, 4, |i, j| (i * 7 + j) as f32);
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(2, 1), m.get(1, 2));
+    }
+
+    #[test]
+    fn select_rows_reorders() {
+        let m = Dense::<f32>::from_fn(3, 2, |i, _| i as f32);
+        let p = m.select_rows(&[2, 0, 1]);
+        assert_eq!(p.row(0), &[2.0, 2.0]);
+        assert_eq!(p.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn eye_is_identity_under_reference_multiply() {
+        let m: Dense<f32> = Dense::eye(4);
+        assert_eq!(m.get(2, 2), 1.0);
+        assert_eq!(m.get(2, 3), 0.0);
+        assert_eq!(m.count_zeros(), 12);
+    }
+
+    #[test]
+    fn cast_between_precisions() {
+        let m = Dense::<f32>::from_fn(2, 2, |i, j| (i + j) as f32 * 0.5);
+        let h: Dense<F16> = m.cast();
+        let back: Dense<f32> = h.cast();
+        assert_eq!(m, back, "small halves are exact in f16");
+    }
+
+    #[test]
+    fn max_abs_diff_reports_largest_gap() {
+        let a = Dense::<f32>::from_fn(2, 2, |_, _| 1.0);
+        let mut b = a.clone();
+        b.set(1, 1, 3.0);
+        assert_eq!(a.max_abs_diff(&b), 2.0);
+    }
+}

@@ -1,0 +1,190 @@
+//! ELLPACK (ELL) format: every row padded to the same length — the classic
+//! GPU SpMV layout (§II-B's format family), with perfectly coalesced
+//! column-major storage but padding that explodes on skewed row lengths.
+//! Provided for format-family completeness and as the storage whose padding
+//! behaviour contrasts with BCSR's in the documentation and tests.
+
+use crate::csr::Csr;
+use crate::dense::Dense;
+use crate::scalar::Element;
+
+/// ELL sparse matrix: `nrows × width` slots, column-major (slot-major)
+/// layout as GPUs consume it; unused slots hold column `usize::MAX`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Ell<T> {
+    nrows: usize,
+    ncols: usize,
+    /// Slots per row (the maximum row length).
+    width: usize,
+    /// `col_idx[s * nrows + r]`: column of slot `s` of row `r`.
+    col_idx: Vec<usize>,
+    /// Values in the same layout.
+    values: Vec<T>,
+    nnz: usize,
+}
+
+/// Column marker for empty slots.
+pub const EMPTY_SLOT: usize = usize::MAX;
+
+impl<T: Element> Ell<T> {
+    /// Converts from CSR; `width` becomes the maximum row length.
+    pub fn from_csr(csr: &Csr<T>) -> Self {
+        let nrows = csr.nrows();
+        let width = (0..nrows).map(|r| csr.row_nnz(r)).max().unwrap_or(0);
+        let mut col_idx = vec![EMPTY_SLOT; nrows * width];
+        let mut values = vec![T::zero(); nrows * width];
+        for r in 0..nrows {
+            for (s, (&c, &v)) in csr.row_cols(r).iter().zip(csr.row_values(r)).enumerate() {
+                col_idx[s * nrows + r] = c;
+                values[s * nrows + r] = v;
+            }
+        }
+        Ell {
+            nrows,
+            ncols: csr.ncols(),
+            width,
+            col_idx,
+            values,
+            nnz: csr.nnz(),
+        }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+    /// Slots per row.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Padding slots (stored but empty): `nrows·width − nnz`.
+    pub fn padding(&self) -> usize {
+        self.nrows * self.width - self.nnz
+    }
+
+    /// Slot `(row, s)`: `Some((col, value))` or `None` if empty.
+    pub fn slot(&self, row: usize, s: usize) -> Option<(usize, T)> {
+        let idx = s * self.nrows + row;
+        let c = self.col_idx[idx];
+        (c != EMPTY_SLOT).then(|| (c, self.values[idx]))
+    }
+
+    /// Reconstructs CSR.
+    pub fn to_csr(&self) -> Csr<T> {
+        let mut coo = crate::coo::Coo::with_capacity(self.nrows, self.ncols, self.nnz);
+        for r in 0..self.nrows {
+            for s in 0..self.width {
+                if let Some((c, v)) = self.slot(r, s) {
+                    if !v.is_zero() {
+                        coo.push(r, c, v);
+                    }
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Exact reference SpMM over the ELL traversal order (f64 accumulation).
+    pub fn spmm_reference(&self, b: &Dense<T>) -> Dense<T> {
+        assert_eq!(self.ncols, b.nrows(), "inner dimensions must match");
+        let n = b.ncols();
+        let mut out64 = vec![0f64; self.nrows * n];
+        for s in 0..self.width {
+            for r in 0..self.nrows {
+                if let Some((c, v)) = self.slot(r, s) {
+                    let a = v.to_f64();
+                    let brow = b.row(c);
+                    let orow = &mut out64[r * n..(r + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += a * bv.to_f64();
+                    }
+                }
+            }
+        }
+        Dense::from_vec(self.nrows, n, out64.into_iter().map(T::from_f64).collect())
+    }
+
+    /// Payload bytes (values + 4-byte column indices for every slot).
+    pub fn storage_bytes(&self) -> usize {
+        self.nrows * self.width * (T::BYTES + 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn sample() -> Csr<f32> {
+        let mut coo = Coo::new(4, 6);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 5, 2.0);
+        coo.push(1, 2, 3.0);
+        coo.push(3, 1, 4.0);
+        coo.push(3, 3, 5.0);
+        coo.push(3, 4, 6.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn width_is_max_row_length() {
+        let e = Ell::from_csr(&sample());
+        assert_eq!(e.width(), 3);
+        assert_eq!(e.padding(), 4 * 3 - 6);
+    }
+
+    #[test]
+    fn column_major_slot_layout() {
+        let e = Ell::from_csr(&sample());
+        assert_eq!(e.slot(0, 0), Some((0, 1.0)));
+        assert_eq!(e.slot(0, 1), Some((5, 2.0)));
+        assert_eq!(e.slot(0, 2), None);
+        assert_eq!(e.slot(2, 0), None, "empty row has no slots");
+        assert_eq!(e.slot(3, 2), Some((4, 6.0)));
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let m = sample();
+        assert_eq!(Ell::from_csr(&m).to_csr(), m);
+        let empty = Csr::<f32>::empty(3, 3);
+        assert_eq!(Ell::from_csr(&empty).to_csr(), empty);
+    }
+
+    #[test]
+    fn spmm_matches_csr_reference() {
+        let m = sample();
+        let b = Dense::from_fn(6, 3, |i, j| ((i * 2 + j) % 5) as f32 - 2.0);
+        assert_eq!(Ell::from_csr(&m).spmm_reference(&b), m.spmm_reference(&b));
+    }
+
+    #[test]
+    fn skewed_rows_explode_padding() {
+        // One 100-long row among 99 singleton rows: ELL stores 100x100
+        // slots for 199 nonzeros — the pathology that motivates blocked and
+        // sliced formats.
+        let mut coo = Coo::new(100, 100);
+        for j in 0..100 {
+            coo.push(0, j, 1.0f32);
+        }
+        for r in 1..100 {
+            coo.push(r, 0, 1.0);
+        }
+        let e = Ell::from_csr(&coo.to_csr());
+        assert_eq!(e.width(), 100);
+        assert_eq!(e.padding(), 100 * 100 - 199);
+        // >25x the storage a CSR of the same matrix needs.
+        let csr_bytes = e.nnz() * (4 + 4) + 101 * 4;
+        assert!(e.storage_bytes() > 25 * csr_bytes);
+    }
+}

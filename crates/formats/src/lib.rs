@@ -1,0 +1,39 @@
+//! # smat-formats
+//!
+//! Sparse and dense matrix formats for the SMaT (SC'24) reproduction:
+//!
+//! * [`Coo`] — coordinate triplets, the ingestion format;
+//! * [`Csr`]/[`Csc`] — compressed sparse row/column, the unstructured
+//!   baseline formats (§II-B1 of the paper);
+//! * [`Bcsr`] — blocked CSR, SMaT's internal format whose block shape
+//!   matches the Tensor Core MMA fragment (§IV-B);
+//! * [`SrBcrs`] — Magicube's strided row-major blocked CRS (§IV-B);
+//! * [`Ell`] — ELLPACK, the classic padded GPU SpMV layout;
+//! * [`Dense`] — row-major dense matrices for `B`, `C`, and references;
+//! * [`F16`]/[`Bf16`] — software half-precision scalars with bit-exact IEEE
+//!   rounding, plus the [`Element`] trait unifying all Tensor-Core-supported
+//!   input types;
+//! * [`mtx`] — Matrix Market I/O.
+
+#![forbid(unsafe_code)]
+
+pub mod bcsr;
+pub mod coo;
+pub mod csc;
+pub mod ell;
+pub mod csr;
+pub mod dense;
+pub mod mtx;
+pub mod permutation;
+pub mod scalar;
+pub mod srbcrs;
+
+pub use bcsr::{Bcsr, BlockRowStats};
+pub use coo::Coo;
+pub use csc::Csc;
+pub use ell::Ell;
+pub use csr::Csr;
+pub use dense::Dense;
+pub use permutation::Permutation;
+pub use scalar::{Bf16, Element, F16};
+pub use srbcrs::SrBcrs;

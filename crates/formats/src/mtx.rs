@@ -1,0 +1,303 @@
+//! Matrix Market (`.mtx`) reader/writer, so real SuiteSparse files can be
+//! dropped in wherever the harness uses the synthetic mimics.
+//!
+//! Supported: `matrix coordinate {real,integer,pattern} {general,symmetric,
+//! skew-symmetric}` and `matrix array real general`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::dense::Dense;
+use crate::scalar::Element;
+
+/// Errors produced by the Matrix Market parser.
+#[derive(Debug)]
+pub enum MtxError {
+    Io(std::io::Error),
+    /// Malformed or unsupported content, with a line number and message.
+    Parse { line: usize, msg: String },
+}
+
+impl std::fmt::Display for MtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MtxError::Io(e) => write!(f, "I/O error: {e}"),
+            MtxError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MtxError {}
+
+impl From<std::io::Error> for MtxError {
+    fn from(e: std::io::Error) -> Self {
+        MtxError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, msg: impl Into<String>) -> MtxError {
+    MtxError::Parse {
+        line,
+        msg: msg.into(),
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Field {
+    Real,
+    Integer,
+    Pattern,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Reads a sparse matrix in Matrix Market coordinate format from a reader.
+pub fn read_coo<T: Element, R: Read>(reader: R) -> Result<Coo<T>, MtxError> {
+    let mut lines = BufReader::new(reader).lines();
+    let mut lineno = 0usize;
+
+    let header = loop {
+        match lines.next() {
+            Some(l) => {
+                lineno += 1;
+                let l = l?;
+                if !l.trim().is_empty() {
+                    break l;
+                }
+            }
+            None => return Err(parse_err(lineno, "empty file")),
+        }
+    };
+
+    let header_lc = header.to_ascii_lowercase();
+    let tokens: Vec<&str> = header_lc.split_whitespace().collect();
+    if tokens.len() < 4 || tokens[0] != "%%matrixmarket" || tokens[1] != "matrix" {
+        return Err(parse_err(lineno, "missing %%MatrixMarket matrix header"));
+    }
+    if tokens[2] != "coordinate" {
+        return Err(parse_err(
+            lineno,
+            format!("unsupported storage '{}' (expected coordinate)", tokens[2]),
+        ));
+    }
+    let field = match tokens[3] {
+        "real" => Field::Real,
+        "integer" => Field::Integer,
+        "pattern" => Field::Pattern,
+        other => return Err(parse_err(lineno, format!("unsupported field '{other}'"))),
+    };
+    let symmetry = match tokens.get(4).copied().unwrap_or("general") {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        other => {
+            return Err(parse_err(
+                lineno,
+                format!("unsupported symmetry '{other}'"),
+            ))
+        }
+    };
+
+    // Size line: first non-comment line.
+    let size_line = loop {
+        match lines.next() {
+            Some(l) => {
+                lineno += 1;
+                let l = l?;
+                let t = l.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break l;
+            }
+            None => return Err(parse_err(lineno, "missing size line")),
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<usize>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| parse_err(lineno, format!("bad size line: {e}")))?;
+    if dims.len() != 3 {
+        return Err(parse_err(lineno, "size line must be 'nrows ncols nnz'"));
+    }
+    let (nrows, ncols, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = Coo::with_capacity(nrows, ncols, nnz);
+    let mut seen = 0usize;
+    for l in lines {
+        lineno += 1;
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing row"))?
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad row index: {e}")))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| parse_err(lineno, "missing col"))?
+            .parse()
+            .map_err(|e| parse_err(lineno, format!("bad col index: {e}")))?;
+        if r == 0 || c == 0 || r > nrows || c > ncols {
+            return Err(parse_err(
+                lineno,
+                format!("coordinate ({r},{c}) out of 1-based bounds {nrows}x{ncols}"),
+            ));
+        }
+        let v = match field {
+            Field::Pattern => 1.0f64,
+            Field::Real | Field::Integer => it
+                .next()
+                .ok_or_else(|| parse_err(lineno, "missing value"))?
+                .parse::<f64>()
+                .map_err(|e| parse_err(lineno, format!("bad value: {e}")))?,
+        };
+        let (r, c) = (r - 1, c - 1);
+        coo.push(r, c, T::from_f64(v));
+        match symmetry {
+            Symmetry::General => {}
+            Symmetry::Symmetric if r != c => coo.push(c, r, T::from_f64(v)),
+            Symmetry::SkewSymmetric if r != c => coo.push(c, r, T::from_f64(-v)),
+            _ => {}
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(
+            lineno,
+            format!("expected {nnz} entries, found {seen}"),
+        ));
+    }
+    Ok(coo)
+}
+
+/// Reads a Matrix Market file into CSR.
+pub fn read_csr_path<T: Element>(path: impl AsRef<Path>) -> Result<Csr<T>, MtxError> {
+    let f = std::fs::File::open(path)?;
+    Ok(read_coo::<T, _>(f)?.to_csr())
+}
+
+/// Reads Matrix Market content from a string into CSR (used by tests).
+pub fn read_csr_str<T: Element>(content: &str) -> Result<Csr<T>, MtxError> {
+    Ok(read_coo::<T, _>(content.as_bytes())?.to_csr())
+}
+
+/// Writes a CSR matrix in `coordinate real general` format.
+pub fn write_csr<T: Element, W: Write>(m: &Csr<T>, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by smat-formats")?;
+    writeln!(w, "{} {} {}", m.nrows(), m.ncols(), m.nnz())?;
+    for (r, c, v) in m.iter() {
+        writeln!(w, "{} {} {}", r + 1, c + 1, v.to_f64())?;
+    }
+    Ok(())
+}
+
+/// Writes a dense matrix in `array real general` (column-major) format.
+pub fn write_dense<T: Element, W: Write>(m: &Dense<T>, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix array real general")?;
+    writeln!(w, "{} {}", m.nrows(), m.ncols())?;
+    for j in 0..m.ncols() {
+        for i in 0..m.nrows() {
+            writeln!(w, "{}", m.get(i, j).to_f64())?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_general_real() {
+        let src = "%%MatrixMarket matrix coordinate real general\n\
+                   % comment\n\
+                   3 4 3\n\
+                   1 1 1.5\n\
+                   2 3 -2.0\n\
+                   3 4 0.25\n";
+        let m: Csr<f32> = read_csr_str(src).unwrap();
+        assert_eq!(m.nrows(), 3);
+        assert_eq!(m.ncols(), 4);
+        assert_eq!(m.get(0, 0), Some(1.5));
+        assert_eq!(m.get(1, 2), Some(-2.0));
+        assert_eq!(m.get(2, 3), Some(0.25));
+    }
+
+    #[test]
+    fn parses_symmetric_expands_mirror() {
+        let src = "%%MatrixMarket matrix coordinate real symmetric\n\
+                   3 3 2\n\
+                   2 1 5.0\n\
+                   3 3 7.0\n";
+        let m: Csr<f32> = read_csr_str(src).unwrap();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(1, 0), Some(5.0));
+        assert_eq!(m.get(0, 1), Some(5.0));
+        assert_eq!(m.get(2, 2), Some(7.0));
+    }
+
+    #[test]
+    fn parses_skew_symmetric() {
+        let src = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                   2 2 1\n\
+                   2 1 3.0\n";
+        let m: Csr<f32> = read_csr_str(src).unwrap();
+        assert_eq!(m.get(1, 0), Some(3.0));
+        assert_eq!(m.get(0, 1), Some(-3.0));
+    }
+
+    #[test]
+    fn parses_pattern_as_ones() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n\
+                   2 2 2\n\
+                   1 2\n\
+                   2 1\n";
+        let m: Csr<f32> = read_csr_str(src).unwrap();
+        assert_eq!(m.get(0, 1), Some(1.0));
+        assert_eq!(m.get(1, 0), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_wrong_header() {
+        assert!(read_csr_str::<f32>("not a matrix\n1 1 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_coordinate() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        let err = read_csr_str::<f32>(src).unwrap_err();
+        assert!(err.to_string().contains("out of 1-based bounds"));
+    }
+
+    #[test]
+    fn rejects_entry_count_mismatch() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        let err = read_csr_str::<f32>(src).unwrap_err();
+        assert!(err.to_string().contains("expected 2 entries"));
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let src = "%%MatrixMarket matrix coordinate real general\n\
+                   3 3 3\n1 1 1\n2 2 2\n3 1 -3.5\n";
+        let m: Csr<f32> = read_csr_str(src).unwrap();
+        let mut buf = Vec::new();
+        write_csr(&m, &mut buf).unwrap();
+        let back: Csr<f32> = read_csr_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -1,0 +1,169 @@
+//! Permutations used by the preprocessing stage (`A' = P·A`).
+
+/// A permutation of `0..n`, stored as the image vector: position `i` of the
+/// permuted object is taken from position `perm[i]` of the original
+/// (gather semantics, `out[i] = in[perm[i]]`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Permutation {
+    perm: Vec<usize>,
+}
+
+impl Permutation {
+    /// Identity permutation of length `n`.
+    pub fn identity(n: usize) -> Self {
+        Permutation {
+            perm: (0..n).collect(),
+        }
+    }
+
+    /// Builds a permutation from an image vector, verifying it is a bijection.
+    ///
+    /// # Panics
+    /// Panics if `perm` is not a permutation of `0..perm.len()`.
+    pub fn from_vec(perm: Vec<usize>) -> Self {
+        let n = perm.len();
+        let mut seen = vec![false; n];
+        for &p in &perm {
+            assert!(p < n, "permutation image {p} out of range 0..{n}");
+            assert!(!seen[p], "duplicate image {p} in permutation");
+            seen[p] = true;
+        }
+        Permutation { perm }
+    }
+
+    /// Like [`Permutation::from_vec`] but returns `None` instead of panicking.
+    pub fn try_from_vec(perm: Vec<usize>) -> Option<Self> {
+        let n = perm.len();
+        let mut seen = vec![false; n];
+        for &p in &perm {
+            if p >= n || seen[p] {
+                return None;
+            }
+            seen[p] = true;
+        }
+        Some(Permutation { perm })
+    }
+
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    pub fn is_identity(&self) -> bool {
+        self.perm.iter().enumerate().all(|(i, &p)| i == p)
+    }
+
+    /// The source index feeding destination `i`.
+    #[inline]
+    pub fn source_of(&self, i: usize) -> usize {
+        self.perm[i]
+    }
+
+    /// Image vector (gather indices).
+    #[inline]
+    pub fn as_slice(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Inverse permutation: `inv.source_of(self.source_of(i)) == i` ... more
+    /// precisely, applying `self` then `inverse` restores the original order.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0usize; self.perm.len()];
+        for (i, &p) in self.perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        Permutation { perm: inv }
+    }
+
+    /// Composition: applying the returned permutation is equivalent to
+    /// applying `self` first and then `after`.
+    pub fn then(&self, after: &Permutation) -> Permutation {
+        assert_eq!(self.len(), after.len());
+        let perm = after.perm.iter().map(|&i| self.perm[i]).collect();
+        Permutation { perm }
+    }
+
+    /// Applies the permutation to a slice, returning the gathered copy.
+    pub fn apply<T: Clone>(&self, data: &[T]) -> Vec<T> {
+        assert_eq!(data.len(), self.len());
+        self.perm.iter().map(|&i| data[i].clone()).collect()
+    }
+
+    /// Destination position of original element `i` (scatter view).
+    pub fn destination_of(&self, i: usize) -> usize {
+        // O(n) on purpose: only used in tests and diagnostics.
+        self.perm
+            .iter()
+            .position(|&p| p == i)
+            .expect("index within range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_identity() {
+        let p = Permutation::identity(5);
+        assert!(p.is_identity());
+        assert_eq!(p.apply(&[10, 11, 12, 13, 14]), vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn apply_gathers() {
+        let p = Permutation::from_vec(vec![2, 0, 1]);
+        assert_eq!(p.apply(&['a', 'b', 'c']), vec!['c', 'a', 'b']);
+    }
+
+    #[test]
+    fn inverse_restores_order() {
+        let p = Permutation::from_vec(vec![3, 1, 0, 2]);
+        let data = [5, 6, 7, 8];
+        let shuffled = p.apply(&data);
+        let restored = p.inverse().apply(&shuffled);
+        assert_eq!(restored, data.to_vec());
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let p = Permutation::from_vec(vec![1, 2, 0]);
+        let q = Permutation::from_vec(vec![2, 1, 0]);
+        let data = ['x', 'y', 'z'];
+        let seq = q.apply(&p.apply(&data));
+        let composed = p.then(&q).apply(&data);
+        assert_eq!(seq, composed);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate image")]
+    fn from_vec_rejects_duplicates() {
+        let _ = Permutation::from_vec(vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_vec_rejects_out_of_range() {
+        let _ = Permutation::from_vec(vec![0, 3, 1]);
+    }
+
+    #[test]
+    fn try_from_vec_returns_none_on_invalid() {
+        assert!(Permutation::try_from_vec(vec![0, 0]).is_none());
+        assert!(Permutation::try_from_vec(vec![5]).is_none());
+        assert!(Permutation::try_from_vec(vec![1, 0]).is_some());
+    }
+
+    #[test]
+    fn destination_of_is_inverse_of_source_of() {
+        let p = Permutation::from_vec(vec![3, 1, 0, 2]);
+        for i in 0..4 {
+            assert_eq!(p.source_of(p.destination_of(i)), i);
+        }
+    }
+}

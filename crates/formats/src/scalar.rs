@@ -1,0 +1,585 @@
+//! Low-precision scalar types and the [`Element`] trait used by every kernel.
+//!
+//! Tensor Cores operate on low-precision inputs (FP16, BF16, INT8) and
+//! accumulate in a wider type (FP32, INT32). This machine has no hardware
+//! half-precision path, so [`F16`] and [`Bf16`] are implemented in software
+//! with bit-exact IEEE 754 conversions (round-to-nearest-even), which is what
+//! makes the functional Tensor Core simulation in `smat-gpusim` numerically
+//! faithful to the PTX `mma` semantics.
+
+use core::fmt;
+use core::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Converts an `f32` bit pattern to an IEEE 754 binary16 bit pattern using
+/// round-to-nearest-even, matching the hardware `cvt.rn.f16.f32` behaviour.
+pub const fn f32_to_f16_bits(x: u32) -> u16 {
+    let sign = ((x >> 16) & 0x8000) as u16;
+    let exp32 = ((x >> 23) & 0xff) as i32;
+    let man32 = x & 0x007f_ffff;
+    if exp32 == 0xff {
+        if man32 == 0 {
+            return sign | 0x7c00; // infinity
+        }
+        return sign | 0x7e00; // quiet NaN
+    }
+    let e = exp32 - 127;
+    if e >= 16 {
+        return sign | 0x7c00; // overflow to infinity
+    }
+    if e >= -14 {
+        // Normal half-precision range.
+        let exp16 = (e + 15) as u32;
+        let man = man32 >> 13;
+        let rest = man32 & 0x1fff;
+        let mut h = (sign as u32) | (exp16 << 10) | man;
+        if rest > 0x1000 || (rest == 0x1000 && (man & 1) == 1) {
+            h += 1; // carry may roll into the exponent, which is correct
+        }
+        h as u16
+    } else if e >= -25 {
+        // Subnormal half-precision: unit is 2^-24.
+        let full = man32 | 0x0080_0000;
+        let shift = ((-14 - e) + 13) as u32;
+        let man = full >> shift;
+        let rest = full & ((1u32 << shift) - 1);
+        let half_point = 1u32 << (shift - 1);
+        let mut h = (sign as u32) | man;
+        if rest > half_point || (rest == half_point && (man & 1) == 1) {
+            h += 1;
+        }
+        h as u16
+    } else {
+        sign // underflow to (signed) zero
+    }
+}
+
+/// Converts an IEEE 754 binary16 bit pattern to the equivalent `f32` bit
+/// pattern. The conversion is exact (binary16 ⊂ binary32).
+pub const fn f16_bits_to_f32(h: u16) -> u32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = ((h >> 10) & 0x1f) as u32;
+    let man = (h & 0x3ff) as u32;
+    if exp == 0 {
+        if man == 0 {
+            return sign;
+        }
+        // Subnormal: value = man * 2^-24. Normalize into binary32.
+        let k = 31 - man.leading_zeros();
+        let exp32 = k + 103; // (k - 24) + 127
+        let man32 = (man ^ (1 << k)) << (23 - k);
+        return sign | (exp32 << 23) | man32;
+    }
+    if exp == 0x1f {
+        return sign | 0x7f80_0000 | (man << 13);
+    }
+    sign | ((exp + 112) << 23) | (man << 13)
+}
+
+/// Converts an `f32` bit pattern to bfloat16 with round-to-nearest-even.
+pub const fn f32_to_bf16_bits(x: u32) -> u16 {
+    if (x & 0x7fff_ffff) > 0x7f80_0000 {
+        // NaN: keep it a NaN after truncation.
+        return ((x >> 16) as u16) | 0x0040;
+    }
+    let rest = x & 0xffff;
+    let mut h = x >> 16;
+    if rest > 0x8000 || (rest == 0x8000 && (h & 1) == 1) {
+        h += 1;
+    }
+    h as u16
+}
+
+/// Half-precision IEEE 754 binary16 value stored as raw bits.
+#[derive(Copy, Clone, Default)]
+#[repr(transparent)]
+pub struct F16(pub u16);
+
+/// bfloat16 value stored as raw bits (the high 16 bits of an `f32`).
+#[derive(Copy, Clone, Default)]
+#[repr(transparent)]
+pub struct Bf16(pub u16);
+
+impl F16 {
+    pub const ZERO: F16 = F16(0);
+    pub const ONE: F16 = F16(0x3c00);
+    /// Largest finite binary16 value, 65504.
+    pub const MAX: F16 = F16(0x7bff);
+    /// Machine epsilon of binary16, 2^-10.
+    pub const EPSILON: F16 = F16(0x1400);
+
+    #[inline]
+    pub fn from_f32(v: f32) -> F16 {
+        F16(f32_to_f16_bits(v.to_bits()))
+    }
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits(f16_bits_to_f32(self.0))
+    }
+    #[inline]
+    pub fn from_bits(bits: u16) -> F16 {
+        F16(bits)
+    }
+    #[inline]
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7fff) > 0x7c00
+    }
+    #[inline]
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7fff) == 0x7c00
+    }
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7c00) != 0x7c00
+    }
+}
+
+impl Bf16 {
+    pub const ZERO: Bf16 = Bf16(0);
+    pub const ONE: Bf16 = Bf16(0x3f80);
+
+    #[inline]
+    pub fn from_f32(v: f32) -> Bf16 {
+        Bf16(f32_to_bf16_bits(v.to_bits()))
+    }
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+    #[inline]
+    pub fn from_bits(bits: u16) -> Bf16 {
+        Bf16(bits)
+    }
+    #[inline]
+    pub fn to_bits(self) -> u16 {
+        self.0
+    }
+    #[inline]
+    pub fn is_nan(self) -> bool {
+        self.to_f32().is_nan()
+    }
+}
+
+macro_rules! float_like_ops {
+    ($t:ty) => {
+        impl Add for $t {
+            type Output = $t;
+            #[inline]
+            fn add(self, rhs: $t) -> $t {
+                <$t>::from_f32(self.to_f32() + rhs.to_f32())
+            }
+        }
+        impl Sub for $t {
+            type Output = $t;
+            #[inline]
+            fn sub(self, rhs: $t) -> $t {
+                <$t>::from_f32(self.to_f32() - rhs.to_f32())
+            }
+        }
+        impl Mul for $t {
+            type Output = $t;
+            #[inline]
+            fn mul(self, rhs: $t) -> $t {
+                <$t>::from_f32(self.to_f32() * rhs.to_f32())
+            }
+        }
+        impl Div for $t {
+            type Output = $t;
+            #[inline]
+            fn div(self, rhs: $t) -> $t {
+                <$t>::from_f32(self.to_f32() / rhs.to_f32())
+            }
+        }
+        impl Neg for $t {
+            type Output = $t;
+            #[inline]
+            fn neg(self) -> $t {
+                <$t>::from_bits(self.to_bits() ^ 0x8000)
+            }
+        }
+        impl PartialEq for $t {
+            /// IEEE float equality: `-0 == +0`, `NaN != NaN` (compare
+            /// [`Self::to_bits`] for representation identity).
+            #[inline]
+            fn eq(&self, other: &$t) -> bool {
+                self.to_f32() == other.to_f32()
+            }
+        }
+        impl PartialOrd for $t {
+            #[inline]
+            fn partial_cmp(&self, other: &$t) -> Option<core::cmp::Ordering> {
+                self.to_f32().partial_cmp(&other.to_f32())
+            }
+        }
+        impl fmt::Debug for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.to_f32())
+            }
+        }
+        impl fmt::Display for $t {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", self.to_f32())
+            }
+        }
+        impl From<f32> for $t {
+            #[inline]
+            fn from(v: f32) -> $t {
+                <$t>::from_f32(v)
+            }
+        }
+        impl From<$t> for f32 {
+            #[inline]
+            fn from(v: $t) -> f32 {
+                v.to_f32()
+            }
+        }
+    };
+}
+
+float_like_ops!(F16);
+float_like_ops!(Bf16);
+
+/// An element type usable as matrix storage in every kernel of this
+/// workspace, together with its Tensor Core accumulator type.
+///
+/// The `mul_acc` contract mirrors the MMA unit: products and the running sum
+/// along the K dimension are computed in the accumulator precision, and the
+/// result is only rounded back to `Self` when the fragment is stored.
+pub trait Element:
+    Copy + Clone + Send + Sync + PartialEq + fmt::Debug + Default + 'static
+{
+    /// Accumulator type of the MMA unit for this input type.
+    type Accum: Copy
+        + Clone
+        + Send
+        + Sync
+        + PartialEq
+        + fmt::Debug
+        + Default
+        + 'static;
+
+    /// Name used in experiment records ("f16", "bf16", "f32", "i8").
+    const NAME: &'static str;
+    /// Storage size in bytes, used by the memory-traffic cost model.
+    const BYTES: usize;
+
+    fn zero() -> Self;
+    fn is_zero(&self) -> bool;
+    /// Lossy conversion from `f64`; generators produce values representable
+    /// exactly in every supported precision to keep tests exact.
+    fn from_f64(v: f64) -> Self;
+    fn to_f64(self) -> f64;
+
+    fn accum_zero() -> Self::Accum;
+    /// One fused multiply-add step in accumulator precision.
+    fn mul_acc(acc: Self::Accum, a: Self, b: Self) -> Self::Accum;
+    /// Adds two accumulator values in accumulator precision (the hardware
+    /// cross-fragment combine, e.g. atomics merging partial sums).
+    fn accum_add(a: Self::Accum, b: Self::Accum) -> Self::Accum;
+    fn accum_to_f64(acc: Self::Accum) -> f64;
+    /// Round an accumulator back to the storage type (fragment store).
+    fn from_accum(acc: Self::Accum) -> Self;
+}
+
+impl Element for f32 {
+    type Accum = f32;
+    const NAME: &'static str = "f32";
+    const BYTES: usize = 4;
+
+    fn zero() -> Self {
+        0.0
+    }
+    fn is_zero(&self) -> bool {
+        *self == 0.0
+    }
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn accum_zero() -> f32 {
+        0.0
+    }
+    #[inline]
+    fn mul_acc(acc: f32, a: f32, b: f32) -> f32 {
+        acc + a * b
+    }
+    #[inline]
+    fn accum_add(a: f32, b: f32) -> f32 {
+        a + b
+    }
+    fn accum_to_f64(acc: f32) -> f64 {
+        acc as f64
+    }
+    fn from_accum(acc: f32) -> f32 {
+        acc
+    }
+}
+
+impl Element for F16 {
+    type Accum = f32;
+    const NAME: &'static str = "f16";
+    const BYTES: usize = 2;
+
+    fn zero() -> Self {
+        F16::ZERO
+    }
+    fn is_zero(&self) -> bool {
+        (self.0 & 0x7fff) == 0
+    }
+    fn from_f64(v: f64) -> Self {
+        F16::from_f32(v as f32)
+    }
+    fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+    fn accum_zero() -> f32 {
+        0.0
+    }
+    #[inline]
+    fn mul_acc(acc: f32, a: F16, b: F16) -> f32 {
+        acc + a.to_f32() * b.to_f32()
+    }
+    #[inline]
+    fn accum_add(a: f32, b: f32) -> f32 {
+        a + b
+    }
+    fn accum_to_f64(acc: f32) -> f64 {
+        acc as f64
+    }
+    fn from_accum(acc: f32) -> F16 {
+        F16::from_f32(acc)
+    }
+}
+
+impl Element for Bf16 {
+    type Accum = f32;
+    const NAME: &'static str = "bf16";
+    const BYTES: usize = 2;
+
+    fn zero() -> Self {
+        Bf16::ZERO
+    }
+    fn is_zero(&self) -> bool {
+        (self.0 & 0x7fff) == 0
+    }
+    fn from_f64(v: f64) -> Self {
+        Bf16::from_f32(v as f32)
+    }
+    fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+    fn accum_zero() -> f32 {
+        0.0
+    }
+    #[inline]
+    fn mul_acc(acc: f32, a: Bf16, b: Bf16) -> f32 {
+        acc + a.to_f32() * b.to_f32()
+    }
+    #[inline]
+    fn accum_add(a: f32, b: f32) -> f32 {
+        a + b
+    }
+    fn accum_to_f64(acc: f32) -> f64 {
+        acc as f64
+    }
+    fn from_accum(acc: f32) -> Bf16 {
+        Bf16::from_f32(acc)
+    }
+}
+
+impl Element for i8 {
+    type Accum = i32;
+    const NAME: &'static str = "i8";
+    const BYTES: usize = 1;
+
+    fn zero() -> Self {
+        0
+    }
+    fn is_zero(&self) -> bool {
+        *self == 0
+    }
+    fn from_f64(v: f64) -> Self {
+        v.clamp(i8::MIN as f64, i8::MAX as f64) as i8
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn accum_zero() -> i32 {
+        0
+    }
+    #[inline]
+    fn mul_acc(acc: i32, a: i8, b: i8) -> i32 {
+        acc.wrapping_add((a as i32) * (b as i32))
+    }
+    #[inline]
+    fn accum_add(a: i32, b: i32) -> i32 {
+        a.wrapping_add(b)
+    }
+    fn accum_to_f64(acc: i32) -> f64 {
+        acc as f64
+    }
+    fn from_accum(acc: i32) -> i8 {
+        acc.clamp(i8::MIN as i32, i8::MAX as i32) as i8
+    }
+}
+
+/// INT16 element as used by Magicube's mixed-precision int16 path.
+impl Element for i16 {
+    type Accum = i32;
+    const NAME: &'static str = "i16";
+    const BYTES: usize = 2;
+
+    fn zero() -> Self {
+        0
+    }
+    fn is_zero(&self) -> bool {
+        *self == 0
+    }
+    fn from_f64(v: f64) -> Self {
+        v.clamp(i16::MIN as f64, i16::MAX as f64) as i16
+    }
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    fn accum_zero() -> i32 {
+        0
+    }
+    #[inline]
+    fn mul_acc(acc: i32, a: i16, b: i16) -> i32 {
+        acc.wrapping_add((a as i32) * (b as i32))
+    }
+    #[inline]
+    fn accum_add(a: i32, b: i32) -> i32 {
+        a.wrapping_add(b)
+    }
+    fn accum_to_f64(acc: i32) -> f64 {
+        acc as f64
+    }
+    fn from_accum(acc: i32) -> i16 {
+        acc.clamp(i16::MIN as i32, i16::MAX as i32) as i16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_roundtrip_exact_values() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.333_251_95] {
+            let h = F16::from_f32(v);
+            assert_eq!(h.to_f32(), v, "value {v} should be exactly representable");
+        }
+    }
+
+    #[test]
+    fn f16_one_has_canonical_bits() {
+        assert_eq!(F16::from_f32(1.0).to_bits(), 0x3c00);
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+    }
+
+    #[test]
+    fn f16_overflow_to_infinity() {
+        assert!(F16::from_f32(1.0e6).is_infinite());
+        assert!(F16::from_f32(-1.0e6).is_infinite());
+        assert_eq!(F16::from_f32(1.0e6).to_f32(), f32::INFINITY);
+    }
+
+    #[test]
+    fn f16_underflow_to_zero() {
+        let tiny = F16::from_f32(1.0e-10);
+        assert!(tiny.is_zero());
+        let neg_tiny = F16::from_f32(-1.0e-10);
+        assert_eq!(neg_tiny.to_bits(), 0x8000, "sign of zero is preserved");
+    }
+
+    #[test]
+    fn f16_subnormals() {
+        // Smallest positive subnormal is 2^-24.
+        let s = F16::from_f32(2.0f32.powi(-24));
+        assert_eq!(s.to_bits(), 0x0001);
+        assert_eq!(s.to_f32(), 2.0f32.powi(-24));
+        // Largest subnormal: (1023/1024) * 2^-14.
+        let l = F16::from_bits(0x03ff);
+        assert_eq!(l.to_f32(), 1023.0 / 1024.0 * 2.0f32.powi(-14));
+    }
+
+    #[test]
+    fn f16_round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1 and 1+2^-10: rounds to even (1).
+        let v = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(v).to_bits(), 0x3c00);
+        // 1 + 3*2^-11 is halfway between 1+2^-10 and 1+2^-9: rounds to even (1+2^-9).
+        let v = 1.0 + 3.0 * 2.0f32.powi(-11);
+        assert_eq!(F16::from_f32(v).to_bits(), 0x3c02);
+        // Just above halfway must round up.
+        let v = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(F16::from_f32(v).to_bits(), 0x3c01);
+    }
+
+    #[test]
+    fn f16_nan_propagates() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn f16_arithmetic_rounds() {
+        // 2048 + 1 is not representable in binary16 (needs 12 mantissa bits);
+        // RNE keeps it at 2048.
+        let a = F16::from_f32(2048.0);
+        let b = F16::from_f32(1.0);
+        assert_eq!((a + b).to_f32(), 2048.0);
+        // 2048 + 2 is representable.
+        let c = F16::from_f32(2.0);
+        assert_eq!((a + c).to_f32(), 2050.0);
+    }
+
+    #[test]
+    fn f16_neg_flips_sign_bit_only() {
+        let a = F16::from_f32(1.5);
+        assert_eq!((-a).to_f32(), -1.5);
+        assert_eq!((-(-a)).to_bits(), a.to_bits());
+    }
+
+    #[test]
+    fn bf16_roundtrip_and_rounding() {
+        assert_eq!(Bf16::from_f32(1.0).to_bits(), 0x3f80);
+        assert_eq!(Bf16::from_f32(1.0).to_f32(), 1.0);
+        // The ulp of 1.0 in bf16 is 2^-7, so 1 + 2^-8 is exactly halfway
+        // between 1 and the next value: ties-to-even keeps the even (1.0).
+        let v = 1.0 + 2.0f32.powi(-8);
+        assert_eq!(Bf16::from_f32(v).to_bits(), 0x3f80, "ties to even");
+        // Just above halfway rounds up.
+        let v = 1.0 + 2.0f32.powi(-8) + 2.0f32.powi(-16);
+        assert_eq!(Bf16::from_f32(v).to_bits(), 0x3f81);
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        // bf16 keeps f32's range: 1e38 stays finite.
+        assert!(Bf16::from_f32(1.0e38).to_f32().is_finite());
+    }
+
+    #[test]
+    fn element_trait_i8_saturates_on_store() {
+        let acc = i8::mul_acc(0, 100, 100);
+        assert_eq!(acc, 10_000);
+        assert_eq!(<i8 as Element>::from_accum(acc), 127);
+        assert_eq!(<i8 as Element>::from_accum(-10_000), -128);
+    }
+
+    #[test]
+    fn element_trait_roundtrips_small_integers() {
+        // Small integers are exact in every precision, which is what the
+        // workload generators rely on for exact cross-kernel comparisons.
+        for v in -32..=32 {
+            let v = v as f64 * 0.5;
+            assert_eq!(F16::from_f64(v).to_f64(), v);
+            assert_eq!(Bf16::from_f64(v).to_f64(), v);
+            assert_eq!(<f32 as Element>::from_f64(v).to_f64(), v);
+        }
+    }
+}

@@ -1,0 +1,317 @@
+//! SR-BCRS (Strided Row-major Blocked CRS): the storage format of Magicube
+//! (Li et al., SC'22), re-implemented as the substrate for the Magicube
+//! baseline.
+//!
+//! The matrix is split into row panels of height `vec_len` (the column-vector
+//! length). For every column where a panel has at least one nonzero, the full
+//! `vec_len×1` column vector is stored densely. Vectors within a panel are
+//! grouped into *strides* of `stride` vectors; if the vector count of a panel
+//! is not a multiple of the stride, explicit **zero vectors are padded for
+//! the last stride** — this stride padding is what blows up Magicube's memory
+//! footprint on large unstructured matrices (§VI-B of the SMaT paper, and the
+//! simulated OOMs in the baseline).
+
+use crate::csr::Csr;
+use crate::dense::Dense;
+use crate::scalar::Element;
+
+/// Sparse matrix in SR-BCRS layout.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SrBcrs<T> {
+    nrows: usize,
+    ncols: usize,
+    vec_len: usize,
+    stride: usize,
+    /// Offsets into `col_idx` per row panel (in vectors, including padding).
+    panel_ptr: Vec<usize>,
+    /// Column index of each stored vector; `usize::MAX` marks a padded zero
+    /// vector.
+    col_idx: Vec<usize>,
+    /// Vector payloads: `vec_len` consecutive values per vector, stored
+    /// stride-wise row-major: within one stride, value `r` of all `stride`
+    /// vectors are contiguous.
+    values: Vec<T>,
+    nnz: usize,
+}
+
+/// Column index marker for padded zero vectors.
+pub const PAD_COL: usize = usize::MAX;
+
+impl<T: Element> SrBcrs<T> {
+    /// Converts from CSR with the given vector length and stride.
+    ///
+    /// # Panics
+    /// Panics if `vec_len` or `stride` is zero.
+    pub fn from_csr(csr: &Csr<T>, vec_len: usize, stride: usize) -> Self {
+        assert!(vec_len > 0 && stride > 0, "vec_len and stride must be nonzero");
+        let nrows = csr.nrows();
+        let ncols = csr.ncols();
+        let npanels = nrows.div_ceil(vec_len);
+
+        let mut panel_ptr = Vec::with_capacity(npanels + 1);
+        panel_ptr.push(0usize);
+        let mut col_idx: Vec<usize> = Vec::new();
+        let mut values: Vec<T> = Vec::new();
+        let mut present: Vec<usize> = Vec::new();
+
+        for p in 0..npanels {
+            let row_lo = p * vec_len;
+            let row_hi = (row_lo + vec_len).min(nrows);
+
+            present.clear();
+            for r in row_lo..row_hi {
+                present.extend_from_slice(csr.row_cols(r));
+            }
+            present.sort_unstable();
+            present.dedup();
+
+            let nvec = present.len();
+            let padded = nvec.div_ceil(stride) * stride;
+            let first_vec = col_idx.len();
+            col_idx.extend_from_slice(&present);
+            col_idx.resize(first_vec + padded, PAD_COL);
+
+            // Stride-wise row-major payload: for each stride group, for each
+            // in-vector row r, the r-th element of all `stride` vectors.
+            let base = values.len();
+            values.resize(base + padded * vec_len, T::zero());
+            for (v, &c) in present.iter().enumerate() {
+                let group = v / stride;
+                let lane = v % stride;
+                for r in row_lo..row_hi {
+                    if let Some(val) = csr.get(r, c) {
+                        if !val.is_zero() {
+                            let lr = r - row_lo;
+                            let off =
+                                base + group * stride * vec_len + lr * stride + lane;
+                            values[off] = val;
+                        }
+                    }
+                }
+            }
+            panel_ptr.push(col_idx.len());
+        }
+
+        SrBcrs {
+            nrows,
+            ncols,
+            vec_len,
+            stride,
+            panel_ptr,
+            col_idx,
+            values,
+            nnz: csr.nnz(),
+        }
+    }
+
+    #[inline]
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+    #[inline]
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+    #[inline]
+    pub fn vec_len(&self) -> usize {
+        self.vec_len
+    }
+    #[inline]
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+    #[inline]
+    pub fn npanels(&self) -> usize {
+        self.panel_ptr.len() - 1
+    }
+    /// Stored vectors including stride padding.
+    #[inline]
+    pub fn nvectors(&self) -> usize {
+        self.col_idx.len()
+    }
+    /// Stored vectors that carry data (excluding padded zero vectors).
+    pub fn nvectors_real(&self) -> usize {
+        self.col_idx.iter().filter(|&&c| c != PAD_COL).count()
+    }
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+    #[inline]
+    pub fn panel_ptr(&self) -> &[usize] {
+        &self.panel_ptr
+    }
+    #[inline]
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// Vectors (including padding) in panel `p`.
+    #[inline]
+    pub fn vectors_in_panel(&self, p: usize) -> usize {
+        self.panel_ptr[p + 1] - self.panel_ptr[p]
+    }
+
+    /// Element `lr` of vector `v` (global vector index), decoding the
+    /// stride-wise layout.
+    #[inline]
+    pub fn vector_element(&self, panel: usize, v_local: usize, lr: usize) -> T {
+        let panel_base_vec = self.panel_ptr[panel];
+        let group = v_local / self.stride;
+        let lane = v_local % self.stride;
+        let off = (panel_base_vec + group * self.stride) * self.vec_len
+            + lr * self.stride
+            + lane;
+        self.values[off]
+    }
+
+    /// Total payload bytes including stride padding — the footprint that
+    /// makes Magicube run out of memory on large matrices.
+    pub fn payload_bytes(&self) -> usize {
+        self.values.len() * T::BYTES
+    }
+
+    pub fn index_bytes(&self) -> usize {
+        (self.panel_ptr.len() + self.col_idx.len()) * 4
+    }
+
+    /// Explicitly stored zeros (in-vector padding + padded zero vectors).
+    pub fn padding(&self) -> usize {
+        self.nvectors() * self.vec_len - self.nnz
+    }
+
+    /// Reconstructs CSR (drops all padding).
+    pub fn to_csr(&self) -> Csr<T> {
+        let mut coo = crate::coo::Coo::with_capacity(self.nrows, self.ncols, self.nnz);
+        for p in 0..self.npanels() {
+            let row_lo = p * self.vec_len;
+            for v in 0..self.vectors_in_panel(p) {
+                let c = self.col_idx[self.panel_ptr[p] + v];
+                if c == PAD_COL {
+                    continue;
+                }
+                for lr in 0..self.vec_len {
+                    let r = row_lo + lr;
+                    if r >= self.nrows {
+                        break;
+                    }
+                    let val = self.vector_element(p, v, lr);
+                    if !val.is_zero() {
+                        coo.push(r, c, val);
+                    }
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Exact reference SpMM over the SR-BCRS structure (f64 accumulation).
+    pub fn spmm_reference(&self, b: &Dense<T>) -> Dense<T> {
+        assert_eq!(self.ncols, b.nrows(), "inner dimensions must match");
+        let n = b.ncols();
+        let mut out64 = vec![0f64; self.nrows * n];
+        for p in 0..self.npanels() {
+            let row_lo = p * self.vec_len;
+            for v in 0..self.vectors_in_panel(p) {
+                let c = self.col_idx[self.panel_ptr[p] + v];
+                if c == PAD_COL {
+                    continue;
+                }
+                let brow = b.row(c);
+                for lr in 0..self.vec_len {
+                    let r = row_lo + lr;
+                    if r >= self.nrows {
+                        break;
+                    }
+                    let a = self.vector_element(p, v, lr).to_f64();
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut out64[r * n..(r + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += a * bv.to_f64();
+                    }
+                }
+            }
+        }
+        Dense::from_vec(self.nrows, n, out64.into_iter().map(T::from_f64).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn sample() -> Csr<f32> {
+        let mut coo = Coo::new(6, 8);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 0, 2.0);
+        coo.push(0, 3, 3.0);
+        coo.push(2, 5, 4.0);
+        coo.push(5, 7, 5.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn panel_and_vector_counts() {
+        let m = sample();
+        let s = SrBcrs::from_csr(&m, 2, 2);
+        // Panels (height 2): p0 rows 0-1 cols {0,3}; p1 rows 2-3 cols {5};
+        // p2 rows 4-5 cols {7}. Stride 2 pads p1 and p2 to 2 vectors each.
+        assert_eq!(s.npanels(), 3);
+        assert_eq!(s.nvectors(), 6);
+        assert_eq!(s.nvectors_real(), 4);
+        assert_eq!(s.padding(), 6 * 2 - 5);
+    }
+
+    #[test]
+    fn stride_wise_layout_decodes() {
+        let m = sample();
+        let s = SrBcrs::from_csr(&m, 2, 2);
+        // Panel 0, vector 0 is column 0: elements (row0,row1) = (1, 2).
+        assert_eq!(s.vector_element(0, 0, 0), 1.0);
+        assert_eq!(s.vector_element(0, 0, 1), 2.0);
+        // Panel 0, vector 1 is column 3: (3, 0).
+        assert_eq!(s.vector_element(0, 1, 0), 3.0);
+        assert_eq!(s.vector_element(0, 1, 1), 0.0);
+    }
+
+    #[test]
+    fn csr_roundtrip() {
+        let m = sample();
+        for (v, st) in [(1, 1), (2, 2), (4, 2), (8, 4), (3, 5)] {
+            let s = SrBcrs::from_csr(&m, v, st);
+            assert_eq!(s.to_csr(), m, "roundtrip failed for vec_len={v} stride={st}");
+        }
+    }
+
+    #[test]
+    fn spmm_reference_matches_csr() {
+        let m = sample();
+        let b = Dense::from_fn(8, 3, |i, j| ((i * 3 + j) % 5) as f32 - 2.0);
+        let want = m.spmm_reference(&b);
+        for (v, st) in [(2, 2), (4, 4), (8, 2)] {
+            let s = SrBcrs::from_csr(&m, v, st);
+            assert_eq!(s.spmm_reference(&b), want);
+        }
+    }
+
+    #[test]
+    fn stride_padding_grows_footprint() {
+        let m = sample();
+        let tight = SrBcrs::from_csr(&m, 2, 1);
+        let padded = SrBcrs::from_csr(&m, 2, 8);
+        assert!(padded.payload_bytes() > tight.payload_bytes());
+        assert_eq!(tight.nvectors(), tight.nvectors_real());
+    }
+
+    #[test]
+    fn vectors_per_panel_multiple_of_stride() {
+        let m = sample();
+        let s = SrBcrs::from_csr(&m, 2, 4);
+        for p in 0..s.npanels() {
+            assert_eq!(s.vectors_in_panel(p) % 4, 0);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Instruction and memory-traffic counters accumulated by simulated kernels.
+
+use serde::Serialize;
+
+/// Per-warp (and, summed, per-kernel) activity counters. Every simulated
+/// kernel records *what it did*; `timing.rs` turns the counts into cycles
+/// using the device constants.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct Counters {
+    /// Tensor Core MMA warp instructions.
+    pub mma: u64,
+    /// CUDA-core FMA warp instructions (32 lanes each).
+    pub fma: u64,
+    /// `ldmatrix` warp instructions.
+    pub ldmatrix: u64,
+    /// 128-byte shared-memory transactions, bank conflicts already expanded.
+    pub shared_tx: u64,
+    /// Global memory traffic in bytes, sector-rounded.
+    pub global_bytes: u64,
+    /// Dependent global load rounds: each round exposes one global latency
+    /// unless hidden by async copy / occupancy.
+    pub global_rounds: u64,
+    /// Generic ALU warp instructions (indexing, predicates, loop control).
+    pub alu: u64,
+    /// Useful floating-point operations (2·nnz·N for SpMM), set by the
+    /// kernel for GFLOP/s reporting. Padding FLOP are *not* useful.
+    pub flop_useful: u64,
+}
+
+impl Counters {
+    /// Element-wise sum.
+    pub fn add(&mut self, other: &Counters) {
+        self.mma += other.mma;
+        self.fma += other.fma;
+        self.ldmatrix += other.ldmatrix;
+        self.shared_tx += other.shared_tx;
+        self.global_bytes += other.global_bytes;
+        self.global_rounds += other.global_rounds;
+        self.alu += other.alu;
+        self.flop_useful += other.flop_useful;
+    }
+
+    /// Total FLOP actually executed on Tensor Cores assuming `flop_per_mma`
+    /// per instruction (includes padding work).
+    pub fn tc_flop(&self, flop_per_mma: u64) -> u64 {
+        self.mma * flop_per_mma
+    }
+}
+
+/// Computes the number of shared-memory transactions needed by one warp-wide
+/// access, given the 32 per-lane byte addresses.
+///
+/// A100 shared memory has 32 banks of 4-byte words. Lanes hitting different
+/// words in the same bank serialize into extra transactions; lanes reading
+/// the same word broadcast in one. The result is the maximum, over banks, of
+/// the number of distinct words addressed in that bank (minimum 1 for any
+/// non-empty access).
+pub fn shared_transactions(addrs: &[u64]) -> u64 {
+    if addrs.is_empty() {
+        return 0;
+    }
+    // 32 banks; collect distinct word addresses per bank.
+    let mut per_bank: [Vec<u64>; 32] = core::array::from_fn(|_| Vec::new());
+    for &a in addrs {
+        let word = a / 4;
+        let bank = (word % 32) as usize;
+        if !per_bank[bank].contains(&word) {
+            per_bank[bank].push(word);
+        }
+    }
+    per_bank.iter().map(|v| v.len() as u64).max().unwrap_or(0).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_sums_fields() {
+        let mut a = Counters {
+            mma: 1,
+            fma: 2,
+            global_bytes: 100,
+            ..Default::default()
+        };
+        let b = Counters {
+            mma: 3,
+            shared_tx: 5,
+            global_bytes: 28,
+            ..Default::default()
+        };
+        a.add(&b);
+        assert_eq!(a.mma, 4);
+        assert_eq!(a.fma, 2);
+        assert_eq!(a.shared_tx, 5);
+        assert_eq!(a.global_bytes, 128);
+    }
+
+    #[test]
+    fn conflict_free_stride_4_is_one_transaction() {
+        // 32 lanes reading consecutive 4-byte words: one word per bank.
+        let addrs: Vec<u64> = (0..32).map(|l| l * 4).collect();
+        assert_eq!(shared_transactions(&addrs), 1);
+    }
+
+    #[test]
+    fn same_word_broadcast_is_one_transaction() {
+        let addrs = vec![64u64; 32];
+        assert_eq!(shared_transactions(&addrs), 1);
+    }
+
+    #[test]
+    fn stride_128_bytes_is_32_way_conflict() {
+        // All lanes hit bank 0 with distinct words: fully serialized.
+        let addrs: Vec<u64> = (0..32).map(|l| l * 128).collect();
+        assert_eq!(shared_transactions(&addrs), 32);
+    }
+
+    #[test]
+    fn two_way_conflict() {
+        // Lanes 0..16 words 0..16, lanes 16..32 words 32..48: each bank gets
+        // two distinct words.
+        let addrs: Vec<u64> = (0..32)
+            .map(|l| if l < 16 { l * 4 } else { (l - 16) * 4 + 32 * 4 })
+            .collect();
+        assert_eq!(shared_transactions(&addrs), 2);
+    }
+
+    #[test]
+    fn half_warp_access_is_still_one_transaction() {
+        let addrs: Vec<u64> = (0..16).map(|l| l * 4).collect();
+        assert_eq!(shared_transactions(&addrs), 1);
+    }
+
+    #[test]
+    fn tc_flop_counts_padding_work() {
+        let c = Counters {
+            mma: 10,
+            flop_useful: 1000,
+            ..Default::default()
+        };
+        assert_eq!(c.tc_flop(4096), 40_960);
+        assert!(c.tc_flop(4096) > c.flop_useful);
+    }
+}

@@ -1,0 +1,224 @@
+//! Device model: the hardware parameters of the simulated GPU.
+//!
+//! Defaults describe the NVIDIA A100-SXM4-40GB used in the paper's
+//! evaluation (§V-B), with per-cycle capacities derived from public
+//! datasheet numbers. All timing produced by the simulator is an analytical
+//! function of these constants and of the instruction/byte counters the
+//! kernels accumulate — see `engine.rs` for the composition.
+
+use serde::Serialize;
+
+/// Hardware parameters of the simulated device.
+///
+/// Derivations for the A100-SXM4-40GB defaults:
+///
+/// * 108 SMs at 1.410 GHz.
+/// * Dense FP16 Tensor Core peak 312 TFLOP/s. One `mma.m16n8k16` performs
+///   16·8·16·2 = 4096 FLOP, so peak corresponds to one MMA per SM every
+///   `4096 · 108 · 1.41e9 / 312e12 ≈ 2` cycles → [`cycles_per_mma`] = 2.
+/// * FP32 CUDA-core peak 19.5 TFLOP/s with 64 FP32 lanes per SM: a 32-lane
+///   warp FMA (64 FLOP) retires every 0.5 cycles → [`cycles_per_warp_fma`].
+/// * HBM2 bandwidth 1555 GB/s → `1555e9 / (108 · 1.41e9) ≈ 10.2` bytes per
+///   SM-cycle → [`global_bytes_per_cycle`].
+/// * Shared memory: 32 banks × 4 B per cycle → one 128 B warp transaction
+///   per cycle.
+/// * Global load latency ≈ 400 cycles (microbenchmarked on Ampere in
+///   Abdelkhalik et al., HPEC'22 — reference 2 of the paper).
+///
+/// [`cycles_per_mma`]: DeviceConfig::cycles_per_mma
+/// [`cycles_per_warp_fma`]: DeviceConfig::cycles_per_warp_fma
+/// [`global_bytes_per_cycle`]: DeviceConfig::global_bytes_per_cycle
+#[derive(Clone, Debug, Serialize)]
+pub struct DeviceConfig {
+    /// Human-readable device name, recorded in experiment output.
+    pub name: &'static str,
+    /// Number of streaming multiprocessors.
+    pub num_sms: usize,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+    /// Warp width in lanes.
+    pub warp_size: usize,
+    /// Warp schedulers per SM (concurrent instruction issue slots).
+    pub schedulers_per_sm: usize,
+    /// Maximum warps resident per SM (occupancy ceiling).
+    pub max_resident_warps: usize,
+    /// Device memory capacity in bytes (40 GB HBM2); exceeding it makes a
+    /// launch fail with a simulated out-of-memory error, which is how the
+    /// Magicube baseline reproduces its real-world OOMs.
+    pub global_mem_bytes: usize,
+    /// Shared memory per SM in bytes (configurable up to 164 KB on A100).
+    pub shared_mem_per_sm: usize,
+
+    // --- throughput (SM-cycles per warp instruction / per byte) ---
+    /// SM-cycles per Tensor Core MMA warp instruction (m16n8k16 class).
+    pub cycles_per_mma: f64,
+    /// SM-cycles per 32-lane CUDA-core FMA warp instruction.
+    pub cycles_per_warp_fma: f64,
+    /// SM-cycles per `ldmatrix` warp instruction.
+    pub cycles_per_ldmatrix: f64,
+    /// SM-cycles per 128-byte shared memory transaction (bank-conflict-free).
+    pub cycles_per_shared_tx: f64,
+    /// SM-cycles per generic ALU warp instruction (index arithmetic,
+    /// predicate evaluation, loop control).
+    pub cycles_per_alu: f64,
+    /// Sustained global memory bytes per SM per cycle.
+    pub global_bytes_per_cycle: f64,
+    /// Minimum granularity of a global memory access in bytes (one sector):
+    /// scattered gathers are rounded up to whole sectors.
+    pub sector_bytes: usize,
+
+    // --- latency ---
+    /// Global memory load latency in cycles.
+    pub global_latency: f64,
+    /// Kernel launch + finalization overhead in cycles (the `T_init` of the
+    /// paper's performance model, Eq. (1)).
+    pub launch_overhead_cycles: f64,
+}
+
+impl DeviceConfig {
+    /// The NVIDIA A100-SXM4-40GB model used throughout the evaluation.
+    pub fn a100_sxm4_40gb() -> Self {
+        DeviceConfig {
+            name: "A100-SXM4-40GB (simulated)",
+            num_sms: 108,
+            clock_ghz: 1.41,
+            warp_size: 32,
+            schedulers_per_sm: 4,
+            max_resident_warps: 64,
+            global_mem_bytes: 40 * 1024 * 1024 * 1024,
+            shared_mem_per_sm: 164 * 1024,
+            cycles_per_mma: 2.0,
+            cycles_per_warp_fma: 0.5,
+            cycles_per_ldmatrix: 1.0,
+            cycles_per_shared_tx: 1.0,
+            cycles_per_alu: 0.25,
+            global_bytes_per_cycle: 10.2,
+            sector_bytes: 32,
+            global_latency: 400.0,
+            launch_overhead_cycles: 4000.0,
+        }
+    }
+
+    /// The NVIDIA H100-SXM5-80GB: 132 SMs at 1.98 GHz, 989 TFLOP/s dense
+    /// FP16 Tensor Core peak (one `mma.m16n8k16` per SM per
+    /// `4096·132·1.98e9/989e12 ≈ 1.08` cycles), 3.35 TB/s HBM3
+    /// (`≈ 12.8` B/SM-cycle), 228 KB shared memory per SM. Used by the
+    /// device-sensitivity experiment to check that the model's conclusions
+    /// are not A100 artifacts.
+    pub fn h100_sxm5_80gb() -> Self {
+        DeviceConfig {
+            name: "H100-SXM5-80GB (simulated)",
+            num_sms: 132,
+            clock_ghz: 1.98,
+            global_mem_bytes: 80 * 1024 * 1024 * 1024,
+            shared_mem_per_sm: 228 * 1024,
+            cycles_per_mma: 1.08,
+            global_bytes_per_cycle: 12.8,
+            ..Self::a100_sxm4_40gb()
+        }
+    }
+
+    /// A deliberately tiny device (2 SMs, 1 MB of memory) used by tests to
+    /// exercise occupancy limits and out-of-memory paths quickly.
+    pub fn tiny_test_device() -> Self {
+        DeviceConfig {
+            name: "tiny-test-device",
+            num_sms: 2,
+            max_resident_warps: 4,
+            global_mem_bytes: 1024 * 1024,
+            shared_mem_per_sm: 16 * 1024,
+            ..Self::a100_sxm4_40gb()
+        }
+    }
+
+    /// Converts SM-cycles into milliseconds at the configured clock.
+    pub fn cycles_to_ms(&self, cycles: f64) -> f64 {
+        cycles / (self.clock_ghz * 1e9) * 1e3
+    }
+
+    /// Dense FP16 Tensor Core peak in GFLOP/s implied by the constants
+    /// (sanity anchor for the calibration tests).
+    pub fn tc_peak_gflops(&self) -> f64 {
+        let mma_flop = 16.0 * 8.0 * 16.0 * 2.0;
+        mma_flop * self.num_sms as f64 * self.clock_ghz / self.cycles_per_mma
+    }
+
+    /// FP32 CUDA-core peak in GFLOP/s implied by the constants.
+    pub fn fp32_peak_gflops(&self) -> f64 {
+        let fma_flop = 2.0 * self.warp_size as f64;
+        fma_flop * self.num_sms as f64 * self.clock_ghz / self.cycles_per_warp_fma
+    }
+
+    /// Global memory bandwidth in GB/s implied by the constants.
+    pub fn mem_bandwidth_gbs(&self) -> f64 {
+        self.global_bytes_per_cycle * self.num_sms as f64 * self.clock_ghz
+    }
+}
+
+impl Default for DeviceConfig {
+    fn default() -> Self {
+        Self::a100_sxm4_40gb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_constants_reproduce_datasheet_peaks() {
+        let d = DeviceConfig::a100_sxm4_40gb();
+        // 312 TFLOP/s FP16 TC peak, within 1%.
+        let tc = d.tc_peak_gflops();
+        assert!(
+            (tc - 312_000.0).abs() / 312_000.0 < 0.01,
+            "TC peak {tc} GFLOP/s"
+        );
+        // 19.5 TFLOP/s FP32 peak, within 1%.
+        let fp32 = d.fp32_peak_gflops();
+        assert!(
+            (fp32 - 19_500.0).abs() / 19_500.0 < 0.01,
+            "FP32 peak {fp32} GFLOP/s"
+        );
+        // ~1555 GB/s HBM bandwidth, within 1%.
+        let bw = d.mem_bandwidth_gbs();
+        assert!((bw - 1555.0).abs() / 1555.0 < 0.01, "bandwidth {bw} GB/s");
+    }
+
+    #[test]
+    fn tc_to_cuda_core_ratio_is_16x() {
+        let d = DeviceConfig::a100_sxm4_40gb();
+        let ratio = d.tc_peak_gflops() / d.fp32_peak_gflops();
+        assert!((ratio - 16.0).abs() < 0.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn cycles_to_ms() {
+        let d = DeviceConfig::a100_sxm4_40gb();
+        let ms = d.cycles_to_ms(1.41e9);
+        assert!((ms - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn h100_constants_reproduce_datasheet_peaks() {
+        let d = DeviceConfig::h100_sxm5_80gb();
+        let tc = d.tc_peak_gflops();
+        assert!(
+            (tc - 989_000.0).abs() / 989_000.0 < 0.02,
+            "H100 TC peak {tc} GFLOP/s"
+        );
+        let bw = d.mem_bandwidth_gbs();
+        assert!((bw - 3350.0).abs() / 3350.0 < 0.02, "H100 bandwidth {bw}");
+        // Generational ratios: ~3.2x compute, ~2.2x bandwidth over A100.
+        let a = DeviceConfig::a100_sxm4_40gb();
+        assert!(tc / a.tc_peak_gflops() > 2.5);
+        assert!(bw / a.mem_bandwidth_gbs() > 1.8);
+    }
+
+    #[test]
+    fn tiny_device_is_small() {
+        let d = DeviceConfig::tiny_test_device();
+        assert_eq!(d.num_sms, 2);
+        assert!(d.global_mem_bytes < DeviceConfig::a100_sxm4_40gb().global_mem_bytes);
+    }
+}

@@ -1,0 +1,673 @@
+//! Kernel launch machinery: warp contexts, the warp→SM static schedule, and
+//! the analytical timing composition.
+//!
+//! Simulated kernels are written at warp granularity: a closure receives a
+//! [`WarpCtx`] and performs both the *functional* work (producing its output
+//! tile) and the *accounting* work (recording instructions and bytes). The
+//! launcher maps warps to SMs with the same static round-robin schedule the
+//! CUDA kernel's fixed grid implies, sums counters per SM, and converts them
+//! to cycles. The kernel's wall time is the *slowest SM* — which is exactly
+//! what makes highly skewed matrices like `dc2` pathological for a static
+//! 2D schedule (§VI-B of the paper).
+
+use rayon::prelude::*;
+
+use crate::counters::Counters;
+use crate::device::DeviceConfig;
+
+/// Simulation errors surfaced to callers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The working set does not fit in device memory. Carries the needed
+    /// and available byte counts.
+    OutOfMemory {
+        /// Bytes the launch would need resident.
+        needed: usize,
+        /// Device capacity.
+        available: usize,
+    },
+    /// A per-block shared memory request exceeds the SM's capacity.
+    SharedMemoryExceeded {
+        /// Bytes requested per block.
+        needed: usize,
+        /// SM shared memory capacity.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::OutOfMemory { needed, available } => write!(
+                f,
+                "simulated device out of memory: need {needed} bytes, have {available}"
+            ),
+            SimError::SharedMemoryExceeded { needed, available } => write!(
+                f,
+                "shared memory request {needed} bytes exceeds SM capacity {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// How data movement overlaps with computation — the paper's **C**
+/// optimization toggle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CopyMode {
+    /// Two-step copies through registers; global latency is exposed on every
+    /// dependent load round, mitigated only by warp occupancy.
+    Synchronous,
+    /// `cuda::memcpy_async` double buffering: DMA engines move data while
+    /// Tensor Cores compute; compute and memory pipelines overlap and only a
+    /// pipeline prologue of one latency remains.
+    AsyncPipelined,
+}
+
+/// Per-launch configuration.
+#[derive(Clone, Debug)]
+pub struct LaunchConfig {
+    /// Copy/overlap mode (the **C** toggle).
+    pub copy_mode: CopyMode,
+    /// Label recorded in results (kernel name).
+    pub label: String,
+    /// Resident bytes this launch needs in device memory (operands, outputs,
+    /// format payloads). Checked against capacity before running.
+    pub footprint_bytes: usize,
+    /// Shared memory required per thread block.
+    pub shared_bytes_per_block: usize,
+    /// Optional explicit warp→SM assignment (`assignment[warp_id] = sm`).
+    /// `None` uses the static round-robin schedule of a fixed CUDA grid;
+    /// schedulers that pre-balance work (persistent kernels, work queues)
+    /// provide their own mapping.
+    pub assignment: Option<Vec<usize>>,
+}
+
+impl Default for LaunchConfig {
+    fn default() -> Self {
+        LaunchConfig {
+            copy_mode: CopyMode::AsyncPipelined,
+            label: String::new(),
+            footprint_bytes: 0,
+            shared_bytes_per_block: 0,
+            assignment: None,
+        }
+    }
+}
+
+/// Cycle breakdown of the busiest SM — the roofline view of one launch.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BoundProfile {
+    /// Instruction-issue/execute cycles (MMA, FMA, ldmatrix, shared, ALU).
+    pub comp_cycles: f64,
+    /// Global-memory bandwidth cycles.
+    pub mem_cycles: f64,
+    /// Exposed global latency cycles (zero under async pipelining).
+    pub exposure_cycles: f64,
+}
+
+impl BoundProfile {
+    /// The dominant resource of this launch.
+    pub fn bound(&self) -> Bound {
+        if self.exposure_cycles > self.comp_cycles && self.exposure_cycles > self.mem_cycles {
+            Bound::Latency
+        } else if self.mem_cycles >= self.comp_cycles {
+            Bound::Bandwidth
+        } else {
+            Bound::Compute
+        }
+    }
+}
+
+/// Roofline classification of a launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bound {
+    /// Instruction throughput limits the kernel.
+    Compute,
+    /// DRAM bandwidth limits the kernel.
+    Bandwidth,
+    /// Exposed memory latency limits the kernel.
+    Latency,
+}
+
+impl std::fmt::Display for Bound {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Bound::Compute => write!(f, "compute-bound"),
+            Bound::Bandwidth => write!(f, "bandwidth-bound"),
+            Bound::Latency => write!(f, "latency-bound"),
+        }
+    }
+}
+
+/// Mutable per-warp simulation context handed to kernels.
+#[derive(Debug)]
+pub struct WarpCtx<'a> {
+    /// Flat warp index within the launch grid.
+    pub warp_id: usize,
+    /// Device parameters (read-only; e.g. for sector size).
+    pub cfg: &'a DeviceConfig,
+    /// Activity counters for this warp.
+    pub counters: Counters,
+}
+
+impl<'a> WarpCtx<'a> {
+    fn new(warp_id: usize, cfg: &'a DeviceConfig) -> Self {
+        WarpCtx {
+            warp_id,
+            cfg,
+            counters: Counters::default(),
+        }
+    }
+
+    /// Records `n` Tensor Core MMA warp instructions.
+    #[inline]
+    pub fn mma(&mut self, n: u64) {
+        self.counters.mma += n;
+    }
+
+    /// Records `n` CUDA-core FMA warp instructions.
+    #[inline]
+    pub fn fma(&mut self, n: u64) {
+        self.counters.fma += n;
+    }
+
+    /// Records `n` `ldmatrix` warp instructions.
+    #[inline]
+    pub fn ldmatrix(&mut self, n: u64) {
+        self.counters.ldmatrix += n;
+    }
+
+    /// Records `n` generic ALU warp instructions.
+    #[inline]
+    pub fn alu(&mut self, n: u64) {
+        self.counters.alu += n;
+    }
+
+    /// Records `n` conflict-free shared memory transactions.
+    #[inline]
+    pub fn shared_tx(&mut self, n: u64) {
+        self.counters.shared_tx += n;
+    }
+
+    /// Records one warp-wide shared access from explicit per-lane byte
+    /// addresses, expanding bank conflicts.
+    pub fn shared_access(&mut self, addrs: &[u64]) {
+        self.counters.shared_tx += crate::counters::shared_transactions(addrs);
+    }
+
+    /// Records a contiguous global read/write of `bytes`, rounded up to
+    /// whole 32-byte sectors, as one dependent load round.
+    pub fn global_contiguous(&mut self, bytes: u64) {
+        let sector = self.cfg.sector_bytes as u64;
+        self.counters.global_bytes += bytes.div_ceil(sector) * sector;
+        self.counters.global_rounds += 1;
+    }
+
+    /// Records a scattered gather of `n_accesses` independent elements of
+    /// `bytes_each`: every access is charged at least one full sector (the
+    /// overfetch that punishes irregular CSR column gathers), and the whole
+    /// gather counts as `ceil(n/32)` dependent rounds (one per warp-wide
+    /// load instruction).
+    pub fn global_gather(&mut self, n_accesses: u64, bytes_each: u64) {
+        let sector = self.cfg.sector_bytes as u64;
+        let per_access = bytes_each.div_ceil(sector) * sector;
+        self.counters.global_bytes += n_accesses * per_access;
+        self.counters.global_rounds += n_accesses.div_ceil(32);
+    }
+
+    /// Records useful FLOP (for GFLOP/s reporting; padding work excluded).
+    #[inline]
+    pub fn useful_flop(&mut self, n: u64) {
+        self.counters.flop_useful += n;
+    }
+}
+
+/// Timing and counter summary of one simulated kernel launch.
+#[derive(Clone, Debug)]
+pub struct LaunchResult {
+    /// Kernel label from the config.
+    pub label: String,
+    /// Wall cycles of the slowest SM plus launch overhead.
+    pub cycles: f64,
+    /// `cycles` converted at the device clock.
+    pub time_ms: f64,
+    /// Per-SM busy cycles (for load-imbalance diagnostics).
+    pub per_sm_cycles: Vec<f64>,
+    /// Counter totals over all warps.
+    pub totals: Counters,
+    /// Number of warps launched.
+    pub warps: usize,
+    /// Roofline breakdown of the busiest SM.
+    pub profile: BoundProfile,
+}
+
+impl LaunchResult {
+    /// Effective performance over the *useful* FLOP recorded by the kernel.
+    pub fn gflops(&self) -> f64 {
+        if self.time_ms <= 0.0 {
+            return 0.0;
+        }
+        self.totals.flop_useful as f64 / (self.time_ms * 1e-3) / 1e9
+    }
+
+    /// Load imbalance: slowest SM busy time over the mean busy time of the
+    /// SMs that received work (1.0 is perfectly balanced).
+    pub fn sm_imbalance(&self) -> f64 {
+        let busy: Vec<f64> = self
+            .per_sm_cycles
+            .iter()
+            .copied()
+            .filter(|&c| c > 0.0)
+            .collect();
+        if busy.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = busy.iter().sum();
+        let max = busy.iter().cloned().fold(0.0, f64::max);
+        max / (sum / busy.len() as f64)
+    }
+}
+
+/// The simulated GPU.
+#[derive(Clone, Debug, Default)]
+pub struct Gpu {
+    /// Device parameters.
+    pub cfg: DeviceConfig,
+}
+
+impl Gpu {
+    /// A GPU with the default A100 configuration.
+    pub fn a100() -> Self {
+        Gpu {
+            cfg: DeviceConfig::a100_sxm4_40gb(),
+        }
+    }
+
+    pub fn new(cfg: DeviceConfig) -> Self {
+        Gpu { cfg }
+    }
+
+    /// Validates launch resources (device memory footprint, per-block shared
+    /// memory) without running anything.
+    pub fn check_resources(&self, cfg: &LaunchConfig) -> Result<(), SimError> {
+        if cfg.footprint_bytes > self.cfg.global_mem_bytes {
+            return Err(SimError::OutOfMemory {
+                needed: cfg.footprint_bytes,
+                available: self.cfg.global_mem_bytes,
+            });
+        }
+        if cfg.shared_bytes_per_block > self.cfg.shared_mem_per_sm {
+            return Err(SimError::SharedMemoryExceeded {
+                needed: cfg.shared_bytes_per_block,
+                available: self.cfg.shared_mem_per_sm,
+            });
+        }
+        Ok(())
+    }
+
+    /// Launches `n_warps` warps of `kernel`, collecting each warp's output
+    /// and counters, and computes the analytical kernel time.
+    ///
+    /// Warps run data-parallel on the host (rayon); the warp→SM assignment
+    /// used for *timing* is the static round-robin schedule
+    /// `sm = warp_id % num_sms`, matching the fixed 2D grid of the CUDA
+    /// implementation.
+    pub fn launch<W, F>(
+        &self,
+        n_warps: usize,
+        cfg: &LaunchConfig,
+        kernel: F,
+    ) -> Result<(LaunchResult, Vec<W>), SimError>
+    where
+        W: Send,
+        F: Fn(&mut WarpCtx) -> W + Sync,
+    {
+        self.check_resources(cfg)?;
+
+        let results: Vec<(Counters, W)> = (0..n_warps)
+            .into_par_iter()
+            .map(|warp_id| {
+                let mut ctx = WarpCtx::new(warp_id, &self.cfg);
+                let out = kernel(&mut ctx);
+                (ctx.counters, out)
+            })
+            .collect();
+
+        let (result, outputs) = self.finish(n_warps, cfg, results);
+        Ok((result, outputs))
+    }
+
+    fn finish<W>(
+        &self,
+        n_warps: usize,
+        cfg: &LaunchConfig,
+        results: Vec<(Counters, W)>,
+    ) -> (LaunchResult, Vec<W>) {
+        let d = &self.cfg;
+        let nsm = d.num_sms;
+        let mut per_sm = vec![Counters::default(); nsm];
+        let mut per_sm_warps = vec![0usize; nsm];
+        let mut totals = Counters::default();
+        let mut outputs = Vec::with_capacity(results.len());
+        for (warp_id, (c, w)) in results.into_iter().enumerate() {
+            let sm = match &cfg.assignment {
+                Some(a) => a[warp_id] % nsm,
+                None => warp_id % nsm,
+            };
+            per_sm[sm].add(&c);
+            per_sm_warps[sm] += 1;
+            totals.add(&c);
+            outputs.push(w);
+        }
+
+        let profiles: Vec<BoundProfile> = per_sm
+            .iter()
+            .zip(&per_sm_warps)
+            .map(|(c, &w)| self.sm_profile(c, w, cfg.copy_mode))
+            .collect();
+        let per_sm_cycles: Vec<f64> = profiles
+            .iter()
+            .map(|p| self.profile_cycles(p, cfg.copy_mode))
+            .collect();
+        let (busiest_idx, busiest) = per_sm_cycles
+            .iter()
+            .enumerate()
+            .fold((0, 0.0f64), |acc, (i, &c)| if c > acc.1 { (i, c) } else { acc });
+        let cycles = busiest + d.launch_overhead_cycles;
+
+        (
+            LaunchResult {
+                label: cfg.label.clone(),
+                cycles,
+                time_ms: d.cycles_to_ms(cycles),
+                per_sm_cycles,
+                totals,
+                warps: n_warps,
+                profile: profiles.get(busiest_idx).copied().unwrap_or_default(),
+            },
+            outputs,
+        )
+    }
+
+    /// Converts one SM's aggregated counters into its cycle breakdown.
+    ///
+    /// * `comp` — issue/execute cycles of all compute and shared-memory
+    ///   instructions at the per-SM throughputs of [`DeviceConfig`];
+    /// * `mem`  — global traffic at the per-SM sustained bandwidth;
+    /// * latency exposure — each dependent load round stalls its warp for
+    ///   `global_latency` cycles; with `R` resident warps the SM overlaps
+    ///   `R` stalls, so `rounds · L / R` remains exposed. `memcpy_async`
+    ///   double buffering replaces this with a single pipeline prologue and
+    ///   lets compute and memory overlap (`max` instead of `+`).
+    fn sm_profile(&self, c: &Counters, warps: usize, mode: CopyMode) -> BoundProfile {
+        if warps == 0 {
+            return BoundProfile::default();
+        }
+        let d = &self.cfg;
+        let comp = c.mma as f64 * d.cycles_per_mma
+            + c.fma as f64 * d.cycles_per_warp_fma
+            + c.ldmatrix as f64 * d.cycles_per_ldmatrix
+            + c.shared_tx as f64 * d.cycles_per_shared_tx
+            + c.alu as f64 * d.cycles_per_alu;
+        let mem = c.global_bytes as f64 / d.global_bytes_per_cycle;
+        let resident = warps.min(d.max_resident_warps).max(1) as f64;
+        let exposure = match mode {
+            CopyMode::Synchronous => c.global_rounds as f64 * d.global_latency / resident,
+            CopyMode::AsyncPipelined => d.global_latency, // pipeline prologue
+        };
+        BoundProfile {
+            comp_cycles: comp,
+            mem_cycles: mem,
+            exposure_cycles: exposure,
+        }
+    }
+
+    /// Composes a breakdown into busy cycles under the given copy mode.
+    fn profile_cycles(&self, p: &BoundProfile, mode: CopyMode) -> f64 {
+        if *p == BoundProfile::default() {
+            return 0.0;
+        }
+        match mode {
+            CopyMode::Synchronous => p.comp_cycles + p.mem_cycles + p.exposure_cycles,
+            CopyMode::AsyncPipelined => p.comp_cycles.max(p.mem_cycles) + p.exposure_cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gpu() -> Gpu {
+        Gpu::a100()
+    }
+
+    #[test]
+    fn launch_collects_outputs_in_order() {
+        let (res, outs) = gpu()
+            .launch(64, &LaunchConfig::default(), |ctx| {
+                ctx.mma(1);
+                ctx.warp_id * 10
+            })
+            .unwrap();
+        assert_eq!(outs.len(), 64);
+        assert_eq!(outs[5], 50);
+        assert_eq!(res.totals.mma, 64);
+        assert_eq!(res.warps, 64);
+    }
+
+    #[test]
+    fn oom_is_reported() {
+        let cfg = LaunchConfig {
+            footprint_bytes: usize::MAX,
+            ..Default::default()
+        };
+        let err = gpu().launch(1, &cfg, |_| ()).unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn shared_overflow_is_reported() {
+        let cfg = LaunchConfig {
+            shared_bytes_per_block: 10 * 1024 * 1024,
+            ..Default::default()
+        };
+        let err = gpu().launch(1, &cfg, |_| ()).unwrap_err();
+        assert!(matches!(err, SimError::SharedMemoryExceeded { .. }));
+    }
+
+    #[test]
+    fn more_work_takes_longer() {
+        let run = |mmas: u64| {
+            gpu()
+                .launch(108 * 8, &LaunchConfig::default(), |ctx| ctx.mma(mmas))
+                .unwrap()
+                .0
+                .cycles
+        };
+        assert!(run(1000) > run(10));
+    }
+
+    #[test]
+    fn async_copy_overlaps_compute_and_memory() {
+        let work = |mode| {
+            let cfg = LaunchConfig {
+                copy_mode: mode,
+                ..Default::default()
+            };
+            gpu()
+                .launch(108, &cfg, |ctx| {
+                    ctx.mma(1000);
+                    ctx.global_contiguous(100_000);
+                    ctx.counters.global_rounds += 99; // 100 rounds total
+                })
+                .unwrap()
+                .0
+                .cycles
+        };
+        let sync = work(CopyMode::Synchronous);
+        let asynchronous = work(CopyMode::AsyncPipelined);
+        assert!(
+            asynchronous < sync,
+            "async ({asynchronous}) must beat sync ({sync})"
+        );
+    }
+
+    #[test]
+    fn imbalanced_warps_bound_kernel_time() {
+        // One heavy warp among many light ones: the slowest SM dominates.
+        let (res, _) = gpu()
+            .launch(108 * 2, &LaunchConfig::default(), |ctx| {
+                if ctx.warp_id == 0 {
+                    ctx.mma(100_000);
+                } else {
+                    ctx.mma(10);
+                }
+            })
+            .unwrap();
+        assert!(res.sm_imbalance() > 10.0, "imbalance {}", res.sm_imbalance());
+        // Wall time tracks the heavy SM, not the average.
+        assert!(res.cycles > 100_000.0 * gpu().cfg.cycles_per_mma * 0.99);
+    }
+
+    #[test]
+    fn gflops_uses_useful_flop_only() {
+        let (res, _) = gpu()
+            .launch(108, &LaunchConfig::default(), |ctx| {
+                ctx.mma(100);
+                ctx.useful_flop(1_000_000);
+            })
+            .unwrap();
+        let expect = 1_000_000.0 * 108.0 / (res.time_ms * 1e-3) / 1e9;
+        assert!((res.gflops() - expect).abs() / expect < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_hides_latency_in_sync_mode() {
+        let run = |warps: usize| {
+            let cfg = LaunchConfig {
+                copy_mode: CopyMode::Synchronous,
+                ..Default::default()
+            };
+            let per_warp_rounds = 64;
+            let (res, _) = gpu()
+                .launch(warps, &cfg, |ctx| {
+                    ctx.counters.global_rounds += per_warp_rounds;
+                    ctx.global_contiguous(128);
+                })
+                .unwrap();
+            res.cycles / warps as f64
+        };
+        // With many resident warps the per-warp cost of latency shrinks.
+        assert!(run(108 * 32) < run(108));
+    }
+
+    #[test]
+    fn explicit_assignment_rebalances_hot_warps() {
+        // 216 warps, two hot ones that round-robin onto the same SM.
+        let hot = |id: usize| id == 0 || id == 108;
+        let run = |assignment: Option<Vec<usize>>| {
+            let cfg = LaunchConfig {
+                assignment,
+                ..Default::default()
+            };
+            gpu()
+                .launch(216, &cfg, |ctx| {
+                    ctx.mma(if hot(ctx.warp_id) { 50_000 } else { 10 })
+                })
+                .unwrap()
+                .0
+        };
+        let static_rr = run(None);
+        // Balanced: put the two hot warps on different SMs.
+        let mut map: Vec<usize> = (0..216).map(|w| w % 108).collect();
+        map[108] = 1;
+        map[1] = 0;
+        let balanced = run(Some(map));
+        assert!(
+            balanced.cycles < static_rr.cycles,
+            "balanced {} vs static {}",
+            balanced.cycles,
+            static_rr.cycles
+        );
+        assert!(balanced.sm_imbalance() < static_rr.sm_imbalance());
+    }
+
+    #[test]
+    fn bound_classification() {
+        let gpu = gpu();
+        // Pure MMA work: compute bound.
+        let (res, _) = gpu
+            .launch(108, &LaunchConfig::default(), |ctx| ctx.mma(100_000))
+            .unwrap();
+        assert_eq!(res.profile.bound(), Bound::Compute);
+        // Pure streaming: bandwidth bound.
+        let (res, _) = gpu
+            .launch(108, &LaunchConfig::default(), |ctx| {
+                ctx.global_contiguous(50_000_000)
+            })
+            .unwrap();
+        assert_eq!(res.profile.bound(), Bound::Bandwidth);
+        // Few dependent rounds, little work, synchronous: latency bound.
+        let cfg = LaunchConfig {
+            copy_mode: CopyMode::Synchronous,
+            ..Default::default()
+        };
+        let (res, _) = gpu
+            .launch(108, &cfg, |ctx| {
+                ctx.counters.global_rounds += 1000;
+                ctx.global_contiguous(32);
+            })
+            .unwrap();
+        assert_eq!(res.profile.bound(), Bound::Latency);
+    }
+
+    #[test]
+    fn bound_display_strings() {
+        assert_eq!(Bound::Compute.to_string(), "compute-bound");
+        assert_eq!(Bound::Bandwidth.to_string(), "bandwidth-bound");
+        assert_eq!(Bound::Latency.to_string(), "latency-bound");
+    }
+
+    #[test]
+    fn profile_components_sum_to_sync_cycles() {
+        let cfg = LaunchConfig {
+            copy_mode: CopyMode::Synchronous,
+            ..Default::default()
+        };
+        let gpu = gpu();
+        let (res, _) = gpu
+            .launch(108, &cfg, |ctx| {
+                ctx.mma(10);
+                ctx.global_contiguous(1000);
+            })
+            .unwrap();
+        let p = res.profile;
+        let expect = p.comp_cycles + p.mem_cycles + p.exposure_cycles
+            + gpu.cfg.launch_overhead_cycles;
+        assert!((res.cycles - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sector_rounding_charges_full_sectors() {
+        let (res, _) = gpu()
+            .launch(1, &LaunchConfig::default(), |ctx| {
+                ctx.global_contiguous(1); // 1 byte -> one 32B sector
+            })
+            .unwrap();
+        assert_eq!(res.totals.global_bytes, 32);
+    }
+
+    #[test]
+    fn gather_charges_sector_per_element() {
+        let (res, _) = gpu()
+            .launch(1, &LaunchConfig::default(), |ctx| {
+                ctx.global_gather(10, 2); // 10 scattered f16 loads
+            })
+            .unwrap();
+        assert_eq!(res.totals.global_bytes, 10 * 32);
+        assert_eq!(res.totals.global_rounds, 1);
+    }
+}

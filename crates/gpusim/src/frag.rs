@@ -1,0 +1,306 @@
+//! PTX-level register fragment layouts for `mma.sync.aligned.m16n8k16` and
+//! `ldmatrix`, at per-lane granularity.
+//!
+//! The fast kernel path in this simulator operates on whole tiles (see
+//! `mma.rs`); this module pins down the *exact* lane-to-element ownership
+//! mandated by the PTX ISA for the instruction used in the paper's
+//! Listing 1 (`HMMA16816`) and Listings 2–3 (`LDMATRIX_X2/_X4`), and the
+//! test-suite proves the tile path equivalent to a faithful 32-lane
+//! execution. This is the part of the substitution that keeps the simulated
+//! Tensor Core honest.
+//!
+//! Layout reference (PTX ISA, "Matrix Fragments for mma.m16n8k16"):
+//! with `groupID = lane >> 2` and `tid = lane & 3`,
+//!
+//! * A (16×16, row-major, 8 registers per lane `a0..a7`):
+//!   `a0,a1 -> (groupID,       tid*2 + {0,1})`,
+//!   `a2,a3 -> (groupID + 8,   tid*2 + {0,1})`,
+//!   `a4,a5 -> (groupID,       tid*2 + 8 + {0,1})`,
+//!   `a6,a7 -> (groupID + 8,   tid*2 + 8 + {0,1})`.
+//! * B (16×8, col-major fragment, 4 registers `b0..b3`):
+//!   `b0,b1 -> (tid*2 + {0,1},     groupID)`,
+//!   `b2,b3 -> (tid*2 + 8 + {0,1}, groupID)`.
+//! * C/D (16×8, 4 registers `c0..c3`):
+//!   `c0,c1 -> (groupID,     tid*2 + {0,1})`,
+//!   `c2,c3 -> (groupID + 8, tid*2 + {0,1})`.
+
+use smat_formats::scalar::Element;
+
+/// Number of lanes in a warp; fragment layouts are defined for exactly 32.
+pub const WARP_LANES: usize = 32;
+
+/// Coordinates (row, col) of the 8 A-fragment registers of `lane`.
+pub fn a_fragment_coords(lane: usize) -> [(usize, usize); 8] {
+    debug_assert!(lane < WARP_LANES);
+    let g = lane >> 2;
+    let t = lane & 3;
+    [
+        (g, t * 2),
+        (g, t * 2 + 1),
+        (g + 8, t * 2),
+        (g + 8, t * 2 + 1),
+        (g, t * 2 + 8),
+        (g, t * 2 + 9),
+        (g + 8, t * 2 + 8),
+        (g + 8, t * 2 + 9),
+    ]
+}
+
+/// Coordinates (row, col) of the 4 B-fragment registers of `lane`
+/// (B is the 16×8 right-hand operand, indexed `(k, n)`).
+pub fn b_fragment_coords(lane: usize) -> [(usize, usize); 4] {
+    debug_assert!(lane < WARP_LANES);
+    let g = lane >> 2;
+    let t = lane & 3;
+    [
+        (t * 2, g),
+        (t * 2 + 1, g),
+        (t * 2 + 8, g),
+        (t * 2 + 9, g),
+    ]
+}
+
+/// Coordinates (row, col) of the 4 C/D-fragment registers of `lane`
+/// (C is the 16×8 accumulator).
+pub fn c_fragment_coords(lane: usize) -> [(usize, usize); 4] {
+    debug_assert!(lane < WARP_LANES);
+    let g = lane >> 2;
+    let t = lane & 3;
+    [
+        (g, t * 2),
+        (g, t * 2 + 1),
+        (g + 8, t * 2),
+        (g + 8, t * 2 + 1),
+    ]
+}
+
+/// Per-lane register file for one warp-wide m16n8k16 MMA.
+#[derive(Clone, Debug)]
+pub struct WarpFragments<T> {
+    /// `a[lane][r]`: 8 A registers per lane.
+    pub a: Vec<[T; 8]>,
+    /// `b[lane][r]`: 4 B registers per lane.
+    pub b: Vec<[T; 4]>,
+    /// `c[lane][r]`: 4 accumulator registers per lane.
+    pub c: Vec<[T; 4]>,
+}
+
+impl<T: Element> WarpFragments<T> {
+    /// Distributes row-major tiles (`a`: 16×16, `b`: 16×8, `c`: 16×8) into
+    /// per-lane registers.
+    pub fn distribute(a_tile: &[T], b_tile: &[T], c_tile: &[T]) -> Self {
+        WarpFragments {
+            a: distribute_a(a_tile),
+            b: distribute_b(b_tile),
+            c: distribute_c(c_tile),
+        }
+    }
+
+    /// Executes one `mma.sync.aligned.m16n8k16`, updating the accumulator
+    /// registers in place.
+    pub fn mma(&mut self) {
+        self.c = mma_sync_m16n8k16(&self.a, &self.b, &self.c);
+    }
+
+    /// Gathers the accumulator registers back into a row-major 16×8 tile.
+    pub fn c_tile(&self) -> Vec<T> {
+        collect_c(&self.c)
+    }
+}
+
+/// Distributes a row-major 16×16 A tile into per-lane registers, exactly as
+/// two `ldmatrix.x4` + register shuffles would.
+pub fn distribute_a<T: Element>(tile: &[T]) -> Vec<[T; 8]> {
+    assert_eq!(tile.len(), 16 * 16);
+    (0..WARP_LANES)
+        .map(|lane| {
+            let coords = a_fragment_coords(lane);
+            core::array::from_fn(|r| tile[coords[r].0 * 16 + coords[r].1])
+        })
+        .collect()
+}
+
+/// Distributes a row-major 16×8 B tile (`(k, n)` indexing) into per-lane
+/// registers, as `ldmatrix.x2.trans` would.
+pub fn distribute_b<T: Element>(tile: &[T]) -> Vec<[T; 4]> {
+    assert_eq!(tile.len(), 16 * 8);
+    (0..WARP_LANES)
+        .map(|lane| {
+            let coords = b_fragment_coords(lane);
+            core::array::from_fn(|r| tile[coords[r].0 * 8 + coords[r].1])
+        })
+        .collect()
+}
+
+/// Distributes a row-major 16×8 C tile into per-lane accumulators.
+pub fn distribute_c<T: Element>(tile: &[T]) -> Vec<[T; 4]> {
+    assert_eq!(tile.len(), 16 * 8);
+    (0..WARP_LANES)
+        .map(|lane| {
+            let coords = c_fragment_coords(lane);
+            core::array::from_fn(|r| tile[coords[r].0 * 8 + coords[r].1])
+        })
+        .collect()
+}
+
+/// Gathers per-lane accumulators back into a row-major 16×8 tile (the
+/// epilogue store through shared memory in Algorithm 1, lines 10–11).
+pub fn collect_c<T: Element>(frags: &[[T; 4]]) -> Vec<T> {
+    assert_eq!(frags.len(), WARP_LANES);
+    let mut tile = vec![T::zero(); 16 * 8];
+    for (lane, regs) in frags.iter().enumerate() {
+        for (r, &(row, col)) in c_fragment_coords(lane).iter().enumerate() {
+            tile[row * 8 + col] = regs[r];
+        }
+    }
+    tile
+}
+
+/// Executes one warp-synchronous `mma.sync.aligned.m16n8k16` across all 32
+/// lanes at register granularity: every lane's `d` registers are computed
+/// from the fragment registers *of the whole warp*, exactly as the hardware
+/// broadcast network does. Accumulation follows the Tensor Core datapath:
+/// products and the K-sum in accumulator precision, one rounding on store.
+pub fn mma_sync_m16n8k16<T: Element>(
+    a: &[[T; 8]],
+    b: &[[T; 4]],
+    c: &[[T; 4]],
+) -> Vec<[T; 4]> {
+    assert_eq!(a.len(), WARP_LANES);
+    assert_eq!(b.len(), WARP_LANES);
+    assert_eq!(c.len(), WARP_LANES);
+
+    // Reassemble the warp-wide operand view once; each lane then computes
+    // its 4 outputs. (The hardware equivalently exchanges registers over the
+    // TC operand network.)
+    let mut a_tile = [T::zero(); 16 * 16];
+    for (lane, regs) in a.iter().enumerate() {
+        for (r, &(row, col)) in a_fragment_coords(lane).iter().enumerate() {
+            a_tile[row * 16 + col] = regs[r];
+        }
+    }
+    let mut b_tile = [T::zero(); 16 * 8];
+    for (lane, regs) in b.iter().enumerate() {
+        for (r, &(row, col)) in b_fragment_coords(lane).iter().enumerate() {
+            b_tile[row * 8 + col] = regs[r];
+        }
+    }
+
+    (0..WARP_LANES)
+        .map(|lane| {
+            let coords = c_fragment_coords(lane);
+            core::array::from_fn(|r| {
+                let (row, col) = coords[r];
+                let mut acc = T::accum_zero();
+                for k in 0..16 {
+                    acc = T::mul_acc(acc, a_tile[row * 16 + k], b_tile[k * 8 + col]);
+                }
+                // c += a*b with the existing accumulator folded in at
+                // accumulator precision.
+                let folded = T::mul_acc(acc, c[lane][r], T::from_f64(1.0));
+                T::from_accum(folded)
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_formats::F16;
+
+    #[test]
+    fn a_fragment_covers_tile_exactly_once() {
+        let mut count = vec![0usize; 16 * 16];
+        for lane in 0..WARP_LANES {
+            for (r, c) in a_fragment_coords(lane) {
+                assert!(r < 16 && c < 16);
+                count[r * 16 + c] += 1;
+            }
+        }
+        assert!(count.iter().all(|&c| c == 1), "each element owned once");
+    }
+
+    #[test]
+    fn b_fragment_covers_tile_exactly_once() {
+        let mut count = vec![0usize; 16 * 8];
+        for lane in 0..WARP_LANES {
+            for (r, c) in b_fragment_coords(lane) {
+                assert!(r < 16 && c < 8);
+                count[r * 8 + c] += 1;
+            }
+        }
+        assert!(count.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn c_fragment_covers_tile_exactly_once() {
+        let mut count = vec![0usize; 16 * 8];
+        for lane in 0..WARP_LANES {
+            for (r, c) in c_fragment_coords(lane) {
+                count[r * 8 + c] += 1;
+            }
+        }
+        assert!(count.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn distribute_collect_roundtrip() {
+        let tile: Vec<F16> = (0..128).map(|i| F16::from_f32(i as f32)).collect();
+        let frags = distribute_c(&tile);
+        assert_eq!(collect_c(&frags), tile);
+    }
+
+    #[test]
+    fn warp_fragments_chain_two_mmas() {
+        // Two chained MMAs accumulate: D = A*B + (A*B + C0).
+        let a_tile: Vec<F16> = (0..256).map(|i| F16::from_f32(((i % 5) as f32) - 2.0)).collect();
+        let b_tile: Vec<F16> = (0..128).map(|i| F16::from_f32(((i % 3) as f32) - 1.0)).collect();
+        let c_tile: Vec<F16> = vec![F16::ONE; 128];
+        let mut frags = WarpFragments::distribute(&a_tile, &b_tile, &c_tile);
+        frags.mma();
+        frags.mma();
+        let got = frags.c_tile();
+        // Reference: accumulate twice with per-MMA rounding.
+        let mut want = c_tile.clone();
+        crate::mma::mma_tile(crate::MmaShape::M16N8K16, &a_tile, &b_tile, &mut want);
+        crate::mma::mma_tile(crate::MmaShape::M16N8K16, &a_tile, &b_tile, &mut want);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn per_lane_mma_matches_scalar_reference() {
+        let a_tile: Vec<F16> = (0..256)
+            .map(|i| F16::from_f32(((i * 7) % 13) as f32 - 6.0))
+            .collect();
+        let b_tile: Vec<F16> = (0..128)
+            .map(|i| F16::from_f32(((i * 5) % 11) as f32 - 5.0))
+            .collect();
+        let c_tile: Vec<F16> = (0..128)
+            .map(|i| F16::from_f32((i % 4) as f32))
+            .collect();
+
+        let d = mma_sync_m16n8k16(
+            &distribute_a(&a_tile),
+            &distribute_b(&b_tile),
+            &distribute_c(&c_tile),
+        );
+        let d_tile = collect_c(&d);
+
+        for row in 0..16 {
+            for col in 0..8 {
+                let mut acc = 0f32;
+                for k in 0..16 {
+                    acc += a_tile[row * 16 + k].to_f32() * b_tile[k * 8 + col].to_f32();
+                }
+                acc += c_tile[row * 8 + col].to_f32();
+                let want = F16::from_f32(acc);
+                assert_eq!(
+                    d_tile[row * 8 + col],
+                    want,
+                    "mismatch at ({row},{col})"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # smat-gpusim
+//!
+//! A functional + analytical-timing simulator of the NVIDIA A100 execution
+//! model, standing in for the real GPU in this reproduction (the machine has
+//! no CUDA device — see DESIGN.md §2 for the substitution argument).
+//!
+//! Three layers:
+//!
+//! * **Functional Tensor Core** — [`mma::mma_tile`] executes MMA
+//!   instructions with exact low-precision rounding semantics;
+//!   [`frag`] pins the per-lane PTX register layouts of `mma.m16n8k16` and
+//!   proves the tile path equivalent to a 32-lane execution.
+//! * **Accounting** — kernels record instructions, shared-memory
+//!   transactions (with bank-conflict expansion) and sector-rounded global
+//!   traffic in [`Counters`] through a [`WarpCtx`].
+//! * **Timing** — [`Gpu::launch`] maps warps to SMs with the static
+//!   round-robin schedule of a fixed CUDA grid and converts per-SM counter
+//!   sums into cycles using the datasheet-derived constants in
+//!   [`DeviceConfig`]; kernel time is the slowest SM (load imbalance is
+//!   first-class, as in the paper's `dc2` discussion).
+
+#![forbid(unsafe_code)]
+
+pub mod counters;
+pub mod device;
+pub mod engine;
+pub mod frag;
+pub mod mma;
+pub mod smem;
+
+pub use counters::{shared_transactions, Counters};
+pub use device::DeviceConfig;
+pub use engine::{Bound, BoundProfile, CopyMode, Gpu, LaunchConfig, LaunchResult, SimError, WarpCtx};
+pub use mma::{mma_tile, mma_tile_wide, MmaShape};
+pub use smem::{SharedTile, SmemLayout};

@@ -1,0 +1,184 @@
+//! Tile-level functional Tensor Core MMA.
+//!
+//! This is the fast path used by the simulated kernels: one call computes a
+//! whole `m×n` accumulator tile from row-major `m×k` / `k×n` operand tiles
+//! with Tensor Core accumulation semantics (wide accumulator along K, one
+//! rounding on store). `frag.rs` proves this equivalent to a per-lane
+//! 32-thread execution of `mma.sync.aligned.m16n8k16`.
+
+use smat_formats::scalar::Element;
+
+/// An MMA instruction shape `mMnNkK`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MmaShape {
+    /// Rows of A and C.
+    pub m: usize,
+    /// Columns of B and C.
+    pub n: usize,
+    /// Reduction dimension.
+    pub k: usize,
+}
+
+impl MmaShape {
+    /// `mma.m16n8k16` — FP16/BF16 (the paper's Listing 1 instruction).
+    pub const M16N8K16: MmaShape = MmaShape { m: 16, n: 8, k: 16 };
+    /// `mma.m16n8k8` — FP16/TF32.
+    pub const M16N8K8: MmaShape = MmaShape { m: 16, n: 8, k: 8 };
+    /// `mma.m16n8k32` — INT8.
+    pub const M16N8K32: MmaShape = MmaShape { m: 16, n: 8, k: 32 };
+    /// `mma.m8n8k16` — INT8 (small variant).
+    pub const M8N8K16: MmaShape = MmaShape { m: 8, n: 8, k: 16 };
+
+    /// FLOP performed by one instruction of this shape (multiply + add).
+    pub fn flop(&self) -> usize {
+        2 * self.m * self.n * self.k
+    }
+
+    /// The MMA shapes the A100 Tensor Core supports for a given element
+    /// type (by `Element::NAME`), mirroring the PTX ISA table. Returns the
+    /// preferred (largest-K) shape first.
+    pub fn supported_for(elem: &str) -> &'static [MmaShape] {
+        match elem {
+            "f16" | "bf16" => &[MmaShape::M16N8K16, MmaShape::M16N8K8],
+            "i8" => &[MmaShape::M16N8K32, MmaShape::M8N8K16],
+            "i16" => &[MmaShape::M16N8K16], // Magicube's int16 path: fp16-rate
+            _ => &[],
+        }
+    }
+
+    /// Whether a BCSR block of `h×w` can feed the A operand of this shape.
+    pub fn fits_block(&self, h: usize, w: usize) -> bool {
+        self.m == h && self.k == w
+    }
+}
+
+/// Executes `D = A·B + C` on row-major tiles with Tensor Core semantics.
+///
+/// * `a`: `m×k` row-major, `b`: `k×n` row-major, `c`: `m×n` row-major
+///   accumulator, updated in place.
+/// * Products and the K-dimension sum are computed in `T::Accum`; the
+///   result is rounded to `T` once per element, matching the hardware
+///   datapath (and `frag::mma_sync_m16n8k16`).
+///
+/// # Panics
+/// Panics if slice lengths do not match the shape.
+pub fn mma_tile<T: Element>(shape: MmaShape, a: &[T], b: &[T], c: &mut [T]) {
+    let (m, n, k) = (shape.m, shape.n, shape.k);
+    assert_eq!(a.len(), m * k, "A tile must be m*k");
+    assert_eq!(b.len(), k * n, "B tile must be k*n");
+    assert_eq!(c.len(), m * n, "C tile must be m*n");
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let mut acc = T::accum_zero();
+            for (kk, &av) in arow.iter().enumerate() {
+                acc = T::mul_acc(acc, av, b[kk * n + j]);
+            }
+            // Fold the existing accumulator in at wide precision.
+            let folded = T::mul_acc(acc, c[i * n + j], T::from_f64(1.0));
+            c[i * n + j] = T::from_accum(folded);
+        }
+    }
+}
+
+/// Executes `D = A·B + C` keeping the accumulator in wide precision
+/// (`T::Accum`) across calls — the `f32`-accumulate MMA variants, and the
+/// variant SMaT uses to chain block MMAs without intermediate rounding
+/// until the epilogue.
+pub fn mma_tile_wide<T: Element>(
+    shape: MmaShape,
+    a: &[T],
+    b: &[T],
+    c: &mut [T::Accum],
+) {
+    let (m, n, k) = (shape.m, shape.n, shape.k);
+    assert_eq!(a.len(), m * k, "A tile must be m*k");
+    assert_eq!(b.len(), k * n, "B tile must be k*n");
+    assert_eq!(c.len(), m * n, "C tile must be m*n");
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let mut acc = c[i * n + j];
+            for (kk, &av) in arow.iter().enumerate() {
+                acc = T::mul_acc(acc, av, b[kk * n + j]);
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frag;
+    use smat_formats::F16;
+
+    #[test]
+    fn shape_flop_counts() {
+        assert_eq!(MmaShape::M16N8K16.flop(), 4096);
+        assert_eq!(MmaShape::M16N8K8.flop(), 2048);
+        assert_eq!(MmaShape::M16N8K32.flop(), 8192);
+    }
+
+    #[test]
+    fn supported_shapes_per_type() {
+        assert!(MmaShape::supported_for("f16").contains(&MmaShape::M16N8K16));
+        assert!(MmaShape::supported_for("i8").contains(&MmaShape::M16N8K32));
+        assert!(MmaShape::supported_for("f64").is_empty());
+    }
+
+    #[test]
+    fn fits_block() {
+        assert!(MmaShape::M16N8K16.fits_block(16, 16));
+        assert!(!MmaShape::M16N8K16.fits_block(16, 8));
+        assert!(MmaShape::M16N8K8.fits_block(16, 8));
+    }
+
+    #[test]
+    fn tile_mma_matches_per_lane_fragment_mma() {
+        let a_tile: Vec<F16> = (0..256)
+            .map(|i| F16::from_f32(((i * 3) % 17) as f32 - 8.0))
+            .collect();
+        let b_tile: Vec<F16> = (0..128)
+            .map(|i| F16::from_f32(((i * 11) % 9) as f32 - 4.0))
+            .collect();
+        let c_init: Vec<F16> = (0..128).map(|i| F16::from_f32((i % 5) as f32)).collect();
+
+        let mut c_fast = c_init.clone();
+        mma_tile(MmaShape::M16N8K16, &a_tile, &b_tile, &mut c_fast);
+
+        let d = frag::mma_sync_m16n8k16(
+            &frag::distribute_a(&a_tile),
+            &frag::distribute_b(&b_tile),
+            &frag::distribute_c(&c_init),
+        );
+        assert_eq!(frag::collect_c(&d), c_fast);
+    }
+
+    #[test]
+    fn wide_accumulation_defers_rounding() {
+        // With f16 accumulation, adding 1.0 to 2048 is lost at every step;
+        // a wide (f32) accumulator keeps it.
+        let shape = MmaShape { m: 1, n: 1, k: 2 };
+        let a = [F16::from_f32(2048.0), F16::from_f32(1.0)];
+        let b = [F16::ONE, F16::ONE];
+        let mut wide = [0f32];
+        mma_tile_wide::<F16>(shape, &a, &b, &mut wide);
+        assert_eq!(wide[0], 2049.0);
+        // Narrow path rounds to f16 when storing D.
+        let mut narrow = [F16::ZERO];
+        mma_tile(shape, &a, &b, &mut narrow);
+        assert_eq!(narrow[0].to_f32(), 2048.0);
+    }
+
+    #[test]
+    fn i8_path_accumulates_in_i32() {
+        let shape = MmaShape { m: 2, n: 2, k: 4 };
+        let a: Vec<i8> = vec![100, 100, 100, 100, 1, 2, 3, 4];
+        let b: Vec<i8> = vec![100; 8];
+        let mut c = vec![0i32; 4];
+        mma_tile_wide::<i8>(shape, &a, &b, &mut c);
+        assert_eq!(c[0], 40_000, "no i8 overflow in the accumulator");
+        assert_eq!(c[2], 1000);
+    }
+}

@@ -1,0 +1,204 @@
+//! Shared-memory staging layouts and `ldmatrix` bank-conflict analysis.
+//!
+//! §II-A3 of the paper: "memory alignment and software pipelining play an
+//! important role" — concretely, a 16×16 FP16 tile staged row-major into
+//! shared memory causes multi-way bank conflicts when `ldmatrix` reads it
+//! back (rows 32 bytes apart revisit the same banks). The standard cures
+//! are an XOR swizzle of the chunk address (effective for wide tiles) or a
+//! skewed/padded row stride (the fix for narrow MMA operands). This module
+//! models all three layouts, computes the exact transaction counts the
+//! hardware would issue, and provides a functional staging buffer so
+//! kernels can verify the remappings are value-preserving.
+
+use crate::counters::shared_transactions;
+
+/// How a tile is laid out in shared memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SmemLayout {
+    /// Naive row-major: element `(r, c)` at byte `r·row_stride + c·elem`.
+    RowMajor,
+    /// XOR swizzle: the 16-byte chunk index within a row is XORed with the
+    /// low bits of the row, spreading rows across banks (the cutlass /
+    /// CUDA-samples pattern). Effective when a row spans ≥ 8 chunks; a
+    /// 32-byte-wide tile has only 2 chunks and cannot be fixed this way.
+    XorSwizzle,
+    /// Skewed row stride: each row is padded by one 16-byte chunk, shifting
+    /// successive rows across banks — the classic remedy for *narrow* tiles
+    /// like the 16×16 FP16 MMA operand.
+    Padded,
+}
+
+/// A staged tile of `rows × cols` 2-byte elements in simulated shared
+/// memory, supporting both layouts.
+#[derive(Clone, Debug)]
+pub struct SharedTile {
+    rows: usize,
+    cols: usize,
+    layout: SmemLayout,
+    /// Backing bytes, addressed by the layout functions.
+    data: Vec<u16>,
+}
+
+impl SharedTile {
+    /// Allocates a tile. `cols` should be a multiple of 8 halves (16 bytes)
+    /// so rows decompose into whole chunks.
+    pub fn new(rows: usize, cols: usize, layout: SmemLayout) -> Self {
+        let stride_halves = match layout {
+            SmemLayout::Padded => cols + 8, // one 16-byte skew chunk
+            _ => cols,
+        };
+        SharedTile {
+            rows,
+            cols,
+            layout,
+            data: vec![0u16; rows * stride_halves],
+        }
+    }
+
+    #[inline]
+    fn row_stride_bytes(&self) -> u64 {
+        match self.layout {
+            SmemLayout::Padded => ((self.cols + 8) * 2) as u64,
+            _ => (self.cols * 2) as u64,
+        }
+    }
+
+    /// Byte address of element `(r, c)` under the configured layout.
+    pub fn addr(&self, r: usize, c: usize) -> u64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        let base = r as u64 * self.row_stride_bytes();
+        match self.layout {
+            SmemLayout::RowMajor => base + (c * 2) as u64,
+            SmemLayout::XorSwizzle => {
+                // Swizzle 16-byte chunks: chunk index ^= low bits of row.
+                let chunk = (c * 2 / 16) as u64;
+                let within = (c * 2 % 16) as u64;
+                let chunks_per_row = (self.row_stride_bytes() / 16).max(1);
+                let swizzled = (chunk ^ (r as u64)) % chunks_per_row;
+                base + swizzled * 16 + within
+            }
+            SmemLayout::Padded => base + (c * 2) as u64,
+        }
+    }
+
+    /// Stores element `(r, c)`.
+    pub fn store(&mut self, r: usize, c: usize, v: u16) {
+        let a = self.addr(r, c) / 2;
+        self.data[a as usize] = v;
+    }
+
+    /// Loads element `(r, c)`.
+    pub fn load(&self, r: usize, c: usize) -> u16 {
+        let a = self.addr(r, c) / 2;
+        self.data[a as usize]
+    }
+
+    /// Transactions of one `ldmatrix.m8n8` phase reading 8 consecutive tile
+    /// rows starting at `row0`, 16 bytes per row from column-chunk `chunk`
+    /// (each lane supplies one row address; the hardware coalesces the
+    /// 8×16 B into 128 B if the banks don't collide).
+    pub fn ldmatrix_phase_transactions(&self, row0: usize, chunk: usize) -> u64 {
+        let mut addrs = Vec::with_capacity(32);
+        for r in row0..(row0 + 8).min(self.rows) {
+            // The 16-byte row segment covers 4 consecutive 4-byte words.
+            let base = self.addr(r, chunk * 8); // 8 halves = 16 bytes
+            for w in 0..4 {
+                addrs.push(base + w * 4);
+            }
+        }
+        shared_transactions(&addrs)
+    }
+
+    /// Total transactions of an `ldmatrix.x4` reading a 16×16 FP16 operand
+    /// (four 8×8 matrices = four phases).
+    pub fn ldmatrix_x4_transactions(&self) -> u64 {
+        assert!(self.rows >= 16 && self.cols >= 16, "x4 needs a 16x16 tile");
+        let mut total = 0;
+        for (row0, chunk) in [(0, 0), (8, 0), (0, 1), (8, 1)] {
+            total += self.ldmatrix_phase_transactions(row0, chunk);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staged(layout: SmemLayout) -> SharedTile {
+        let mut t = SharedTile::new(16, 16, layout);
+        for r in 0..16 {
+            for c in 0..16 {
+                t.store(r, c, (r * 16 + c) as u16);
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn row_major_16x16_ldmatrix_conflicts() {
+        // Row stride 32 B = 8 words: rows 4 apart hit the same banks, so
+        // each 8-row phase is a 2-way conflict -> 8 transactions for x4
+        // instead of the ideal 4.
+        let t = staged(SmemLayout::RowMajor);
+        assert_eq!(t.ldmatrix_x4_transactions(), 8);
+    }
+
+    #[test]
+    fn xor_swizzle_cannot_fix_narrow_tiles() {
+        // A 16x16 FP16 tile has only 2 chunks per row: the XOR swizzle
+        // degenerates to a parity flip and the 4-row bank period remains.
+        let t = staged(SmemLayout::XorSwizzle);
+        assert_eq!(t.ldmatrix_x4_transactions(), 8);
+    }
+
+    #[test]
+    fn padded_stride_removes_conflicts_on_narrow_tiles() {
+        // The 16-byte skew shifts each row by 4 banks: 8 consecutive rows
+        // cover all 32 banks exactly once per phase.
+        let t = staged(SmemLayout::Padded);
+        assert_eq!(
+            t.ldmatrix_x4_transactions(),
+            4,
+            "padded staging must be conflict-free (1 transaction/phase)"
+        );
+    }
+
+    #[test]
+    fn all_layouts_preserve_values() {
+        let plain = staged(SmemLayout::RowMajor);
+        for layout in [SmemLayout::XorSwizzle, SmemLayout::Padded] {
+            let other = staged(layout);
+            for r in 0..16 {
+                for c in 0..16 {
+                    assert_eq!(plain.load(r, c), other.load(r, c), "at ({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn swizzle_is_a_bijection_within_each_row() {
+        // Every byte address must be used exactly once.
+        let t = SharedTile::new(16, 16, SmemLayout::XorSwizzle);
+        let mut seen = std::collections::HashSet::new();
+        for r in 0..16 {
+            for c in 0..16 {
+                assert!(seen.insert(t.addr(r, c)), "collision at ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn wider_tiles_are_conflict_free_even_row_major() {
+        // A 16x64 FP16 tile has a 128-byte row stride: each row occupies
+        // all 32 banks once, and an ldmatrix phase over one 16-byte chunk
+        // column still collides (same chunk -> same banks every row).
+        let t = SharedTile::new(16, 64, SmemLayout::RowMajor);
+        // 8 rows, same chunk: all rows hit the same 4 banks -> 8-way.
+        assert_eq!(t.ldmatrix_phase_transactions(0, 0), 8);
+        // Swizzle fixes it.
+        let t = SharedTile::new(16, 64, SmemLayout::XorSwizzle);
+        assert_eq!(t.ldmatrix_phase_transactions(0, 0), 1);
+    }
+}

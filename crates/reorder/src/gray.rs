@@ -1,0 +1,150 @@
+//! Gray-code row ordering (Zhao et al., ICCD 2020): rows sorted by the
+//! binary-reflected Gray code of their sparsity bit pattern, so that
+//! consecutive rows differ in few columns — a locality-maximizing ordering
+//! evaluated as a preprocessing candidate in §IV-C.
+
+use smat_formats::{Csr, Element, Permutation};
+
+use crate::stats::row_block_cols;
+
+/// Parameters of the Gray-code ordering.
+#[derive(Clone, Copy, Debug)]
+pub struct GrayParams {
+    /// Block width used to quantize column patterns.
+    pub block_w: usize,
+    /// Number of leading pattern bits folded into the sort key. Patterns are
+    /// hashed into this many buckets (one bit per bucket) before the
+    /// binary→Gray transform; 64 matches one machine word.
+    pub key_bits: usize,
+}
+
+impl Default for GrayParams {
+    fn default() -> Self {
+        GrayParams {
+            block_w: 16,
+            key_bits: 64,
+        }
+    }
+}
+
+/// Binary-reflected Gray code of `b` (`g = b ^ (b >> 1)`).
+#[inline]
+pub fn to_gray(b: u64) -> u64 {
+    b ^ (b >> 1)
+}
+
+/// Inverse Gray code (for tests).
+pub fn from_gray(mut g: u64) -> u64 {
+    let mut b = g;
+    while g != 0 {
+        g >>= 1;
+        b ^= g;
+    }
+    b
+}
+
+/// Sort key of one row: its block-column occupancy folded to `key_bits`
+/// bits (most-significant bit = lowest block column, so leading columns
+/// dominate the order), interpreted *as a Gray code* and decoded to the
+/// binary rank. Rows sorted by this rank enumerate patterns along the Gray
+/// sequence, which changes one bucket at a time.
+fn gray_rank(pattern: &[usize], nbc: usize, key_bits: usize) -> u64 {
+    let bits = key_bits.clamp(1, 64);
+    let mut key = 0u64;
+    for &bc in pattern {
+        // Scale block column into the key range (stable for nbc < bits and
+        // a coarse bucketing otherwise).
+        let pos = if nbc <= bits {
+            bc
+        } else {
+            bc * bits / nbc
+        };
+        key |= 1u64 << (bits - 1 - pos.min(bits - 1));
+    }
+    from_gray(key)
+}
+
+/// Computes the Gray-code row permutation. Ties (identical keys) keep their
+/// original relative order, and empty rows sort last.
+pub fn gray_row_permutation<T: Element>(csr: &Csr<T>, params: &GrayParams) -> Permutation {
+    let patterns = row_block_cols(csr, params.block_w);
+    let nbc = csr.ncols().div_ceil(params.block_w).max(1);
+    let mut keyed: Vec<(bool, u64, usize)> = patterns
+        .iter()
+        .enumerate()
+        .map(|(r, pat)| {
+            if pat.is_empty() {
+                (true, 0, r) // empty rows last
+            } else {
+                (false, gray_rank(pat, nbc, params.key_bits), r)
+            }
+        })
+        .collect();
+    keyed.sort();
+    Permutation::from_vec(keyed.into_iter().map(|(_, _, r)| r).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::count_blocks;
+    use smat_formats::Coo;
+
+    #[test]
+    fn gray_code_roundtrip() {
+        for b in [0u64, 1, 2, 3, 100, u64::MAX, 0xdead_beef] {
+            assert_eq!(from_gray(to_gray(b)), b);
+        }
+    }
+
+    #[test]
+    fn gray_neighbors_differ_in_one_bit() {
+        for b in 0u64..256 {
+            let diff = to_gray(b) ^ to_gray(b + 1);
+            assert_eq!(diff.count_ones(), 1, "at {b}");
+        }
+    }
+
+    #[test]
+    fn groups_identical_patterns_adjacent() {
+        let mut coo = Coo::new(8, 8);
+        // Rows alternate between pattern {0} and pattern {4}.
+        for r in 0..8 {
+            coo.push(r, if r % 2 == 0 { 0 } else { 4 }, 1.0);
+        }
+        let m = coo.to_csr();
+        let p = gray_row_permutation(
+            &m,
+            &GrayParams {
+                block_w: 4,
+                key_bits: 8,
+            },
+        );
+        let before = count_blocks(&m, 4, 4);
+        let after = count_blocks(&m.permute_rows(&p), 4, 4);
+        assert!(after < before, "before={before} after={after}");
+        assert_eq!(after, 2);
+    }
+
+    #[test]
+    fn empty_rows_sort_last() {
+        let mut coo = Coo::new(4, 4);
+        coo.push(2, 0, 1.0);
+        let m = coo.to_csr();
+        let p = gray_row_permutation(&m, &GrayParams::default());
+        let pm = m.permute_rows(&p);
+        assert_eq!(pm.row_nnz(0), 1);
+        assert_eq!(pm.row_nnz(3), 0);
+    }
+
+    #[test]
+    fn stable_for_identical_keys() {
+        let mut coo = Coo::new(3, 4);
+        for r in 0..3 {
+            coo.push(r, 1, (r + 1) as f32);
+        }
+        let m = coo.to_csr();
+        let p = gray_row_permutation(&m, &GrayParams::default());
+        assert!(p.is_identity(), "identical patterns keep original order");
+    }
+}

@@ -1,0 +1,256 @@
+//! Sylos Labini's Jaccard-similarity row clustering (IA³'22), the
+//! preprocessing scheme SMaT adopts (§IV-C): greedily cluster rows whose
+//! block-column patterns are close in Jaccard distance, so that rows sharing
+//! columns land in the same block row and blocks densify.
+
+use smat_formats::{Csr, Element, Permutation};
+
+use crate::stats::{jaccard_distance, merge_sorted_into, row_block_cols};
+
+/// Parameters of the greedy clustering.
+#[derive(Clone, Copy, Debug)]
+pub struct JaccardParams {
+    /// Maximum Jaccard distance for a row to join a cluster (the paper's
+    /// threshold τ). Smaller is stricter; 0.6–0.8 works well in practice.
+    pub tau: f64,
+    /// Block width used to quantize column patterns (MMA K dimension).
+    pub block_w: usize,
+    /// Close a cluster once it reaches this many rows; `None` lets clusters
+    /// grow without bound (the original algorithm). Capping at the block
+    /// height keeps the scan cost linear and aligns clusters with BCSR
+    /// block rows.
+    pub max_cluster_rows: Option<usize>,
+}
+
+impl Default for JaccardParams {
+    fn default() -> Self {
+        JaccardParams {
+            tau: 0.7,
+            block_w: 16,
+            max_cluster_rows: Some(16),
+        }
+    }
+}
+
+/// Computes the row permutation produced by the greedy Jaccard clustering.
+///
+/// The returned permutation gathers clustered rows into adjacent positions
+/// (`A' = P·A`). Empty rows are collected into trailing clusters.
+pub fn jaccard_row_permutation<T: Element>(
+    csr: &Csr<T>,
+    params: &JaccardParams,
+) -> Permutation {
+    let patterns = row_block_cols(csr, params.block_w);
+    let n = patterns.len();
+
+    // Inverted index: block column -> rows whose pattern contains it. Used
+    // to enumerate candidate rows that can have nonzero Jaccard overlap
+    // with the current cluster, instead of scanning all rows.
+    let nbc = csr.ncols().div_ceil(params.block_w);
+    let mut rows_of_bc: Vec<Vec<u32>> = vec![Vec::new(); nbc];
+    for (r, pat) in patterns.iter().enumerate() {
+        for &bc in pat {
+            rows_of_bc[bc].push(r as u32);
+        }
+    }
+
+    let mut clustered = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut empty_rows: Vec<usize> = Vec::new();
+    // Per-candidate visit stamp to avoid re-checking a row for the same
+    // cluster; and a cursor per block column so each inverted list is
+    // consumed at most once over the whole run (rows before the cursor are
+    // already clustered).
+    let mut stamp = vec![0u32; n];
+    let mut epoch = 0u32;
+
+    for seed in 0..n {
+        if clustered[seed] {
+            continue;
+        }
+        if patterns[seed].is_empty() {
+            clustered[seed] = true;
+            empty_rows.push(seed);
+            continue;
+        }
+        clustered[seed] = true;
+        order.push(seed);
+        let mut cluster_pat: Vec<usize> = patterns[seed].clone();
+        let mut cluster_rows = 1usize;
+        let cap = params.max_cluster_rows.unwrap_or(usize::MAX);
+
+        // Grow the cluster: repeatedly scan candidates sharing a block
+        // column with the current cluster pattern.
+        let mut grew = true;
+        while grew && cluster_rows < cap {
+            grew = false;
+            epoch += 1;
+            // Snapshot: merging updates cluster_pat; candidates from newly
+            // added block columns are picked up on the next sweep.
+            let snapshot = cluster_pat.clone();
+            'cols: for &bc in &snapshot {
+                for &rw in &rows_of_bc[bc] {
+                    let r = rw as usize;
+                    if clustered[r] || stamp[r] == epoch {
+                        continue;
+                    }
+                    stamp[r] = epoch;
+                    if jaccard_distance(&patterns[r], &cluster_pat) < params.tau {
+                        clustered[r] = true;
+                        order.push(r);
+                        merge_sorted_into(&mut cluster_pat, &patterns[r]);
+                        cluster_rows += 1;
+                        grew = true;
+                        if cluster_rows >= cap {
+                            break 'cols;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    order.extend_from_slice(&empty_rows);
+    debug_assert_eq!(order.len(), n);
+    Permutation::from_vec(order)
+}
+
+/// Row *and* column clustering: cluster rows first, then apply the same
+/// procedure to the columns of the row-permuted matrix (via its transpose).
+/// The paper evaluates this variant and finds the extra column permutation
+/// does not pay for the cost of reshuffling `B` (§IV-C, §VI-A).
+pub fn jaccard_row_col_permutation<T: Element>(
+    csr: &Csr<T>,
+    params: &JaccardParams,
+) -> (Permutation, Permutation) {
+    let row_perm = jaccard_row_permutation(csr, params);
+    let permuted = csr.permute_rows(&row_perm);
+    let col_params = JaccardParams {
+        // Quantize row patterns at block height when clustering columns.
+        block_w: params.max_cluster_rows.unwrap_or(16).max(1),
+        ..*params
+    };
+    let col_perm = jaccard_row_permutation(&permuted.transpose(), &col_params);
+    (row_perm, col_perm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::count_blocks;
+    use smat_formats::Coo;
+
+    /// Two interleaved row families: odd rows hit columns 0..4, even rows
+    /// hit columns 8..12. Clustering should separate the families.
+    fn interleaved(n: usize) -> Csr<f32> {
+        let mut coo = Coo::new(n, 16);
+        for r in 0..n {
+            let base = if r % 2 == 0 { 0 } else { 8 };
+            for c in base..base + 4 {
+                coo.push(r, c, 1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn clustering_reduces_block_count() {
+        let m = interleaved(32);
+        let params = JaccardParams {
+            tau: 0.5,
+            block_w: 4,
+            max_cluster_rows: Some(4),
+        };
+        let p = jaccard_row_permutation(&m, &params);
+        let before = count_blocks(&m, 4, 4);
+        let after = count_blocks(&m.permute_rows(&p), 4, 4);
+        assert!(
+            after < before,
+            "clustering should densify blocks: before={before}, after={after}"
+        );
+        // Perfect clustering: each 4-row block covers one 4-wide family
+        // chunk -> 8 block rows x 1 block = 8 blocks.
+        assert_eq!(after, 8);
+    }
+
+    #[test]
+    fn result_is_valid_permutation() {
+        let m = interleaved(17); // odd size exercises tail handling
+        let p = jaccard_row_permutation(&m, &JaccardParams::default());
+        assert_eq!(p.len(), 17);
+        // Permutation::from_vec validates bijectivity internally; spot-check
+        // the product is the same matrix up to row order.
+        let pm = m.permute_rows(&p);
+        assert_eq!(pm.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn empty_rows_go_last() {
+        let mut coo = Coo::new(6, 4);
+        coo.push(0, 0, 1.0);
+        coo.push(3, 0, 1.0);
+        // rows 1,2,4,5 empty
+        let m = coo.to_csr();
+        let p = jaccard_row_permutation(&m, &JaccardParams::default());
+        let pm = m.permute_rows(&p);
+        assert!(pm.row_nnz(0) > 0);
+        assert!(pm.row_nnz(1) > 0);
+        for r in 2..6 {
+            assert_eq!(pm.row_nnz(r), 0, "row {r} should be empty");
+        }
+    }
+
+    #[test]
+    fn identity_on_already_banded_matrix() {
+        // A band matrix is already optimally blocked; clustering must not
+        // make it worse (the conf5_4-8x8 caveat in §VI-A notes Jaccard *can*
+        // hurt; with matched tau and cap the band case stays optimal).
+        let mut coo = Coo::new(16, 16);
+        for r in 0usize..16 {
+            for c in r.saturating_sub(1)..(r + 2).min(16) {
+                coo.push(r, c, 1.0);
+            }
+        }
+        let m = coo.to_csr();
+        let params = JaccardParams {
+            tau: 0.9,
+            block_w: 4,
+            max_cluster_rows: Some(4),
+        };
+        let p = jaccard_row_permutation(&m, &params);
+        let before = count_blocks(&m, 4, 4);
+        let after = count_blocks(&m.permute_rows(&p), 4, 4);
+        assert!(after <= before + 2, "before={before} after={after}");
+    }
+
+    #[test]
+    fn row_col_variant_returns_two_valid_permutations() {
+        let m = interleaved(16);
+        let params = JaccardParams {
+            tau: 0.5,
+            block_w: 4,
+            max_cluster_rows: Some(4),
+        };
+        let (rp, cp) = jaccard_row_col_permutation(&m, &params);
+        assert_eq!(rp.len(), 16);
+        assert_eq!(cp.len(), 16);
+        let pm = m.permute_rows(&rp).permute_cols(&cp);
+        assert_eq!(pm.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn unbounded_clusters_also_work() {
+        let m = interleaved(16);
+        let params = JaccardParams {
+            tau: 0.5,
+            block_w: 4,
+            max_cluster_rows: None,
+        };
+        let p = jaccard_row_permutation(&m, &params);
+        let pm = m.permute_rows(&p);
+        // With unbounded clusters the two families form two contiguous runs.
+        let first_family: Vec<bool> = (0..16).map(|r| pm.row_cols(r)[0] < 8).collect();
+        let transitions = first_family.windows(2).filter(|w| w[0] != w[1]).count();
+        assert_eq!(transitions, 1, "families must be contiguous: {first_family:?}");
+    }
+}

@@ -1,0 +1,347 @@
+//! # smat-reorder
+//!
+//! Block-densifying sparse matrix reordering — the preprocessing stage of
+//! SMaT (§IV-C of the paper). Finding the block-minimizing permutation is
+//! NP-hard; this crate implements the heuristics the paper evaluates:
+//!
+//! * [`jaccard`] — Sylos Labini's Jaccard-distance row clustering (the
+//!   scheme SMaT adopts), in row-only and row+column variants;
+//! * [`rcm`] — Reverse Cuthill–McKee bandwidth minimization;
+//! * [`saad`] — Saad's representative-based similarity grouping;
+//! * [`gray`] — Gray-code pattern ordering;
+//! * degree sort — a simple nnz-descending baseline.
+//!
+//! All algorithms return a [`Permutation`] (`A' = P·A`); row permutations
+//! are free for SpMM (the result rows are permuted back, `B` untouched),
+//! while column permutations additionally reshuffle `B` — which is why the
+//! paper rejects them after evaluation.
+
+#![forbid(unsafe_code)]
+
+pub mod bisection;
+pub mod gray;
+pub mod jaccard;
+pub mod rcm;
+pub mod saad;
+pub mod stats;
+
+use smat_formats::{BlockRowStats, Csr, Element, Permutation};
+
+pub use bisection::{bisection_row_permutation, BisectionParams};
+pub use gray::{gray_row_permutation, GrayParams};
+pub use jaccard::{jaccard_row_col_permutation, jaccard_row_permutation, JaccardParams};
+pub use rcm::{bandwidth, rcm_permutation};
+pub use saad::{saad_row_permutation, SaadParams};
+
+/// The reordering schemes evaluated in the paper, unified behind one
+/// dispatcher ([`reorder`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ReorderAlgorithm {
+    /// No reordering (`P = I`).
+    Identity,
+    /// Sylos Labini's Jaccard clustering, rows only — SMaT's default.
+    JaccardRows {
+        /// Join threshold on Jaccard distance.
+        tau: f64,
+    },
+    /// Jaccard clustering on rows and then on columns (evaluated and
+    /// rejected by the paper: the block reduction does not pay for
+    /// reshuffling `B`).
+    JaccardRowsCols {
+        /// Join threshold on Jaccard distance.
+        tau: f64,
+    },
+    /// Reverse Cuthill–McKee (square matrices only; falls back to identity
+    /// for rectangular inputs).
+    ReverseCuthillMcKee,
+    /// Saad's representative-similarity grouping.
+    Saad {
+        /// Minimum cosine similarity to join a group.
+        tau: f64,
+    },
+    /// Gray-code pattern ordering.
+    GrayCode,
+    /// Recursive bisection with FM refinement (the hypergraph-partitioning
+    /// family of Çatalyürek et al.).
+    Bisection,
+    /// Rows sorted by descending nonzero count (load-balance baseline).
+    DegreeSort,
+}
+
+impl ReorderAlgorithm {
+    /// SMaT's default preprocessing: row-only Jaccard clustering with the
+    /// threshold used throughout the evaluation.
+    pub fn smat_default() -> Self {
+        ReorderAlgorithm::JaccardRows { tau: 0.7 }
+    }
+
+    /// Short name for experiment records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReorderAlgorithm::Identity => "original",
+            ReorderAlgorithm::JaccardRows { .. } => "jaccard-rows",
+            ReorderAlgorithm::JaccardRowsCols { .. } => "jaccard-rows-cols",
+            ReorderAlgorithm::ReverseCuthillMcKee => "rcm",
+            ReorderAlgorithm::Saad { .. } => "saad",
+            ReorderAlgorithm::GrayCode => "gray",
+            ReorderAlgorithm::Bisection => "bisection",
+            ReorderAlgorithm::DegreeSort => "degree-sort",
+        }
+    }
+}
+
+/// The permutations produced by a reordering scheme.
+#[derive(Clone, Debug)]
+pub struct Reordering {
+    /// Row permutation `P` (`A' = P·A`).
+    pub row_perm: Permutation,
+    /// Optional column permutation `Q` (`A' = P·A·Qᵀ`); when present, `B`
+    /// must be row-permuted by `Q` before the multiply.
+    pub col_perm: Option<Permutation>,
+}
+
+impl Reordering {
+    /// Identity reordering for an `nrows`-row matrix.
+    pub fn identity(nrows: usize) -> Self {
+        Reordering {
+            row_perm: Permutation::identity(nrows),
+            col_perm: None,
+        }
+    }
+
+    /// Applies the reordering to a matrix.
+    pub fn apply<T: Element>(&self, csr: &Csr<T>) -> Csr<T> {
+        let rp = csr.permute_rows(&self.row_perm);
+        match &self.col_perm {
+            Some(cp) => rp.permute_cols(cp),
+            None => rp,
+        }
+    }
+}
+
+/// Runs the selected reordering scheme with block shape `block_h×block_w`
+/// (the shape the downstream BCSR will use; pattern quantization follows it).
+pub fn reorder<T: Element>(
+    csr: &Csr<T>,
+    alg: ReorderAlgorithm,
+    block_h: usize,
+    block_w: usize,
+) -> Reordering {
+    match alg {
+        ReorderAlgorithm::Identity => Reordering::identity(csr.nrows()),
+        ReorderAlgorithm::JaccardRows { tau } => {
+            let params = JaccardParams {
+                tau,
+                block_w,
+                max_cluster_rows: Some(block_h),
+            };
+            Reordering {
+                row_perm: jaccard_row_permutation(csr, &params),
+                col_perm: None,
+            }
+        }
+        ReorderAlgorithm::JaccardRowsCols { tau } => {
+            let params = JaccardParams {
+                tau,
+                block_w,
+                max_cluster_rows: Some(block_h),
+            };
+            let (rp, cp) = jaccard_row_col_permutation(csr, &params);
+            Reordering {
+                row_perm: rp,
+                col_perm: Some(cp),
+            }
+        }
+        ReorderAlgorithm::ReverseCuthillMcKee => {
+            if csr.nrows() == csr.ncols() {
+                Reordering {
+                    row_perm: rcm_permutation(csr),
+                    col_perm: None,
+                }
+            } else {
+                Reordering::identity(csr.nrows())
+            }
+        }
+        ReorderAlgorithm::Saad { tau } => {
+            let params = SaadParams { tau, block_w };
+            Reordering {
+                row_perm: saad_row_permutation(csr, &params),
+                col_perm: None,
+            }
+        }
+        ReorderAlgorithm::GrayCode => {
+            let params = GrayParams {
+                block_w,
+                key_bits: 64,
+            };
+            Reordering {
+                row_perm: gray_row_permutation(csr, &params),
+                col_perm: None,
+            }
+        }
+        ReorderAlgorithm::Bisection => {
+            let params = BisectionParams {
+                min_part: block_h,
+                block_w,
+            };
+            Reordering {
+                row_perm: bisection_row_permutation(csr, &params),
+                col_perm: None,
+            }
+        }
+        ReorderAlgorithm::DegreeSort => {
+            let mut idx: Vec<usize> = (0..csr.nrows()).collect();
+            idx.sort_by_key(|&r| core::cmp::Reverse(csr.row_nnz(r)));
+            Reordering {
+                row_perm: Permutation::from_vec(idx),
+                col_perm: None,
+            }
+        }
+    }
+}
+
+/// Before/after comparison of a reordering: the §VI-A numbers (block count
+/// reduction, blocks-per-row stddev change).
+#[derive(Clone, Debug, serde::Serialize)]
+pub struct ReorderEffect {
+    /// Scheme name.
+    pub algorithm: String,
+    /// Block statistics of the original matrix.
+    pub before: BlockRowStats,
+    /// Block statistics after reordering.
+    pub after: BlockRowStats,
+}
+
+impl ReorderEffect {
+    /// `before.nblocks / after.nblocks` (>1 is an improvement).
+    pub fn block_reduction(&self) -> f64 {
+        if self.after.nblocks == 0 {
+            return 1.0;
+        }
+        self.before.nblocks as f64 / self.after.nblocks as f64
+    }
+
+    /// `before.stddev / after.stddev` (>1 is a load-balance improvement).
+    pub fn stddev_reduction(&self) -> f64 {
+        if self.after.stddev == 0.0 {
+            return if self.before.stddev == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
+        }
+        self.before.stddev / self.after.stddev
+    }
+}
+
+/// Applies `alg` and measures its effect on the `h×w` block structure.
+pub fn evaluate_reordering<T: Element>(
+    csr: &Csr<T>,
+    alg: ReorderAlgorithm,
+    block_h: usize,
+    block_w: usize,
+) -> (Reordering, ReorderEffect) {
+    let before = stats::block_row_stats(csr, block_h, block_w);
+    let r = reorder(csr, alg, block_h, block_w);
+    let after = stats::block_row_stats(&r.apply(csr), block_h, block_w);
+    (
+        r,
+        ReorderEffect {
+            algorithm: alg.name().to_string(),
+            before,
+            after,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_formats::Coo;
+
+    fn shuffled_families() -> Csr<f32> {
+        // 32 rows, 2 interleaved families: clustering should split them.
+        let mut coo = Coo::new(32, 32);
+        for r in 0..32 {
+            let base = if r % 2 == 0 { 0 } else { 16 };
+            for c in (base..base + 16).step_by(4) {
+                coo.push(r, c, 1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn every_algorithm_yields_valid_reordering() {
+        let m = shuffled_families();
+        let algs = [
+            ReorderAlgorithm::Identity,
+            ReorderAlgorithm::JaccardRows { tau: 0.7 },
+            ReorderAlgorithm::JaccardRowsCols { tau: 0.7 },
+            ReorderAlgorithm::ReverseCuthillMcKee,
+            ReorderAlgorithm::Saad { tau: 0.5 },
+            ReorderAlgorithm::GrayCode,
+            ReorderAlgorithm::Bisection,
+            ReorderAlgorithm::DegreeSort,
+        ];
+        for alg in algs {
+            let r = reorder(&m, alg, 4, 4);
+            let pm = r.apply(&m);
+            assert_eq!(pm.nnz(), m.nnz(), "{} lost nonzeros", alg.name());
+            assert_eq!(r.row_perm.len(), 32);
+        }
+    }
+
+    #[test]
+    fn jaccard_improves_interleaved_families() {
+        let m = shuffled_families();
+        let (_, effect) =
+            evaluate_reordering(&m, ReorderAlgorithm::JaccardRows { tau: 0.7 }, 4, 4);
+        assert!(
+            effect.block_reduction() > 1.5,
+            "reduction {}",
+            effect.block_reduction()
+        );
+    }
+
+    #[test]
+    fn identity_reordering_changes_nothing() {
+        let m = shuffled_families();
+        let (r, effect) = evaluate_reordering(&m, ReorderAlgorithm::Identity, 4, 4);
+        assert!(r.row_perm.is_identity());
+        assert_eq!(effect.block_reduction(), 1.0);
+        assert_eq!(effect.before, effect.after);
+    }
+
+    #[test]
+    fn degree_sort_orders_by_row_nnz() {
+        let mut coo = Coo::new(3, 4);
+        coo.push(0, 0, 1.0);
+        coo.push(1, 0, 1.0);
+        coo.push(1, 1, 1.0);
+        coo.push(1, 2, 1.0);
+        coo.push(2, 0, 1.0);
+        coo.push(2, 1, 1.0);
+        let m = coo.to_csr();
+        let r = reorder(&m, ReorderAlgorithm::DegreeSort, 2, 2);
+        let pm = r.apply(&m);
+        assert_eq!(pm.row_nnz(0), 3);
+        assert_eq!(pm.row_nnz(1), 2);
+        assert_eq!(pm.row_nnz(2), 1);
+    }
+
+    #[test]
+    fn rcm_on_rectangular_falls_back_to_identity() {
+        let m = Csr::<f32>::empty(3, 5);
+        let r = reorder(&m, ReorderAlgorithm::ReverseCuthillMcKee, 2, 2);
+        assert!(r.row_perm.is_identity());
+    }
+
+    #[test]
+    fn row_col_reordering_tracks_col_perm() {
+        let m = shuffled_families();
+        let r = reorder(&m, ReorderAlgorithm::JaccardRowsCols { tau: 0.7 }, 4, 4);
+        assert!(r.col_perm.is_some());
+        assert_eq!(r.apply(&m).nnz(), m.nnz());
+    }
+}

@@ -1,0 +1,162 @@
+//! Reverse Cuthill–McKee ordering (Liu & Sherman, 1976): a bandwidth-
+//! minimizing BFS ordering on the symmetrized sparsity graph. One of the
+//! candidate preprocessing schemes evaluated in §IV-C.
+
+use smat_formats::{Csr, Element, Permutation};
+
+/// Computes the RCM row permutation of a square matrix on the symmetrized
+/// pattern `A + Aᵀ`. For each connected component, BFS starts from a
+/// minimum-degree vertex and visits neighbors in increasing degree order;
+/// the final order is reversed.
+///
+/// # Panics
+/// Panics if the matrix is not square (RCM permutes rows and columns
+/// symmetrically; callers apply it to rows only, which is also valid).
+pub fn rcm_permutation<T: Element>(csr: &Csr<T>) -> Permutation {
+    assert_eq!(
+        csr.nrows(),
+        csr.ncols(),
+        "RCM requires a square matrix (pattern graph)"
+    );
+    let n = csr.nrows();
+    let at = csr.transpose();
+
+    // Symmetrized adjacency (sorted union of row patterns of A and Aᵀ),
+    // self-loops removed.
+    let mut adj: Vec<Vec<usize>> = Vec::with_capacity(n);
+    for r in 0..n {
+        let mut nb: Vec<usize> = csr
+            .row_cols(r)
+            .iter()
+            .chain(at.row_cols(r))
+            .copied()
+            .filter(|&c| c != r)
+            .collect();
+        nb.sort_unstable();
+        nb.dedup();
+        adj.push(nb);
+    }
+    let degree: Vec<usize> = adj.iter().map(Vec::len).collect();
+
+    let mut visited = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut scratch: Vec<usize> = Vec::new();
+
+    // Seeds in increasing degree, one BFS per component.
+    let mut seeds: Vec<usize> = (0..n).collect();
+    seeds.sort_unstable_by_key(|&v| degree[v]);
+
+    for &seed in &seeds {
+        if visited[seed] {
+            continue;
+        }
+        visited[seed] = true;
+        queue.push_back(seed);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            scratch.clear();
+            scratch.extend(adj[v].iter().copied().filter(|&u| !visited[u]));
+            scratch.sort_unstable_by_key(|&u| degree[u]);
+            for &u in &scratch {
+                visited[u] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+
+    order.reverse();
+    Permutation::from_vec(order)
+}
+
+/// Matrix bandwidth: `max |i - j|` over stored entries (0 for empty or
+/// diagonal matrices). The quantity RCM minimizes.
+pub fn bandwidth<T: Element>(csr: &Csr<T>) -> usize {
+    csr.iter()
+        .map(|(i, j, _)| i.abs_diff(j))
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_formats::Coo;
+
+    /// A ring graph numbered so that the natural order has large bandwidth.
+    fn scrambled_ring(n: usize) -> Csr<f32> {
+        let mut coo = Coo::new(n, n);
+        // Ring i -- (i+1) but with vertices relabeled by bit-reversal-ish
+        // scramble (multiply by a unit mod n).
+        let scramble = |v: usize| (v * 7 + 3) % n;
+        for i in 0..n {
+            let a = scramble(i);
+            let b = scramble((i + 1) % n);
+            coo.push(a, b, 1.0);
+            coo.push(b, a, 1.0);
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn rcm_reduces_bandwidth_of_scrambled_ring() {
+        let m = scrambled_ring(64);
+        let p = rcm_permutation(&m);
+        // Apply symmetrically to measure true graph bandwidth.
+        let pm = m.permute_rows(&p).permute_cols(&p);
+        assert!(
+            bandwidth(&pm) < bandwidth(&m),
+            "RCM should shrink bandwidth: {} -> {}",
+            bandwidth(&m),
+            bandwidth(&pm)
+        );
+        // A ring has optimal bandwidth 2 under RCM-style level orderings;
+        // allow slack but require near-optimal.
+        assert!(bandwidth(&pm) <= 4, "bandwidth {}", bandwidth(&pm));
+    }
+
+    #[test]
+    fn rcm_handles_disconnected_components() {
+        let mut coo = Coo::new(6, 6);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 0, 1.0);
+        coo.push(4, 5, 1.0);
+        coo.push(5, 4, 1.0);
+        // vertices 2,3 isolated
+        let m = coo.to_csr();
+        let p = rcm_permutation(&m);
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn rcm_on_diagonal_matrix_is_a_permutation() {
+        let mut coo = Coo::new(5, 5);
+        for i in 0..5 {
+            coo.push(i, i, 1.0);
+        }
+        let m = coo.to_csr();
+        let p = rcm_permutation(&m);
+        assert_eq!(p.len(), 5);
+        assert_eq!(bandwidth(&m.permute_rows(&p).permute_cols(&p)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rcm_rejects_rectangular() {
+        let m = Csr::<f32>::empty(3, 4);
+        let _ = rcm_permutation(&m);
+    }
+
+    #[test]
+    fn bandwidth_of_tridiagonal_is_one() {
+        let mut coo = Coo::new(8, 8);
+        for i in 0..8 {
+            coo.push(i, i, 1.0);
+            if i + 1 < 8 {
+                coo.push(i, i + 1, 1.0);
+                coo.push(i + 1, i, 1.0);
+            }
+        }
+        assert_eq!(bandwidth(&coo.to_csr()), 1);
+    }
+}

@@ -1,0 +1,167 @@
+//! Block-structure statistics computed directly on CSR, without
+//! materializing BCSR payloads — the reordering algorithms and the Fig. 3
+//! analysis call these in inner loops.
+
+use smat_formats::{BlockRowStats, Csr, Element};
+
+/// Sorted, deduplicated block-column indices of each *block row* for block
+/// size `h×w`.
+pub fn block_pattern<T: Element>(csr: &Csr<T>, h: usize, w: usize) -> Vec<Vec<usize>> {
+    assert!(h > 0 && w > 0);
+    let nbr = csr.nrows().div_ceil(h);
+    let mut patterns = vec![Vec::new(); nbr];
+    for (bi, pat) in patterns.iter_mut().enumerate() {
+        let lo = bi * h;
+        let hi = (lo + h).min(csr.nrows());
+        for r in lo..hi {
+            pat.extend(csr.row_cols(r).iter().map(|&c| c / w));
+        }
+        pat.sort_unstable();
+        pat.dedup();
+    }
+    patterns
+}
+
+/// Sorted, deduplicated block-column indices of each *row* (row-granular
+/// pattern used by the clustering algorithms before rows are grouped).
+pub fn row_block_cols<T: Element>(csr: &Csr<T>, w: usize) -> Vec<Vec<usize>> {
+    (0..csr.nrows())
+        .map(|r| {
+            let mut v: Vec<usize> = csr.row_cols(r).iter().map(|&c| c / w).collect();
+            v.dedup(); // input is sorted, so dedup suffices
+            v
+        })
+        .collect()
+}
+
+/// Number of nonzero `h×w` blocks (the paper's `n_e`) without building BCSR.
+pub fn count_blocks<T: Element>(csr: &Csr<T>, h: usize, w: usize) -> usize {
+    block_pattern(csr, h, w).iter().map(Vec::len).sum()
+}
+
+/// Blocks per block-row, as needed for the Fig. 3 distributions.
+pub fn blocks_per_row<T: Element>(csr: &Csr<T>, h: usize, w: usize) -> Vec<usize> {
+    block_pattern(csr, h, w).iter().map(Vec::len).collect()
+}
+
+/// [`BlockRowStats`] of a CSR matrix under `h×w` blocking.
+pub fn block_row_stats<T: Element>(csr: &Csr<T>, h: usize, w: usize) -> BlockRowStats {
+    BlockRowStats::from_counts(&blocks_per_row(csr, h, w))
+}
+
+/// Jaccard distance `1 - |a ∩ b| / |a ∪ b|` between two sorted index sets.
+/// Empty-vs-empty is distance 0.
+pub fn jaccard_distance(a: &[usize], b: &[usize]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = sorted_intersection_size(a, b);
+    let union = a.len() + b.len() - inter;
+    1.0 - inter as f64 / union as f64
+}
+
+/// Size of the intersection of two sorted, deduplicated sets.
+pub fn sorted_intersection_size(a: &[usize], b: &[usize]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut n = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            core::cmp::Ordering::Less => i += 1,
+            core::cmp::Ordering::Greater => j += 1,
+            core::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Merges sorted set `b` into sorted set `a` (union, in place).
+pub fn merge_sorted_into(a: &mut Vec<usize>, b: &[usize]) {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut i = 0;
+    let mut j = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            core::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            core::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            core::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    *a = out;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_formats::Coo;
+
+    fn sample() -> Csr<f32> {
+        let mut coo = Coo::new(4, 8);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 1, 1.0);
+        coo.push(1, 4, 1.0);
+        coo.push(2, 0, 1.0);
+        coo.push(3, 7, 1.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn block_pattern_2x2() {
+        let p = block_pattern(&sample(), 2, 2);
+        assert_eq!(p, vec![vec![0, 2], vec![0, 3]]);
+    }
+
+    #[test]
+    fn count_blocks_matches_bcsr() {
+        let m = sample();
+        for (h, w) in [(1, 1), (2, 2), (2, 4), (4, 8), (3, 3)] {
+            let expect = smat_formats::Bcsr::from_csr(&m, h, w).nblocks();
+            assert_eq!(count_blocks(&m, h, w), expect, "block {h}x{w}");
+        }
+    }
+
+    #[test]
+    fn row_block_cols_dedups() {
+        let p = row_block_cols(&sample(), 2);
+        assert_eq!(p[0], vec![0]); // cols 0,1 -> same block col
+        assert_eq!(p[1], vec![2]);
+    }
+
+    #[test]
+    fn jaccard_basic() {
+        assert_eq!(jaccard_distance(&[0, 1], &[0, 1]), 0.0);
+        assert_eq!(jaccard_distance(&[0], &[1]), 1.0);
+        assert!((jaccard_distance(&[0, 1], &[1, 2]) - (1.0 - 1.0 / 3.0)).abs() < 1e-12);
+        assert_eq!(jaccard_distance(&[], &[]), 0.0);
+        assert_eq!(jaccard_distance(&[], &[1]), 1.0);
+    }
+
+    #[test]
+    fn merge_sorted_unions() {
+        let mut a = vec![0, 2, 5];
+        merge_sorted_into(&mut a, &[1, 2, 6]);
+        assert_eq!(a, vec![0, 1, 2, 5, 6]);
+    }
+
+    #[test]
+    fn intersection_size() {
+        assert_eq!(sorted_intersection_size(&[1, 3, 5], &[2, 3, 5, 7]), 2);
+        assert_eq!(sorted_intersection_size(&[], &[1]), 0);
+    }
+}

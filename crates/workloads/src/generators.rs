@@ -1,0 +1,363 @@
+//! Core matrix generators: band matrices (the Fig. 2/9 synthetic workload),
+//! uniform random, RMAT power-law, and mesh stencils.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use smat_formats::{Coo, Csr, Dense, Element};
+
+use crate::values::{coord_value, rhs_value};
+
+/// `n×n` band matrix of half-bandwidth `b`: `a[i][j] != 0` iff
+/// `|i - j| <= b` (the paper's §VI-C definition). `b >= n-1` yields a fully
+/// dense matrix.
+pub fn band<T: Element>(n: usize, b: usize) -> Csr<T> {
+    let mut row_ptr = Vec::with_capacity(n + 1);
+    row_ptr.push(0usize);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    for i in 0..n {
+        let lo = i.saturating_sub(b);
+        let hi = (i + b + 1).min(n);
+        for j in lo..hi {
+            col_idx.push(j);
+            values.push(T::from_f64(coord_value(i, j)));
+        }
+        row_ptr.push(col_idx.len());
+    }
+    Csr::from_raw(n, n, row_ptr, col_idx, values)
+}
+
+/// Number of nonzeros of [`band`] without generating it.
+pub fn band_nnz(n: usize, b: usize) -> usize {
+    (0..n)
+        .map(|i| (i + b + 1).min(n) - i.saturating_sub(b))
+        .sum()
+}
+
+/// Uniform (Erdős–Rényi) random sparse matrix with the given `sparsity`
+/// (fraction of zeros). Sampling is per-row binomial with deterministic
+/// seeding; the diagonal is always present so no row is empty for
+/// `sparsity < 1`.
+pub fn random_uniform<T: Element>(
+    nrows: usize,
+    ncols: usize,
+    sparsity: f64,
+    seed: u64,
+) -> Csr<T> {
+    assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
+    let density = 1.0 - sparsity;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Coo::with_capacity(
+        nrows,
+        ncols,
+        (nrows as f64 * ncols as f64 * density) as usize + nrows,
+    );
+    for i in 0..nrows {
+        if density > 0.0 && ncols > 0 {
+            coo.push(i, i.min(ncols - 1), T::from_f64(coord_value(i, i)));
+        }
+        for j in 0..ncols {
+            if rng.gen::<f64>() < density {
+                coo.push(i, j, T::from_f64(coord_value(i, j)));
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// RMAT power-law generator (Chakrabarti et al.): recursively drops `nnz`
+/// edges into a `2^scale × 2^scale` matrix with quadrant probabilities
+/// `(a, b, c, d)`. The default `(0.57, 0.19, 0.19, 0.05)` produces the
+/// skewed row-degree distributions typical of circuit and web matrices
+/// (the `dc2` pathology).
+pub fn rmat<T: Element>(scale: u32, nnz: usize, seed: u64) -> Csr<T> {
+    rmat_with_probs(scale, nnz, seed, (0.57, 0.19, 0.19, 0.05))
+}
+
+/// [`rmat`] with explicit quadrant probabilities.
+pub fn rmat_with_probs<T: Element>(
+    scale: u32,
+    nnz: usize,
+    seed: u64,
+    (a, b, c, _d): (f64, f64, f64, f64),
+) -> Csr<T> {
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Coo::with_capacity(n, n, nnz);
+    for _ in 0..nnz {
+        let mut r = 0usize;
+        let mut col = 0usize;
+        for _ in 0..scale {
+            let p: f64 = rng.gen();
+            let (dr, dc) = if p < a {
+                (0, 0)
+            } else if p < a + b {
+                (0, 1)
+            } else if p < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            r = (r << 1) | dr;
+            col = (col << 1) | dc;
+        }
+        coo.push(r, col, T::from_f64(coord_value(r, col)));
+    }
+    coo.to_csr() // duplicates collapse; effective nnz may be below `nnz`
+}
+
+/// 5-point 2D Poisson stencil on an `nx×ny` grid (the HPCG-like regular
+/// matrix motivating the band-matrix benchmark in §V-D).
+pub fn mesh2d<T: Element>(nx: usize, ny: usize) -> Csr<T> {
+    let n = nx * ny;
+    let mut coo = Coo::with_capacity(n, n, 5 * n);
+    let idx = |x: usize, y: usize| y * nx + x;
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            coo.push(i, i, T::from_f64(4.0));
+            if x > 0 {
+                coo.push(i, idx(x - 1, y), T::from_f64(-1.0));
+            }
+            if x + 1 < nx {
+                coo.push(i, idx(x + 1, y), T::from_f64(-1.0));
+            }
+            if y > 0 {
+                coo.push(i, idx(x, y - 1), T::from_f64(-1.0));
+            }
+            if y + 1 < ny {
+                coo.push(i, idx(x, y + 1), T::from_f64(-1.0));
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// 7-point 3D Poisson stencil on an `nx×ny×nz` grid — the matrix HPCG
+/// actually ranks supercomputers with (§V-D motivation).
+pub fn mesh3d<T: Element>(nx: usize, ny: usize, nz: usize) -> Csr<T> {
+    let n = nx * ny * nz;
+    let mut coo = Coo::with_capacity(n, n, 7 * n);
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = idx(x, y, z);
+                coo.push(i, i, T::from_f64(6.0));
+                if x > 0 {
+                    coo.push(i, idx(x - 1, y, z), T::from_f64(-1.0));
+                }
+                if x + 1 < nx {
+                    coo.push(i, idx(x + 1, y, z), T::from_f64(-1.0));
+                }
+                if y > 0 {
+                    coo.push(i, idx(x, y - 1, z), T::from_f64(-1.0));
+                }
+                if y + 1 < ny {
+                    coo.push(i, idx(x, y + 1, z), T::from_f64(-1.0));
+                }
+                if z > 0 {
+                    coo.push(i, idx(x, y, z - 1), T::from_f64(-1.0));
+                }
+                if z + 1 < nz {
+                    coo.push(i, idx(x, y, z + 1), T::from_f64(-1.0));
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// FEM-style mesh matrix: `nodes` mesh nodes with `dof` degrees of freedom
+/// each; every node couples to itself and to `neighbors` nearby nodes, and
+/// each coupling is a dense `dof×dof` block. This reproduces the
+/// block-structured patterns of the 2D/3D-mesh and structural matrices in
+/// Table I (cant, consph, shipsec1, cop20k_A).
+pub fn mesh_fem<T: Element>(
+    nodes: usize,
+    dof: usize,
+    neighbors: usize,
+    locality: usize,
+    seed: u64,
+) -> Csr<T> {
+    let n = nodes * dof;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut coo = Coo::with_capacity(n, n, nodes * (neighbors + 1) * dof * dof);
+    for node in 0..nodes {
+        let mut coupled: Vec<usize> = vec![node];
+        for _ in 0..neighbors {
+            // Neighbors are drawn near the node (mesh locality), with an
+            // occasional long-range coupling.
+            let other = if rng.gen::<f64>() < 0.9 {
+                let span = locality.max(1);
+                let lo = node.saturating_sub(span);
+                let hi = (node + span + 1).min(nodes);
+                rng.gen_range(lo..hi)
+            } else {
+                rng.gen_range(0..nodes)
+            };
+            coupled.push(other);
+        }
+        coupled.sort_unstable();
+        coupled.dedup();
+        for &other in &coupled {
+            for di in 0..dof {
+                for dj in 0..dof {
+                    let r = node * dof + di;
+                    let c = other * dof + dj;
+                    coo.push(r, c, T::from_f64(coord_value(r, c)));
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// Dense right-hand side `B ∈ K×N` with deterministic small-integer values.
+pub fn dense_b<T: Element>(k: usize, n: usize) -> Dense<T> {
+    Dense::from_fn(k, n, |i, j| T::from_f64(rhs_value(i, j)))
+}
+
+/// Applies a deterministic row scramble to a matrix, destroying the natural
+/// ordering: this models how real assembled matrices arrive without their
+/// ideal row order, giving the reordering stage something to recover.
+pub fn scramble_rows<T: Element>(csr: &Csr<T>, seed: u64) -> Csr<T> {
+    let n = csr.nrows();
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Fisher-Yates.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        idx.swap(i, j);
+    }
+    csr.permute_rows(&smat_formats::Permutation::from_vec(idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_structure() {
+        let m: Csr<f32> = band(8, 1);
+        assert_eq!(m.nnz(), band_nnz(8, 1));
+        assert_eq!(m.nnz(), 8 + 2 * 7); // tridiagonal
+        assert_eq!(m.get(0, 2), None);
+        assert!(m.get(3, 4).is_some());
+    }
+
+    #[test]
+    fn band_full_width_is_dense() {
+        let m: Csr<f32> = band(6, 5);
+        assert_eq!(m.nnz(), 36);
+        assert_eq!(m.sparsity(), 0.0);
+    }
+
+    #[test]
+    fn band_zero_bandwidth_is_diagonal() {
+        let m: Csr<f32> = band(5, 0);
+        assert_eq!(m.nnz(), 5);
+        for (i, j, _) in m.iter() {
+            assert_eq!(i, j);
+        }
+    }
+
+    #[test]
+    fn random_uniform_hits_target_sparsity() {
+        let m: Csr<f32> = random_uniform(200, 200, 0.9, 7);
+        let got = m.sparsity();
+        assert!((got - 0.9).abs() < 0.02, "sparsity {got}");
+    }
+
+    #[test]
+    fn random_uniform_is_deterministic() {
+        let a: Csr<f32> = random_uniform(50, 50, 0.8, 99);
+        let b: Csr<f32> = random_uniform(50, 50, 0.8, 99);
+        assert_eq!(a, b);
+        let c: Csr<f32> = random_uniform(50, 50, 0.8, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rmat_degree_distribution_is_skewed() {
+        let m: Csr<f32> = rmat(10, 8_000, 3);
+        let degrees = m.row_nnz_histogram();
+        let max = *degrees.iter().max().unwrap();
+        let mean = m.nnz() as f64 / m.nrows() as f64;
+        assert!(
+            max as f64 > mean * 8.0,
+            "power-law should produce heavy rows: max={max} mean={mean}"
+        );
+    }
+
+    #[test]
+    fn mesh2d_is_symmetric_pentadiagonal() {
+        let m: Csr<f32> = mesh2d(4, 4);
+        assert_eq!(m.nrows(), 16);
+        assert_eq!(m.get(0, 0), Some(4.0));
+        assert_eq!(m.get(0, 1), Some(-1.0));
+        assert_eq!(m.get(0, 4), Some(-1.0));
+        assert_eq!(m.get(0, 5), None);
+        // Symmetry of the stencil.
+        let t = m.transpose();
+        assert_eq!(t, m);
+    }
+
+    #[test]
+    fn mesh3d_is_symmetric_seven_point() {
+        let m: Csr<f32> = mesh3d(3, 3, 3);
+        assert_eq!(m.nrows(), 27);
+        // Center node has all 6 neighbors + diagonal.
+        let center = 13; // (1,1,1)
+        assert_eq!(m.row_nnz(center), 7);
+        assert_eq!(m.get(center, center), Some(6.0));
+        // Corner node has 3 neighbors + diagonal.
+        assert_eq!(m.row_nnz(0), 4);
+        assert_eq!(m.transpose(), m);
+    }
+
+    #[test]
+    fn mesh3d_row_sums_vanish_in_the_interior() {
+        // Poisson stencil: 6 - 6 neighbors = 0 for interior rows.
+        let m: Csr<f32> = mesh3d(4, 4, 4);
+        let interior = (4 + 1) * 4 + 1;
+        let sum: f32 = m.row_values(interior).iter().sum();
+        assert_eq!(sum, 0.0);
+    }
+
+    #[test]
+    fn mesh_fem_has_dense_dof_blocks() {
+        let m: Csr<f32> = mesh_fem(20, 3, 4, 2, 11);
+        assert_eq!(m.nrows(), 60);
+        // Diagonal block of node 0 fully dense.
+        for di in 0..3 {
+            for dj in 0..3 {
+                assert!(m.get(di, dj).is_some(), "({di},{dj}) missing");
+            }
+        }
+        // nnz divisible by dof*dof (whole blocks only).
+        assert_eq!(m.nnz() % 9, 0);
+    }
+
+    #[test]
+    fn scramble_preserves_multiset_of_rows() {
+        let m: Csr<f32> = mesh2d(5, 5);
+        let s = scramble_rows(&m, 42);
+        assert_eq!(s.nnz(), m.nnz());
+        assert_ne!(s, m);
+        let mut a: Vec<usize> = m.row_nnz_histogram();
+        let mut b: Vec<usize> = s.row_nnz_histogram();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn dense_b_deterministic_and_integer() {
+        let b = dense_b::<f32>(16, 4);
+        assert_eq!(b, dense_b::<f32>(16, 4));
+        for v in b.as_slice() {
+            assert_eq!(v.fract(), 0.0);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # smat-workloads
+//!
+//! Deterministic workload generators for the SMaT reproduction:
+//!
+//! * [`generators`] — band matrices (the §VI-C synthetic sweep), uniform
+//!   random, RMAT power-law, 2D Poisson stencils, FEM dof-block meshes, and
+//!   dense right-hand sides;
+//! * [`suitesparse`] — structural mimics of the nine Table I matrices,
+//!   scaled by a single parameter;
+//! * [`values`] — the small-integer value scheme that keeps every kernel
+//!   bit-exact against the f64 reference in every supported precision.
+//!
+//! Everything is seeded and reproducible; no generator touches the network
+//! or the filesystem.
+
+#![forbid(unsafe_code)]
+
+pub mod generators;
+pub mod suitesparse;
+pub mod values;
+
+pub use generators::{
+    band, band_nnz, dense_b, mesh2d, mesh3d, mesh_fem, random_uniform, rmat, rmat_with_probs,
+    scramble_rows,
+};
+pub use suitesparse::{by_name, table1, Mimic, MimicKind};

@@ -1,0 +1,74 @@
+//! Value assignment for generated matrices.
+//!
+//! All generators produce *small integer* values (in `{-4,…,4}\{0}`). Small
+//! integers are exactly representable in every Tensor-Core input precision
+//! (f16, bf16, i8, f32), their products and partial sums stay exact in the
+//! f32/i32 accumulators, and the single final rounding to the storage type
+//! is then identical between a simulated kernel and the f64 reference — so
+//! integration tests can assert *bit-exact* equality across all kernels and
+//! precisions instead of hiding bugs behind tolerances.
+
+/// Deterministic nonzero value for coordinate `(i, j)`: an integer in
+/// `[-4, 4]`, never zero.
+#[inline]
+pub fn coord_value(i: usize, j: usize) -> f64 {
+    // A cheap coordinate hash spread over 8 nonzero values.
+    let h = i.wrapping_mul(0x9e37_79b9).wrapping_add(j.wrapping_mul(0x85eb_ca6b));
+    let v = ((h >> 7) % 8) as i64 - 4; // in [-4, 3]
+    if v >= 0 {
+        (v + 1) as f64 // skip zero: [-4,-1] u [1,4]
+    } else {
+        v as f64
+    }
+}
+
+/// Deterministic dense right-hand-side value for `(k, n)`: an integer in
+/// `[-3, 3]` (zeros allowed — `B` is dense regardless).
+#[inline]
+pub fn rhs_value(k: usize, n: usize) -> f64 {
+    let h = k.wrapping_mul(0xc2b2_ae35).wrapping_add(n.wrapping_mul(0x27d4_eb2f));
+    (((h >> 9) % 7) as i64 - 3) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_formats::{Bf16, Element, F16};
+
+    #[test]
+    fn coord_values_are_nonzero_small_integers() {
+        for i in 0..100 {
+            for j in 0..100 {
+                let v = coord_value(i, j);
+                assert!(v != 0.0);
+                assert!((-4.0..=4.0).contains(&v));
+                assert_eq!(v.fract(), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn values_are_exact_in_all_precisions() {
+        for i in 0..50 {
+            for j in 0..50 {
+                let v = coord_value(i, j);
+                assert_eq!(F16::from_f64(v).to_f64(), v);
+                assert_eq!(Bf16::from_f64(v).to_f64(), v);
+                assert_eq!(<i8 as Element>::from_f64(v).to_f64(), v);
+            }
+        }
+    }
+
+    #[test]
+    fn rhs_values_cover_range() {
+        let mut seen = std::collections::HashSet::new();
+        for k in 0..100 {
+            for n in 0..8 {
+                let v = rhs_value(k, n);
+                assert!((-3.0..=3.0).contains(&v));
+                seen.insert(v as i64);
+            }
+        }
+        assert!(seen.len() >= 6, "values should spread: {seen:?}");
+    }
+}

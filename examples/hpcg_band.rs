@@ -1,0 +1,81 @@
+//! HPCG-style regular workload (§V-D motivation): SpMM on matrices from
+//! grid computations — a 2D Poisson stencil and a family of band matrices —
+//! plus a live fit of the paper's performance model (Eq. 1).
+//!
+//! Run with: `cargo run --release --example hpcg_band`
+
+use smat::{PerfModel, PerfSample, Smat};
+use smat_repro::prelude::*;
+use smat_repro::workloads;
+use smat_reorder::ReorderAlgorithm;
+
+fn main() {
+    // --- Part 1: the HPCG-like stencil matrix -----------------------------
+    let stencil = workloads::mesh2d::<F16>(64, 64);
+    let b = workloads::dense_b::<F16>(stencil.ncols(), 8);
+    let cfg = SmatConfig {
+        // Grid matrices are already optimally ordered; skip reordering.
+        reorder: ReorderAlgorithm::Identity,
+        ..SmatConfig::default()
+    };
+    let run = Smat::prepare(&stencil, cfg.clone()).spmm(&b);
+    assert_eq!(run.c, stencil.spmm_reference(&b));
+    println!(
+        "2D Poisson 64x64 grid: {} nnz, {} blocks, {:.4} ms, {:.1} GFLOP/s",
+        stencil.nnz(),
+        run.report.nblocks,
+        run.report.elapsed_ms(),
+        run.report.gflops()
+    );
+
+    // --- Part 1b: the HPCG 3D stencil ---------------------------------------
+    let stencil3d = workloads::mesh3d::<F16>(16, 16, 16);
+    let b3 = workloads::dense_b::<F16>(stencil3d.ncols(), 8);
+    let run3 = Smat::prepare(&stencil3d, cfg.clone()).spmm(&b3);
+    assert_eq!(run3.c, stencil3d.spmm_reference(&b3));
+    println!(
+        "3D Poisson 16^3 grid:  {} nnz, {} blocks, {:.4} ms, {:.1} GFLOP/s",
+        stencil3d.nnz(),
+        run3.report.nblocks,
+        run3.report.elapsed_ms(),
+        run3.report.gflops()
+    );
+
+    // --- Part 2: band sweep + performance model fit -----------------------
+    let n = 2048;
+    println!("\nband {n}x{n} sweep (N=8):");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12}",
+        "bandwidth", "n_e", "time ms", "GFLOP/s"
+    );
+    let b = workloads::dense_b::<F16>(n, 8);
+    let mut samples = Vec::new();
+    for bw in [16usize, 32, 64, 128, 256, 512] {
+        let a = workloads::band::<F16>(n, bw);
+        let run = Smat::prepare(&a, cfg.clone()).spmm(&b);
+        println!(
+            "{:>10} {:>10} {:>12.4} {:>12.1}",
+            bw,
+            run.report.nblocks,
+            run.report.elapsed_ms(),
+            run.report.gflops()
+        );
+        samples.push(PerfSample {
+            n_e: run.report.nblocks as f64,
+            t_ms: run.report.elapsed_ms(),
+        });
+    }
+
+    let model = PerfModel::fit(&samples);
+    println!(
+        "\nEq. (1) fit: T_tot = {:.6} us * n_e + {:.4} ms   (R^2 = {:.4})",
+        model.t_e_ms * 1e3,
+        model.t_init_ms,
+        model.r2
+    );
+    println!(
+        "mean relative error across the sweep: {:.2}%",
+        model.mean_relative_error(&samples) * 100.0
+    );
+    assert!(model.r2 > 0.95, "the linear model should explain the sweep");
+}

@@ -1,0 +1,146 @@
+//! Integration tests spanning crates: every engine, every precision, on
+//! generated workloads, checked against the exact f64 reference. The
+//! generators emit small-integer values, so all comparisons are bit-exact
+//! (see `smat_workloads::values`).
+
+use smat_repro::baselines::{CublasLike, CusparseLike, DaspLike, MagicubeLike};
+use smat_repro::prelude::*;
+use smat_repro::workloads;
+use smat_formats::{Bf16, Csr, Dense, Element};
+use smat_gpusim::Gpu;
+use smat_reorder::ReorderAlgorithm;
+
+fn check_smat<T: Element>(a: &Csr<T>, n: usize) {
+    let b = Dense::from_fn(a.ncols(), n, |i, j| {
+        T::from_f64(workloads::values::rhs_value(i, j))
+    });
+    let want = a.spmm_reference(&b);
+    let run = Smat::prepare(a, SmatConfig::default()).spmm(&b);
+    assert_eq!(run.c, want);
+}
+
+#[test]
+fn smat_matches_reference_in_f16_bf16_f32() {
+    let base = workloads::random_uniform::<f32>(200, 160, 0.93, 11);
+    check_smat::<f32>(&base, 8);
+    check_smat::<F16>(&base.cast(), 8);
+    check_smat::<Bf16>(&base.cast(), 8);
+}
+
+#[test]
+fn smat_matches_reference_on_every_table1_mimic() {
+    for m in workloads::table1() {
+        let a: Csr<F16> = m.generate(0.003);
+        let b = workloads::dense_b::<F16>(a.ncols(), 8);
+        let run = Smat::prepare(&a, SmatConfig::default()).spmm(&b);
+        assert_eq!(run.c, a.spmm_reference(&b), "mimic {}", m.name);
+    }
+}
+
+#[test]
+fn all_engines_agree_on_the_same_product() {
+    let gpu = Gpu::a100();
+    let a = workloads::random_uniform::<F16>(180, 180, 0.9, 3);
+    let b = workloads::dense_b::<F16>(180, 8);
+    let want = a.spmm_reference(&b);
+
+    let smat = Smat::prepare(&a, SmatConfig::default()).spmm(&b).c;
+    let (_, cusp) = CusparseLike::new(&gpu, &a).spmm(&b).unwrap();
+    let (_, dasp) = DaspLike::new(&gpu, &a).spmm(&b).unwrap();
+    let (_, magi) = MagicubeLike::new(&gpu, &a).spmm(&b).unwrap();
+
+    assert_eq!(smat, want, "SMaT");
+    assert_eq!(cusp, want, "cuSPARSE-like");
+    assert_eq!(dasp, want, "DASP-like");
+    assert_eq!(magi, want, "Magicube-like");
+}
+
+#[test]
+fn cublas_functional_gemm_agrees_with_sparse_engines() {
+    let gpu = Gpu::a100();
+    let a = workloads::random_uniform::<F16>(64, 48, 0.7, 9);
+    let b = workloads::dense_b::<F16>(48, 8);
+    let dense_a = a.to_dense();
+    let gemm = CublasLike::new(&gpu).gemm(&dense_a, &b);
+    assert_eq!(gemm, a.spmm_reference(&b));
+}
+
+#[test]
+fn every_reordering_preserves_every_mimic_product() {
+    for m in workloads::table1().into_iter().take(3) {
+        let a: Csr<F16> = m.generate(0.002);
+        let b = workloads::dense_b::<F16>(a.ncols(), 8);
+        let want = a.spmm_reference(&b);
+        for alg in [
+            ReorderAlgorithm::JaccardRows { tau: 0.7 },
+            ReorderAlgorithm::JaccardRowsCols { tau: 0.7 },
+            ReorderAlgorithm::GrayCode,
+            ReorderAlgorithm::DegreeSort,
+        ] {
+            let cfg = SmatConfig {
+                reorder: alg,
+                ..SmatConfig::default()
+            };
+            let run = Smat::prepare(&a, cfg).spmm(&b);
+            assert_eq!(run.c, want, "{} on {}", alg.name(), m.name);
+        }
+    }
+}
+
+#[test]
+fn non_multiple_dimensions_are_handled_everywhere() {
+    // Dimensions that don't divide the block/panel/tile sizes.
+    let gpu = Gpu::a100();
+    for (rows, cols, n) in [(17, 23, 3), (33, 31, 9), (100, 7, 1), (5, 130, 20)] {
+        let a = workloads::random_uniform::<F16>(rows, cols, 0.7, 17);
+        let b = workloads::dense_b::<F16>(cols, n);
+        let want = a.spmm_reference(&b);
+        assert_eq!(
+            Smat::prepare(&a, SmatConfig::default()).spmm(&b).c,
+            want,
+            "smat {rows}x{cols} N={n}"
+        );
+        assert_eq!(
+            CusparseLike::new(&gpu, &a).spmm(&b).unwrap().1,
+            want,
+            "cusparse {rows}x{cols} N={n}"
+        );
+        assert_eq!(
+            DaspLike::new(&gpu, &a).spmm(&b).unwrap().1,
+            want,
+            "dasp {rows}x{cols} N={n}"
+        );
+        assert_eq!(
+            MagicubeLike::new(&gpu, &a).spmm(&b).unwrap().1,
+            want,
+            "magicube {rows}x{cols} N={n}"
+        );
+    }
+}
+
+#[test]
+fn i8_tensor_core_path_end_to_end() {
+    // INT8 inputs accumulate in i32; values stay small enough to be exact.
+    let a = workloads::random_uniform::<i8>(96, 96, 0.9, 23);
+    let b = Dense::from_fn(96, 8, |i, j| {
+        <i8 as Element>::from_f64(workloads::values::rhs_value(i, j))
+    });
+    let run = Smat::prepare(&a, SmatConfig::default()).spmm(&b);
+    assert_eq!(run.c, a.spmm_reference(&b));
+}
+
+#[test]
+fn mtx_file_roundtrip_through_the_pipeline() {
+    // Write a mimic to Matrix Market, read it back, and multiply.
+    let a: Csr<F16> = workloads::by_name("rma10").unwrap().generate(0.002);
+    let mut buf = Vec::new();
+    smat_formats::mtx::write_csr(&a, &mut buf).unwrap();
+    let a2: Csr<F16> =
+        smat_formats::mtx::read_csr_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+    assert_eq!(a2, a);
+    let b = workloads::dense_b::<F16>(a.ncols(), 8);
+    assert_eq!(
+        Smat::prepare(&a2, SmatConfig::default()).spmm(&b).c,
+        a.spmm_reference(&b)
+    );
+}

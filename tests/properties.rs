@@ -1,0 +1,279 @@
+//! Property-based tests (proptest) on the cross-crate invariants: format
+//! conversion roundtrips, Eq. (2) block bounds, permutation algebra, and
+//! kernel-vs-reference agreement on arbitrary matrices and configurations.
+
+use proptest::prelude::*;
+use smat::{AccumMode, OptFlags, Smat, SmatConfig};
+use smat_formats::{Bcsr, Coo, Csr, Dense, Element, Permutation, SrBcrs, F16};
+use smat_reorder::{reorder, ReorderAlgorithm};
+
+/// Strategy: a sparse matrix as (rows, cols, entries with small-int values).
+fn sparse_matrix() -> impl Strategy<Value = Csr<F16>> {
+    (1usize..60, 1usize..60).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(
+            ((0..r), (0..c), -4i32..=4),
+            0..200,
+        )
+        .prop_map(move |entries| {
+            let mut coo = Coo::new(r, c);
+            for (i, j, v) in entries {
+                if v != 0 {
+                    coo.push(i, j, F16::from_f64(v as f64));
+                }
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+fn rhs(k: usize, n: usize) -> Dense<F16> {
+    Dense::from_fn(k, n, |i, j| F16::from_f64(((i * 3 + j * 5) % 7) as f64 - 3.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bcsr_roundtrips_csr(a in sparse_matrix(), h in 1usize..20, w in 1usize..20) {
+        let bcsr = Bcsr::from_csr(&a, h, w);
+        prop_assert_eq!(bcsr.to_csr(), a);
+    }
+
+    #[test]
+    fn bcsr_block_count_within_eq2_bounds(a in sparse_matrix(), h in 1usize..20, w in 1usize..20) {
+        let bcsr = Bcsr::from_csr(&a, h, w);
+        let (lo, hi) = bcsr.block_count_bounds();
+        prop_assert!(lo <= bcsr.nblocks());
+        prop_assert!(bcsr.nblocks() <= hi.max(1) || bcsr.nblocks() == 0);
+        // Padding accounting is consistent.
+        prop_assert_eq!(
+            bcsr.padding() + bcsr.nnz(),
+            bcsr.nblocks() * h * w
+        );
+    }
+
+    #[test]
+    fn srbcrs_roundtrips_csr(a in sparse_matrix(), v in 1usize..12, s in 1usize..8) {
+        let sr = SrBcrs::from_csr(&a.cast::<i16>(), v, s);
+        prop_assert_eq!(sr.to_csr(), a.cast::<i16>());
+    }
+
+    #[test]
+    fn transpose_is_involutive(a in sparse_matrix()) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn dense_roundtrip(a in sparse_matrix()) {
+        prop_assert_eq!(Csr::from_dense(&a.to_dense()), a);
+    }
+
+    #[test]
+    fn row_permutation_commutes_with_spmm(a in sparse_matrix(), seed in 0u64..1000) {
+        // (P·A)·B == P·(A·B) — the algebraic basis of SMaT's preprocessing.
+        let n = a.nrows();
+        let perm = {
+            let mut idx: Vec<usize> = (0..n).collect();
+            // Simple seeded shuffle.
+            let mut state = seed.wrapping_add(1);
+            for i in (1..n).rev() {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (state >> 33) as usize % (i + 1);
+                idx.swap(i, j);
+            }
+            Permutation::from_vec(idx)
+        };
+        let b = rhs(a.ncols(), 4);
+        let lhs = a.permute_rows(&perm).spmm_reference(&b);
+        let rhs_ = a.spmm_reference(&b).select_rows(perm.as_slice());
+        prop_assert_eq!(lhs, rhs_);
+    }
+
+    #[test]
+    fn every_reorder_algorithm_returns_a_bijection(a in sparse_matrix(), tau in 0.1f64..0.95) {
+        for alg in [
+            ReorderAlgorithm::JaccardRows { tau },
+            ReorderAlgorithm::Saad { tau },
+            ReorderAlgorithm::GrayCode,
+            ReorderAlgorithm::DegreeSort,
+        ] {
+            let r = reorder(&a, alg, 8, 8);
+            // Permutation::from_vec inside reorder validates bijectivity;
+            // additionally the permuted matrix preserves the nnz multiset.
+            let pm = r.apply(&a);
+            prop_assert_eq!(pm.nnz(), a.nnz());
+            let mut h1 = a.row_nnz_histogram();
+            let mut h2 = pm.row_nnz_histogram();
+            h1.sort_unstable();
+            h2.sort_unstable();
+            if r.col_perm.is_none() {
+                prop_assert_eq!(h1, h2);
+            }
+        }
+    }
+
+    #[test]
+    fn smat_equals_reference_for_arbitrary_matrices(
+        a in sparse_matrix(),
+        n in 1usize..12,
+        tc in proptest::bool::ANY,
+        bcsr_iter in proptest::bool::ANY,
+        async_copy in proptest::bool::ANY,
+    ) {
+        let b = rhs(a.ncols(), n);
+        let cfg = SmatConfig {
+            opts: OptFlags { tc, bcsr_iter, async_copy },
+            ..SmatConfig::default()
+        };
+        let run = Smat::prepare(&a, cfg).spmm(&b);
+        prop_assert_eq!(run.c, a.spmm_reference(&b));
+    }
+
+    #[test]
+    fn narrow_accumulation_is_close_to_wide(a in sparse_matrix()) {
+        // Narrow (f16) accumulation may differ from wide, but only within
+        // the rounding error bound of the row sums involved.
+        let b = rhs(a.ncols(), 4);
+        let mk = |accum| SmatConfig { accum, ..SmatConfig::default() };
+        let wide = Smat::prepare(&a, mk(AccumMode::Wide)).spmm(&b).c;
+        let narrow = Smat::prepare(&a, mk(AccumMode::Narrow)).spmm(&b).c;
+        // Max possible |row sum| here: nnz_row * 4 * 3; f16 relative error
+        // per rounding step ~2^-11, with at most nblocks_row steps.
+        let bound = a.nrows().max(1) as f64 * 16.0; // generous analytic bound
+        prop_assert!(wide.max_abs_diff(&narrow) <= bound);
+    }
+
+    #[test]
+    fn permutation_inverse_roundtrip(seed in 0u64..10_000, n in 1usize..100) {
+        let mut idx: Vec<usize> = (0..n).collect();
+        let mut state = seed.wrapping_add(7);
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            let j = (state >> 32) as usize % (i + 1);
+            idx.swap(i, j);
+        }
+        let p = Permutation::from_vec(idx);
+        let data: Vec<usize> = (100..100 + n).collect();
+        let restored = p.inverse().apply(&p.apply(&data));
+        prop_assert_eq!(restored, data);
+        prop_assert!(p.then(&p.inverse()).is_identity());
+    }
+
+    #[test]
+    fn f16_f32_conversion_roundtrips_representable(bits in 0u16..=0xffff) {
+        let h = F16::from_bits(bits);
+        if !h.is_nan() {
+            // f16 -> f32 -> f16 must be the identity on non-NaN values.
+            prop_assert_eq!(F16::from_f32(h.to_f32()).to_bits(), bits);
+        } else {
+            prop_assert!(F16::from_f32(h.to_f32()).is_nan());
+        }
+    }
+
+    #[test]
+    fn f16_conversion_is_monotone(a in -60000.0f32..60000.0, b in -60000.0f32..60000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(F16::from_f32(lo).to_f32() <= F16::from_f32(hi).to_f32());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mtx_roundtrip_preserves_matrix(a in sparse_matrix()) {
+        let mut buf = Vec::new();
+        smat_formats::mtx::write_csr(&a, &mut buf).unwrap();
+        let back: Csr<F16> =
+            smat_formats::mtx::read_csr_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn column_permutation_roundtrips(a in sparse_matrix(), seed in 0u64..500) {
+        let m = a.ncols();
+        let mut idx: Vec<usize> = (0..m).collect();
+        let mut state = seed.wrapping_add(3);
+        for i in (1..m).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let j = (state >> 33) as usize % (i + 1);
+            idx.swap(i, j);
+        }
+        let p = Permutation::from_vec(idx);
+        prop_assert_eq!(a.permute_cols(&p).permute_cols(&p.inverse()), a);
+    }
+
+    #[test]
+    fn srbcrs_padding_accounting_is_consistent(
+        a in sparse_matrix(), v in 1usize..10, s in 1usize..6
+    ) {
+        let sr = SrBcrs::from_csr(&a.cast::<i16>(), v, s);
+        prop_assert_eq!(sr.padding() + sr.nnz(), sr.nvectors() * sr.vec_len());
+        // Every panel's vector count is stride-aligned.
+        for p in 0..sr.npanels() {
+            prop_assert_eq!(sr.vectors_in_panel(p) % s, 0);
+        }
+        // Real vectors never exceed total vectors.
+        prop_assert!(sr.nvectors_real() <= sr.nvectors());
+    }
+
+    #[test]
+    fn f16_addition_is_commutative_and_negation_exact(
+        a in -1000i32..1000, b in -1000i32..1000
+    ) {
+        let x = F16::from_f64(a as f64 / 8.0);
+        let y = F16::from_f64(b as f64 / 8.0);
+        prop_assert_eq!(x + y, y + x);
+        prop_assert_eq!(-(-x), x);
+        prop_assert_eq!((x - x).to_f32(), 0.0);
+    }
+
+    #[test]
+    fn smat_axpby_linearity(a in sparse_matrix(), alpha in -4i32..=4, beta in -4i32..=4) {
+        // alpha.(A.B) + beta.C computed by the fused epilogue equals the
+        // hand-combined value (both with one final rounding).
+        let b = rhs(a.ncols(), 4);
+        let c0 = Dense::from_fn(a.nrows(), 4, |i, j| {
+            F16::from_f64(((i + j) % 3) as f64)
+        });
+        let engine = Smat::prepare(&a, SmatConfig::default());
+        let run = engine.spmm_axpby(&b, &c0, alpha as f64, beta as f64);
+        let prod = a.spmm_reference(&b);
+        let want = Dense::from_fn(a.nrows(), 4, |i, j| {
+            F16::from_f64(
+                alpha as f64 * prod.get(i, j).to_f64()
+                    + beta as f64 * c0.get(i, j).to_f64(),
+            )
+        });
+        prop_assert_eq!(run.c, want);
+    }
+
+    #[test]
+    fn all_five_engines_agree_on_arbitrary_matrices(a in sparse_matrix(), n in 1usize..10) {
+        use smat_baselines::{CusparseLike, DaspLike, MagicubeLike, SputnikLike};
+        let gpu = smat_gpusim::Gpu::a100();
+        let b = rhs(a.ncols(), n);
+        let want = a.spmm_reference(&b);
+        prop_assert_eq!(&Smat::prepare(&a, SmatConfig::default()).spmm(&b).c, &want);
+        prop_assert_eq!(&CusparseLike::new(&gpu, &a).spmm(&b).unwrap().1, &want);
+        prop_assert_eq!(&DaspLike::new(&gpu, &a).spmm(&b).unwrap().1, &want);
+        prop_assert_eq!(&MagicubeLike::new(&gpu, &a).spmm(&b).unwrap().1, &want);
+        prop_assert_eq!(&SputnikLike::new(&gpu, &a).spmm(&b).unwrap().1, &want);
+    }
+
+    #[test]
+    fn ell_roundtrips_and_multiplies(a in sparse_matrix()) {
+        let e = smat_formats::Ell::from_csr(&a);
+        prop_assert_eq!(e.to_csr(), a.clone());
+        let b = rhs(a.ncols(), 3);
+        prop_assert_eq!(e.spmm_reference(&b), a.spmm_reference(&b));
+        prop_assert_eq!(e.padding() + e.nnz(), e.nrows() * e.width());
+    }
+
+    #[test]
+    fn bisection_is_always_a_valid_permutation(a in sparse_matrix()) {
+        let r = reorder(&a, ReorderAlgorithm::Bisection, 8, 8);
+        prop_assert_eq!(r.row_perm.len(), a.nrows());
+        prop_assert_eq!(r.apply(&a).nnz(), a.nnz());
+    }
+}
