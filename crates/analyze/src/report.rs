@@ -1,0 +1,113 @@
+//! Rendering of diagnostic batches: a compiler-style human listing and a
+//! line-stable JSON array for tooling (`smat-analyze --format json`).
+
+use smat_diag::{Diagnostic, DiagnosticsExt, Severity};
+
+/// Renders a batch as a compiler-style listing, one finding per line,
+/// followed by a summary line (`N errors, M warnings`). An empty batch
+/// renders as a single "no findings" line.
+pub fn render_human(diags: &[Diagnostic]) -> String {
+    if diags.is_empty() {
+        return "no findings\n".to_string();
+    }
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    let warnings = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Warning)
+        .count();
+    out.push_str(&format!(
+        "{} error(s), {warnings} warning(s), {} finding(s)\n",
+        diags.error_count(),
+        diags.len()
+    ));
+    out
+}
+
+/// Renders a batch as a JSON array. Every element carries the stable short
+/// code (`"F001"`), the severity, the display form of the location, and
+/// the message:
+///
+/// ```json
+/// [{"code":"S001","severity":"error","location":"shared_bytes_per_block","message":"..."}]
+/// ```
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"code\":{},\"severity\":{},\"location\":{},\"message\":{}}}",
+            json_string(d.code.as_str()),
+            json_string(&d.severity.to_string()),
+            json_string(&d.location.to_string()),
+            json_string(&d.message),
+        ));
+    }
+    out.push(']');
+    out
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_diag::{DiagCode, Location};
+
+    fn batch() -> Vec<Diagnostic> {
+        vec![
+            Diagnostic::new(
+                DiagCode::SmemOverflow,
+                Location::Field {
+                    name: "shared_bytes_per_block",
+                },
+                "needs 200000 B",
+            ),
+            Diagnostic::new(
+                DiagCode::BankConflict,
+                Location::Whole,
+                "8 tx \"row-major\"",
+            ),
+        ]
+    }
+
+    #[test]
+    fn human_listing_has_summary() {
+        let s = render_human(&batch());
+        assert!(s.contains("error [S001] at shared_bytes_per_block: needs 200000 B"));
+        assert!(s.contains("1 error(s), 1 warning(s), 2 finding(s)"));
+        assert_eq!(render_human(&[]), "no findings\n");
+    }
+
+    #[test]
+    fn json_uses_stable_codes_and_escapes() {
+        let s = render_json(&batch());
+        assert!(s.starts_with('[') && s.ends_with(']'));
+        assert!(s.contains("\"code\":\"S001\""));
+        assert!(s.contains("\"severity\":\"warning\""));
+        assert!(s.contains("8 tx \\\"row-major\\\""), "{s}");
+        assert_eq!(render_json(&[]), "[]");
+    }
+}

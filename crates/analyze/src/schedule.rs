@@ -1,0 +1,452 @@
+//! Kernel-schedule hazard analysis: given the BCSR geometry, a
+//! [`LaunchConfig`], the target [`DeviceConfig`], and a [`ScheduleSpec`]
+//! describing the kernel's tiling and pipelining, predict the hazards the
+//! simulator would either reject at launch (`S001`–`S005`) or silently pay
+//! for at runtime (`S006`–`S010`) — before any warp executes.
+
+use smat_diag::{DiagCode, Diagnostic, Location};
+use smat_formats::{Bcsr, Element};
+use smat_gpusim::{CopyMode, DeviceConfig, LaunchConfig, SharedTile, SmemLayout};
+
+/// How the kernel tiles and pipelines a launch — the knobs the hazard
+/// analyzer needs beyond what [`LaunchConfig`] itself records.
+///
+/// The defaults mirror the SMaT kernel in `smat::kernel`: four column tiles
+/// per thread block, 8-wide MMA N tiles, a two-stage async pipeline, and
+/// row-major shared-memory staging.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduleSpec {
+    /// Global→shared copy mode the kernel will request.
+    pub copy_mode: CopyMode,
+    /// Pipeline stage depth for async copies (buffers in flight).
+    pub stages: usize,
+    /// Layout of the staged A tile in shared memory.
+    pub smem_layout: SmemLayout,
+    /// Column tiles (warps) per thread block sharing one staged A block.
+    pub warps_per_tb: usize,
+    /// Output column-tile width (the MMA N dimension).
+    pub ntile: usize,
+}
+
+impl Default for ScheduleSpec {
+    fn default() -> Self {
+        ScheduleSpec {
+            copy_mode: CopyMode::AsyncPipelined,
+            stages: 2,
+            smem_layout: SmemLayout::RowMajor,
+            warps_per_tb: 4,
+            ntile: 8,
+        }
+    }
+}
+
+impl ScheduleSpec {
+    /// The spec of the seed kernel with the async-copy optimization toggled
+    /// — the `C` flag of the paper's ablation.
+    pub fn for_async(async_copy: bool) -> Self {
+        ScheduleSpec {
+            copy_mode: if async_copy {
+                CopyMode::AsyncPipelined
+            } else {
+                CopyMode::Synchronous
+            },
+            ..ScheduleSpec::default()
+        }
+    }
+}
+
+/// Threshold on `max / mean` per-SM block load at or above which an
+/// explicit assignment is reported as imbalanced.
+const IMBALANCE_THRESHOLD: f64 = 2.0;
+
+/// Analyzes one prospective launch of the SMaT kernel for the `S0xx`
+/// hazard classes. `n` is the width of the dense right-hand side `B`.
+///
+/// Error-severity findings are conditions the simulator would reject or
+/// silently mis-map (shared-memory overflow, under-reported footprints,
+/// device OOM, malformed warp→SM assignments); warnings are schedules that
+/// run but leave performance on the table (imbalance, bank conflicts,
+/// single-buffered async pipelines, overdeep pipelines).
+pub fn analyze_launch<T: Element>(
+    a: &Bcsr<T>,
+    n: usize,
+    cfg: &LaunchConfig,
+    device: &DeviceConfig,
+    spec: &ScheduleSpec,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let h = a.block_h();
+    let w = a.block_w();
+    let ntiles = n.div_ceil(spec.ntile).max(1);
+    let n_warps = a.nblock_rows() * ntiles;
+
+    // S001: per-block shared memory vs SM capacity. The engine rejects this
+    // at launch; pre-flight turns the rejection into a typed finding.
+    if cfg.shared_bytes_per_block > device.shared_mem_per_sm {
+        diags.push(Diagnostic::new(
+            DiagCode::SmemOverflow,
+            Location::Field {
+                name: "shared_bytes_per_block",
+            },
+            format!(
+                "thread block requests {} B of shared memory but {} has {} B per SM",
+                cfg.shared_bytes_per_block, device.name, device.shared_mem_per_sm
+            ),
+        ));
+    }
+
+    // S002/S003: the declared footprint vs what the kernel's operands
+    // actually occupy (A payload + index structure, B, and C). A declared
+    // footprint below the recomputation makes the engine's OOM check pass
+    // vacuously.
+    let operand_bytes =
+        a.payload_bytes() + a.index_bytes() + (a.ncols() * n + a.nrows() * n) * T::BYTES;
+    if cfg.footprint_bytes < operand_bytes {
+        diags.push(Diagnostic::new(
+            DiagCode::FootprintUnderreported,
+            Location::Field {
+                name: "footprint_bytes",
+            },
+            format!(
+                "declared footprint {} B is below the {operand_bytes} B the \
+                 operands occupy: the OOM check would pass vacuously",
+                cfg.footprint_bytes
+            ),
+        ));
+    }
+    let worst_footprint = cfg.footprint_bytes.max(operand_bytes);
+    if worst_footprint > device.global_mem_bytes {
+        diags.push(Diagnostic::new(
+            DiagCode::DeviceOom,
+            Location::Field {
+                name: "footprint_bytes",
+            },
+            format!(
+                "working set of {worst_footprint} B exceeds the {} B of device \
+                 memory on {}",
+                device.global_mem_bytes, device.name
+            ),
+        ));
+    }
+
+    // S004/S005/S006: explicit warp→SM assignment sanity.
+    if let Some(assignment) = &cfg.assignment {
+        if assignment.len() != n_warps {
+            diags.push(Diagnostic::new(
+                DiagCode::AssignmentLength,
+                Location::Field { name: "assignment" },
+                format!(
+                    "assignment maps {} warps but the grid launches {n_warps} \
+                     ({} block rows x {ntiles} column tiles)",
+                    assignment.len(),
+                    a.nblock_rows()
+                ),
+            ));
+        }
+        for (warp, &sm) in assignment.iter().enumerate() {
+            if sm >= device.num_sms {
+                diags.push(Diagnostic::new(
+                    DiagCode::AssignmentSmOutOfRange,
+                    Location::Warp { warp },
+                    format!(
+                        "warp {warp} is assigned to SM {sm} but {} has only {} SMs \
+                         (the engine would silently wrap it to SM {})",
+                        device.name,
+                        device.num_sms,
+                        sm % device.num_sms
+                    ),
+                ));
+            }
+        }
+        // Imbalance is only meaningful once every SM could have work.
+        if assignment.len() == n_warps && n_warps >= device.num_sms {
+            let mut load = vec![0u64; device.num_sms];
+            for (warp, &sm) in assignment.iter().enumerate() {
+                load[sm % device.num_sms] += a.blocks_in_row(warp / ntiles) as u64 + 1;
+            }
+            let total: u64 = load.iter().sum();
+            let mean = total as f64 / device.num_sms as f64;
+            let (busiest, &max) = load
+                .iter()
+                .enumerate()
+                .max_by_key(|&(_, &l)| l)
+                .expect("at least one SM");
+            if mean > 0.0 && max as f64 >= IMBALANCE_THRESHOLD * mean {
+                diags.push(Diagnostic::new(
+                    DiagCode::AssignmentImbalance,
+                    Location::Sm { sm: busiest },
+                    format!(
+                        "SM {busiest} is assigned {max} block-loads against a \
+                         mean of {mean:.1} ({:.2}x): the makespan is dominated \
+                         by one SM",
+                        max as f64 / mean
+                    ),
+                ));
+            }
+        }
+    }
+
+    // S007: ldmatrix bank conflicts of the staged-A layout. The x4 read of
+    // a 16x16 FP16 operand is conflict-free at 4 transactions; anything
+    // above that stalls every MMA issue.
+    if h >= 16 && w >= 16 {
+        let tile = SharedTile::new(h, w, spec.smem_layout);
+        let tx = tile.ldmatrix_x4_transactions();
+        if tx > 4 {
+            diags.push(Diagnostic::new(
+                DiagCode::BankConflict,
+                Location::Field {
+                    name: "smem_layout",
+                },
+                format!(
+                    "staged {h}x{w} A tile in {:?} layout costs {tx} shared \
+                     transactions per ldmatrix.x4 (conflict-free is 4); use \
+                     the padded/skewed layout",
+                    spec.smem_layout
+                ),
+            ));
+        }
+    }
+
+    // S008–S010: async-pipeline hazards.
+    if spec.copy_mode == CopyMode::AsyncPipelined {
+        if spec.stages < 2 {
+            diags.push(Diagnostic::new(
+                DiagCode::AsyncNoDoubleBuffer,
+                Location::Field { name: "stages" },
+                format!(
+                    "async pipelining with {} stage(s) cannot overlap copy \
+                     and compute; at least 2 are required",
+                    spec.stages
+                ),
+            ));
+        }
+        // The per-block budget that double-buffers the staged A tile while
+        // keeping the B and C staging areas single-buffered.
+        let pipelined_bytes = (spec.stages * h * w
+            + spec.warps_per_tb * w * spec.ntile
+            + spec.warps_per_tb * h * spec.ntile)
+            * T::BYTES;
+        if spec.stages >= 2 && cfg.shared_bytes_per_block < pipelined_bytes {
+            diags.push(Diagnostic::new(
+                DiagCode::AsyncSmemSingleBuffered,
+                Location::Field {
+                    name: "shared_bytes_per_block",
+                },
+                format!(
+                    "shared budget of {} B single-buffers the staged A tile; \
+                     {} async stages need {pipelined_bytes} B, so commits \
+                     serialize on one buffer",
+                    cfg.shared_bytes_per_block, spec.stages
+                ),
+            ));
+        }
+        let max_blocks = (0..a.nblock_rows())
+            .map(|bi| a.blocks_in_row(bi))
+            .max()
+            .unwrap_or(0);
+        if max_blocks > 0 && spec.stages > max_blocks {
+            diags.push(Diagnostic::new(
+                DiagCode::AsyncStagesExceedWork,
+                Location::Field { name: "stages" },
+                format!(
+                    "pipeline depth {} exceeds the heaviest block row \
+                     ({max_blocks} blocks): the pipeline never fills and \
+                     prologue latency dominates",
+                    spec.stages
+                ),
+            ));
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_diag::DiagnosticsExt;
+    use smat_formats::{Coo, Csr, F16};
+
+    fn dense_blocks(nblock_rows: usize, blocks_per_row: usize) -> Bcsr<F16> {
+        let mut coo = Coo::new(nblock_rows * 16, blocks_per_row * 16);
+        for bi in 0..nblock_rows {
+            for bj in 0..blocks_per_row {
+                coo.push(bi * 16, bj * 16, F16::ONE);
+            }
+        }
+        Bcsr::from_csr(&coo.to_csr(), 16, 16)
+    }
+
+    fn kernel_cfg(a: &Bcsr<F16>, n: usize) -> LaunchConfig {
+        LaunchConfig {
+            copy_mode: CopyMode::AsyncPipelined,
+            label: "test".into(),
+            footprint_bytes: a.payload_bytes()
+                + a.index_bytes()
+                + (a.ncols() * n + a.nrows() * n) * F16::BYTES,
+            shared_bytes_per_block: (16 * 16 + 4 * 16 * 8 + 4 * 16 * 8) * F16::BYTES,
+            assignment: None,
+        }
+    }
+
+    #[test]
+    fn seed_kernel_schedule_reports_known_warnings_only() {
+        let a = dense_blocks(4, 4);
+        let cfg = kernel_cfg(&a, 8);
+        let d = analyze_launch(
+            &a,
+            8,
+            &cfg,
+            &DeviceConfig::a100_sxm4_40gb(),
+            &ScheduleSpec::default(),
+        );
+        assert!(!d.has_errors(), "{d:?}");
+        // The seed kernel stages row-major (bank conflicts) and budgets a
+        // single A buffer under async copies — both known, by design.
+        assert!(d.codes().contains(&DiagCode::BankConflict));
+        assert!(d.codes().contains(&DiagCode::AsyncSmemSingleBuffered));
+    }
+
+    #[test]
+    fn smem_overflow_fires_s001() {
+        let a = dense_blocks(2, 2);
+        let mut cfg = kernel_cfg(&a, 8);
+        cfg.shared_bytes_per_block = 1 << 20;
+        let d = analyze_launch(
+            &a,
+            8,
+            &cfg,
+            &DeviceConfig::a100_sxm4_40gb(),
+            &ScheduleSpec::default(),
+        );
+        assert!(d.codes().contains(&DiagCode::SmemOverflow));
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn footprint_underreport_fires_s002() {
+        let a = dense_blocks(2, 2);
+        let mut cfg = kernel_cfg(&a, 8);
+        cfg.footprint_bytes = 16;
+        let d = analyze_launch(
+            &a,
+            8,
+            &cfg,
+            &DeviceConfig::a100_sxm4_40gb(),
+            &ScheduleSpec::default(),
+        );
+        assert!(d.codes().contains(&DiagCode::FootprintUnderreported));
+    }
+
+    #[test]
+    fn device_oom_fires_s003_on_tiny_device() {
+        let a = dense_blocks(8, 8);
+        let cfg = kernel_cfg(&a, 4096);
+        let d = analyze_launch(
+            &a,
+            4096,
+            &cfg,
+            &DeviceConfig::tiny_test_device(),
+            &ScheduleSpec::default(),
+        );
+        assert!(d.codes().contains(&DiagCode::DeviceOom), "{d:?}");
+    }
+
+    #[test]
+    fn malformed_assignment_fires_s004_and_s005() {
+        let a = dense_blocks(4, 2);
+        let dev = DeviceConfig::tiny_test_device(); // 2 SMs
+        let mut cfg = kernel_cfg(&a, 8);
+        cfg.assignment = Some(vec![0, 1, 7]); // wrong length, SM 7 invalid
+        let d = analyze_launch(&a, 8, &cfg, &dev, &ScheduleSpec::default());
+        assert!(d.codes().contains(&DiagCode::AssignmentLength));
+        assert!(d.codes().contains(&DiagCode::AssignmentSmOutOfRange));
+    }
+
+    #[test]
+    fn lopsided_assignment_fires_s006() {
+        let a = dense_blocks(8, 4);
+        let dev = DeviceConfig::tiny_test_device(); // 2 SMs
+        let mut cfg = kernel_cfg(&a, 8);
+        // Everything on SM 0; SM 1 idles.
+        cfg.assignment = Some(vec![0; 8]);
+        let d = analyze_launch(&a, 8, &cfg, &dev, &ScheduleSpec::default());
+        assert!(d.codes().contains(&DiagCode::AssignmentImbalance), "{d:?}");
+        let balanced: Vec<usize> = (0..8).map(|w| w % 2).collect();
+        cfg.assignment = Some(balanced);
+        let d = analyze_launch(&a, 8, &cfg, &dev, &ScheduleSpec::default());
+        assert!(!d.codes().contains(&DiagCode::AssignmentImbalance), "{d:?}");
+    }
+
+    #[test]
+    fn padded_layout_clears_s007() {
+        let a = dense_blocks(2, 2);
+        let cfg = kernel_cfg(&a, 8);
+        let spec = ScheduleSpec {
+            smem_layout: SmemLayout::Padded,
+            ..ScheduleSpec::default()
+        };
+        let d = analyze_launch(&a, 8, &cfg, &DeviceConfig::a100_sxm4_40gb(), &spec);
+        assert!(!d.codes().contains(&DiagCode::BankConflict), "{d:?}");
+    }
+
+    #[test]
+    fn single_stage_async_fires_s008() {
+        let a = dense_blocks(2, 2);
+        let cfg = kernel_cfg(&a, 8);
+        let spec = ScheduleSpec {
+            stages: 1,
+            ..ScheduleSpec::default()
+        };
+        let d = analyze_launch(&a, 8, &cfg, &DeviceConfig::a100_sxm4_40gb(), &spec);
+        assert!(d.codes().contains(&DiagCode::AsyncNoDoubleBuffer));
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn overdeep_pipeline_fires_s010() {
+        let a = dense_blocks(4, 2); // heaviest block row: 2 blocks
+        let cfg = kernel_cfg(&a, 8);
+        let spec = ScheduleSpec {
+            stages: 5,
+            ..ScheduleSpec::default()
+        };
+        let d = analyze_launch(&a, 8, &cfg, &DeviceConfig::a100_sxm4_40gb(), &spec);
+        assert!(d.codes().contains(&DiagCode::AsyncStagesExceedWork));
+    }
+
+    #[test]
+    fn synchronous_copies_skip_async_hazards() {
+        let a = dense_blocks(2, 2);
+        let mut cfg = kernel_cfg(&a, 8);
+        cfg.copy_mode = CopyMode::Synchronous;
+        let spec = ScheduleSpec::for_async(false);
+        let d = analyze_launch(&a, 8, &cfg, &DeviceConfig::a100_sxm4_40gb(), &spec);
+        for c in d.codes() {
+            assert!(
+                !matches!(
+                    c,
+                    DiagCode::AsyncNoDoubleBuffer
+                        | DiagCode::AsyncSmemSingleBuffered
+                        | DiagCode::AsyncStagesExceedWork
+                ),
+                "{c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_hazard_free_modulo_layout() {
+        let a = Bcsr::from_csr(&Csr::<F16>::empty(32, 32), 16, 16);
+        let cfg = kernel_cfg(&a, 8);
+        let d = analyze_launch(
+            &a,
+            8,
+            &cfg,
+            &DeviceConfig::a100_sxm4_40gb(),
+            &ScheduleSpec::default(),
+        );
+        assert!(!d.has_errors(), "{d:?}");
+    }
+}

@@ -1,0 +1,433 @@
+//! Format-invariant verifiers: one pass per storage format, each returning
+//! every violation it finds as a typed [`Diagnostic`].
+//!
+//! The structural checks (pointer shapes, index ranges, sort order,
+//! bijectivity) are shared with the typed constructors through
+//! [`smat_formats::validate`]; the passes here add what only a whole-value
+//! scan can see — NaN/Inf payloads ([`DiagCode::NonFinitePayload`]),
+//! padding slots that must be zero ([`DiagCode::PaddingNotZero`]), COO
+//! entries outside the matrix ([`DiagCode::EntryOutOfBounds`]), and
+//! cross-structure dimension agreement ([`DiagCode::DimensionMismatch`]).
+
+use smat_diag::{DiagCode, Diagnostic, Location};
+use smat_formats::ell::EMPTY_SLOT;
+use smat_formats::srbcrs::PAD_COL;
+use smat_formats::validate::{validate_bcsr_parts, validate_csr_parts, validate_permutation};
+use smat_formats::{Bcsr, Coo, Csc, Csr, Element, Ell, Permutation, SrBcrs};
+
+/// Scans a value slice for NaN/Inf payloads, reporting each offending
+/// position as [`DiagCode::NonFinitePayload`].
+fn scan_finite<T: Element>(values: &[T], what: &str, diags: &mut Vec<Diagnostic>) {
+    for (pos, v) in values.iter().enumerate() {
+        let f = v.to_f64();
+        if !f.is_finite() {
+            diags.push(Diagnostic::new(
+                DiagCode::NonFinitePayload,
+                Location::Pos { pos },
+                format!("{what} value at position {pos} is {f} (must be finite)"),
+            ));
+        }
+    }
+}
+
+/// Verifies every CSR invariant: pointer shape, strictly increasing
+/// in-range column indices, index/value arity, and finite payloads.
+pub fn verify_csr<T: Element>(m: &Csr<T>) -> Vec<Diagnostic> {
+    let mut diags = validate_csr_parts(
+        m.nrows(),
+        m.ncols(),
+        m.row_ptr(),
+        m.col_idx(),
+        m.values().len(),
+    );
+    scan_finite(m.values(), "CSR", &mut diags);
+    diags
+}
+
+/// Verifies every BCSR invariant: nonzero block dimensions, the
+/// block-granularity pointer structure, payload arity `nblocks·h·w`, a
+/// plausible scalar `nnz`, and finite payloads.
+pub fn verify_bcsr<T: Element>(m: &Bcsr<T>) -> Vec<Diagnostic> {
+    let mut diags = validate_bcsr_parts(
+        m.nrows(),
+        m.ncols(),
+        m.block_h(),
+        m.block_w(),
+        m.row_ptr(),
+        m.col_idx(),
+        m.values().len(),
+        m.nnz(),
+    );
+    scan_finite(m.values(), "BCSR block", &mut diags);
+    diags
+}
+
+/// Verifies a COO triplet list: every entry inside the matrix bounds
+/// ([`DiagCode::EntryOutOfBounds`]), duplicate coordinates flagged as a
+/// warning ([`DiagCode::DuplicateEntry`] — legal before `compact`, but a
+/// conversion to CSR will silently sum them), and finite payloads.
+pub fn verify_coo<T: Element>(m: &Coo<T>) -> Vec<Diagnostic> {
+    verify_entries(m.nrows(), m.ncols(), m.entries())
+}
+
+/// Raw-triplet form of [`verify_coo`], for entry lists that have not been
+/// through the bounds-asserting [`Coo`] constructors (e.g. a parser's
+/// intermediate buffer).
+pub fn verify_entries<T: Element>(
+    nrows: usize,
+    ncols: usize,
+    entries: &[(usize, usize, T)],
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (pos, &(r, c, v)) in entries.iter().enumerate() {
+        if r >= nrows || c >= ncols {
+            diags.push(Diagnostic::new(
+                DiagCode::EntryOutOfBounds,
+                Location::Pos { pos },
+                format!("entry ({r},{c}) out of bounds for {nrows}x{ncols}"),
+            ));
+        }
+        if !v.to_f64().is_finite() {
+            diags.push(Diagnostic::new(
+                DiagCode::NonFinitePayload,
+                Location::Pos { pos },
+                format!(
+                    "COO value at position {pos} is {} (must be finite)",
+                    v.to_f64()
+                ),
+            ));
+        }
+    }
+    let mut coords: Vec<(usize, usize)> = entries.iter().map(|&(r, c, _)| (r, c)).collect();
+    coords.sort_unstable();
+    for w in coords.windows(2) {
+        if w[0] == w[1] {
+            diags.push(Diagnostic::new(
+                DiagCode::DuplicateEntry,
+                Location::Row { row: w[0].0 },
+                format!(
+                    "duplicate coordinate ({}, {}): conversion will sum the values",
+                    w[0].0, w[0].1
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+/// Verifies a CSC matrix column by column: strictly increasing in-range row
+/// indices per column, a per-column total that matches `nnz`, and finite
+/// payloads.
+pub fn verify_csc<T: Element>(m: &Csc<T>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut total = 0usize;
+    for j in 0..m.ncols() {
+        let rows = m.col_rows(j);
+        total += rows.len();
+        for w in rows.windows(2) {
+            if w[0] >= w[1] {
+                diags.push(Diagnostic::new(
+                    DiagCode::ColIdxUnsorted,
+                    Location::Row { row: j },
+                    format!(
+                        "row indices in column {j} must be strictly increasing: {} after {}",
+                        w[1], w[0]
+                    ),
+                ));
+            }
+        }
+        for &r in rows {
+            if r >= m.nrows() {
+                diags.push(Diagnostic::new(
+                    DiagCode::ColIdxOutOfBounds,
+                    Location::Row { row: j },
+                    format!(
+                        "row index {r} out of range in column {j} (nrows = {})",
+                        m.nrows()
+                    ),
+                ));
+            }
+        }
+        scan_finite(m.col_values(j), "CSC", &mut diags);
+    }
+    if total != m.nnz() {
+        diags.push(Diagnostic::new(
+            DiagCode::NnzInconsistent,
+            Location::Whole,
+            format!("columns hold {total} entries but nnz reports {}", m.nnz()),
+        ));
+    }
+    diags
+}
+
+/// Verifies an ELL matrix: occupied slots carry in-range columns and finite
+/// values, and the occupied-slot count matches the recorded `nnz`.
+pub fn verify_ell<T: Element>(m: &Ell<T>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut occupied = 0usize;
+    for r in 0..m.nrows() {
+        for s in 0..m.width() {
+            let Some((c, v)) = m.slot(r, s) else {
+                continue;
+            };
+            occupied += 1;
+            if c != EMPTY_SLOT && c >= m.ncols() {
+                diags.push(Diagnostic::new(
+                    DiagCode::ColIdxOutOfBounds,
+                    Location::Row { row: r },
+                    format!(
+                        "slot {s} of row {r} names column {c} (ncols = {})",
+                        m.ncols()
+                    ),
+                ));
+            }
+            if !v.to_f64().is_finite() {
+                diags.push(Diagnostic::new(
+                    DiagCode::NonFinitePayload,
+                    Location::Row { row: r },
+                    format!("slot {s} of row {r} holds {} (must be finite)", v.to_f64()),
+                ));
+            }
+        }
+    }
+    if occupied != m.nnz() {
+        diags.push(Diagnostic::new(
+            DiagCode::NnzInconsistent,
+            Location::Whole,
+            format!("{occupied} occupied slots but nnz reports {}", m.nnz()),
+        ));
+    }
+    diags
+}
+
+/// Verifies an SR-BCRS matrix: panel-pointer shape, in-range non-padding
+/// column indices, padded zero vectors that are actually zero
+/// ([`DiagCode::PaddingNotZero`]), a nonzero count that matches the stored
+/// payload, and finite payloads.
+pub fn verify_srbcrs<T: Element>(m: &SrBcrs<T>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let pp = m.panel_ptr();
+    if pp.first() != Some(&0) {
+        diags.push(Diagnostic::new(
+            DiagCode::RowPtrStart,
+            Location::RowPtr { index: 0 },
+            format!("panel_ptr must start at 0, found {:?}", pp.first()),
+        ));
+    }
+    for i in 0..m.npanels() {
+        if pp[i] > pp[i + 1] {
+            diags.push(Diagnostic::new(
+                DiagCode::RowPtrNonMonotone,
+                Location::RowPtr { index: i + 1 },
+                format!(
+                    "panel_ptr must be monotone: panel_ptr[{i}] = {} > panel_ptr[{}] = {}",
+                    pp[i],
+                    i + 1,
+                    pp[i + 1]
+                ),
+            ));
+        }
+    }
+    if pp.last() != Some(&m.nvectors()) {
+        diags.push(Diagnostic::new(
+            DiagCode::RowPtrEnd,
+            Location::RowPtr { index: m.npanels() },
+            format!(
+                "panel_ptr must end at the vector count {}, found {:?}",
+                m.nvectors(),
+                pp.last()
+            ),
+        ));
+        return diags; // vector offsets below would be unreliable
+    }
+
+    let mut stored_nonzeros = 0usize;
+    for (p, &panel_base) in pp.iter().enumerate().take(m.npanels()) {
+        for v in 0..m.vectors_in_panel(p) {
+            let c = m.col_idx()[panel_base + v];
+            let is_pad = c == PAD_COL;
+            if !is_pad && c >= m.ncols() {
+                diags.push(Diagnostic::new(
+                    DiagCode::ColIdxOutOfBounds,
+                    Location::Pos {
+                        pos: panel_base + v,
+                    },
+                    format!(
+                        "vector {v} of panel {p} names column {c} (ncols = {})",
+                        m.ncols()
+                    ),
+                ));
+            }
+            for lr in 0..m.vec_len() {
+                let val = m.vector_element(p, v, lr).to_f64();
+                if !val.is_finite() {
+                    diags.push(Diagnostic::new(
+                        DiagCode::NonFinitePayload,
+                        Location::Pos {
+                            pos: panel_base + v,
+                        },
+                        format!(
+                            "element {lr} of vector {v} in panel {p} is {val} (must be finite)"
+                        ),
+                    ));
+                } else if val != 0.0 {
+                    if is_pad {
+                        diags.push(Diagnostic::new(
+                            DiagCode::PaddingNotZero,
+                            Location::Pos {
+                                pos: panel_base + v,
+                            },
+                            format!(
+                                "padded zero vector {v} of panel {p} holds {val} at element {lr}"
+                            ),
+                        ));
+                    } else {
+                        stored_nonzeros += 1;
+                    }
+                }
+            }
+        }
+    }
+    if stored_nonzeros != m.nnz() {
+        diags.push(Diagnostic::new(
+            DiagCode::NnzInconsistent,
+            Location::Whole,
+            format!(
+                "vectors hold {stored_nonzeros} nonzeros but nnz reports {}",
+                m.nnz()
+            ),
+        ));
+    }
+    diags
+}
+
+/// Verifies a permutation is a bijection of `0..len` and, when an expected
+/// domain size is given, that the length matches it
+/// ([`DiagCode::PermLengthMismatch`]).
+pub fn verify_permutation(p: &Permutation, expected_len: Option<usize>) -> Vec<Diagnostic> {
+    let mut diags = validate_permutation(p.as_slice());
+    if let Some(n) = expected_len {
+        if p.len() != n {
+            diags.push(Diagnostic::new(
+                DiagCode::PermLengthMismatch,
+                Location::Whole,
+                format!(
+                    "permutation has length {} but permutes a dimension of {n}",
+                    p.len()
+                ),
+            ));
+        }
+    }
+    diags
+}
+
+/// Checks the SpMM operand shapes `C[m×n] = A[m×k] · B[k×n]`
+/// ([`DiagCode::DimensionMismatch`] when `A.ncols != B.nrows`).
+pub fn verify_spmm_dims(
+    a_nrows: usize,
+    a_ncols: usize,
+    b_nrows: usize,
+    b_ncols: usize,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if a_ncols != b_nrows {
+        diags.push(Diagnostic::new(
+            DiagCode::DimensionMismatch,
+            Location::Whole,
+            format!(
+                "inner dimensions must match: A is {a_nrows}x{a_ncols}, B is {b_nrows}x{b_ncols}"
+            ),
+        ));
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_diag::DiagnosticsExt;
+    use smat_formats::F16;
+
+    fn sample_csr() -> Csr<f32> {
+        let mut coo = Coo::new(4, 6);
+        coo.push(0, 0, 1.0);
+        coo.push(0, 5, 2.0);
+        coo.push(1, 2, 3.0);
+        coo.push(3, 1, 4.0);
+        coo.push(3, 3, 5.0);
+        coo.to_csr()
+    }
+
+    #[test]
+    fn well_formed_structures_are_clean() {
+        let csr = sample_csr();
+        assert!(verify_csr(&csr).is_empty());
+        assert!(verify_csc(&Csc::from_csr(&csr)).is_empty());
+        assert!(verify_ell(&Ell::from_csr(&csr)).is_empty());
+        assert!(verify_srbcrs(&SrBcrs::from_csr(&csr, 2, 2)).is_empty());
+        assert!(verify_bcsr(&Bcsr::from_csr(&csr, 2, 2)).is_empty());
+        assert!(verify_coo(&csr.to_coo()).is_empty());
+        assert!(verify_permutation(&Permutation::identity(4), Some(4)).is_empty());
+    }
+
+    #[test]
+    fn nan_payload_fires_f008() {
+        let mut coo = Coo::new(4, 4);
+        coo.push(0, 0, F16::from_f32(f32::NAN));
+        coo.push(1, 1, F16::ONE);
+        let d = verify_coo(&coo);
+        assert!(d.codes().contains(&DiagCode::NonFinitePayload), "{d:?}");
+        let csr = coo.to_csr();
+        assert!(verify_csr(&csr)
+            .codes()
+            .contains(&DiagCode::NonFinitePayload));
+        let bcsr = Bcsr::from_csr(&csr, 2, 2);
+        assert!(verify_bcsr(&bcsr)
+            .codes()
+            .contains(&DiagCode::NonFinitePayload));
+    }
+
+    #[test]
+    fn coo_duplicates_warn_but_do_not_error() {
+        let mut coo = Coo::new(3, 3);
+        coo.push(1, 1, 1.0f32);
+        coo.push(1, 1, 2.0);
+        let d = verify_coo(&coo);
+        assert_eq!(d.codes(), vec![DiagCode::DuplicateEntry]);
+        assert!(!d.has_errors());
+    }
+
+    #[test]
+    fn raw_entry_out_of_bounds_fires_f016() {
+        // `Coo` constructors assert bounds, so the raw-triplet verifier is
+        // the path a parser would take before building the structure.
+        let d = verify_entries(4, 4, &[(1, 2, 1.0f32), (6, 7, 1.0)]);
+        assert_eq!(d.codes(), vec![DiagCode::EntryOutOfBounds]);
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn permutation_length_mismatch_fires_f014() {
+        let p = Permutation::identity(4);
+        let d = verify_permutation(&p, Some(6));
+        assert_eq!(d.codes(), vec![DiagCode::PermLengthMismatch]);
+    }
+
+    #[test]
+    fn spmm_dims_mismatch_fires_f009() {
+        assert!(verify_spmm_dims(8, 8, 8, 4).is_empty());
+        let d = verify_spmm_dims(8, 8, 4, 4);
+        assert_eq!(d.codes(), vec![DiagCode::DimensionMismatch]);
+        assert!(d.has_errors());
+    }
+
+    #[test]
+    fn ell_propagates_nonfinite_payloads() {
+        let mut coo = Coo::new(4, 4);
+        coo.push(0, 0, F16::from_f32(f32::NAN));
+        coo.push(2, 1, F16::ONE);
+        let e = Ell::from_csr(&coo.to_csr());
+        let d = verify_ell(&e);
+        assert!(d.codes().contains(&DiagCode::NonFinitePayload), "{d:?}");
+    }
+}

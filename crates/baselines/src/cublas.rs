@@ -42,6 +42,7 @@ pub struct CublasLike<'a> {
 }
 
 impl<'a> CublasLike<'a> {
+    /// A dense-GEMM engine on the given device.
     pub fn new(gpu: &'a Gpu) -> Self {
         CublasLike { gpu }
     }
@@ -55,8 +56,7 @@ impl<'a> CublasLike<'a> {
     pub fn gemm_time(&self, m: usize, k: usize, n: usize) -> Result<GemmTime, SimError> {
         let d = &self.gpu.cfg;
         let elem_bytes = 2f64;
-        let bytes = (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64)
-            * elem_bytes;
+        let bytes = (m as f64 * k as f64 + k as f64 * n as f64 + m as f64 * n as f64) * elem_bytes;
         if bytes > d.global_mem_bytes as f64 {
             return Err(SimError::OutOfMemory {
                 needed: bytes as usize,
@@ -65,17 +65,15 @@ impl<'a> CublasLike<'a> {
         }
 
         let frag = MmaShape::M16N8K16;
-        let mmas = (m.div_ceil(frag.m) as f64)
-            * (n.div_ceil(frag.n) as f64)
-            * (k.div_ceil(frag.k) as f64);
+        let mmas =
+            (m.div_ceil(frag.m) as f64) * (n.div_ceil(frag.n) as f64) * (k.div_ceil(frag.k) as f64);
         // SM-cycles, whole device: each SM retires one MMA per
         // `cycles_per_mma`; fragment loads ride in the pipeline at
         // PIPELINE_EFF. Wave quantization: at least one full pass of the
         // grid over the SMs.
         let compute_cycles = mmas * d.cycles_per_mma / (d.num_sms as f64 * PIPELINE_EFF);
         let dram_cycles = bytes / (d.global_bytes_per_cycle * d.num_sms as f64);
-        let cycles = compute_cycles.max(dram_cycles) + d.global_latency
-            + d.launch_overhead_cycles;
+        let cycles = compute_cycles.max(dram_cycles) + d.global_latency + d.launch_overhead_cycles;
 
         let time_ms = d.cycles_to_ms(cycles);
         let dense_flop = 2.0 * m as f64 * k as f64 * n as f64;
@@ -147,7 +145,10 @@ mod tests {
         // the device bandwidth.
         let bytes = (16384f64 * 16384.0 + 16384.0 * 8.0 * 2.0) * 2.0;
         let gbs = bytes / (skinny.time_ms * 1e-3) / 1e9;
-        assert!(gbs > gpu.cfg.mem_bandwidth_gbs() * 0.5, "achieved {gbs} GB/s");
+        assert!(
+            gbs > gpu.cfg.mem_bandwidth_gbs() * 0.5,
+            "achieved {gbs} GB/s"
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub struct CusparseLike<'a, T> {
 }
 
 impl<'a, T: Element> CusparseLike<'a, T> {
+    /// An engine over the given CSR matrix on the given device.
     pub fn new(gpu: &'a Gpu, csr: &'a Csr<T>) -> Self {
         CusparseLike { gpu, csr }
     }

@@ -121,11 +121,8 @@ impl<'a, T: Element> MagicubeLike<'a, T> {
                         if cc >= n {
                             break;
                         }
-                        acc[lr * NTILE + lc] = <i16 as Element>::mul_acc(
-                            acc[lr * NTILE + lc],
-                            a,
-                            b_q.get(col, cc),
-                        );
+                        acc[lr * NTILE + lc] =
+                            <i16 as Element>::mul_acc(acc[lr * NTILE + lc], a, b_q.get(col, cc));
                     }
                 }
             }

@@ -24,11 +24,7 @@ impl<'a, T: Element> SputnikLike<'a, T> {
     pub fn new(gpu: &'a Gpu, csr: &'a Csr<T>) -> Self {
         let mut schedule: Vec<u32> = (0..csr.nrows() as u32).collect();
         schedule.sort_by_key(|&r| core::cmp::Reverse(csr.row_nnz(r as usize)));
-        SputnikLike {
-            gpu,
-            csr,
-            schedule,
-        }
+        SputnikLike { gpu, csr, schedule }
     }
 
     /// `C = A·B` with the swizzled vector-CSR kernel (row-major `B`).

@@ -35,7 +35,7 @@ fn bench_ablation(c: &mut Criterion) {
     let mut prep = c.benchmark_group("fig2_prepare");
     prep.sample_size(10);
     prep.bench_function("prepare_band512", |bch| {
-        bch.iter(|| std::hint::black_box(Smat::prepare(&a, SmatConfig::default())))
+        bch.iter(|| std::hint::black_box(Smat::prepare(&a, SmatConfig::default())));
     });
     prep.finish();
 }

@@ -21,7 +21,7 @@ fn bench_band_sweep(c: &mut Criterion) {
         let engine = Smat::prepare(&a, cfg);
         group.throughput(Throughput::Elements(2 * a.nnz() as u64 * 8));
         group.bench_with_input(BenchmarkId::from_parameter(bw), &engine, |bch, engine| {
-            bch.iter(|| std::hint::black_box(engine.spmm(&b)))
+            bch.iter(|| std::hint::black_box(engine.spmm(&b)));
         });
     }
     group.finish();

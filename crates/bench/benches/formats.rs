@@ -15,7 +15,7 @@ fn bench_f16_conversion(c: &mut Criterion) {
                 .iter()
                 .map(|&v| scalar::f32_to_f16_bits(v.to_bits()))
                 .fold(0u32, |acc, h| acc.wrapping_add(h as u32))
-        })
+        });
     });
     let halves: Vec<u16> = (0..4096).collect();
     group.bench_function("f16_to_f32_x4096", |b| {
@@ -24,7 +24,7 @@ fn bench_f16_conversion(c: &mut Criterion) {
                 .iter()
                 .map(|&h| scalar::f16_bits_to_f32(h))
                 .fold(0u32, u32::wrapping_add)
-        })
+        });
     });
     group.finish();
 }
@@ -35,13 +35,13 @@ fn bench_format_conversion(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(a.nnz() as u64));
     group.bench_function("csr_to_bcsr_16x16", |b| {
-        b.iter(|| std::hint::black_box(Bcsr::from_csr(&a, 16, 16)))
+        b.iter(|| std::hint::black_box(Bcsr::from_csr(&a, 16, 16)));
     });
     group.bench_function("csr_to_srbcrs_8x4", |b| {
-        b.iter(|| std::hint::black_box(SrBcrs::from_csr(&a.cast::<i16>(), 8, 4)))
+        b.iter(|| std::hint::black_box(SrBcrs::from_csr(&a.cast::<i16>(), 8, 4)));
     });
     group.bench_function("csr_transpose", |b| {
-        b.iter(|| std::hint::black_box(a.transpose()))
+        b.iter(|| std::hint::black_box(a.transpose()));
     });
     group.finish();
 }

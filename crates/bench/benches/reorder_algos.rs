@@ -20,9 +20,11 @@ fn bench_reorder_algos(c: &mut Criterion) {
     let mut group = c.benchmark_group("reorder_algorithms");
     group.sample_size(10);
     for alg in algs {
-        group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |bch, &alg| {
-            bch.iter(|| std::hint::black_box(reorder(&a, alg, 16, 16)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(alg.name()),
+            &alg,
+            |bch, &alg| bch.iter(|| std::hint::black_box(reorder(&a, alg, 16, 16))),
+        );
     }
     group.finish();
 }

@@ -15,7 +15,7 @@ fn bench_scaling_n(c: &mut Criterion) {
     for n in [1usize, 8, 32, 128] {
         let b = dense_b::<F16>(a.ncols(), n);
         group.bench_with_input(BenchmarkId::from_parameter(n), &b, |bch, b| {
-            bch.iter(|| std::hint::black_box(engine.spmm(b)))
+            bch.iter(|| std::hint::black_box(engine.spmm(b)));
         });
     }
     group.finish();

@@ -29,7 +29,7 @@ fn bench_suitesparse(c: &mut Criterion) {
                             &b,
                             ReorderAlgorithm::Identity,
                         ))
-                    })
+                    });
                 },
             );
         }

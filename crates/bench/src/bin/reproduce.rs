@@ -47,12 +47,25 @@ fn main() {
     }
     if wanted.iter().any(|w| w == "all") {
         wanted = [
-            "table1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
-            "fig9a", "fig9b", "fig10", "extra", "roofline", "precision", "devices",
+            "table1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9a",
+            "fig9b",
+            "fig10",
+            "extra",
+            "roofline",
+            "precision",
+            "devices",
             "ablations",
         ]
         .iter()
-        .map(|s| s.to_string())
+        .map(ToString::to_string)
         .collect();
     }
 

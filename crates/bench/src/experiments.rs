@@ -80,7 +80,10 @@ fn gpu() -> Gpu {
 
 /// Table I: the benchmark matrices (mimics), with generated-vs-paper stats.
 pub fn run_table1(cfg: &HarnessConfig) -> Vec<Value> {
-    println!("\n== Table I: benchmark matrices (mimics at scale {}) ==", cfg.scale);
+    println!(
+        "\n== Table I: benchmark matrices (mimics at scale {}) ==",
+        cfg.scale
+    );
     println!(
         "{:<18} {:<18} {:>10} {:>12} {:>9}  {:>10} {:>12}",
         "domain", "name", "n (gen)", "nnz (gen)", "sparsity", "n (paper)", "nnz (paper)"
@@ -225,8 +228,12 @@ pub fn run_fig3(cfg: &HarnessConfig) -> Vec<Value> {
             let (_, effect) = evaluate_reordering(&a, alg, 16, 16);
             println!(
                 "{:<14} {:<14} {:>10} {:>10.2} {:>10.2} {:>10}",
-                m.name, label, effect.after.nblocks, effect.after.mean,
-                effect.after.stddev, effect.after.max
+                m.name,
+                label,
+                effect.after.nblocks,
+                effect.after.mean,
+                effect.after.stddev,
+                effect.after.max
             );
             records.push(json!({
                 "experiment": "fig3",
@@ -367,7 +374,7 @@ pub fn run_fig8(cfg: &HarnessConfig) -> Vec<Value> {
             .collect();
         let g = geomean(ratios.iter().copied());
         let max = ratios.iter().copied().fold(f64::NAN, f64::max);
-        println!("vs {other:<10} geomean {:>7.2}x   max {:>8.2}x", g, max);
+        println!("vs {other:<10} geomean {g:>7.2}x   max {max:>8.2}x");
         records.push(json!({
             "experiment": "fig8-summary",
             "baseline": other,
@@ -386,7 +393,10 @@ pub fn run_fig8(cfg: &HarnessConfig) -> Vec<Value> {
         })
         .collect();
     println!();
-    print!("{}", crate::plot::bar_chart("geomean GFLOP/s across Table I", &rows, 48));
+    print!(
+        "{}",
+        crate::plot::bar_chart("geomean GFLOP/s across Table I", &rows, 48)
+    );
     records
 }
 
@@ -479,7 +489,11 @@ pub fn run_fig9(cfg: &HarnessConfig, n_cols: usize) -> Vec<Value> {
     }
 
     // Figure-style rendering: GFLOP/s vs bandwidth, one series per engine.
-    let x_labels: Vec<String> = cfg.fig9_bandwidths().iter().map(|b| b.to_string()).collect();
+    let x_labels: Vec<String> = cfg
+        .fig9_bandwidths()
+        .iter()
+        .map(ToString::to_string)
+        .collect();
     let mut series: Vec<(String, Vec<f64>)> = Vec::new();
     for engine in ["SMaT", "DASP", "Magicube", "cuSPARSE", "cuBLAS-effective"] {
         let ys: Vec<f64> = cfg
@@ -600,13 +614,13 @@ pub fn run_precision(cfg: &HarnessConfig) -> Vec<Value> {
     fn run_one<T: Element>(
         gpu: &Gpu,
         a32: &Csr<f32>,
-        b32: &smat_formats::Dense<f32>,
-        reference: &smat_formats::Dense<f32>,
+        b32: &Dense<f32>,
+        reference: &Dense<f32>,
         ref_scale: f64,
         block: (usize, usize),
     ) -> (f64, f64, f64) {
         let a: Csr<T> = a32.cast();
-        let b: smat_formats::Dense<T> = b32.cast();
+        let b: Dense<T> = b32.cast();
         let config = SmatConfig {
             block_h: block.0,
             block_w: block.1,
@@ -732,7 +746,9 @@ pub fn run_roofline(cfg: &HarnessConfig) -> Vec<Value> {
     let mut cases: Vec<(String, Csr<F16>)> = vec![
         (
             "cop20k_A".to_string(),
-            smat_workloads::by_name("cop20k_A").unwrap().generate(cfg.scale),
+            smat_workloads::by_name("cop20k_A")
+                .unwrap()
+                .generate(cfg.scale),
         ),
         (
             format!("band b={}", cfg.band_n / 64),
@@ -871,7 +887,7 @@ pub fn run_ablation_tau(cfg: &HarnessConfig) -> Vec<Value> {
     for name in ["mip1", "cop20k_A", "dc2"] {
         let m = smat_workloads::by_name(name).unwrap();
         let a: Csr<F16> = m.generate(cfg.scale);
-        print!("{:<14}", name);
+        print!("{name:<14}");
         for tau in taus {
             let (_, effect) =
                 evaluate_reordering(&a, ReorderAlgorithm::JaccardRows { tau }, 16, 16);

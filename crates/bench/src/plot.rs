@@ -146,10 +146,7 @@ mod tests {
 
     #[test]
     fn bar_chart_marks_failed_runs() {
-        let rows = vec![
-            ("ok".to_string(), 10.0),
-            ("failed".to_string(), f64::NAN),
-        ];
+        let rows = vec![("ok".to_string(), 10.0), ("failed".to_string(), f64::NAN)];
         let s = bar_chart("t", &rows, 20);
         assert!(s.lines().any(|l| l.contains("failed") && l.contains("OOM")));
     }
@@ -171,8 +168,14 @@ mod tests {
     fn line_plot_renders_series_markers() {
         let x: Vec<String> = (0..6).map(|i| format!("{}", 1 << i)).collect();
         let series = vec![
-            ("SMaT".to_string(), vec![100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0]),
-            ("DASP".to_string(), vec![50.0, 60.0, 70.0, 80.0, 90.0, 100.0]),
+            (
+                "SMaT".to_string(),
+                vec![100.0, 200.0, 400.0, 800.0, 1600.0, 3200.0],
+            ),
+            (
+                "DASP".to_string(),
+                vec![50.0, 60.0, 70.0, 80.0, 90.0, 100.0],
+            ),
         ];
         let s = line_plot("Fig. 9a", &x, &series, 10);
         assert!(s.contains('S') && s.contains('D'));

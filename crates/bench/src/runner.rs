@@ -26,7 +26,12 @@ pub enum Engine {
 impl Engine {
     /// The paper's four engines, in its plotting order.
     pub fn all() -> [Engine; 4] {
-        [Engine::Smat, Engine::Dasp, Engine::Magicube, Engine::Cusparse]
+        [
+            Engine::Smat,
+            Engine::Dasp,
+            Engine::Magicube,
+            Engine::Cusparse,
+        ]
     }
 
     /// The paper's engines plus the extra Sputnik-like baseline.
@@ -40,6 +45,7 @@ impl Engine {
         ]
     }
 
+    /// Display name used in reports and figures.
     pub fn name(&self) -> &'static str {
         match self {
             Engine::Smat => "SMaT",

@@ -98,9 +98,7 @@ pub fn autotune<T: Element>(
         "empty tuning space"
     );
     // A fixed probe right-hand side; values are irrelevant for timing.
-    let probe = Dense::from_fn(a.ncols(), n_cols, |i, j| {
-        T::from_f64(((i + j) % 3) as f64)
-    });
+    let probe = Dense::from_fn(a.ncols(), n_cols, |i, j| T::from_f64(((i + j) % 3) as f64));
 
     let mut trials = Vec::new();
     let mut best: Option<(f64, SmatConfig)> = None;

@@ -110,6 +110,35 @@ pub enum AccumMode {
     Narrow,
 }
 
+/// When the pipeline runs the static pre-flight pass (`smat-analyze`'s
+/// format verifier + schedule hazard analyzer) before launching the
+/// simulated kernel.
+///
+/// Error-severity findings turn into
+/// [`SimError::PreflightRejected`](smat_gpusim::SimError::PreflightRejected)
+/// *before* the simulator executes; warnings never block a launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum PreflightMode {
+    /// Run in debug builds, skip in release builds (the default): tests and
+    /// development catch invariant violations, benchmarks pay nothing.
+    Auto,
+    /// Never run.
+    Off,
+    /// Always run, also in release builds.
+    Force,
+}
+
+impl PreflightMode {
+    /// Whether the pass runs under this mode in the current build profile.
+    pub fn enabled(self) -> bool {
+        match self {
+            PreflightMode::Auto => cfg!(debug_assertions),
+            PreflightMode::Off => false,
+            PreflightMode::Force => true,
+        }
+    }
+}
+
 /// Full SMaT configuration.
 #[derive(Clone, Debug)]
 pub struct SmatConfig {
@@ -127,6 +156,8 @@ pub struct SmatConfig {
     pub schedule: Schedule,
     /// Simulated device.
     pub device: DeviceConfig,
+    /// When to run the static pre-flight pass before each launch.
+    pub preflight: PreflightMode,
 }
 
 impl Default for SmatConfig {
@@ -142,6 +173,7 @@ impl Default for SmatConfig {
             accum: AccumMode::Wide,
             schedule: Schedule::Static2D,
             device: DeviceConfig::a100_sxm4_40gb(),
+            preflight: PreflightMode::Auto,
         }
     }
 }
@@ -191,7 +223,7 @@ mod tests {
     fn eight_unique_combinations() {
         let combos = OptFlags::all_combinations();
         let labels: std::collections::HashSet<String> =
-            combos.iter().map(|f| f.label()).collect();
+            combos.iter().map(OptFlags::label).collect();
         assert_eq!(labels.len(), 8);
         assert_eq!(combos[0], OptFlags::none());
         assert_eq!(combos[7], OptFlags::all());

@@ -16,7 +16,9 @@
 //! variants are functionally identical — they differ only in recorded cost.
 
 use smat_formats::{Bcsr, Dense, Element};
-use smat_gpusim::{mma_tile, mma_tile_wide, CopyMode, Gpu, LaunchConfig, LaunchResult, MmaShape, SimError, WarpCtx};
+use smat_gpusim::{
+    mma_tile, mma_tile_wide, CopyMode, Gpu, LaunchConfig, LaunchResult, MmaShape, SimError, WarpCtx,
+};
 
 use crate::config::{AccumMode, OptFlags, Schedule};
 
@@ -67,7 +69,15 @@ pub fn smat_spmm<T: Element>(
     opts: OptFlags,
     accum: AccumMode,
 ) -> Result<(LaunchResult, Dense<T>), SimError> {
-    smat_spmm_scheduled(gpu, a, b, opts, accum, Epilogue::default(), Schedule::Static2D)
+    smat_spmm_scheduled(
+        gpu,
+        a,
+        b,
+        opts,
+        accum,
+        Epilogue::default(),
+        Schedule::Static2D,
+    )
 }
 
 /// Launches the SMaT kernel with a BLAS-style epilogue:
@@ -122,30 +132,13 @@ pub fn smat_spmm_scheduled<T: Element>(
     let ntiles = n.div_ceil(NTILE).max(1);
     let nblock_rows = a.nblock_rows();
     let n_warps = nblock_rows * ntiles;
-    let shape = MmaShape { m: h, n: NTILE, k: w };
-
-    let launch_cfg = LaunchConfig {
-        copy_mode: if opts.async_copy {
-            CopyMode::AsyncPipelined
-        } else {
-            CopyMode::Synchronous
-        },
-        label: format!("smat[{}]", opts.label()),
-        footprint_bytes: a.payload_bytes()
-            + a.index_bytes()
-            + (b.nrows() * b.ncols() + a.nrows() * n) * T::BYTES,
-        shared_bytes_per_block: (h * w + WARPS_PER_TB * w * NTILE + WARPS_PER_TB * h * NTILE)
-            * T::BYTES,
-        assignment: match schedule {
-            Schedule::Static2D => None,
-            Schedule::BalancedGreedy => Some(lpt_assignment(
-                n_warps,
-                ntiles,
-                a,
-                gpu.cfg.num_sms,
-            )),
-        },
+    let shape = MmaShape {
+        m: h,
+        n: NTILE,
+        k: w,
     };
+
+    let launch_cfg = build_launch_config(gpu, a, n, opts, schedule);
 
     let (mut result, tiles) = gpu.launch(n_warps, &launch_cfg, |ctx| {
         let bi = ctx.warp_id / ntiles;
@@ -178,6 +171,43 @@ pub fn smat_spmm_scheduled<T: Element>(
     Ok((result, c))
 }
 
+/// Builds the [`LaunchConfig`] the SMaT kernel launches with for a given
+/// BCSR matrix and right-hand-side width `n`: copy mode from the **C**
+/// flag, the exact operand footprint and per-block shared budget of
+/// Algorithm 1, and the warp→SM assignment the schedule implies.
+///
+/// The pipeline's pre-flight hook analyzes this same config, so what is
+/// checked and what is launched agree by construction.
+pub fn build_launch_config<T: Element>(
+    gpu: &Gpu,
+    a: &Bcsr<T>,
+    n: usize,
+    opts: OptFlags,
+    schedule: Schedule,
+) -> LaunchConfig {
+    let h = a.block_h();
+    let w = a.block_w();
+    let ntiles = n.div_ceil(NTILE).max(1);
+    let n_warps = a.nblock_rows() * ntiles;
+    LaunchConfig {
+        copy_mode: if opts.async_copy {
+            CopyMode::AsyncPipelined
+        } else {
+            CopyMode::Synchronous
+        },
+        label: format!("smat[{}]", opts.label()),
+        footprint_bytes: a.payload_bytes()
+            + a.index_bytes()
+            + (a.ncols() * n + a.nrows() * n) * T::BYTES,
+        shared_bytes_per_block: (h * w + WARPS_PER_TB * w * NTILE + WARPS_PER_TB * h * NTILE)
+            * T::BYTES,
+        assignment: match schedule {
+            Schedule::Static2D => None,
+            Schedule::BalancedGreedy => Some(lpt_assignment(n_warps, ntiles, a, gpu.cfg.num_sms)),
+        },
+    }
+}
+
 /// Longest-processing-time-first warp→SM assignment: warps sorted by their
 /// block count (the dominant cost), each placed on the least-loaded SM.
 fn lpt_assignment<T: Element>(
@@ -189,8 +219,9 @@ fn lpt_assignment<T: Element>(
     let mut order: Vec<usize> = (0..n_warps).collect();
     order.sort_by_key(|&w| core::cmp::Reverse(a.blocks_in_row(w / ntiles)));
     // Min-heap of (load, sm).
-    let mut heap: std::collections::BinaryHeap<core::cmp::Reverse<(u64, usize)>> =
-        (0..num_sms).map(|sm| core::cmp::Reverse((0u64, sm))).collect();
+    let mut heap: std::collections::BinaryHeap<core::cmp::Reverse<(u64, usize)>> = (0..num_sms)
+        .map(|sm| core::cmp::Reverse((0u64, sm)))
+        .collect();
     let mut assignment = vec![0usize; n_warps];
     for w in order {
         let core::cmp::Reverse((load, sm)) = heap.pop().expect("non-empty heap");
@@ -262,8 +293,7 @@ fn smat_warp<T: Element>(
             if b.ncols() <= NTILE {
                 ctx.global_contiguous(b_rows * (b.ncols() * T::BYTES) as u64);
             } else {
-                ctx.counters.global_bytes +=
-                    b_rows * b_tile_bytes.div_ceil(sector) * sector;
+                ctx.counters.global_bytes += b_rows * b_tile_bytes.div_ceil(sector) * sector;
                 ctx.counters.global_rounds += 1;
             }
             ctx.shared_tx((b_rows * b_tile_bytes).div_ceil(128).max(1));
@@ -341,13 +371,7 @@ fn smat_warp<T: Element>(
 
 /// Copies the `w×NTILE` tile of B rows `[bc·w, bc·w + w)`, columns
 /// `[tj·NTILE, tj·NTILE + NTILE)` into `tile`, zero-padding past the edges.
-fn stage_b_tile<T: Element>(
-    a: &Bcsr<T>,
-    b: &Dense<T>,
-    bc: usize,
-    tj: usize,
-    tile: &mut [T],
-) {
+fn stage_b_tile<T: Element>(a: &Bcsr<T>, b: &Dense<T>, bc: usize, tj: usize, tile: &mut [T]) {
     let w = a.block_w();
     let n = b.ncols();
     for lr in 0..w {
@@ -386,7 +410,9 @@ mod tests {
     }
 
     fn rhs(k: usize, n: usize) -> Dense<F16> {
-        Dense::from_fn(k, n, |i, j| F16::from_f64(((i * 3 + j * 5) % 7) as f64 - 3.0))
+        Dense::from_fn(k, n, |i, j| {
+            F16::from_f64(((i * 3 + j * 5) % 7) as f64 - 3.0)
+        })
     }
 
     #[test]
@@ -396,8 +422,7 @@ mod tests {
         let want = csr.spmm_reference(&b);
         let bcsr = Bcsr::from_csr(&csr, 16, 16);
         let gpu = Gpu::a100();
-        let (_, got) =
-            smat_spmm(&gpu, &bcsr, &b, OptFlags::all(), AccumMode::Wide).unwrap();
+        let (_, got) = smat_spmm(&gpu, &bcsr, &b, OptFlags::all(), AccumMode::Wide).unwrap();
         assert_eq!(got, want);
     }
 
@@ -422,8 +447,7 @@ mod tests {
             let want = csr.spmm_reference(&b);
             let bcsr = Bcsr::from_csr(&csr, 16, 16);
             let (_, got) =
-                smat_spmm(&Gpu::a100(), &bcsr, &b, OptFlags::all(), AccumMode::Wide)
-                    .unwrap();
+                smat_spmm(&Gpu::a100(), &bcsr, &b, OptFlags::all(), AccumMode::Wide).unwrap();
             assert_eq!(got, want, "N={n}");
         }
     }
@@ -453,10 +477,8 @@ mod tests {
         let b = Dense::from_fn(32, 8, |_, _| F16::ONE);
         let bcsr = Bcsr::from_csr(&csr, 16, 16);
         let gpu = Gpu::a100();
-        let (_, wide) =
-            smat_spmm(&gpu, &bcsr, &b, OptFlags::all(), AccumMode::Wide).unwrap();
-        let (_, narrow) =
-            smat_spmm(&gpu, &bcsr, &b, OptFlags::all(), AccumMode::Narrow).unwrap();
+        let (_, wide) = smat_spmm(&gpu, &bcsr, &b, OptFlags::all(), AccumMode::Wide).unwrap();
+        let (_, narrow) = smat_spmm(&gpu, &bcsr, &b, OptFlags::all(), AccumMode::Narrow).unwrap();
         assert_eq!(wide.get(0, 0).to_f32(), 2052.0);
         assert_eq!(narrow.get(0, 0).to_f32(), 2050.0);
     }
@@ -518,7 +540,7 @@ mod tests {
         let csr = coo.to_csr();
         let bcsr = Bcsr::from_csr(&csr, 16, 16);
         let num_sms = 8;
-        let assignment = super::lpt_assignment(40, 1, &bcsr, num_sms);
+        let assignment = lpt_assignment(40, 1, &bcsr, num_sms);
         assert_eq!(assignment.len(), 40);
         let mut load = vec![0u64; num_sms];
         for (w, &sm) in assignment.iter().enumerate() {

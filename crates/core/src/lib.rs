@@ -33,7 +33,10 @@ pub mod perfmodel;
 pub mod pipeline;
 
 pub use autotune::{autotune, TuneReport, TuneSpace};
-pub use config::{AccumMode, OptFlags, Schedule, SmatConfig};
-pub use kernel::{smat_spmm, smat_spmm_axpby, smat_spmm_scheduled, Epilogue, NTILE, WARPS_PER_TB};
+pub use config::{AccumMode, OptFlags, PreflightMode, Schedule, SmatConfig};
+pub use kernel::{
+    build_launch_config, smat_spmm, smat_spmm_axpby, smat_spmm_scheduled, Epilogue, NTILE,
+    WARPS_PER_TB,
+};
 pub use perfmodel::{PerfModel, PerfSample};
 pub use pipeline::{RunReport, Smat, SmatRun};

@@ -54,7 +54,11 @@ impl PerfModel {
             .iter()
             .map(|s| (s.t_ms - (t_e * s.n_e + t_init)).powi(2))
             .sum();
-        let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+        let r2 = if ss_tot > 0.0 {
+            1.0 - ss_res / ss_tot
+        } else {
+            1.0
+        };
 
         PerfModel {
             t_e_ms: t_e,
@@ -117,13 +121,19 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two")]
     fn rejects_single_sample() {
-        let _ = PerfModel::fit(&[PerfSample { n_e: 1.0, t_ms: 1.0 }]);
+        let _ = PerfModel::fit(&[PerfSample {
+            n_e: 1.0,
+            t_ms: 1.0,
+        }]);
     }
 
     #[test]
     #[should_panic(expected = "unidentifiable")]
     fn rejects_degenerate_x() {
-        let s = PerfSample { n_e: 5.0, t_ms: 1.0 };
+        let s = PerfSample {
+            n_e: 5.0,
+            t_ms: 1.0,
+        };
         let _ = PerfModel::fit(&[s, s, s]);
     }
 }

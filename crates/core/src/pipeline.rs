@@ -2,12 +2,13 @@
 //! block-densifying permutation → BCSR conversion → kernel launch →
 //! permutation-aware result assembly.
 
+use smat_analyze::{analyze_launch, verify_bcsr, ScheduleSpec};
+use smat_diag::{Diagnostic, DiagnosticsExt};
 use smat_formats::{Bcsr, BlockRowStats, Csr, Dense, Element};
 use smat_gpusim::{Gpu, LaunchResult, SimError};
 use smat_reorder::{reorder, Reordering};
 
 use crate::config::SmatConfig;
-
 
 /// A prepared SMaT engine: the preprocessing (permutation + BCSR
 /// conversion) runs once in [`Smat::prepare`]; [`Smat::spmm`] can then be
@@ -29,6 +30,7 @@ pub struct Smat<T> {
 }
 
 /// Result of one SpMM execution.
+#[derive(Clone, Debug)]
 pub struct SmatRun<T> {
     /// The product `C = A·B` in the *original* row order (the internal row
     /// permutation is undone during assembly).
@@ -78,8 +80,7 @@ impl<T: Element> Smat<T> {
     /// permutation, permutes the matrix, and converts it to BCSR.
     pub fn prepare(a: &Csr<T>, config: SmatConfig) -> Self {
         let t0 = std::time::Instant::now();
-        let stats_before =
-            smat_reorder::stats::block_row_stats(a, config.block_h, config.block_w);
+        let stats_before = smat_reorder::stats::block_row_stats(a, config.block_h, config.block_w);
         let reordering = reorder(a, config.reorder, config.block_h, config.block_w);
         let permuted = reordering.apply(a);
         let stats_after =
@@ -120,9 +121,38 @@ impl<T: Element> Smat<T> {
         &self.config
     }
 
+    /// Runs the static pre-flight pass for a launch with an `n`-column
+    /// right-hand side, without executing anything: the BCSR invariant
+    /// verifier plus the schedule hazard analyzer over the exact
+    /// [`LaunchConfig`](smat_gpusim::LaunchConfig) the kernel would build.
+    ///
+    /// [`Smat::try_spmm`] calls this automatically according to
+    /// [`SmatConfig::preflight`]; it is public so tools can inspect the
+    /// findings (including warnings) without launching.
+    pub fn preflight(&self, n: usize) -> Vec<Diagnostic> {
+        let mut diags = verify_bcsr(&self.bcsr);
+        let launch_cfg = crate::kernel::build_launch_config(
+            &self.gpu,
+            &self.bcsr,
+            n,
+            self.config.opts,
+            self.config.schedule,
+        );
+        diags.extend(analyze_launch(
+            &self.bcsr,
+            n,
+            &launch_cfg,
+            &self.gpu.cfg,
+            &ScheduleSpec::for_async(self.config.opts.async_copy),
+        ));
+        diags
+    }
+
     /// Executes `C = A·B` on the simulated device. Returns the product in
     /// the original row order together with the execution report, or a
-    /// simulation error (e.g. out of device memory).
+    /// simulation error (e.g. out of device memory, or a pre-flight
+    /// rejection when [`SmatConfig::preflight`] is active and an
+    /// error-severity finding is present).
     pub fn try_spmm(&self, b: &Dense<T>) -> Result<SmatRun<T>, SimError> {
         assert_eq!(
             self.ncols,
@@ -131,6 +161,12 @@ impl<T: Element> Smat<T> {
             self.ncols,
             b.nrows()
         );
+        if self.config.preflight.enabled() {
+            let diagnostics = self.preflight(b.ncols());
+            if diagnostics.has_errors() {
+                return Err(SimError::PreflightRejected { diagnostics });
+            }
+        }
         // Column permutation (if any) reshuffles the rows of B.
         let b_permuted;
         let b_eff: &Dense<T> = match &self.reordering.col_perm {
@@ -181,13 +217,7 @@ impl<T: Element> Smat<T> {
     ///
     /// # Panics
     /// Panics on shape mismatches or simulation errors.
-    pub fn spmm_axpby(
-        &self,
-        b: &Dense<T>,
-        c: &Dense<T>,
-        alpha: f64,
-        beta: f64,
-    ) -> SmatRun<T> {
+    pub fn spmm_axpby(&self, b: &Dense<T>, c: &Dense<T>, alpha: f64, beta: f64) -> SmatRun<T> {
         assert_eq!(self.ncols, b.nrows(), "B must have {} rows", self.ncols);
         let b_permuted;
         let b_eff: &Dense<T> = match &self.reordering.col_perm {
@@ -369,7 +399,10 @@ mod tests {
             .launch
             .totals
             .global_bytes;
-        assert!(fused > plain, "beta != 0 must load the C tiles: {fused} vs {plain}");
+        assert!(
+            fused > plain,
+            "beta != 0 must load the C tiles: {fused} vs {plain}"
+        );
     }
 
     #[test]
@@ -394,5 +427,87 @@ mod tests {
         let a = interleaved(32);
         let engine = Smat::prepare(&a, SmatConfig::default());
         let _ = engine.spmm(&rhs(16, 8));
+    }
+
+    #[test]
+    fn preflight_rejects_oversubscribed_smem_before_launch() {
+        use crate::config::PreflightMode;
+        use smat_diag::{DiagCode, DiagnosticsExt};
+        // 96x96 blocks request (96*96 + 4*96*8 + 4*96*8)*2 = 30720 B of
+        // shared memory; the tiny test device has 16 KiB per SM. The
+        // engine itself would reject this too — pre-flight must get there
+        // first and say *why* with a typed finding.
+        let a = interleaved(96);
+        let cfg = SmatConfig {
+            block_h: 96,
+            block_w: 96,
+            device: smat_gpusim::DeviceConfig::tiny_test_device(),
+            preflight: PreflightMode::Force,
+            ..SmatConfig::default()
+        };
+        let engine = Smat::prepare(&a, cfg);
+        let err = engine.try_spmm(&rhs(96, 8)).unwrap_err();
+        let SimError::PreflightRejected { diagnostics } = err else {
+            panic!("expected a pre-flight rejection, got {err:?}");
+        };
+        assert!(diagnostics.codes().contains(&DiagCode::SmemOverflow));
+        assert!(diagnostics.has_errors());
+    }
+
+    #[test]
+    fn preflight_rejects_nonfinite_payload_with_typed_diagnostic() {
+        use crate::config::PreflightMode;
+        use smat_diag::{DiagCode, DiagnosticsExt};
+        let mut coo = Coo::new(32, 32);
+        coo.push(0, 0, F16::from_f32(f32::NAN));
+        coo.push(17, 3, F16::ONE);
+        let a = coo.to_csr();
+        let cfg = SmatConfig {
+            preflight: PreflightMode::Force,
+            ..SmatConfig::default()
+        };
+        let engine = Smat::prepare(&a, cfg);
+        let err = engine.try_spmm(&rhs(32, 8)).unwrap_err();
+        let SimError::PreflightRejected { diagnostics } = err else {
+            panic!("expected a pre-flight rejection, got {err:?}");
+        };
+        assert!(diagnostics.codes().contains(&DiagCode::NonFinitePayload));
+        // The Display form is a readable multi-line report.
+        let msg = SimError::PreflightRejected { diagnostics }.to_string();
+        assert!(msg.contains("pre-flight rejected"), "{msg}");
+        assert!(msg.contains("F008"), "{msg}");
+    }
+
+    #[test]
+    fn preflight_off_defers_to_engine_resource_check() {
+        use crate::config::PreflightMode;
+        let a = interleaved(96);
+        let cfg = SmatConfig {
+            block_h: 96,
+            block_w: 96,
+            device: smat_gpusim::DeviceConfig::tiny_test_device(),
+            preflight: PreflightMode::Off,
+            ..SmatConfig::default()
+        };
+        let engine = Smat::prepare(&a, cfg);
+        let err = engine.try_spmm(&rhs(96, 8)).unwrap_err();
+        assert!(
+            matches!(err, SimError::SharedMemoryExceeded { .. }),
+            "with pre-flight off the engine's own check fires: {err:?}"
+        );
+    }
+
+    #[test]
+    fn preflight_reports_warnings_without_blocking() {
+        use smat_diag::{DiagCode, DiagnosticsExt};
+        let a = interleaved(64);
+        let engine = Smat::prepare(&a, SmatConfig::default());
+        let diags = engine.preflight(8);
+        // The seed kernel stages the A tile row-major and budgets a single
+        // async buffer — both known warnings, neither a launch blocker.
+        assert!(!diags.has_errors(), "{diags:?}");
+        assert!(diags.codes().contains(&DiagCode::BankConflict));
+        // And indeed the launch still succeeds under Auto (debug build).
+        assert!(engine.try_spmm(&rhs(64, 8)).is_ok());
     }
 }

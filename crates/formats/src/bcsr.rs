@@ -33,9 +33,34 @@ impl<T: Element> Bcsr<T> {
     /// Converts a CSR matrix into BCSR with the given block shape.
     ///
     /// # Panics
-    /// Panics if either block dimension is zero.
+    /// Panics if either block dimension is zero. Use [`Bcsr::try_from_csr`]
+    /// for a typed-diagnostic error instead.
     pub fn from_csr(csr: &Csr<T>, block_h: usize, block_w: usize) -> Self {
-        assert!(block_h > 0 && block_w > 0, "block dimensions must be nonzero");
+        match Self::try_from_csr(csr, block_h, block_w) {
+            Ok(m) => m,
+            Err(diags) => panic!("{}", diags[0].message),
+        }
+    }
+
+    /// Converts a CSR matrix into BCSR, returning a typed
+    /// [`Diagnostic`](smat_diag::Diagnostic) for an invalid block shape
+    /// instead of panicking.
+    ///
+    /// # Errors
+    /// Returns [`DiagCode::BlockDimZero`](smat_diag::DiagCode::BlockDimZero)
+    /// if either block dimension is zero.
+    pub fn try_from_csr(
+        csr: &Csr<T>,
+        block_h: usize,
+        block_w: usize,
+    ) -> Result<Self, Vec<smat_diag::Diagnostic>> {
+        if block_h == 0 || block_w == 0 {
+            return Err(vec![smat_diag::Diagnostic::new(
+                smat_diag::DiagCode::BlockDimZero,
+                smat_diag::Location::Whole,
+                format!("block dimensions must be nonzero, got {block_h}x{block_w}"),
+            )]);
+        }
         let nrows = csr.nrows();
         let ncols = csr.ncols();
         let nblock_rows = nrows.div_ceil(block_h);
@@ -90,7 +115,7 @@ impl<T: Element> Bcsr<T> {
             row_ptr.push(col_idx.len());
         }
 
-        Bcsr {
+        Ok(Bcsr {
             nrows,
             ncols,
             block_h,
@@ -99,29 +124,79 @@ impl<T: Element> Bcsr<T> {
             col_idx,
             values,
             nnz: csr.nnz(),
-        }
+        })
     }
 
+    /// Assembles a BCSR matrix from raw parts, returning every violated
+    /// invariant as a typed [`Diagnostic`](smat_diag::Diagnostic).
+    ///
+    /// Primarily for tests and tools that need to build (possibly corrupt)
+    /// block structures directly; [`Bcsr::from_csr`] is the normal path.
+    ///
+    /// # Errors
+    /// Returns all violations found, in deterministic scan order.
+    #[allow(clippy::too_many_arguments)]
+    pub fn try_from_raw(
+        nrows: usize,
+        ncols: usize,
+        block_h: usize,
+        block_w: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<T>,
+        nnz: usize,
+    ) -> Result<Self, Vec<smat_diag::Diagnostic>> {
+        let diags = crate::validate::validate_bcsr_parts(
+            nrows,
+            ncols,
+            block_h,
+            block_w,
+            &row_ptr,
+            &col_idx,
+            values.len(),
+            nnz,
+        );
+        if !diags.is_empty() {
+            return Err(diags);
+        }
+        Ok(Bcsr {
+            nrows,
+            ncols,
+            block_h,
+            block_w,
+            row_ptr,
+            col_idx,
+            values,
+            nnz,
+        })
+    }
+
+    /// Number of scalar rows.
     #[inline]
     pub fn nrows(&self) -> usize {
         self.nrows
     }
+    /// Number of scalar columns.
     #[inline]
     pub fn ncols(&self) -> usize {
         self.ncols
     }
+    /// Block height `h`.
     #[inline]
     pub fn block_h(&self) -> usize {
         self.block_h
     }
+    /// Block width `w`.
     #[inline]
     pub fn block_w(&self) -> usize {
         self.block_w
     }
+    /// Number of block rows, `ceil(nrows / h)`.
     #[inline]
     pub fn nblock_rows(&self) -> usize {
         self.row_ptr.len() - 1
     }
+    /// Number of block columns, `ceil(ncols / w)`.
     #[inline]
     pub fn nblock_cols(&self) -> usize {
         self.ncols.div_ceil(self.block_w)
@@ -136,14 +211,17 @@ impl<T: Element> Bcsr<T> {
     pub fn nnz(&self) -> usize {
         self.nnz
     }
+    /// Per-block-row offsets into `col_idx`; length `nblock_rows + 1`.
     #[inline]
     pub fn row_ptr(&self) -> &[usize] {
         &self.row_ptr
     }
+    /// Block-column index of each stored block.
     #[inline]
     pub fn col_idx(&self) -> &[usize] {
         &self.col_idx
     }
+    /// Dense block payloads, `h·w` consecutive values per block.
     #[inline]
     pub fn values(&self) -> &[T] {
         &self.values
@@ -252,11 +330,7 @@ impl<T: Element> Bcsr<T> {
                 }
             }
         }
-        Dense::from_vec(
-            self.nrows,
-            n,
-            out64.into_iter().map(T::from_f64).collect(),
-        )
+        Dense::from_vec(self.nrows, n, out64.into_iter().map(T::from_f64).collect())
     }
 
     /// Bytes of payload storage (values only), used by memory-footprint
@@ -276,15 +350,22 @@ impl<T: Element> Bcsr<T> {
 /// load-balance analysis and the 2D-schedule imbalance discussion.
 #[derive(Clone, Debug, PartialEq, serde::Serialize)]
 pub struct BlockRowStats {
+    /// Total stored blocks.
     pub nblocks: usize,
+    /// Number of block rows.
     pub nblock_rows: usize,
+    /// Mean blocks per block row.
     pub mean: f64,
+    /// Standard deviation of blocks per block row.
     pub stddev: f64,
+    /// Heaviest block row.
     pub max: usize,
+    /// Lightest block row.
     pub min: usize,
 }
 
 impl BlockRowStats {
+    /// Computes the statistics of a BCSR matrix's block rows.
     pub fn of<T: Element>(bcsr: &Bcsr<T>) -> Self {
         let counts: Vec<usize> = (0..bcsr.nblock_rows())
             .map(|bi| bcsr.blocks_in_row(bi))
@@ -292,6 +373,7 @@ impl BlockRowStats {
         Self::from_counts(&counts)
     }
 
+    /// Computes the statistics from a raw blocks-per-row count vector.
     pub fn from_counts(counts: &[usize]) -> Self {
         let n = counts.len().max(1);
         let total: usize = counts.iter().sum();

@@ -14,6 +14,7 @@ pub struct Coo<T> {
 }
 
 impl<T: Element> Coo<T> {
+    /// Empty triplet list for an `nrows × ncols` matrix.
     pub fn new(nrows: usize, ncols: usize) -> Self {
         Coo {
             nrows,
@@ -22,6 +23,7 @@ impl<T: Element> Coo<T> {
         }
     }
 
+    /// Like [`Coo::new`] with pre-allocated room for `cap` triplets.
     pub fn with_capacity(nrows: usize, ncols: usize, cap: usize) -> Self {
         Coo {
             nrows,
@@ -60,10 +62,12 @@ impl<T: Element> Coo<T> {
         self.entries.push((row, col, val));
     }
 
+    /// Number of rows.
     #[inline]
     pub fn nrows(&self) -> usize {
         self.nrows
     }
+    /// Number of columns.
     #[inline]
     pub fn ncols(&self) -> usize {
         self.ncols
@@ -73,10 +77,12 @@ impl<T: Element> Coo<T> {
     pub fn len(&self) -> usize {
         self.entries.len()
     }
+    /// Whether no triplets are stored.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+    /// The stored `(row, col, value)` triplets, in insertion order.
     #[inline]
     pub fn entries(&self) -> &[(usize, usize, T)] {
         &self.entries

@@ -13,6 +13,7 @@ pub struct Csc<T> {
 }
 
 impl<T: Element> Csc<T> {
+    /// Converts a CSR matrix into CSC.
     pub fn from_csr(csr: &Csr<T>) -> Self {
         Csc { t: csr.transpose() }
     }
@@ -34,14 +35,17 @@ impl<T: Element> Csc<T> {
         }
     }
 
+    /// Number of rows.
     #[inline]
     pub fn nrows(&self) -> usize {
         self.t.ncols()
     }
+    /// Number of columns.
     #[inline]
     pub fn ncols(&self) -> usize {
         self.t.nrows()
     }
+    /// Number of stored nonzeros.
     #[inline]
     pub fn nnz(&self) -> usize {
         self.t.nnz()
@@ -59,10 +63,12 @@ impl<T: Element> Csc<T> {
         self.t.row_values(j)
     }
 
+    /// Value at `(i, j)`, if stored.
     pub fn get(&self, i: usize, j: usize) -> Option<T> {
         self.t.get(j, i)
     }
 
+    /// Converts back to CSR.
     pub fn to_csr(&self) -> Csr<T> {
         self.t.transpose()
     }

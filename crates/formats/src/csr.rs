@@ -22,7 +22,8 @@ impl<T: Element> Csr<T> {
     /// per row, and matching array lengths.
     ///
     /// # Panics
-    /// Panics if any invariant is violated.
+    /// Panics if any invariant is violated. Use [`Csr::try_from_raw`] for a
+    /// typed-diagnostic error instead.
     pub fn from_raw(
         nrows: usize,
         ncols: usize,
@@ -30,34 +31,37 @@ impl<T: Element> Csr<T> {
         col_idx: Vec<usize>,
         values: Vec<T>,
     ) -> Self {
-        assert_eq!(row_ptr.len(), nrows + 1, "row_ptr must have nrows+1 entries");
-        assert_eq!(col_idx.len(), values.len());
-        assert_eq!(row_ptr[0], 0, "row_ptr must start at 0");
-        assert_eq!(
-            *row_ptr.last().unwrap(),
-            col_idx.len(),
-            "row_ptr must end at nnz"
-        );
-        for i in 0..nrows {
-            assert!(row_ptr[i] <= row_ptr[i + 1], "row_ptr must be monotone");
-            let cols = &col_idx[row_ptr[i]..row_ptr[i + 1]];
-            for w in cols.windows(2) {
-                assert!(
-                    w[0] < w[1],
-                    "column indices in row {i} must be strictly increasing"
-                );
-            }
-            if let Some(&last) = cols.last() {
-                assert!(last < ncols, "column index {last} out of range in row {i}");
-            }
+        match Self::try_from_raw(nrows, ncols, row_ptr, col_idx, values) {
+            Ok(m) => m,
+            Err(diags) => panic!("{}", diags[0].message),
         }
-        Csr {
+    }
+
+    /// Builds from raw arrays, returning every violated CSR invariant as a
+    /// typed [`Diagnostic`](smat_diag::Diagnostic) instead of panicking.
+    ///
+    /// # Errors
+    /// Returns all violations found, in deterministic scan order; the vector
+    /// is non-empty whenever this returns `Err`.
+    pub fn try_from_raw(
+        nrows: usize,
+        ncols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        values: Vec<T>,
+    ) -> Result<Self, Vec<smat_diag::Diagnostic>> {
+        let diags =
+            crate::validate::validate_csr_parts(nrows, ncols, &row_ptr, &col_idx, values.len());
+        if !diags.is_empty() {
+            return Err(diags);
+        }
+        Ok(Csr {
             nrows,
             ncols,
             row_ptr,
             col_idx,
             values,
-        }
+        })
     }
 
     /// Empty matrix with no nonzeros.
@@ -84,26 +88,32 @@ impl<T: Element> Csr<T> {
         coo.to_csr()
     }
 
+    /// Number of rows.
     #[inline]
     pub fn nrows(&self) -> usize {
         self.nrows
     }
+    /// Number of columns.
     #[inline]
     pub fn ncols(&self) -> usize {
         self.ncols
     }
+    /// Number of stored nonzeros.
     #[inline]
     pub fn nnz(&self) -> usize {
         self.col_idx.len()
     }
+    /// Per-row offsets into `col_idx`; length `nrows + 1`.
     #[inline]
     pub fn row_ptr(&self) -> &[usize] {
         &self.row_ptr
     }
+    /// Column index of each stored nonzero, sorted within each row.
     #[inline]
     pub fn col_idx(&self) -> &[usize] {
         &self.col_idx
     }
+    /// Value of each stored nonzero, parallel to `col_idx`.
     #[inline]
     pub fn values(&self) -> &[T] {
         &self.values
@@ -153,10 +163,12 @@ impl<T: Element> Csr<T> {
         })
     }
 
+    /// Converts to a canonical COO triplet list.
     pub fn to_coo(&self) -> Coo<T> {
         Coo::from_entries(self.nrows, self.ncols, self.iter().collect())
     }
 
+    /// Converts to a dense matrix (zeros filled in).
     pub fn to_dense(&self) -> Dense<T> {
         let mut out = Dense::zeros(self.nrows, self.ncols);
         for (i, j, v) in self.iter() {
@@ -195,7 +207,11 @@ impl<T: Element> Csr<T> {
     /// Row-permuted copy: row `i` of the result is row `perm.source_of(i)`
     /// of `self` (`A' = P·A`).
     pub fn permute_rows(&self, perm: &Permutation) -> Csr<T> {
-        assert_eq!(perm.len(), self.nrows, "permutation length must match nrows");
+        assert_eq!(
+            perm.len(),
+            self.nrows,
+            "permutation length must match nrows"
+        );
         let mut row_ptr = Vec::with_capacity(self.nrows + 1);
         row_ptr.push(0usize);
         let mut col_idx = Vec::with_capacity(self.nnz());
@@ -218,7 +234,11 @@ impl<T: Element> Csr<T> {
     /// Column-permuted copy: column `j` of the result is column
     /// `perm.source_of(j)` of `self` (`A' = A·Pᵀ`).
     pub fn permute_cols(&self, perm: &Permutation) -> Csr<T> {
-        assert_eq!(perm.len(), self.ncols, "permutation length must match ncols");
+        assert_eq!(
+            perm.len(),
+            self.ncols,
+            "permutation length must match ncols"
+        );
         // destination[old column] = new column
         let inv = perm.inverse();
         let mut row_ptr = Vec::with_capacity(self.nrows + 1);

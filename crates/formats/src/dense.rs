@@ -53,34 +53,43 @@ impl<T: Element> Dense<T> {
 
     /// Identity-like matrix (ones on the main diagonal).
     pub fn eye(n: usize) -> Self {
-        Self::from_fn(n, n, |i, j| {
-            if i == j {
-                T::from_f64(1.0)
-            } else {
-                T::zero()
-            }
-        })
+        Self::from_fn(
+            n,
+            n,
+            |i, j| {
+                if i == j {
+                    T::from_f64(1.0)
+                } else {
+                    T::zero()
+                }
+            },
+        )
     }
 
+    /// Number of rows.
     #[inline]
     pub fn nrows(&self) -> usize {
         self.nrows
     }
+    /// Number of columns.
     #[inline]
     pub fn ncols(&self) -> usize {
         self.ncols
     }
+    /// `(nrows, ncols)`.
     #[inline]
     pub fn shape(&self) -> (usize, usize) {
         (self.nrows, self.ncols)
     }
 
+    /// Value at `(i, j)`.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> T {
         debug_assert!(i < self.nrows && j < self.ncols);
         self.data[i * self.ncols + j]
     }
 
+    /// Stores `v` at `(i, j)`.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: T) {
         debug_assert!(i < self.nrows && j < self.ncols);
@@ -93,6 +102,7 @@ impl<T: Element> Dense<T> {
         &self.data[i * self.ncols..(i + 1) * self.ncols]
     }
 
+    /// One row as a mutable contiguous slice.
     #[inline]
     pub fn row_mut(&mut self, i: usize) -> &mut [T] {
         &mut self.data[i * self.ncols..(i + 1) * self.ncols]
@@ -104,6 +114,7 @@ impl<T: Element> Dense<T> {
         &self.data
     }
 
+    /// Mutable row-major backing storage.
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [T] {
         &mut self.data
@@ -114,6 +125,7 @@ impl<T: Element> Dense<T> {
         self.data.iter().filter(|v| v.is_zero()).count()
     }
 
+    /// Transposed copy.
     pub fn transpose(&self) -> Dense<T> {
         Dense::from_fn(self.ncols, self.nrows, |i, j| self.get(j, i))
     }

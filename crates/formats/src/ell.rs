@@ -49,10 +49,12 @@ impl<T: Element> Ell<T> {
         }
     }
 
+    /// Number of rows.
     #[inline]
     pub fn nrows(&self) -> usize {
         self.nrows
     }
+    /// Number of columns.
     #[inline]
     pub fn ncols(&self) -> usize {
         self.ncols
@@ -62,6 +64,7 @@ impl<T: Element> Ell<T> {
     pub fn width(&self) -> usize {
         self.width
     }
+    /// Number of true nonzeros (excluding padding slots).
     #[inline]
     pub fn nnz(&self) -> usize {
         self.nnz

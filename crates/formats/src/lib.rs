@@ -20,20 +20,21 @@
 pub mod bcsr;
 pub mod coo;
 pub mod csc;
-pub mod ell;
 pub mod csr;
 pub mod dense;
+pub mod ell;
 pub mod mtx;
 pub mod permutation;
 pub mod scalar;
 pub mod srbcrs;
+pub mod validate;
 
 pub use bcsr::{Bcsr, BlockRowStats};
 pub use coo::Coo;
 pub use csc::Csc;
-pub use ell::Ell;
 pub use csr::Csr;
 pub use dense::Dense;
+pub use ell::Ell;
 pub use permutation::Permutation;
 pub use scalar::{Bf16, Element, F16};
 pub use srbcrs::SrBcrs;

@@ -15,9 +15,15 @@ use crate::scalar::Element;
 /// Errors produced by the Matrix Market parser.
 #[derive(Debug)]
 pub enum MtxError {
+    /// Underlying I/O failure.
     Io(std::io::Error),
     /// Malformed or unsupported content, with a line number and message.
-    Parse { line: usize, msg: String },
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// What was wrong with it.
+        msg: String,
+    },
 }
 
 impl std::fmt::Display for MtxError {
@@ -97,12 +103,7 @@ pub fn read_coo<T: Element, R: Read>(reader: R) -> Result<Coo<T>, MtxError> {
         "general" => Symmetry::General,
         "symmetric" => Symmetry::Symmetric,
         "skew-symmetric" => Symmetry::SkewSymmetric,
-        other => {
-            return Err(parse_err(
-                lineno,
-                format!("unsupported symmetry '{other}'"),
-            ))
-        }
+        other => return Err(parse_err(lineno, format!("unsupported symmetry '{other}'"))),
     };
 
     // Size line: first non-comment line.
@@ -122,7 +123,7 @@ pub fn read_coo<T: Element, R: Read>(reader: R) -> Result<Coo<T>, MtxError> {
     };
     let dims: Vec<usize> = size_line
         .split_whitespace()
-        .map(|t| t.parse::<usize>())
+        .map(str::parse::<usize>)
         .collect::<Result<_, _>>()
         .map_err(|e| parse_err(lineno, format!("bad size line: {e}")))?;
     if dims.len() != 3 {

@@ -19,41 +19,44 @@ impl Permutation {
     /// Builds a permutation from an image vector, verifying it is a bijection.
     ///
     /// # Panics
-    /// Panics if `perm` is not a permutation of `0..perm.len()`.
+    /// Panics if `perm` is not a permutation of `0..perm.len()`. Use
+    /// [`Permutation::try_from_vec`] for a typed-diagnostic error instead.
     pub fn from_vec(perm: Vec<usize>) -> Self {
-        let n = perm.len();
-        let mut seen = vec![false; n];
-        for &p in &perm {
-            assert!(p < n, "permutation image {p} out of range 0..{n}");
-            assert!(!seen[p], "duplicate image {p} in permutation");
-            seen[p] = true;
+        match Self::try_from_vec(perm) {
+            Ok(p) => p,
+            Err(diags) => panic!("{}", diags[0].message),
         }
-        Permutation { perm }
     }
 
-    /// Like [`Permutation::from_vec`] but returns `None` instead of panicking.
-    pub fn try_from_vec(perm: Vec<usize>) -> Option<Self> {
-        let n = perm.len();
-        let mut seen = vec![false; n];
-        for &p in &perm {
-            if p >= n || seen[p] {
-                return None;
-            }
-            seen[p] = true;
+    /// Like [`Permutation::from_vec`] but returns every bijectivity
+    /// violation as a typed [`Diagnostic`](smat_diag::Diagnostic) instead of
+    /// panicking.
+    ///
+    /// # Errors
+    /// Returns [`DiagCode::PermOutOfRange`](smat_diag::DiagCode::PermOutOfRange)
+    /// and/or [`DiagCode::PermDuplicate`](smat_diag::DiagCode::PermDuplicate)
+    /// diagnostics for each offending index.
+    pub fn try_from_vec(perm: Vec<usize>) -> Result<Self, Vec<smat_diag::Diagnostic>> {
+        let diags = crate::validate::validate_permutation(&perm);
+        if !diags.is_empty() {
+            return Err(diags);
         }
-        Some(Permutation { perm })
+        Ok(Permutation { perm })
     }
 
+    /// Length `n` of the permuted domain `0..n`.
     #[inline]
     pub fn len(&self) -> usize {
         self.perm.len()
     }
 
+    /// Whether the permutation is over the empty domain.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.perm.is_empty()
     }
 
+    /// Whether every element maps to itself.
     pub fn is_identity(&self) -> bool {
         self.perm.iter().enumerate().all(|(i, &p)| i == p)
     }
@@ -153,10 +156,12 @@ mod tests {
     }
 
     #[test]
-    fn try_from_vec_returns_none_on_invalid() {
-        assert!(Permutation::try_from_vec(vec![0, 0]).is_none());
-        assert!(Permutation::try_from_vec(vec![5]).is_none());
-        assert!(Permutation::try_from_vec(vec![1, 0]).is_some());
+    fn try_from_vec_returns_typed_diagnostics() {
+        let dup = Permutation::try_from_vec(vec![0, 0]).unwrap_err();
+        assert_eq!(dup[0].code, smat_diag::DiagCode::PermDuplicate);
+        let oob = Permutation::try_from_vec(vec![5]).unwrap_err();
+        assert_eq!(oob[0].code, smat_diag::DiagCode::PermOutOfRange);
+        assert!(Permutation::try_from_vec(vec![1, 0]).is_ok());
     }
 
     #[test]

@@ -100,37 +100,46 @@ pub struct F16(pub u16);
 pub struct Bf16(pub u16);
 
 impl F16 {
+    /// Positive zero.
     pub const ZERO: F16 = F16(0);
+    /// The value 1.0.
     pub const ONE: F16 = F16(0x3c00);
     /// Largest finite binary16 value, 65504.
     pub const MAX: F16 = F16(0x7bff);
     /// Machine epsilon of binary16, 2^-10.
     pub const EPSILON: F16 = F16(0x1400);
 
+    /// Rounds an `f32` to the nearest binary16 (ties to even).
     #[inline]
     pub fn from_f32(v: f32) -> F16 {
         F16(f32_to_f16_bits(v.to_bits()))
     }
+    /// Exact widening conversion to `f32`.
     #[inline]
     pub fn to_f32(self) -> f32 {
         f32::from_bits(f16_bits_to_f32(self.0))
     }
+    /// Reinterprets raw binary16 bits.
     #[inline]
     pub fn from_bits(bits: u16) -> F16 {
         F16(bits)
     }
+    /// The raw binary16 bit pattern.
     #[inline]
     pub fn to_bits(self) -> u16 {
         self.0
     }
+    /// Whether the value is a NaN.
     #[inline]
     pub fn is_nan(self) -> bool {
         (self.0 & 0x7fff) > 0x7c00
     }
+    /// Whether the value is ±infinity.
     #[inline]
     pub fn is_infinite(self) -> bool {
         (self.0 & 0x7fff) == 0x7c00
     }
+    /// Whether the value is neither NaN nor infinite.
     #[inline]
     pub fn is_finite(self) -> bool {
         (self.0 & 0x7c00) != 0x7c00
@@ -138,25 +147,32 @@ impl F16 {
 }
 
 impl Bf16 {
+    /// Positive zero.
     pub const ZERO: Bf16 = Bf16(0);
+    /// The value 1.0.
     pub const ONE: Bf16 = Bf16(0x3f80);
 
+    /// Rounds an `f32` to the nearest bfloat16 (ties to even).
     #[inline]
     pub fn from_f32(v: f32) -> Bf16 {
         Bf16(f32_to_bf16_bits(v.to_bits()))
     }
+    /// Exact widening conversion to `f32`.
     #[inline]
     pub fn to_f32(self) -> f32 {
         f32::from_bits((self.0 as u32) << 16)
     }
+    /// Reinterprets raw bfloat16 bits.
     #[inline]
     pub fn from_bits(bits: u16) -> Bf16 {
         Bf16(bits)
     }
+    /// The raw bfloat16 bit pattern.
     #[inline]
     pub fn to_bits(self) -> u16 {
         self.0
     }
+    /// Whether the value is a NaN.
     #[inline]
     pub fn is_nan(self) -> bool {
         self.to_f32().is_nan()
@@ -248,37 +264,33 @@ float_like_ops!(Bf16);
 /// The `mul_acc` contract mirrors the MMA unit: products and the running sum
 /// along the K dimension are computed in the accumulator precision, and the
 /// result is only rounded back to `Self` when the fragment is stored.
-pub trait Element:
-    Copy + Clone + Send + Sync + PartialEq + fmt::Debug + Default + 'static
-{
+pub trait Element: Copy + Clone + Send + Sync + PartialEq + fmt::Debug + Default + 'static {
     /// Accumulator type of the MMA unit for this input type.
-    type Accum: Copy
-        + Clone
-        + Send
-        + Sync
-        + PartialEq
-        + fmt::Debug
-        + Default
-        + 'static;
+    type Accum: Copy + Clone + Send + Sync + PartialEq + fmt::Debug + Default + 'static;
 
     /// Name used in experiment records ("f16", "bf16", "f32", "i8").
     const NAME: &'static str;
     /// Storage size in bytes, used by the memory-traffic cost model.
     const BYTES: usize;
 
+    /// The additive identity.
     fn zero() -> Self;
+    /// Whether the value is (positive or negative) zero.
     fn is_zero(&self) -> bool;
     /// Lossy conversion from `f64`; generators produce values representable
     /// exactly in every supported precision to keep tests exact.
     fn from_f64(v: f64) -> Self;
+    /// Exact widening conversion to `f64`.
     fn to_f64(self) -> f64;
 
+    /// The accumulator additive identity.
     fn accum_zero() -> Self::Accum;
     /// One fused multiply-add step in accumulator precision.
     fn mul_acc(acc: Self::Accum, a: Self, b: Self) -> Self::Accum;
     /// Adds two accumulator values in accumulator precision (the hardware
     /// cross-fragment combine, e.g. atomics merging partial sums).
     fn accum_add(a: Self::Accum, b: Self::Accum) -> Self::Accum;
+    /// Exact widening conversion of an accumulator to `f64`.
     fn accum_to_f64(acc: Self::Accum) -> f64;
     /// Round an accumulator back to the storage type (fragment store).
     fn from_accum(acc: Self::Accum) -> Self;

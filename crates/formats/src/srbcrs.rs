@@ -43,7 +43,10 @@ impl<T: Element> SrBcrs<T> {
     /// # Panics
     /// Panics if `vec_len` or `stride` is zero.
     pub fn from_csr(csr: &Csr<T>, vec_len: usize, stride: usize) -> Self {
-        assert!(vec_len > 0 && stride > 0, "vec_len and stride must be nonzero");
+        assert!(
+            vec_len > 0 && stride > 0,
+            "vec_len and stride must be nonzero"
+        );
         let nrows = csr.nrows();
         let ncols = csr.ncols();
         let npanels = nrows.div_ceil(vec_len);
@@ -82,8 +85,7 @@ impl<T: Element> SrBcrs<T> {
                     if let Some(val) = csr.get(r, c) {
                         if !val.is_zero() {
                             let lr = r - row_lo;
-                            let off =
-                                base + group * stride * vec_len + lr * stride + lane;
+                            let off = base + group * stride * vec_len + lr * stride + lane;
                             values[off] = val;
                         }
                     }
@@ -104,22 +106,27 @@ impl<T: Element> SrBcrs<T> {
         }
     }
 
+    /// Number of rows.
     #[inline]
     pub fn nrows(&self) -> usize {
         self.nrows
     }
+    /// Number of columns.
     #[inline]
     pub fn ncols(&self) -> usize {
         self.ncols
     }
+    /// Column-vector length (rows per panel).
     #[inline]
     pub fn vec_len(&self) -> usize {
         self.vec_len
     }
+    /// Vector-group stride of the interleaved layout.
     #[inline]
     pub fn stride(&self) -> usize {
         self.stride
     }
+    /// Number of row panels, `ceil(nrows / vec_len)`.
     #[inline]
     pub fn npanels(&self) -> usize {
         self.panel_ptr.len() - 1
@@ -133,14 +140,17 @@ impl<T: Element> SrBcrs<T> {
     pub fn nvectors_real(&self) -> usize {
         self.col_idx.iter().filter(|&&c| c != PAD_COL).count()
     }
+    /// True nonzeros, excluding all padding.
     #[inline]
     pub fn nnz(&self) -> usize {
         self.nnz
     }
+    /// Per-panel offsets into `col_idx`; length `npanels + 1`.
     #[inline]
     pub fn panel_ptr(&self) -> &[usize] {
         &self.panel_ptr
     }
+    /// Column index of each stored vector ([`PAD_COL`] for padded vectors).
     #[inline]
     pub fn col_idx(&self) -> &[usize] {
         &self.col_idx
@@ -159,9 +169,7 @@ impl<T: Element> SrBcrs<T> {
         let panel_base_vec = self.panel_ptr[panel];
         let group = v_local / self.stride;
         let lane = v_local % self.stride;
-        let off = (panel_base_vec + group * self.stride) * self.vec_len
-            + lr * self.stride
-            + lane;
+        let off = (panel_base_vec + group * self.stride) * self.vec_len + lr * self.stride + lane;
         self.values[off]
     }
 
@@ -171,6 +179,7 @@ impl<T: Element> SrBcrs<T> {
         self.values.len() * T::BYTES
     }
 
+    /// Index-structure bytes (panel_ptr + col_idx as 4-byte entries).
     pub fn index_bytes(&self) -> usize {
         (self.panel_ptr.len() + self.col_idx.len()) * 4
     }
@@ -282,7 +291,11 @@ mod tests {
         let m = sample();
         for (v, st) in [(1, 1), (2, 2), (4, 2), (8, 4), (3, 5)] {
             let s = SrBcrs::from_csr(&m, v, st);
-            assert_eq!(s.to_csr(), m, "roundtrip failed for vec_len={v} stride={st}");
+            assert_eq!(
+                s.to_csr(),
+                m,
+                "roundtrip failed for vec_len={v} stride={st}"
+            );
         }
     }
 

@@ -68,7 +68,12 @@ pub fn shared_transactions(addrs: &[u64]) -> u64 {
             per_bank[bank].push(word);
         }
     }
-    per_bank.iter().map(|v| v.len() as u64).max().unwrap_or(0).max(1)
+    per_bank
+        .iter()
+        .map(|v| v.len() as u64)
+        .max()
+        .unwrap_or(0)
+        .max(1)
 }
 
 #[cfg(test)]

@@ -33,6 +33,13 @@ pub enum SimError {
         /// SM shared memory capacity.
         available: usize,
     },
+    /// A static pre-flight pass rejected the launch before the simulator
+    /// executed. Carries every finding of the pass (at least one of which
+    /// is error severity).
+    PreflightRejected {
+        /// The findings, in pass order.
+        diagnostics: Vec<smat_diag::Diagnostic>,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -46,6 +53,18 @@ impl std::fmt::Display for SimError {
                 f,
                 "shared memory request {needed} bytes exceeds SM capacity {available}"
             ),
+            SimError::PreflightRejected { diagnostics } => {
+                use smat_diag::DiagnosticsExt;
+                write!(
+                    f,
+                    "pre-flight rejected the launch with {} error(s):",
+                    diagnostics.error_count()
+                )?;
+                for d in diagnostics.iter().filter(|d| d.is_error()) {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -285,6 +304,7 @@ impl Gpu {
         }
     }
 
+    /// A GPU with the given device configuration.
     pub fn new(cfg: DeviceConfig) -> Self {
         Gpu { cfg }
     }
@@ -371,10 +391,14 @@ impl Gpu {
             .iter()
             .map(|p| self.profile_cycles(p, cfg.copy_mode))
             .collect();
-        let (busiest_idx, busiest) = per_sm_cycles
-            .iter()
-            .enumerate()
-            .fold((0, 0.0f64), |acc, (i, &c)| if c > acc.1 { (i, c) } else { acc });
+        let (busiest_idx, busiest) =
+            per_sm_cycles
+                .iter()
+                .enumerate()
+                .fold(
+                    (0, 0.0f64),
+                    |acc, (i, &c)| if c > acc.1 { (i, c) } else { acc },
+                );
         let cycles = busiest + d.launch_overhead_cycles;
 
         (
@@ -527,7 +551,11 @@ mod tests {
                 }
             })
             .unwrap();
-        assert!(res.sm_imbalance() > 10.0, "imbalance {}", res.sm_imbalance());
+        assert!(
+            res.sm_imbalance() > 10.0,
+            "imbalance {}",
+            res.sm_imbalance()
+        );
         // Wall time tracks the heavy SM, not the average.
         assert!(res.cycles > 100_000.0 * gpu().cfg.cycles_per_mma * 0.99);
     }
@@ -575,7 +603,7 @@ mod tests {
             };
             gpu()
                 .launch(216, &cfg, |ctx| {
-                    ctx.mma(if hot(ctx.warp_id) { 50_000 } else { 10 })
+                    ctx.mma(if hot(ctx.warp_id) { 50_000 } else { 10 });
                 })
                 .unwrap()
                 .0
@@ -606,7 +634,7 @@ mod tests {
         // Pure streaming: bandwidth bound.
         let (res, _) = gpu
             .launch(108, &LaunchConfig::default(), |ctx| {
-                ctx.global_contiguous(50_000_000)
+                ctx.global_contiguous(50_000_000);
             })
             .unwrap();
         assert_eq!(res.profile.bound(), Bound::Bandwidth);
@@ -645,8 +673,8 @@ mod tests {
             })
             .unwrap();
         let p = res.profile;
-        let expect = p.comp_cycles + p.mem_cycles + p.exposure_cycles
-            + gpu.cfg.launch_overhead_cycles;
+        let expect =
+            p.comp_cycles + p.mem_cycles + p.exposure_cycles + gpu.cfg.launch_overhead_cycles;
         assert!((res.cycles - expect).abs() < 1e-9);
     }
 

@@ -52,12 +52,7 @@ pub fn b_fragment_coords(lane: usize) -> [(usize, usize); 4] {
     debug_assert!(lane < WARP_LANES);
     let g = lane >> 2;
     let t = lane & 3;
-    [
-        (t * 2, g),
-        (t * 2 + 1, g),
-        (t * 2 + 8, g),
-        (t * 2 + 9, g),
-    ]
+    [(t * 2, g), (t * 2 + 1, g), (t * 2 + 8, g), (t * 2 + 9, g)]
 }
 
 /// Coordinates (row, col) of the 4 C/D-fragment registers of `lane`
@@ -161,11 +156,7 @@ pub fn collect_c<T: Element>(frags: &[[T; 4]]) -> Vec<T> {
 /// from the fragment registers *of the whole warp*, exactly as the hardware
 /// broadcast network does. Accumulation follows the Tensor Core datapath:
 /// products and the K-sum in accumulator precision, one rounding on store.
-pub fn mma_sync_m16n8k16<T: Element>(
-    a: &[[T; 8]],
-    b: &[[T; 4]],
-    c: &[[T; 4]],
-) -> Vec<[T; 4]> {
+pub fn mma_sync_m16n8k16<T: Element>(a: &[[T; 8]], b: &[[T; 4]], c: &[[T; 4]]) -> Vec<[T; 4]> {
     assert_eq!(a.len(), WARP_LANES);
     assert_eq!(b.len(), WARP_LANES);
     assert_eq!(c.len(), WARP_LANES);
@@ -254,8 +245,12 @@ mod tests {
     #[test]
     fn warp_fragments_chain_two_mmas() {
         // Two chained MMAs accumulate: D = A*B + (A*B + C0).
-        let a_tile: Vec<F16> = (0..256).map(|i| F16::from_f32(((i % 5) as f32) - 2.0)).collect();
-        let b_tile: Vec<F16> = (0..128).map(|i| F16::from_f32(((i % 3) as f32) - 1.0)).collect();
+        let a_tile: Vec<F16> = (0..256)
+            .map(|i| F16::from_f32(((i % 5) as f32) - 2.0))
+            .collect();
+        let b_tile: Vec<F16> = (0..128)
+            .map(|i| F16::from_f32(((i % 3) as f32) - 1.0))
+            .collect();
         let c_tile: Vec<F16> = vec![F16::ONE; 128];
         let mut frags = WarpFragments::distribute(&a_tile, &b_tile, &c_tile);
         frags.mma();
@@ -276,9 +271,7 @@ mod tests {
         let b_tile: Vec<F16> = (0..128)
             .map(|i| F16::from_f32(((i * 5) % 11) as f32 - 5.0))
             .collect();
-        let c_tile: Vec<F16> = (0..128)
-            .map(|i| F16::from_f32((i % 4) as f32))
-            .collect();
+        let c_tile: Vec<F16> = (0..128).map(|i| F16::from_f32((i % 4) as f32)).collect();
 
         let d = mma_sync_m16n8k16(
             &distribute_a(&a_tile),
@@ -295,11 +288,7 @@ mod tests {
                 }
                 acc += c_tile[row * 8 + col].to_f32();
                 let want = F16::from_f32(acc);
-                assert_eq!(
-                    d_tile[row * 8 + col],
-                    want,
-                    "mismatch at ({row},{col})"
-                );
+                assert_eq!(d_tile[row * 8 + col], want, "mismatch at ({row},{col})");
             }
         }
     }

@@ -30,6 +30,8 @@ pub mod smem;
 
 pub use counters::{shared_transactions, Counters};
 pub use device::DeviceConfig;
-pub use engine::{Bound, BoundProfile, CopyMode, Gpu, LaunchConfig, LaunchResult, SimError, WarpCtx};
+pub use engine::{
+    Bound, BoundProfile, CopyMode, Gpu, LaunchConfig, LaunchResult, SimError, WarpCtx,
+};
 pub use mma::{mma_tile, mma_tile_wide, MmaShape};
 pub use smem::{SharedTile, SmemLayout};

@@ -85,12 +85,7 @@ pub fn mma_tile<T: Element>(shape: MmaShape, a: &[T], b: &[T], c: &mut [T]) {
 /// (`T::Accum`) across calls — the `f32`-accumulate MMA variants, and the
 /// variant SMaT uses to chain block MMAs without intermediate rounding
 /// until the epilogue.
-pub fn mma_tile_wide<T: Element>(
-    shape: MmaShape,
-    a: &[T],
-    b: &[T],
-    c: &mut [T::Accum],
-) {
+pub fn mma_tile_wide<T: Element>(shape: MmaShape, a: &[T], b: &[T], c: &mut [T::Accum]) {
     let (m, n, k) = (shape.m, shape.n, shape.k);
     assert_eq!(a.len(), m * k, "A tile must be m*k");
     assert_eq!(b.len(), k * n, "B tile must be k*n");

@@ -86,10 +86,10 @@ fn bisect(
     let mut heap: std::collections::BinaryHeap<(u32, u32)> = Default::default();
 
     let activate = |i: usize,
-                        in_left: &mut [bool],
-                        overlap: &mut [u32],
-                        net_active: &mut [bool],
-                        heap: &mut std::collections::BinaryHeap<(u32, u32)>| {
+                    in_left: &mut [bool],
+                    overlap: &mut [u32],
+                    net_active: &mut [bool],
+                    heap: &mut std::collections::BinaryHeap<(u32, u32)>| {
         in_left[i] = true;
         for &bc in &patterns[rows[i]] {
             if !net_active[bc] {

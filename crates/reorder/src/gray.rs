@@ -54,11 +54,7 @@ fn gray_rank(pattern: &[usize], nbc: usize, key_bits: usize) -> u64 {
     for &bc in pattern {
         // Scale block column into the key range (stable for nbc < bits and
         // a coarse bucketing otherwise).
-        let pos = if nbc <= bits {
-            bc
-        } else {
-            bc * bits / nbc
-        };
+        let pos = if nbc <= bits { bc } else { bc * bits / nbc };
         key |= 1u64 << (bits - 1 - pos.min(bits - 1));
     }
     from_gray(key)

@@ -36,10 +36,7 @@ impl Default for JaccardParams {
 ///
 /// The returned permutation gathers clustered rows into adjacent positions
 /// (`A' = P·A`). Empty rows are collected into trailing clusters.
-pub fn jaccard_row_permutation<T: Element>(
-    csr: &Csr<T>,
-    params: &JaccardParams,
-) -> Permutation {
+pub fn jaccard_row_permutation<T: Element>(csr: &Csr<T>, params: &JaccardParams) -> Permutation {
     let patterns = row_block_cols(csr, params.block_w);
     let n = patterns.len();
 
@@ -251,6 +248,9 @@ mod tests {
         // With unbounded clusters the two families form two contiguous runs.
         let first_family: Vec<bool> = (0..16).map(|r| pm.row_cols(r)[0] < 8).collect();
         let transitions = first_family.windows(2).filter(|w| w[0] != w[1]).count();
-        assert_eq!(transitions, 1, "families must be contiguous: {first_family:?}");
+        assert_eq!(
+            transitions, 1,
+            "families must be contiguous: {first_family:?}"
+        );
     }
 }

@@ -295,8 +295,7 @@ mod tests {
     #[test]
     fn jaccard_improves_interleaved_families() {
         let m = shuffled_families();
-        let (_, effect) =
-            evaluate_reordering(&m, ReorderAlgorithm::JaccardRows { tau: 0.7 }, 4, 4);
+        let (_, effect) = evaluate_reordering(&m, ReorderAlgorithm::JaccardRows { tau: 0.7 }, 4, 4);
         assert!(
             effect.block_reduction() > 1.5,
             "reduction {}",

@@ -72,10 +72,7 @@ pub fn rcm_permutation<T: Element>(csr: &Csr<T>) -> Permutation {
 /// Matrix bandwidth: `max |i - j|` over stored entries (0 for empty or
 /// diagonal matrices). The quantity RCM minimizes.
 pub fn bandwidth<T: Element>(csr: &Csr<T>) -> usize {
-    csr.iter()
-        .map(|(i, j, _)| i.abs_diff(j))
-        .max()
-        .unwrap_or(0)
+    csr.iter().map(|(i, j, _)| i.abs_diff(j)).max().unwrap_or(0)
 }
 
 #[cfg(test)]

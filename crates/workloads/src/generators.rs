@@ -38,12 +38,7 @@ pub fn band_nnz(n: usize, b: usize) -> usize {
 /// (fraction of zeros). Sampling is per-row binomial with deterministic
 /// seeding; the diagonal is always present so no row is empty for
 /// `sparsity < 1`.
-pub fn random_uniform<T: Element>(
-    nrows: usize,
-    ncols: usize,
-    sparsity: f64,
-    seed: u64,
-) -> Csr<T> {
+pub fn random_uniform<T: Element>(nrows: usize, ncols: usize, sparsity: f64, seed: u64) -> Csr<T> {
     assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
     let density = 1.0 - sparsity;
     let mut rng = StdRng::seed_from_u64(seed);

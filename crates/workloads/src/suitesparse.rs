@@ -343,7 +343,10 @@ mod tests {
         let mut patterns: Vec<Vec<usize>> =
             (0..g.nrows()).map(|r| g.row_cols(r).to_vec()).collect();
         patterns.sort();
-        let dup = patterns.windows(2).filter(|w| w[0] == w[1] && !w[0].is_empty()).count();
+        let dup = patterns
+            .windows(2)
+            .filter(|w| w[0] == w[1] && !w[0].is_empty())
+            .count();
         assert!(
             dup > g.nrows() / 4,
             "families should yield duplicate patterns: {dup} of {}",

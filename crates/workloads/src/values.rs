@@ -13,7 +13,9 @@
 #[inline]
 pub fn coord_value(i: usize, j: usize) -> f64 {
     // A cheap coordinate hash spread over 8 nonzero values.
-    let h = i.wrapping_mul(0x9e37_79b9).wrapping_add(j.wrapping_mul(0x85eb_ca6b));
+    let h = i
+        .wrapping_mul(0x9e37_79b9)
+        .wrapping_add(j.wrapping_mul(0x85eb_ca6b));
     let v = ((h >> 7) % 8) as i64 - 4; // in [-4, 3]
     if v >= 0 {
         (v + 1) as f64 // skip zero: [-4,-1] u [1,4]
@@ -26,7 +28,9 @@ pub fn coord_value(i: usize, j: usize) -> f64 {
 /// `[-3, 3]` (zeros allowed — `B` is dense regardless).
 #[inline]
 pub fn rhs_value(k: usize, n: usize) -> f64 {
-    let h = k.wrapping_mul(0xc2b2_ae35).wrapping_add(n.wrapping_mul(0x27d4_eb2f));
+    let h = k
+        .wrapping_mul(0xc2b2_ae35)
+        .wrapping_add(n.wrapping_mul(0x27d4_eb2f));
     (((h >> 9) % 7) as i64 - 3) as f64
 }
 

@@ -1,0 +1,179 @@
+//! `smat-analyze` as a CLI: run the format verifiers and the
+//! kernel-schedule hazard analyzer over a Matrix Market file and print the
+//! typed diagnostics, human-readable or as JSON.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --example analyze -- data/sample.mtx
+//! cargo run --example analyze -- data/corrupt.mtx --format json
+//! cargo run --example analyze -- data/sample.mtx --device tiny --block 96x96
+//! ```
+//!
+//! Exit status: 0 when no error-severity finding is present, 1 when the
+//! launch would be rejected, 2 on usage or parse errors.
+
+use std::process::ExitCode;
+
+use smat_repro::analyze::{
+    analyze_launch, render_human, render_json, verify_bcsr, verify_csr, DiagnosticsExt,
+    ScheduleSpec,
+};
+use smat_repro::formats::{mtx, Bcsr, Csr, F16};
+use smat_repro::gpusim::{DeviceConfig, Gpu, SmemLayout};
+use smat_repro::prelude::*;
+use smat_repro::smat::build_launch_config;
+use smat_repro::smat::{OptFlags, Schedule};
+
+struct Args {
+    path: String,
+    json: bool,
+    device: DeviceConfig,
+    block_h: usize,
+    block_w: usize,
+    layout: SmemLayout,
+    n: usize,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: analyze <matrix.mtx> [--format human|json] [--device a100|h100|tiny]\n\
+         \u{20}               [--block HxW] [--layout row-major|swizzle|padded] [--n COLS]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        path: String::new(),
+        json: false,
+        device: DeviceConfig::a100_sxm4_40gb(),
+        block_h: 16,
+        block_w: 16,
+        layout: SmemLayout::RowMajor,
+        n: 8,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--format" => {
+                args.json = match value("--format")?.as_str() {
+                    "json" => true,
+                    "human" => false,
+                    other => return Err(format!("unknown format '{other}'")),
+                }
+            }
+            "--device" => {
+                args.device = match value("--device")?.as_str() {
+                    "a100" => DeviceConfig::a100_sxm4_40gb(),
+                    "h100" => DeviceConfig::h100_sxm5_80gb(),
+                    "tiny" => DeviceConfig::tiny_test_device(),
+                    other => return Err(format!("unknown device '{other}'")),
+                }
+            }
+            "--block" => {
+                let v = value("--block")?;
+                let (h, w) = v
+                    .split_once('x')
+                    .ok_or_else(|| format!("--block expects HxW, got '{v}'"))?;
+                args.block_h = h.parse().map_err(|e| format!("bad block height: {e}"))?;
+                args.block_w = w.parse().map_err(|e| format!("bad block width: {e}"))?;
+            }
+            "--layout" => {
+                args.layout = match value("--layout")?.as_str() {
+                    "row-major" => SmemLayout::RowMajor,
+                    "swizzle" => SmemLayout::XorSwizzle,
+                    "padded" => SmemLayout::Padded,
+                    other => return Err(format!("unknown layout '{other}'")),
+                }
+            }
+            "--n" => {
+                args.n = value("--n")?
+                    .parse()
+                    .map_err(|e| format!("bad column count: {e}"))?;
+            }
+            _ if args.path.is_empty() && !arg.starts_with("--") => args.path = arg,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if args.path.is_empty() {
+        return Err("missing input file".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+
+    let csr: Csr<F16> = match mtx::read_csr_path(&args.path) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: cannot read '{}': {e}", args.path);
+            return ExitCode::from(2);
+        }
+    };
+
+    // Pass 1: format invariants of the parsed CSR.
+    let mut diags = verify_csr(&csr);
+
+    // Pass 2: convert to BCSR the way the pipeline would and verify it.
+    let bcsr = match Bcsr::try_from_csr(&csr, args.block_h, args.block_w) {
+        Ok(b) => b,
+        Err(conv) => {
+            diags.extend(conv);
+            report(&diags, &args);
+            return ExitCode::from(1);
+        }
+    };
+    diags.extend(verify_bcsr(&bcsr));
+
+    // Pass 3: hazards of the exact launch the SMaT kernel would configure.
+    let gpu = Gpu::new(args.device.clone());
+    let launch_cfg = build_launch_config(&gpu, &bcsr, args.n, OptFlags::all(), Schedule::Static2D);
+    let spec = ScheduleSpec {
+        smem_layout: args.layout,
+        ..ScheduleSpec::default()
+    };
+    diags.extend(analyze_launch(
+        &bcsr,
+        args.n,
+        &launch_cfg,
+        &args.device,
+        &spec,
+    ));
+
+    if !args.json {
+        println!(
+            "{}: {}x{}, {} nonzeros -> {} BCSR blocks of {}x{} on {}",
+            args.path,
+            csr.nrows(),
+            csr.ncols(),
+            csr.nnz(),
+            bcsr.nblocks(),
+            args.block_h,
+            args.block_w,
+            args.device.name,
+        );
+    }
+    report(&diags, &args);
+    if diags.has_errors() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn report(diags: &[Diagnostic], args: &Args) {
+    if args.json {
+        println!("{}", render_json(diags));
+    } else {
+        print!("{}", render_human(diags));
+    }
+}

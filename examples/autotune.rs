@@ -10,9 +10,11 @@ use smat_repro::prelude::*;
 use smat_repro::workloads;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "shipsec1".to_string());
-    let mimic = workloads::by_name(&name)
-        .unwrap_or_else(|| panic!("unknown Table I matrix '{name}'"));
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "shipsec1".to_string());
+    let mimic =
+        workloads::by_name(&name).unwrap_or_else(|| panic!("unknown Table I matrix '{name}'"));
     let a = mimic.generate::<F16>(0.05);
     println!(
         "{name} (mimic): {}x{}, {} nnz",

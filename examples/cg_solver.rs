@@ -9,8 +9,8 @@
 //! Run with: `cargo run --release --example cg_solver`
 
 use smat::{Smat, SmatConfig};
-use smat_repro::workloads;
 use smat_reorder::ReorderAlgorithm;
+use smat_repro::workloads;
 
 fn dot(a: &[f32], b: &[f32]) -> f64 {
     a.iter().zip(b).map(|(&x, &y)| x as f64 * y as f64).sum()

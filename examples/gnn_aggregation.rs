@@ -5,11 +5,11 @@
 //!
 //! Run with: `cargo run --release --example gnn_aggregation`
 
+use smat_formats::{Dense, Element};
+use smat_gpusim::Gpu;
 use smat_repro::baselines::{CusparseLike, DaspLike};
 use smat_repro::prelude::*;
 use smat_repro::workloads;
-use smat_formats::{Dense, Element};
-use smat_gpusim::Gpu;
 
 /// Feature width of the hidden layers.
 const FEATURES: usize = 64;

@@ -5,9 +5,9 @@
 //! Run with: `cargo run --release --example hpcg_band`
 
 use smat::{PerfModel, PerfSample, Smat};
+use smat_reorder::ReorderAlgorithm;
 use smat_repro::prelude::*;
 use smat_repro::workloads;
-use smat_reorder::ReorderAlgorithm;
 
 fn main() {
     // --- Part 1: the HPCG-like stencil matrix -----------------------------

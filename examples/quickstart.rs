@@ -53,9 +53,6 @@ fn main() {
         "  SM load imbalance {:.2}",
         run.report.launch.sm_imbalance()
     );
-    println!(
-        "  kernel is {}",
-        run.report.launch.profile.bound()
-    );
+    println!("  kernel is {}", run.report.launch.profile.bound());
     println!("\nOK: result verified against the exact reference.");
 }

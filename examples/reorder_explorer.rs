@@ -5,10 +5,10 @@
 //!   cargo run --release --example reorder_explorer -- cop20k_A
 //!   cargo run --release --example reorder_explorer -- path/to/matrix.mtx
 
-use smat_repro::prelude::*;
-use smat_repro::{reorder as sr, workloads};
 use smat_formats::{mtx, Csr};
 use smat_reorder::evaluate_reordering;
+use smat_repro::prelude::*;
+use smat_repro::{reorder as sr, workloads};
 
 fn load(arg: &str) -> (String, Csr<F16>) {
     if arg.ends_with(".mtx") {
@@ -22,7 +22,9 @@ fn load(arg: &str) -> (String, Csr<F16>) {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "cop20k_A".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "cop20k_A".to_string());
     let (name, a) = load(&arg);
     println!(
         "{name}: {}x{}, {} nnz, {:.3}% sparse",
@@ -77,8 +79,7 @@ fn main() {
     // Jaccard threshold sensitivity, as a bonus.
     println!("\njaccard-rows threshold sweep:");
     for tau in [0.3, 0.5, 0.7, 0.9] {
-        let (_, effect) =
-            evaluate_reordering(&a, ReorderAlgorithm::JaccardRows { tau }, 16, 16);
+        let (_, effect) = evaluate_reordering(&a, ReorderAlgorithm::JaccardRows { tau }, 16, 16);
         println!(
             "  tau={tau}: {} blocks ({:.2}x)",
             effect.after.nblocks,

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Offline repository gate: formatting, lints, tests, and a smoke run of the
+# static analyzer CLI on the bundled matrices. No network access required —
+# all dependencies are in-tree shims.
+#
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace (warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> analyzer CLI: clean matrix must pass"
+cargo run -q --example analyze -- data/sample.mtx
+
+echo "==> analyzer CLI: corrupt matrix must be rejected (exit 1)"
+if cargo run -q --example analyze -- data/corrupt.mtx --format json; then
+    echo "error: corrupt.mtx was not rejected" >&2
+    exit 1
+fi
+
+echo "==> analyzer CLI: oversubscribed schedule must be rejected (exit 1)"
+if cargo run -q --example analyze -- data/sample.mtx --device tiny --block 96x96 >/dev/null; then
+    echo "error: 96x96 blocks on the tiny device were not rejected" >&2
+    exit 1
+fi
+
+echo "All checks passed."

@@ -1,0 +1,111 @@
+//! Minimal in-tree stand-in for `rayon` (offline build).
+//!
+//! Implements the one pattern the workspace uses —
+//! `(0..n).into_par_iter().map(f).collect::<Vec<_>>()` — with real
+//! parallelism via `std::thread::scope`: the index range is split into one
+//! contiguous chunk per available core, each chunk is mapped on its own
+//! thread, and the per-chunk outputs are concatenated in index order, so
+//! results are ordered exactly like rayon's.
+
+use std::ops::Range;
+
+/// The rayon-style prelude: `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+/// Conversion into a parallel iterator (only `Range<usize>` is supported).
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+/// Parallel iterator over an index range.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParRange {
+    /// Maps each index through `f` (lazily; work happens in `collect`).
+    pub fn map<F, R>(self, f: F) -> ParMap<F>
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            range: self.range,
+            f,
+        }
+    }
+}
+
+/// A mapped parallel range awaiting collection.
+pub struct ParMap<F> {
+    range: Range<usize>,
+    f: F,
+}
+
+impl<F> ParMap<F> {
+    /// Runs the map in parallel and collects the outputs in index order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(usize) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let n = self.range.len();
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        if n < 2 || threads < 2 {
+            return self.range.map(&self.f).collect();
+        }
+        let nchunks = threads.min(n);
+        let chunk = n.div_ceil(nchunks);
+        let start = self.range.start;
+        let f = &self.f;
+        let mut parts: Vec<Vec<R>> = Vec::with_capacity(nchunks);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..nchunks)
+                .map(|c| {
+                    let lo = start + c * chunk;
+                    let hi = (lo + chunk).min(start + n);
+                    scope.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
+                })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("par_iter worker panicked"));
+            }
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 2));
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let v: Vec<usize> = (5..5).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let v: Vec<usize> = (3..4).into_par_iter().map(|i| i + 1).collect();
+        assert_eq!(v, vec![4]);
+    }
+}

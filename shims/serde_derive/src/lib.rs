@@ -1,0 +1,203 @@
+//! `#[derive(Serialize)]` for the in-tree `serde` shim.
+//!
+//! Implemented directly over `proc_macro::TokenStream` (no `syn`/`quote`,
+//! which are equally unfetchable offline). Supports exactly what the
+//! workspace derives on:
+//!
+//! * non-generic structs with named fields → JSON object;
+//! * non-generic enums with unit variants (→ `"VariantName"` string) and
+//!   named-field variants (→ externally tagged `{"VariantName": {...}}`),
+//!   matching serde's default representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the shim trait) for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    match generate(&tokens) {
+        Ok(code) => code.parse().expect("generated impl must parse"),
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn generate(tokens: &[TokenTree]) -> Result<String, String> {
+    let mut i = 0;
+    // Skip attributes (`#[...]`) and visibility up to the `struct`/`enum`
+    // keyword.
+    let mut kind = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if *id.to_string() == *"struct" => {
+                kind = Some("struct");
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"enum" => {
+                kind = Some("enum");
+                i += 1;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let kind = kind.ok_or("derive(Serialize) shim: expected struct or enum")?;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("derive(Serialize) shim: expected type name".into()),
+    };
+    i += 1;
+    // Reject generics: the workspace never derives on generic types, and
+    // supporting them here is not worth the parsing complexity.
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive(Serialize) shim: generic type `{name}` is unsupported"
+        ));
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break g.stream().into_iter().collect::<Vec<_>>();
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Err(format!(
+                    "derive(Serialize) shim: unit/tuple struct `{name}` is unsupported"
+                ));
+            }
+            Some(_) => i += 1,
+            None => {
+                return Err(format!(
+                    "derive(Serialize) shim: `{name}` has no brace-delimited body"
+                ));
+            }
+        }
+    };
+
+    let imp = if kind == "struct" {
+        let fields = field_names(&body)?;
+        let mut pushes = String::new();
+        for f in &fields {
+            pushes.push_str(&format!(
+                "fields.push((String::from({f:?}), serde::Serialize::to_value(&self.{f})));\n"
+            ));
+        }
+        format!(
+            "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+             let mut fields: Vec<(String, serde::Value)> = Vec::new();\n\
+             {pushes}\
+             serde::Value::Object(fields)\n\
+             }}\n}}\n"
+        )
+    } else {
+        let mut arms = String::new();
+        for chunk in split_top_level(&body) {
+            let v = parse_variant(&chunk)?;
+            match v {
+                Variant::Unit(vname) => arms.push_str(&format!(
+                    "{name}::{vname} => serde::Value::Str(String::from({vname:?})),\n"
+                )),
+                Variant::Named(vname, fields) => {
+                    let binders = fields.join(", ");
+                    let mut pushes = String::new();
+                    for f in &fields {
+                        pushes.push_str(&format!(
+                            "fields.push((String::from({f:?}), serde::Serialize::to_value({f})));\n"
+                        ));
+                    }
+                    arms.push_str(&format!(
+                        "{name}::{vname} {{ {binders} }} => {{\n\
+                         let mut fields: Vec<(String, serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         serde::Value::Object(vec![(String::from({vname:?}), serde::Value::Object(fields))])\n\
+                         }},\n"
+                    ));
+                }
+            }
+        }
+        format!(
+            "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n\
+             match self {{\n{arms}}}\n\
+             }}\n}}\n"
+        )
+    };
+    Ok(imp)
+}
+
+enum Variant {
+    Unit(String),
+    Named(String, Vec<String>),
+}
+
+/// Splits a token slice on top-level commas, dropping empty chunks.
+fn split_top_level(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if !cur.is_empty() {
+                    out.push(std::mem::take(&mut cur));
+                }
+            }
+            other => cur.push(other.clone()),
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field names of a named-field body: per comma chunk, skip attributes and
+/// visibility, then take the ident preceding the `:`.
+fn field_names(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    for chunk in split_top_level(body) {
+        let mut j = 0;
+        while j < chunk.len() {
+            match &chunk[j] {
+                TokenTree::Punct(p) if p.as_char() == '#' => j += 2,
+                TokenTree::Ident(id) if *id.to_string() == *"pub" => {
+                    j += 1;
+                    if matches!(&chunk.get(j), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        j += 1;
+                    }
+                }
+                TokenTree::Ident(id) => {
+                    names.push(id.to_string());
+                    break;
+                }
+                _ => return Err("derive(Serialize) shim: unexpected field syntax".into()),
+            }
+        }
+    }
+    Ok(names)
+}
+
+fn parse_variant(chunk: &[TokenTree]) -> Result<Variant, String> {
+    let mut j = 0;
+    // Skip variant attributes.
+    while matches!(&chunk.get(j), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        j += 2;
+    }
+    let name = match chunk.get(j) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("derive(Serialize) shim: expected variant name".into()),
+    };
+    j += 1;
+    match chunk.get(j) {
+        None => Ok(Variant::Unit(name)),
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let body: Vec<TokenTree> = g.stream().into_iter().collect();
+            Ok(Variant::Named(name, field_names(&body)?))
+        }
+        Some(TokenTree::Punct(p)) if p.as_char() == '=' => Ok(Variant::Unit(name)),
+        _ => Err(format!(
+            "derive(Serialize) shim: tuple variant `{name}` is unsupported"
+        )),
+    }
+}

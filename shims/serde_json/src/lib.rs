@@ -1,0 +1,74 @@
+//! Minimal in-tree stand-in for `serde_json`: the [`Value`] tree lives in
+//! the `serde` shim; this crate adds text rendering ([`to_string`]) and the
+//! [`json!`] object/array literal macro — the only pieces of serde_json the
+//! workspace uses.
+
+pub use serde::Value;
+
+/// Serialization error. The shim's rendering is infallible, so this type is
+/// never constructed, but the `Result` signature mirrors the real crate.
+#[derive(Debug)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "json error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Lowers any serializable value to a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Renders any serializable value as compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_string())
+}
+
+/// Builds a [`Value`] from a JSON-ish literal.
+///
+/// Supported forms: `json!(null)`, `json!([expr, ...])`, and
+/// `json!({ "key": expr, ... })` with string-literal keys and arbitrary
+/// serializable value expressions (trailing commas allowed). Nested braces
+/// must themselves be `json!` calls — which is all this workspace writes.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$elem) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (String::from($key), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn json_macro_builds_objects() {
+        let nnz = 42usize;
+        let v = json!({
+            "experiment": "t",
+            "nnz": nnz,
+            "ratio": 1.5,
+        });
+        assert_eq!(v["nnz"].as_u64(), Some(42));
+        assert_eq!(
+            super::to_string(&v).unwrap(),
+            r#"{"experiment":"t","nnz":42,"ratio":1.5}"#
+        );
+    }
+
+    #[test]
+    fn json_macro_arrays_and_null() {
+        assert!(json!(null).is_null());
+        let v = json!([1, 2, 3]);
+        assert_eq!(v.as_array().unwrap().len(), 3);
+    }
+}

@@ -14,7 +14,10 @@
 //! * [`baselines`] — cuSPARSE-, DASP-, Magicube-, cuBLAS-, and
 //!   Sputnik-like comparison kernels running on the same simulator;
 //! * [`workloads`] — deterministic matrix generators (band, RMAT, meshes,
-//!   SuiteSparse mimics).
+//!   SuiteSparse mimics);
+//! * [`diag`] / [`analyze`] — typed diagnostics, the format invariant
+//!   verifiers, and the kernel-schedule hazard analyzer backing the
+//!   pipeline's pre-flight hook and the `analyze` example CLI.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -36,7 +39,9 @@
 //! assert!(run.report.elapsed_ms() > 0.0);
 //! ```
 
+pub use smat_analyze as analyze;
 pub use smat_baselines as baselines;
+pub use smat_diag as diag;
 pub use smat_formats as formats;
 pub use smat_gpusim as gpusim;
 pub use smat_reorder as reorder;
@@ -47,7 +52,8 @@ pub use smat;
 
 /// Commonly used items in one import.
 pub mod prelude {
-    pub use smat::{autotune, Schedule, Smat, SmatConfig, TuneSpace};
+    pub use smat::{autotune, PreflightMode, Schedule, Smat, SmatConfig, TuneSpace};
+    pub use smat_diag::{DiagCode, Diagnostic, DiagnosticsExt, Severity};
     pub use smat_formats::{Bcsr, Bf16, Csr, Dense, Element, Permutation, F16};
     pub use smat_gpusim::DeviceConfig;
     pub use smat_reorder::ReorderAlgorithm;

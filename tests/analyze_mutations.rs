@@ -1,0 +1,257 @@
+//! Mutation coverage for the `smat-analyze` format verifiers: start from a
+//! random *valid* matrix, corrupt exactly one invariant dimension of its
+//! raw parts, and assert the verifier reports the matching diagnostic code.
+//! The dual direction is covered too: every conversion roundtrip the
+//! pipeline uses (CSR ↔ BCSR ↔ COO, plus CSC/ELL/SR-BCRS) must stay
+//! verifier-clean.
+
+use proptest::prelude::*;
+use smat_analyze::{
+    verify_bcsr, verify_coo, verify_csc, verify_csr, verify_ell, verify_entries,
+    verify_permutation, verify_srbcrs, DiagCode, DiagnosticsExt,
+};
+use smat_formats::{Bcsr, Coo, Csc, Csr, Element, Ell, Permutation, SrBcrs, F16};
+
+/// Strategy: a random sparse matrix with at least one nonzero, so every
+/// mutation below has something to corrupt.
+fn nonempty_matrix() -> impl Strategy<Value = Csr<F16>> {
+    (2usize..40, 2usize..40).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(((0..r), (0..c), 1i32..=4), 1..120).prop_map(move |entries| {
+            let mut coo = Coo::new(r, c);
+            for (i, j, v) in entries {
+                coo.push(i, j, F16::from_f64(f64::from(v)));
+            }
+            coo.to_csr()
+        })
+    })
+}
+
+/// A seeded permutation of `0..n` (Fisher–Yates over a simple LCG).
+fn shuffled(n: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut state = seed.wrapping_add(11);
+    for i in (1..n).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Raw CSR parts of a valid matrix, ready to be corrupted.
+fn parts(a: &Csr<F16>) -> (Vec<usize>, Vec<usize>, Vec<F16>) {
+    (
+        a.row_ptr().to_vec(),
+        a.col_idx().to_vec(),
+        a.values().to_vec(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // ---- CSR structural mutations: one invariant, one exact code ----
+
+    #[test]
+    fn truncated_row_ptr_fires_f001(a in nonempty_matrix()) {
+        let (mut rp, ci, vs) = parts(&a);
+        rp.pop();
+        let err = Csr::try_from_raw(a.nrows(), a.ncols(), rp, ci, vs).unwrap_err();
+        prop_assert_eq!(err.codes(), vec![DiagCode::RowPtrLength]);
+    }
+
+    #[test]
+    fn shifted_row_ptr_start_fires_f002(a in nonempty_matrix()) {
+        let (mut rp, ci, vs) = parts(&a);
+        rp[0] += 1;
+        let err = Csr::try_from_raw(a.nrows(), a.ncols(), rp, ci, vs).unwrap_err();
+        prop_assert!(err.codes().contains(&DiagCode::RowPtrStart), "{err:?}");
+    }
+
+    #[test]
+    fn wrong_row_ptr_end_fires_f003(a in nonempty_matrix()) {
+        let (mut rp, ci, vs) = parts(&a);
+        *rp.last_mut().unwrap() += 1;
+        let err = Csr::try_from_raw(a.nrows(), a.ncols(), rp, ci, vs).unwrap_err();
+        prop_assert!(err.codes().contains(&DiagCode::RowPtrEnd), "{err:?}");
+    }
+
+    #[test]
+    fn non_monotone_row_ptr_fires_f004(a in nonempty_matrix()) {
+        let (mut rp, ci, vs) = parts(&a);
+        // nnz >= 1 guarantees a strictly increasing adjacent pair to swap.
+        let i = (0..a.nrows()).find(|&i| rp[i] < rp[i + 1]).unwrap();
+        rp.swap(i, i + 1);
+        let err = Csr::try_from_raw(a.nrows(), a.ncols(), rp, ci, vs).unwrap_err();
+        prop_assert!(err.codes().contains(&DiagCode::RowPtrNonMonotone), "{err:?}");
+    }
+
+    #[test]
+    fn out_of_bounds_col_idx_fires_f005(a in nonempty_matrix(), pick in 0usize..1000) {
+        let (rp, mut ci, vs) = parts(&a);
+        let k = pick % ci.len();
+        // Adding ncols keeps the row strictly increasing at k but pushes the
+        // index out of range, so F005 is the only structural violation.
+        ci[k] += a.ncols();
+        let err = Csr::try_from_raw(a.nrows(), a.ncols(), rp, ci, vs).unwrap_err();
+        prop_assert!(err.codes().contains(&DiagCode::ColIdxOutOfBounds), "{err:?}");
+    }
+
+    #[test]
+    fn unsorted_col_idx_fires_f006(a in nonempty_matrix()) {
+        let (rp, mut ci, vs) = parts(&a);
+        // Duplicate the first entry of a row holding at least two; skip the
+        // (rare) draws where every row has a single nonzero.
+        let Some(i) = (0..a.nrows()).find(|&i| rp[i + 1] - rp[i] >= 2) else {
+            return;
+        };
+        ci[rp[i] + 1] = ci[rp[i]];
+        let err = Csr::try_from_raw(a.nrows(), a.ncols(), rp, ci, vs).unwrap_err();
+        prop_assert!(err.codes().contains(&DiagCode::ColIdxUnsorted), "{err:?}");
+    }
+
+    #[test]
+    fn values_arity_mismatch_fires_f007(a in nonempty_matrix()) {
+        let (rp, ci, mut vs) = parts(&a);
+        vs.pop();
+        let err = Csr::try_from_raw(a.nrows(), a.ncols(), rp, ci, vs).unwrap_err();
+        prop_assert_eq!(err.codes(), vec![DiagCode::ArityMismatch]);
+    }
+
+    // ---- Payload mutations: structure stays valid, values go bad ----
+
+    #[test]
+    fn nan_payload_fires_f008_at_the_poisoned_position(
+        a in nonempty_matrix(), pick in 0usize..1000
+    ) {
+        let (rp, ci, mut vs) = parts(&a);
+        let k = pick % vs.len();
+        vs[k] = F16::from_f32(f32::NAN);
+        let poisoned = Csr::try_from_raw(a.nrows(), a.ncols(), rp, ci, vs).unwrap();
+        let diags = verify_csr(&poisoned);
+        prop_assert_eq!(diags.codes(), vec![DiagCode::NonFinitePayload]);
+        // The BCSR built from it must flag the same poison.
+        let bcsr = Bcsr::from_csr(&poisoned, 4, 4);
+        prop_assert!(
+            verify_bcsr(&bcsr).codes().contains(&DiagCode::NonFinitePayload)
+        );
+    }
+
+    // ---- BCSR mutations ----
+
+    #[test]
+    fn zero_block_dim_fires_f010(a in nonempty_matrix()) {
+        let b = Bcsr::from_csr(&a, 4, 4);
+        let err = Bcsr::<F16>::try_from_raw(
+            a.nrows(), a.ncols(), 0, 4,
+            b.row_ptr().to_vec(), b.col_idx().to_vec(), b.values().to_vec(), b.nnz(),
+        ).unwrap_err();
+        prop_assert_eq!(err.codes(), vec![DiagCode::BlockDimZero]);
+    }
+
+    #[test]
+    fn truncated_block_payload_fires_f007(a in nonempty_matrix()) {
+        let b = Bcsr::from_csr(&a, 4, 4);
+        let mut vs = b.values().to_vec();
+        vs.pop();
+        let err = Bcsr::<F16>::try_from_raw(
+            a.nrows(), a.ncols(), 4, 4,
+            b.row_ptr().to_vec(), b.col_idx().to_vec(), vs, b.nnz(),
+        ).unwrap_err();
+        prop_assert_eq!(err.codes(), vec![DiagCode::ArityMismatch]);
+    }
+
+    #[test]
+    fn inflated_nnz_fires_f011(a in nonempty_matrix()) {
+        let b = Bcsr::from_csr(&a, 4, 4);
+        let err = Bcsr::<F16>::try_from_raw(
+            a.nrows(), a.ncols(), 4, 4,
+            b.row_ptr().to_vec(), b.col_idx().to_vec(), b.values().to_vec(),
+            b.values().len() + 1,
+        ).unwrap_err();
+        prop_assert_eq!(err.codes(), vec![DiagCode::NnzInconsistent]);
+    }
+
+    // ---- Permutation mutations ----
+
+    #[test]
+    fn out_of_range_image_fires_f012(n in 2usize..50, seed in 0u64..1000, pick in 0usize..1000) {
+        let mut idx = shuffled(n, seed);
+        let i = pick % n;
+        idx[i] = n + pick;
+        let err = Permutation::try_from_vec(idx).unwrap_err();
+        prop_assert_eq!(err.codes(), vec![DiagCode::PermOutOfRange]);
+    }
+
+    #[test]
+    fn duplicate_image_fires_f013(n in 2usize..50, seed in 0u64..1000, pick in 0usize..1000) {
+        let mut idx = shuffled(n, seed);
+        let i = pick % (n - 1);
+        idx[i + 1] = idx[i];
+        let err = Permutation::try_from_vec(idx).unwrap_err();
+        prop_assert_eq!(err.codes(), vec![DiagCode::PermDuplicate]);
+    }
+
+    #[test]
+    fn length_mismatch_fires_f014(n in 1usize..50, seed in 0u64..1000) {
+        let p = Permutation::from_vec(shuffled(n, seed));
+        prop_assert!(verify_permutation(&p, Some(n)).is_empty());
+        let diags = verify_permutation(&p, Some(n + 1));
+        prop_assert_eq!(diags.codes(), vec![DiagCode::PermLengthMismatch]);
+    }
+
+    // ---- Raw-triplet mutations ----
+
+    #[test]
+    fn out_of_bounds_entry_fires_f016(a in nonempty_matrix(), pick in 0usize..1000) {
+        let mut entries: Vec<(usize, usize, F16)> = a.iter().collect();
+        let k = pick % entries.len();
+        entries[k].0 += a.nrows();
+        let diags = verify_entries(a.nrows(), a.ncols(), &entries);
+        prop_assert_eq!(diags.codes(), vec![DiagCode::EntryOutOfBounds]);
+    }
+
+    #[test]
+    fn duplicated_entry_warns_f017(a in nonempty_matrix(), pick in 0usize..1000) {
+        let mut entries: Vec<(usize, usize, F16)> = a.iter().collect();
+        let k = pick % entries.len();
+        entries.push(entries[k]);
+        let diags = verify_entries(a.nrows(), a.ncols(), &entries);
+        prop_assert_eq!(diags.codes(), vec![DiagCode::DuplicateEntry]);
+        // Duplicates are a warning (COO accumulates them), never an error.
+        prop_assert!(!diags.has_errors());
+    }
+
+    // ---- Conversion roundtrips stay verifier-clean ----
+
+    #[test]
+    fn every_conversion_roundtrip_is_verifier_clean(
+        a in nonempty_matrix(), h in 1usize..9, w in 1usize..9
+    ) {
+        prop_assert!(verify_csr(&a).is_empty());
+
+        let bcsr = Bcsr::from_csr(&a, h, w);
+        prop_assert!(verify_bcsr(&bcsr).is_empty());
+        let back = bcsr.to_csr();
+        prop_assert!(verify_csr(&back).is_empty());
+        prop_assert_eq!(&back, &a);
+
+        let coo = a.to_coo();
+        prop_assert!(verify_coo(&coo).is_empty());
+        prop_assert!(verify_csr(&coo.to_csr()).is_empty());
+
+        prop_assert!(verify_csc(&Csc::from_csr(&a)).is_empty());
+        prop_assert!(verify_ell(&Ell::from_csr(&a)).is_empty());
+    }
+
+    #[test]
+    fn srbcrs_conversion_is_verifier_clean(
+        a in nonempty_matrix(), v in 1usize..10, s in 1usize..6
+    ) {
+        let sr = SrBcrs::from_csr(&a.cast::<i16>(), v, s);
+        prop_assert!(verify_srbcrs(&sr).is_empty());
+        prop_assert!(verify_csr(&sr.to_csr()).is_empty());
+    }
+}

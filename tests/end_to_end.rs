@@ -3,12 +3,12 @@
 //! generators emit small-integer values, so all comparisons are bit-exact
 //! (see `smat_workloads::values`).
 
-use smat_repro::baselines::{CublasLike, CusparseLike, DaspLike, MagicubeLike};
-use smat_repro::prelude::*;
-use smat_repro::workloads;
 use smat_formats::{Bf16, Csr, Dense, Element};
 use smat_gpusim::Gpu;
 use smat_reorder::ReorderAlgorithm;
+use smat_repro::baselines::{CublasLike, CusparseLike, DaspLike, MagicubeLike};
+use smat_repro::prelude::*;
+use smat_repro::workloads;
 
 fn check_smat<T: Element>(a: &Csr<T>, n: usize) {
     let b = Dense::from_fn(a.ncols(), n, |i, j| {
@@ -135,8 +135,7 @@ fn mtx_file_roundtrip_through_the_pipeline() {
     let a: Csr<F16> = workloads::by_name("rma10").unwrap().generate(0.002);
     let mut buf = Vec::new();
     smat_formats::mtx::write_csr(&a, &mut buf).unwrap();
-    let a2: Csr<F16> =
-        smat_formats::mtx::read_csr_str(std::str::from_utf8(&buf).unwrap()).unwrap();
+    let a2: Csr<F16> = smat_formats::mtx::read_csr_str(std::str::from_utf8(&buf).unwrap()).unwrap();
     assert_eq!(a2, a);
     let b = workloads::dense_b::<F16>(a.ncols(), 8);
     assert_eq!(

@@ -10,11 +10,7 @@ use smat_reorder::{reorder, ReorderAlgorithm};
 /// Strategy: a sparse matrix as (rows, cols, entries with small-int values).
 fn sparse_matrix() -> impl Strategy<Value = Csr<F16>> {
     (1usize..60, 1usize..60).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(
-            ((0..r), (0..c), -4i32..=4),
-            0..200,
-        )
-        .prop_map(move |entries| {
+        proptest::collection::vec(((0..r), (0..c), -4i32..=4), 0..200).prop_map(move |entries| {
             let mut coo = Coo::new(r, c);
             for (i, j, v) in entries {
                 if v != 0 {
@@ -27,7 +23,9 @@ fn sparse_matrix() -> impl Strategy<Value = Csr<F16>> {
 }
 
 fn rhs(k: usize, n: usize) -> Dense<F16> {
-    Dense::from_fn(k, n, |i, j| F16::from_f64(((i * 3 + j * 5) % 7) as f64 - 3.0))
+    Dense::from_fn(k, n, |i, j| {
+        F16::from_f64(((i * 3 + j * 5) % 7) as f64 - 3.0)
+    })
 }
 
 proptest! {

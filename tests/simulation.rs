@@ -2,12 +2,12 @@
 //! resource errors, and the performance *shapes* the paper reports (who
 //! wins where) — the claims EXPERIMENTS.md quantifies.
 
-use smat_repro::baselines::{CublasLike, CusparseLike, DaspLike, MagicubeLike};
-use smat_repro::prelude::*;
-use smat_repro::workloads;
 use smat_formats::Csr;
 use smat_gpusim::{Gpu, SimError};
 use smat_reorder::ReorderAlgorithm;
+use smat_repro::baselines::{CublasLike, CusparseLike, DaspLike, MagicubeLike};
+use smat_repro::prelude::*;
+use smat_repro::workloads;
 
 #[test]
 fn simulation_is_deterministic() {
@@ -105,7 +105,7 @@ fn magicube_oom_reproduces_on_reduced_memory_device() {
     // §VI-B: Magicube's representation runs out of memory where SMaT fits.
     let a: Csr<F16> = workloads::by_name("mip1").unwrap().generate(0.01);
     let b = workloads::dense_b::<F16>(a.ncols(), 8);
-    let mut cfg = smat_gpusim::DeviceConfig::a100_sxm4_40gb();
+    let mut cfg = DeviceConfig::a100_sxm4_40gb();
     cfg.global_mem_bytes = 3 * a.nnz(); // fits CSR-ish, not Magicube's 4x i16
     let gpu = Gpu::new(cfg.clone());
     let magicube = MagicubeLike::new(&gpu, &a);
