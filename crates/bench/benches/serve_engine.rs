@@ -1,0 +1,38 @@
+//! Host-side serving overhead: submit→complete through the `smat-serve`
+//! engine (registry lookup + plan cache + queue + oneshot wakeup) versus a
+//! direct call on the prepared handle. The difference is the engine's
+//! per-request tax; simulated kernel time is identical by construction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smat::{Smat, SmatConfig};
+use smat_formats::{Csr, F16};
+use smat_serve::{Server, ServerConfig};
+use smat_workloads::{dense_b, random_uniform};
+
+fn bench_serve_overhead(c: &mut Criterion) {
+    let a: Csr<F16> = random_uniform(128, 128, 0.9, 42);
+    let b = dense_b::<F16>(128, 8);
+
+    let direct = Smat::prepare(&a, SmatConfig::default());
+    let server: Server<F16> = Server::new(ServerConfig {
+        devices: 1,
+        ..ServerConfig::default()
+    });
+    let key = server.register(&a);
+
+    let mut group = c.benchmark_group("serve_engine");
+    group.sample_size(20);
+    group.bench_function("direct_spmm", |bch| {
+        bch.iter(|| std::hint::black_box(direct.spmm(&b)));
+    });
+    group.bench_function("submit_wait", |bch| {
+        bch.iter(|| {
+            let resp = server.submit(key, b.clone()).wait().expect("served");
+            std::hint::black_box(resp)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_overhead);
+criterion_main!(benches);

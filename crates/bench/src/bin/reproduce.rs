@@ -62,6 +62,7 @@ fn main() {
             "roofline",
             "precision",
             "devices",
+            "serve",
             "ablations",
         ]
         .iter()
@@ -92,6 +93,7 @@ fn main() {
             "roofline" => exp::run_roofline(&cfg),
             "precision" => exp::run_precision(&cfg),
             "devices" => exp::run_devices(&cfg),
+            "serve" => exp::run_serve(&cfg),
             "ablations" => {
                 let mut v = exp::run_ablation_block_size(&cfg);
                 v.extend(exp::run_ablation_reorder(&cfg));
@@ -133,7 +135,7 @@ EXPERIMENTS:
   fig6     reordering effect on Magicube             tau sweep / accumulation
   fig7     reordering effect on cuSPARSE  extra   5-engine comparison (+Sputnik)
   roofline busiest-SM cycle breakdown   precision  f16/bf16/i8 study
-  devices  A100 vs H100 sensitivity
+  devices  A100 vs H100 sensitivity     serve   multi-tenant serving study
                                           all     everything above
 
 OPTIONS:

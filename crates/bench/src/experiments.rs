@@ -1036,3 +1036,119 @@ pub fn run_ablation_accum(cfg: &HarnessConfig) -> Vec<Value> {
         "max_abs_diff": diff,
     })]
 }
+
+// ---------------------------------------------------------------------------
+// Serving (beyond the paper: multi-tenant engine over the prepared pipeline)
+// ---------------------------------------------------------------------------
+
+/// Serving study: replays a Zipf-skewed request trace through `smat-serve`
+/// under several pool shapes and batching budgets, reporting simulated
+/// makespan (max per-device kernel time), throughput, amortization factor,
+/// and registry/plan cache effectiveness. The paper's prepare-once cost
+/// (`T_init`) is paid per distinct matrix; everything after is `T_e`.
+pub fn run_serve(cfg: &HarnessConfig) -> Vec<Value> {
+    use smat_formats::Dense;
+    use smat_serve::{Server, ServerConfig};
+    use smat_workloads::{random_uniform, serve_trace, TraceSpec};
+
+    let requests = ((2560.0 * cfg.scale) as usize).clamp(200, 4096);
+    let n_matrices = 4;
+    let dim = 128;
+    let spec = TraceSpec {
+        requests,
+        n_matrices,
+        widths: vec![8, 16, 32],
+        zipf_s: 1.0,
+        seed: 42,
+    };
+    let trace = serve_trace(&spec);
+    let matrices: Vec<Csr<F16>> = (0..n_matrices)
+        .map(|m| random_uniform(dim, dim, 0.88 + 0.02 * m as f64, 42 + m as u64))
+        .collect();
+
+    println!(
+        "\n== Serving: {requests} requests, {n_matrices} matrices ({dim}x{dim}), Zipf s={} ==",
+        spec.zipf_s
+    );
+    println!(
+        "{:>7} {:>7} {:>8} {:>10} {:>12} {:>12} {:>10} {:>9}",
+        "devices",
+        "budget",
+        "batches",
+        "mean batch",
+        "sim span ms",
+        "req/s (sim)",
+        "p99 ms",
+        "hit rate"
+    );
+
+    let mut records = Vec::new();
+    for (devices, budget) in [(1usize, 1usize), (1, 64), (2, 64), (4, 64), (2, 128)] {
+        let server: Server<F16> = Server::new(ServerConfig {
+            devices,
+            column_budget: budget,
+            registry_capacity: n_matrices,
+            ..ServerConfig::default()
+        });
+        let keys: Vec<_> = matrices.iter().map(|a| server.register(a)).collect();
+        for window in trace.chunks(32) {
+            server.pause();
+            let futures: Vec<_> = window
+                .iter()
+                .map(|req| {
+                    let b = Dense::from_fn(dim, req.n_cols, |i, j| {
+                        F16::from_f64((((i + 3 * j + 7 * req.seq) % 9) as f64 - 4.0) / 2.0)
+                    });
+                    server.submit(keys[req.matrix], b)
+                })
+                .collect();
+            server.resume();
+            for fut in futures {
+                fut.wait().expect("request served");
+            }
+        }
+        let stats = server.stats();
+        // Devices run concurrently: the simulated makespan is the busiest
+        // device's kernel time, not the pool sum.
+        let makespan_ms = stats
+            .devices
+            .iter()
+            .map(|d| d.sim_ms)
+            .fold(0.0f64, f64::max);
+        let rps_sim = if makespan_ms > 0.0 {
+            stats.completed as f64 / (makespan_ms / 1e3)
+        } else {
+            0.0
+        };
+        println!(
+            "{:>7} {:>7} {:>8} {:>10.2} {:>12.3} {:>12.0} {:>10.3} {:>9.3}",
+            devices,
+            budget,
+            stats.batches,
+            stats.mean_batch(),
+            makespan_ms,
+            rps_sim,
+            stats.latency.p99_ms,
+            stats.registry.hit_rate()
+        );
+        records.push(json!({
+            "experiment": "serve",
+            "devices": devices,
+            "column_budget": budget,
+            "requests": requests,
+            "completed": stats.completed,
+            "batches": stats.batches,
+            "mean_batch": stats.mean_batch(),
+            "max_batch": stats.max_batch,
+            "sim_ms_makespan": makespan_ms,
+            "sim_ms_total": stats.sim_ms_total,
+            "throughput_rps_sim": rps_sim,
+            "registry_hit_rate": stats.registry.hit_rate(),
+            "registry_prepares": stats.registry.prepares,
+            "plan_hit_rate": stats.plans.hit_rate(),
+            "latency_p50_ms": stats.latency.p50_ms,
+            "latency_p99_ms": stats.latency.p99_ms,
+        }));
+    }
+    records
+}

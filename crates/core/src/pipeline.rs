@@ -2,9 +2,12 @@
 //! block-densifying permutation → BCSR conversion → kernel launch →
 //! permutation-aware result assembly.
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
 use smat_analyze::{analyze_launch, verify_bcsr, ScheduleSpec};
 use smat_diag::{Diagnostic, DiagnosticsExt};
-use smat_formats::{Bcsr, BlockRowStats, Csr, Dense, Element};
+use smat_formats::{Bcsr, BlockRowStats, Csr, Dense, Element, MatrixFingerprint};
 use smat_gpusim::{Gpu, LaunchResult, SimError};
 use smat_reorder::{reorder, Reordering};
 
@@ -14,7 +17,25 @@ use crate::config::SmatConfig;
 /// conversion) runs once in [`Smat::prepare`]; [`Smat::spmm`] can then be
 /// called for any number of right-hand sides, exactly like the library's
 /// inspector/executor split.
+///
+/// The handle is a cheap [`Arc`]-backed reference: [`Clone`] copies one
+/// pointer, never the BCSR payload, so a prepared matrix can be shared
+/// across threads and serving requests (`Smat<T>: Send + Sync` whenever the
+/// element type is). All execution methods take `&self`.
 pub struct Smat<T> {
+    inner: Arc<SmatInner<T>>,
+}
+
+impl<T> Clone for Smat<T> {
+    fn clone(&self) -> Self {
+        Smat {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+/// The shared preprocessing product behind a [`Smat`] handle.
+struct SmatInner<T> {
     config: SmatConfig,
     gpu: Gpu,
     reordering: Reordering,
@@ -27,6 +48,14 @@ pub struct Smat<T> {
     /// conversion) — the one-time inspector cost.
     prepare_wall_ms: f64,
     ncols: usize,
+    /// Content fingerprint of the *original* (pre-permutation) matrix.
+    fingerprint: MatrixFingerprint,
+    /// Memoized pre-flight findings per right-hand-side width `n`. The
+    /// pass is a pure function of (BCSR, config, device, n), all fixed at
+    /// prepare time, so repeat launches with the same `n` — the common
+    /// serving case — reuse the diagnostics instead of re-running the
+    /// analysis.
+    preflight_cache: Mutex<HashMap<usize, Arc<Vec<Diagnostic>>>>,
 }
 
 /// Result of one SpMM execution.
@@ -80,6 +109,7 @@ impl<T: Element> Smat<T> {
     /// permutation, permutes the matrix, and converts it to BCSR.
     pub fn prepare(a: &Csr<T>, config: SmatConfig) -> Self {
         let t0 = std::time::Instant::now();
+        let fingerprint = MatrixFingerprint::of_csr(a);
         let stats_before = smat_reorder::stats::block_row_stats(a, config.block_h, config.block_w);
         let reordering = reorder(a, config.reorder, config.block_h, config.block_w);
         let permuted = reordering.apply(a);
@@ -88,14 +118,18 @@ impl<T: Element> Smat<T> {
         let bcsr = Bcsr::from_csr(&permuted, config.block_h, config.block_w);
         let gpu = Gpu::new(config.device.clone());
         Smat {
-            config,
-            gpu,
-            reordering,
-            bcsr,
-            stats_before,
-            stats_after,
-            prepare_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
-            ncols: a.ncols(),
+            inner: Arc::new(SmatInner {
+                config,
+                gpu,
+                reordering,
+                bcsr,
+                stats_before,
+                stats_after,
+                prepare_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                ncols: a.ncols(),
+                fingerprint,
+                preflight_cache: Mutex::new(HashMap::new()),
+            }),
         }
     }
 
@@ -103,22 +137,40 @@ impl<T: Element> Smat<T> {
     /// (reordering + BCSR conversion). The paper amortizes this inspector
     /// cost over many executor calls; this number makes the trade explicit.
     pub fn prepare_wall_ms(&self) -> f64 {
-        self.prepare_wall_ms
+        self.inner.prepare_wall_ms
     }
 
     /// The internal BCSR representation (after preprocessing).
     pub fn bcsr(&self) -> &Bcsr<T> {
-        &self.bcsr
+        &self.inner.bcsr
     }
 
     /// The preprocessing permutations.
     pub fn reordering(&self) -> &Reordering {
-        &self.reordering
+        &self.inner.reordering
     }
 
     /// The active configuration.
     pub fn config(&self) -> &SmatConfig {
-        &self.config
+        &self.inner.config
+    }
+
+    /// Content fingerprint of the original input matrix (computed during
+    /// [`Smat::prepare`]) — the registry key primitive of the serving layer.
+    pub fn fingerprint(&self) -> MatrixFingerprint {
+        self.inner.fingerprint
+    }
+
+    /// Column count of the prepared matrix `A`, i.e. the row count every
+    /// right-hand side must have.
+    pub fn input_ncols(&self) -> usize {
+        self.inner.ncols
+    }
+
+    /// Number of handles currently sharing this prepared matrix (including
+    /// this one). Used by registry eviction accounting and tests.
+    pub fn handle_count(&self) -> usize {
+        Arc::strong_count(&self.inner)
     }
 
     /// Runs the static pre-flight pass for a launch with an `n`-column
@@ -129,21 +181,52 @@ impl<T: Element> Smat<T> {
     /// [`Smat::try_spmm`] calls this automatically according to
     /// [`SmatConfig::preflight`]; it is public so tools can inspect the
     /// findings (including warnings) without launching.
+    ///
+    /// Results are memoized per `n` on the prepared handle (the pass is a
+    /// pure function of state fixed at prepare time), so serving paths that
+    /// launch the same prepared matrix many times pay for the analysis
+    /// once. This returns an owned copy; [`Smat::preflight_cached`] returns
+    /// the shared allocation directly.
     pub fn preflight(&self, n: usize) -> Vec<Diagnostic> {
-        let mut diags = verify_bcsr(&self.bcsr);
+        self.preflight_cached(n).as_ref().clone()
+    }
+
+    /// Like [`Smat::preflight`] but returns the memoized, shareable
+    /// diagnostics without cloning the findings.
+    pub fn preflight_cached(&self, n: usize) -> Arc<Vec<Diagnostic>> {
+        if let Some(hit) = self.inner.preflight_cache.lock().unwrap().get(&n) {
+            return Arc::clone(hit);
+        }
+        // Analysis runs outside the lock: it is pure and idempotent, so two
+        // racing threads at worst both compute the same findings and one
+        // insert wins.
+        let diags = Arc::new(self.run_preflight(n));
+        let mut cache = self.inner.preflight_cache.lock().unwrap();
+        Arc::clone(cache.entry(n).or_insert(diags))
+    }
+
+    /// Number of distinct `n` values with memoized pre-flight findings.
+    pub fn preflight_cache_len(&self) -> usize {
+        self.inner.preflight_cache.lock().unwrap().len()
+    }
+
+    /// The uncached pre-flight pass.
+    fn run_preflight(&self, n: usize) -> Vec<Diagnostic> {
+        let inner = &*self.inner;
+        let mut diags = verify_bcsr(&inner.bcsr);
         let launch_cfg = crate::kernel::build_launch_config(
-            &self.gpu,
-            &self.bcsr,
+            &inner.gpu,
+            &inner.bcsr,
             n,
-            self.config.opts,
-            self.config.schedule,
+            inner.config.opts,
+            inner.config.schedule,
         );
         diags.extend(analyze_launch(
-            &self.bcsr,
+            &inner.bcsr,
             n,
             &launch_cfg,
-            &self.gpu.cfg,
-            &ScheduleSpec::for_async(self.config.opts.async_copy),
+            &inner.gpu.cfg,
+            &ScheduleSpec::for_async(inner.config.opts.async_copy),
         ));
         diags
     }
@@ -154,22 +237,43 @@ impl<T: Element> Smat<T> {
     /// rejection when [`SmatConfig::preflight`] is active and an
     /// error-severity finding is present).
     pub fn try_spmm(&self, b: &Dense<T>) -> Result<SmatRun<T>, SimError> {
+        self.try_spmm_on(&self.inner.gpu, b)
+    }
+
+    /// Like [`Smat::try_spmm`] but executes on an explicitly provided
+    /// device instance instead of the one embedded at prepare time — the
+    /// entry point for device pools that multiplex prepared matrices over
+    /// several simulated GPUs.
+    ///
+    /// `gpu` must be configured identically to the prepare-time device
+    /// (same [`DeviceConfig`](smat_gpusim::DeviceConfig) parameters): the
+    /// memoized pre-flight findings and the launch geometry are derived
+    /// from the prepared configuration. This is asserted by device name in
+    /// debug builds.
+    pub fn try_spmm_on(&self, gpu: &Gpu, b: &Dense<T>) -> Result<SmatRun<T>, SimError> {
+        let inner = &*self.inner;
+        debug_assert_eq!(
+            gpu.cfg.name, inner.gpu.cfg.name,
+            "pool device must match the prepare-time device configuration"
+        );
         assert_eq!(
-            self.ncols,
+            inner.ncols,
             b.nrows(),
             "B must have {} rows, got {}",
-            self.ncols,
+            inner.ncols,
             b.nrows()
         );
-        if self.config.preflight.enabled() {
-            let diagnostics = self.preflight(b.ncols());
+        if inner.config.preflight.enabled() {
+            let diagnostics = self.preflight_cached(b.ncols());
             if diagnostics.has_errors() {
-                return Err(SimError::PreflightRejected { diagnostics });
+                return Err(SimError::PreflightRejected {
+                    diagnostics: diagnostics.as_ref().clone(),
+                });
             }
         }
         // Column permutation (if any) reshuffles the rows of B.
         let b_permuted;
-        let b_eff: &Dense<T> = match &self.reordering.col_perm {
+        let b_eff: &Dense<T> = match &inner.reordering.col_perm {
             Some(cp) => {
                 b_permuted = b.select_rows(cp.as_slice());
                 &b_permuted
@@ -178,27 +282,27 @@ impl<T: Element> Smat<T> {
         };
 
         let (launch, c_permuted) = crate::kernel::smat_spmm_scheduled(
-            &self.gpu,
-            &self.bcsr,
+            gpu,
+            &inner.bcsr,
             b_eff,
-            self.config.opts,
-            self.config.accum,
+            inner.config.opts,
+            inner.config.accum,
             crate::kernel::Epilogue::default(),
-            self.config.schedule,
+            inner.config.schedule,
         )?;
 
         // (P·A)·B = P·(A·B): undo the row permutation on the output.
-        let inv = self.reordering.row_perm.inverse();
+        let inv = inner.reordering.row_perm.inverse();
         let c = c_permuted.select_rows(inv.as_slice());
 
         Ok(SmatRun {
             c,
             report: RunReport {
                 launch,
-                nblocks: self.bcsr.nblocks(),
-                stats_before: self.stats_before.clone(),
-                stats_after: self.stats_after.clone(),
-                kernel_label: self.config.opts.label(),
+                nblocks: inner.bcsr.nblocks(),
+                stats_before: inner.stats_before.clone(),
+                stats_after: inner.stats_after.clone(),
+                kernel_label: inner.config.opts.label(),
             },
         })
     }
@@ -218,9 +322,10 @@ impl<T: Element> Smat<T> {
     /// # Panics
     /// Panics on shape mismatches or simulation errors.
     pub fn spmm_axpby(&self, b: &Dense<T>, c: &Dense<T>, alpha: f64, beta: f64) -> SmatRun<T> {
-        assert_eq!(self.ncols, b.nrows(), "B must have {} rows", self.ncols);
+        let inner = &*self.inner;
+        assert_eq!(inner.ncols, b.nrows(), "B must have {} rows", inner.ncols);
         let b_permuted;
-        let b_eff: &Dense<T> = match &self.reordering.col_perm {
+        let b_eff: &Dense<T> = match &inner.reordering.col_perm {
             Some(cp) => {
                 b_permuted = b.select_rows(cp.as_slice());
                 &b_permuted
@@ -228,30 +333,30 @@ impl<T: Element> Smat<T> {
             None => b,
         };
         // The kernel sees the permuted row order; bring C into it.
-        let c_permuted = c.select_rows(self.reordering.row_perm.as_slice());
+        let c_permuted = c.select_rows(inner.reordering.row_perm.as_slice());
         let (launch, out_permuted) = crate::kernel::smat_spmm_scheduled(
-            &self.gpu,
-            &self.bcsr,
+            &inner.gpu,
+            &inner.bcsr,
             b_eff,
-            self.config.opts,
-            self.config.accum,
+            inner.config.opts,
+            inner.config.accum,
             crate::kernel::Epilogue {
                 alpha,
                 beta,
                 c_in: Some(&c_permuted),
             },
-            self.config.schedule,
+            inner.config.schedule,
         )
         .expect("simulated launch failed");
-        let inv = self.reordering.row_perm.inverse();
+        let inv = inner.reordering.row_perm.inverse();
         SmatRun {
             c: out_permuted.select_rows(inv.as_slice()),
             report: RunReport {
                 launch,
-                nblocks: self.bcsr.nblocks(),
-                stats_before: self.stats_before.clone(),
-                stats_after: self.stats_after.clone(),
-                kernel_label: self.config.opts.label(),
+                nblocks: inner.bcsr.nblocks(),
+                stats_before: inner.stats_before.clone(),
+                stats_after: inner.stats_after.clone(),
+                kernel_label: inner.config.opts.label(),
             },
         }
     }
@@ -262,8 +367,9 @@ impl<T: Element> Smat<T> {
     /// # Panics
     /// Panics on shape mismatches or simulation errors.
     pub fn spmv(&self, x: &[T]) -> (Vec<T>, RunReport) {
-        assert_eq!(x.len(), self.ncols, "x must have {} entries", self.ncols);
-        let b = Dense::from_vec(self.ncols, 1, x.to_vec());
+        let ncols = self.inner.ncols;
+        assert_eq!(x.len(), ncols, "x must have {ncols} entries");
+        let b = Dense::from_vec(ncols, 1, x.to_vec());
         let run = self.spmm(&b);
         let y = (0..run.c.nrows()).map(|i| run.c.get(i, 0)).collect();
         (y, run.report)
@@ -494,6 +600,73 @@ mod tests {
         assert!(
             matches!(err, SimError::SharedMemoryExceeded { .. }),
             "with pre-flight off the engine's own check fires: {err:?}"
+        );
+    }
+
+    #[test]
+    fn handles_are_cheap_shared_clones() {
+        let a = interleaved(64);
+        let b = rhs(64, 8);
+        let engine = Smat::prepare(&a, SmatConfig::default());
+        assert_eq!(engine.handle_count(), 1);
+        let shared = engine.clone();
+        assert_eq!(engine.handle_count(), 2);
+        // Both handles see the same prepared state and produce the product.
+        assert_eq!(shared.fingerprint(), engine.fingerprint());
+        assert!(std::ptr::eq(shared.bcsr(), engine.bcsr()));
+        assert_eq!(shared.spmm(&b).c, a.spmm_reference(&b));
+        drop(shared);
+        assert_eq!(engine.handle_count(), 1);
+    }
+
+    #[test]
+    fn handles_are_send_sync_for_element_types() {
+        fn assert_send_sync<S: Send + Sync>() {}
+        assert_send_sync::<Smat<F16>>();
+        assert_send_sync::<Smat<f32>>();
+    }
+
+    #[test]
+    fn fingerprint_matches_the_input_matrix() {
+        use smat_formats::MatrixFingerprint;
+        let a = interleaved(64);
+        let engine = Smat::prepare(&a, SmatConfig::default());
+        assert_eq!(engine.fingerprint(), MatrixFingerprint::of_csr(&a));
+    }
+
+    #[test]
+    fn preflight_is_memoized_per_rhs_width() {
+        let a = interleaved(64);
+        let engine = Smat::prepare(&a, SmatConfig::default());
+        assert_eq!(engine.preflight_cache_len(), 0);
+        let first = engine.preflight_cached(8);
+        let again = engine.preflight_cached(8);
+        assert!(
+            Arc::ptr_eq(&first, &again),
+            "same n must reuse the cached findings"
+        );
+        assert_eq!(engine.preflight_cache_len(), 1);
+        let other = engine.preflight_cached(16);
+        assert!(!Arc::ptr_eq(&first, &other));
+        assert_eq!(engine.preflight_cache_len(), 2);
+        // The owned-copy entry point agrees with the cache.
+        assert_eq!(engine.preflight(8), *first);
+        // Clones share the cache (it lives on the prepared state).
+        assert_eq!(engine.clone().preflight_cache_len(), 2);
+    }
+
+    #[test]
+    fn spmm_on_external_device_matches_embedded_device() {
+        let a = interleaved(64);
+        let b = rhs(64, 8);
+        let engine = Smat::prepare(&a, SmatConfig::default());
+        let pool_device = Gpu::new(engine.config().device.clone());
+        let on_pool = engine.try_spmm_on(&pool_device, &b).unwrap();
+        let embedded = engine.try_spmm(&b).unwrap();
+        assert_eq!(on_pool.c, embedded.c);
+        assert_eq!(
+            on_pool.report.launch.time_ms,
+            embedded.report.launch.time_ms
         );
     }
 

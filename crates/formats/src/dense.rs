@@ -150,6 +150,63 @@ impl<T: Element> Dense<T> {
             .fold(0.0, f64::max)
     }
 
+    /// Horizontally concatenates panels that share a row count:
+    /// `hconcat([B1, B2, B3])` is `[B1 | B2 | B3]`.
+    ///
+    /// This is how the serving batcher coalesces same-matrix requests: the
+    /// kernel sees one wide right-hand side and [`Dense::split_cols`] hands
+    /// each request its own slice of the output back.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or the row counts disagree.
+    pub fn hconcat(parts: &[&Dense<T>]) -> Dense<T> {
+        assert!(!parts.is_empty(), "hconcat of zero panels");
+        let nrows = parts[0].nrows;
+        let ncols: usize = parts
+            .iter()
+            .map(|p| {
+                assert_eq!(p.nrows, nrows, "hconcat panels must share row count");
+                p.ncols
+            })
+            .sum();
+        let mut out = Dense::zeros(nrows, ncols);
+        for i in 0..nrows {
+            let row = out.row_mut(i);
+            let mut at = 0;
+            for p in parts {
+                row[at..at + p.ncols].copy_from_slice(p.row(i));
+                at += p.ncols;
+            }
+        }
+        out
+    }
+
+    /// Splits the matrix into column panels of the given widths — the
+    /// inverse of [`Dense::hconcat`]: `split_cols(&[w1, w2])` returns the
+    /// first `w1` columns and the next `w2` columns as separate matrices.
+    ///
+    /// # Panics
+    /// Panics if the widths do not sum to `ncols`.
+    pub fn split_cols(&self, widths: &[usize]) -> Vec<Dense<T>> {
+        assert_eq!(
+            widths.iter().sum::<usize>(),
+            self.ncols,
+            "split widths must sum to the column count {}",
+            self.ncols
+        );
+        let mut out = Vec::with_capacity(widths.len());
+        let mut at = 0;
+        for &w in widths {
+            let mut panel = Dense::zeros(self.nrows, w);
+            for i in 0..self.nrows {
+                panel.row_mut(i).copy_from_slice(&self.row(i)[at..at + w]);
+            }
+            at += w;
+            out.push(panel);
+        }
+        out
+    }
+
     /// Converts element type (through `f64`).
     pub fn cast<U: Element>(&self) -> Dense<U> {
         Dense {
@@ -216,6 +273,42 @@ mod tests {
         let h: Dense<F16> = m.cast();
         let back: Dense<f32> = h.cast();
         assert_eq!(m, back, "small halves are exact in f16");
+    }
+
+    #[test]
+    fn hconcat_then_split_roundtrips() {
+        let b1 = Dense::<f32>::from_fn(3, 2, |i, j| (10 * i + j) as f32);
+        let b2 = Dense::<f32>::from_fn(3, 4, |i, j| (100 * i + j) as f32);
+        let b3 = Dense::<f32>::from_fn(3, 1, |i, _| i as f32);
+        let wide = Dense::hconcat(&[&b1, &b2, &b3]);
+        assert_eq!(wide.shape(), (3, 7));
+        assert_eq!(wide.get(2, 1), b1.get(2, 1));
+        assert_eq!(wide.get(2, 5), b2.get(2, 3));
+        let parts = wide.split_cols(&[2, 4, 1]);
+        assert_eq!(parts, vec![b1, b2, b3]);
+    }
+
+    #[test]
+    fn split_cols_allows_zero_width_panels() {
+        let m = Dense::<f32>::from_fn(2, 3, |i, j| (i + j) as f32);
+        let parts = m.split_cols(&[0, 3]);
+        assert_eq!(parts[0].shape(), (2, 0));
+        assert_eq!(parts[1], m);
+    }
+
+    #[test]
+    #[should_panic(expected = "share row count")]
+    fn hconcat_rejects_mismatched_rows() {
+        let a = Dense::<f32>::zeros(2, 1);
+        let b = Dense::<f32>::zeros(3, 1);
+        let _ = Dense::hconcat(&[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to the column count")]
+    fn split_cols_validates_widths() {
+        let m = Dense::<f32>::zeros(2, 3);
+        let _ = m.split_cols(&[2, 2]);
     }
 
     #[test]

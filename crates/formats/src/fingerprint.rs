@@ -1,0 +1,194 @@
+//! Content fingerprints for sparse matrices.
+//!
+//! A [`MatrixFingerprint`] identifies a matrix by shape, nonzero count, and
+//! two 64-bit FNV-1a digests — one over the sparsity structure
+//! (`row_ptr`/`col_idx`) and one over the value payload. It is the key
+//! primitive of the serving registry: two CSR matrices with equal
+//! fingerprints hold the same data with overwhelming probability, so their
+//! one-time preprocessing (reordering + BCSR conversion + autotuning) can be
+//! shared across requests.
+//!
+//! The digest is deterministic across runs and platforms: it hashes the raw
+//! index integers as little-endian `u64` and each value through its exact
+//! `f64` widening ([`Element::to_f64`] is exact for every supported storage
+//! type), so the fingerprint does not depend on `HashMap` iteration order,
+//! ASLR, or the host's `RandomState`.
+
+use crate::csr::Csr;
+use crate::scalar::Element;
+
+/// 64-bit FNV-1a offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a hasher over byte chunks (stable across platforms).
+#[derive(Clone, Copy, Debug)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+
+    /// Absorbs a byte slice.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs one `u64` as little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current digest.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Compact identity of a sparse matrix: shape, nonzero count, and structure
+/// and value digests. `Eq`/`Hash`-able, `Copy`, 40 bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize)]
+pub struct MatrixFingerprint {
+    /// Number of rows.
+    pub nrows: usize,
+    /// Number of columns.
+    pub ncols: usize,
+    /// Number of stored nonzeros.
+    pub nnz: usize,
+    /// FNV-1a digest of `row_ptr` followed by `col_idx`.
+    pub structure_hash: u64,
+    /// FNV-1a digest of the value payload (exact `f64` bit patterns).
+    pub value_hash: u64,
+}
+
+impl MatrixFingerprint {
+    /// Fingerprints a CSR matrix. Cost is one linear pass over the arrays;
+    /// for the serving path this runs once per distinct matrix at
+    /// submission time, not per request.
+    pub fn of_csr<T: Element>(a: &Csr<T>) -> Self {
+        let mut sh = Fnv1a::new();
+        for &p in a.row_ptr() {
+            sh.write_u64(p as u64);
+        }
+        for &c in a.col_idx() {
+            sh.write_u64(c as u64);
+        }
+        let mut vh = Fnv1a::new();
+        for v in a.values() {
+            vh.write_u64(v.to_f64().to_bits());
+        }
+        MatrixFingerprint {
+            nrows: a.nrows(),
+            ncols: a.ncols(),
+            nnz: a.nnz(),
+            structure_hash: sh.finish(),
+            value_hash: vh.finish(),
+        }
+    }
+
+    /// Short hex form (`<structure>-<values>`), used in logs and stats.
+    pub fn short_hex(&self) -> String {
+        format!("{:016x}-{:016x}", self.structure_hash, self.value_hash)
+    }
+}
+
+impl std::fmt::Display for MatrixFingerprint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{} nnz={} {}",
+            self.nrows,
+            self.ncols,
+            self.nnz,
+            self.short_hex()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+    use crate::scalar::F16;
+
+    fn sample(shift: usize, val: f64) -> Csr<F16> {
+        let mut coo = Coo::new(16, 16);
+        for i in 0..16 {
+            coo.push(i, (i * 3 + shift) % 16, F16::from_f64(val));
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn equal_matrices_equal_fingerprints() {
+        let a = sample(0, 1.0);
+        let b = sample(0, 1.0);
+        assert_eq!(MatrixFingerprint::of_csr(&a), MatrixFingerprint::of_csr(&b));
+    }
+
+    #[test]
+    fn structure_change_changes_structure_hash_only() {
+        let a = MatrixFingerprint::of_csr(&sample(0, 1.0));
+        let b = MatrixFingerprint::of_csr(&sample(1, 1.0));
+        assert_ne!(a.structure_hash, b.structure_hash);
+        assert_eq!(a.value_hash, b.value_hash, "same payload values");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn value_change_changes_value_hash_only() {
+        let a = MatrixFingerprint::of_csr(&sample(0, 1.0));
+        let b = MatrixFingerprint::of_csr(&sample(0, 2.0));
+        assert_eq!(a.structure_hash, b.structure_hash);
+        assert_ne!(a.value_hash, b.value_hash);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn shape_is_part_of_identity() {
+        // Same (empty) payload, different declared shape.
+        let a: Csr<F16> = Csr::empty(4, 8);
+        let b: Csr<F16> = Csr::empty(4, 9);
+        assert_ne!(MatrixFingerprint::of_csr(&a), MatrixFingerprint::of_csr(&b));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_element_types() {
+        // The digest goes through exact f64 widening, so a cast to a wider
+        // type that preserves every value yields the same value hash.
+        let a = sample(0, 1.5);
+        let wide: Csr<f32> = a.cast();
+        let fa = MatrixFingerprint::of_csr(&a);
+        let fw = MatrixFingerprint::of_csr(&wide);
+        assert_eq!(fa.value_hash, fw.value_hash);
+        assert_eq!(fa.structure_hash, fw.structure_hash);
+    }
+
+    #[test]
+    fn display_and_hex_are_stable() {
+        let f = MatrixFingerprint::of_csr(&sample(0, 1.0));
+        let s = f.to_string();
+        assert!(s.starts_with("16x16 nnz=16 "), "{s}");
+        assert_eq!(f.short_hex().len(), 33);
+    }
+
+    #[test]
+    fn fnv_vector() {
+        // Known FNV-1a test vector: "a" -> 0xaf63dc4c8601ec8c.
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+}

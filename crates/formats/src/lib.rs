@@ -23,6 +23,7 @@ pub mod csc;
 pub mod csr;
 pub mod dense;
 pub mod ell;
+pub mod fingerprint;
 pub mod mtx;
 pub mod permutation;
 pub mod scalar;
@@ -35,6 +36,7 @@ pub use csc::Csc;
 pub use csr::Csr;
 pub use dense::Dense;
 pub use ell::Ell;
+pub use fingerprint::{Fnv1a, MatrixFingerprint};
 pub use permutation::Permutation;
 pub use scalar::{Bf16, Element, F16};
 pub use srbcrs::SrBcrs;

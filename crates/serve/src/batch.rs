@@ -1,0 +1,147 @@
+//! The request batcher: coalesces same-matrix requests into one wide SpMM.
+//!
+//! SpMM cost has a per-launch constant (`T_init` in the paper's model,
+//! Eq. (1)) and a per-column part; concatenating the B panels of several
+//! requests amortizes the constant and the shared A-tile staging across the
+//! batch. Column `j` of the product depends only on column `j` of `B`, so
+//! splitting the wide `C` back per request is *bitwise* identical to
+//! running each request alone — a property the proptest suite pins down.
+
+use std::collections::VecDeque;
+
+use smat::{RunReport, Smat};
+use smat_formats::{Dense, Element};
+use smat_gpusim::{Gpu, SimError};
+
+/// Executes one batched SpMM for several same-matrix requests: concatenates
+/// the panels, launches once on `gpu`, and splits the output back in input
+/// order. Returns one `C` per input panel plus the shared launch report.
+///
+/// # Panics
+/// Panics if `panels` is empty or their row counts disagree.
+pub fn spmm_batched<T: Element>(
+    smat: &Smat<T>,
+    gpu: &Gpu,
+    panels: &[&Dense<T>],
+) -> Result<(Vec<Dense<T>>, RunReport), SimError> {
+    if panels.len() == 1 {
+        // Nothing to coalesce; skip the concat/split copies.
+        let run = smat.try_spmm_on(gpu, panels[0])?;
+        return Ok((vec![run.c], run.report));
+    }
+    let widths: Vec<usize> = panels.iter().map(|p| p.ncols()).collect();
+    let wide = Dense::hconcat(panels);
+    let run = smat.try_spmm_on(gpu, &wide)?;
+    Ok((run.c.split_cols(&widths), run.report))
+}
+
+/// Pops the head of `queue` plus every later same-key request that fits the
+/// remaining column budget, preserving queue order among what stays.
+///
+/// The head is always taken, even when it alone exceeds `budget` — a
+/// too-wide request must still run (alone) rather than starve. Requests for
+/// *other* matrices are skipped, not reordered: the batch is same-matrix by
+/// construction so one prepared handle serves the whole launch.
+pub fn take_batch<R, K: PartialEq>(
+    queue: &mut VecDeque<R>,
+    key: impl Fn(&R) -> K,
+    cols: impl Fn(&R) -> usize,
+    budget: usize,
+) -> Vec<R> {
+    let Some(head) = queue.pop_front() else {
+        return Vec::new();
+    };
+    let head_key = key(&head);
+    let mut total = cols(&head);
+    let mut batch = vec![head];
+    let mut i = 0;
+    while i < queue.len() {
+        if key(&queue[i]) == head_key && total + cols(&queue[i]) <= budget {
+            let r = queue.remove(i).expect("index in bounds");
+            total += cols(&r);
+            batch.push(r);
+        } else {
+            i += 1;
+        }
+    }
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat::SmatConfig;
+    use smat_formats::{Coo, Csr, F16};
+
+    fn matrix(n: usize) -> Csr<F16> {
+        let mut coo = Coo::new(n, n);
+        for r in 0..n {
+            for j in 0..6 {
+                coo.push(
+                    r,
+                    (r * 3 + j * 11) % n,
+                    F16::from_f64(((r + j) % 5) as f64 - 2.0),
+                );
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn batched_split_equals_per_request_runs() {
+        let a = matrix(96);
+        let smat = Smat::prepare(&a, SmatConfig::default());
+        let gpu = Gpu::new(smat.config().device.clone());
+        let b1 = Dense::from_fn(96, 8, |i, j| F16::from_f64(((i + j) % 3) as f64));
+        let b2 = Dense::from_fn(96, 16, |i, j| F16::from_f64(((i * j) % 4) as f64 - 1.0));
+        let b3 = Dense::from_fn(96, 5, |i, j| F16::from_f64(((2 * i + j) % 5) as f64));
+        let (cs, report) = spmm_batched(&smat, &gpu, &[&b1, &b2, &b3]).unwrap();
+        assert_eq!(cs.len(), 3);
+        assert_eq!(cs[0], smat.spmm(&b1).c);
+        assert_eq!(cs[1], smat.spmm(&b2).c);
+        assert_eq!(cs[2], smat.spmm(&b3).c);
+        assert!(report.elapsed_ms() > 0.0);
+    }
+
+    #[test]
+    fn batching_amortizes_launch_overhead() {
+        let a = matrix(128);
+        let smat = Smat::prepare(&a, SmatConfig::default());
+        let gpu = Gpu::new(smat.config().device.clone());
+        let b = Dense::from_fn(128, 8, |i, j| F16::from_f64(((i + j) % 3) as f64));
+        let (_, one_batched) = spmm_batched(&smat, &gpu, &[&b, &b, &b, &b]).unwrap();
+        let solo = smat.spmm(&b).report;
+        assert!(
+            one_batched.elapsed_ms() < 4.0 * solo.elapsed_ms(),
+            "batched launch {} ms must beat 4 solo launches {} ms",
+            one_batched.elapsed_ms(),
+            4.0 * solo.elapsed_ms()
+        );
+    }
+
+    #[test]
+    fn take_batch_coalesces_same_key_within_budget() {
+        // (key, cols) pairs.
+        let mut q: VecDeque<(u32, usize)> =
+            [(1, 8), (2, 8), (1, 16), (1, 32), (2, 8), (1, 8)].into();
+        let batch = take_batch(&mut q, |r| r.0, |r| r.1, 32);
+        // Head (1,8) + (1,16) fit in 32; (1,32) would overflow; (1,8) fits.
+        assert_eq!(batch, vec![(1, 8), (1, 16), (1, 8)]);
+        // Order of the remainder is preserved.
+        assert_eq!(q, VecDeque::from([(2, 8), (1, 32), (2, 8)]));
+    }
+
+    #[test]
+    fn take_batch_never_starves_an_oversized_head() {
+        let mut q: VecDeque<(u32, usize)> = [(1, 100), (1, 8)].into();
+        let batch = take_batch(&mut q, |r| r.0, |r| r.1, 32);
+        assert_eq!(batch, vec![(1, 100)], "oversized head runs alone");
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn take_batch_on_empty_queue_is_empty() {
+        let mut q: VecDeque<(u32, usize)> = VecDeque::new();
+        assert!(take_batch(&mut q, |r| r.0, |r| r.1, 32).is_empty());
+    }
+}

@@ -1,0 +1,44 @@
+//! `smat-serve`: a multi-tenant SpMM serving engine over simulated devices.
+//!
+//! The paper's pipeline splits SpMM into an expensive one-time inspection
+//! (row reordering + BCSR conversion, `T_init` in its cost model) and a
+//! cheap repeatable execution (`T_e`). This crate builds the serving layer
+//! that exploits that split end to end:
+//!
+//! * [`PreparedMatrixRegistry`] — a concurrent, size-bounded LRU of
+//!   prepared [`smat::Smat`] handles keyed by
+//!   [`MatrixFingerprint`](smat_formats::MatrixFingerprint) + config
+//!   digest, so each distinct matrix pays `T_init` once and every tenant
+//!   shares the handle.
+//! * [`PlanCache`] — memoized launch geometry + static pre-flight verdict
+//!   per (matrix, RHS width); inadmissible plans are refused at admission.
+//! * [`Server`] — a device-pool scheduler: one worker thread per simulated
+//!   device, bounded submission queues with typed backpressure
+//!   ([`RejectReason`]), per-request deadlines, and least-loaded dispatch.
+//! * [`batch`] — same-matrix requests are coalesced into one wide launch
+//!   (bitwise identical to per-request execution) to amortize the
+//!   per-launch constant.
+//!
+//! Requests complete through an executor-independent future
+//! ([`ResponseFuture`]); synchronous callers use its
+//! [`wait`](ResponseFuture::wait) or [`block_on`]. See `examples/serve.rs`
+//! at the workspace root for a trace-replay driver and DESIGN.md §10 for
+//! the architecture discussion.
+
+pub mod batch;
+pub mod error;
+pub mod lru;
+pub mod oneshot;
+pub mod plan;
+pub mod registry;
+pub mod server;
+pub mod stats;
+
+pub use batch::{spmm_batched, take_batch};
+pub use error::{RejectReason, ServeError};
+pub use lru::LruMap;
+pub use oneshot::block_on;
+pub use plan::{Plan, PlanCache, PlanStats};
+pub use registry::{config_digest, MatrixKey, PreparedMatrixRegistry, RegistryStats};
+pub use server::{ResponseFuture, ServeResponse, Server, ServerConfig};
+pub use stats::{DeviceStats, LatencyStats, ServerStats};

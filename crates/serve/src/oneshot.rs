@@ -1,0 +1,214 @@
+//! Executor-independent async primitives: a oneshot channel whose receiver
+//! is a [`Future`], and a minimal [`block_on`].
+//!
+//! The workspace vendors no async runtime, so the serving engine completes
+//! requests over plain threads and hands results back through this channel.
+//! The receiver integrates with any executor (it stores and wakes the
+//! caller's [`Waker`]) and also supports direct blocking consumption via
+//! [`Receiver::wait`] for synchronous callers like the CLI example.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+use std::thread::Thread;
+
+enum State<T> {
+    /// Not yet fulfilled; holds the most recent waker to notify.
+    Pending(Option<Waker>),
+    /// Fulfilled, value not yet consumed.
+    Ready(T),
+    /// Value consumed by the receiver.
+    Taken,
+    /// Sender dropped without sending.
+    Closed,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    cv: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn fulfill(&self, next: State<T>) {
+        let mut st = self.state.lock().unwrap();
+        if let State::Pending(waker) = &mut *st {
+            let waker = waker.take();
+            *st = next;
+            drop(st);
+            self.cv.notify_all();
+            if let Some(w) = waker {
+                w.wake();
+            }
+        }
+    }
+}
+
+/// Sending half: fulfills the paired [`Receiver`] exactly once.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Sender<T> {
+    /// Delivers `v` to the receiver, waking any waiting task or thread.
+    pub fn send(self, v: T) {
+        self.shared.fulfill(State::Ready(v));
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        // If `send` ran, the state is no longer Pending and this is a no-op.
+        self.shared.fulfill(State::Closed);
+    }
+}
+
+/// Receiving half: a [`Future`] resolving to `Some(value)`, or `None` if
+/// the sender was dropped without sending.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Receiver<T> {
+    /// An already-fulfilled receiver (for immediate rejections).
+    pub fn ready(v: T) -> Self {
+        Receiver {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State::Ready(v)),
+                cv: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Blocks the calling thread until the value arrives (or the sender is
+    /// dropped), without needing an executor.
+    pub fn wait(self) -> Option<T> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            match std::mem::replace(&mut *st, State::Taken) {
+                State::Ready(v) => return Some(v),
+                State::Closed => return None,
+                pending @ State::Pending(_) => {
+                    *st = pending;
+                    st = self.shared.cv.wait(st).unwrap();
+                }
+                State::Taken => unreachable!("oneshot value taken twice"),
+            }
+        }
+    }
+}
+
+impl<T> Future for Receiver<T> {
+    type Output = Option<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let mut st = self.shared.state.lock().unwrap();
+        match std::mem::replace(&mut *st, State::Taken) {
+            State::Ready(v) => Poll::Ready(Some(v)),
+            State::Closed => Poll::Ready(None),
+            State::Pending(_) => {
+                *st = State::Pending(Some(cx.waker().clone()));
+                Poll::Pending
+            }
+            State::Taken => panic!("oneshot future polled after completion"),
+        }
+    }
+}
+
+/// Creates a connected sender/receiver pair.
+pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State::Pending(None)),
+        cv: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+struct ThreadWaker(Thread);
+
+impl Wake for ThreadWaker {
+    fn wake(self: Arc<Self>) {
+        self.0.unpark();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        self.0.unpark();
+    }
+}
+
+/// Drives a future to completion on the calling thread (park/unpark-based
+/// waker; no runtime required).
+pub fn block_on<F: Future>(fut: F) -> F::Output {
+    let mut fut = std::pin::pin!(fut);
+    let waker = Waker::from(Arc::new(ThreadWaker(std::thread::current())));
+    let mut cx = Context::from_waker(&waker);
+    loop {
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(v) => return v,
+            Poll::Pending => std::thread::park(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn send_then_wait() {
+        let (tx, rx) = channel();
+        tx.send(7);
+        assert_eq!(rx.wait(), Some(7));
+    }
+
+    #[test]
+    fn wait_blocks_until_cross_thread_send() {
+        let (tx, rx) = channel();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send("late");
+        });
+        assert_eq!(rx.wait(), Some("late"));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn block_on_polls_to_completion() {
+        let (tx, rx) = channel();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            tx.send(99);
+        });
+        assert_eq!(block_on(rx), Some(99));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_sender_resolves_to_none() {
+        let (tx, rx) = channel::<u32>();
+        drop(tx);
+        assert_eq!(block_on(rx), None);
+    }
+
+    #[test]
+    fn ready_receiver_is_immediate() {
+        assert_eq!(block_on(Receiver::ready(5)), Some(5));
+        assert_eq!(Receiver::ready(6).wait(), Some(6));
+    }
+
+    #[test]
+    fn send_after_receiver_started_waiting_wakes_it() {
+        // Regression shape: waker registered before the send must be woken.
+        let (tx, rx) = channel();
+        let waiter = std::thread::spawn(move || block_on(rx));
+        std::thread::sleep(Duration::from_millis(30));
+        tx.send(1u8);
+        assert_eq!(waiter.join().unwrap(), Some(1));
+    }
+}

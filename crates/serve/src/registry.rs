@@ -1,0 +1,290 @@
+//! The prepared-matrix registry: a concurrent, size-bounded LRU of [`Smat`]
+//! handles keyed by matrix fingerprint + configuration digest.
+//!
+//! Preprocessing (reordering + BCSR conversion) is the expensive one-time
+//! `T_init` of the paper's cost model; the registry computes it once per
+//! distinct (matrix, config) and shares the [`Arc`]-backed handle across
+//! every request that names the same matrix. Get-or-prepare is
+//! duplicate-free under contention: racing callers agree on one
+//! [`OnceLock`] slot and exactly one runs the prepare closure while the
+//! rest block on it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use serde::Serialize;
+use smat::{Smat, SmatConfig};
+use smat_formats::{Element, Fnv1a, MatrixFingerprint};
+
+use crate::lru::LruMap;
+
+/// Registry key: content fingerprint of the matrix plus a digest of the
+/// preparation configuration (different block shapes or reorderings must
+/// not share a prepared handle).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
+pub struct MatrixKey {
+    /// Content identity of the input matrix.
+    pub fingerprint: MatrixFingerprint,
+    /// Digest of the [`SmatConfig`] used to prepare it.
+    pub config_digest: u64,
+}
+
+impl MatrixKey {
+    /// Key for `fingerprint` prepared under `config`.
+    pub fn new(fingerprint: MatrixFingerprint, config: &SmatConfig) -> Self {
+        MatrixKey {
+            fingerprint,
+            config_digest: config_digest(config),
+        }
+    }
+}
+
+/// Deterministic 64-bit digest of a preparation configuration.
+///
+/// Hashes the `Debug` rendering, which spells out every field (block shape,
+/// reorder algorithm + parameters, opt flags, accumulation, schedule,
+/// device constants, preflight mode) as plain numbers and enum names — no
+/// addresses, no map iteration order — so the digest is stable across runs.
+pub fn config_digest(config: &SmatConfig) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write(format!("{config:?}").as_bytes());
+    h.finish()
+}
+
+/// Counter snapshot of registry activity.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct RegistryStats {
+    /// Lookups that found the key resident.
+    pub hits: u64,
+    /// Lookups that did not (each get-or-prepare miss admits a new entry).
+    pub misses: u64,
+    /// Entries displaced by the LRU bound.
+    pub evictions: u64,
+    /// Prepare closures actually executed (≤ misses under contention).
+    pub prepares: u64,
+    /// Resident entries right now.
+    pub entries: usize,
+    /// Configured bound.
+    pub capacity: usize,
+}
+
+impl RegistryStats {
+    /// `hits / (hits + misses)`, 1.0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+type Slot<T> = Arc<OnceLock<Smat<T>>>;
+
+/// Concurrent, size-bounded LRU of prepared matrices.
+pub struct PreparedMatrixRegistry<T> {
+    entries: Mutex<LruMap<MatrixKey, Slot<T>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    prepares: AtomicU64,
+}
+
+impl<T: Element> PreparedMatrixRegistry<T> {
+    /// An empty registry bounded to `capacity` prepared matrices.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        PreparedMatrixRegistry {
+            entries: Mutex::new(LruMap::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            prepares: AtomicU64::new(0),
+        }
+    }
+
+    /// Returns the prepared handle for `key`, running `prepare` only if the
+    /// key is absent. Under contention exactly one caller executes
+    /// `prepare`; the others block until the handle is ready and share it.
+    ///
+    /// The boolean is `true` on a hit (the key was already resident —
+    /// including "resident but still being prepared by another caller").
+    /// The prepare itself runs outside the registry lock, so a slow prepare
+    /// never blocks lookups of other keys.
+    pub fn get_or_prepare(
+        &self,
+        key: MatrixKey,
+        prepare: impl FnOnce() -> Smat<T>,
+    ) -> (Smat<T>, bool) {
+        let (slot, hit) = {
+            let mut entries = self.entries.lock().unwrap();
+            if let Some(slot) = entries.get(&key) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                (Arc::clone(slot), true)
+            } else {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let slot: Slot<T> = Arc::new(OnceLock::new());
+                if entries.insert(key, Arc::clone(&slot)).is_some() {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                (slot, false)
+            }
+        };
+        let smat = slot.get_or_init(|| {
+            self.prepares.fetch_add(1, Ordering::Relaxed);
+            prepare()
+        });
+        (smat.clone(), hit)
+    }
+
+    /// Looks up `key` without preparing. A `Some` result counts as a hit, a
+    /// `None` as a miss. Returns `None` also while the entry is still being
+    /// prepared by a concurrent `get_or_prepare` (the serving path always
+    /// registers before submitting, so this only happens on misuse).
+    pub fn get(&self, key: &MatrixKey) -> Option<Smat<T>> {
+        let slot = {
+            let mut entries = self.entries.lock().unwrap();
+            entries.get(key).map(Arc::clone)
+        };
+        match slot.as_ref().and_then(|s| s.get()) {
+            Some(smat) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(smat.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Evicts `key` explicitly. In-flight requests holding the handle keep
+    /// it alive; the registry just forgets it.
+    pub fn invalidate(&self, key: &MatrixKey) -> bool {
+        let removed = self.entries.lock().unwrap().remove(key).is_some();
+        if removed {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        removed
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> RegistryStats {
+        let entries = self.entries.lock().unwrap();
+        RegistryStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            prepares: self.prepares.load(Ordering::Relaxed),
+            entries: entries.len(),
+            capacity: entries.capacity(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_formats::{Coo, Csr, F16};
+
+    fn matrix(shift: usize) -> Csr<F16> {
+        let mut coo = Coo::new(64, 64);
+        for i in 0..64 {
+            coo.push(i, (i * 5 + shift) % 64, F16::from_f64(1.0));
+        }
+        coo.to_csr()
+    }
+
+    fn key_of(a: &Csr<F16>, cfg: &SmatConfig) -> MatrixKey {
+        MatrixKey::new(MatrixFingerprint::of_csr(a), cfg)
+    }
+
+    #[test]
+    fn prepare_runs_once_and_is_shared() {
+        let cfg = SmatConfig::default();
+        let a = matrix(0);
+        let key = key_of(&a, &cfg);
+        let reg: PreparedMatrixRegistry<F16> = PreparedMatrixRegistry::new(4);
+        let (first, hit1) = reg.get_or_prepare(key, || Smat::prepare(&a, cfg.clone()));
+        assert!(!hit1);
+        let (second, hit2) = reg.get_or_prepare(key, || panic!("must not re-prepare"));
+        assert!(hit2);
+        assert!(std::ptr::eq(first.bcsr(), second.bcsr()), "shared handle");
+        let s = reg.stats();
+        assert_eq!((s.hits, s.misses, s.prepares), (1, 1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_configs_get_distinct_entries() {
+        let a = matrix(0);
+        let cfg16 = SmatConfig::default();
+        let cfg8 = SmatConfig {
+            block_w: 8,
+            ..SmatConfig::default()
+        };
+        assert_ne!(key_of(&a, &cfg16), key_of(&a, &cfg8));
+        let reg: PreparedMatrixRegistry<F16> = PreparedMatrixRegistry::new(4);
+        reg.get_or_prepare(key_of(&a, &cfg16), || Smat::prepare(&a, cfg16.clone()));
+        reg.get_or_prepare(key_of(&a, &cfg8), || Smat::prepare(&a, cfg8.clone()));
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.stats().prepares, 2);
+    }
+
+    #[test]
+    fn lru_bound_evicts_stalest_matrix() {
+        let cfg = SmatConfig::default();
+        let (a0, a1, a2) = (matrix(0), matrix(1), matrix(2));
+        let (k0, k1, k2) = (key_of(&a0, &cfg), key_of(&a1, &cfg), key_of(&a2, &cfg));
+        let reg: PreparedMatrixRegistry<F16> = PreparedMatrixRegistry::new(2);
+        reg.get_or_prepare(k0, || Smat::prepare(&a0, cfg.clone()));
+        reg.get_or_prepare(k1, || Smat::prepare(&a1, cfg.clone()));
+        // Touch k0 so k1 is the LRU victim.
+        assert!(reg.get(&k0).is_some());
+        reg.get_or_prepare(k2, || Smat::prepare(&a2, cfg.clone()));
+        assert_eq!(reg.stats().evictions, 1);
+        assert!(reg.get(&k0).is_some(), "recently used entry survives");
+        assert!(reg.get(&k1).is_none(), "stalest entry was evicted");
+        assert!(reg.get(&k2).is_some());
+    }
+
+    #[test]
+    fn invalidate_forgets_but_inflight_handles_survive() {
+        let cfg = SmatConfig::default();
+        let a = matrix(0);
+        let key = key_of(&a, &cfg);
+        let reg: PreparedMatrixRegistry<F16> = PreparedMatrixRegistry::new(2);
+        let (handle, _) = reg.get_or_prepare(key, || Smat::prepare(&a, cfg.clone()));
+        assert!(reg.invalidate(&key));
+        assert!(!reg.invalidate(&key), "second invalidate is a no-op");
+        assert!(reg.get(&key).is_none());
+        // The evicted handle still works.
+        let b = smat_formats::Dense::from_fn(64, 8, |i, j| F16::from_f64(((i + j) % 3) as f64));
+        assert_eq!(handle.spmm(&b).c, a.spmm_reference(&b));
+    }
+
+    #[test]
+    fn config_digest_is_sensitive_to_fields() {
+        let base = SmatConfig::default();
+        assert_eq!(config_digest(&base), config_digest(&SmatConfig::default()));
+        let other = SmatConfig {
+            block_h: 8,
+            block_w: 8,
+            ..SmatConfig::default()
+        };
+        assert_ne!(config_digest(&base), config_digest(&other));
+    }
+}

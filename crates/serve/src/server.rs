@@ -1,0 +1,725 @@
+//! The serving engine: admission control, least-loaded device dispatch,
+//! same-matrix batching, and async completion.
+//!
+//! One worker thread owns each simulated device. [`Server::submit`] resolves
+//! the prepared handle from the registry, consults the plan cache (refusing
+//! inadmissible plans before they occupy queue slots), picks the
+//! least-loaded device whose bounded queue has room, and returns a future.
+//! The worker coalesces same-matrix requests up to the column budget into
+//! one wide launch ([`crate::batch::spmm_batched`]) and fulfills each
+//! request with its slice of the output.
+
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use smat::{Smat, SmatConfig};
+use smat_formats::{Csr, Dense, Element, MatrixFingerprint};
+use smat_gpusim::Gpu;
+
+use crate::batch::{spmm_batched, take_batch};
+use crate::error::{RejectReason, ServeError};
+use crate::oneshot::{self, Receiver};
+use crate::plan::PlanCache;
+use crate::registry::{MatrixKey, PreparedMatrixRegistry};
+use crate::stats::{DeviceStats, LatencyStats, ServerStats};
+
+/// Serving engine parameters.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Preparation/execution configuration shared by every matrix
+    /// (including the simulated device model the pool instantiates).
+    pub smat: SmatConfig,
+    /// Simulated devices in the pool (one worker thread each).
+    pub devices: usize,
+    /// Bounded queue depth per device, in requests; admission returns
+    /// [`RejectReason::QueueFull`] when every queue is at capacity.
+    pub queue_capacity: usize,
+    /// Column budget per batched launch: same-matrix requests are coalesced
+    /// until their B panels reach this many columns.
+    pub column_budget: usize,
+    /// Prepared matrices kept resident (LRU beyond this).
+    pub registry_capacity: usize,
+    /// Launch plans kept resident (LRU beyond this).
+    pub plan_capacity: usize,
+    /// Deadline applied to requests submitted without an explicit one;
+    /// `None` means no deadline.
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            smat: SmatConfig::default(),
+            devices: 2,
+            queue_capacity: 256,
+            column_budget: 64,
+            registry_capacity: 8,
+            plan_capacity: 128,
+            default_deadline: None,
+        }
+    }
+}
+
+/// A fulfilled request: the product plus execution metadata.
+#[derive(Clone, Debug)]
+pub struct ServeResponse<T> {
+    /// `C = A·B` for this request's panel, in original row order.
+    pub c: Dense<T>,
+    /// Pool device that executed the batch.
+    pub device: usize,
+    /// Requests served by the shared launch (including this one).
+    pub batched_with: usize,
+    /// Total B columns of the shared launch.
+    pub batch_cols: usize,
+    /// Simulated kernel milliseconds of the shared launch.
+    pub sim_ms: f64,
+    /// Host submit→completion latency in milliseconds.
+    pub wall_ms: f64,
+}
+
+/// Future returned by [`Server::submit`].
+pub struct ResponseFuture<T> {
+    rx: Receiver<Result<ServeResponse<T>, ServeError>>,
+}
+
+impl<T> ResponseFuture<T> {
+    /// Blocks the calling thread until the response arrives — the
+    /// executor-free consumption path for synchronous callers.
+    pub fn wait(self) -> Result<ServeResponse<T>, ServeError> {
+        self.rx.wait().unwrap_or(Err(ServeError::ShutDown))
+    }
+}
+
+impl<T> Future for ResponseFuture<T> {
+    type Output = Result<ServeResponse<T>, ServeError>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        match Pin::new(&mut self.rx).poll(cx) {
+            Poll::Ready(Some(res)) => Poll::Ready(res),
+            Poll::Ready(None) => Poll::Ready(Err(ServeError::ShutDown)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+/// One in-queue request.
+struct Request<T> {
+    key: MatrixKey,
+    smat: Smat<T>,
+    b: Dense<T>,
+    deadline: Option<Instant>,
+    enq: Instant,
+    tx: oneshot::Sender<Result<ServeResponse<T>, ServeError>>,
+}
+
+/// Per-device state shared between the submitter and one worker.
+struct DeviceState<T> {
+    queue: Mutex<VecDeque<Request<T>>>,
+    cv: Condvar,
+    /// Outstanding B columns (queued + in flight) — the load metric of
+    /// least-loaded dispatch.
+    load_cols: AtomicUsize,
+    launches: AtomicU64,
+    served: AtomicU64,
+    cols: AtomicU64,
+    /// Simulated kernel time, in integer nanoseconds (atomic accumulation
+    /// keeps per-device totals independent of completion interleaving).
+    sim_ns: AtomicU64,
+    /// Host execution time, nanoseconds.
+    busy_ns: AtomicU64,
+}
+
+impl<T> DeviceState<T> {
+    fn new() -> Self {
+        DeviceState {
+            queue: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+            load_cols: AtomicUsize::new(0),
+            launches: AtomicU64::new(0),
+            served: AtomicU64::new(0),
+            cols: AtomicU64::new(0),
+            sim_ns: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Pool-wide counters.
+#[derive(Default)]
+struct Central {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_deadline: AtomicU64,
+    rejected_preflight: AtomicU64,
+    failed: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    max_batch: AtomicU64,
+    latencies: Mutex<Vec<f64>>,
+}
+
+struct PoolShared<T> {
+    devices: Vec<DeviceState<T>>,
+    central: Central,
+    shutdown: AtomicBool,
+    paused: AtomicBool,
+    column_budget: usize,
+    started: Instant,
+}
+
+/// The async SpMM serving engine. See the crate docs for the architecture.
+pub struct Server<T: Element> {
+    shared: Arc<PoolShared<T>>,
+    registry: Arc<PreparedMatrixRegistry<T>>,
+    plans: Arc<PlanCache>,
+    config: ServerConfig,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<T: Element> Server<T> {
+    /// Starts the engine: spawns one worker thread per configured device.
+    ///
+    /// # Panics
+    /// Panics if `devices`, `queue_capacity`, or `column_budget` is zero.
+    pub fn new(config: ServerConfig) -> Self {
+        assert!(config.devices > 0, "pool needs at least one device");
+        assert!(config.queue_capacity > 0, "queue capacity must be positive");
+        assert!(config.column_budget > 0, "column budget must be positive");
+        let shared = Arc::new(PoolShared {
+            devices: (0..config.devices).map(|_| DeviceState::new()).collect(),
+            central: Central::default(),
+            shutdown: AtomicBool::new(false),
+            paused: AtomicBool::new(false),
+            column_budget: config.column_budget,
+            started: Instant::now(),
+        });
+        let workers = (0..config.devices)
+            .map(|idx| {
+                let shared = Arc::clone(&shared);
+                let gpu = Gpu::new(config.smat.device.clone());
+                std::thread::Builder::new()
+                    .name(format!("smat-serve-dev{idx}"))
+                    .spawn(move || worker_loop(&shared, idx, &gpu))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Server {
+            shared,
+            registry: Arc::new(PreparedMatrixRegistry::new(config.registry_capacity)),
+            plans: Arc::new(PlanCache::new(config.plan_capacity)),
+            config,
+            workers,
+        }
+    }
+
+    /// Registers a matrix: fingerprints it and runs the one-time
+    /// preprocessing unless an equal matrix is already resident. Returns
+    /// the key for [`Server::submit`]. Duplicate registrations of the same
+    /// matrix are registry hits and cost one fingerprint pass, not a
+    /// prepare.
+    pub fn register(&self, a: &Csr<T>) -> MatrixKey {
+        let key = MatrixKey::new(MatrixFingerprint::of_csr(a), &self.config.smat);
+        let cfg = self.config.smat.clone();
+        self.registry.get_or_prepare(key, || Smat::prepare(a, cfg));
+        key
+    }
+
+    /// Submits `C = A·B` for the registered matrix `key` with the
+    /// configured default deadline. Returns a future resolving to the
+    /// response (or a typed rejection). Admission control runs inline:
+    /// immediate rejections (unknown key, shape mismatch, inadmissible
+    /// plan, every queue full) resolve the future without queueing.
+    pub fn submit(&self, key: MatrixKey, b: Dense<T>) -> ResponseFuture<T> {
+        self.submit_with_deadline(key, b, self.config.default_deadline)
+    }
+
+    /// [`Server::submit`] with an explicit per-request deadline measured
+    /// from now; the request is dropped with [`RejectReason::Deadline`] if
+    /// it has not reached a device within the budget.
+    pub fn submit_with_deadline(
+        &self,
+        key: MatrixKey,
+        b: Dense<T>,
+        deadline: Option<Duration>,
+    ) -> ResponseFuture<T> {
+        let reject = |e: ServeError| ResponseFuture {
+            rx: Receiver::ready(Err(e)),
+        };
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return reject(ServeError::ShutDown);
+        }
+        let Some(smat) = self.registry.get(&key) else {
+            return reject(ServeError::UnknownMatrix);
+        };
+        if b.nrows() != smat.input_ncols() {
+            return reject(ServeError::ShapeMismatch {
+                expected_rows: smat.input_ncols(),
+                got_rows: b.nrows(),
+            });
+        }
+        let plan = self.plans.get_or_build(key, b.ncols(), &smat);
+        if !plan.admissible {
+            self.shared
+                .central
+                .rejected_preflight
+                .fetch_add(1, Ordering::Relaxed);
+            return reject(ServeError::Rejected(RejectReason::Preflight {
+                diagnostics: plan.diagnostics.as_ref().clone(),
+            }));
+        }
+
+        // Least-loaded dispatch: try devices by outstanding column count.
+        let mut order: Vec<usize> = (0..self.shared.devices.len()).collect();
+        order.sort_by_key(|&i| (self.shared.devices[i].load_cols.load(Ordering::Relaxed), i));
+        let ncols = b.ncols();
+        let now = Instant::now();
+        let (tx, rx) = oneshot::channel();
+        let mut request = Some(Request {
+            key,
+            smat,
+            b,
+            deadline: deadline.map(|d| now + d),
+            enq: now,
+            tx,
+        });
+        for &i in &order {
+            let dev = &self.shared.devices[i];
+            let mut q = dev.queue.lock().unwrap();
+            if q.len() >= self.config.queue_capacity {
+                continue;
+            }
+            q.push_back(request.take().expect("request still in hand"));
+            drop(q);
+            dev.load_cols.fetch_add(ncols, Ordering::Relaxed);
+            self.shared
+                .central
+                .submitted
+                .fetch_add(1, Ordering::Relaxed);
+            dev.cv.notify_one();
+            return ResponseFuture { rx };
+        }
+        // Every queue at capacity: backpressure. The request (and its
+        // sender) is dropped; the caller gets a fresh immediate future with
+        // the typed rejection rather than the sender-drop ShutDown.
+        drop(request);
+        let depth: usize = self
+            .shared
+            .devices
+            .iter()
+            .map(|d| d.queue.lock().unwrap().len())
+            .sum();
+        self.shared
+            .central
+            .rejected_queue_full
+            .fetch_add(1, Ordering::Relaxed);
+        let capacity = self.config.queue_capacity * self.shared.devices.len();
+        reject(ServeError::Rejected(RejectReason::QueueFull {
+            depth,
+            capacity,
+        }))
+    }
+
+    /// Pauses dispatch: workers stop pulling from their queues (in-flight
+    /// batches finish). Admission keeps accepting until queues fill, which
+    /// makes backpressure and batch composition reproducible — tests and
+    /// the trace-replay example pause, submit, then [`Server::resume`].
+    pub fn pause(&self) {
+        self.shared.paused.store(true, Ordering::Release);
+    }
+
+    /// Resumes dispatch after [`Server::pause`].
+    pub fn resume(&self) {
+        self.shared.paused.store(false, Ordering::Release);
+        for dev in &self.shared.devices {
+            dev.cv.notify_all();
+        }
+    }
+
+    /// The prepared-matrix registry (for stats or explicit invalidation).
+    pub fn registry(&self) -> &PreparedMatrixRegistry<T> {
+        &self.registry
+    }
+
+    /// Snapshot of every counter.
+    pub fn stats(&self) -> ServerStats {
+        let elapsed_ms = self.shared.started.elapsed().as_secs_f64() * 1e3;
+        let c = &self.shared.central;
+        let devices: Vec<DeviceStats> = self
+            .shared
+            .devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let busy_ms = d.busy_ns.load(Ordering::Relaxed) as f64 / 1e6;
+                DeviceStats {
+                    device: i,
+                    launches: d.launches.load(Ordering::Relaxed),
+                    served: d.served.load(Ordering::Relaxed),
+                    cols: d.cols.load(Ordering::Relaxed),
+                    sim_ms: d.sim_ns.load(Ordering::Relaxed) as f64 / 1e6,
+                    busy_ms,
+                    occupancy: if elapsed_ms > 0.0 {
+                        busy_ms / elapsed_ms
+                    } else {
+                        0.0
+                    },
+                    queue_depth: d.queue.lock().unwrap().len(),
+                }
+            })
+            .collect();
+        ServerStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            rejected_queue_full: c.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_deadline: c.rejected_deadline.load(Ordering::Relaxed),
+            rejected_preflight: c.rejected_preflight.load(Ordering::Relaxed),
+            failed: c.failed.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            batched_requests: c.batched_requests.load(Ordering::Relaxed),
+            max_batch: c.max_batch.load(Ordering::Relaxed),
+            queue_depth: devices.iter().map(|d| d.queue_depth).sum(),
+            sim_ms_total: devices.iter().map(|d| d.sim_ms).sum(),
+            registry: self.registry.stats(),
+            plans: self.plans.stats(),
+            latency: LatencyStats::from_samples(&c.latencies.lock().unwrap()),
+            devices,
+        }
+    }
+
+    /// Stops accepting work, drains every queue, and joins the workers.
+    /// Called automatically on drop.
+    pub fn shutdown(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        for dev in &self.shared.devices {
+            dev.cv.notify_all();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<T: Element> Drop for Server<T> {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop<T: Element>(shared: &PoolShared<T>, idx: usize, gpu: &Gpu) {
+    let dev = &shared.devices[idx];
+    loop {
+        let batch = {
+            let mut q = dev.queue.lock().unwrap();
+            loop {
+                let shutting_down = shared.shutdown.load(Ordering::Acquire);
+                if q.is_empty() {
+                    if shutting_down {
+                        return; // queue drained, engine stopping
+                    }
+                } else if shutting_down || !shared.paused.load(Ordering::Acquire) {
+                    break;
+                }
+                q = dev.cv.wait(q).unwrap();
+            }
+            take_batch(
+                &mut q,
+                |r: &Request<T>| r.key,
+                |r| r.b.ncols(),
+                shared.column_budget,
+            )
+        };
+        execute_batch(shared, dev, idx, gpu, batch);
+    }
+}
+
+fn execute_batch<T: Element>(
+    shared: &PoolShared<T>,
+    dev: &DeviceState<T>,
+    idx: usize,
+    gpu: &Gpu,
+    batch: Vec<Request<T>>,
+) {
+    let central = &shared.central;
+    let now = Instant::now();
+    let mut expired = Vec::new();
+    let mut live = Vec::with_capacity(batch.len());
+    for r in batch {
+        match r.deadline {
+            Some(d) if now > d => expired.push(r),
+            _ => live.push(r),
+        }
+    }
+    // Load is released *before* any response is sent: a submitter woken by
+    // a completion must already observe the lower load, or least-loaded
+    // dispatch would race the bookkeeping and devices would drift between
+    // otherwise-identical replays.
+    let expired_cols: usize = expired.iter().map(|r| r.b.ncols()).sum();
+    dev.load_cols.fetch_sub(expired_cols, Ordering::Relaxed);
+    for r in expired {
+        central.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+        let late_ms = now
+            .duration_since(r.deadline.expect("expired"))
+            .as_secs_f64()
+            * 1e3;
+        r.tx.send(Err(ServeError::Rejected(RejectReason::Deadline {
+            late_ms,
+        })));
+    }
+
+    if !live.is_empty() {
+        let t0 = Instant::now();
+        let panels: Vec<&Dense<T>> = live.iter().map(|r| &r.b).collect();
+        let batch_cols: usize = panels.iter().map(|p| p.ncols()).sum();
+        let result = spmm_batched(&live[0].smat, gpu, &panels);
+        dev.busy_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        dev.load_cols.fetch_sub(batch_cols, Ordering::Relaxed);
+        match result {
+            Ok((cs, report)) => {
+                let n_live = live.len();
+                dev.launches.fetch_add(1, Ordering::Relaxed);
+                dev.served.fetch_add(n_live as u64, Ordering::Relaxed);
+                dev.cols.fetch_add(batch_cols as u64, Ordering::Relaxed);
+                dev.sim_ns.fetch_add(
+                    (report.elapsed_ms() * 1e6).round() as u64,
+                    Ordering::Relaxed,
+                );
+                central.batches.fetch_add(1, Ordering::Relaxed);
+                central
+                    .batched_requests
+                    .fetch_add(n_live as u64, Ordering::Relaxed);
+                central
+                    .max_batch
+                    .fetch_max(n_live as u64, Ordering::Relaxed);
+                central
+                    .completed
+                    .fetch_add(n_live as u64, Ordering::Relaxed);
+                let mut latencies = central.latencies.lock().unwrap();
+                for (r, c) in live.into_iter().zip(cs) {
+                    let wall_ms = r.enq.elapsed().as_secs_f64() * 1e3;
+                    latencies.push(wall_ms);
+                    r.tx.send(Ok(ServeResponse {
+                        c,
+                        device: idx,
+                        batched_with: n_live,
+                        batch_cols,
+                        sim_ms: report.elapsed_ms(),
+                        wall_ms,
+                    }));
+                }
+            }
+            Err(e) => {
+                for r in live {
+                    central.failed.fetch_add(1, Ordering::Relaxed);
+                    r.tx.send(Err(ServeError::Sim(e.clone())));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oneshot::block_on;
+    use smat_formats::{Coo, F16};
+
+    fn matrix(n: usize, shift: usize) -> Csr<F16> {
+        let mut coo = Coo::new(n, n);
+        for r in 0..n {
+            for j in 0..4 {
+                coo.push(
+                    r,
+                    (r + j * 7 + shift) % n,
+                    F16::from_f64(((r + j) % 5) as f64 - 2.0),
+                );
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn rhs(k: usize, n: usize, salt: usize) -> Dense<F16> {
+        Dense::from_fn(k, n, |i, j| {
+            F16::from_f64(((i + 2 * j + salt) % 5) as f64 - 2.0)
+        })
+    }
+
+    #[test]
+    fn serves_correct_products_across_devices() {
+        let server: Server<F16> = Server::new(ServerConfig {
+            devices: 2,
+            ..ServerConfig::default()
+        });
+        let a0 = matrix(64, 0);
+        let a1 = matrix(64, 3);
+        let k0 = server.register(&a0);
+        let k1 = server.register(&a1);
+        let futures: Vec<_> = (0..24)
+            .map(|i| {
+                let (a, k) = if i % 2 == 0 { (&a0, k0) } else { (&a1, k1) };
+                let b = rhs(64, 8, i);
+                let want = a.spmm_reference(&b);
+                (server.submit(k, b), want)
+            })
+            .collect();
+        for (fut, want) in futures {
+            let resp = block_on(fut).expect("request served");
+            assert_eq!(resp.c, want);
+            assert!(resp.device < 2);
+            assert!(resp.batched_with >= 1);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.completed, 24);
+        assert_eq!(stats.submitted, 24);
+        assert_eq!(stats.registry.prepares, 2);
+        assert!(stats.registry.hits >= 24, "each submit is a registry hit");
+    }
+
+    #[test]
+    fn unknown_key_and_shape_mismatch_fail_fast() {
+        let server: Server<F16> = Server::new(ServerConfig::default());
+        let a = matrix(64, 0);
+        let key = server.register(&a);
+        let bogus = MatrixKey {
+            fingerprint: MatrixFingerprint::of_csr(&matrix(32, 1)),
+            config_digest: key.config_digest,
+        };
+        assert!(matches!(
+            server.submit(bogus, rhs(32, 8, 0)).wait(),
+            Err(ServeError::UnknownMatrix)
+        ));
+        assert!(matches!(
+            server.submit(key, rhs(16, 8, 0)).wait(),
+            Err(ServeError::ShapeMismatch {
+                expected_rows: 64,
+                got_rows: 16
+            })
+        ));
+    }
+
+    #[test]
+    fn paused_server_applies_backpressure_then_drains() {
+        let server: Server<F16> = Server::new(ServerConfig {
+            devices: 2,
+            queue_capacity: 3,
+            ..ServerConfig::default()
+        });
+        let a = matrix(64, 0);
+        let key = server.register(&a);
+        server.pause();
+        // 2 devices × 3 slots = 6 accepted, the 7th bounces.
+        let accepted: Vec<_> = (0..6).map(|i| server.submit(key, rhs(64, 8, i))).collect();
+        match server.submit(key, rhs(64, 8, 9)).wait() {
+            Err(ServeError::Rejected(RejectReason::QueueFull { depth, capacity })) => {
+                assert_eq!(depth, 6);
+                assert_eq!(capacity, 6);
+            }
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.queue_depth, 6);
+        assert_eq!(stats.rejected_queue_full, 1);
+        server.resume();
+        for fut in accepted {
+            assert!(fut.wait().is_ok());
+        }
+        assert_eq!(server.stats().completed, 6);
+    }
+
+    #[test]
+    fn expired_deadlines_are_rejected_not_executed() {
+        let server: Server<F16> = Server::new(ServerConfig::default());
+        let a = matrix(64, 0);
+        let key = server.register(&a);
+        server.pause();
+        let doomed = server.submit_with_deadline(key, rhs(64, 8, 0), Some(Duration::ZERO));
+        let fine = server.submit_with_deadline(key, rhs(64, 16, 1), Some(Duration::from_secs(60)));
+        // Ensure the zero deadline is strictly in the past once dispatched.
+        std::thread::sleep(Duration::from_millis(5));
+        server.resume();
+        match doomed.wait() {
+            Err(ServeError::Rejected(RejectReason::Deadline { late_ms })) => {
+                assert!(late_ms > 0.0);
+            }
+            other => panic!("expected Deadline, got {other:?}"),
+        }
+        assert!(fine.wait().is_ok());
+        let stats = server.stats();
+        assert_eq!(stats.rejected_deadline, 1);
+        assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn pause_batches_same_matrix_requests() {
+        let server: Server<F16> = Server::new(ServerConfig {
+            devices: 1,
+            column_budget: 64,
+            ..ServerConfig::default()
+        });
+        let a = matrix(64, 0);
+        let key = server.register(&a);
+        server.pause();
+        let futs: Vec<_> = (0..4).map(|i| server.submit(key, rhs(64, 8, i))).collect();
+        server.resume();
+        let responses: Vec<_> = futs.into_iter().map(|f| f.wait().unwrap()).collect();
+        // All four fit one 32-column batch on the single device.
+        assert!(responses.iter().all(|r| r.batched_with == 4));
+        assert!(responses.iter().all(|r| r.batch_cols == 32));
+        let stats = server.stats();
+        assert_eq!(stats.batches, 1);
+        assert_eq!(stats.batched_requests, 4);
+        assert_eq!(stats.max_batch, 4);
+        assert!((stats.mean_batch() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preflight_inadmissible_plan_is_refused_at_admission() {
+        use smat::PreflightMode;
+        let server: Server<F16> = Server::new(ServerConfig {
+            smat: SmatConfig {
+                block_h: 96,
+                block_w: 96,
+                device: smat_gpusim::DeviceConfig::tiny_test_device(),
+                preflight: PreflightMode::Force,
+                ..SmatConfig::default()
+            },
+            ..ServerConfig::default()
+        });
+        let a = matrix(96, 0);
+        let key = server.register(&a);
+        match server.submit(key, rhs(96, 8, 0)).wait() {
+            Err(ServeError::Rejected(RejectReason::Preflight { diagnostics })) => {
+                assert!(!diagnostics.is_empty());
+            }
+            other => panic!("expected Preflight rejection, got {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.rejected_preflight, 1);
+        assert_eq!(stats.submitted, 0, "never reached a queue");
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_work() {
+        let mut server: Server<F16> = Server::new(ServerConfig::default());
+        let a = matrix(64, 0);
+        let key = server.register(&a);
+        server.pause();
+        let futs: Vec<_> = (0..8).map(|i| server.submit(key, rhs(64, 8, i))).collect();
+        // Shutdown while paused: workers must drain the queues regardless.
+        server.shutdown();
+        for fut in futs {
+            assert!(fut.wait().is_ok(), "accepted requests complete on drain");
+        }
+        assert!(matches!(
+            server.submit(key, rhs(64, 8, 0)).wait(),
+            Err(ServeError::ShutDown)
+        ));
+    }
+}

@@ -1,0 +1,151 @@
+//! Serving statistics: counter snapshots and latency percentiles.
+//!
+//! [`ServerStats`] splits into two kinds of fields. Counters driven purely
+//! by the request stream (submissions, completions, cache hits) are
+//! deterministic for a fixed trace submitted from one thread; fields driven
+//! by host scheduling (wall-clock latency percentiles, batch composition,
+//! per-device occupancy) are not, and the serving example keeps them out of
+//! its reproducibility check.
+
+use serde::Serialize;
+
+use crate::plan::PlanStats;
+use crate::registry::RegistryStats;
+
+/// Wall-clock latency summary over completed requests.
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct LatencyStats {
+    /// Completed requests measured.
+    pub count: usize,
+    /// Median submit→completion latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_ms: f64,
+    /// Slowest request in milliseconds.
+    pub max_ms: f64,
+    /// Mean latency in milliseconds.
+    pub mean_ms: f64,
+}
+
+impl LatencyStats {
+    /// Summarizes a set of latency samples (order-insensitive).
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return LatencyStats::default();
+        }
+        let mut sorted = samples.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        LatencyStats {
+            count: sorted.len(),
+            p50_ms: percentile(&sorted, 50.0),
+            p99_ms: percentile(&sorted, 99.0),
+            max_ms: *sorted.last().expect("non-empty"),
+            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        }
+    }
+}
+
+/// Nearest-rank percentile over pre-sorted samples.
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// One simulated device's view of the run.
+#[derive(Clone, Debug, Serialize)]
+pub struct DeviceStats {
+    /// Device index in the pool.
+    pub device: usize,
+    /// Kernel launches executed (== batches dispatched to this device).
+    pub launches: u64,
+    /// Requests completed by this device.
+    pub served: u64,
+    /// B columns processed by this device.
+    pub cols: u64,
+    /// Simulated kernel milliseconds accumulated.
+    pub sim_ms: f64,
+    /// Host milliseconds this device's worker spent executing.
+    pub busy_ms: f64,
+    /// `busy_ms` over the server's wall-clock lifetime so far.
+    pub occupancy: f64,
+    /// Requests waiting in this device's queue right now.
+    pub queue_depth: usize,
+}
+
+/// Snapshot of the whole serving engine.
+#[derive(Clone, Debug, Serialize)]
+pub struct ServerStats {
+    /// Requests accepted into a queue.
+    pub submitted: u64,
+    /// Requests completed successfully.
+    pub completed: u64,
+    /// Requests refused with `QueueFull`.
+    pub rejected_queue_full: u64,
+    /// Requests refused with `Deadline`.
+    pub rejected_deadline: u64,
+    /// Requests refused with `Preflight`.
+    pub rejected_preflight: u64,
+    /// Requests that reached a device and failed there (e.g. simulated OOM).
+    pub failed: u64,
+    /// Kernel launches across the pool (each serves one batch).
+    pub batches: u64,
+    /// Requests served through those batches (≥ `batches`).
+    pub batched_requests: u64,
+    /// Largest batch observed, in requests.
+    pub max_batch: u64,
+    /// Total requests waiting across all queues right now.
+    pub queue_depth: usize,
+    /// Total simulated kernel milliseconds across the pool.
+    pub sim_ms_total: f64,
+    /// Prepared-matrix registry counters.
+    pub registry: RegistryStats,
+    /// Plan-cache counters.
+    pub plans: PlanStats,
+    /// Wall-clock latency summary.
+    pub latency: LatencyStats,
+    /// Per-device breakdown.
+    pub devices: Vec<DeviceStats>,
+}
+
+impl ServerStats {
+    /// Mean requests per launch — the amortization factor batching bought.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_percentiles_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let l = LatencyStats::from_samples(&samples);
+        assert_eq!(l.count, 100);
+        assert_eq!(l.p50_ms, 51.0); // nearest rank on 0..=99 indices
+        assert_eq!(l.p99_ms, 99.0);
+        assert_eq!(l.max_ms, 100.0);
+        assert!((l.mean_ms - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_of_empty_sample_set_is_zeroed() {
+        let l = LatencyStats::from_samples(&[]);
+        assert_eq!(l.count, 0);
+        assert_eq!(l.p99_ms, 0.0);
+    }
+
+    #[test]
+    fn latency_is_order_insensitive() {
+        let a = LatencyStats::from_samples(&[3.0, 1.0, 2.0]);
+        let b = LatencyStats::from_samples(&[1.0, 2.0, 3.0]);
+        assert_eq!(a.p50_ms, b.p50_ms);
+        assert_eq!(a.p50_ms, 2.0);
+    }
+}

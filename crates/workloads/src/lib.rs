@@ -8,7 +8,9 @@
 //! * [`suitesparse`] — structural mimics of the nine Table I matrices,
 //!   scaled by a single parameter;
 //! * [`values`] — the small-integer value scheme that keeps every kernel
-//!   bit-exact against the f64 reference in every supported precision.
+//!   bit-exact against the f64 reference in every supported precision;
+//! * [`trace`] — deterministic Zipf-popularity request traces for the
+//!   `smat-serve` engine.
 //!
 //! Everything is seeded and reproducible; no generator touches the network
 //! or the filesystem.
@@ -17,6 +19,7 @@
 
 pub mod generators;
 pub mod suitesparse;
+pub mod trace;
 pub mod values;
 
 pub use generators::{
@@ -24,3 +27,4 @@ pub use generators::{
     scramble_rows,
 };
 pub use suitesparse::{by_name, table1, Mimic, MimicKind};
+pub use trace::{serve_trace, TraceRequest, TraceSpec};

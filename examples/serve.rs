@@ -1,0 +1,295 @@
+//! Trace-replay driver for the `smat-serve` engine: registers a set of
+//! synthetic matrices, replays a Zipf-skewed request trace over a pool of
+//! simulated devices, verifies every batched response against an unbatched
+//! run of the same request, and replays the whole trace a second time on a
+//! fresh server to assert a deterministic end state.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --example serve
+//! cargo run --release --example serve -- --requests 512 --matrices 6 --devices 4
+//! cargo run --release --example serve -- --seed 7 --window 16 --budget 128
+//! ```
+//!
+//! Stdout is a single JSON record (trace spec, verification verdicts, the
+//! deterministic end-state summary, and the full `ServerStats` snapshot of
+//! the first run); progress goes to stderr. Exit status: 0 when every
+//! response matched its unbatched reference and both replays agree, 1
+//! otherwise, 2 on usage errors.
+
+use std::process::ExitCode;
+
+use smat_repro::formats::{Csr, Dense, Element, Fnv1a, F16};
+use smat_repro::serve::{MatrixKey, Server, ServerConfig, ServerStats};
+use smat_repro::workloads::{random_uniform, serve_trace, TraceRequest, TraceSpec};
+
+struct Args {
+    requests: usize,
+    matrices: usize,
+    devices: usize,
+    seed: u64,
+    /// Requests submitted per pause/resume window (larger windows batch more).
+    window: usize,
+    /// Column budget per batched launch.
+    budget: usize,
+    /// Square dimension of each synthetic matrix.
+    size: usize,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            requests: 256,
+            matrices: 4,
+            devices: 2,
+            seed: 42,
+            window: 32,
+            budget: 64,
+            size: 128,
+        }
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: serve [--requests N] [--matrices M] [--devices D] [--seed S]\n\
+         \u{20}            [--window W] [--budget COLS] [--size DIM]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("{name} needs a value"))?
+                .parse::<usize>()
+                .map_err(|e| format!("{name}: {e}"))
+        };
+        match arg.as_str() {
+            "--requests" => args.requests = value("--requests")?,
+            "--matrices" => args.matrices = value("--matrices")?,
+            "--devices" => args.devices = value("--devices")?,
+            "--seed" => args.seed = value("--seed")? as u64,
+            "--window" => args.window = value("--window")?,
+            "--budget" => args.budget = value("--budget")?,
+            "--size" => args.size = value("--size")?,
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    if args.requests == 0 || args.matrices == 0 || args.devices == 0 || args.window == 0 {
+        return Err("all counts must be positive".into());
+    }
+    Ok(args)
+}
+
+/// Deterministic per-request B panel: the trace position salts the pattern
+/// so requests are distinguishable while replays regenerate identical data.
+fn panel(rows: usize, req: &TraceRequest) -> Dense<F16> {
+    Dense::from_fn(rows, req.n_cols, |i, j| {
+        F16::from_f64((((i + 3 * j + 7 * req.seq) % 9) as f64 - 4.0) / 2.0)
+    })
+}
+
+/// The end-state fields that must be identical across replays of the same
+/// trace. Host-scheduling-driven numbers (latency percentiles, occupancy,
+/// busy time) are deliberately excluded — see `ServerStats` docs.
+#[derive(Debug, PartialEq, serde::Serialize)]
+struct DeterministicSummary {
+    submitted: u64,
+    completed: u64,
+    rejected_queue_full: u64,
+    rejected_deadline: u64,
+    rejected_preflight: u64,
+    failed: u64,
+    batches: u64,
+    batched_requests: u64,
+    max_batch: u64,
+    registry_hits: u64,
+    registry_misses: u64,
+    registry_prepares: u64,
+    registry_evictions: u64,
+    plan_hits: u64,
+    plan_misses: u64,
+    sim_ns_total: u64,
+    per_device_served: Vec<u64>,
+    per_device_cols: Vec<u64>,
+    per_device_launches: Vec<u64>,
+    /// FNV-1a over every response's C bits, in trace order.
+    output_checksum: u64,
+}
+
+impl DeterministicSummary {
+    fn new(stats: &ServerStats, output_checksum: u64) -> Self {
+        DeterministicSummary {
+            submitted: stats.submitted,
+            completed: stats.completed,
+            rejected_queue_full: stats.rejected_queue_full,
+            rejected_deadline: stats.rejected_deadline,
+            rejected_preflight: stats.rejected_preflight,
+            failed: stats.failed,
+            batches: stats.batches,
+            batched_requests: stats.batched_requests,
+            max_batch: stats.max_batch,
+            registry_hits: stats.registry.hits,
+            registry_misses: stats.registry.misses,
+            registry_prepares: stats.registry.prepares,
+            registry_evictions: stats.registry.evictions,
+            plan_hits: stats.plans.hits,
+            plan_misses: stats.plans.misses,
+            sim_ns_total: (stats.sim_ms_total * 1e6).round() as u64,
+            per_device_served: stats.devices.iter().map(|d| d.served).collect(),
+            per_device_cols: stats.devices.iter().map(|d| d.cols).collect(),
+            per_device_launches: stats.devices.iter().map(|d| d.launches).collect(),
+            output_checksum,
+        }
+    }
+}
+
+struct Replay {
+    summary: DeterministicSummary,
+    stats: ServerStats,
+    mismatches: usize,
+    batched_responses: u64,
+}
+
+/// One full replay on a fresh server: register, submit in pause/resume
+/// windows (so backpressure, device assignment, and batch composition are
+/// reproducible), verify each response against an unbatched run.
+fn replay(args: &Args, matrices: &[Csr<F16>], trace: &[TraceRequest], verify: bool) -> Replay {
+    let server: Server<F16> = Server::new(ServerConfig {
+        devices: args.devices,
+        column_budget: args.budget,
+        registry_capacity: args.matrices.max(2),
+        ..ServerConfig::default()
+    });
+    let keys: Vec<MatrixKey> = matrices.iter().map(|a| server.register(a)).collect();
+    // Resolve the shared handles once, in both runs, so registry counters
+    // (and hence the deterministic summary) don't depend on `verify`.
+    let handles: Vec<_> = keys
+        .iter()
+        .map(|k| server.registry().get(k).expect("just registered"))
+        .collect();
+
+    let mut checksum = Fnv1a::new();
+    let mut mismatches = 0usize;
+    let mut batched_responses = 0u64;
+    for window in trace.chunks(args.window) {
+        server.pause();
+        let futures: Vec<_> = window
+            .iter()
+            .map(|req| {
+                let b = panel(args.size, req);
+                (req, server.submit(keys[req.matrix], b))
+            })
+            .collect();
+        server.resume();
+        for (req, fut) in futures {
+            let resp = fut.wait().unwrap_or_else(|e| {
+                panic!("request {} failed: {e}", req.seq);
+            });
+            if resp.batched_with > 1 {
+                batched_responses += 1;
+            }
+            for v in resp.c.as_slice() {
+                checksum.write_u64(v.to_f64().to_bits());
+            }
+            if verify {
+                // Unbatched reference: the same prepared handle, one launch
+                // for this request alone. Must be bitwise identical.
+                let solo = handles[req.matrix].spmm(&panel(args.size, req));
+                if solo.c != resp.c {
+                    eprintln!("MISMATCH at seq {}", req.seq);
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+    let stats = server.stats();
+    Replay {
+        summary: DeterministicSummary::new(&stats, checksum.finish()),
+        stats,
+        mismatches,
+        batched_responses,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+
+    let spec = TraceSpec {
+        requests: args.requests,
+        n_matrices: args.matrices,
+        widths: vec![8, 16, 32],
+        zipf_s: 1.0,
+        seed: args.seed,
+    };
+    let trace = serve_trace(&spec);
+    // Distinct sparsity per matrix so the prepared pipelines differ.
+    let matrices: Vec<Csr<F16>> = (0..args.matrices)
+        .map(|m| {
+            let sparsity = 0.88 + 0.02 * (m as f64);
+            random_uniform::<F16>(args.size, args.size, sparsity, args.seed + m as u64)
+        })
+        .collect();
+    eprintln!(
+        "replaying {} requests over {} matrices ({}x{}) on {} devices (window {}, budget {})",
+        args.requests, args.matrices, args.size, args.size, args.devices, args.window, args.budget
+    );
+
+    let first = replay(&args, &matrices, &trace, true);
+    eprintln!(
+        "run 1: completed {}/{} | registry hit rate {:.3} | mean batch {:.2} | {} responses rode a shared launch",
+        first.stats.completed,
+        args.requests,
+        first.stats.registry.hit_rate(),
+        first.stats.mean_batch(),
+        first.batched_responses,
+    );
+    let second = replay(&args, &matrices, &trace, false);
+    let runs_identical = first.summary == second.summary;
+    eprintln!(
+        "run 2: end state {} run 1",
+        if runs_identical {
+            "identical to"
+        } else {
+            "DIVERGED from"
+        }
+    );
+    if !runs_identical {
+        eprintln!("run 1: {:?}", first.summary);
+        eprintln!("run 2: {:?}", second.summary);
+    }
+
+    let record = serde_json::json!({
+        "example": "serve",
+        "spec": spec,
+        "devices": args.devices,
+        "window": args.window,
+        "column_budget": args.budget,
+        "matrix_dim": args.size,
+        "verified_requests": args.requests,
+        "mismatches": first.mismatches,
+        "batched_responses": first.batched_responses,
+        "registry_hit_rate": first.stats.registry.hit_rate(),
+        "runs_identical": runs_identical,
+        "deterministic": first.summary,
+        "stats": first.stats,
+    });
+    println!("{record}");
+
+    if first.mismatches == 0 && runs_identical {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

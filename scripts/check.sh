@@ -31,4 +31,21 @@ if cargo run -q --example analyze -- data/sample.mtx --device tiny --block 96x96
     exit 1
 fi
 
+echo "==> serving engine: trace replay must verify and be deterministic"
+cargo build -q --release --example serve
+serve_json="$(./target/release/examples/serve --requests 200 2>/dev/null)"
+# The example already exits non-zero on any mismatch or replay divergence;
+# additionally assert the stats record parses and the registry saw hits.
+python3 - "$serve_json" <<'PY'
+import json, sys
+rec = json.loads(sys.argv[1])
+assert rec["mismatches"] == 0, "batched outputs diverged from unbatched runs"
+assert rec["runs_identical"] is True, "end state not deterministic across replays"
+hits = rec["stats"]["registry"]["hits"]
+assert hits >= 1, f"expected at least one registry cache hit, got {hits}"
+assert rec["registry_hit_rate"] > 0.9, rec["registry_hit_rate"]
+print(f"serve smoke OK: {rec['verified_requests']} requests verified, "
+      f"{hits} registry hits (rate {rec['registry_hit_rate']:.3f})")
+PY
+
 echo "All checks passed."

@@ -17,7 +17,9 @@
 //!   SuiteSparse mimics);
 //! * [`diag`] / [`analyze`] — typed diagnostics, the format invariant
 //!   verifiers, and the kernel-schedule hazard analyzer backing the
-//!   pipeline's pre-flight hook and the `analyze` example CLI.
+//!   pipeline's pre-flight hook and the `analyze` example CLI;
+//! * [`serve`] — the async multi-tenant serving engine (prepared-matrix
+//!   registry, plan cache, request batcher, device-pool scheduler).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -45,6 +47,7 @@ pub use smat_diag as diag;
 pub use smat_formats as formats;
 pub use smat_gpusim as gpusim;
 pub use smat_reorder as reorder;
+pub use smat_serve as serve;
 pub use smat_workloads as workloads;
 
 /// The SMaT core library (re-export of the `smat` crate).
