@@ -1,7 +1,8 @@
 //! Regenerates the paper's tables and figures on the simulated A100.
 //!
 //! Usage:
-//!   reproduce [--scale S] [--band-n N] [--full] [--json FILE] <experiments...>
+//!   reproduce [--scale S] [--band-n N] [--full] [--json FILE]
+//!             [--trace FILE] <experiments...>
 //!
 //! Experiments: table1 fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9a fig9b fig10
 //!              ablations all
@@ -15,6 +16,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = HarnessConfig::default();
     let mut json_path: Option<String> = None;
+    let mut trace_path: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut i = 0;
@@ -32,6 +34,10 @@ fn main() {
             "--json" => {
                 i += 1;
                 json_path = Some(args[i].clone());
+            }
+            "--trace" => {
+                i += 1;
+                trace_path = Some(args[i].clone());
             }
             "--help" | "-h" => {
                 print_help();
@@ -75,6 +81,10 @@ fn main() {
         cfg.scale, cfg.band_n
     );
 
+    if trace_path.is_some() {
+        smat_trace::enable();
+    }
+
     let mut records = Vec::new();
     for w in &wanted {
         let mut r = match w.as_str() {
@@ -110,6 +120,14 @@ fn main() {
         records.append(&mut r);
     }
 
+    if let Some(path) = trace_path {
+        smat_trace::disable();
+        let events = smat_trace::drain();
+        println!("\n{}", smat_trace::summary_table(&events));
+        std::fs::write(&path, smat_trace::chrome_trace_json(&events)).expect("write trace output");
+        println!("[wrote {} trace events to {path}]", events.len());
+    }
+
     if let Some(path) = json_path {
         let mut f = std::fs::File::create(&path).expect("create json output");
         for r in &records {
@@ -142,6 +160,7 @@ OPTIONS:
   --scale S    mimic scale factor (default 0.1; paper sizes at 1.0)
   --band-n N   band matrix dimension (default 4096; paper uses 16384)
   --full       shorthand for --scale 1.0 --band-n 16384
-  --json FILE  also write JSON-lines records"
+  --json FILE  also write JSON-lines records
+  --trace FILE also write a Chrome Trace Event JSON (open in Perfetto)"
     );
 }

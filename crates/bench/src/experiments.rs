@@ -152,12 +152,19 @@ pub fn run_fig2(cfg: &HarnessConfig) -> Vec<Value> {
             per_bw.push((bw, run.report.nblocks, run.report.elapsed_ms()));
         }
         let model = PerfModel::fit(&samples);
+        let (mre, excluded) = model.relative_error_stats(&samples);
         println!(
-            "\n-- variant {:<6}  T_e = {:.6} us/block, T_init = {:.4} ms, R^2 = {:.4}",
+            "\n-- variant {:<6}  T_e = {:.6} us/block, T_init = {:.4} ms, R^2 = {:.4}, MRE = {:.2}%{}",
             opts.label(),
             model.t_e_ms * 1e3,
             model.t_init_ms,
-            model.r2
+            model.r2,
+            mre * 100.0,
+            if excluded > 0 {
+                format!(" ({excluded} zero-time samples excluded)")
+            } else {
+                String::new()
+            }
         );
         println!(
             "{:>10} {:>10} {:>14} {:>14} {:>8}",
@@ -183,6 +190,8 @@ pub fn run_fig2(cfg: &HarnessConfig) -> Vec<Value> {
                 "t_e_ms": model.t_e_ms,
                 "t_init_ms": model.t_init_ms,
                 "r2": model.r2,
+                "model_mre": mre,
+                "mre_excluded": excluded,
             }));
         }
     }

@@ -138,13 +138,22 @@ pub fn smat_spmm_scheduled<T: Element>(
         k: w,
     };
 
-    let launch_cfg = build_launch_config(gpu, a, n, opts, schedule);
+    let launch_cfg = {
+        let mut sp = smat_trace::span("build_launch_config", "pipeline");
+        sp.arg("warps", n_warps as u64);
+        sp.arg("n", n as u64);
+        build_launch_config(gpu, a, n, opts, schedule)
+    };
 
+    let mut exec_span = smat_trace::span("kernel_execute", "pipeline");
+    exec_span.arg("label", launch_cfg.label.as_str());
+    exec_span.arg("warps", n_warps as u64);
     let (mut result, tiles) = gpu.launch(n_warps, &launch_cfg, |ctx| {
         let bi = ctx.warp_id / ntiles;
         let tj = ctx.warp_id % ntiles;
         smat_warp(ctx, a, b, bi, tj, shape, opts, accum, &epilogue)
     })?;
+    exec_span.arg("sim_ms", result.time_ms);
 
     // Useful work: 2·nnz·N FLOP (padding work is excluded by definition).
     result.totals.flop_useful = 2 * a.nnz() as u64 * n as u64;

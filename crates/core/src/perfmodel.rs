@@ -73,12 +73,31 @@ impl PerfModel {
     }
 
     /// Mean relative error of the model on a sample set.
+    ///
+    /// Samples with `t_ms <= 0` (or non-finite) are excluded — relative
+    /// error is undefined there, and one zero-time sample would otherwise
+    /// poison the mean with `inf`/`NaN` and flow silently into reported
+    /// error percentages. Returns `0.0` when no sample is usable; use
+    /// [`PerfModel::relative_error_stats`] to observe how many were
+    /// excluded.
     pub fn mean_relative_error(&self, samples: &[PerfSample]) -> f64 {
+        self.relative_error_stats(samples).0
+    }
+
+    /// Mean relative error plus the number of samples excluded because
+    /// their measured time was zero, negative, or non-finite.
+    pub fn relative_error_stats(&self, samples: &[PerfSample]) -> (f64, usize) {
         let mut acc = 0.0;
+        let mut used = 0usize;
         for s in samples {
+            if !(s.t_ms.is_finite() && s.t_ms > 0.0) {
+                continue;
+            }
             acc += ((self.predict(s.n_e) - s.t_ms) / s.t_ms).abs();
+            used += 1;
         }
-        acc / samples.len() as f64
+        let mean = if used == 0 { 0.0 } else { acc / used as f64 };
+        (mean, samples.len() - used)
     }
 }
 
@@ -116,6 +135,48 @@ mod tests {
         assert!((m.t_e_ms - 0.2).abs() < 0.02);
         assert!(m.r2 > 0.99);
         assert!(m.mean_relative_error(&samples) < 0.05);
+    }
+
+    #[test]
+    fn zero_time_samples_do_not_poison_relative_error() {
+        let mut samples: Vec<PerfSample> = (1..=10)
+            .map(|i| PerfSample {
+                n_e: i as f64 * 100.0,
+                t_ms: 0.5 * i as f64 * 100.0 + 3.0,
+            })
+            .collect();
+        let m = PerfModel::fit(&samples);
+        // A timer-resolution dropout: measured time of exactly zero. Before
+        // the guard this produced inf (t_ms == 0.0) and wiped out the mean.
+        samples.push(PerfSample {
+            n_e: 1234.0,
+            t_ms: 0.0,
+        });
+        samples.push(PerfSample {
+            n_e: 777.0,
+            t_ms: f64::NAN,
+        });
+        let (mean, excluded) = m.relative_error_stats(&samples);
+        assert!(mean.is_finite());
+        assert!(mean < 1e-9, "exact fit on the usable samples: {mean}");
+        assert_eq!(excluded, 2);
+        assert!(m.mean_relative_error(&samples).is_finite());
+    }
+
+    #[test]
+    fn relative_error_of_all_degenerate_samples_is_zero() {
+        let m = PerfModel {
+            t_e_ms: 1.0,
+            t_init_ms: 0.0,
+            r2: 1.0,
+        };
+        let samples = [PerfSample {
+            n_e: 10.0,
+            t_ms: 0.0,
+        }];
+        let (mean, excluded) = m.relative_error_stats(&samples);
+        assert_eq!(mean, 0.0);
+        assert_eq!(excluded, 1);
     }
 
     #[test]

@@ -108,14 +108,29 @@ impl<T: Element> Smat<T> {
     /// Runs the one-time preprocessing: computes the block-densifying
     /// permutation, permutes the matrix, and converts it to BCSR.
     pub fn prepare(a: &Csr<T>, config: SmatConfig) -> Self {
+        let mut prep_span = smat_trace::span("prepare", "pipeline");
+        prep_span.arg("rows", a.nrows() as u64);
+        prep_span.arg("nnz", a.nnz() as u64);
         let t0 = std::time::Instant::now();
         let fingerprint = MatrixFingerprint::of_csr(a);
         let stats_before = smat_reorder::stats::block_row_stats(a, config.block_h, config.block_w);
-        let reordering = reorder(a, config.reorder, config.block_h, config.block_w);
-        let permuted = reordering.apply(a);
+        let (reordering, permuted) = {
+            let mut sp = smat_trace::span("reorder", "pipeline");
+            sp.arg("algorithm", config.reorder.name());
+            let reordering = reorder(a, config.reorder, config.block_h, config.block_w);
+            let permuted = reordering.apply(a);
+            (reordering, permuted)
+        };
         let stats_after =
             smat_reorder::stats::block_row_stats(&permuted, config.block_h, config.block_w);
-        let bcsr = Bcsr::from_csr(&permuted, config.block_h, config.block_w);
+        let bcsr = {
+            let mut sp = smat_trace::span("bcsr_convert", "pipeline");
+            sp.arg("blocks_before", stats_before.nblocks as u64);
+            let bcsr = Bcsr::from_csr(&permuted, config.block_h, config.block_w);
+            sp.arg("blocks_after", bcsr.nblocks() as u64);
+            bcsr
+        };
+        prep_span.arg("nblocks", bcsr.nblocks() as u64);
         let gpu = Gpu::new(config.device.clone());
         Smat {
             inner: Arc::new(SmatInner {
@@ -263,8 +278,16 @@ impl<T: Element> Smat<T> {
             inner.ncols,
             b.nrows()
         );
+        let mut spmm_span = smat_trace::span("spmm", "pipeline");
+        spmm_span.arg("n", b.ncols() as u64);
+        spmm_span.arg("device", gpu.trace_device as u64);
         if inner.config.preflight.enabled() {
-            let diagnostics = self.preflight_cached(b.ncols());
+            let diagnostics = {
+                let mut sp = smat_trace::span("preflight", "pipeline");
+                let diagnostics = self.preflight_cached(b.ncols());
+                sp.arg("findings", diagnostics.len() as u64);
+                diagnostics
+            };
             if diagnostics.has_errors() {
                 return Err(SimError::PreflightRejected {
                     diagnostics: diagnostics.as_ref().clone(),

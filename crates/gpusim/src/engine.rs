@@ -294,6 +294,10 @@ impl LaunchResult {
 pub struct Gpu {
     /// Device parameters.
     pub cfg: DeviceConfig,
+    /// Identity of this device on trace timelines (`smat-trace` device
+    /// track). Single-device runs keep the default 0; device pools assign
+    /// the pool index so launches land on per-device tracks.
+    pub trace_device: usize,
 }
 
 impl Gpu {
@@ -301,12 +305,22 @@ impl Gpu {
     pub fn a100() -> Self {
         Gpu {
             cfg: DeviceConfig::a100_sxm4_40gb(),
+            trace_device: 0,
         }
     }
 
     /// A GPU with the given device configuration.
     pub fn new(cfg: DeviceConfig) -> Self {
-        Gpu { cfg }
+        Gpu {
+            cfg,
+            trace_device: 0,
+        }
+    }
+
+    /// Sets the device index used for trace timelines (builder style).
+    pub fn with_trace_device(mut self, device: usize) -> Self {
+        self.trace_device = device;
+        self
     }
 
     /// Validates launch resources (device memory footprint, per-block shared
@@ -401,18 +415,46 @@ impl Gpu {
                 );
         let cycles = busiest + d.launch_overhead_cycles;
 
-        (
-            LaunchResult {
-                label: cfg.label.clone(),
-                cycles,
-                time_ms: d.cycles_to_ms(cycles),
-                per_sm_cycles,
-                totals,
-                warps: n_warps,
-                profile: profiles.get(busiest_idx).copied().unwrap_or_default(),
-            },
-            outputs,
-        )
+        let result = LaunchResult {
+            label: cfg.label.clone(),
+            cycles,
+            time_ms: d.cycles_to_ms(cycles),
+            per_sm_cycles,
+            totals,
+            warps: n_warps,
+            profile: profiles.get(busiest_idx).copied().unwrap_or_default(),
+        };
+        if smat_trace::enabled() {
+            self.trace_launch(&result);
+        }
+        (result, outputs)
+    }
+
+    /// Records the launch on this device's simulated-time trace track: one
+    /// device-span covering the whole kernel plus one busy segment per SM
+    /// that received work (derived from the same cycle counters the timing
+    /// model uses, so the trace and the reported time agree by
+    /// construction).
+    fn trace_launch(&self, result: &LaunchResult) {
+        let per_sm_busy_ns: Vec<u64> = result
+            .per_sm_cycles
+            .iter()
+            .map(|&c| (self.cfg.cycles_to_ms(c) * 1e6).round() as u64)
+            .collect();
+        smat_trace::record_launch(
+            self.trace_device,
+            &result.label,
+            (result.time_ms * 1e6).round() as u64,
+            &per_sm_busy_ns,
+            vec![
+                ("warps", (result.warps as u64).into()),
+                ("cycles", result.cycles.into()),
+                ("mma", result.totals.mma.into()),
+                ("global_bytes", result.totals.global_bytes.into()),
+                ("imbalance", result.sm_imbalance().into()),
+                ("bound", result.profile.bound().to_string().into()),
+            ],
+        );
     }
 
     /// Converts one SM's aggregated counters into its cycle breakdown.

@@ -41,4 +41,5 @@ pub use oneshot::block_on;
 pub use plan::{Plan, PlanCache, PlanStats};
 pub use registry::{config_digest, MatrixKey, PreparedMatrixRegistry, RegistryStats};
 pub use server::{ResponseFuture, ServeResponse, Server, ServerConfig};
+pub use smat_trace::TraceHandle;
 pub use stats::{DeviceStats, LatencyStats, ServerStats};

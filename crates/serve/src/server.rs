@@ -115,6 +115,9 @@ struct Request<T> {
     b: Dense<T>,
     deadline: Option<Instant>,
     enq: Instant,
+    /// Monotone per-server submission id — the request's identity on trace
+    /// timelines (batch membership, lifecycle spans).
+    seq: u64,
     tx: oneshot::Sender<Result<ServeResponse<T>, ServeError>>,
 }
 
@@ -162,6 +165,10 @@ struct Central {
     batches: AtomicU64,
     batched_requests: AtomicU64,
     max_batch: AtomicU64,
+    /// Trace identity source: every submission (accepted or not) draws a
+    /// seq. Not exported in stats — the `submitted` counter keeps its
+    /// accepted-only semantics.
+    next_seq: AtomicU64,
     latencies: Mutex<Vec<f64>>,
 }
 
@@ -172,6 +179,12 @@ struct PoolShared<T> {
     paused: AtomicBool,
     column_budget: usize,
     started: Instant,
+    /// Nanoseconds spent in completed pause windows. Together with
+    /// `pause_began` this forms the "unpaused clock" occupancy divides by,
+    /// so deterministic-replay pauses don't deflate device occupancy.
+    paused_ns: AtomicU64,
+    /// Start of the currently open pause window, if paused.
+    pause_began: Mutex<Option<Instant>>,
 }
 
 /// The async SpMM serving engine. See the crate docs for the architecture.
@@ -199,11 +212,13 @@ impl<T: Element> Server<T> {
             paused: AtomicBool::new(false),
             column_budget: config.column_budget,
             started: Instant::now(),
+            paused_ns: AtomicU64::new(0),
+            pause_began: Mutex::new(None),
         });
         let workers = (0..config.devices)
             .map(|idx| {
                 let shared = Arc::clone(&shared);
-                let gpu = Gpu::new(config.smat.device.clone());
+                let gpu = Gpu::new(config.smat.device.clone()).with_trace_device(idx);
                 std::thread::Builder::new()
                     .name(format!("smat-serve-dev{idx}"))
                     .spawn(move || worker_loop(&shared, idx, &gpu))
@@ -252,13 +267,20 @@ impl<T: Element> Server<T> {
         let reject = |e: ServeError| ResponseFuture {
             rx: Receiver::ready(Err(e)),
         };
+        let seq = self.shared.central.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut adm_span = smat_trace::span("admission", "serve");
+        adm_span.arg("seq", seq);
+        adm_span.arg("cols", b.ncols() as u64);
         if self.shared.shutdown.load(Ordering::Acquire) {
+            adm_span.arg("outcome", "shutdown");
             return reject(ServeError::ShutDown);
         }
         let Some(smat) = self.registry.get(&key) else {
+            adm_span.arg("outcome", "unknown_matrix");
             return reject(ServeError::UnknownMatrix);
         };
         if b.nrows() != smat.input_ncols() {
+            adm_span.arg("outcome", "shape_mismatch");
             return reject(ServeError::ShapeMismatch {
                 expected_rows: smat.input_ncols(),
                 got_rows: b.nrows(),
@@ -270,6 +292,7 @@ impl<T: Element> Server<T> {
                 .central
                 .rejected_preflight
                 .fetch_add(1, Ordering::Relaxed);
+            adm_span.arg("outcome", "preflight_rejected");
             return reject(ServeError::Rejected(RejectReason::Preflight {
                 diagnostics: plan.diagnostics.as_ref().clone(),
             }));
@@ -287,6 +310,7 @@ impl<T: Element> Server<T> {
             b,
             deadline: deadline.map(|d| now + d),
             enq: now,
+            seq,
             tx,
         });
         for &i in &order {
@@ -303,6 +327,8 @@ impl<T: Element> Server<T> {
                 .submitted
                 .fetch_add(1, Ordering::Relaxed);
             dev.cv.notify_one();
+            adm_span.arg("outcome", "enqueued");
+            adm_span.arg("device", i as u64);
             return ResponseFuture { rx };
         }
         // Every queue at capacity: backpressure. The request (and its
@@ -319,6 +345,7 @@ impl<T: Element> Server<T> {
             .central
             .rejected_queue_full
             .fetch_add(1, Ordering::Relaxed);
+        adm_span.arg("outcome", "queue_full");
         let capacity = self.config.queue_capacity * self.shared.devices.len();
         reject(ServeError::Rejected(RejectReason::QueueFull {
             depth,
@@ -331,11 +358,25 @@ impl<T: Element> Server<T> {
     /// makes backpressure and batch composition reproducible — tests and
     /// the trace-replay example pause, submit, then [`Server::resume`].
     pub fn pause(&self) {
+        let mut began = self.shared.pause_began.lock().unwrap();
+        if began.is_none() {
+            *began = Some(Instant::now());
+        }
         self.shared.paused.store(true, Ordering::Release);
     }
 
-    /// Resumes dispatch after [`Server::pause`].
+    /// Resumes dispatch after [`Server::pause`]. The pause window is
+    /// credited to the paused clock so occupancy keeps dividing by time the
+    /// server was actually allowed to run.
     pub fn resume(&self) {
+        {
+            let mut began = self.shared.pause_began.lock().unwrap();
+            if let Some(t0) = began.take() {
+                self.shared
+                    .paused_ns
+                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            }
+        }
         self.shared.paused.store(false, Ordering::Release);
         for dev in &self.shared.devices {
             dev.cv.notify_all();
@@ -349,7 +390,18 @@ impl<T: Element> Server<T> {
 
     /// Snapshot of every counter.
     pub fn stats(&self) -> ServerStats {
-        let elapsed_ms = self.shared.started.elapsed().as_secs_f64() * 1e3;
+        let wall_ms = self.shared.started.elapsed().as_secs_f64() * 1e3;
+        // The unpaused clock: wall time minus completed pause windows minus
+        // the currently open one. Occupancy divides by this, so replay
+        // pauses don't deflate it.
+        let paused_ms = {
+            let mut p = self.shared.paused_ns.load(Ordering::Relaxed) as f64 / 1e6;
+            if let Some(t0) = *self.shared.pause_began.lock().unwrap() {
+                p += t0.elapsed().as_secs_f64() * 1e3;
+            }
+            p
+        };
+        let active_ms = (wall_ms - paused_ms).max(0.0);
         let c = &self.shared.central;
         let devices: Vec<DeviceStats> = self
             .shared
@@ -365,8 +417,8 @@ impl<T: Element> Server<T> {
                     cols: d.cols.load(Ordering::Relaxed),
                     sim_ms: d.sim_ns.load(Ordering::Relaxed) as f64 / 1e6,
                     busy_ms,
-                    occupancy: if elapsed_ms > 0.0 {
-                        busy_ms / elapsed_ms
+                    occupancy: if active_ms > 0.0 {
+                        busy_ms / active_ms
                     } else {
                         0.0
                     },
@@ -375,6 +427,8 @@ impl<T: Element> Server<T> {
             })
             .collect();
         ServerStats {
+            wall_ms,
+            active_ms,
             submitted: c.submitted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
             rejected_queue_full: c.rejected_queue_full.load(Ordering::Relaxed),
@@ -391,6 +445,18 @@ impl<T: Element> Server<T> {
             latency: LatencyStats::from_samples(&c.latencies.lock().unwrap()),
             devices,
         }
+    }
+
+    /// Handle to the process-wide tracing recorder.
+    ///
+    /// The recorder is global (spans from every server and the simulator
+    /// share one stream); the handle is exposed here so callers holding a
+    /// `Server` can enable tracing and drain events without depending on
+    /// `smat-trace` directly. Drain only after [`Server::shutdown`] (or a
+    /// quiescent pause): worker threads flush their span buffers when their
+    /// outermost span closes, so a drain mid-flight can miss open spans.
+    pub fn trace_handle(&self) -> smat_trace::TraceHandle {
+        smat_trace::TraceHandle::new()
     }
 
     /// Stops accepting work, drains every queue, and joins the workers.
@@ -448,6 +514,18 @@ fn execute_batch<T: Element>(
 ) {
     let central = &shared.central;
     let now = Instant::now();
+    if smat_trace::enabled() {
+        // Queue wait ends the moment the batch is taken off the queue,
+        // whether or not the request survives the deadline check.
+        for r in &batch {
+            smat_trace::complete_from(
+                "queue_wait",
+                "serve",
+                r.enq,
+                vec![("seq", r.seq.into()), ("device", (idx as u64).into())],
+            );
+        }
+    }
     let mut expired = Vec::new();
     let mut live = Vec::with_capacity(batch.len());
     for r in batch {
@@ -477,7 +555,32 @@ fn execute_batch<T: Element>(
         let t0 = Instant::now();
         let panels: Vec<&Dense<T>> = live.iter().map(|r| &r.b).collect();
         let batch_cols: usize = panels.iter().map(|p| p.ncols()).sum();
+        if smat_trace::enabled() {
+            let members = live
+                .iter()
+                .map(|r| r.seq.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            smat_trace::instant(
+                "batch_form",
+                "serve",
+                vec![
+                    ("device", (idx as u64).into()),
+                    ("requests", (live.len() as u64).into()),
+                    ("cols", (batch_cols as u64).into()),
+                    ("members", members.into()),
+                ],
+            );
+        }
+        let mut launch_span = smat_trace::span("launch", "serve");
+        launch_span.arg("device", idx as u64);
+        launch_span.arg("requests", live.len() as u64);
+        launch_span.arg("cols", batch_cols as u64);
         let result = spmm_batched(&live[0].smat, gpu, &panels);
+        if let Ok((_, report)) = &result {
+            launch_span.arg("sim_ms", report.elapsed_ms());
+        }
+        drop(launch_span);
         dev.busy_ns
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         dev.load_cols.fetch_sub(batch_cols, Ordering::Relaxed);
@@ -505,6 +608,12 @@ fn execute_batch<T: Element>(
                 for (r, c) in live.into_iter().zip(cs) {
                     let wall_ms = r.enq.elapsed().as_secs_f64() * 1e3;
                     latencies.push(wall_ms);
+                    smat_trace::complete_from(
+                        "complete",
+                        "serve",
+                        r.enq,
+                        vec![("seq", r.seq.into()), ("device", (idx as u64).into())],
+                    );
                     r.tx.send(Ok(ServeResponse {
                         c,
                         device: idx,
@@ -631,6 +740,47 @@ mod tests {
             assert!(fut.wait().is_ok());
         }
         assert_eq!(server.stats().completed, 6);
+    }
+
+    #[test]
+    fn occupancy_excludes_paused_time() {
+        let server: Server<F16> = Server::new(ServerConfig {
+            devices: 1,
+            ..ServerConfig::default()
+        });
+        let a = matrix(64, 0);
+        let key = server.register(&a);
+        assert!(server.submit(key, rhs(64, 32, 0)).wait().is_ok());
+        let before = server.stats();
+        let occ_before = before.devices[0].occupancy;
+        assert!(occ_before > 0.0, "device did work, occupancy must be > 0");
+        // A long pause with zero work in flight. Before the unpaused-clock
+        // fix the denominator kept growing through the pause, so occupancy
+        // decayed by ~the pause/wall ratio (here >2x). With the fix the
+        // denominator is frozen while paused and occupancy only drifts by
+        // the (microsecond-scale) cost of taking the snapshots themselves.
+        server.pause();
+        std::thread::sleep(Duration::from_millis(250));
+        let during = server.stats();
+        server.resume();
+        assert!(
+            during.devices[0].occupancy >= occ_before * 0.8,
+            "occupancy collapsed across an idle pause: {} -> {}",
+            occ_before,
+            during.devices[0].occupancy
+        );
+        assert!(
+            during.wall_ms - during.active_ms >= 240.0,
+            "pause window not credited: wall {} ms, active {} ms",
+            during.wall_ms,
+            during.active_ms
+        );
+        // Nested pause() calls collapse into one window; resume closes it.
+        server.pause();
+        server.pause();
+        server.resume();
+        let after = server.stats();
+        assert!(after.active_ms <= after.wall_ms);
     }
 
     #[test]

@@ -45,11 +45,14 @@ impl LatencyStats {
     }
 }
 
-/// Nearest-rank percentile over pre-sorted samples.
+/// Nearest-rank percentile over pre-sorted samples: `⌈p/100·N⌉ − 1` as a
+/// zero-based index. The previous `round(p/100·(N−1))` variant sat between
+/// nearest-rank and linear interpolation and overshot by one sample on even
+/// counts (p50 of 1..=100 came out 51, not 50).
 fn percentile(sorted: &[f64], p: f64) -> f64 {
     debug_assert!(!sorted.is_empty());
-    let rank = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    let rank = (p / 100.0 * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// One simulated device's view of the run.
@@ -67,15 +70,35 @@ pub struct DeviceStats {
     pub sim_ms: f64,
     /// Host milliseconds this device's worker spent executing.
     pub busy_ms: f64,
-    /// `busy_ms` over the server's wall-clock lifetime so far.
+    /// `busy_ms` over the server's *active* (unpaused) lifetime so far.
+    ///
+    /// Time spent inside [`Server::pause`](crate::Server::pause) windows is
+    /// excluded from the denominator: a replay driver that pauses dispatch
+    /// between submission windows would otherwise see occupancy decay
+    /// toward zero even while every device was saturated whenever it was
+    /// allowed to run.
     pub occupancy: f64,
     /// Requests waiting in this device's queue right now.
     pub queue_depth: usize,
 }
 
 /// Snapshot of the whole serving engine.
+///
+/// Determinism contract: for a fixed request trace submitted from a single
+/// thread, the counter fields (`submitted`, `completed`, the `rejected_*`
+/// family, `failed`, and the registry/plan cache counters) are
+/// reproducible run to run. Everything timed against the host clock
+/// (`wall_ms`, `active_ms`, `latency`, per-device `busy_ms`/`occupancy`)
+/// and everything shaped by worker scheduling (`batches`, `max_batch`,
+/// per-device `served`/`cols` splits) is not; reproducibility checks must
+/// compare only the first group. `examples/serve.rs` encodes exactly that
+/// split in its `DeterministicSummary`.
 #[derive(Clone, Debug, Serialize)]
 pub struct ServerStats {
+    /// Host milliseconds since the server was constructed.
+    pub wall_ms: f64,
+    /// `wall_ms` minus time spent paused — the occupancy denominator.
+    pub active_ms: f64,
     /// Requests accepted into a queue.
     pub submitted: u64,
     /// Requests completed successfully.
@@ -128,10 +151,24 @@ mod tests {
         let samples: Vec<f64> = (1..=100).map(|v| v as f64).collect();
         let l = LatencyStats::from_samples(&samples);
         assert_eq!(l.count, 100);
-        assert_eq!(l.p50_ms, 51.0); // nearest rank on 0..=99 indices
-        assert_eq!(l.p99_ms, 99.0);
+        assert_eq!(l.p50_ms, 50.0); // nearest rank: ⌈0.50·100⌉ = 50th sample
+        assert_eq!(l.p99_ms, 99.0); // ⌈0.99·100⌉ = 99th sample
         assert_eq!(l.max_ms, 100.0);
         assert!((l.mean_ms - 50.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_nearest_rank_boundaries() {
+        // N=4: p50 → ⌈2⌉ = 2nd sample, p75 → 3rd, p100 → 4th, tiny p → 1st.
+        let samples = [10.0, 20.0, 30.0, 40.0];
+        let l = LatencyStats::from_samples(&samples);
+        assert_eq!(l.p50_ms, 20.0);
+        assert_eq!(percentile(&samples, 75.0), 30.0);
+        assert_eq!(percentile(&samples, 100.0), 40.0);
+        assert_eq!(percentile(&samples, 0.1), 10.0);
+        // Single sample: every percentile is that sample.
+        assert_eq!(percentile(&[7.0], 50.0), 7.0);
+        assert_eq!(percentile(&[7.0], 99.0), 7.0);
     }
 
     #[test]

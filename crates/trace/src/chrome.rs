@@ -1,0 +1,145 @@
+//! Chrome Trace Event exporter.
+//!
+//! Renders drained events as the JSON object format consumed by Perfetto
+//! and `chrome://tracing`: `{"traceEvents": [...], "displayTimeUnit":
+//! "ms"}`. Host threads render under one process ("host"); each simulated
+//! device renders as its own process with a "launches" track plus one track
+//! per SM, so the per-SM busy/idle structure (the dc2 straggler story of
+//! §VI) is visible at a glance.
+
+use serde_json::Value;
+
+use crate::event::{ArgValue, Phase, TraceEvent, Track};
+use crate::recorder;
+
+/// Chrome process id hosting all host-thread tracks.
+const HOST_PID: u64 = 1;
+/// Chrome process id of simulated device 0 (device `d` is `DEVICE_PID0 + d`).
+const DEVICE_PID0: u64 = 100;
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn arg_value(v: &ArgValue) -> Value {
+    match v {
+        ArgValue::U64(n) => Value::U64(*n),
+        ArgValue::F64(x) => Value::F64(*x),
+        ArgValue::Str(s) => Value::Str(s.clone()),
+    }
+}
+
+fn pid_tid(track: &Track) -> (u64, u64) {
+    match track {
+        Track::Host { thread } => (HOST_PID, u64::from(*thread)),
+        Track::Device { device } => (DEVICE_PID0 + u64::from(*device), 0),
+        Track::Sm { device, sm } => (DEVICE_PID0 + u64::from(*device), 1 + u64::from(*sm)),
+    }
+}
+
+fn metadata(name: &str, pid: u64, tid: Option<u64>, value: &str) -> Value {
+    let mut fields = vec![
+        ("name", Value::Str(name.to_string())),
+        ("ph", Value::Str("M".to_string())),
+        ("pid", Value::U64(pid)),
+    ];
+    if let Some(tid) = tid {
+        fields.push(("tid", Value::U64(tid)));
+    }
+    fields.push(("args", obj(vec![("name", Value::Str(value.to_string()))])));
+    obj(fields)
+}
+
+/// Renders `events` (typically from [`recorder::drain`]) as a Chrome Trace
+/// Event JSON document. Timestamps are emitted in microseconds as the
+/// format requires; host and sim clocks land in separate processes.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out: Vec<Value> = Vec::with_capacity(events.len() + 16);
+
+    // Process/thread naming metadata.
+    out.push(metadata("process_name", HOST_PID, None, "host"));
+    for (tid, name) in recorder::thread_names() {
+        out.push(metadata(
+            "thread_name",
+            HOST_PID,
+            Some(u64::from(tid)),
+            &name,
+        ));
+    }
+    let mut seen_devices: Vec<u32> = Vec::new();
+    let mut seen_sms: Vec<(u32, u32)> = Vec::new();
+    for e in events {
+        match e.track {
+            Track::Device { device } | Track::Sm { device, .. }
+                if !seen_devices.contains(&device) =>
+            {
+                seen_devices.push(device);
+            }
+            _ => {}
+        }
+        if let Track::Sm { device, sm } = e.track {
+            if !seen_sms.contains(&(device, sm)) {
+                seen_sms.push((device, sm));
+            }
+        }
+    }
+    for d in &seen_devices {
+        let pid = DEVICE_PID0 + u64::from(*d);
+        out.push(metadata(
+            "process_name",
+            pid,
+            None,
+            &format!("device {d} (sim)"),
+        ));
+        out.push(metadata("thread_name", pid, Some(0), "launches"));
+    }
+    for (d, sm) in &seen_sms {
+        let pid = DEVICE_PID0 + u64::from(*d);
+        out.push(metadata(
+            "thread_name",
+            pid,
+            Some(1 + u64::from(*sm)),
+            &format!("SM {sm}"),
+        ));
+    }
+
+    for e in events {
+        let (pid, tid) = pid_tid(&e.track);
+        let mut fields = vec![
+            ("name", Value::Str(e.name.clone())),
+            ("cat", Value::Str(e.cat.to_string())),
+            ("pid", Value::U64(pid)),
+            ("tid", Value::U64(tid)),
+            ("ts", Value::F64(e.ts_ns as f64 / 1e3)),
+        ];
+        match e.phase {
+            Phase::Complete => {
+                fields.push(("ph", Value::Str("X".to_string())));
+                fields.push(("dur", Value::F64(e.dur_ns as f64 / 1e3)));
+            }
+            Phase::Instant => {
+                fields.push(("ph", Value::Str("i".to_string())));
+                // Thread-scoped instant marker.
+                fields.push(("s", Value::Str("t".to_string())));
+            }
+        }
+        if !e.args.is_empty() {
+            fields.push((
+                "args",
+                obj(e.args.iter().map(|(k, v)| (*k, arg_value(v))).collect()),
+            ));
+        }
+        out.push(obj(fields));
+    }
+
+    obj(vec![
+        ("traceEvents", Value::Array(out)),
+        ("displayTimeUnit", Value::Str("ms".to_string())),
+    ])
+    .to_string()
+}

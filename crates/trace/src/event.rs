@@ -1,0 +1,123 @@
+//! The trace event model: dual-clock timestamps, track taxonomy, and typed
+//! span/instant records.
+//!
+//! Every event carries a timestamp on exactly one of two clocks:
+//!
+//! * **Host clock** — monotonic nanoseconds since the tracer was enabled
+//!   ([`Track::Host`] events). Measures what the CPU actually did: prepare
+//!   phases, admission, queue waits, launch driving.
+//! * **Simulated GPU clock** — nanoseconds of simulated device time
+//!   ([`Track::Device`] and [`Track::Sm`] events). Each simulated device
+//!   owns an independent cursor that advances launch by launch, so the
+//!   device timeline reads like a real GPU profile even though the
+//!   simulation runs at host speed.
+//!
+//! The two clocks are deliberately *not* aligned: comparing them would
+//! suggest a precision the analytical simulator does not have. Exporters
+//! place them on separate process tracks instead.
+
+/// Which timeline an event lives on, and where it renders in a trace view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Track {
+    /// A host thread (host clock). `thread` is a small dense id assigned in
+    /// first-record order; the exporter maps it to the thread's name.
+    Host {
+        /// Tracer-assigned dense thread id.
+        thread: u32,
+    },
+    /// A simulated device's launch timeline (sim clock).
+    Device {
+        /// Device index in the pool (0 for single-device runs).
+        device: u32,
+    },
+    /// One SM's busy segment within a simulated device (sim clock).
+    Sm {
+        /// Device index in the pool.
+        device: u32,
+        /// SM index within the device.
+        sm: u32,
+    },
+}
+
+impl Track {
+    /// True for events on the simulated-GPU clock.
+    pub fn is_sim(&self) -> bool {
+        !matches!(self, Track::Host { .. })
+    }
+}
+
+/// Event shape: an interval or a point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// An interval `[ts_ns, ts_ns + dur_ns]` (Chrome phase `X`).
+    Complete,
+    /// A point in time (Chrome phase `i`); `dur_ns` is zero.
+    Instant,
+}
+
+/// A typed argument value attached to an event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned integer payload (counts, ids, bytes).
+    U64(u64),
+    /// Floating payload (milliseconds, rates).
+    F64(f64),
+    /// Free-form string payload (labels, member lists).
+    Str(String),
+}
+
+impl From<u64> for ArgValue {
+    fn from(v: u64) -> Self {
+        ArgValue::U64(v)
+    }
+}
+
+impl From<usize> for ArgValue {
+    fn from(v: usize) -> Self {
+        ArgValue::U64(v as u64)
+    }
+}
+
+impl From<f64> for ArgValue {
+    fn from(v: f64) -> Self {
+        ArgValue::F64(v)
+    }
+}
+
+impl From<&str> for ArgValue {
+    fn from(v: &str) -> Self {
+        ArgValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for ArgValue {
+    fn from(v: String) -> Self {
+        ArgValue::Str(v)
+    }
+}
+
+/// One recorded span or instant.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Event name (span name or instant label).
+    pub name: String,
+    /// Coarse category: `"pipeline"`, `"serve"`, `"sim"`, ….
+    pub cat: &'static str,
+    /// Timeline and render position.
+    pub track: Track,
+    /// Start timestamp in nanoseconds on the track's clock.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds (zero for instants).
+    pub dur_ns: u64,
+    /// Interval or point.
+    pub phase: Phase,
+    /// Typed key/value payload.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl TraceEvent {
+    /// Duration in milliseconds.
+    pub fn dur_ms(&self) -> f64 {
+        self.dur_ns as f64 / 1e6
+    }
+}

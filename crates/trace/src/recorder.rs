@@ -1,0 +1,400 @@
+//! The recorder: a process-global, thread-safe span/event sink whose
+//! disabled path is a single relaxed atomic load.
+//!
+//! Hot-path design: every thread owns a private buffer (`thread_local!`,
+//! no lock, no atomic RMW) and an [`Arc`]-shared flush slot registered with
+//! the global collector. Recording appends to the private buffer; the
+//! buffer drains into the slot (one uncontended mutex lock per batch) when
+//! the outermost span of the thread closes, when the buffer grows past a
+//! threshold, or when the thread exits. [`drain`] gathers every slot.
+//! Threads other than the caller must be quiescent (joined, or between
+//! requests) for their most recent events to be visible — which holds at
+//! the export points of the serving example and the reproduce harness
+//! (after worker shutdown / after the experiment returns).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::event::{ArgValue, Phase, TraceEvent, Track};
+
+/// Local buffer size that forces a flush even inside a span.
+const FLUSH_THRESHOLD: usize = 128;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
+
+struct Slot {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+struct Registry {
+    slots: Mutex<Vec<Arc<Slot>>>,
+    thread_names: Mutex<Vec<(u32, String)>>,
+    /// Per-device simulated-time cursors (nanoseconds).
+    sim_cursors: Mutex<HashMap<u32, u64>>,
+}
+
+fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(|| Registry {
+        slots: Mutex::new(Vec::new()),
+        thread_names: Mutex::new(Vec::new()),
+        sim_cursors: Mutex::new(HashMap::new()),
+    })
+}
+
+struct Local {
+    buf: Vec<TraceEvent>,
+    slot: Arc<Slot>,
+    thread: u32,
+    depth: u32,
+}
+
+impl Local {
+    fn flush(&mut self) {
+        if self.buf.is_empty() {
+            return;
+        }
+        self.slot.events.lock().unwrap().append(&mut self.buf);
+    }
+}
+
+impl Drop for Local {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<Option<Local>> = const { RefCell::new(None) };
+}
+
+fn with_local<R>(f: impl FnOnce(&mut Local) -> R) -> R {
+    LOCAL.with(|cell| {
+        let mut opt = cell.borrow_mut();
+        let local = opt.get_or_insert_with(|| {
+            let thread = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            let name = std::thread::current()
+                .name()
+                .map_or_else(|| format!("thread-{thread}"), ToString::to_string);
+            let slot = Arc::new(Slot {
+                events: Mutex::new(Vec::new()),
+            });
+            let reg = registry();
+            reg.slots.lock().unwrap().push(Arc::clone(&slot));
+            reg.thread_names.lock().unwrap().push((thread, name));
+            Local {
+                buf: Vec::new(),
+                slot,
+                thread,
+                depth: 0,
+            }
+        });
+        f(local)
+    })
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Whether tracing is currently on. This is the entire cost of every
+/// instrumentation site when tracing is off: one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns tracing on. The first call fixes the host-clock epoch; host
+/// timestamps are nanoseconds since that instant.
+pub fn enable() {
+    let _ = epoch();
+    ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Turns tracing off. Already-recorded events stay buffered for [`drain`];
+/// spans opened while enabled still record on drop.
+pub fn disable() {
+    ENABLED.store(false, Ordering::Relaxed);
+}
+
+/// Nanoseconds since the tracer epoch on the host monotonic clock.
+pub fn host_now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+fn instant_to_ns(t: Instant) -> u64 {
+    t.saturating_duration_since(epoch()).as_nanos() as u64
+}
+
+fn record(local: &mut Local, event: TraceEvent) {
+    local.buf.push(event);
+    if local.depth == 0 || local.buf.len() >= FLUSH_THRESHOLD {
+        local.flush();
+    }
+}
+
+/// An open host-clock span. Records one [`Phase::Complete`] event covering
+/// construction → drop. Inert (zero cost beyond the construction check)
+/// when tracing was off at construction.
+#[must_use = "a span measures the scope it is held in"]
+pub struct SpanGuard {
+    name: String,
+    cat: &'static str,
+    start_ns: u64,
+    args: Vec<(&'static str, ArgValue)>,
+    active: bool,
+}
+
+impl SpanGuard {
+    /// Attaches a typed argument to the span (no-op when inert).
+    pub fn arg(&mut self, key: &'static str, value: impl Into<ArgValue>) {
+        if self.active {
+            self.args.push((key, value.into()));
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let dur_ns = host_now_ns().saturating_sub(self.start_ns);
+        with_local(|local| {
+            local.depth = local.depth.saturating_sub(1);
+            let event = TraceEvent {
+                name: std::mem::take(&mut self.name),
+                cat: self.cat,
+                track: Track::Host {
+                    thread: local.thread,
+                },
+                ts_ns: self.start_ns,
+                dur_ns,
+                phase: Phase::Complete,
+                args: std::mem::take(&mut self.args),
+            };
+            record(local, event);
+        });
+    }
+}
+
+/// Opens a host-clock span named `name` in category `cat`. When tracing is
+/// off this neither allocates nor touches thread-local state.
+pub fn span(name: &str, cat: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard {
+            name: String::new(),
+            cat,
+            start_ns: 0,
+            args: Vec::new(),
+            active: false,
+        };
+    }
+    with_local(|local| local.depth += 1);
+    SpanGuard {
+        name: name.to_string(),
+        cat,
+        start_ns: host_now_ns(),
+        args: Vec::new(),
+        active: true,
+    }
+}
+
+/// Records a host-clock interval that started at `start` (captured with
+/// [`Instant::now`] before tracing decisions were made — e.g. a request's
+/// enqueue time) and ends now.
+pub fn complete_from(
+    name: &str,
+    cat: &'static str,
+    start: Instant,
+    args: Vec<(&'static str, ArgValue)>,
+) {
+    if !enabled() {
+        return;
+    }
+    let ts_ns = instant_to_ns(start);
+    let dur_ns = host_now_ns().saturating_sub(ts_ns);
+    with_local(|local| {
+        let event = TraceEvent {
+            name: name.to_string(),
+            cat,
+            track: Track::Host {
+                thread: local.thread,
+            },
+            ts_ns,
+            dur_ns,
+            phase: Phase::Complete,
+            args,
+        };
+        record(local, event);
+    });
+}
+
+/// Records a host-clock point event.
+pub fn instant(name: &str, cat: &'static str, args: Vec<(&'static str, ArgValue)>) {
+    if !enabled() {
+        return;
+    }
+    with_local(|local| {
+        let event = TraceEvent {
+            name: name.to_string(),
+            cat,
+            track: Track::Host {
+                thread: local.thread,
+            },
+            ts_ns: host_now_ns(),
+            dur_ns: 0,
+            phase: Phase::Instant,
+            args,
+        };
+        record(local, event);
+    });
+}
+
+/// Records one simulated kernel launch on `device`'s sim-clock timeline:
+/// a device-track interval of `total_ns` starting at the device's cursor,
+/// plus one busy segment per SM with nonzero `per_sm_busy_ns`. Advances the
+/// cursor by `total_ns` so consecutive launches abut like a real profile.
+pub fn record_launch(
+    device: usize,
+    label: &str,
+    total_ns: u64,
+    per_sm_busy_ns: &[u64],
+    args: Vec<(&'static str, ArgValue)>,
+) {
+    if !enabled() {
+        return;
+    }
+    let device = device as u32;
+    let t0 = {
+        let mut cursors = registry().sim_cursors.lock().unwrap();
+        let cursor = cursors.entry(device).or_insert(0);
+        let t0 = *cursor;
+        *cursor += total_ns;
+        t0
+    };
+    let label = if label.is_empty() { "launch" } else { label };
+    with_local(|local| {
+        record(
+            local,
+            TraceEvent {
+                name: label.to_string(),
+                cat: "sim",
+                track: Track::Device { device },
+                ts_ns: t0,
+                dur_ns: total_ns,
+                phase: Phase::Complete,
+                args,
+            },
+        );
+        for (sm, &busy) in per_sm_busy_ns.iter().enumerate() {
+            if busy == 0 {
+                continue;
+            }
+            record(
+                local,
+                TraceEvent {
+                    name: label.to_string(),
+                    cat: "sim",
+                    track: Track::Sm {
+                        device,
+                        sm: sm as u32,
+                    },
+                    ts_ns: t0,
+                    dur_ns: busy,
+                    phase: Phase::Complete,
+                    args: Vec::new(),
+                },
+            );
+        }
+    });
+}
+
+/// Flushes the calling thread's private buffer into its shared slot.
+pub fn flush_current_thread() {
+    LOCAL.with(|cell| {
+        if let Some(local) = cell.borrow_mut().as_mut() {
+            local.flush();
+        }
+    });
+}
+
+/// Collects every event recorded so far, ordered by track then timestamp,
+/// and leaves the buffers empty. Events still private to *other* running
+/// threads are not visible until those threads flush (outermost span close,
+/// threshold, or exit) — drain after workers quiesce.
+pub fn drain() -> Vec<TraceEvent> {
+    flush_current_thread();
+    let mut events = Vec::new();
+    for slot in registry().slots.lock().unwrap().iter() {
+        events.append(&mut slot.events.lock().unwrap());
+    }
+    events.sort_by(|a, b| {
+        track_key(&a.track)
+            .cmp(&track_key(&b.track))
+            .then(a.ts_ns.cmp(&b.ts_ns))
+    });
+    events
+}
+
+/// Clears buffered events and rewinds every device's sim-clock cursor
+/// (thread registrations persist). Intended for tests and for separating
+/// phases that export independently.
+pub fn reset() {
+    flush_current_thread();
+    for slot in registry().slots.lock().unwrap().iter() {
+        slot.events.lock().unwrap().clear();
+    }
+    registry().sim_cursors.lock().unwrap().clear();
+}
+
+fn track_key(t: &Track) -> (u32, u32, u32) {
+    match t {
+        Track::Host { thread } => (0, *thread, 0),
+        Track::Device { device } => (1, *device, 0),
+        Track::Sm { device, sm } => (1, *device, 1 + sm),
+    }
+}
+
+/// Registered `(id, name)` pairs for host threads that have recorded.
+pub fn thread_names() -> Vec<(u32, String)> {
+    registry().thread_names.lock().unwrap().clone()
+}
+
+/// A cheap, copyable facade over the process-global tracer — the
+/// `ServerStats`-adjacent handle the serving API exposes, usable anywhere
+/// without plumbing a tracer reference through the stack.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TraceHandle;
+
+impl TraceHandle {
+    /// Creates a handle. All handles alias the same global recorder.
+    pub fn new() -> Self {
+        TraceHandle
+    }
+
+    /// Whether tracing is on (see [`enabled`]).
+    pub fn enabled(self) -> bool {
+        enabled()
+    }
+
+    /// Turns tracing on (see [`enable`]).
+    pub fn enable(self) {
+        enable();
+    }
+
+    /// Turns tracing off (see [`disable`]).
+    pub fn disable(self) {
+        disable();
+    }
+
+    /// Drains every buffered event (see [`drain`]).
+    pub fn drain(self) -> Vec<TraceEvent> {
+        drain()
+    }
+}

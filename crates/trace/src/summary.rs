@@ -1,0 +1,94 @@
+//! Human-readable roll-up of a drained trace: per-(category, name) span
+//! statistics plus per-device simulated utilization.
+
+use std::collections::BTreeMap;
+
+use crate::event::{Phase, TraceEvent, Track};
+
+/// Aggregate statistics of one span name within one category.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SpanStats {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Summed duration in milliseconds.
+    pub total_ms: f64,
+    /// Longest single span in milliseconds.
+    pub max_ms: f64,
+}
+
+impl SpanStats {
+    /// Mean span duration in milliseconds.
+    pub fn mean_ms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_ms / self.count as f64
+        }
+    }
+}
+
+/// Groups complete spans by `(category, name)`; instants are counted with
+/// zero duration. Host and sim categories aggregate side by side — the
+/// category name says which clock a row lives on.
+pub fn span_stats(events: &[TraceEvent]) -> BTreeMap<(String, String), SpanStats> {
+    let mut map: BTreeMap<(String, String), SpanStats> = BTreeMap::new();
+    for e in events {
+        // SM busy segments are sub-rows of the device-track launch span;
+        // counting both would double the sim totals.
+        if matches!(e.track, Track::Sm { .. }) {
+            continue;
+        }
+        let entry = map.entry((e.cat.to_string(), e.name.clone())).or_default();
+        entry.count += 1;
+        if e.phase == Phase::Complete {
+            let ms = e.dur_ms();
+            entry.total_ms += ms;
+            entry.max_ms = entry.max_ms.max(ms);
+        }
+    }
+    map
+}
+
+/// Renders the summary table shown by `--trace` runs: one row per
+/// `(category, span)` with count / total / mean / max, then one row per
+/// simulated device with its busy span of the sim clock.
+pub fn summary_table(events: &[TraceEvent]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<10} {:<22} {:>8} {:>12} {:>10} {:>10}\n",
+        "category", "span", "count", "total ms", "mean ms", "max ms"
+    ));
+    for ((cat, name), s) in span_stats(events) {
+        out.push_str(&format!(
+            "{:<10} {:<22} {:>8} {:>12.3} {:>10.4} {:>10.4}\n",
+            cat,
+            name,
+            s.count,
+            s.total_ms,
+            s.mean_ms(),
+            s.max_ms
+        ));
+    }
+
+    // Per-device sim-clock utilization: launch spans abut on the cursor, so
+    // the device's busy window is [0, last end].
+    let mut device_busy: BTreeMap<u32, (u64, u64)> = BTreeMap::new(); // dev -> (busy_ns, end_ns)
+    for e in events {
+        if let Track::Device { device } = e.track {
+            let entry = device_busy.entry(device).or_default();
+            entry.0 += e.dur_ns;
+            entry.1 = entry.1.max(e.ts_ns + e.dur_ns);
+        }
+    }
+    if !device_busy.is_empty() {
+        out.push('\n');
+        for (dev, (busy, end)) in device_busy {
+            out.push_str(&format!(
+                "device {dev}: {:.3} ms simulated kernel time over a {:.3} ms sim timeline\n",
+                busy as f64 / 1e6,
+                end as f64 / 1e6
+            ));
+        }
+    }
+    out
+}

@@ -35,6 +35,8 @@ struct Args {
     budget: usize,
     /// Square dimension of each synthetic matrix.
     size: usize,
+    /// Write a Chrome Trace Event JSON of the first replay here.
+    trace: Option<String>,
 }
 
 impl Default for Args {
@@ -47,6 +49,7 @@ impl Default for Args {
             window: 32,
             budget: 64,
             size: 128,
+            trace: None,
         }
     }
 }
@@ -54,7 +57,7 @@ impl Default for Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: serve [--requests N] [--matrices M] [--devices D] [--seed S]\n\
-         \u{20}            [--window W] [--budget COLS] [--size DIM]"
+         \u{20}            [--window W] [--budget COLS] [--size DIM] [--trace PATH]"
     );
     ExitCode::from(2)
 }
@@ -77,6 +80,9 @@ fn parse_args() -> Result<Args, String> {
             "--window" => args.window = value("--window")?,
             "--budget" => args.budget = value("--budget")?,
             "--size" => args.size = value("--size")?,
+            "--trace" => {
+                args.trace = Some(it.next().ok_or("--trace needs a path")?);
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
@@ -246,7 +252,25 @@ fn main() -> ExitCode {
         args.requests, args.matrices, args.size, args.size, args.devices, args.window, args.budget
     );
 
+    // Trace only the first replay: the recorder is process-global, so the
+    // second (determinism-check) replay would otherwise interleave its
+    // spans with the first run's timeline.
+    let tracer = smat_repro::trace::TraceHandle::new();
+    if args.trace.is_some() {
+        tracer.enable();
+    }
     let first = replay(&args, &matrices, &trace, true);
+    if let Some(path) = &args.trace {
+        tracer.disable();
+        let events = tracer.drain();
+        eprintln!("{}", smat_repro::trace::summary_table(&events));
+        let json = smat_repro::trace::chrome_trace_json(&events);
+        if let Err(e) = std::fs::write(path, json) {
+            eprintln!("error: writing trace to {path}: {e}");
+            return ExitCode::from(1);
+        }
+        eprintln!("wrote {} trace events to {path}", events.len());
+    }
     eprintln!(
         "run 1: completed {}/{} | registry hit rate {:.3} | mean batch {:.2} | {} responses rode a shared launch",
         first.stats.completed,

@@ -16,6 +16,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps
+
 echo "==> analyzer CLI: clean matrix must pass"
 cargo run -q --example analyze -- data/sample.mtx
 
@@ -46,6 +49,30 @@ assert hits >= 1, f"expected at least one registry cache hit, got {hits}"
 assert rec["registry_hit_rate"] > 0.9, rec["registry_hit_rate"]
 print(f"serve smoke OK: {rec['verified_requests']} requests verified, "
       f"{hits} registry hits (rate {rec['registry_hit_rate']:.3f})")
+PY
+
+echo "==> tracing: serve --trace must emit a valid Chrome trace"
+trace_file="$(mktemp /tmp/smat_trace.XXXXXX.json)"
+trap 'rm -f "$trace_file"' EXIT
+./target/release/examples/serve --requests 64 --trace "$trace_file" >/dev/null 2>&1
+python3 - "$trace_file" <<'PY'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "trace is empty"
+names = {e["name"] for e in events}
+# One span per serving lifecycle stage, plus pipeline + simulator coverage.
+for required in ("admission", "queue_wait", "batch_form", "launch",
+                 "complete", "prepare", "kernel_execute"):
+    assert required in names, f"missing lifecycle span '{required}'"
+cats = {e.get("cat") for e in events}
+assert "sim" in cats, "no simulated-device events in trace"
+for e in events:
+    if e.get("ph") != "M":  # metadata events carry no timestamp
+        assert isinstance(e["ts"], (int, float)) and e["ts"] >= 0, e
+print(f"trace smoke OK: {len(events)} events, "
+      f"{len(names)} distinct names, categories {sorted(c for c in cats if c)}")
 PY
 
 echo "All checks passed."

@@ -19,7 +19,10 @@
 //!   verifiers, and the kernel-schedule hazard analyzer backing the
 //!   pipeline's pre-flight hook and the `analyze` example CLI;
 //! * [`serve`] — the async multi-tenant serving engine (prepared-matrix
-//!   registry, plan cache, request batcher, device-pool scheduler).
+//!   registry, plan cache, request batcher, device-pool scheduler);
+//! * [`trace`] — the structured tracing/metrics layer (dual-clock span
+//!   recorder, Chrome Trace export, summary tables) threaded through the
+//!   pipeline, simulator, and serving engine.
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -48,6 +51,7 @@ pub use smat_formats as formats;
 pub use smat_gpusim as gpusim;
 pub use smat_reorder as reorder;
 pub use smat_serve as serve;
+pub use smat_trace as trace;
 pub use smat_workloads as workloads;
 
 /// The SMaT core library (re-export of the `smat` crate).
