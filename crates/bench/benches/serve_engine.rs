@@ -6,7 +6,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use smat::{Smat, SmatConfig};
 use smat_formats::{Csr, F16};
-use smat_serve::{Server, ServerConfig};
+use smat_gpusim::FaultConfig;
+use smat_serve::{RecoveryPolicy, Server, ServerConfig};
 use smat_workloads::{dense_b, random_uniform};
 
 fn bench_serve_overhead(c: &mut Criterion) {
@@ -28,6 +29,31 @@ fn bench_serve_overhead(c: &mut Criterion) {
     group.bench_function("submit_wait", |bch| {
         bch.iter(|| {
             let resp = server.submit(key, b.clone()).wait().expect("served");
+            std::hint::black_box(resp)
+        });
+    });
+
+    // The recovery tax: same path with the chaos layer armed at a blended
+    // 20% fault rate (zero backoff so the measurement is retry machinery,
+    // not sleeps). The delta over `submit_wait` is what fault survival
+    // costs per request.
+    let chaotic: Server<F16> = Server::new(ServerConfig {
+        devices: 1,
+        chaos: Some(FaultConfig::blended(42, 0.2)),
+        recovery: RecoveryPolicy {
+            backoff_base_us: 0,
+            fallback_attempts: 64,
+            ..RecoveryPolicy::default()
+        },
+        ..ServerConfig::default()
+    });
+    let chaos_key = chaotic.register(&a);
+    group.bench_function("submit_wait_chaos_r0.2", |bch| {
+        bch.iter(|| {
+            let resp = chaotic
+                .submit(chaos_key, b.clone())
+                .wait()
+                .expect("recovery served");
             std::hint::black_box(resp)
         });
     });

@@ -3,7 +3,7 @@
 //! permutation-aware result assembly.
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use smat_analyze::{analyze_launch, verify_bcsr, ScheduleSpec};
 use smat_diag::{Diagnostic, DiagnosticsExt};
@@ -56,6 +56,10 @@ struct SmatInner<T> {
     /// serving case — reuse the diagnostics instead of re-running the
     /// analysis.
     preflight_cache: Mutex<HashMap<usize, Arc<Vec<Diagnostic>>>>,
+    /// Memoized CSR reconstruction of the permuted matrix (`P·A·Qᵀ`), the
+    /// operand of the scalar degradation path. Built on first use: the
+    /// fault-free serving path never pays for it.
+    fallback_csr: OnceLock<Arc<Csr<T>>>,
 }
 
 /// Result of one SpMM execution.
@@ -144,6 +148,7 @@ impl<T: Element> Smat<T> {
                 ncols: a.ncols(),
                 fingerprint,
                 preflight_cache: Mutex::new(HashMap::new()),
+                fallback_csr: OnceLock::new(),
             }),
         }
     }
@@ -328,6 +333,45 @@ impl<T: Element> Smat<T> {
                 kernel_label: inner.config.opts.label(),
             },
         })
+    }
+
+    /// The permuted matrix (`P·A·Qᵀ`) reconstructed as CSR — the operand
+    /// of the scalar (cuSPARSE-like) degradation path used when the Tensor
+    /// Core kernel keeps failing under fault injection.
+    ///
+    /// Memoized on the prepared handle: the first call converts the BCSR
+    /// back to CSR (dropping block padding), later calls share the same
+    /// allocation. A product computed over this matrix is in the
+    /// *permuted* space: feed it right-hand sides transformed with
+    /// [`Smat::permute_rhs`] and restore the output row order with
+    /// [`Smat::restore_row_order`].
+    pub fn fallback_csr(&self) -> Arc<Csr<T>> {
+        Arc::clone(
+            self.inner
+                .fallback_csr
+                .get_or_init(|| Arc::new(self.inner.bcsr.to_csr())),
+        )
+    }
+
+    /// Applies the prepare-time column permutation (if any) to a
+    /// right-hand side, producing the `B` the permuted-space operands
+    /// ([`Smat::bcsr`], [`Smat::fallback_csr`]) expect. Returns `None`
+    /// when no column permutation is active and `b` can be used as-is.
+    pub fn permute_rhs(&self, b: &Dense<T>) -> Option<Dense<T>> {
+        self.inner
+            .reordering
+            .col_perm
+            .as_ref()
+            .map(|cp| b.select_rows(cp.as_slice()))
+    }
+
+    /// Restores the original row order of a product computed in the
+    /// permuted row space (`P·(A·B)` → `A·B`) — the assembly step
+    /// [`Smat::try_spmm`] performs internally, exposed for external
+    /// executors such as the scalar degradation path.
+    pub fn restore_row_order(&self, c_permuted: &Dense<T>) -> Dense<T> {
+        let inv = self.inner.reordering.row_perm.inverse();
+        c_permuted.select_rows(inv.as_slice())
     }
 
     /// Like [`Smat::try_spmm`] but panics on simulation errors — the
@@ -691,6 +735,43 @@ mod tests {
             on_pool.report.launch.time_ms,
             embedded.report.launch.time_ms
         );
+    }
+
+    #[test]
+    fn fallback_csr_is_memoized_and_matches_tc_pipeline_bitwise() {
+        let a = interleaved(64);
+        let b = rhs(64, 8);
+        for alg in [
+            ReorderAlgorithm::JaccardRows { tau: 0.7 },
+            // Exercises the column permutation branch of permute_rhs.
+            ReorderAlgorithm::JaccardRowsCols { tau: 0.7 },
+        ] {
+            let cfg = SmatConfig {
+                reorder: alg,
+                ..SmatConfig::default()
+            };
+            let engine = Smat::prepare(&a, cfg);
+            let csr = engine.fallback_csr();
+            assert!(
+                Arc::ptr_eq(&csr, &engine.fallback_csr()),
+                "fallback CSR must be built once and shared"
+            );
+            assert_eq!(csr.nnz(), a.nnz(), "padding zeros must be dropped");
+            let b_permuted = engine.permute_rhs(&b);
+            let b_eff = b_permuted.as_ref().unwrap_or(&b);
+            let scalar = engine.restore_row_order(&csr.spmm_reference(b_eff));
+            // The scalar degradation path must be indistinguishable from
+            // the Tensor Core result — same bits, original row order.
+            assert_eq!(scalar, engine.spmm(&b).c, "algorithm {}", alg.name());
+        }
+    }
+
+    #[test]
+    fn permute_rhs_is_none_without_column_permutation() {
+        let a = interleaved(32);
+        let engine = Smat::prepare(&a, SmatConfig::default());
+        assert!(engine.reordering().col_perm.is_none());
+        assert!(engine.permute_rhs(&rhs(32, 4)).is_none());
     }
 
     #[test]

@@ -105,6 +105,16 @@ impl<T: Element> Coo<T> {
         self.entries = out;
     }
 
+    /// Reference SpMM through the canonical CSR conversion (duplicates
+    /// summed, zeros dropped), f64 accumulation — bitwise identical to
+    /// [`Csr::spmm_reference`] on [`Coo::to_csr`].
+    ///
+    /// # Panics
+    /// Panics if `b.nrows() != self.ncols()`.
+    pub fn spmm_reference(&self, b: &crate::dense::Dense<T>) -> crate::dense::Dense<T> {
+        self.to_csr().spmm_reference(b)
+    }
+
     /// Converts to CSR. Duplicates are summed and zeros dropped on the way.
     pub fn to_csr(&self) -> Csr<T> {
         let mut canonical = self.clone();
@@ -174,6 +184,17 @@ mod tests {
         assert_eq!(csr.row_cols(1), &[] as &[usize]);
         assert_eq!(csr.row_cols(2), &[0]);
         assert_eq!(csr.get(0, 0), Some(2.0));
+    }
+
+    #[test]
+    fn spmm_reference_matches_csr_path() {
+        let mut m = Coo::<f32>::new(3, 3);
+        m.push(2, 0, 5.0);
+        m.push(0, 2, 1.0);
+        m.push(0, 0, 2.0);
+        m.push(0, 0, 1.0); // duplicate, summed during conversion
+        let b = crate::dense::Dense::from_fn(3, 2, |i, j| (i + 2 * j) as f32);
+        assert_eq!(m.spmm_reference(&b), m.to_csr().spmm_reference(&b));
     }
 
     #[test]

@@ -10,10 +10,14 @@
 //! what makes highly skewed matrices like `dc2` pathological for a static
 //! 2D schedule (§VI-B of the paper).
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use rayon::prelude::*;
 
 use crate::counters::Counters;
 use crate::device::DeviceConfig;
+use crate::fault::{FaultKind, FaultPlan, Straggler};
 
 /// Simulation errors surfaced to callers.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +44,19 @@ pub enum SimError {
         /// The findings, in pass order.
         diagnostics: Vec<smat_diag::Diagnostic>,
     },
+    /// The active [`FaultPlan`] injected a fault into this launch. The
+    /// launch produced no (usable) result: transient/offline faults fail
+    /// before any work runs; ECC faults run the kernel, pay its simulated
+    /// time, then report the results corrupted. Retryable by policy.
+    FaultInjected {
+        /// The injected fault class.
+        kind: FaultKind,
+        /// Device index (trace identity) the fault landed on.
+        device: usize,
+        /// The fault key the decision was drawn for — replaying the same
+        /// plan with this key reproduces the fault.
+        key: u64,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -65,6 +82,10 @@ impl std::fmt::Display for SimError {
                 }
                 Ok(())
             }
+            SimError::FaultInjected { kind, device, key } => write!(
+                f,
+                "injected {kind} fault on device {device} (fault key {key:#x})"
+            ),
         }
     }
 }
@@ -295,32 +316,65 @@ pub struct Gpu {
     /// Device parameters.
     pub cfg: DeviceConfig,
     /// Identity of this device on trace timelines (`smat-trace` device
-    /// track). Single-device runs keep the default 0; device pools assign
-    /// the pool index so launches land on per-device tracks.
+    /// track) and in fault decisions. Single-device runs keep the default
+    /// 0; device pools assign the pool index so launches land on
+    /// per-device tracks and draw per-device fault schedules.
     pub trace_device: usize,
+    /// Active fault plan, if any. `None` (the default) is fault-free and
+    /// adds no per-launch cost.
+    fault_plan: Option<Arc<FaultPlan>>,
+    /// Pinned fault key for the next launches. When `None`, launches draw
+    /// keys from `fault_ordinal` (0, 1, 2, … per device clone lineage),
+    /// which is deterministic for a single-threaded caller; concurrent
+    /// callers that need interleaving-independent schedules pin a
+    /// content-derived key per attempt via [`Gpu::with_fault_key`].
+    fault_key: Option<u64>,
+    /// Launch ordinal used when no key is pinned. Shared across clones so
+    /// a clone lineage numbers its launches consistently.
+    fault_ordinal: Arc<AtomicU64>,
 }
 
 impl Gpu {
     /// A GPU with the default A100 configuration.
     pub fn a100() -> Self {
-        Gpu {
-            cfg: DeviceConfig::a100_sxm4_40gb(),
-            trace_device: 0,
-        }
+        Gpu::new(DeviceConfig::a100_sxm4_40gb())
     }
 
     /// A GPU with the given device configuration.
     pub fn new(cfg: DeviceConfig) -> Self {
         Gpu {
             cfg,
-            trace_device: 0,
+            ..Gpu::default()
         }
     }
 
-    /// Sets the device index used for trace timelines (builder style).
+    /// Sets the device index used for trace timelines and fault decisions
+    /// (builder style).
     pub fn with_trace_device(mut self, device: usize) -> Self {
         self.trace_device = device;
         self
+    }
+
+    /// Attaches a fault plan: subsequent launches consult it and may fail
+    /// with [`SimError::FaultInjected`] (builder style).
+    pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Pins the fault key the next launches draw their decision from
+    /// (builder style). Pinned keys make the fault schedule a pure
+    /// function of caller-supplied content, independent of launch order or
+    /// thread interleaving; callers issue a fresh key per attempt (see
+    /// [`crate::fault::compose_key`]).
+    pub fn with_fault_key(mut self, key: u64) -> Self {
+        self.fault_key = Some(key);
+        self
+    }
+
+    /// The active fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault_plan.as_ref()
     }
 
     /// Validates launch resources (device memory footprint, per-block shared
@@ -360,6 +414,30 @@ impl Gpu {
     {
         self.check_resources(cfg)?;
 
+        // Consult the fault plan, if any. Transient and offline faults fail
+        // the launch before any work runs; ECC corruption lets the kernel
+        // run (and pays its simulated time) before reporting the results
+        // corrupted; a straggler only inflates one SM's cycles.
+        let fault = self.fault_plan.as_ref().map(|plan| {
+            let key = self
+                .fault_key
+                .unwrap_or_else(|| self.fault_ordinal.fetch_add(1, Ordering::Relaxed));
+            (key, plan.decide(self.trace_device, key))
+        });
+        let straggler = fault.as_ref().and_then(|(_, d)| d.straggler);
+        if let Some((key, decision)) = &fault {
+            if let Some(kind) = decision.outcome {
+                if kind != FaultKind::EccCorruption {
+                    self.trace_fault(kind, *key, cfg);
+                    return Err(SimError::FaultInjected {
+                        kind,
+                        device: self.trace_device,
+                        key: *key,
+                    });
+                }
+            }
+        }
+
         let results: Vec<(Counters, W)> = (0..n_warps)
             .into_par_iter()
             .map(|warp_id| {
@@ -369,7 +447,18 @@ impl Gpu {
             })
             .collect();
 
-        let (result, outputs) = self.finish(n_warps, cfg, results);
+        let (result, outputs) = self.finish(n_warps, cfg, results, straggler);
+
+        if let Some((key, decision)) = &fault {
+            if let Some(kind @ FaultKind::EccCorruption) = decision.outcome {
+                self.trace_fault(kind, *key, cfg);
+                return Err(SimError::FaultInjected {
+                    kind,
+                    device: self.trace_device,
+                    key: *key,
+                });
+            }
+        }
         Ok((result, outputs))
     }
 
@@ -378,6 +467,7 @@ impl Gpu {
         n_warps: usize,
         cfg: &LaunchConfig,
         results: Vec<(Counters, W)>,
+        straggler: Option<Straggler>,
     ) -> (LaunchResult, Vec<W>) {
         let d = &self.cfg;
         let nsm = d.num_sms;
@@ -401,10 +491,18 @@ impl Gpu {
             .zip(&per_sm_warps)
             .map(|(c, &w)| self.sm_profile(c, w, cfg.copy_mode))
             .collect();
-        let per_sm_cycles: Vec<f64> = profiles
+        let mut per_sm_cycles: Vec<f64> = profiles
             .iter()
             .map(|p| self.profile_cycles(p, cfg.copy_mode))
             .collect();
+        // Straggler fault: one SM (picked by the plan's salt) runs its
+        // whole share `slowdown`× slower. Timing-only — results are
+        // unaffected, but kernel time is the slowest SM, so a straggler on
+        // a loaded SM stretches the launch.
+        if let Some(s) = straggler {
+            let victim = (s.sm_salt % nsm as u64) as usize;
+            per_sm_cycles[victim] *= s.slowdown;
+        }
         let (busiest_idx, busiest) =
             per_sm_cycles
                 .iter()
@@ -428,6 +526,23 @@ impl Gpu {
             self.trace_launch(&result);
         }
         (result, outputs)
+    }
+
+    /// Records an injected fault as an instant event in the `chaos` trace
+    /// category, so a Perfetto view shows the fault next to the recovery.
+    fn trace_fault(&self, kind: FaultKind, key: u64, cfg: &LaunchConfig) {
+        if smat_trace::enabled() {
+            smat_trace::instant(
+                "fault_injected",
+                "chaos",
+                vec![
+                    ("kind", kind.label().into()),
+                    ("device", (self.trace_device as u64).into()),
+                    ("key", key.into()),
+                    ("kernel", cfg.label.clone().into()),
+                ],
+            );
+        }
     }
 
     /// Records the launch on this device's simulated-time trace track: one
@@ -728,6 +843,175 @@ mod tests {
             })
             .unwrap();
         assert_eq!(res.totals.global_bytes, 32);
+    }
+
+    #[test]
+    fn fault_free_plan_never_interferes() {
+        let plan = Arc::new(FaultPlan::new(crate::fault::FaultConfig::default()));
+        let gpu = gpu().with_fault_plan(plan);
+        for _ in 0..20 {
+            gpu.launch(64, &LaunchConfig::default(), |ctx| ctx.mma(1))
+                .unwrap();
+        }
+    }
+
+    #[test]
+    fn pinned_key_reproduces_the_same_fault() {
+        let cfg = crate::fault::FaultConfig {
+            seed: 9,
+            transient_rate: 0.5,
+            ..Default::default()
+        };
+        let plan = Arc::new(FaultPlan::new(cfg));
+        // Find a key that faults, then check it faults identically forever
+        // while other keys may succeed.
+        let faulting_key = (0..200u64)
+            .find(|&k| plan.decide(0, k).outcome.is_some())
+            .expect("50% rate must fault some key");
+        let gpu = gpu()
+            .with_fault_plan(Arc::clone(&plan))
+            .with_fault_key(faulting_key);
+        for _ in 0..5 {
+            let err = gpu
+                .launch(8, &LaunchConfig::default(), |ctx| ctx.mma(1))
+                .unwrap_err();
+            assert_eq!(
+                err,
+                SimError::FaultInjected {
+                    kind: FaultKind::TransientLaunchFailure,
+                    device: 0,
+                    key: faulting_key,
+                }
+            );
+        }
+        let ok_key = (0..200u64)
+            .find(|&k| plan.decide(0, k).outcome.is_none())
+            .expect("50% rate must pass some key");
+        gpu.clone()
+            .with_fault_key(ok_key)
+            .launch(8, &LaunchConfig::default(), |ctx| ctx.mma(1))
+            .unwrap();
+    }
+
+    #[test]
+    fn ecc_fault_runs_the_kernel_before_failing() {
+        use std::sync::atomic::AtomicUsize;
+        let cfg = crate::fault::FaultConfig {
+            seed: 4,
+            ecc_rate: 1.0,
+            ..Default::default()
+        };
+        let gpu = gpu()
+            .with_fault_plan(Arc::new(FaultPlan::new(cfg)))
+            .with_fault_key(0);
+        let ran = AtomicUsize::new(0);
+        let err = gpu
+            .launch(16, &LaunchConfig::default(), |ctx| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                ctx.mma(1);
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::FaultInjected {
+                kind: FaultKind::EccCorruption,
+                ..
+            }
+        ));
+        assert_eq!(ran.load(Ordering::Relaxed), 16, "ECC must run the kernel");
+    }
+
+    #[test]
+    fn transient_fault_fails_before_running_the_kernel() {
+        use std::sync::atomic::AtomicUsize;
+        let cfg = crate::fault::FaultConfig {
+            seed: 4,
+            transient_rate: 1.0,
+            ..Default::default()
+        };
+        let gpu = gpu()
+            .with_fault_plan(Arc::new(FaultPlan::new(cfg)))
+            .with_fault_key(0);
+        let ran = AtomicUsize::new(0);
+        let err = gpu
+            .launch(16, &LaunchConfig::default(), |ctx| {
+                ran.fetch_add(1, Ordering::Relaxed);
+                ctx.mma(1);
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SimError::FaultInjected {
+                kind: FaultKind::TransientLaunchFailure,
+                ..
+            }
+        ));
+        assert_eq!(ran.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn straggler_inflates_kernel_time_without_touching_results() {
+        let base = gpu();
+        let clean = base
+            .launch(108 * 4, &LaunchConfig::default(), |ctx| {
+                ctx.mma(1000);
+                ctx.warp_id
+            })
+            .unwrap();
+        let cfg = crate::fault::FaultConfig {
+            seed: 2,
+            straggler_rate: 1.0,
+            straggler_slowdown: 4.0,
+            ..Default::default()
+        };
+        let slow = base
+            .clone()
+            .with_fault_plan(Arc::new(FaultPlan::new(cfg)))
+            .with_fault_key(0)
+            .launch(108 * 4, &LaunchConfig::default(), |ctx| {
+                ctx.mma(1000);
+                ctx.warp_id
+            })
+            .unwrap();
+        assert_eq!(clean.1, slow.1, "straggler must not change outputs");
+        assert!(
+            slow.0.cycles > clean.0.cycles * 2.0,
+            "straggler ({}) must inflate clean time ({})",
+            slow.0.cycles,
+            clean.0.cycles
+        );
+    }
+
+    #[test]
+    fn unkeyed_launches_draw_sequential_ordinals() {
+        // Without a pinned key the ordinal advances per launch, so a 100%
+        // transient plan faults every launch with increasing keys.
+        let cfg = crate::fault::FaultConfig {
+            seed: 1,
+            transient_rate: 1.0,
+            ..Default::default()
+        };
+        let gpu = gpu().with_fault_plan(Arc::new(FaultPlan::new(cfg)));
+        for expect in 0..3u64 {
+            let err = gpu.launch(1, &LaunchConfig::default(), |_| ()).unwrap_err();
+            let SimError::FaultInjected { key, .. } = err else {
+                panic!("expected fault");
+            };
+            assert_eq!(key, expect);
+        }
+    }
+
+    #[test]
+    fn fault_display_names_the_device_and_kind() {
+        let err = SimError::FaultInjected {
+            kind: FaultKind::DeviceOffline,
+            device: 3,
+            key: 0x2a,
+        };
+        assert_eq!(
+            err.to_string(),
+            "injected offline fault on device 3 (fault key 0x2a)"
+        );
     }
 
     #[test]

@@ -1,0 +1,373 @@
+//! Deterministic fault injection for the simulated device pool.
+//!
+//! A [`FaultPlan`] turns a `u64` seed plus rate knobs into a *pure function*
+//! from `(device, fault key)` to a [`FaultDecision`]. There is no wall
+//! clock, OS randomness, or hidden mutable state in the decision path: two
+//! runs that present the same keys to the same plan observe the exact same
+//! fault schedule, regardless of thread interleaving. That purity is what
+//! makes chaos testing reproducible — a failing seed can be replayed
+//! forever.
+//!
+//! Four fault classes are modeled, mirroring what real multi-GPU serving
+//! fleets see:
+//!
+//! * **Transient launch failures** — the launch is refused before any work
+//!   runs (driver hiccup, sticky ECC scrub, context corruption). Retryable.
+//! * **ECC-style result corruption** — the kernel runs to completion, then
+//!   the device reports the results as corrupted (detected double-bit
+//!   error). The caller pays the kernel time and must retry.
+//! * **Per-SM stragglers** — one SM runs a configurable factor slower
+//!   (clock throttling, row-remap stalls). Timing-only: results are
+//!   correct, but the launch's wall time inflates because kernel time is
+//!   the slowest SM.
+//! * **Device-offline windows** — contiguous spans of the *work-id space*
+//!   during which every launch on a device fails (node drain, XID reset).
+//!   Retrying on the same device inside the window keeps failing; recovery
+//!   requires going elsewhere, which is what exercises circuit breakers and
+//!   hedging upstream.
+//!
+//! Keys are composed with [`compose_key`] so that the work identity (e.g. a
+//! request sequence number), the retry attempt, and the execution lane
+//! (primary / hedge / fallback) each get independent draws, while the
+//! offline decision depends only on the work identity — a retry of the same
+//! work on an offline device stays offline.
+
+use serde::Serialize;
+
+/// Bit budget of the non-work portion of a composed key: [`compose_key`]
+/// packs `attempt` and `lane` into the low `KEY_META_BITS` bits and the
+/// work id above them.
+pub const KEY_META_BITS: u32 = 12;
+
+/// Rate knobs and seed of a fault plan. All rates are probabilities in
+/// `[0, 1]`; the default is fault-free (every rate zero).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct FaultConfig {
+    /// Seed of every pseudo-random draw. Same seed ⇒ same schedule.
+    pub seed: u64,
+    /// Probability a launch is refused before running (retryable).
+    pub transient_rate: f64,
+    /// Probability a completed launch reports its results corrupted.
+    pub ecc_rate: f64,
+    /// Probability one SM of a launch runs `straggler_slowdown`× slower.
+    pub straggler_rate: f64,
+    /// Slowdown factor applied to the straggling SM's cycles.
+    pub straggler_slowdown: f64,
+    /// Probability a given (device, offline window) bucket is an outage.
+    pub offline_rate: f64,
+    /// Width of an offline window in work-id units: work ids
+    /// `[k·w, (k+1)·w)` share one offline draw per device.
+    pub offline_window: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0,
+            transient_rate: 0.0,
+            ecc_rate: 0.0,
+            straggler_rate: 0.0,
+            straggler_slowdown: 4.0,
+            offline_rate: 0.0,
+            offline_window: 32,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A blended profile derived from one headline `rate`: transient
+    /// failures at `rate`, ECC corruption at half of it, stragglers at
+    /// `rate`, and offline windows at a quarter of it — the mix used by the
+    /// serving example's `--fault-rate` flag.
+    pub fn blended(seed: u64, rate: f64) -> Self {
+        FaultConfig {
+            seed,
+            transient_rate: rate,
+            ecc_rate: rate * 0.5,
+            straggler_rate: rate,
+            straggler_slowdown: 4.0,
+            offline_rate: rate * 0.25,
+            offline_window: 32,
+        }
+    }
+}
+
+/// The fault classes a launch can be hit with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum FaultKind {
+    /// The launch was refused before any work ran. Retryable.
+    TransientLaunchFailure,
+    /// The kernel ran, then the device reported the results corrupted
+    /// (detected, reported — never silently returned). Retryable.
+    EccCorruption,
+    /// The device is inside an offline window for this work id; every
+    /// launch of the same work on this device fails until the window ends.
+    DeviceOffline,
+}
+
+impl FaultKind {
+    /// Stable label used in stats, traces, and logs.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::TransientLaunchFailure => "transient",
+            FaultKind::EccCorruption => "ecc",
+            FaultKind::DeviceOffline => "offline",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A straggler directive: slow one SM of the launch down.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Straggler {
+    /// Salt the engine reduces modulo the SM count to pick the victim.
+    pub sm_salt: u64,
+    /// Factor the victim SM's busy cycles are multiplied by (> 1).
+    pub slowdown: f64,
+}
+
+/// What the plan decided for one launch attempt.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultDecision {
+    /// A fault that makes the launch fail, if any.
+    pub outcome: Option<FaultKind>,
+    /// A timing-only straggler, if any (also applied to faulted ECC
+    /// launches, which run before failing).
+    pub straggler: Option<Straggler>,
+}
+
+/// A seeded, deterministic fault schedule over `(device, key)` pairs.
+///
+/// Construction is cheap (the plan is just the config); every decision is
+/// computed on demand from hashes, so the plan is `Sync` and can be shared
+/// across a device pool behind one `Arc`.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    cfg: FaultConfig,
+}
+
+/// `splitmix64` finalizer — the standard 64-bit avalanche mix.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Hash of (seed, device, salt, key) → uniform u64.
+fn draw(seed: u64, device: usize, salt: u64, key: u64) -> u64 {
+    mix(mix(seed ^ salt) ^ mix(device as u64 ^ salt.rotate_left(17)) ^ mix(key))
+}
+
+/// Uniform `[0, 1)` from a hash.
+fn u01(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Composes a fault key from a stable work identity, a retry attempt, and
+/// an execution lane. The work id occupies the high bits (so offline
+/// windows span contiguous work), attempt and lane the low
+/// [`KEY_META_BITS`]: every retry and every lane draws an independent
+/// transient/ECC/straggler verdict, while the offline verdict — keyed on
+/// the work id alone — is shared by all of them.
+pub fn compose_key(work_id: u64, attempt: u32, lane: u32) -> u64 {
+    (work_id << KEY_META_BITS) | (u64::from(attempt & 0x3ff) << 2) | u64::from(lane & 0x3)
+}
+
+/// Recovers the work-id portion of a composed key.
+pub fn work_of_key(key: u64) -> u64 {
+    key >> KEY_META_BITS
+}
+
+impl FaultPlan {
+    /// A plan over the given knobs.
+    pub fn new(cfg: FaultConfig) -> Self {
+        assert!(
+            cfg.offline_window > 0,
+            "offline window width must be positive"
+        );
+        FaultPlan { cfg }
+    }
+
+    /// The knobs this plan was built from.
+    pub fn config(&self) -> &FaultConfig {
+        &self.cfg
+    }
+
+    /// The decision for one launch attempt on `device` with fault key
+    /// `key`. Pure: same inputs, same decision, forever.
+    pub fn decide(&self, device: usize, key: u64) -> FaultDecision {
+        let c = &self.cfg;
+        let bucket = work_of_key(key) / c.offline_window;
+        let outcome = if u01(draw(c.seed, device, 0x0FF1_1CE0, bucket)) < c.offline_rate {
+            Some(FaultKind::DeviceOffline)
+        } else if u01(draw(c.seed, device, 0x7EA4_5187, key)) < c.transient_rate {
+            Some(FaultKind::TransientLaunchFailure)
+        } else if u01(draw(c.seed, device, 0xECC0_4321, key)) < c.ecc_rate {
+            Some(FaultKind::EccCorruption)
+        } else {
+            None
+        };
+        let straggler_roll = draw(c.seed, device, 0x57A6_617E, key);
+        let straggler = (u01(straggler_roll) < c.straggler_rate).then(|| Straggler {
+            sm_salt: mix(straggler_roll),
+            slowdown: c.straggler_slowdown,
+        });
+        FaultDecision { outcome, straggler }
+    }
+
+    /// Deterministic backoff jitter in `[0, 1)` for a retry of `work_id` at
+    /// `attempt` — derived from the plan seed so replays back off
+    /// identically.
+    pub fn jitter(&self, work_id: u64, attempt: u32) -> f64 {
+        u01(draw(
+            self.cfg.seed,
+            0,
+            0xBAC0_FF00,
+            compose_key(work_id, attempt, 0),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(rate: f64) -> FaultPlan {
+        FaultPlan::new(FaultConfig::blended(42, rate))
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_inputs() {
+        let p = plan(0.3);
+        for key in 0..500u64 {
+            assert_eq!(p.decide(0, key), p.decide(0, key));
+            assert_eq!(p.decide(3, key), p.decide(3, key));
+        }
+        // A fresh plan with the same config agrees everywhere.
+        let q = plan(0.3);
+        for key in 0..500u64 {
+            assert_eq!(p.decide(1, key), q.decide(1, key));
+        }
+    }
+
+    #[test]
+    fn zero_rates_never_fault() {
+        let p = FaultPlan::new(FaultConfig::default());
+        for device in 0..4 {
+            for key in 0..1000u64 {
+                assert_eq!(p.decide(device, key), FaultDecision::default());
+            }
+        }
+    }
+
+    #[test]
+    fn rates_are_approximately_honored() {
+        let cfg = FaultConfig {
+            seed: 7,
+            transient_rate: 0.2,
+            ..FaultConfig::default()
+        };
+        let p = FaultPlan::new(cfg);
+        let n = 20_000u64;
+        let faults = (0..n).filter(|&k| p.decide(0, k).outcome.is_some()).count() as f64;
+        let rate = faults / n as f64;
+        assert!((rate - 0.2).abs() < 0.02, "observed rate {rate}");
+    }
+
+    #[test]
+    fn offline_windows_cover_contiguous_work_and_all_attempts() {
+        let cfg = FaultConfig {
+            seed: 3,
+            offline_rate: 0.3,
+            offline_window: 16,
+            ..FaultConfig::default()
+        };
+        let p = FaultPlan::new(cfg);
+        // Every work id in one window shares the verdict, on every attempt
+        // and lane.
+        for bucket in 0..50u64 {
+            let first = p.decide(1, compose_key(bucket * 16, 0, 0)).outcome;
+            for w in 0..16u64 {
+                for attempt in 0..4 {
+                    for lane in 0..3 {
+                        let d = p.decide(1, compose_key(bucket * 16 + w, attempt, lane));
+                        assert_eq!(d.outcome, first, "bucket {bucket} w {w}");
+                    }
+                }
+            }
+        }
+        // And some buckets are offline while others are not.
+        let verdicts: Vec<bool> = (0..50u64)
+            .map(|b| p.decide(1, compose_key(b * 16, 0, 0)).outcome.is_some())
+            .collect();
+        assert!(verdicts.iter().any(|&v| v));
+        assert!(verdicts.iter().any(|&v| !v));
+    }
+
+    #[test]
+    fn devices_draw_independent_schedules() {
+        let p = plan(0.4);
+        let schedule = |device| -> Vec<Option<FaultKind>> {
+            (0..200u64)
+                .map(|k| p.decide(device, compose_key(k, 0, 0)).outcome)
+                .collect()
+        };
+        assert_ne!(schedule(0), schedule(1));
+    }
+
+    #[test]
+    fn retries_redraw_transient_but_not_offline() {
+        let cfg = FaultConfig {
+            seed: 11,
+            transient_rate: 0.5,
+            ..FaultConfig::default()
+        };
+        let p = FaultPlan::new(cfg);
+        // With a 0.5 transient rate, some work must see attempt 0 fail and
+        // attempt 1 succeed — i.e. attempts draw independently.
+        let recovered = (0..200u64).any(|w| {
+            p.decide(0, compose_key(w, 0, 0)).outcome.is_some()
+                && p.decide(0, compose_key(w, 1, 0)).outcome.is_none()
+        });
+        assert!(recovered, "no retry ever recovered at 50% transient rate");
+    }
+
+    #[test]
+    fn key_composition_roundtrips_work_id() {
+        for w in [0u64, 1, 17, 1 << 40] {
+            for a in [0u32, 1, 9, 1023] {
+                for l in 0..3 {
+                    assert_eq!(work_of_key(compose_key(w, a, l)), w);
+                }
+            }
+        }
+        // Distinct attempts and lanes give distinct keys.
+        assert_ne!(compose_key(5, 0, 0), compose_key(5, 1, 0));
+        assert_ne!(compose_key(5, 0, 0), compose_key(5, 0, 1));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = plan(0.1);
+        for w in 0..50u64 {
+            for a in 0..4 {
+                let j = p.jitter(w, a);
+                assert!((0.0..1.0).contains(&j));
+                assert_eq!(j, p.jitter(w, a));
+            }
+        }
+    }
+
+    #[test]
+    fn kind_labels_are_stable() {
+        assert_eq!(FaultKind::TransientLaunchFailure.label(), "transient");
+        assert_eq!(FaultKind::EccCorruption.to_string(), "ecc");
+        assert_eq!(FaultKind::DeviceOffline.label(), "offline");
+    }
+}

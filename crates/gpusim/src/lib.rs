@@ -18,12 +18,20 @@
 //!   sums into cycles using the datasheet-derived constants in
 //!   [`DeviceConfig`]; kernel time is the slowest SM (load imbalance is
 //!   first-class, as in the paper's `dc2` discussion).
+//!
+//! A fourth, orthogonal layer is **fault injection**: a seeded
+//! [`FaultPlan`] attached via [`Gpu::with_fault_plan`] deterministically
+//! injects transient launch failures, ECC-style result corruption, per-SM
+//! stragglers, and device-offline windows into [`Gpu::launch`]
+//! ([`engine::SimError::FaultInjected`]), so resilience machinery can be
+//! tested reproducibly. See the [`fault`] module and DESIGN.md §12.
 
 #![forbid(unsafe_code)]
 
 pub mod counters;
 pub mod device;
 pub mod engine;
+pub mod fault;
 pub mod frag;
 pub mod mma;
 pub mod smem;
@@ -32,6 +40,9 @@ pub use counters::{shared_transactions, Counters};
 pub use device::DeviceConfig;
 pub use engine::{
     Bound, BoundProfile, CopyMode, Gpu, LaunchConfig, LaunchResult, SimError, WarpCtx,
+};
+pub use fault::{
+    compose_key, work_of_key, FaultConfig, FaultDecision, FaultKind, FaultPlan, Straggler,
 };
 pub use mma::{mma_tile, mma_tile_wide, MmaShape};
 pub use smem::{SharedTile, SmemLayout};

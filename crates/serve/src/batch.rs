@@ -10,6 +10,7 @@
 use std::collections::VecDeque;
 
 use smat::{RunReport, Smat};
+use smat_baselines::CusparseLike;
 use smat_formats::{Dense, Element};
 use smat_gpusim::{Gpu, SimError};
 
@@ -33,6 +34,47 @@ pub fn spmm_batched<T: Element>(
     let wide = Dense::hconcat(panels);
     let run = smat.try_spmm_on(gpu, &wide)?;
     Ok((run.c.split_cols(&widths), run.report))
+}
+
+/// The scalar degradation rung: executes the same batched product with the
+/// `baselines::cusparse` vector-CSR kernel over the prepared matrix's
+/// memoized CSR reconstruction ([`Smat::fallback_csr`]) — no Tensor Cores,
+/// no blocking, but also none of the TC kernel's failure surface left to
+/// climb. The output is bitwise identical to the TC path: both accumulate
+/// each output element over the matrix entries of a row in ascending-`k`
+/// order in the element type's accumulator precision.
+///
+/// Returns one `C` per input panel (original row order, like
+/// [`spmm_batched`]) plus the scalar launch's simulated milliseconds.
+///
+/// # Panics
+/// Panics if `panels` is empty or their row counts disagree.
+pub fn spmm_scalar_fallback<T: Element>(
+    smat: &Smat<T>,
+    gpu: &Gpu,
+    panels: &[&Dense<T>],
+) -> Result<(Vec<Dense<T>>, f64), SimError> {
+    let csr = smat.fallback_csr();
+    let widths: Vec<usize> = panels.iter().map(|p| p.ncols()).collect();
+    let wide;
+    let joined: &Dense<T> = if panels.len() == 1 {
+        panels[0]
+    } else {
+        wide = Dense::hconcat(panels);
+        &wide
+    };
+    // The fallback CSR lives in the permuted space: transform B in, and
+    // the output row order back out, exactly as the TC pipeline does.
+    let permuted = smat.permute_rhs(joined);
+    let b_eff = permuted.as_ref().unwrap_or(joined);
+    let (launch, c_permuted) = CusparseLike::new(gpu, &csr).spmm(b_eff)?;
+    let c = smat.restore_row_order(&c_permuted);
+    let cs = if panels.len() == 1 {
+        vec![c]
+    } else {
+        c.split_cols(&widths)
+    };
+    Ok((cs, launch.time_ms))
 }
 
 /// Pops the head of `queue` plus every later same-key request that fits the
@@ -117,6 +159,22 @@ mod tests {
             one_batched.elapsed_ms(),
             4.0 * solo.elapsed_ms()
         );
+    }
+
+    #[test]
+    fn scalar_fallback_is_bitwise_identical_to_tc_batch() {
+        let a = matrix(96);
+        let smat = Smat::prepare(&a, SmatConfig::default());
+        let gpu = Gpu::new(smat.config().device.clone());
+        let b1 = Dense::from_fn(96, 8, |i, j| F16::from_f64(((i + j) % 3) as f64));
+        let b2 = Dense::from_fn(96, 16, |i, j| F16::from_f64(((i * j) % 4) as f64 - 1.0));
+        let (tc, _) = spmm_batched(&smat, &gpu, &[&b1, &b2]).unwrap();
+        let (scalar, sim_ms) = spmm_scalar_fallback(&smat, &gpu, &[&b1, &b2]).unwrap();
+        assert_eq!(scalar, tc, "degraded completions must be indistinguishable");
+        assert!(sim_ms > 0.0);
+        // Single-panel shortcut agrees too.
+        let (solo, _) = spmm_scalar_fallback(&smat, &gpu, &[&b1]).unwrap();
+        assert_eq!(solo[0], tc[0]);
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Fault-recovery policy for the serving engine: bounded retry with
+//! seeded-jitter backoff, per-device circuit breakers, deterministic hedge
+//! targeting, and the scalar degradation ladder's knobs.
+//!
+//! The recovery machinery is designed around the same invariant as the
+//! fault layer itself ([`smat_gpusim::fault`]): every decision that can
+//! change *what gets computed where* is a pure function of request content
+//! and the chaos seed, never of wall-clock time or thread interleaving.
+//! Retry keys, hedge targets, fallback device rotation, and backoff jitter
+//! all derive from the batch's work id, so two replays of the same trace
+//! with the same seed walk the exact same recovery ladder. The only
+//! interleaving-dependent state is the circuit breakers — they bias
+//! *admission ordering* (a scheduling hint, harmless to correctness) and
+//! are settled between the drained submission windows a deterministic
+//! replay uses.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+
+use smat_gpusim::FaultKind;
+
+use crate::stats::ChaosStats;
+
+/// Knobs of the recovery ladder a faulted batch climbs:
+///
+/// 1. retry the Tensor Core launch on the owning device (with backoff);
+/// 2. after [`hedge_after`](RecoveryPolicy::hedge_after) failures, hedge
+///    the remaining retries to a deterministically chosen second device;
+/// 3. after [`max_attempts`](RecoveryPolicy::max_attempts) TC failures,
+///    degrade to the scalar `baselines::cusparse` path, rotating devices
+///    per attempt, up to
+///    [`fallback_attempts`](RecoveryPolicy::fallback_attempts) tries.
+///
+/// Only [`SimError::FaultInjected`](smat_gpusim::SimError) climbs the
+/// ladder; real errors (OOM, preflight) fail the batch immediately, as
+/// before.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecoveryPolicy {
+    /// Tensor Core launch attempts per batch (≥ 1) before degrading.
+    pub max_attempts: u32,
+    /// Failed TC attempts before the batch is hedged to a second device.
+    /// Set `>= max_attempts` to disable hedging.
+    pub hedge_after: u32,
+    /// Base backoff before retry `k` is `backoff_base_us · 2^k`
+    /// microseconds, scaled by seeded jitter in `[0.5, 1.0)`.
+    pub backoff_base_us: u64,
+    /// Upper bound on a single backoff sleep, microseconds.
+    pub backoff_cap_us: u64,
+    /// Consecutive failures that trip a device's circuit breaker open.
+    pub breaker_threshold: u32,
+    /// Whether the scalar degradation rung is enabled at all.
+    pub fallback: bool,
+    /// Scalar-path attempts (rotating over devices) before giving up.
+    pub fallback_attempts: u32,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_attempts: 4,
+            hedge_after: 2,
+            backoff_base_us: 20,
+            backoff_cap_us: 2_000,
+            breaker_threshold: 3,
+            fallback: true,
+            fallback_attempts: 8,
+        }
+    }
+}
+
+impl RecoveryPolicy {
+    /// Backoff for retry `attempt` of `work_id`, in microseconds:
+    /// exponential in the attempt, scaled by jitter derived from the fault
+    /// plan seed (so replays back off identically), capped at
+    /// [`backoff_cap_us`](RecoveryPolicy::backoff_cap_us).
+    pub fn backoff_us(&self, jitter01: f64, attempt: u32) -> u64 {
+        let exp = self
+            .backoff_base_us
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.backoff_cap_us);
+        (exp as f64 * (0.5 + 0.5 * jitter01)).round() as u64
+    }
+}
+
+/// A per-device circuit breaker: `threshold` consecutive fault-injected
+/// failures open it; any success closes it. Open breakers are deprioritized
+/// by least-loaded dispatch (a flapping device stops attracting new work)
+/// and surfaced in [`DeviceStats`](crate::stats::DeviceStats).
+///
+/// The server keeps each breaker single-writer: only the owning device's
+/// worker records outcomes on it (home-lane attempts and own-device scalar
+/// attempts), never hedge attempts landing from another worker. With one
+/// writer, the consecutive-failure count — and hence every breaker trip —
+/// replays deterministically for a replayed trace.
+#[derive(Debug, Default)]
+pub struct CircuitBreaker {
+    consecutive: AtomicU32,
+    open: AtomicBool,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with no failure history.
+    pub fn new() -> Self {
+        CircuitBreaker::default()
+    }
+
+    /// Whether the breaker is currently open (device deprioritized).
+    pub fn is_open(&self) -> bool {
+        self.open.load(Ordering::Relaxed)
+    }
+
+    /// Records a fault-injected failure; returns `true` iff this failure
+    /// tripped the breaker open (closed → open transition).
+    pub fn record_failure(&self, threshold: u32) -> bool {
+        let seen = self.consecutive.fetch_add(1, Ordering::Relaxed) + 1;
+        seen >= threshold && !self.open.swap(true, Ordering::Relaxed)
+    }
+
+    /// Records a successful launch; returns `true` iff this success closed
+    /// a previously open breaker.
+    pub fn record_success(&self) -> bool {
+        self.consecutive.store(0, Ordering::Relaxed);
+        self.open.swap(false, Ordering::Relaxed)
+    }
+}
+
+/// Pool-wide chaos counters (atomic accumulation side).
+#[derive(Debug, Default)]
+pub struct ChaosCounters {
+    faults_injected: AtomicU64,
+    faults_transient: AtomicU64,
+    faults_ecc: AtomicU64,
+    faults_offline: AtomicU64,
+    retries: AtomicU64,
+    hedges: AtomicU64,
+    breaker_trips: AtomicU64,
+    degraded_completions: AtomicU64,
+}
+
+impl ChaosCounters {
+    /// Counts one observed (injected and detected) fault of `kind`.
+    pub fn count_fault(&self, kind: FaultKind) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+        let per_kind = match kind {
+            FaultKind::TransientLaunchFailure => &self.faults_transient,
+            FaultKind::EccCorruption => &self.faults_ecc,
+            FaultKind::DeviceOffline => &self.faults_offline,
+        };
+        per_kind.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one retry (TC or scalar rung).
+    pub fn count_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one hedge re-dispatch.
+    pub fn count_hedge(&self) {
+        self.hedges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one breaker trip (closed → open transition).
+    pub fn count_breaker_trip(&self) {
+        self.breaker_trips.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts `n` requests completed through the scalar degradation path.
+    pub fn count_degraded(&self, n: u64) {
+        self.degraded_completions.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Snapshot into the serializable stats form.
+    pub fn snapshot(&self) -> ChaosStats {
+        ChaosStats {
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            faults_transient: self.faults_transient.load(Ordering::Relaxed),
+            faults_ecc: self.faults_ecc.load(Ordering::Relaxed),
+            faults_offline: self.faults_offline.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            hedges: self.hedges.load(Ordering::Relaxed),
+            breaker_trips: self.breaker_trips.load(Ordering::Relaxed),
+            degraded_completions: self.degraded_completions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breaker_trips_once_at_threshold_and_closes_on_success() {
+        let b = CircuitBreaker::new();
+        assert!(!b.is_open());
+        assert!(!b.record_failure(3));
+        assert!(!b.record_failure(3));
+        assert!(b.record_failure(3), "third consecutive failure trips");
+        assert!(b.is_open());
+        assert!(!b.record_failure(3), "already open: no second trip");
+        assert!(b.record_success(), "success closes an open breaker");
+        assert!(!b.is_open());
+        assert!(!b.record_success(), "already closed");
+        // Counter reset: three more failures are needed to trip again.
+        assert!(!b.record_failure(3));
+        assert!(!b.record_failure(3));
+        assert!(b.record_failure(3));
+    }
+
+    #[test]
+    fn backoff_is_exponential_jittered_and_capped() {
+        let p = RecoveryPolicy::default();
+        // Zero jitter: half the nominal value. Full jitter: the nominal.
+        assert_eq!(p.backoff_us(0.0, 0), 10);
+        assert_eq!(p.backoff_us(0.0, 1), 20);
+        assert_eq!(p.backoff_us(0.0, 2), 40);
+        assert!(p.backoff_us(0.999, 0) >= 19);
+        // Deep attempts hit the cap (scaled by jitter).
+        assert!(p.backoff_us(0.999, 30) <= p.backoff_cap_us);
+        assert_eq!(p.backoff_us(0.0, 30), p.backoff_cap_us / 2);
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let c = ChaosCounters::default();
+        c.count_fault(FaultKind::TransientLaunchFailure);
+        c.count_fault(FaultKind::TransientLaunchFailure);
+        c.count_fault(FaultKind::EccCorruption);
+        c.count_fault(FaultKind::DeviceOffline);
+        c.count_retry();
+        c.count_hedge();
+        c.count_breaker_trip();
+        c.count_degraded(3);
+        let s = c.snapshot();
+        assert_eq!(s.faults_injected, 4);
+        assert_eq!(s.faults_transient, 2);
+        assert_eq!(s.faults_ecc, 1);
+        assert_eq!(s.faults_offline, 1);
+        assert_eq!(s.retries, 1);
+        assert_eq!(s.hedges, 1);
+        assert_eq!(s.breaker_trips, 1);
+        assert_eq!(s.degraded_completions, 3);
+        assert!(s.any_activity());
+    }
+}

@@ -18,6 +18,12 @@
 //! * [`batch`] — same-matrix requests are coalesced into one wide launch
 //!   (bitwise identical to per-request execution) to amortize the
 //!   per-launch constant.
+//! * [`chaos`] — fault survival over the seeded fault-injection layer of
+//!   `smat-gpusim`: bounded retry with seeded-jitter backoff, per-device
+//!   circuit breakers that eject flapping devices from dispatch,
+//!   deterministic hedged re-dispatch, and graceful degradation to the
+//!   scalar `baselines::cusparse` path — all surfaced in
+//!   [`ChaosStats`] and as `chaos`-category trace events.
 //!
 //! Requests complete through an executor-independent future
 //! ([`ResponseFuture`]); synchronous callers use its
@@ -26,6 +32,7 @@
 //! the architecture discussion.
 
 pub mod batch;
+pub mod chaos;
 pub mod error;
 pub mod lru;
 pub mod oneshot;
@@ -34,7 +41,8 @@ pub mod registry;
 pub mod server;
 pub mod stats;
 
-pub use batch::{spmm_batched, take_batch};
+pub use batch::{spmm_batched, spmm_scalar_fallback, take_batch};
+pub use chaos::{ChaosCounters, CircuitBreaker, RecoveryPolicy};
 pub use error::{RejectReason, ServeError};
 pub use lru::LruMap;
 pub use oneshot::block_on;
@@ -42,4 +50,4 @@ pub use plan::{Plan, PlanCache, PlanStats};
 pub use registry::{config_digest, MatrixKey, PreparedMatrixRegistry, RegistryStats};
 pub use server::{ResponseFuture, ServeResponse, Server, ServerConfig};
 pub use smat_trace::TraceHandle;
-pub use stats::{DeviceStats, LatencyStats, ServerStats};
+pub use stats::{ChaosStats, DeviceStats, LatencyStats, ServerStats};

@@ -20,9 +20,10 @@ use std::time::{Duration, Instant};
 
 use smat::{Smat, SmatConfig};
 use smat_formats::{Csr, Dense, Element, MatrixFingerprint};
-use smat_gpusim::Gpu;
+use smat_gpusim::{compose_key, FaultConfig, FaultPlan, Gpu, SimError};
 
-use crate::batch::{spmm_batched, take_batch};
+use crate::batch::{spmm_batched, spmm_scalar_fallback, take_batch};
+use crate::chaos::{ChaosCounters, CircuitBreaker, RecoveryPolicy};
 use crate::error::{RejectReason, ServeError};
 use crate::oneshot::{self, Receiver};
 use crate::plan::PlanCache;
@@ -50,6 +51,15 @@ pub struct ServerConfig {
     /// Deadline applied to requests submitted without an explicit one;
     /// `None` means no deadline.
     pub default_deadline: Option<Duration>,
+    /// Deterministic fault injection over the device pool. `None` (the
+    /// default) serves fault-free; `Some` builds one shared
+    /// [`FaultPlan`] every device consults, keyed per attempt by the batch
+    /// lead request's sequence number so the fault schedule is independent
+    /// of thread interleaving.
+    pub chaos: Option<FaultConfig>,
+    /// Retry/hedge/breaker/degradation parameters (active only when faults
+    /// actually occur; a fault-free run never enters the recovery ladder).
+    pub recovery: RecoveryPolicy,
 }
 
 impl Default for ServerConfig {
@@ -62,6 +72,8 @@ impl Default for ServerConfig {
             registry_capacity: 8,
             plan_capacity: 128,
             default_deadline: None,
+            chaos: None,
+            recovery: RecoveryPolicy::default(),
         }
     }
 }
@@ -81,6 +93,12 @@ pub struct ServeResponse<T> {
     pub sim_ms: f64,
     /// Host submit→completion latency in milliseconds.
     pub wall_ms: f64,
+    /// Whether this response was produced by the scalar degradation path
+    /// (bitwise identical to the Tensor Core result; only the timing
+    /// differs).
+    pub degraded: bool,
+    /// Launch attempts the batch needed (1 on the fault-free fast path).
+    pub attempts: u32,
 }
 
 /// Future returned by [`Server::submit`].
@@ -174,6 +192,17 @@ struct Central {
 
 struct PoolShared<T> {
     devices: Vec<DeviceState<T>>,
+    /// One simulated GPU per device. Workers execute on their own entry;
+    /// hedged and rotated-fallback attempts execute on a *peer's* entry,
+    /// which is safe because `Gpu::launch` takes `&self` and the fault
+    /// schedule is keyed by request content, not launch interleaving.
+    gpus: Vec<Gpu>,
+    /// One circuit breaker per device.
+    breakers: Vec<CircuitBreaker>,
+    /// The shared fault plan (present iff chaos is configured).
+    fault_plan: Option<Arc<FaultPlan>>,
+    recovery: RecoveryPolicy,
+    chaos: ChaosCounters,
     central: Central,
     shutdown: AtomicBool,
     paused: AtomicBool,
@@ -205,8 +234,27 @@ impl<T: Element> Server<T> {
         assert!(config.devices > 0, "pool needs at least one device");
         assert!(config.queue_capacity > 0, "queue capacity must be positive");
         assert!(config.column_budget > 0, "column budget must be positive");
+        assert!(
+            config.recovery.max_attempts > 0,
+            "recovery needs at least one launch attempt"
+        );
+        let fault_plan = config.chaos.map(|cfg| Arc::new(FaultPlan::new(cfg)));
+        let gpus: Vec<Gpu> = (0..config.devices)
+            .map(|idx| {
+                let mut gpu = Gpu::new(config.smat.device.clone()).with_trace_device(idx);
+                if let Some(plan) = &fault_plan {
+                    gpu = gpu.with_fault_plan(Arc::clone(plan));
+                }
+                gpu
+            })
+            .collect();
         let shared = Arc::new(PoolShared {
             devices: (0..config.devices).map(|_| DeviceState::new()).collect(),
+            gpus,
+            breakers: (0..config.devices).map(|_| CircuitBreaker::new()).collect(),
+            fault_plan,
+            recovery: config.recovery,
+            chaos: ChaosCounters::default(),
             central: Central::default(),
             shutdown: AtomicBool::new(false),
             paused: AtomicBool::new(false),
@@ -218,10 +266,9 @@ impl<T: Element> Server<T> {
         let workers = (0..config.devices)
             .map(|idx| {
                 let shared = Arc::clone(&shared);
-                let gpu = Gpu::new(config.smat.device.clone()).with_trace_device(idx);
                 std::thread::Builder::new()
                     .name(format!("smat-serve-dev{idx}"))
-                    .spawn(move || worker_loop(&shared, idx, &gpu))
+                    .spawn(move || worker_loop(&shared, idx))
                     .expect("spawn worker")
             })
             .collect();
@@ -299,8 +346,16 @@ impl<T: Element> Server<T> {
         }
 
         // Least-loaded dispatch: try devices by outstanding column count.
+        // Devices with an open circuit breaker sort last — a flapping
+        // device stops attracting new work until a success closes it.
         let mut order: Vec<usize> = (0..self.shared.devices.len()).collect();
-        order.sort_by_key(|&i| (self.shared.devices[i].load_cols.load(Ordering::Relaxed), i));
+        order.sort_by_key(|&i| {
+            (
+                self.shared.breakers[i].is_open(),
+                self.shared.devices[i].load_cols.load(Ordering::Relaxed),
+                i,
+            )
+        });
         let ncols = b.ncols();
         let now = Instant::now();
         let (tx, rx) = oneshot::channel();
@@ -423,6 +478,7 @@ impl<T: Element> Server<T> {
                         0.0
                     },
                     queue_depth: d.queue.lock().unwrap().len(),
+                    breaker_open: self.shared.breakers[i].is_open(),
                 }
             })
             .collect();
@@ -442,6 +498,7 @@ impl<T: Element> Server<T> {
             sim_ms_total: devices.iter().map(|d| d.sim_ms).sum(),
             registry: self.registry.stats(),
             plans: self.plans.stats(),
+            chaos: self.shared.chaos.snapshot(),
             latency: LatencyStats::from_samples(&c.latencies.lock().unwrap()),
             devices,
         }
@@ -478,7 +535,7 @@ impl<T: Element> Drop for Server<T> {
     }
 }
 
-fn worker_loop<T: Element>(shared: &PoolShared<T>, idx: usize, gpu: &Gpu) {
+fn worker_loop<T: Element>(shared: &PoolShared<T>, idx: usize) {
     let dev = &shared.devices[idx];
     loop {
         let batch = {
@@ -501,7 +558,203 @@ fn worker_loop<T: Element>(shared: &PoolShared<T>, idx: usize, gpu: &Gpu) {
                 shared.column_budget,
             )
         };
-        execute_batch(shared, dev, idx, gpu, batch);
+        execute_batch(shared, dev, idx, batch);
+    }
+}
+
+/// How a batch finally completed after climbing the recovery ladder.
+struct RecoveryOutcome<T> {
+    /// One product per input panel, original row order.
+    cs: Vec<Dense<T>>,
+    /// Simulated milliseconds of the successful launch.
+    sim_ms: f64,
+    /// Device the successful launch executed on.
+    exec: usize,
+    /// Total launch attempts consumed (TC + scalar).
+    attempts: u32,
+    /// Whether the scalar degradation rung produced the result.
+    degraded: bool,
+}
+
+/// Emits a serve-side chaos instant (retry/hedge/breaker/degraded events).
+fn chaos_instant(name: &str, device: usize, work_id: u64, attempt: u32) {
+    if smat_trace::enabled() {
+        smat_trace::instant(
+            name,
+            "chaos",
+            vec![
+                ("device", (device as u64).into()),
+                ("work_id", work_id.into()),
+                ("attempt", (attempt as u64).into()),
+            ],
+        );
+    }
+}
+
+/// Executes one batch with the full recovery ladder:
+///
+/// 1. Tensor Core attempts on the owning device, each with a fresh
+///    content-derived fault key (`compose_key(work_id, attempt, lane)`),
+///    separated by seeded-jitter exponential backoff;
+/// 2. after `hedge_after` failures, the remaining TC attempts are hedged
+///    to the (deterministically chosen) next device in the pool;
+/// 3. after `max_attempts` TC failures, the scalar `cusparse`-like rung
+///    runs, rotating over devices attempt by attempt.
+///
+/// Only [`SimError::FaultInjected`] climbs the ladder; every other error
+/// (OOM, preflight) propagates immediately as before. The work id is the
+/// batch lead request's submission seq — pure request content — so the
+/// entire fault/recovery schedule replays identically for a replayed
+/// trace regardless of worker interleaving.
+fn run_with_recovery<T: Element>(
+    shared: &PoolShared<T>,
+    home: usize,
+    smat: &Smat<T>,
+    panels: &[&Dense<T>],
+    work_id: u64,
+) -> Result<RecoveryOutcome<T>, SimError> {
+    let policy = &shared.recovery;
+    let ndev = shared.gpus.len();
+    let mut exec = home;
+    let mut hedged = false;
+    let mut attempt: u32 = 0;
+    let mut last_err = None;
+
+    // Rung 1 + 2: Tensor Core attempts, hedging after `hedge_after`.
+    while attempt < policy.max_attempts {
+        if !hedged && attempt >= policy.hedge_after && ndev > 1 {
+            exec = (home + 1) % ndev;
+            hedged = true;
+            shared.chaos.count_hedge();
+            chaos_instant("hedge", exec, work_id, attempt);
+        }
+        let lane = u32::from(exec != home);
+        let gpu = attempt_gpu(shared, exec, work_id, attempt, lane);
+        match spmm_batched(smat, &gpu, panels) {
+            Ok((cs, report)) => {
+                if exec == home && shared.breakers[exec].record_success() {
+                    chaos_instant("breaker_close", exec, work_id, attempt);
+                }
+                return Ok(RecoveryOutcome {
+                    cs,
+                    sim_ms: report.elapsed_ms(),
+                    exec,
+                    attempts: attempt + 1,
+                    degraded: false,
+                });
+            }
+            Err(SimError::FaultInjected { kind, .. }) => {
+                record_fault(shared, exec, home, kind, work_id, attempt);
+                last_err = Some(SimError::FaultInjected {
+                    kind,
+                    device: exec,
+                    key: compose_key(work_id, attempt, lane),
+                });
+                attempt += 1;
+                if attempt < policy.max_attempts
+                    || (policy.fallback && policy.fallback_attempts > 0)
+                {
+                    shared.chaos.count_retry();
+                    chaos_instant("retry", exec, work_id, attempt);
+                    backoff(shared, work_id, attempt);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Rung 3: scalar degradation, rotating over devices.
+    if policy.fallback {
+        for f in 0..policy.fallback_attempts {
+            let target = (exec + f as usize) % ndev;
+            let total = policy.max_attempts + f;
+            let gpu = attempt_gpu(shared, target, work_id, total, 2);
+            match spmm_scalar_fallback(smat, &gpu, panels) {
+                Ok((cs, sim_ms)) => {
+                    if target == home && shared.breakers[target].record_success() {
+                        chaos_instant("breaker_close", target, work_id, total);
+                    }
+                    shared.chaos.count_degraded(panels.len() as u64);
+                    chaos_instant("degraded", target, work_id, total);
+                    return Ok(RecoveryOutcome {
+                        cs,
+                        sim_ms,
+                        exec: target,
+                        attempts: total + 1,
+                        degraded: true,
+                    });
+                }
+                Err(SimError::FaultInjected { kind, .. }) => {
+                    record_fault(shared, target, home, kind, work_id, total);
+                    last_err = Some(SimError::FaultInjected {
+                        kind,
+                        device: target,
+                        key: compose_key(work_id, total, 2),
+                    });
+                    if f + 1 < policy.fallback_attempts {
+                        shared.chaos.count_retry();
+                        chaos_instant("retry", target, work_id, total + 1);
+                        backoff(shared, work_id, total + 1);
+                    }
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Err(last_err.expect("ladder exhausted implies at least one fault"))
+}
+
+/// The pool GPU for one attempt, with the attempt's fault key pinned.
+fn attempt_gpu<T>(
+    shared: &PoolShared<T>,
+    device: usize,
+    work_id: u64,
+    attempt: u32,
+    lane: u32,
+) -> Gpu {
+    let gpu = &shared.gpus[device];
+    if shared.fault_plan.is_some() {
+        gpu.clone()
+            .with_fault_key(compose_key(work_id, attempt, lane))
+    } else {
+        gpu.clone()
+    }
+}
+
+/// Counts a fault and, when the faulted device is the observing worker's
+/// own (`device == home`), updates its breaker (tripping if due).
+///
+/// Breakers are single-writer by construction: only a device's own worker
+/// ever records outcomes on its breaker, from home-lane TC attempts and
+/// own-device scalar attempts. Hedge-lane outcomes feed the fault counters
+/// but not the foreign device's breaker — a cross-thread record there would
+/// make the "consecutive failures" count (and `breaker_trips`) depend on
+/// worker interleaving, breaking the replay-determinism contract.
+fn record_fault<T>(
+    shared: &PoolShared<T>,
+    device: usize,
+    home: usize,
+    kind: smat_gpusim::FaultKind,
+    work_id: u64,
+    attempt: u32,
+) {
+    shared.chaos.count_fault(kind);
+    if device == home && shared.breakers[device].record_failure(shared.recovery.breaker_threshold) {
+        shared.chaos.count_breaker_trip();
+        chaos_instant("breaker_open", device, work_id, attempt);
+    }
+}
+
+/// Sleeps the seeded-jitter exponential backoff before retry `attempt`.
+fn backoff<T>(shared: &PoolShared<T>, work_id: u64, attempt: u32) {
+    let Some(plan) = &shared.fault_plan else {
+        return;
+    };
+    let us = shared
+        .recovery
+        .backoff_us(plan.jitter(work_id, attempt), attempt);
+    if us > 0 {
+        std::thread::sleep(Duration::from_micros(us));
     }
 }
 
@@ -509,7 +762,6 @@ fn execute_batch<T: Element>(
     shared: &PoolShared<T>,
     dev: &DeviceState<T>,
     idx: usize,
-    gpu: &Gpu,
     batch: Vec<Request<T>>,
 ) {
     let central = &shared.central;
@@ -576,24 +828,32 @@ fn execute_batch<T: Element>(
         launch_span.arg("device", idx as u64);
         launch_span.arg("requests", live.len() as u64);
         launch_span.arg("cols", batch_cols as u64);
-        let result = spmm_batched(&live[0].smat, gpu, &panels);
-        if let Ok((_, report)) = &result {
-            launch_span.arg("sim_ms", report.elapsed_ms());
+        // The batch's work identity for fault keys is the lead request's
+        // submission seq — pure request content, stable across replays.
+        let work_id = live[0].seq;
+        let result = run_with_recovery(shared, idx, &live[0].smat, &panels, work_id);
+        if let Ok(out) = &result {
+            launch_span.arg("sim_ms", out.sim_ms);
+            launch_span.arg("attempts", out.attempts as u64);
+            if out.degraded {
+                launch_span.arg("degraded", 1u64);
+            }
         }
         drop(launch_span);
         dev.busy_ns
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         dev.load_cols.fetch_sub(batch_cols, Ordering::Relaxed);
         match result {
-            Ok((cs, report)) => {
+            Ok(out) => {
                 let n_live = live.len();
+                // Throughput accounting stays with the owning device (its
+                // worker carried the batch), even when a hedge or rotation
+                // executed elsewhere; the response reports the executor.
                 dev.launches.fetch_add(1, Ordering::Relaxed);
                 dev.served.fetch_add(n_live as u64, Ordering::Relaxed);
                 dev.cols.fetch_add(batch_cols as u64, Ordering::Relaxed);
-                dev.sim_ns.fetch_add(
-                    (report.elapsed_ms() * 1e6).round() as u64,
-                    Ordering::Relaxed,
-                );
+                dev.sim_ns
+                    .fetch_add((out.sim_ms * 1e6).round() as u64, Ordering::Relaxed);
                 central.batches.fetch_add(1, Ordering::Relaxed);
                 central
                     .batched_requests
@@ -605,22 +865,24 @@ fn execute_batch<T: Element>(
                     .completed
                     .fetch_add(n_live as u64, Ordering::Relaxed);
                 let mut latencies = central.latencies.lock().unwrap();
-                for (r, c) in live.into_iter().zip(cs) {
+                for (r, c) in live.into_iter().zip(out.cs) {
                     let wall_ms = r.enq.elapsed().as_secs_f64() * 1e3;
                     latencies.push(wall_ms);
                     smat_trace::complete_from(
                         "complete",
                         "serve",
                         r.enq,
-                        vec![("seq", r.seq.into()), ("device", (idx as u64).into())],
+                        vec![("seq", r.seq.into()), ("device", (out.exec as u64).into())],
                     );
                     r.tx.send(Ok(ServeResponse {
                         c,
-                        device: idx,
+                        device: out.exec,
                         batched_with: n_live,
                         batch_cols,
-                        sim_ms: report.elapsed_ms(),
+                        sim_ms: out.sim_ms,
                         wall_ms,
+                        degraded: out.degraded,
+                        attempts: out.attempts,
                     }));
                 }
             }
@@ -853,6 +1115,141 @@ mod tests {
         let stats = server.stats();
         assert_eq!(stats.rejected_preflight, 1);
         assert_eq!(stats.submitted, 0, "never reached a queue");
+    }
+
+    #[test]
+    fn chaos_requests_complete_correctly_with_nonzero_fault_counters() {
+        let server: Server<F16> = Server::new(ServerConfig {
+            devices: 2,
+            chaos: Some(FaultConfig::blended(1234, 0.35)),
+            ..ServerConfig::default()
+        });
+        let a = matrix(64, 0);
+        let key = server.register(&a);
+        let futures: Vec<_> = (0..40)
+            .map(|i| {
+                let b = rhs(64, 8, i);
+                let want = a.spmm_reference(&b);
+                (server.submit(key, b), want)
+            })
+            .collect();
+        let mut max_attempts_seen = 0;
+        for (fut, want) in futures {
+            let resp = block_on(fut).expect("recovery must complete every request");
+            assert_eq!(resp.c, want, "faulted serving returned a wrong product");
+            max_attempts_seen = max_attempts_seen.max(resp.attempts);
+        }
+        let stats = server.stats();
+        assert_eq!(stats.completed, 40);
+        assert_eq!(stats.failed, 0);
+        let chaos = stats.chaos;
+        assert!(chaos.faults_injected > 0, "{chaos:?}");
+        assert!(chaos.retries > 0, "{chaos:?}");
+        assert_eq!(
+            chaos.faults_injected,
+            chaos.faults_transient + chaos.faults_ecc + chaos.faults_offline,
+            "{chaos:?}"
+        );
+        assert!(max_attempts_seen > 1, "some batch must have retried");
+    }
+
+    #[test]
+    fn chaos_free_server_reports_zero_chaos_activity() {
+        let server: Server<F16> = Server::new(ServerConfig::default());
+        let a = matrix(64, 0);
+        let key = server.register(&a);
+        for i in 0..6 {
+            let resp = block_on(server.submit(key, rhs(64, 8, i))).unwrap();
+            assert_eq!(resp.attempts, 1);
+            assert!(!resp.degraded);
+        }
+        let stats = server.stats();
+        assert!(!stats.chaos.any_activity(), "{:?}", stats.chaos);
+        assert!(stats.devices.iter().all(|d| !d.breaker_open));
+    }
+
+    #[test]
+    fn persistent_faults_degrade_to_scalar_path_and_trip_breaker() {
+        // One plan governs every launch, scalar rung included, so a rate of
+        // 1.0 would exhaust the ladder. At transient_rate 0.9 each batch
+        // fails all 4 TC attempts (and degrades) with probability
+        // 0.9^4 ≈ 66%; 64 scalar attempts make exhaustion vanishingly rare,
+        // and submitting serially fixes every work id so the schedule under
+        // seed 77 is identical run to run.
+        let server: Server<F16> = Server::new(ServerConfig {
+            devices: 1,
+            chaos: Some(FaultConfig {
+                seed: 77,
+                transient_rate: 0.9,
+                ..FaultConfig::default()
+            }),
+            recovery: RecoveryPolicy {
+                backoff_base_us: 0,
+                fallback_attempts: 64,
+                ..RecoveryPolicy::default()
+            },
+            ..ServerConfig::default()
+        });
+        let a = matrix(64, 0);
+        let key = server.register(&a);
+        let mut degraded = 0u64;
+        for i in 0..20 {
+            let b = rhs(64, 8, i);
+            let want = a.spmm_reference(&b);
+            let resp = block_on(server.submit(key, b)).expect("scalar rung must absorb TC faults");
+            assert_eq!(resp.c, want, "degraded result differs from reference");
+            degraded += u64::from(resp.degraded);
+        }
+        let stats = server.stats();
+        assert!(degraded > 0, "no batch degraded at 90% TC fault rate");
+        assert_eq!(stats.chaos.degraded_completions, degraded);
+        assert!(
+            stats.chaos.breaker_trips > 0,
+            "persistent faults must trip the breaker: {:?}",
+            stats.chaos
+        );
+    }
+
+    #[test]
+    fn hedging_moves_attempts_to_the_next_device() {
+        // transient_rate 1.0 faults every launch on every device: the TC
+        // rung hedges to device 1 (counted), the scalar rung fails too, and
+        // the ladder exhausts into the typed last fault.
+        let server: Server<F16> = Server::new(ServerConfig {
+            devices: 2,
+            chaos: Some(FaultConfig {
+                seed: 5,
+                transient_rate: 1.0,
+                ..FaultConfig::default()
+            }),
+            recovery: RecoveryPolicy {
+                backoff_base_us: 0,
+                fallback_attempts: 2,
+                ..RecoveryPolicy::default()
+            },
+            ..ServerConfig::default()
+        });
+        let a = matrix(64, 0);
+        let key = server.register(&a);
+        let res = block_on(server.submit(key, rhs(64, 8, 0)));
+        match res {
+            Err(ServeError::Sim(SimError::FaultInjected { .. })) => {}
+            other => panic!("expected exhausted ladder to surface the fault, got {other:?}"),
+        }
+        let stats = server.stats();
+        assert_eq!(stats.failed, 1);
+        assert!(stats.chaos.hedges >= 1, "{:?}", stats.chaos);
+        assert_eq!(
+            stats.chaos.faults_injected,
+            // 4 TC attempts + 2 scalar attempts, all faulted.
+            6,
+            "{:?}",
+            stats.chaos
+        );
+        assert!(
+            stats.devices.iter().any(|d| d.breaker_open),
+            "certain faults must leave a breaker open"
+        );
     }
 
     #[test]

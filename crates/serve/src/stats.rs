@@ -80,13 +80,55 @@ pub struct DeviceStats {
     pub occupancy: f64,
     /// Requests waiting in this device's queue right now.
     pub queue_depth: usize,
+    /// Whether this device's circuit breaker is currently open (the device
+    /// accumulated [`RecoveryPolicy::breaker_threshold`](crate::RecoveryPolicy::breaker_threshold)
+    /// consecutive injected failures and is deprioritized by dispatch).
+    pub breaker_open: bool,
+}
+
+/// Fault-injection and recovery counters, all zero when the server runs
+/// without a chaos configuration.
+///
+/// Determinism contract: when the request trace is replayed through
+/// drained submission windows (the `examples/serve.rs` discipline) with the
+/// same [`FaultConfig`](smat_gpusim::FaultConfig), every field here is
+/// byte-for-byte reproducible — the fault schedule is a pure function of
+/// (seed, device, request content), see `smat_gpusim::fault`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct ChaosStats {
+    /// Faults injected into launches and detected by the serving layer
+    /// (sum of the three per-kind counters; timing-only stragglers are not
+    /// observable here and are traced by the simulator instead).
+    pub faults_injected: u64,
+    /// Transient launch refusals observed.
+    pub faults_transient: u64,
+    /// ECC-style detected result corruptions observed.
+    pub faults_ecc: u64,
+    /// Launches refused because the device was in an offline window.
+    pub faults_offline: u64,
+    /// Launch re-attempts (Tensor Core retries plus scalar-rung retries).
+    pub retries: u64,
+    /// Batches hedged to a second device mid-recovery.
+    pub hedges: u64,
+    /// Circuit-breaker trips (closed → open transitions) across the pool.
+    pub breaker_trips: u64,
+    /// Requests completed through the scalar degradation path.
+    pub degraded_completions: u64,
+}
+
+impl ChaosStats {
+    /// Whether any fault-handling machinery fired at all.
+    pub fn any_activity(&self) -> bool {
+        *self != ChaosStats::default()
+    }
 }
 
 /// Snapshot of the whole serving engine.
 ///
 /// Determinism contract: for a fixed request trace submitted from a single
 /// thread, the counter fields (`submitted`, `completed`, the `rejected_*`
-/// family, `failed`, and the registry/plan cache counters) are
+/// family, `failed`, the registry/plan cache counters, and — under drained
+/// submission windows — the whole [`ChaosStats`] block) are
 /// reproducible run to run. Everything timed against the host clock
 /// (`wall_ms`, `active_ms`, `latency`, per-device `busy_ms`/`occupancy`)
 /// and everything shaped by worker scheduling (`batches`, `max_batch`,
@@ -125,6 +167,8 @@ pub struct ServerStats {
     pub registry: RegistryStats,
     /// Plan-cache counters.
     pub plans: PlanStats,
+    /// Fault-injection and recovery counters (all zero without chaos).
+    pub chaos: ChaosStats,
     /// Wall-clock latency summary.
     pub latency: LatencyStats,
     /// Per-device breakdown.

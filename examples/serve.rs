@@ -21,7 +21,8 @@
 use std::process::ExitCode;
 
 use smat_repro::formats::{Csr, Dense, Element, Fnv1a, F16};
-use smat_repro::serve::{MatrixKey, Server, ServerConfig, ServerStats};
+use smat_repro::gpusim::{FaultConfig, SimError};
+use smat_repro::serve::{ChaosStats, MatrixKey, ServeError, Server, ServerConfig, ServerStats};
 use smat_repro::workloads::{random_uniform, serve_trace, TraceRequest, TraceSpec};
 
 struct Args {
@@ -37,6 +38,10 @@ struct Args {
     size: usize,
     /// Write a Chrome Trace Event JSON of the first replay here.
     trace: Option<String>,
+    /// Seed for the fault-injection plan; `None` serves fault-free.
+    chaos_seed: Option<u64>,
+    /// Blended fault rate fed to [`FaultConfig::blended`].
+    fault_rate: f64,
 }
 
 impl Default for Args {
@@ -50,6 +55,8 @@ impl Default for Args {
             budget: 64,
             size: 128,
             trace: None,
+            chaos_seed: None,
+            fault_rate: 0.1,
         }
     }
 }
@@ -57,7 +64,8 @@ impl Default for Args {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: serve [--requests N] [--matrices M] [--devices D] [--seed S]\n\
-         \u{20}            [--window W] [--budget COLS] [--size DIM] [--trace PATH]"
+         \u{20}            [--window W] [--budget COLS] [--size DIM] [--trace PATH]\n\
+         \u{20}            [--chaos-seed S] [--fault-rate R]"
     );
     ExitCode::from(2)
 }
@@ -83,11 +91,22 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => {
                 args.trace = Some(it.next().ok_or("--trace needs a path")?);
             }
+            "--chaos-seed" => args.chaos_seed = Some(value("--chaos-seed")? as u64),
+            "--fault-rate" => {
+                args.fault_rate = it
+                    .next()
+                    .ok_or("--fault-rate needs a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--fault-rate: {e}"))?;
+            }
             other => return Err(format!("unknown argument {other}")),
         }
     }
     if args.requests == 0 || args.matrices == 0 || args.devices == 0 || args.window == 0 {
         return Err("all counts must be positive".into());
+    }
+    if !(0.0..=1.0).contains(&args.fault_rate) {
+        return Err("--fault-rate must be within [0, 1]".into());
     }
     Ok(args)
 }
@@ -124,6 +143,9 @@ struct DeterministicSummary {
     per_device_served: Vec<u64>,
     per_device_cols: Vec<u64>,
     per_device_launches: Vec<u64>,
+    /// Fault-injection and recovery counters — reproducible under the
+    /// pause/resume window discipline with a fixed `--chaos-seed`.
+    chaos: ChaosStats,
     /// FNV-1a over every response's C bits, in trace order.
     output_checksum: u64,
 }
@@ -150,6 +172,7 @@ impl DeterministicSummary {
             per_device_served: stats.devices.iter().map(|d| d.served).collect(),
             per_device_cols: stats.devices.iter().map(|d| d.cols).collect(),
             per_device_launches: stats.devices.iter().map(|d| d.launches).collect(),
+            chaos: stats.chaos,
             output_checksum,
         }
     }
@@ -160,6 +183,9 @@ struct Replay {
     stats: ServerStats,
     mismatches: usize,
     batched_responses: u64,
+    degraded_responses: u64,
+    /// Requests that exhausted the recovery ladder (chaos runs only).
+    exhausted: u64,
 }
 
 /// One full replay on a fresh server: register, submit in pause/resume
@@ -170,6 +196,9 @@ fn replay(args: &Args, matrices: &[Csr<F16>], trace: &[TraceRequest], verify: bo
         devices: args.devices,
         column_budget: args.budget,
         registry_capacity: args.matrices.max(2),
+        chaos: args
+            .chaos_seed
+            .map(|seed| FaultConfig::blended(seed, args.fault_rate)),
         ..ServerConfig::default()
     });
     let keys: Vec<MatrixKey> = matrices.iter().map(|a| server.register(a)).collect();
@@ -183,6 +212,8 @@ fn replay(args: &Args, matrices: &[Csr<F16>], trace: &[TraceRequest], verify: bo
     let mut checksum = Fnv1a::new();
     let mut mismatches = 0usize;
     let mut batched_responses = 0u64;
+    let mut degraded_responses = 0u64;
+    let mut exhausted = 0u64;
     for window in trace.chunks(args.window) {
         server.pause();
         let futures: Vec<_> = window
@@ -194,11 +225,26 @@ fn replay(args: &Args, matrices: &[Csr<F16>], trace: &[TraceRequest], verify: bo
             .collect();
         server.resume();
         for (req, fut) in futures {
-            let resp = fut.wait().unwrap_or_else(|e| {
-                panic!("request {} failed: {e}", req.seq);
-            });
+            let resp = match fut.wait() {
+                Ok(resp) => resp,
+                // At high fault rates a batch can exhaust the bounded
+                // recovery ladder; that is the deterministic, typed outcome
+                // of the configured policy, not a crash. Fold a marker into
+                // the checksum so replays must fail the *same* requests.
+                Err(ServeError::Sim(SimError::FaultInjected { .. }))
+                    if args.chaos_seed.is_some() =>
+                {
+                    exhausted += 1;
+                    checksum.write_u64(0xDEAD_FA17);
+                    continue;
+                }
+                Err(e) => panic!("request {} failed: {e}", req.seq),
+            };
             if resp.batched_with > 1 {
                 batched_responses += 1;
+            }
+            if resp.degraded {
+                degraded_responses += 1;
             }
             for v in resp.c.as_slice() {
                 checksum.write_u64(v.to_f64().to_bits());
@@ -220,6 +266,8 @@ fn replay(args: &Args, matrices: &[Csr<F16>], trace: &[TraceRequest], verify: bo
         stats,
         mismatches,
         batched_responses,
+        degraded_responses,
+        exhausted,
     }
 }
 
@@ -251,6 +299,12 @@ fn main() -> ExitCode {
         "replaying {} requests over {} matrices ({}x{}) on {} devices (window {}, budget {})",
         args.requests, args.matrices, args.size, args.size, args.devices, args.window, args.budget
     );
+    if let Some(seed) = args.chaos_seed {
+        eprintln!(
+            "chaos: injecting faults with seed {seed} at blended rate {}",
+            args.fault_rate
+        );
+    }
 
     // Trace only the first replay: the recorder is process-global, so the
     // second (determinism-check) replay would otherwise interleave its
@@ -279,6 +333,21 @@ fn main() -> ExitCode {
         first.stats.mean_batch(),
         first.batched_responses,
     );
+    if first.stats.chaos.any_activity() {
+        let c = &first.stats.chaos;
+        eprintln!(
+            "run 1 chaos: {} faults ({} transient / {} ecc / {} offline) | {} retries | {} hedges | {} breaker trips | {} degraded completions | {} requests exhausted the ladder",
+            c.faults_injected,
+            c.faults_transient,
+            c.faults_ecc,
+            c.faults_offline,
+            c.retries,
+            c.hedges,
+            c.breaker_trips,
+            c.degraded_completions,
+            first.exhausted,
+        );
+    }
     let second = replay(&args, &matrices, &trace, false);
     let runs_identical = first.summary == second.summary;
     eprintln!(
@@ -304,6 +373,10 @@ fn main() -> ExitCode {
         "verified_requests": args.requests,
         "mismatches": first.mismatches,
         "batched_responses": first.batched_responses,
+        "degraded_responses": first.degraded_responses,
+        "exhausted_requests": first.exhausted,
+        "chaos_seed": args.chaos_seed,
+        "fault_rate": args.fault_rate,
         "registry_hit_rate": first.stats.registry.hit_rate(),
         "runs_identical": runs_identical,
         "deterministic": first.summary,

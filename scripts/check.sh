@@ -16,6 +16,9 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> differential conformance suite (formats x reorderings x blocks)"
+cargo test -q --test conformance
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc -q --workspace --no-deps
 
@@ -49,6 +52,24 @@ assert hits >= 1, f"expected at least one registry cache hit, got {hits}"
 assert rec["registry_hit_rate"] > 0.9, rec["registry_hit_rate"]
 print(f"serve smoke OK: {rec['verified_requests']} requests verified, "
       f"{hits} registry hits (rate {rec['registry_hit_rate']:.3f})")
+PY
+
+echo "==> chaos smoke: injected faults, zero incorrect responses, reproducible"
+chaos_json="$(./target/release/examples/serve --requests 160 --chaos-seed 7 --fault-rate 0.25 2>/dev/null)"
+python3 - "$chaos_json" <<'PY'
+import json, sys
+rec = json.loads(sys.argv[1])
+assert rec["mismatches"] == 0, "a faulted response diverged from its unfaulted reference"
+assert rec["runs_identical"] is True, "chaos replay not deterministic for a fixed seed"
+chaos = rec["deterministic"]["chaos"]
+assert chaos["faults_injected"] > 0, f"fault rate 0.25 injected nothing: {chaos}"
+assert chaos["retries"] > 0, f"faults without retries: {chaos}"
+assert rec["stats"]["failed"] == 0, "a request exhausted the recovery ladder"
+print(f"chaos smoke OK: {chaos['faults_injected']} faults "
+      f"({chaos['faults_transient']} transient / {chaos['faults_ecc']} ecc / "
+      f"{chaos['faults_offline']} offline), {chaos['retries']} retries, "
+      f"{chaos['hedges']} hedges, {chaos['breaker_trips']} breaker trips, "
+      f"{chaos['degraded_completions']} degraded — all responses correct")
 PY
 
 echo "==> tracing: serve --trace must emit a valid Chrome trace"

@@ -1,0 +1,286 @@
+//! Differential conformance suite: every sparse format × every reordering
+//! algorithm × a grid of block shapes, checked against a naive dense f64
+//! oracle.
+//!
+//! Comparison discipline:
+//!
+//! * The workload generators emit small-integer values, which are exact in
+//!   every element type and in both accumulator widths, so the default
+//!   (wide-accumulation) comparisons are **bitwise** — any deviation is a
+//!   conformance bug, not float noise.
+//! * The one place bitwise equality is *not* guaranteed is
+//!   `AccumMode::Narrow`, which rounds the running sum to the storage type
+//!   after every k-block. That case is checked against the oracle with a
+//!   documented ULP bound instead (see
+//!   `narrow_accumulation_is_ulp_bounded_against_the_oracle`).
+
+use smat_formats::{Bcsr, Coo, Csc, Csr, Dense, Element, Ell, SrBcrs, F16};
+use smat_reorder::ReorderAlgorithm;
+use smat_repro::prelude::*;
+use smat_repro::workloads;
+
+/// Naive dense oracle: expand `A` to dense and run the textbook triple loop
+/// with f64 accumulation over the *full* inner dimension (zeros included),
+/// rounding once at the end. Exact for small-integer inputs, so it agrees
+/// bitwise with `Csr::spmm_reference` (which skips zeros but also
+/// accumulates in f64, ascending k).
+fn dense_oracle<T: Element>(a: &Csr<T>, b: &Dense<T>) -> Dense<T> {
+    let ad = a.to_dense();
+    Dense::from_fn(a.nrows(), b.ncols(), |i, j| {
+        let mut acc = 0.0f64;
+        for k in 0..a.ncols() {
+            acc += ad.get(i, k).to_f64() * b.get(k, j).to_f64();
+        }
+        T::from_f64(acc)
+    })
+}
+
+/// A test matrix with uneven row lengths, empty rows, and an empty trailing
+/// column block — the shapes that break format conversions in practice.
+fn awkward_matrix() -> Csr<F16> {
+    let mut coo = Coo::new(96, 80);
+    for r in 0..96 {
+        if r % 7 == 3 {
+            continue; // empty rows
+        }
+        for j in 0..(1 + r % 5) {
+            let c = (r * 3 + j * 13) % 72; // columns 72..80 stay empty
+            coo.push(r, c, F16::from_f64(((r + 2 * j) % 7) as f64 - 3.0));
+        }
+    }
+    coo.to_csr()
+}
+
+fn rhs(k: usize, n: usize) -> Dense<F16> {
+    Dense::from_fn(k, n, |i, j| {
+        F16::from_f64(workloads::values::rhs_value(i, j))
+    })
+}
+
+/// Round-trips `a` through each non-CSR format and returns the CSR that
+/// comes back, labelled. Every pipeline and reference comparison below runs
+/// on these, so a lossy conversion shows up as an oracle mismatch.
+fn format_roundtrips(a: &Csr<F16>) -> Vec<(&'static str, Csr<F16>)> {
+    vec![
+        ("csr", a.clone()),
+        ("csc", Csc::from_csr(a).to_csr()),
+        ("coo", {
+            let mut coo = Coo::new(a.nrows(), a.ncols());
+            for (r, c, v) in a.iter() {
+                coo.push(r, c, v);
+            }
+            coo.to_csr()
+        }),
+        ("bcsr", Bcsr::from_csr(a, 16, 16).to_csr()),
+        ("ell", Ell::from_csr(a).to_csr()),
+        ("sr-bcrs", SrBcrs::from_csr(a, 8, 4).to_csr()),
+    ]
+}
+
+/// Every reordering algorithm the crate exposes.
+fn all_reorderings() -> Vec<ReorderAlgorithm> {
+    vec![
+        ReorderAlgorithm::Identity,
+        ReorderAlgorithm::JaccardRows { tau: 0.7 },
+        ReorderAlgorithm::JaccardRowsCols { tau: 0.7 },
+        ReorderAlgorithm::ReverseCuthillMcKee,
+        ReorderAlgorithm::Saad { tau: 0.5 },
+        ReorderAlgorithm::GrayCode,
+        ReorderAlgorithm::Bisection,
+        ReorderAlgorithm::DegreeSort,
+    ]
+}
+
+/// Block shapes that map to supported MMA fragment shapes (`m = h = 16`,
+/// `k = w`).
+const BLOCK_SHAPES: [(usize, usize); 3] = [(16, 16), (16, 8), (16, 32)];
+
+#[test]
+fn every_format_spmm_reference_matches_the_dense_oracle() {
+    for a in [
+        awkward_matrix(),
+        workloads::random_uniform(128, 96, 0.9, 21),
+    ] {
+        let b = rhs(a.ncols(), 9);
+        let want = dense_oracle(&a, &b);
+        assert_eq!(a.spmm_reference(&b), want, "csr");
+        assert_eq!(Csc::from_csr(&a).spmm_reference(&b), want, "csc");
+        let mut coo = Coo::new(a.nrows(), a.ncols());
+        for (r, c, v) in a.iter() {
+            coo.push(r, c, v);
+        }
+        assert_eq!(coo.spmm_reference(&b), want, "coo");
+        for (h, w) in BLOCK_SHAPES {
+            assert_eq!(
+                Bcsr::from_csr(&a, h, w).spmm_reference(&b),
+                want,
+                "bcsr {h}x{w}"
+            );
+        }
+        assert_eq!(Ell::from_csr(&a).spmm_reference(&b), want, "ell");
+        for (vl, s) in [(8, 4), (16, 2), (4, 8)] {
+            assert_eq!(
+                SrBcrs::from_csr(&a, vl, s).spmm_reference(&b),
+                want,
+                "sr-bcrs v{vl} s{s}"
+            );
+        }
+    }
+}
+
+#[test]
+fn pipeline_conforms_for_every_format_reordering_and_block_shape() {
+    let base = awkward_matrix();
+    let b = rhs(base.ncols(), 9);
+    for (fmt, a) in format_roundtrips(&base) {
+        let want = dense_oracle(&a, &b);
+        for alg in all_reorderings() {
+            for (h, w) in BLOCK_SHAPES {
+                let cfg = SmatConfig {
+                    block_h: h,
+                    block_w: w,
+                    reorder: alg,
+                    ..SmatConfig::default()
+                };
+                let run = Smat::prepare(&a, cfg).spmm(&b);
+                assert_eq!(
+                    run.c,
+                    want,
+                    "format {fmt}, reorder {}, block {h}x{w}",
+                    alg.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn integer_elements_conform_exactly() {
+    // The integer path (i16 storage, i32 accumulation) is exact end to end;
+    // SR-BCRS is Magicube's native integer substrate, so exercise it there
+    // and through the reference kernels.
+    let a16: Csr<i16> = awkward_matrix().cast();
+    let b = Dense::from_fn(a16.ncols(), 9, |i, j| ((i + 2 * j) % 5) as i16 - 2);
+    let want = dense_oracle(&a16, &b);
+    assert_eq!(a16.spmm_reference(&b), want, "csr i16");
+    assert_eq!(
+        SrBcrs::from_csr(&a16, 8, 4).spmm_reference(&b),
+        want,
+        "sr-bcrs i16"
+    );
+    assert_eq!(
+        Bcsr::from_csr(&a16, 16, 16).spmm_reference(&b),
+        want,
+        "bcsr i16"
+    );
+}
+
+/// Maps an F16 bit pattern to a monotone integer so ULP distance is a
+/// subtraction (standard sign-magnitude → biased-ordinal trick).
+fn f16_ordinal(x: F16) -> i32 {
+    let bits = i32::from(x.0);
+    if bits & 0x8000 != 0 {
+        0x8000 - (bits & 0x7fff)
+    } else {
+        0x8000 + bits
+    }
+}
+
+fn ulp_distance(a: F16, b: F16) -> u32 {
+    (f16_ordinal(a) - f16_ordinal(b)).unsigned_abs()
+}
+
+#[test]
+fn narrow_accumulation_is_ulp_bounded_against_the_oracle() {
+    // Narrow accumulation rounds the running sum to f16 after every
+    // k-block (the paper's Listing 1 variant), so bitwise equality with the
+    // f64 oracle is NOT guaranteed. Bound: the inputs are non-negative (no
+    // cancellation → the running magnitude is monotone), so each of the
+    // ⌈K/w⌉ per-block roundings contributes at most 1 ULP at the *final*
+    // magnitude, plus 1 for the oracle's own final rounding:
+    //
+    //     ulp(narrow, oracle) ≤ ⌈K/w⌉ + 1.
+    //
+    // The B values use denominator 3 so essentially every product and
+    // partial sum actually rounds — the bound is exercised, not vacuous.
+    let a: Csr<F16> = {
+        let mut coo = Coo::new(96, 96);
+        for r in 0..96 {
+            for j in 0..6 {
+                coo.push(
+                    r,
+                    (r * 5 + j * 17) % 96,
+                    F16::from_f64(((r + j) % 4 + 1) as f64 / 3.0),
+                );
+            }
+        }
+        coo.to_csr()
+    };
+    let b = Dense::from_fn(96, 8, |i, j| {
+        F16::from_f64(((i + 3 * j) % 5 + 1) as f64 / 3.0)
+    });
+    let want = dense_oracle(&a, &b);
+    for (h, w) in BLOCK_SHAPES {
+        let cfg = SmatConfig {
+            block_h: h,
+            block_w: w,
+            accum: smat::AccumMode::Narrow,
+            ..SmatConfig::default()
+        };
+        let got = Smat::prepare(&a, cfg).spmm(&b).c;
+        let bound = (a.ncols().div_ceil(w) + 1) as u32;
+        let mut worst = 0;
+        for i in 0..want.nrows() {
+            for j in 0..want.ncols() {
+                let d = ulp_distance(got.get(i, j), want.get(i, j));
+                worst = worst.max(d);
+                assert!(
+                    d <= bound,
+                    "block {h}x{w}: C[{i},{j}] off by {d} ULP (bound {bound}): \
+                     narrow {} vs oracle {}",
+                    got.get(i, j).to_f64(),
+                    want.get(i, j).to_f64()
+                );
+            }
+        }
+        // The wide default on the same inputs stays bitwise-equal to the
+        // oracle even with rounding-hostile values: f16×f16 products are
+        // exact in f32 and these magnitudes never exceed f32's integer-exact
+        // accumulation range.
+        assert!(worst <= bound, "block {h}x{w}: worst {worst} > {bound}");
+    }
+}
+
+#[test]
+fn empty_and_degenerate_matrices_conform() {
+    let empty: Csr<F16> = Coo::new(32, 32).to_csr();
+    let b = rhs(32, 4);
+    let want = dense_oracle(&empty, &b);
+    assert_eq!(empty.spmm_reference(&b), want);
+    assert_eq!(Csc::from_csr(&empty).spmm_reference(&b), want);
+    assert_eq!(Ell::from_csr(&empty).spmm_reference(&b), want);
+    assert_eq!(Bcsr::from_csr(&empty, 16, 16).spmm_reference(&b), want);
+    assert_eq!(SrBcrs::from_csr(&empty, 8, 4).spmm_reference(&b), want);
+    let run = Smat::prepare(&empty, SmatConfig::default()).spmm(&b);
+    assert_eq!(run.c, want);
+
+    // Single-entry matrix: the permutation plumbing has nothing to hide
+    // behind.
+    let mut one = Coo::new(40, 40);
+    one.push(17, 23, F16::from_f64(2.0));
+    let one = one.to_csr();
+    let b = rhs(40, 4);
+    let want = dense_oracle(&one, &b);
+    for alg in all_reorderings() {
+        let cfg = SmatConfig {
+            reorder: alg,
+            ..SmatConfig::default()
+        };
+        assert_eq!(
+            Smat::prepare(&one, cfg).spmm(&b).c,
+            want,
+            "reorder {}",
+            alg.name()
+        );
+    }
+}

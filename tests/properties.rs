@@ -28,6 +28,20 @@ fn rhs(k: usize, n: usize) -> Dense<F16> {
     })
 }
 
+/// Every reordering algorithm, with `tau` driving the thresholded ones.
+fn all_reorder_algorithms(tau: f64) -> [ReorderAlgorithm; 8] {
+    [
+        ReorderAlgorithm::Identity,
+        ReorderAlgorithm::JaccardRows { tau },
+        ReorderAlgorithm::JaccardRowsCols { tau },
+        ReorderAlgorithm::ReverseCuthillMcKee,
+        ReorderAlgorithm::Saad { tau },
+        ReorderAlgorithm::GrayCode,
+        ReorderAlgorithm::Bisection,
+        ReorderAlgorithm::DegreeSort,
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -89,15 +103,17 @@ proptest! {
 
     #[test]
     fn every_reorder_algorithm_returns_a_bijection(a in sparse_matrix(), tau in 0.1f64..0.95) {
-        for alg in [
-            ReorderAlgorithm::JaccardRows { tau },
-            ReorderAlgorithm::Saad { tau },
-            ReorderAlgorithm::GrayCode,
-            ReorderAlgorithm::DegreeSort,
-        ] {
+        for alg in all_reorder_algorithms(tau) {
             let r = reorder(&a, alg, 8, 8);
             // Permutation::from_vec inside reorder validates bijectivity;
-            // additionally the permuted matrix preserves the nnz multiset.
+            // check the shape and inverse algebra explicitly anyway, plus
+            // that the permuted matrix preserves the nnz multiset.
+            prop_assert_eq!(r.row_perm.len(), a.nrows());
+            prop_assert!(r.row_perm.then(&r.row_perm.inverse()).is_identity());
+            if let Some(cp) = &r.col_perm {
+                prop_assert_eq!(cp.len(), a.ncols());
+                prop_assert!(cp.then(&cp.inverse()).is_identity());
+            }
             let pm = r.apply(&a);
             prop_assert_eq!(pm.nnz(), a.nnz());
             let mut h1 = a.row_nnz_histogram();
@@ -107,6 +123,31 @@ proptest! {
             if r.col_perm.is_none() {
                 prop_assert_eq!(h1, h2);
             }
+        }
+    }
+
+    #[test]
+    fn every_reorder_algorithm_preserves_the_product(
+        a in sparse_matrix(), tau in 0.1f64..0.95, n in 1usize..8
+    ) {
+        // (P·A·Qᵀ)·(Q·B) == P·(A·B): multiplying the reordered matrix by
+        // the correspondingly permuted RHS gives the original product with
+        // its rows shuffled by P — bitwise, since reordering moves values
+        // without touching them and the reference accumulates in f64.
+        let b = rhs(a.ncols(), n);
+        let want = a.spmm_reference(&b);
+        for alg in all_reorder_algorithms(tau) {
+            let r = reorder(&a, alg, 8, 8);
+            let b_eff = match &r.col_perm {
+                Some(cp) => b.select_rows(cp.as_slice()),
+                None => b.clone(),
+            };
+            let lhs = r.apply(&a).spmm_reference(&b_eff);
+            prop_assert_eq!(
+                lhs,
+                want.select_rows(r.row_perm.as_slice()),
+                "alg {}", alg.name()
+            );
         }
     }
 
