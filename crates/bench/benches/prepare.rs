@@ -1,0 +1,58 @@
+//! Prepare-path bench: the two axes the parallel prepare pipeline opens —
+//! reorder strategy (exact Jaccard vs LSH-bucketed Jaccard vs RCM) and
+//! BCSR conversion (sequential vs rayon-parallel two-pass) — across three
+//! synthetic sizes. `scripts/bench_prepare.sh` produces the committed
+//! `BENCH_PR5.json` evidence from the `prepare_perf` example; this bench
+//! is the statistics-grade criterion view of the same comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smat_formats::{Bcsr, Csr, F16};
+use smat_reorder::{reorder, ReorderAlgorithm};
+use smat_workloads::{mesh2d, random_uniform, scramble_rows};
+
+fn matrices() -> Vec<(&'static str, Csr<F16>)> {
+    vec![
+        ("mesh2d-2k", scramble_rows(&mesh2d(45, 45), 1)),
+        ("mesh2d-8k", scramble_rows(&mesh2d(90, 90), 1)),
+        ("rand-16k", random_uniform(16_384, 16_384, 0.9996, 7)),
+    ]
+}
+
+fn bench_reorder_strategies(c: &mut Criterion) {
+    let algs = [
+        ReorderAlgorithm::JaccardRows { tau: 0.7 },
+        ReorderAlgorithm::JaccardLsh {
+            tau: 0.7,
+            bands: 8,
+            rows_per_band: 1,
+        },
+        ReorderAlgorithm::ReverseCuthillMcKee,
+    ];
+    for (name, a) in matrices() {
+        let mut group = c.benchmark_group(format!("prepare_reorder/{name}"));
+        group.sample_size(10);
+        for alg in algs {
+            group.bench_with_input(BenchmarkId::from_parameter(alg.name()), &alg, |b, &alg| {
+                b.iter(|| std::hint::black_box(reorder(&a, alg, 16, 16)));
+            });
+        }
+        group.finish();
+    }
+}
+
+fn bench_bcsr_conversion(c: &mut Criterion) {
+    for (name, a) in matrices() {
+        let mut group = c.benchmark_group(format!("prepare_convert/{name}"));
+        group.sample_size(10);
+        group.bench_function("sequential", |b| {
+            b.iter(|| std::hint::black_box(Bcsr::from_csr(&a, 16, 16)));
+        });
+        group.bench_function("parallel", |b| {
+            b.iter(|| std::hint::black_box(Bcsr::from_csr_parallel(&a, 16, 16)));
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_reorder_strategies, bench_bcsr_conversion);
+criterion_main!(benches);

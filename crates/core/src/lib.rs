@@ -39,4 +39,4 @@ pub use kernel::{
     WARPS_PER_TB,
 };
 pub use perfmodel::{PerfModel, PerfSample};
-pub use pipeline::{RunReport, Smat, SmatRun};
+pub use pipeline::{PrepareTimings, RunReport, Smat, SmatRun};

@@ -47,6 +47,8 @@ struct SmatInner<T> {
     /// Host wall-clock milliseconds spent in `prepare` (reordering + BCSR
     /// conversion) — the one-time inspector cost.
     prepare_wall_ms: f64,
+    /// Per-stage breakdown of `prepare_wall_ms`.
+    prepare_timings: PrepareTimings,
     ncols: usize,
     /// Content fingerprint of the *original* (pre-permutation) matrix.
     fingerprint: MatrixFingerprint,
@@ -60,6 +62,35 @@ struct SmatInner<T> {
     /// operand of the scalar degradation path. Built on first use: the
     /// fault-free serving path never pays for it.
     fallback_csr: OnceLock<Arc<Csr<T>>>,
+}
+
+/// Per-stage wall-clock breakdown of [`Smat::prepare`] — the `T_init` term
+/// of the paper's performance model, split by pipeline stage.
+///
+/// Each stage is timed around the work itself, with the stopwatch read
+/// *before* trace-span arguments are recorded, so recorder overhead never
+/// leaks into a stage number. `total_ms` is the end-to-end wall clock of
+/// `prepare` and additionally covers fingerprinting, block statistics, and
+/// trace bookkeeping between stages; the sub-timings therefore sum to at
+/// most `total_ms` (asserted by a regression test), never more.
+#[derive(Clone, Copy, Debug, serde::Serialize)]
+pub struct PrepareTimings {
+    /// Computing the block-densifying permutation.
+    pub reorder_ms: f64,
+    /// Applying the permutation to the CSR operand (gather/pack).
+    pub pack_ms: f64,
+    /// CSR → BCSR conversion (rayon-parallel two-pass).
+    pub convert_ms: f64,
+    /// End-to-end `prepare` wall clock (equals
+    /// [`Smat::prepare_wall_ms`]).
+    pub total_ms: f64,
+}
+
+impl PrepareTimings {
+    /// Sum of the per-stage timings (excludes inter-stage bookkeeping).
+    pub fn stages_ms(&self) -> f64 {
+        self.reorder_ms + self.pack_ms + self.convert_ms
+    }
 }
 
 /// Result of one SpMM execution.
@@ -118,24 +149,39 @@ impl<T: Element> Smat<T> {
         let t0 = std::time::Instant::now();
         let fingerprint = MatrixFingerprint::of_csr(a);
         let stats_before = smat_reorder::stats::block_row_stats(a, config.block_h, config.block_w);
-        let (reordering, permuted) = {
+        // Each stage stopwatch is read before the span arguments are
+        // recorded, so trace-recorder overhead stays out of the stage
+        // numbers (it is still part of total_ms — see PrepareTimings).
+        let (reordering, reorder_ms) = {
             let mut sp = smat_trace::span("reorder", "pipeline");
-            sp.arg("algorithm", config.reorder.name());
+            let ts = std::time::Instant::now();
             let reordering = reorder(a, config.reorder, config.block_h, config.block_w);
+            let reorder_ms = ts.elapsed().as_secs_f64() * 1e3;
+            sp.arg("algorithm", config.reorder.name());
+            (reordering, reorder_ms)
+        };
+        let (permuted, pack_ms) = {
+            let mut sp = smat_trace::span("pack", "pipeline");
+            let ts = std::time::Instant::now();
             let permuted = reordering.apply(a);
-            (reordering, permuted)
+            let pack_ms = ts.elapsed().as_secs_f64() * 1e3;
+            sp.arg("rows", permuted.nrows() as u64);
+            (permuted, pack_ms)
         };
         let stats_after =
             smat_reorder::stats::block_row_stats(&permuted, config.block_h, config.block_w);
-        let bcsr = {
+        let (bcsr, convert_ms) = {
             let mut sp = smat_trace::span("bcsr_convert", "pipeline");
             sp.arg("blocks_before", stats_before.nblocks as u64);
-            let bcsr = Bcsr::from_csr(&permuted, config.block_h, config.block_w);
+            let ts = std::time::Instant::now();
+            let bcsr = Bcsr::from_csr_parallel(&permuted, config.block_h, config.block_w);
+            let convert_ms = ts.elapsed().as_secs_f64() * 1e3;
             sp.arg("blocks_after", bcsr.nblocks() as u64);
-            bcsr
+            (bcsr, convert_ms)
         };
         prep_span.arg("nblocks", bcsr.nblocks() as u64);
         let gpu = Gpu::new(config.device.clone());
+        let total_ms = t0.elapsed().as_secs_f64() * 1e3;
         Smat {
             inner: Arc::new(SmatInner {
                 config,
@@ -144,7 +190,13 @@ impl<T: Element> Smat<T> {
                 bcsr,
                 stats_before,
                 stats_after,
-                prepare_wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+                prepare_wall_ms: total_ms,
+                prepare_timings: PrepareTimings {
+                    reorder_ms,
+                    pack_ms,
+                    convert_ms,
+                    total_ms,
+                },
                 ncols: a.ncols(),
                 fingerprint,
                 preflight_cache: Mutex::new(HashMap::new()),
@@ -158,6 +210,13 @@ impl<T: Element> Smat<T> {
     /// cost over many executor calls; this number makes the trade explicit.
     pub fn prepare_wall_ms(&self) -> f64 {
         self.inner.prepare_wall_ms
+    }
+
+    /// Per-stage breakdown of the preprocessing wall clock
+    /// (reorder / pack / convert); see [`PrepareTimings`] for what each
+    /// stage covers and how trace overhead is accounted.
+    pub fn prepare_timings(&self) -> PrepareTimings {
+        self.inner.prepare_timings
     }
 
     /// The internal BCSR representation (after preprocessing).
@@ -497,6 +556,37 @@ mod tests {
             let run = Smat::prepare(&a, cfg).spmm(&b);
             assert_eq!(run.c, want, "algorithm {} broke the product", alg.name());
         }
+    }
+
+    #[test]
+    fn prepare_subtimings_sum_to_at_most_total() {
+        let a = interleaved(128);
+        let engine = Smat::prepare(&a, SmatConfig::default());
+        let t = engine.prepare_timings();
+        assert!(t.reorder_ms >= 0.0 && t.pack_ms >= 0.0 && t.convert_ms >= 0.0);
+        assert!(
+            t.stages_ms() <= t.total_ms,
+            "stages {} must not exceed total {} (trace overhead lives in the total)",
+            t.stages_ms(),
+            t.total_ms
+        );
+        assert_eq!(t.total_ms, engine.prepare_wall_ms());
+    }
+
+    #[test]
+    fn lsh_reorder_runs_through_the_pipeline() {
+        let a = interleaved(64);
+        let b = rhs(64, 16);
+        let cfg = SmatConfig {
+            reorder: ReorderAlgorithm::JaccardLsh {
+                tau: 0.7,
+                bands: 8,
+                rows_per_band: 1,
+            },
+            ..SmatConfig::default()
+        };
+        let run = Smat::prepare(&a, cfg).spmm(&b);
+        assert_eq!(run.c, a.spmm_reference(&b));
     }
 
     #[test]

@@ -127,6 +127,116 @@ impl<T: Element> Bcsr<T> {
         })
     }
 
+    /// Parallel variant of [`Bcsr::from_csr`].
+    ///
+    /// # Panics
+    /// Panics if either block dimension is zero. Use
+    /// [`Bcsr::try_from_csr_parallel`] for a typed-diagnostic error instead.
+    pub fn from_csr_parallel(csr: &Csr<T>, block_h: usize, block_w: usize) -> Self {
+        match Self::try_from_csr_parallel(csr, block_h, block_w) {
+            Ok(m) => m,
+            Err(diags) => panic!("{}", diags[0].message),
+        }
+    }
+
+    /// Rayon-parallel two-pass CSR→BCSR conversion.
+    ///
+    /// Pass 1 discovers each block row's sorted nonzero block columns in
+    /// parallel; an exclusive scan turns the per-block-row counts into
+    /// `row_ptr`; pass 2 fills the dense payloads in parallel, each worker
+    /// writing a disjoint `&mut` segment of the preallocated value buffer
+    /// (block-column slots are found by binary search in the block row's
+    /// sorted column list). The output is bitwise-identical to
+    /// [`Bcsr::try_from_csr`] — both store each block row's columns in
+    /// increasing order and lay payloads out row-major — which the
+    /// conformance smoke gate asserts.
+    ///
+    /// # Errors
+    /// Returns [`DiagCode::BlockDimZero`](smat_diag::DiagCode::BlockDimZero)
+    /// if either block dimension is zero.
+    pub fn try_from_csr_parallel(
+        csr: &Csr<T>,
+        block_h: usize,
+        block_w: usize,
+    ) -> Result<Self, Vec<smat_diag::Diagnostic>> {
+        use rayon::prelude::*;
+
+        if block_h == 0 || block_w == 0 {
+            return Err(vec![smat_diag::Diagnostic::new(
+                smat_diag::DiagCode::BlockDimZero,
+                smat_diag::Location::Whole,
+                format!("block dimensions must be nonzero, got {block_h}x{block_w}"),
+            )]);
+        }
+        let nrows = csr.nrows();
+        let ncols = csr.ncols();
+        let nblock_rows = nrows.div_ceil(block_h);
+
+        // Pass 1: per-block-row sorted unique block columns, in parallel.
+        let per_row: Vec<Vec<usize>> = (0..nblock_rows)
+            .into_par_iter()
+            .map(|bi| {
+                let row_lo = bi * block_h;
+                let row_hi = (row_lo + block_h).min(nrows);
+                let mut cols: Vec<usize> = Vec::new();
+                for r in row_lo..row_hi {
+                    cols.extend(csr.row_cols(r).iter().map(|&c| c / block_w));
+                }
+                cols.sort_unstable();
+                cols.dedup();
+                cols
+            })
+            .collect();
+
+        // Exclusive scan of the counts -> row_ptr; concatenation -> col_idx.
+        let mut row_ptr = Vec::with_capacity(nblock_rows + 1);
+        row_ptr.push(0usize);
+        let mut total = 0usize;
+        for cols in &per_row {
+            total += cols.len();
+            row_ptr.push(total);
+        }
+        let mut col_idx: Vec<usize> = Vec::with_capacity(total);
+        for cols in &per_row {
+            col_idx.extend_from_slice(cols);
+        }
+
+        // Pass 2: parallel fill into the preallocated payload buffer. Each
+        // task owns the disjoint `&mut` value segment of one block row.
+        let hw = block_h * block_w;
+        let mut values = vec![T::zero(); total * hw];
+        let mut tasks: Vec<(usize, &[usize], &mut [T])> = Vec::with_capacity(nblock_rows);
+        let mut rest = values.as_mut_slice();
+        for (bi, cols) in per_row.iter().enumerate() {
+            let (seg, tail) = rest.split_at_mut(cols.len() * hw);
+            tasks.push((bi, cols.as_slice(), seg));
+            rest = tail;
+        }
+        tasks.into_par_iter().for_each(|(bi, cols, seg)| {
+            let row_lo = bi * block_h;
+            let row_hi = (row_lo + block_h).min(nrows);
+            for r in row_lo..row_hi {
+                let local_r = r - row_lo;
+                for (&c, &v) in csr.row_cols(r).iter().zip(csr.row_values(r)) {
+                    let bc = c / block_w;
+                    let slot = cols.binary_search(&bc).expect("block col from pass 1");
+                    seg[slot * hw + local_r * block_w + (c - bc * block_w)] = v;
+                }
+            }
+        });
+
+        Ok(Bcsr {
+            nrows,
+            ncols,
+            block_h,
+            block_w,
+            row_ptr,
+            col_idx,
+            values,
+            nnz: csr.nnz(),
+        })
+    }
+
     /// Assembles a BCSR matrix from raw parts, returning every violated
     /// invariant as a typed [`Diagnostic`](smat_diag::Diagnostic).
     ///
@@ -493,6 +603,28 @@ mod tests {
         assert!((s.stddev - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
         assert_eq!(s.max, 6);
         assert_eq!(s.min, 2);
+    }
+
+    #[test]
+    fn parallel_conversion_is_bitwise_identical() {
+        let m = small_csr();
+        for (h, w) in [(1, 1), (2, 2), (2, 3), (4, 4), (16, 8), (7, 5)] {
+            let seq = Bcsr::from_csr(&m, h, w);
+            let par = Bcsr::from_csr_parallel(&m, h, w);
+            assert_eq!(seq, par, "parallel != sequential for block {h}x{w}");
+        }
+        let empty = Csr::<f32>::empty(10, 10);
+        assert_eq!(
+            Bcsr::from_csr(&empty, 4, 4),
+            Bcsr::from_csr_parallel(&empty, 4, 4)
+        );
+    }
+
+    #[test]
+    fn parallel_conversion_rejects_zero_block_dims() {
+        let m = small_csr();
+        assert!(Bcsr::try_from_csr_parallel(&m, 0, 4).is_err());
+        assert!(Bcsr::try_from_csr_parallel(&m, 4, 0).is_err());
     }
 
     #[test]

@@ -3,6 +3,26 @@
 
 use crate::scalar::Element;
 
+use rayon::prelude::*;
+
+/// Element count below which row packing stays sequential: copying a few
+/// kilobytes is faster than fanning rows out to worker threads.
+const PAR_PACK_THRESHOLD: usize = 1 << 16;
+
+/// Splits a row-major buffer into one `(row, &mut row_data)` task per row.
+fn row_tasks<T>(data: &mut [T], ncols: usize) -> Vec<(usize, &mut [T])> {
+    let mut tasks = Vec::with_capacity(data.len().checked_div(ncols).unwrap_or(0));
+    let mut rest = data;
+    let mut i = 0;
+    while rest.len() >= ncols && !rest.is_empty() {
+        let (row, tail) = rest.split_at_mut(ncols);
+        tasks.push((i, row));
+        rest = tail;
+        i += 1;
+    }
+    tasks
+}
+
 /// Dense matrix in row-major layout.
 ///
 /// Row-major matches how the SMaT kernel streams rows of `B` into shared
@@ -131,10 +151,19 @@ impl<T: Element> Dense<T> {
     }
 
     /// Returns a copy with rows permuted: `out[i] = self[perm[i]]`.
+    ///
+    /// Large outputs (≥ 64Ki elements) are gathered row-parallel under
+    /// rayon; the result is identical to the sequential copy.
     pub fn select_rows(&self, perm: &[usize]) -> Dense<T> {
         let mut out = Dense::zeros(perm.len(), self.ncols);
-        for (dst, &src) in perm.iter().enumerate() {
-            out.row_mut(dst).copy_from_slice(self.row(src));
+        if out.data.len() < PAR_PACK_THRESHOLD || self.ncols == 0 {
+            for (dst, &src) in perm.iter().enumerate() {
+                out.row_mut(dst).copy_from_slice(self.row(src));
+            }
+        } else {
+            row_tasks(&mut out.data, self.ncols)
+                .into_par_iter()
+                .for_each(|(dst, row)| row.copy_from_slice(self.row(perm[dst])));
         }
         out
     }
@@ -157,6 +186,9 @@ impl<T: Element> Dense<T> {
     /// kernel sees one wide right-hand side and [`Dense::split_cols`] hands
     /// each request its own slice of the output back.
     ///
+    /// Large outputs (≥ 64Ki elements) are packed row-parallel under rayon;
+    /// the result is identical to the sequential copy.
+    ///
     /// # Panics
     /// Panics if `parts` is empty or the row counts disagree.
     pub fn hconcat(parts: &[&Dense<T>]) -> Dense<T> {
@@ -170,13 +202,21 @@ impl<T: Element> Dense<T> {
             })
             .sum();
         let mut out = Dense::zeros(nrows, ncols);
-        for i in 0..nrows {
-            let row = out.row_mut(i);
+        let pack_row = |i: usize, row: &mut [T]| {
             let mut at = 0;
             for p in parts {
                 row[at..at + p.ncols].copy_from_slice(p.row(i));
                 at += p.ncols;
             }
+        };
+        if out.data.len() < PAR_PACK_THRESHOLD || ncols == 0 {
+            for i in 0..nrows {
+                pack_row(i, out.row_mut(i));
+            }
+        } else {
+            row_tasks(&mut out.data, ncols)
+                .into_par_iter()
+                .for_each(|(i, row)| pack_row(i, row));
         }
         out
     }
@@ -309,6 +349,29 @@ mod tests {
     fn split_cols_validates_widths() {
         let m = Dense::<f32>::zeros(2, 3);
         let _ = m.split_cols(&[2, 2]);
+    }
+
+    #[test]
+    fn parallel_pack_paths_match_sequential() {
+        // Above PAR_PACK_THRESHOLD both hconcat and select_rows take the
+        // row-parallel path; values must match the small-path semantics.
+        let a = Dense::<f32>::from_fn(512, 96, |i, j| (i * 131 + j) as f32);
+        let b = Dense::<f32>::from_fn(512, 64, |i, j| (i * 31 + 7 * j) as f32);
+        let wide = Dense::hconcat(&[&a, &b]);
+        assert_eq!(wide.shape(), (512, 160));
+        for (i, j) in [(0, 0), (100, 95), (511, 96), (511, 159), (3, 130)] {
+            let want = if j < 96 {
+                a.get(i, j)
+            } else {
+                b.get(i, j - 96)
+            };
+            assert_eq!(wide.get(i, j), want, "at ({i},{j})");
+        }
+        let perm: Vec<usize> = (0..512).rev().collect();
+        let sel = a.select_rows(&perm);
+        for i in [0usize, 17, 511] {
+            assert_eq!(sel.row(i), a.row(511 - i), "row {i}");
+        }
     }
 
     #[test]

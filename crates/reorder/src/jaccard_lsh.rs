@@ -1,0 +1,327 @@
+//! MinHash/LSH-bucketed variant of the Jaccard row clustering.
+//!
+//! The exact algorithm in [`crate::jaccard`] enumerates candidates through an
+//! inverted block-column index: every row sharing *any* block column with the
+//! growing cluster is a candidate, which on matrices with heavy columns
+//! degenerates toward a quadratic scan. This variant replaces the inverted
+//! index with locality-sensitive hashing: each row gets a MinHash signature
+//! of `bands × rows_per_band` hash functions over its block-column pattern,
+//! the signature is cut into `bands` bands of `rows_per_band` values, and two
+//! rows are candidates only if they collide in at least one band bucket. A
+//! row with Jaccard *similarity* `s` to the cluster seed collides with
+//! probability `1 − (1 − s^r)^b`, so near rows are almost always found while
+//! far rows are almost never scanned. The join decision itself still uses the
+//! exact Jaccard distance, so only recall (and never precision) is
+//! approximate: the produced permutation is always valid, and block-count
+//! quality tracks the exact algorithm within a small tolerance.
+//!
+//! Signature computation is embarrassingly parallel and runs under rayon.
+
+use std::collections::HashMap;
+
+use rayon::prelude::*;
+use smat_formats::{Csr, Element, Permutation};
+
+use crate::stats::{jaccard_distance, merge_sorted_into, row_block_cols};
+
+/// Parameters of the LSH-bucketed greedy clustering.
+#[derive(Clone, Copy, Debug)]
+pub struct JaccardLshParams {
+    /// Maximum Jaccard distance for a row to join a cluster (the exact
+    /// threshold τ — identical meaning to [`crate::JaccardParams::tau`]).
+    pub tau: f64,
+    /// Block width used to quantize column patterns (MMA K dimension).
+    pub block_w: usize,
+    /// Close a cluster once it reaches this many rows; `None` lets clusters
+    /// grow without bound.
+    pub max_cluster_rows: Option<usize>,
+    /// Number of LSH bands (`b`). More bands raise recall and cost.
+    pub bands: usize,
+    /// MinHash values per band (`r`). Larger values sharpen the collision
+    /// threshold: collision probability is `1 − (1 − s^r)^b`.
+    pub rows_per_band: usize,
+    /// Drop band buckets holding more than this many rows ("stop-word"
+    /// pruning). On power-law matrices a hub column's signature collects
+    /// thousands of rows into one bucket that carries almost no similarity
+    /// signal yet costs a quadratic sweep; capping bounds candidate breadth
+    /// while near-duplicate rows still collide in their other, more
+    /// selective bands. `None` keeps every bucket.
+    pub max_bucket: Option<usize>,
+    /// Seed of the MinHash function family. Fixed per run for determinism.
+    pub seed: u64,
+}
+
+impl Default for JaccardLshParams {
+    fn default() -> Self {
+        JaccardLshParams {
+            tau: 0.7,
+            block_w: 16,
+            max_cluster_rows: Some(16),
+            bands: 8,
+            rows_per_band: 1,
+            max_bucket: Some(64),
+            seed: 0x5AD_CA7,
+        }
+    }
+}
+
+/// SplitMix64 finalizer — the per-(function, element) MinHash hash.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// MinHash signature of one block-column pattern under `k` hash functions.
+fn signature(pattern: &[usize], k: usize, seed: u64) -> Vec<u64> {
+    let mut sig = vec![u64::MAX; k];
+    for &bc in pattern {
+        let e = mix64(seed ^ (bc as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        for (j, s) in sig.iter_mut().enumerate() {
+            let h = mix64(e ^ ((j as u64) << 32));
+            if h < *s {
+                *s = h;
+            }
+        }
+    }
+    sig
+}
+
+/// Computes the row permutation of the greedy Jaccard clustering with
+/// LSH-bucketed candidate generation.
+///
+/// Structure mirrors [`crate::jaccard_row_permutation`]: a greedy seed loop
+/// grows clusters by scanning candidates and joining rows whose exact
+/// Jaccard distance to the cluster pattern is below `tau`; only the
+/// candidate source differs (band buckets instead of the inverted
+/// block-column index). Empty rows trail the permutation.
+pub fn jaccard_lsh_row_permutation<T: Element>(
+    csr: &Csr<T>,
+    params: &JaccardLshParams,
+) -> Permutation {
+    let patterns = row_block_cols(csr, params.block_w);
+    let n = patterns.len();
+    let bands = params.bands.max(1);
+    let rows_per_band = params.rows_per_band.max(1);
+    let k = bands * rows_per_band;
+    let seed = params.seed;
+
+    // MinHash signatures, one per row — data-parallel over rows.
+    let pats = &patterns;
+    let sigs: Vec<Vec<u64>> = (0..n)
+        .into_par_iter()
+        .map(|r| signature(&pats[r], k, seed))
+        .collect();
+
+    // Band buckets: rows whose signature agrees on all `rows_per_band`
+    // values of a band share a bucket. Bucket ids are assigned in row-scan
+    // order, so the whole construction is deterministic.
+    let mut bucket_ids: HashMap<(usize, u64), usize> = HashMap::new();
+    let mut buckets: Vec<Vec<u32>> = Vec::new();
+    let mut row_buckets: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (r, sig) in sigs.iter().enumerate() {
+        if patterns[r].is_empty() {
+            continue;
+        }
+        for b in 0..bands {
+            let mut key = 0xcbf2_9ce4_8422_2325u64;
+            for &v in &sig[b * rows_per_band..(b + 1) * rows_per_band] {
+                key = mix64(key ^ v);
+            }
+            let next = buckets.len();
+            let id = *bucket_ids.entry((b, key)).or_insert(next);
+            if id == next {
+                buckets.push(Vec::new());
+            }
+            buckets[id].push(r as u32);
+            if row_buckets[r].last() != Some(&id) {
+                row_buckets[r].push(id);
+            }
+        }
+        row_buckets[r].sort_unstable();
+        row_buckets[r].dedup();
+    }
+    // Stop-word pruning: see `JaccardLshParams::max_bucket`. Emptied (not
+    // removed) so bucket ids stay stable; sweeping an empty bucket is free.
+    if let Some(cap) = params.max_bucket {
+        for b in &mut buckets {
+            if b.len() > cap {
+                b.clear();
+                b.shrink_to_fit();
+            }
+        }
+    }
+
+    let mut clustered = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut empty_rows: Vec<usize> = Vec::new();
+    let mut stamp = vec![0u32; n];
+    let mut epoch = 0u32;
+
+    for seed_row in 0..n {
+        if clustered[seed_row] {
+            continue;
+        }
+        if patterns[seed_row].is_empty() {
+            clustered[seed_row] = true;
+            empty_rows.push(seed_row);
+            continue;
+        }
+        clustered[seed_row] = true;
+        order.push(seed_row);
+        let mut cluster_pat: Vec<usize> = patterns[seed_row].clone();
+        let mut cluster_buckets: Vec<usize> = row_buckets[seed_row].clone();
+        let mut cluster_rows = 1usize;
+        let cap = params.max_cluster_rows.unwrap_or(usize::MAX);
+
+        // Grow the cluster: scan rows colliding with any member's band
+        // buckets; the join test is still the exact Jaccard distance.
+        let mut grew = true;
+        while grew && cluster_rows < cap {
+            grew = false;
+            epoch += 1;
+            let snapshot = cluster_buckets.clone();
+            'bkts: for &bkt in &snapshot {
+                for &rw in &buckets[bkt] {
+                    let r = rw as usize;
+                    if clustered[r] || stamp[r] == epoch {
+                        continue;
+                    }
+                    stamp[r] = epoch;
+                    if jaccard_distance(&patterns[r], &cluster_pat) < params.tau {
+                        clustered[r] = true;
+                        order.push(r);
+                        merge_sorted_into(&mut cluster_pat, &patterns[r]);
+                        merge_sorted_into(&mut cluster_buckets, &row_buckets[r]);
+                        cluster_rows += 1;
+                        grew = true;
+                        if cluster_rows >= cap {
+                            break 'bkts;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    order.extend_from_slice(&empty_rows);
+    debug_assert_eq!(order.len(), n);
+    Permutation::from_vec(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jaccard::{jaccard_row_permutation, JaccardParams};
+    use crate::stats::count_blocks;
+    use smat_formats::Coo;
+
+    fn interleaved(n: usize) -> Csr<f32> {
+        let mut coo = Coo::new(n, 16);
+        for r in 0..n {
+            let base = if r % 2 == 0 { 0 } else { 8 };
+            for c in base..base + 4 {
+                coo.push(r, c, 1.0);
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn lsh_clustering_reduces_block_count() {
+        let m = interleaved(32);
+        let params = JaccardLshParams {
+            tau: 0.5,
+            block_w: 4,
+            max_cluster_rows: Some(4),
+            ..JaccardLshParams::default()
+        };
+        let p = jaccard_lsh_row_permutation(&m, &params);
+        let before = count_blocks(&m, 4, 4);
+        let after = count_blocks(&m.permute_rows(&p), 4, 4);
+        assert!(after < before, "before={before}, after={after}");
+        assert_eq!(after, 8);
+    }
+
+    #[test]
+    fn result_is_valid_permutation() {
+        let m = interleaved(17);
+        let p = jaccard_lsh_row_permutation(&m, &JaccardLshParams::default());
+        assert_eq!(p.len(), 17);
+        let pm = m.permute_rows(&p);
+        assert_eq!(pm.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn empty_rows_go_last() {
+        let mut coo = Coo::new(6, 4);
+        coo.push(0, 0, 1.0);
+        coo.push(3, 0, 1.0);
+        let m = coo.to_csr();
+        let p = jaccard_lsh_row_permutation(&m, &JaccardLshParams::default());
+        let pm = m.permute_rows(&p);
+        assert!(pm.row_nnz(0) > 0);
+        assert!(pm.row_nnz(1) > 0);
+        for r in 2..6 {
+            assert_eq!(pm.row_nnz(r), 0, "row {r} should be empty");
+        }
+    }
+
+    #[test]
+    fn identical_rows_always_collide() {
+        // Rows with identical patterns have identical signatures, so LSH
+        // finds them with probability 1 — quality must match exact Jaccard.
+        let m = interleaved(64);
+        let lsh = JaccardLshParams {
+            tau: 0.5,
+            block_w: 4,
+            max_cluster_rows: Some(4),
+            ..JaccardLshParams::default()
+        };
+        let exact = JaccardParams {
+            tau: 0.5,
+            block_w: 4,
+            max_cluster_rows: Some(4),
+        };
+        let b_lsh = count_blocks(
+            &m.permute_rows(&jaccard_lsh_row_permutation(&m, &lsh)),
+            4,
+            4,
+        );
+        let b_exact = count_blocks(&m.permute_rows(&jaccard_row_permutation(&m, &exact)), 4, 4);
+        assert_eq!(b_lsh, b_exact);
+    }
+
+    #[test]
+    fn oversized_buckets_are_pruned_without_breaking_validity() {
+        // Every row shares one hub block-column, collapsing all rows into
+        // one giant bucket per band; the cap prunes it, and the result must
+        // stay a valid, deterministic permutation.
+        let mut coo = Coo::new(200, 64);
+        for r in 0..200 {
+            coo.push(r, 0, 1.0);
+            coo.push(r, 4 + (r % 15) * 4, 1.0);
+        }
+        let m = coo.to_csr();
+        let params = JaccardLshParams {
+            block_w: 4,
+            max_bucket: Some(8),
+            ..JaccardLshParams::default()
+        };
+        let p1 = jaccard_lsh_row_permutation(&m, &params);
+        let p2 = jaccard_lsh_row_permutation(&m, &params);
+        assert_eq!(p1.len(), 200);
+        assert_eq!(m.permute_rows(&p1).nnz(), m.nnz());
+        assert_eq!(p1.as_slice(), p2.as_slice());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let m = interleaved(48);
+        let params = JaccardLshParams::default();
+        let p1 = jaccard_lsh_row_permutation(&m, &params);
+        let p2 = jaccard_lsh_row_permutation(&m, &params);
+        assert_eq!(p1.as_slice(), p2.as_slice());
+    }
+}

@@ -21,6 +21,7 @@
 pub mod bisection;
 pub mod gray;
 pub mod jaccard;
+pub mod jaccard_lsh;
 pub mod rcm;
 pub mod saad;
 pub mod stats;
@@ -30,6 +31,7 @@ use smat_formats::{BlockRowStats, Csr, Element, Permutation};
 pub use bisection::{bisection_row_permutation, BisectionParams};
 pub use gray::{gray_row_permutation, GrayParams};
 pub use jaccard::{jaccard_row_col_permutation, jaccard_row_permutation, JaccardParams};
+pub use jaccard_lsh::{jaccard_lsh_row_permutation, JaccardLshParams};
 pub use rcm::{bandwidth, rcm_permutation};
 pub use saad::{saad_row_permutation, SaadParams};
 
@@ -50,6 +52,19 @@ pub enum ReorderAlgorithm {
     JaccardRowsCols {
         /// Join threshold on Jaccard distance.
         tau: f64,
+    },
+    /// Jaccard clustering with MinHash/LSH-bucketed candidate generation:
+    /// similarity is only evaluated within hash-band buckets, cutting the
+    /// candidate scan from the inverted-index worst case to near-linear
+    /// while keeping the exact-Jaccard join test.
+    JaccardLsh {
+        /// Join threshold on Jaccard distance (same meaning as
+        /// [`ReorderAlgorithm::JaccardRows`]).
+        tau: f64,
+        /// Number of LSH bands.
+        bands: usize,
+        /// MinHash values per band.
+        rows_per_band: usize,
     },
     /// Reverse Cuthill–McKee (square matrices only; falls back to identity
     /// for rectangular inputs).
@@ -81,6 +96,7 @@ impl ReorderAlgorithm {
             ReorderAlgorithm::Identity => "original",
             ReorderAlgorithm::JaccardRows { .. } => "jaccard-rows",
             ReorderAlgorithm::JaccardRowsCols { .. } => "jaccard-rows-cols",
+            ReorderAlgorithm::JaccardLsh { .. } => "jaccard-lsh",
             ReorderAlgorithm::ReverseCuthillMcKee => "rcm",
             ReorderAlgorithm::Saad { .. } => "saad",
             ReorderAlgorithm::GrayCode => "gray",
@@ -150,6 +166,24 @@ pub fn reorder<T: Element>(
             Reordering {
                 row_perm: rp,
                 col_perm: Some(cp),
+            }
+        }
+        ReorderAlgorithm::JaccardLsh {
+            tau,
+            bands,
+            rows_per_band,
+        } => {
+            let params = JaccardLshParams {
+                tau,
+                block_w,
+                max_cluster_rows: Some(block_h),
+                bands,
+                rows_per_band,
+                ..JaccardLshParams::default()
+            };
+            Reordering {
+                row_perm: jaccard_lsh_row_permutation(csr, &params),
+                col_perm: None,
             }
         }
         ReorderAlgorithm::ReverseCuthillMcKee => {
@@ -278,6 +312,11 @@ mod tests {
             ReorderAlgorithm::Identity,
             ReorderAlgorithm::JaccardRows { tau: 0.7 },
             ReorderAlgorithm::JaccardRowsCols { tau: 0.7 },
+            ReorderAlgorithm::JaccardLsh {
+                tau: 0.7,
+                bands: 8,
+                rows_per_band: 1,
+            },
             ReorderAlgorithm::ReverseCuthillMcKee,
             ReorderAlgorithm::Saad { tau: 0.5 },
             ReorderAlgorithm::GrayCode,

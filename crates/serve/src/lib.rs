@@ -47,7 +47,9 @@ pub use error::{RejectReason, ServeError};
 pub use lru::LruMap;
 pub use oneshot::block_on;
 pub use plan::{Plan, PlanCache, PlanStats};
-pub use registry::{config_digest, MatrixKey, PreparedMatrixRegistry, RegistryStats};
+pub use registry::{
+    config_digest, AdmissionState, MatrixKey, ParkResult, PreparedMatrixRegistry, RegistryStats,
+};
 pub use server::{ResponseFuture, ServeResponse, Server, ServerConfig};
 pub use smat_trace::TraceHandle;
 pub use stats::{ChaosStats, DeviceStats, LatencyStats, ServerStats};

@@ -5,9 +5,19 @@
 //! `T_init` of the paper's cost model; the registry computes it once per
 //! distinct (matrix, config) and shares the [`Arc`]-backed handle across
 //! every request that names the same matrix. Get-or-prepare is
-//! duplicate-free under contention: racing callers agree on one
-//! [`OnceLock`] slot and exactly one runs the prepare closure while the
-//! rest block on it.
+//! duplicate-free under contention: racing callers agree on one slot and
+//! exactly one runs the prepare closure while the rest block on it.
+//!
+//! [`PreparedMatrixRegistry::warm_prepare`] moves the preparation onto a
+//! background thread entirely: the key becomes *resident-but-preparing*
+//! immediately, and callers that need the handle either observe the typed
+//! [`AdmissionState::Preparing`] and park a completion closure
+//! ([`PreparedMatrixRegistry::get_or_park`]) or block until ready
+//! ([`PreparedMatrixRegistry::wait_ready`]). Parking is race-free: the
+//! fulfiller publishes the handle *before* draining the waiter list, and a
+//! parker checks for the published handle *while holding* the waiter lock,
+//! so a waiter is either run inline or guaranteed to be drained — never
+//! lost.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
@@ -51,6 +61,31 @@ pub fn config_digest(config: &SmatConfig) -> u64 {
     h.finish()
 }
 
+/// Readiness of a registry key, as seen by admission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum AdmissionState {
+    /// The prepared handle is available now.
+    Ready,
+    /// The key is resident but its preparation (warm or foreground) has not
+    /// finished; requests should park rather than re-prepare or block.
+    Preparing,
+    /// The key is unknown to the registry.
+    Absent,
+}
+
+/// Outcome of [`PreparedMatrixRegistry::get_or_park`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ParkResult {
+    /// The handle was ready; the waiter ran inline on the calling thread
+    /// before this returned.
+    Ready,
+    /// Preparation is in flight; the waiter will run with the handle when
+    /// it completes (possibly on the preparing thread).
+    Parked,
+    /// The key is unknown; the waiter was dropped unused.
+    Absent,
+}
+
 /// Counter snapshot of registry activity.
 #[derive(Clone, Copy, Debug, Serialize)]
 pub struct RegistryStats {
@@ -62,6 +97,10 @@ pub struct RegistryStats {
     pub evictions: u64,
     /// Prepare closures actually executed (≤ misses under contention).
     pub prepares: u64,
+    /// Background preparations launched by `warm_prepare`.
+    pub warm_prepares: u64,
+    /// Waiters parked on an in-flight preparation.
+    pub parked: u64,
     /// Resident entries right now.
     pub entries: usize,
     /// Configured bound.
@@ -80,7 +119,25 @@ impl RegistryStats {
     }
 }
 
-type Slot<T> = Arc<OnceLock<Smat<T>>>;
+/// A parked completion closure, run with the prepared handle.
+type Waiter<T> = Box<dyn FnOnce(Smat<T>) + Send>;
+
+/// One registry slot: the prepared handle plus its parked waiters.
+struct PrepSlot<T> {
+    cell: OnceLock<Smat<T>>,
+    waiters: Mutex<Vec<Waiter<T>>>,
+}
+
+impl<T> PrepSlot<T> {
+    fn new() -> Self {
+        PrepSlot {
+            cell: OnceLock::new(),
+            waiters: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+type Slot<T> = Arc<PrepSlot<T>>;
 
 /// Concurrent, size-bounded LRU of prepared matrices.
 pub struct PreparedMatrixRegistry<T> {
@@ -88,7 +145,33 @@ pub struct PreparedMatrixRegistry<T> {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
-    prepares: AtomicU64,
+    /// Shared with warm-prepare threads (which must not own the registry,
+    /// or joining them in `Drop` could deadlock).
+    prepares: Arc<AtomicU64>,
+    warm_prepares: AtomicU64,
+    parked: AtomicU64,
+    warm_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+/// Publishes `smat` into the slot (if not already set) and drains every
+/// parked waiter. The publish happens *before* the waiter lock is taken —
+/// the other half of the race-free parking protocol (see module docs).
+fn fulfill<T: Element>(
+    slot: &PrepSlot<T>,
+    prepares: &AtomicU64,
+    prepare: impl FnOnce() -> Smat<T>,
+) {
+    let smat = slot
+        .cell
+        .get_or_init(|| {
+            prepares.fetch_add(1, Ordering::Relaxed);
+            prepare()
+        })
+        .clone();
+    let waiters = std::mem::take(&mut *slot.waiters.lock().unwrap());
+    for w in waiters {
+        w(smat.clone());
+    }
 }
 
 impl<T: Element> PreparedMatrixRegistry<T> {
@@ -102,7 +185,24 @@ impl<T: Element> PreparedMatrixRegistry<T> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
-            prepares: AtomicU64::new(0),
+            prepares: Arc::new(AtomicU64::new(0)),
+            warm_prepares: AtomicU64::new(0),
+            parked: AtomicU64::new(0),
+            warm_threads: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Looks up or inserts the slot for `key`, under the registry lock.
+    fn slot_of(&self, key: MatrixKey) -> (Slot<T>, bool) {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(slot) = entries.get(&key) {
+            (Arc::clone(slot), true)
+        } else {
+            let slot: Slot<T> = Arc::new(PrepSlot::new());
+            if entries.insert(key, Arc::clone(&slot)).is_some() {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+            (slot, false)
         }
     }
 
@@ -111,45 +211,116 @@ impl<T: Element> PreparedMatrixRegistry<T> {
     /// `prepare`; the others block until the handle is ready and share it.
     ///
     /// The boolean is `true` on a hit (the key was already resident —
-    /// including "resident but still being prepared by another caller").
-    /// The prepare itself runs outside the registry lock, so a slow prepare
-    /// never blocks lookups of other keys.
+    /// including "resident but still being prepared by another caller or a
+    /// warm-prepare thread"). The prepare itself runs outside the registry
+    /// lock, so a slow prepare never blocks lookups of other keys.
     pub fn get_or_prepare(
         &self,
         key: MatrixKey,
         prepare: impl FnOnce() -> Smat<T>,
     ) -> (Smat<T>, bool) {
-        let (slot, hit) = {
+        let (slot, hit) = self.slot_of(key);
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        fulfill(&slot, &self.prepares, prepare);
+        (slot.cell.get().expect("fulfilled above").clone(), hit)
+    }
+
+    /// Starts preparing `key` on a background thread and returns
+    /// immediately. The key becomes resident at once (in the
+    /// [`AdmissionState::Preparing`] state), so later `get_or_prepare` /
+    /// `get_or_park` calls attach to the in-flight preparation instead of
+    /// duplicating it.
+    ///
+    /// Returns `false` without spawning if the key is already resident
+    /// (ready or preparing). Background threads are joined when the
+    /// registry drops.
+    pub fn warm_prepare(
+        &self,
+        key: MatrixKey,
+        prepare: impl FnOnce() -> Smat<T> + Send + 'static,
+    ) -> bool {
+        let (slot, existed) = self.slot_of(key);
+        if existed {
+            return false;
+        }
+        self.warm_prepares.fetch_add(1, Ordering::Relaxed);
+        let prepares = Arc::clone(&self.prepares);
+        let handle = std::thread::spawn(move || fulfill(&slot, &prepares, prepare));
+        self.warm_threads.lock().unwrap().push(handle);
+        true
+    }
+
+    /// Readiness of `key` without preparing, bumping LRU recency, or
+    /// touching the hit/miss counters.
+    pub fn admission_state(&self, key: &MatrixKey) -> AdmissionState {
+        let entries = self.entries.lock().unwrap();
+        match entries.peek(key) {
+            None => AdmissionState::Absent,
+            Some(slot) if slot.cell.get().is_some() => AdmissionState::Ready,
+            Some(_) => AdmissionState::Preparing,
+        }
+    }
+
+    /// Non-blocking admission: runs `waiter` with the handle — inline if
+    /// the key is ready, or when the in-flight preparation completes
+    /// (possibly on the preparing thread) if it is still preparing. If the
+    /// key is absent the waiter is dropped unused. The caller never blocks
+    /// on a preparation.
+    pub fn get_or_park(
+        &self,
+        key: &MatrixKey,
+        waiter: impl FnOnce(Smat<T>) + Send + 'static,
+    ) -> ParkResult {
+        let slot = {
             let mut entries = self.entries.lock().unwrap();
-            if let Some(slot) = entries.get(&key) {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                (Arc::clone(slot), true)
-            } else {
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                let slot: Slot<T> = Arc::new(OnceLock::new());
-                if entries.insert(key, Arc::clone(&slot)).is_some() {
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
-                }
-                (slot, false)
-            }
+            entries.get(key).map(Arc::clone)
         };
-        let smat = slot.get_or_init(|| {
-            self.prepares.fetch_add(1, Ordering::Relaxed);
-            prepare()
-        });
-        (smat.clone(), hit)
+        let Some(slot) = slot else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            return ParkResult::Absent;
+        };
+        // Check the cell while holding the waiter lock: the fulfiller sets
+        // the cell before draining, so either we see the handle here or our
+        // pushed waiter is guaranteed to be drained.
+        let mut waiters = slot.waiters.lock().unwrap();
+        if let Some(smat) = slot.cell.get() {
+            let smat = smat.clone();
+            drop(waiters);
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            waiter(smat);
+            return ParkResult::Ready;
+        }
+        waiters.push(Box::new(waiter));
+        self.parked.fetch_add(1, Ordering::Relaxed);
+        ParkResult::Parked
+    }
+
+    /// Blocks until `key` is ready and returns its handle, or `None` if the
+    /// key is not resident. Intended for warm-up barriers (tests, CLI
+    /// `--warm-prepare`) — serving paths should use
+    /// [`PreparedMatrixRegistry::get_or_park`] instead.
+    pub fn wait_ready(&self, key: &MatrixKey) -> Option<Smat<T>> {
+        let (tx, rx) = crate::oneshot::channel();
+        match self.get_or_park(key, move |smat| tx.send(smat)) {
+            ParkResult::Absent => None,
+            ParkResult::Ready | ParkResult::Parked => rx.wait(),
+        }
     }
 
     /// Looks up `key` without preparing. A `Some` result counts as a hit, a
     /// `None` as a miss. Returns `None` also while the entry is still being
-    /// prepared by a concurrent `get_or_prepare` (the serving path always
-    /// registers before submitting, so this only happens on misuse).
+    /// prepared by a concurrent `get_or_prepare` or a warm-prepare thread
+    /// (use [`PreparedMatrixRegistry::get_or_park`] to attach to one).
     pub fn get(&self, key: &MatrixKey) -> Option<Smat<T>> {
         let slot = {
             let mut entries = self.entries.lock().unwrap();
             entries.get(key).map(Arc::clone)
         };
-        match slot.as_ref().and_then(|s| s.get()) {
+        match slot.as_ref().and_then(|s| s.cell.get()) {
             Some(smat) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(smat.clone())
@@ -162,7 +333,9 @@ impl<T: Element> PreparedMatrixRegistry<T> {
     }
 
     /// Evicts `key` explicitly. In-flight requests holding the handle keep
-    /// it alive; the registry just forgets it.
+    /// it alive; the registry just forgets it. An in-flight warm prepare of
+    /// the key still completes and serves its parked waiters (they hold the
+    /// slot, not the registry entry).
     pub fn invalidate(&self, key: &MatrixKey) -> bool {
         let removed = self.entries.lock().unwrap().remove(key).is_some();
         if removed {
@@ -189,8 +362,18 @@ impl<T: Element> PreparedMatrixRegistry<T> {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             prepares: self.prepares.load(Ordering::Relaxed),
+            warm_prepares: self.warm_prepares.load(Ordering::Relaxed),
+            parked: self.parked.load(Ordering::Relaxed),
             entries: entries.len(),
             capacity: entries.capacity(),
+        }
+    }
+}
+
+impl<T> Drop for PreparedMatrixRegistry<T> {
+    fn drop(&mut self) {
+        for h in self.warm_threads.get_mut().unwrap().drain(..) {
+            let _ = h.join();
         }
     }
 }
@@ -286,5 +469,113 @@ mod tests {
             ..SmatConfig::default()
         };
         assert_ne!(config_digest(&base), config_digest(&other));
+    }
+
+    #[test]
+    fn warm_prepare_transitions_absent_preparing_ready() {
+        let cfg = SmatConfig::default();
+        let a = matrix(0);
+        let key = key_of(&a, &cfg);
+        let reg: PreparedMatrixRegistry<F16> = PreparedMatrixRegistry::new(4);
+        assert_eq!(reg.admission_state(&key), AdmissionState::Absent);
+
+        // Hold the prepare in a barrier so the Preparing state is
+        // observable deterministically.
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let g = Arc::clone(&gate);
+        let a2 = a.clone();
+        let cfg2 = cfg.clone();
+        assert!(reg.warm_prepare(key, move || {
+            g.wait();
+            Smat::prepare(&a2, cfg2)
+        }));
+        assert_eq!(reg.admission_state(&key), AdmissionState::Preparing);
+        assert!(
+            !reg.warm_prepare(key, || panic!("duplicate warm prepare")),
+            "second warm_prepare must be a no-op"
+        );
+        gate.wait();
+        let handle = reg.wait_ready(&key).expect("resident");
+        assert_eq!(reg.admission_state(&key), AdmissionState::Ready);
+        let s = reg.stats();
+        assert_eq!((s.warm_prepares, s.prepares), (1, 1));
+        let b = smat_formats::Dense::from_fn(64, 8, |i, j| F16::from_f64(((i + j) % 3) as f64));
+        assert_eq!(handle.spmm(&b).c, a.spmm_reference(&b));
+    }
+
+    #[test]
+    fn parked_waiters_receive_the_shared_handle() {
+        let cfg = SmatConfig::default();
+        let a = matrix(1);
+        let key = key_of(&a, &cfg);
+        let reg: PreparedMatrixRegistry<F16> = PreparedMatrixRegistry::new(4);
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let g = Arc::clone(&gate);
+        let (a2, cfg2) = (a.clone(), cfg.clone());
+        reg.warm_prepare(key, move || {
+            g.wait();
+            Smat::prepare(&a2, cfg2)
+        });
+
+        // Park two waiters mid-prepare; both must observe the same Arc.
+        let seen: Arc<Mutex<Vec<Smat<F16>>>> = Arc::new(Mutex::new(Vec::new()));
+        for _ in 0..2 {
+            let sink = Arc::clone(&seen);
+            let r = reg.get_or_park(&key, move |smat| sink.lock().unwrap().push(smat));
+            assert!(matches!(r, ParkResult::Parked));
+        }
+        assert_eq!(reg.stats().parked, 2);
+        gate.wait();
+        let direct = reg.wait_ready(&key).unwrap();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2);
+        for s in seen.iter() {
+            assert!(
+                std::ptr::eq(s.bcsr(), direct.bcsr()),
+                "waiters share one prepared handle"
+            );
+        }
+        // After readiness, get_or_park runs the waiter inline.
+        let ran = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let r2 = Arc::clone(&ran);
+        assert_eq!(
+            reg.get_or_park(&key, move |_| r2.store(true, Ordering::SeqCst)),
+            ParkResult::Ready
+        );
+        assert!(ran.load(Ordering::SeqCst), "waiter must run inline");
+    }
+
+    #[test]
+    fn get_or_prepare_attaches_to_inflight_warm_prepare() {
+        let cfg = SmatConfig::default();
+        let a = matrix(2);
+        let key = key_of(&a, &cfg);
+        let reg: PreparedMatrixRegistry<F16> = PreparedMatrixRegistry::new(4);
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let g = Arc::clone(&gate);
+        let (a2, cfg2) = (a.clone(), cfg.clone());
+        reg.warm_prepare(key, move || {
+            g.wait();
+            Smat::prepare(&a2, cfg2)
+        });
+        gate.wait();
+        // This may race the warm thread's fulfillment, but must never run
+        // its own closure.
+        let (handle, hit) = reg.get_or_prepare(key, || panic!("duplicate prepare"));
+        assert!(hit, "warm-prepared key counts as resident");
+        assert_eq!(reg.stats().prepares, 1);
+        let b = smat_formats::Dense::from_fn(64, 8, |i, j| F16::from_f64(((i + j) % 3) as f64));
+        assert_eq!(handle.spmm(&b).c, a.spmm_reference(&b));
+    }
+
+    #[test]
+    fn wait_ready_on_absent_key_is_none() {
+        let reg: PreparedMatrixRegistry<F16> = PreparedMatrixRegistry::new(2);
+        let key = key_of(&matrix(0), &SmatConfig::default());
+        assert!(reg.wait_ready(&key).is_none());
+        assert_eq!(
+            reg.get_or_park(&key, |_| panic!("no slot to park on")),
+            ParkResult::Absent
+        );
     }
 }

@@ -27,7 +27,7 @@ use crate::chaos::{ChaosCounters, CircuitBreaker, RecoveryPolicy};
 use crate::error::{RejectReason, ServeError};
 use crate::oneshot::{self, Receiver};
 use crate::plan::PlanCache;
-use crate::registry::{MatrixKey, PreparedMatrixRegistry};
+use crate::registry::{MatrixKey, ParkResult, PreparedMatrixRegistry};
 use crate::stats::{DeviceStats, LatencyStats, ServerStats};
 
 /// Serving engine parameters.
@@ -293,6 +293,21 @@ impl<T: Element> Server<T> {
         key
     }
 
+    /// Begins preparing `a` on a background thread and returns its key
+    /// immediately. Submissions that arrive while preparation is in flight
+    /// park on it (see [`Server::submit`]) instead of being rejected, so a
+    /// tenant can warm a matrix and start streaming requests without a
+    /// registration barrier. Beyond the fingerprint pass this is a no-op if
+    /// an equal matrix is already resident or already being prepared.
+    pub fn warm_prepare(&self, a: &Csr<T>) -> MatrixKey {
+        let key = MatrixKey::new(MatrixFingerprint::of_csr(a), &self.config.smat);
+        let cfg = self.config.smat.clone();
+        let a = a.clone();
+        self.registry
+            .warm_prepare(key, move || Smat::prepare(&a, cfg));
+        key
+    }
+
     /// Submits `C = A·B` for the registered matrix `key` with the
     /// configured default deadline. Returns a future resolving to the
     /// response (or a typed rejection). Admission control runs inline:
@@ -311,101 +326,81 @@ impl<T: Element> Server<T> {
         b: Dense<T>,
         deadline: Option<Duration>,
     ) -> ResponseFuture<T> {
-        let reject = |e: ServeError| ResponseFuture {
-            rx: Receiver::ready(Err(e)),
-        };
         let seq = self.shared.central.next_seq.fetch_add(1, Ordering::Relaxed);
         let mut adm_span = smat_trace::span("admission", "serve");
         adm_span.arg("seq", seq);
         adm_span.arg("cols", b.ncols() as u64);
+        let (tx, rx) = oneshot::channel();
+        let fut = ResponseFuture { rx };
         if self.shared.shutdown.load(Ordering::Acquire) {
             adm_span.arg("outcome", "shutdown");
-            return reject(ServeError::ShutDown);
+            tx.send(Err(ServeError::ShutDown));
+            return fut;
         }
-        let Some(smat) = self.registry.get(&key) else {
-            adm_span.arg("outcome", "unknown_matrix");
-            return reject(ServeError::UnknownMatrix);
-        };
-        if b.nrows() != smat.input_ncols() {
-            adm_span.arg("outcome", "shape_mismatch");
-            return reject(ServeError::ShapeMismatch {
-                expected_rows: smat.input_ncols(),
-                got_rows: b.nrows(),
-            });
-        }
-        let plan = self.plans.get_or_build(key, b.ncols(), &smat);
-        if !plan.admissible {
-            self.shared
-                .central
-                .rejected_preflight
-                .fetch_add(1, Ordering::Relaxed);
-            adm_span.arg("outcome", "preflight_rejected");
-            return reject(ServeError::Rejected(RejectReason::Preflight {
-                diagnostics: plan.diagnostics.as_ref().clone(),
-            }));
-        }
-
-        // Least-loaded dispatch: try devices by outstanding column count.
-        // Devices with an open circuit breaker sort last — a flapping
-        // device stops attracting new work until a success closes it.
-        let mut order: Vec<usize> = (0..self.shared.devices.len()).collect();
-        order.sort_by_key(|&i| {
-            (
-                self.shared.breakers[i].is_open(),
-                self.shared.devices[i].load_cols.load(Ordering::Relaxed),
-                i,
-            )
-        });
-        let ncols = b.ncols();
+        // The deadline is fixed at submit time, so time spent parked on an
+        // in-flight preparation counts against the request's budget.
         let now = Instant::now();
-        let (tx, rx) = oneshot::channel();
-        let mut request = Some(Request {
-            key,
-            smat,
-            b,
-            deadline: deadline.map(|d| now + d),
-            enq: now,
-            seq,
-            tx,
-        });
-        for &i in &order {
-            let dev = &self.shared.devices[i];
-            let mut q = dev.queue.lock().unwrap();
-            if q.len() >= self.config.queue_capacity {
-                continue;
-            }
-            q.push_back(request.take().expect("request still in hand"));
-            drop(q);
-            dev.load_cols.fetch_add(ncols, Ordering::Relaxed);
-            self.shared
-                .central
-                .submitted
-                .fetch_add(1, Ordering::Relaxed);
-            dev.cv.notify_one();
-            adm_span.arg("outcome", "enqueued");
-            adm_span.arg("device", i as u64);
-            return ResponseFuture { rx };
+        let deadline = deadline.map(|d| now + d);
+        if let Some(smat) = self.registry.get(&key) {
+            admit_prepared(
+                &self.shared,
+                &self.plans,
+                self.config.queue_capacity,
+                key,
+                smat,
+                b,
+                deadline,
+                now,
+                seq,
+                tx,
+                &mut adm_span,
+            );
+            return fut;
         }
-        // Every queue at capacity: backpressure. The request (and its
-        // sender) is dropped; the caller gets a fresh immediate future with
-        // the typed rejection rather than the sender-drop ShutDown.
-        drop(request);
-        let depth: usize = self
-            .shared
-            .devices
-            .iter()
-            .map(|d| d.queue.lock().unwrap().len())
-            .sum();
-        self.shared
-            .central
-            .rejected_queue_full
-            .fetch_add(1, Ordering::Relaxed);
-        adm_span.arg("outcome", "queue_full");
-        let capacity = self.config.queue_capacity * self.shared.devices.len();
-        reject(ServeError::Rejected(RejectReason::QueueFull {
-            depth,
-            capacity,
-        }))
+        // Not resident: the key may be mid-preparation (a warm_prepare or a
+        // concurrent register). Park the admission tail on the in-flight
+        // prepare — never block the submitter, never duplicate the prepare.
+        // The sender lives in a shared cell so the Absent arm can still
+        // reject with the typed error after the waiter was dropped unused.
+        let shared = Arc::clone(&self.shared);
+        let plans = Arc::clone(&self.plans);
+        let queue_capacity = self.config.queue_capacity;
+        let tx_cell = Arc::new(Mutex::new(Some(tx)));
+        let tx_park = Arc::clone(&tx_cell);
+        match self.registry.get_or_park(&key, move |smat| {
+            let Some(tx) = tx_park.lock().unwrap().take() else {
+                return;
+            };
+            // Deferred admission runs on whichever thread fulfilled the
+            // preparation; it gets its own span segment on that timeline.
+            let mut span = smat_trace::span("admission", "serve");
+            span.arg("seq", seq);
+            span.arg("deferred", 1u64);
+            admit_prepared(
+                &shared,
+                &plans,
+                queue_capacity,
+                key,
+                smat,
+                b,
+                deadline,
+                now,
+                seq,
+                tx,
+                &mut span,
+            );
+        }) {
+            // Raced to ready: the waiter already ran inline above.
+            ParkResult::Ready => {}
+            ParkResult::Parked => adm_span.arg("outcome", "parked"),
+            ParkResult::Absent => {
+                adm_span.arg("outcome", "unknown_matrix");
+                if let Some(tx) = tx_cell.lock().unwrap().take() {
+                    tx.send(Err(ServeError::UnknownMatrix));
+                }
+            }
+        }
+        fut
     }
 
     /// Pauses dispatch: workers stop pulling from their queues (in-flight
@@ -533,6 +528,110 @@ impl<T: Element> Drop for Server<T> {
     fn drop(&mut self) {
         self.shutdown();
     }
+}
+
+/// Admission tail shared by the inline and parked submit paths: shape
+/// check, plan pre-flight, least-loaded enqueue, typed backpressure. Runs
+/// on the submitting thread when the prepared handle is resident, and on
+/// the preparing thread for requests that parked on a warm prepare. Every
+/// rejection resolves the request's sender directly.
+#[allow(clippy::too_many_arguments)]
+fn admit_prepared<T: Element>(
+    shared: &PoolShared<T>,
+    plans: &PlanCache,
+    queue_capacity: usize,
+    key: MatrixKey,
+    smat: Smat<T>,
+    b: Dense<T>,
+    deadline: Option<Instant>,
+    enq: Instant,
+    seq: u64,
+    tx: oneshot::Sender<Result<ServeResponse<T>, ServeError>>,
+    adm_span: &mut smat_trace::SpanGuard,
+) {
+    // Re-checked here because deferred admission may run after shutdown
+    // began; workers ignore their queues once the drain completes.
+    if shared.shutdown.load(Ordering::Acquire) {
+        adm_span.arg("outcome", "shutdown");
+        tx.send(Err(ServeError::ShutDown));
+        return;
+    }
+    if b.nrows() != smat.input_ncols() {
+        adm_span.arg("outcome", "shape_mismatch");
+        tx.send(Err(ServeError::ShapeMismatch {
+            expected_rows: smat.input_ncols(),
+            got_rows: b.nrows(),
+        }));
+        return;
+    }
+    let plan = plans.get_or_build(key, b.ncols(), &smat);
+    if !plan.admissible {
+        shared
+            .central
+            .rejected_preflight
+            .fetch_add(1, Ordering::Relaxed);
+        adm_span.arg("outcome", "preflight_rejected");
+        tx.send(Err(ServeError::Rejected(RejectReason::Preflight {
+            diagnostics: plan.diagnostics.as_ref().clone(),
+        })));
+        return;
+    }
+
+    // Least-loaded dispatch: try devices by outstanding column count.
+    // Devices with an open circuit breaker sort last — a flapping device
+    // stops attracting new work until a success closes it.
+    let mut order: Vec<usize> = (0..shared.devices.len()).collect();
+    order.sort_by_key(|&i| {
+        (
+            shared.breakers[i].is_open(),
+            shared.devices[i].load_cols.load(Ordering::Relaxed),
+            i,
+        )
+    });
+    let ncols = b.ncols();
+    let mut request = Some(Request {
+        key,
+        smat,
+        b,
+        deadline,
+        enq,
+        seq,
+        tx,
+    });
+    for &i in &order {
+        let dev = &shared.devices[i];
+        let mut q = dev.queue.lock().unwrap();
+        if q.len() >= queue_capacity {
+            continue;
+        }
+        q.push_back(request.take().expect("request still in hand"));
+        drop(q);
+        dev.load_cols.fetch_add(ncols, Ordering::Relaxed);
+        shared.central.submitted.fetch_add(1, Ordering::Relaxed);
+        dev.cv.notify_one();
+        adm_span.arg("outcome", "enqueued");
+        adm_span.arg("device", i as u64);
+        return;
+    }
+    // Every queue at capacity: backpressure. Reclaim the sender from the
+    // unenqueued request so the caller gets the typed rejection rather
+    // than the sender-drop ShutDown.
+    let Request { tx, .. } = request.take().expect("request still in hand");
+    let depth: usize = shared
+        .devices
+        .iter()
+        .map(|d| d.queue.lock().unwrap().len())
+        .sum();
+    shared
+        .central
+        .rejected_queue_full
+        .fetch_add(1, Ordering::Relaxed);
+    adm_span.arg("outcome", "queue_full");
+    let capacity = queue_capacity * shared.devices.len();
+    tx.send(Err(ServeError::Rejected(RejectReason::QueueFull {
+        depth,
+        capacity,
+    })));
 }
 
 fn worker_loop<T: Element>(shared: &PoolShared<T>, idx: usize) {

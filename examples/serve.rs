@@ -22,7 +22,11 @@ use std::process::ExitCode;
 
 use smat_repro::formats::{Csr, Dense, Element, Fnv1a, F16};
 use smat_repro::gpusim::{FaultConfig, SimError};
-use smat_repro::serve::{ChaosStats, MatrixKey, ServeError, Server, ServerConfig, ServerStats};
+use smat_repro::reorder::ReorderAlgorithm;
+use smat_repro::serve::{
+    AdmissionState, ChaosStats, MatrixKey, ServeError, Server, ServerConfig, ServerStats,
+};
+use smat_repro::smat::SmatConfig;
 use smat_repro::workloads::{random_uniform, serve_trace, TraceRequest, TraceSpec};
 
 struct Args {
@@ -42,6 +46,11 @@ struct Args {
     chaos_seed: Option<u64>,
     /// Blended fault rate fed to [`FaultConfig::blended`].
     fault_rate: f64,
+    /// Row-reordering algorithm for preparation (`None` = library default).
+    reorder: Option<ReorderAlgorithm>,
+    /// Prepare matrices on background threads (`Server::warm_prepare`)
+    /// instead of the synchronous `register` barrier.
+    warm_prepare: bool,
 }
 
 impl Default for Args {
@@ -57,15 +66,39 @@ impl Default for Args {
             trace: None,
             chaos_seed: None,
             fault_rate: 0.1,
+            reorder: None,
+            warm_prepare: false,
         }
     }
+}
+
+/// Maps a CLI name (the `ReorderAlgorithm::name` vocabulary) to the
+/// algorithm, with default parameters for the thresholded ones.
+fn parse_reorder(name: &str) -> Option<ReorderAlgorithm> {
+    Some(match name {
+        "original" | "identity" => ReorderAlgorithm::Identity,
+        "jaccard" | "jaccard-rows" => ReorderAlgorithm::JaccardRows { tau: 0.7 },
+        "jaccard-rows-cols" => ReorderAlgorithm::JaccardRowsCols { tau: 0.7 },
+        "jaccard-lsh" => ReorderAlgorithm::JaccardLsh {
+            tau: 0.7,
+            bands: 8,
+            rows_per_band: 1,
+        },
+        "rcm" => ReorderAlgorithm::ReverseCuthillMcKee,
+        "saad" => ReorderAlgorithm::Saad { tau: 0.5 },
+        "gray" => ReorderAlgorithm::GrayCode,
+        "bisection" => ReorderAlgorithm::Bisection,
+        "degree-sort" => ReorderAlgorithm::DegreeSort,
+        _ => return None,
+    })
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: serve [--requests N] [--matrices M] [--devices D] [--seed S]\n\
          \u{20}            [--window W] [--budget COLS] [--size DIM] [--trace PATH]\n\
-         \u{20}            [--chaos-seed S] [--fault-rate R]"
+         \u{20}            [--chaos-seed S] [--fault-rate R] [--reorder NAME]\n\
+         \u{20}            [--warm-prepare]"
     );
     ExitCode::from(2)
 }
@@ -92,6 +125,12 @@ fn parse_args() -> Result<Args, String> {
                 args.trace = Some(it.next().ok_or("--trace needs a path")?);
             }
             "--chaos-seed" => args.chaos_seed = Some(value("--chaos-seed")? as u64),
+            "--reorder" => {
+                let name = it.next().ok_or("--reorder needs a name")?;
+                args.reorder =
+                    Some(parse_reorder(&name).ok_or_else(|| format!("unknown reordering {name}"))?);
+            }
+            "--warm-prepare" => args.warm_prepare = true,
             "--fault-rate" => {
                 args.fault_rate = it
                     .next()
@@ -199,9 +238,27 @@ fn replay(args: &Args, matrices: &[Csr<F16>], trace: &[TraceRequest], verify: bo
         chaos: args
             .chaos_seed
             .map(|seed| FaultConfig::blended(seed, args.fault_rate)),
+        smat: SmatConfig {
+            reorder: args.reorder.unwrap_or(SmatConfig::default().reorder),
+            ..SmatConfig::default()
+        },
         ..ServerConfig::default()
     });
-    let keys: Vec<MatrixKey> = matrices.iter().map(|a| server.register(a)).collect();
+    let keys: Vec<MatrixKey> = if args.warm_prepare {
+        // Background preparation: all matrices prepare concurrently while
+        // this thread only pays the fingerprint pass. The readiness spin is
+        // counter-neutral (unlike `wait_ready`) so the deterministic
+        // summary's registry counters stay comparable across replays.
+        let keys: Vec<MatrixKey> = matrices.iter().map(|a| server.warm_prepare(a)).collect();
+        for k in &keys {
+            while server.registry().admission_state(k) != AdmissionState::Ready {
+                std::thread::yield_now();
+            }
+        }
+        keys
+    } else {
+        matrices.iter().map(|a| server.register(a)).collect()
+    };
     // Resolve the shared handles once, in both runs, so registry counters
     // (and hence the deterministic summary) don't depend on `verify`.
     let handles: Vec<_> = keys

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Prepare-path benchmark: regenerates BENCH_PR5.json, the committed evidence
+# for the parallel prepare pipeline — per (matrix, strategy) records with
+# reorder_ms / pack_ms / convert_ms / total_prepare_ms / nnz_blocks, plus
+# per-matrix LSH-vs-exact speedup and block-count-ratio summaries. The
+# rmat-131k entry is the >=100k-row acceptance workload (LSH + parallel
+# conversion must beat the exact sequential path by >=5x).
+#
+# Usage: scripts/bench_prepare.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build -q --release --example prepare_perf
+./target/release/examples/prepare_perf > BENCH_PR5.json
+
+python3 - <<'PY'
+import json
+rec = json.load(open("BENCH_PR5.json"))
+for s in rec["summaries"]:
+    print(f"{s['matrix']:>12} ({s['rows']} rows): "
+          f"lsh+parallel {s['speedup_lsh_parallel_vs_exact_sequential']:.2f}x vs exact+sequential, "
+          f"block ratio {s['lsh_block_count_ratio']:.3f}")
+big = [s for s in rec["summaries"] if s["rows"] >= 100_000]
+assert big, "no >=100k-row acceptance workload in the record"
+for s in big:
+    assert s["speedup_lsh_parallel_vs_exact_sequential"] >= 5.0, \
+        f"{s['matrix']}: speedup below the 5x acceptance bar"
+print("wrote BENCH_PR5.json")
+PY

@@ -72,6 +72,10 @@ print(f"chaos smoke OK: {chaos['faults_injected']} faults "
       f"{chaos['degraded_completions']} degraded — all responses correct")
 PY
 
+echo "==> prepare-path smoke: parallel BCSR bitwise-identical, LSH quality in tolerance"
+cargo build -q --release --example prepare_perf
+./target/release/examples/prepare_perf --smoke
+
 echo "==> tracing: serve --trace must emit a valid Chrome trace"
 trace_file="$(mktemp /tmp/smat_trace.XXXXXX.json)"
 trap 'rm -f "$trace_file"' EXIT

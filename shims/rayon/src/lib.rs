@@ -1,11 +1,15 @@
 //! Minimal in-tree stand-in for `rayon` (offline build).
 //!
-//! Implements the one pattern the workspace uses —
-//! `(0..n).into_par_iter().map(f).collect::<Vec<_>>()` — with real
-//! parallelism via `std::thread::scope`: the index range is split into one
+//! Implements the two patterns the workspace uses —
+//! `(0..n).into_par_iter().map(f).collect::<Vec<_>>()` and
+//! `vec.into_par_iter().map(f).collect()` / `.for_each(f)` — with real
+//! parallelism via `std::thread::scope`: the input is split into one
 //! contiguous chunk per available core, each chunk is mapped on its own
 //! thread, and the per-chunk outputs are concatenated in index order, so
-//! results are ordered exactly like rayon's.
+//! results are ordered exactly like rayon's. `Vec` sources may carry
+//! mutable borrows (e.g. disjoint `&mut [T]` sub-slices), which is what the
+//! parallel-fill BCSR conversion uses to write a preallocated buffer from
+//! several threads without unsafe code.
 
 use std::ops::Range;
 
@@ -14,7 +18,19 @@ pub mod prelude {
     pub use crate::IntoParallelIterator;
 }
 
-/// Conversion into a parallel iterator (only `Range<usize>` is supported).
+/// Number of worker chunks for an input of length `n`.
+fn chunk_plan(n: usize) -> Option<(usize, usize)> {
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    if n < 2 || threads < 2 {
+        return None;
+    }
+    let nchunks = threads.min(n);
+    Some((nchunks, n.div_ceil(nchunks)))
+}
+
+/// Conversion into a parallel iterator (`Range<usize>` and `Vec<I>`).
 pub trait IntoParallelIterator {
     /// The parallel iterator type.
     type Iter;
@@ -63,14 +79,9 @@ impl<F> ParMap<F> {
         C: FromIterator<R>,
     {
         let n = self.range.len();
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        if n < 2 || threads < 2 {
+        let Some((nchunks, chunk)) = chunk_plan(n) else {
             return self.range.map(&self.f).collect();
-        }
-        let nchunks = threads.min(n);
-        let chunk = n.div_ceil(nchunks);
+        };
         let start = self.range.start;
         let f = &self.f;
         let mut parts: Vec<Vec<R>> = Vec::with_capacity(nchunks);
@@ -81,6 +92,81 @@ impl<F> ParMap<F> {
                     let hi = (lo + chunk).min(start + n);
                     scope.spawn(move || (lo..hi).map(f).collect::<Vec<R>>())
                 })
+                .collect();
+            for h in handles {
+                parts.push(h.join().expect("par_iter worker panicked"));
+            }
+        });
+        parts.into_iter().flatten().collect()
+    }
+}
+
+impl<I: Send> IntoParallelIterator for Vec<I> {
+    type Iter = ParVec<I>;
+    fn into_par_iter(self) -> ParVec<I> {
+        ParVec { items: self }
+    }
+}
+
+/// Parallel iterator over the owned items of a `Vec`.
+pub struct ParVec<I> {
+    items: Vec<I>,
+}
+
+impl<I: Send> ParVec<I> {
+    /// Maps each item through `f` (lazily; work happens in `collect`).
+    pub fn map<F, R>(self, f: F) -> ParVecMap<I, F>
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+    {
+        ParVecMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Consumes each item with `f` in parallel (chunked like `collect`);
+    /// used to fill disjoint `&mut [T]` segments of a preallocated buffer.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I) + Sync,
+    {
+        self.map(f).collect::<Vec<()>, ()>();
+    }
+}
+
+/// A mapped parallel `Vec` awaiting collection.
+pub struct ParVecMap<I, F> {
+    items: Vec<I>,
+    f: F,
+}
+
+impl<I: Send, F> ParVecMap<I, F> {
+    /// Runs the map in parallel and collects the outputs in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        F: Fn(I) -> R + Sync,
+        R: Send,
+        C: FromIterator<R>,
+    {
+        let n = self.items.len();
+        let Some((nchunks, chunk)) = chunk_plan(n) else {
+            return self.items.into_iter().map(&self.f).collect();
+        };
+        let f = &self.f;
+        // Split the items into per-thread chunks up front (preserves order).
+        let mut chunks: Vec<Vec<I>> = Vec::with_capacity(nchunks);
+        let mut items = self.items;
+        for c in (0..nchunks).rev() {
+            chunks.push(items.split_off((c * chunk).min(items.len())));
+        }
+        chunks.reverse();
+        let mut parts: Vec<Vec<R>> = Vec::with_capacity(nchunks);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|ch| scope.spawn(move || ch.into_iter().map(f).collect::<Vec<R>>()))
                 .collect();
             for h in handles {
                 parts.push(h.join().expect("par_iter worker panicked"));
@@ -107,5 +193,36 @@ mod tests {
         assert!(v.is_empty());
         let v: Vec<usize> = (3..4).into_par_iter().map(|i| i + 1).collect();
         assert_eq!(v, vec![4]);
+    }
+
+    #[test]
+    fn vec_collect_preserves_order() {
+        let src: Vec<usize> = (0..997).collect();
+        let v: Vec<usize> = src.into_par_iter().map(|i| i * 3).collect();
+        assert_eq!(v.len(), 997);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn vec_for_each_fills_disjoint_segments() {
+        let mut buf = vec![0u32; 100];
+        let mut segs: Vec<(usize, &mut [u32])> = Vec::new();
+        let mut rest = buf.as_mut_slice();
+        let mut idx = 0;
+        while !rest.is_empty() {
+            let take = rest.len().min(7);
+            let (head, tail) = rest.split_at_mut(take);
+            segs.push((idx, head));
+            rest = tail;
+            idx += 1;
+        }
+        segs.into_par_iter().for_each(|(i, seg)| {
+            for (j, x) in seg.iter_mut().enumerate() {
+                *x = (i * 1000 + j) as u32;
+            }
+        });
+        for (k, &x) in buf.iter().enumerate() {
+            assert_eq!(x, ((k / 7) * 1000 + k % 7) as u32);
+        }
     }
 }

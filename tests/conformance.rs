@@ -83,6 +83,11 @@ fn all_reorderings() -> Vec<ReorderAlgorithm> {
         ReorderAlgorithm::Identity,
         ReorderAlgorithm::JaccardRows { tau: 0.7 },
         ReorderAlgorithm::JaccardRowsCols { tau: 0.7 },
+        ReorderAlgorithm::JaccardLsh {
+            tau: 0.7,
+            bands: 8,
+            rows_per_band: 1,
+        },
         ReorderAlgorithm::ReverseCuthillMcKee,
         ReorderAlgorithm::Saad { tau: 0.5 },
         ReorderAlgorithm::GrayCode,

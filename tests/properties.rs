@@ -29,11 +29,16 @@ fn rhs(k: usize, n: usize) -> Dense<F16> {
 }
 
 /// Every reordering algorithm, with `tau` driving the thresholded ones.
-fn all_reorder_algorithms(tau: f64) -> [ReorderAlgorithm; 8] {
+fn all_reorder_algorithms(tau: f64) -> [ReorderAlgorithm; 9] {
     [
         ReorderAlgorithm::Identity,
         ReorderAlgorithm::JaccardRows { tau },
         ReorderAlgorithm::JaccardRowsCols { tau },
+        ReorderAlgorithm::JaccardLsh {
+            tau,
+            bands: 8,
+            rows_per_band: 1,
+        },
         ReorderAlgorithm::ReverseCuthillMcKee,
         ReorderAlgorithm::Saad { tau },
         ReorderAlgorithm::GrayCode,
