@@ -57,6 +57,41 @@ fn bench_serve_overhead(c: &mut Criterion) {
             std::hint::black_box(resp)
         });
     });
+
+    // The sanitize tax: the serve engine's locks are all
+    // `smat_sanitize::sync` wrappers, whose disabled-mode cost over raw
+    // `std::sync` is a single relaxed atomic load per acquire. The three
+    // arms below isolate that cost on an uncontended lock (the common
+    // case on the submit path): raw std baseline, checked-but-disabled
+    // (the shipping configuration — must be within noise of raw), and
+    // checked-with-lockdep-recording (what `--sanitize` pays).
+    const LOCK_OPS: usize = 10_000;
+    let std_mutex = std::sync::Mutex::new(0u64);
+    group.bench_function("mutex_x10k_std", |bch| {
+        bch.iter(|| {
+            for _ in 0..LOCK_OPS {
+                *std::hint::black_box(std_mutex.lock().unwrap()) += 1;
+            }
+        });
+    });
+    let checked = smat_sanitize::sync::Mutex::labeled("bench.serve_engine", 0u64);
+    group.bench_function("mutex_x10k_checked_disabled", |bch| {
+        bch.iter(|| {
+            for _ in 0..LOCK_OPS {
+                *std::hint::black_box(checked.lock_or_recover()) += 1;
+            }
+        });
+    });
+    smat_sanitize::enable();
+    group.bench_function("mutex_x10k_checked_lockdep", |bch| {
+        bch.iter(|| {
+            for _ in 0..LOCK_OPS {
+                *std::hint::black_box(checked.lock_or_recover()) += 1;
+            }
+        });
+    });
+    smat_sanitize::disable();
+    smat_sanitize::reset();
     group.finish();
 }
 

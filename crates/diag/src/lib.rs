@@ -6,8 +6,9 @@
 //! pre-flight hook (`smat`).
 //!
 //! A [`Diagnostic`] is a machine-readable finding: a stable [`DiagCode`]
-//! (`F###` for format invariants, `S###` for schedule hazards), a
-//! [`Severity`], a structured [`Location`], and a human-readable message.
+//! (`F###` for format invariants, `S###` for schedule hazards, `C###` for
+//! concurrency findings from `smat-sanitize`), a [`Severity`], a structured
+//! [`Location`], and a human-readable message.
 //! Diagnostics serialize to JSON through the workspace serde shim so tools
 //! can consume `--format json` output of the analyzer CLI.
 
@@ -41,8 +42,10 @@ impl std::fmt::Display for Severity {
 /// Stable diagnostic codes.
 ///
 /// `F###` codes are structural/format invariants; `S###` codes are
-/// kernel-schedule hazards. Codes are append-only: once published, a code
-/// keeps its meaning so downstream tooling can match on it.
+/// kernel-schedule hazards; `C###` codes are concurrency findings from the
+/// `smat-sanitize` lock-order analysis and interleaving model checker.
+/// Codes are append-only: once published, a code keeps its meaning so
+/// downstream tooling can match on it.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize)]
 #[non_exhaustive]
 pub enum DiagCode {
@@ -112,6 +115,34 @@ pub enum DiagCode {
     /// Pipeline stage depth exceeds the block-row iteration count: the
     /// pipeline never fills and prologue latency dominates.
     AsyncStagesExceedWork,
+
+    // --- concurrency findings (C0xx, from smat-sanitize) ---
+    /// The accumulated lock-order graph contains a cycle: two (or more)
+    /// locks are acquired in contradicting orders on different code paths —
+    /// a potential AB-BA deadlock.
+    LockOrderCycle,
+    /// `Condvar::wait` was entered while a *different* mutex was still
+    /// held: the sleeping thread keeps that lock, so the thread meant to
+    /// signal it can deadlock against it.
+    CondvarWaitHoldingLock,
+    /// A blocking wait that is not a condvar on the held mutex (thread
+    /// park, oneshot/channel receive) was entered while a lock was held.
+    LockHeldAcrossPark,
+    /// A thread re-acquired a non-reentrant lock it already holds
+    /// (self-deadlock with `std`-style mutexes).
+    DoubleAcquire,
+    /// The model checker found a schedule in which every live thread is
+    /// blocked on a lock or join — a reachable deadlock.
+    ModelDeadlock,
+    /// The model checker found a schedule in which every live thread is
+    /// parked on a condvar with no pending notify — a lost wakeup.
+    ModelLostWakeup,
+    /// A model-checked execution panicked (a protocol invariant asserted
+    /// inside the model body failed under some schedule).
+    ModelInvariantViolation,
+    /// The model checker hit its schedule budget before exhausting the
+    /// state space; remaining schedules were sampled by random walk only.
+    ModelExplorationTruncated,
 }
 
 impl DiagCode {
@@ -145,6 +176,14 @@ impl DiagCode {
             DiagCode::AsyncNoDoubleBuffer => "S008",
             DiagCode::AsyncSmemSingleBuffered => "S009",
             DiagCode::AsyncStagesExceedWork => "S010",
+            DiagCode::LockOrderCycle => "C001",
+            DiagCode::CondvarWaitHoldingLock => "C002",
+            DiagCode::LockHeldAcrossPark => "C003",
+            DiagCode::DoubleAcquire => "C004",
+            DiagCode::ModelDeadlock => "C005",
+            DiagCode::ModelLostWakeup => "C006",
+            DiagCode::ModelInvariantViolation => "C007",
+            DiagCode::ModelExplorationTruncated => "C008",
         }
     }
 
@@ -155,7 +194,9 @@ impl DiagCode {
             | DiagCode::BankConflict
             | DiagCode::AsyncSmemSingleBuffered
             | DiagCode::AsyncStagesExceedWork
-            | DiagCode::DuplicateEntry => Severity::Warning,
+            | DiagCode::DuplicateEntry
+            | DiagCode::LockHeldAcrossPark => Severity::Warning,
+            DiagCode::ModelExplorationTruncated => Severity::Note,
             _ => Severity::Error,
         }
     }
@@ -208,6 +249,16 @@ pub enum Location {
         /// Field name.
         name: &'static str,
     },
+    /// A named lock (mutex/rwlock) tracked by the sanitizer.
+    Lock {
+        /// The lock's label (or `mutex#<id>` when unlabeled).
+        name: String,
+    },
+    /// A model-checker thread.
+    Thread {
+        /// Model thread index (0 = the model body's root thread).
+        thread: usize,
+    },
 }
 
 impl std::fmt::Display for Location {
@@ -221,6 +272,8 @@ impl std::fmt::Display for Location {
             Location::Warp { warp } => write!(f, "warp {warp}"),
             Location::Sm { sm } => write!(f, "sm {sm}"),
             Location::Field { name } => write!(f, "{name}"),
+            Location::Lock { name } => write!(f, "lock {name}"),
+            Location::Thread { thread } => write!(f, "thread t{thread}"),
         }
     }
 }
@@ -358,9 +411,55 @@ mod tests {
             DiagCode::AsyncNoDoubleBuffer,
             DiagCode::AsyncSmemSingleBuffered,
             DiagCode::AsyncStagesExceedWork,
+            DiagCode::LockOrderCycle,
+            DiagCode::CondvarWaitHoldingLock,
+            DiagCode::LockHeldAcrossPark,
+            DiagCode::DoubleAcquire,
+            DiagCode::ModelDeadlock,
+            DiagCode::ModelLostWakeup,
+            DiagCode::ModelInvariantViolation,
+            DiagCode::ModelExplorationTruncated,
         ];
         let strs: std::collections::HashSet<&str> = all.iter().map(|c| c.as_str()).collect();
         assert_eq!(strs.len(), all.len());
+    }
+
+    #[test]
+    fn concurrency_codes_have_the_c_prefix_and_expected_severities() {
+        let c = [
+            DiagCode::LockOrderCycle,
+            DiagCode::CondvarWaitHoldingLock,
+            DiagCode::LockHeldAcrossPark,
+            DiagCode::DoubleAcquire,
+            DiagCode::ModelDeadlock,
+            DiagCode::ModelLostWakeup,
+            DiagCode::ModelInvariantViolation,
+            DiagCode::ModelExplorationTruncated,
+        ];
+        for code in c {
+            assert!(code.as_str().starts_with('C'), "{code}");
+        }
+        assert_eq!(
+            DiagCode::LockHeldAcrossPark.default_severity(),
+            Severity::Warning
+        );
+        assert_eq!(
+            DiagCode::ModelExplorationTruncated.default_severity(),
+            Severity::Note
+        );
+        assert_eq!(DiagCode::LockOrderCycle.default_severity(), Severity::Error);
+        assert_eq!(
+            Diagnostic::new(
+                DiagCode::LockOrderCycle,
+                Location::Lock {
+                    name: "registry.entries".into()
+                },
+                "cycle: registry.entries -> slot.waiters -> registry.entries",
+            )
+            .to_string(),
+            "error [C001] at lock registry.entries: cycle: registry.entries -> \
+             slot.waiters -> registry.entries"
+        );
     }
 
     #[test]

@@ -1,0 +1,516 @@
+//! Lock-order analysis: a process-global lock-order graph fed by the
+//! checked primitives, plus a Tarjan-SCC cycle detector over it.
+//!
+//! When [`enable`]d, every acquisition of a [`crate::sync::Mutex`] /
+//! [`crate::sync::RwLock`] records one `held -> acquired` edge per lock
+//! the acquiring thread already holds. The graph accumulates across the
+//! whole process (the point: edges from *different* call paths combine,
+//! so an AB here and a BA there form a cycle even if no single run
+//! deadlocks). [`report`] analyzes the graph and merges runtime findings
+//! recorded at the offending call sites:
+//!
+//! | code | finding |
+//! |------|---------|
+//! | C001 | lock-order cycle (potential AB-BA deadlock) |
+//! | C002 | `Condvar::wait` entered while a different mutex is held |
+//! | C003 | park / channel-recv style blocking wait while a lock is held |
+//! | C004 | same-thread re-acquisition of a held non-reentrant lock |
+//!
+//! Everything here intentionally uses raw `std::sync` internals — the
+//! engine must not recurse into itself.
+
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use smat_diag::{DiagCode, Diagnostic, Location};
+
+use crate::ACTIVE;
+
+/// Identity a checked lock carries: a lazily assigned id plus a static
+/// label. Ids start at 1; 0 means "not yet registered".
+pub(crate) struct LockMeta {
+    id: AtomicU64,
+    label: &'static str,
+}
+
+impl LockMeta {
+    /// A meta with the given label (empty string = unlabeled).
+    pub(crate) const fn new(label: &'static str) -> Self {
+        LockMeta {
+            id: AtomicU64::new(0),
+            label,
+        }
+    }
+
+    /// The lock's global id, registering it on first use.
+    pub(crate) fn id(&self) -> u64 {
+        let id = self.id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let mut labels = state().labels.lock().unwrap();
+        // Re-check under the registry lock so two racing first-acquires
+        // agree on one id.
+        let id = self.id.load(Ordering::Relaxed);
+        if id != 0 {
+            return id;
+        }
+        let fallback = format!("mutex#{}", labels.len() + 1);
+        labels.push(if self.label.is_empty() {
+            fallback
+        } else {
+            self.label.to_string()
+        });
+        let id = labels.len() as u64;
+        self.id.store(id, Ordering::Relaxed);
+        id
+    }
+}
+
+/// Dedup keys of recorded runtime findings: `(code string, ids)`.
+type RuntimeSeen = BTreeSet<(&'static str, u64, u64)>;
+
+struct State {
+    /// Label for id `i` lives at `labels[i - 1]`.
+    labels: Mutex<Vec<String>>,
+    /// `held -> acquired` edges with one example description each.
+    edges: Mutex<BTreeMap<(u64, u64), String>>,
+    /// C002–C004 findings recorded at the offending call sites,
+    /// deduplicated by `(code string, ids)`.
+    runtime: Mutex<(RuntimeSeen, Vec<Diagnostic>)>,
+}
+
+fn state() -> &'static State {
+    static STATE: OnceLock<State> = OnceLock::new();
+    STATE.get_or_init(|| State {
+        labels: Mutex::new(Vec::new()),
+        edges: Mutex::new(BTreeMap::new()),
+        runtime: Mutex::new((BTreeSet::new(), Vec::new())),
+    })
+}
+
+thread_local! {
+    /// Ids of the locks this thread currently holds, in acquisition order.
+    static HELD: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn label_of(id: u64) -> String {
+    state()
+        .labels
+        .lock()
+        .unwrap()
+        .get((id - 1) as usize)
+        .cloned()
+        .unwrap_or_else(|| format!("mutex#{id}"))
+}
+
+fn push_runtime(code: DiagCode, a: u64, b: u64, diag: impl FnOnce() -> Diagnostic) {
+    let mut rt = state().runtime.lock().unwrap();
+    if rt.0.insert((code.as_str(), a, b)) {
+        let d = diag();
+        emit_trace(&d);
+        rt.1.push(d);
+    }
+}
+
+fn emit_trace(d: &Diagnostic) {
+    if smat_trace::enabled() {
+        smat_trace::instant(
+            d.code.as_str(),
+            "sanitize",
+            vec![("message", d.message.clone().into())],
+        );
+    }
+}
+
+/// Whether lock-order recording is on (one relaxed load).
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.load(Ordering::Relaxed) & 1 != 0
+}
+
+/// Turns lock-order recording on. The graph keeps accumulating across
+/// enable/disable cycles until [`reset`].
+pub fn enable() {
+    ACTIVE.fetch_or(1, Ordering::Relaxed);
+}
+
+/// Turns lock-order recording off. Held-lock bookkeeping for guards
+/// acquired while enabled still unwinds correctly on drop.
+pub fn disable() {
+    ACTIVE.fetch_and(!1, Ordering::Relaxed);
+}
+
+/// Clears the accumulated graph and runtime findings (labels and ids
+/// persist — a lock keeps its identity for the process lifetime).
+pub fn reset() {
+    state().edges.lock().unwrap().clear();
+    let mut rt = state().runtime.lock().unwrap();
+    rt.0.clear();
+    rt.1.clear();
+}
+
+/// Records an acquisition of `meta` by the current thread: one
+/// `held -> acquired` edge per already-held lock, a C004 finding on
+/// re-acquisition. Returns `true` (the guard must call [`on_release`]).
+pub(crate) fn on_acquire(meta: &LockMeta) -> bool {
+    let id = meta.id();
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if held.contains(&id) {
+            push_runtime(DiagCode::DoubleAcquire, id, id, || {
+                Diagnostic::new(
+                    DiagCode::DoubleAcquire,
+                    Location::Lock { name: label_of(id) },
+                    format!(
+                        "thread re-acquired `{}` while already holding it \
+                         (non-reentrant lock: self-deadlock)",
+                        label_of(id)
+                    ),
+                )
+            });
+        } else {
+            let mut edges = state().edges.lock().unwrap();
+            for &h in held.iter() {
+                edges
+                    .entry((h, id))
+                    .or_insert_with(|| format!("{} -> {}", label_of(h), label_of(id)));
+            }
+        }
+        held.push(id);
+    });
+    true
+}
+
+/// Unwinds the held-stack entry pushed by [`on_acquire`] (guards may drop
+/// out of acquisition order, so this removes by id, not by popping).
+pub(crate) fn on_release(meta: &LockMeta) {
+    let id = meta.id.load(Ordering::Relaxed);
+    if id == 0 {
+        return;
+    }
+    HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if let Some(pos) = held.iter().rposition(|&h| h == id) {
+            held.remove(pos);
+        }
+    });
+}
+
+/// Called by `Condvar::wait` with the id of the mutex the guard releases:
+/// any *other* held lock stays held across the sleep — C002.
+pub(crate) fn on_condvar_wait(guard_meta: &LockMeta) {
+    let guard_id = guard_meta.id();
+    HELD.with(|held| {
+        for &h in held.borrow().iter() {
+            if h != guard_id {
+                push_runtime(DiagCode::CondvarWaitHoldingLock, guard_id, h, || {
+                    Diagnostic::new(
+                        DiagCode::CondvarWaitHoldingLock,
+                        Location::Lock { name: label_of(h) },
+                        format!(
+                            "Condvar::wait releases `{}` but the thread still \
+                             holds `{}` across the sleep",
+                            label_of(guard_id),
+                            label_of(h)
+                        ),
+                    )
+                });
+            }
+        }
+    });
+}
+
+/// Checkpoint for blocking waits that are not a condvar on the held mutex
+/// (thread park, oneshot receive, channel recv): holding any checked lock
+/// here risks deadlocking the thread meant to wake us — C003.
+///
+/// Call at the entry of the blocking operation, before taking any lock
+/// that the wakeup path also takes. `what` names the wait site.
+pub fn check_park(what: &'static str) {
+    if !enabled() {
+        return;
+    }
+    HELD.with(|held| {
+        for &h in held.borrow().iter() {
+            push_runtime(DiagCode::LockHeldAcrossPark, h, 0, || {
+                Diagnostic::new(
+                    DiagCode::LockHeldAcrossPark,
+                    Location::Lock { name: label_of(h) },
+                    format!("`{what}` blocks while `{}` is held", label_of(h)),
+                )
+            });
+        }
+    });
+}
+
+/// Analyzes the accumulated lock-order graph and returns every finding:
+/// C001 cycles from Tarjan SCC over the edges, plus the C002–C004
+/// runtime findings recorded at their call sites. Does not clear state;
+/// calling twice returns the same findings (use [`reset`] between runs).
+pub fn report() -> Vec<Diagnostic> {
+    let labels = state().labels.lock().unwrap().clone();
+    let edges: Vec<(u64, u64)> = state().edges.lock().unwrap().keys().copied().collect();
+    let mut graph = LockOrderGraph::new();
+    for label in &labels {
+        graph.add_node(label.clone());
+    }
+    for (a, b) in edges {
+        graph.add_edge((a - 1) as usize, (b - 1) as usize);
+    }
+    let mut out = graph.analyze();
+    for d in &out {
+        emit_trace(d);
+    }
+    out.extend(state().runtime.lock().unwrap().1.iter().cloned());
+    out
+}
+
+/// A standalone lock-order graph: the same cycle analysis [`report`] runs
+/// on the process-global graph, usable on synthetic graphs (fixtures,
+/// property tests) without touching global state.
+#[derive(Clone, Debug, Default)]
+pub struct LockOrderGraph {
+    labels: Vec<String>,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl LockOrderGraph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        LockOrderGraph::default()
+    }
+
+    /// Adds a lock node and returns its index.
+    pub fn add_node(&mut self, label: impl Into<String>) -> usize {
+        self.labels.push(label.into());
+        self.labels.len() - 1
+    }
+
+    /// Records that some thread acquired `b` while holding `a`.
+    /// Out-of-range indices are clamped into existence with synthetic
+    /// labels so fixture mutation can't panic the analyzer.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        let max = a.max(b);
+        while self.labels.len() <= max {
+            self.labels.push(format!("mutex#{}", self.labels.len() + 1));
+        }
+        self.edges.insert((a, b));
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Runs the cycle analysis: one C001 per strongly connected component
+    /// with ≥ 2 locks (reported with a concrete cycle through it), one
+    /// C004 per self-edge.
+    pub fn analyze(&self) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for &(a, b) in &self.edges {
+            if a == b {
+                out.push(Diagnostic::new(
+                    DiagCode::DoubleAcquire,
+                    Location::Lock {
+                        name: self.labels[a].clone(),
+                    },
+                    format!(
+                        "`{}` acquired while already held (self-edge in the \
+                         lock-order graph)",
+                        self.labels[a]
+                    ),
+                ));
+            }
+        }
+        for scc in self.tarjan() {
+            if scc.len() < 2 {
+                continue;
+            }
+            let cycle = self.concrete_cycle(&scc);
+            let path = cycle
+                .iter()
+                .map(|&n| self.labels[n].as_str())
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            out.push(Diagnostic::new(
+                DiagCode::LockOrderCycle,
+                Location::Lock {
+                    name: self.labels[scc[0]].clone(),
+                },
+                format!(
+                    "locks acquired in contradicting orders (potential AB-BA \
+                     deadlock): {path} -> {}",
+                    self.labels[cycle[0]]
+                ),
+            ));
+        }
+        out
+    }
+
+    /// Tarjan's SCC algorithm (iterative), components in deterministic
+    /// order (sorted by smallest member).
+    fn tarjan(&self) -> Vec<Vec<usize>> {
+        let n = self.labels.len();
+        let mut adj = vec![Vec::new(); n];
+        for &(a, b) in &self.edges {
+            if a != b {
+                adj[a].push(b);
+            }
+        }
+        let mut index = vec![usize::MAX; n];
+        let mut low = vec![0usize; n];
+        let mut on_stack = vec![false; n];
+        let mut stack = Vec::new();
+        let mut next_index = 0usize;
+        let mut sccs: Vec<Vec<usize>> = Vec::new();
+        // Explicit DFS frames: (node, next child position).
+        let mut frames: Vec<(usize, usize)> = Vec::new();
+        for root in 0..n {
+            if index[root] != usize::MAX {
+                continue;
+            }
+            frames.push((root, 0));
+            while let Some(&mut (v, ref mut ci)) = frames.last_mut() {
+                if *ci == 0 {
+                    index[v] = next_index;
+                    low[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                }
+                if let Some(&w) = adj[v].get(*ci) {
+                    *ci += 1;
+                    if index[w] == usize::MAX {
+                        frames.push((w, 0));
+                    } else if on_stack[w] {
+                        low[v] = low[v].min(index[w]);
+                    }
+                } else {
+                    frames.pop();
+                    if let Some(&(parent, _)) = frames.last() {
+                        low[parent] = low[parent].min(low[v]);
+                    }
+                    if low[v] == index[v] {
+                        let mut scc = Vec::new();
+                        while let Some(w) = stack.pop() {
+                            on_stack[w] = false;
+                            scc.push(w);
+                            if w == v {
+                                break;
+                            }
+                        }
+                        scc.sort_unstable();
+                        sccs.push(scc);
+                    }
+                }
+            }
+        }
+        sccs.sort_by_key(|scc| scc[0]);
+        sccs
+    }
+
+    /// A concrete cycle through an SCC (for the diagnostic message): BFS
+    /// from the smallest member back to itself, restricted to the SCC.
+    fn concrete_cycle(&self, scc: &[usize]) -> Vec<usize> {
+        let members: BTreeSet<usize> = scc.iter().copied().collect();
+        let start = scc[0];
+        let mut prev: BTreeMap<usize, usize> = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(v) = queue.pop_front() {
+            for &(a, b) in &self.edges {
+                if a != v || !members.contains(&b) {
+                    continue;
+                }
+                if b == start {
+                    // Rebuild start -> ... -> v, closing the cycle at start.
+                    let mut path = vec![v];
+                    let mut cur = v;
+                    while cur != start {
+                        cur = prev[&cur];
+                        path.push(cur);
+                    }
+                    path.reverse();
+                    return path;
+                }
+                if b != start && !prev.contains_key(&b) {
+                    prev.insert(b, v);
+                    queue.push_back(b);
+                }
+            }
+        }
+        scc.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_diag::DiagnosticsExt;
+
+    #[test]
+    fn acyclic_graph_is_clean() {
+        let mut g = LockOrderGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(a, c);
+        assert!(g.analyze().is_empty());
+    }
+
+    #[test]
+    fn ab_ba_cycle_fires_c001_with_both_names() {
+        let mut g = LockOrderGraph::new();
+        let a = g.add_node("registry.entries");
+        let b = g.add_node("slot.waiters");
+        g.add_edge(a, b);
+        g.add_edge(b, a);
+        let diags = g.analyze();
+        assert_eq!(diags.codes(), vec![DiagCode::LockOrderCycle]);
+        assert!(diags[0].message.contains("registry.entries"));
+        assert!(diags[0].message.contains("slot.waiters"));
+    }
+
+    #[test]
+    fn three_cycle_fires_once() {
+        let mut g = LockOrderGraph::new();
+        let a = g.add_node("a");
+        let b = g.add_node("b");
+        let c = g.add_node("c");
+        g.add_edge(a, b);
+        g.add_edge(b, c);
+        g.add_edge(c, a);
+        let diags = g.analyze();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::LockOrderCycle);
+    }
+
+    #[test]
+    fn self_edge_fires_c004() {
+        let mut g = LockOrderGraph::new();
+        let a = g.add_node("a");
+        g.add_edge(a, a);
+        assert_eq!(g.analyze().codes(), vec![DiagCode::DoubleAcquire]);
+    }
+
+    #[test]
+    fn two_disjoint_cycles_fire_twice() {
+        let mut g = LockOrderGraph::new();
+        let n: Vec<usize> = (0..4).map(|i| g.add_node(format!("l{i}"))).collect();
+        g.add_edge(n[0], n[1]);
+        g.add_edge(n[1], n[0]);
+        g.add_edge(n[2], n[3]);
+        g.add_edge(n[3], n[2]);
+        let diags = g.analyze();
+        assert_eq!(diags.len(), 2);
+    }
+}

@@ -1,0 +1,895 @@
+//! Deterministic interleaving model checker: a mini-loom.
+//!
+//! [`check`] runs a closure (the *model body*) many times. Inside a model
+//! execution, every checked primitive (lock acquire, condvar wait/notify,
+//! checked atomic op, [`spawn`], [`JoinHandle::join`]) becomes a
+//! *scheduling point*: the thread pauses and an explorer decides which
+//! model thread performs its next operation. Exactly one model thread is
+//! logically running at any time, so an execution is fully determined by
+//! the sequence of choices — a *schedule* — and the explorer can
+//! DFS-enumerate schedules by replaying a decision prefix and branching
+//! on the last choice that still has untried alternatives.
+//!
+//! Exploration is bounded two ways, both logged in the [`Report`]:
+//! a **preemption bound** (schedules that switch away from a still-
+//! runnable thread more than `max_preemptions` times are pruned — the
+//! classic CHESS result is that real protocol bugs show up with very few
+//! preemptions), and a **schedule budget** (`max_schedules` DFS
+//! executions). If the budget is hit before the bounded space is
+//! exhausted, a seeded **random-walk fallback** samples `random_walks`
+//! further schedules with the preemption bound lifted, and the report
+//! carries a `C008` note stating the truncation.
+//!
+//! Detected failures: a schedule in which every live thread is blocked
+//! (`C005` deadlock, or `C006` lost wakeup when every blocked thread is
+//! parked on a condvar), and a panic inside the body — i.e. a violated
+//! protocol invariant — under some schedule (`C007`).
+//!
+//! Model discipline: the body must route all cross-thread state through
+//! checked primitives, create those primitives inside the body, use
+//! [`spawn`]/[`JoinHandle::join`] instead of `std::thread`, and be
+//! deterministic apart from scheduling. Checked atomics are explored
+//! with sequentially consistent semantics (weaker orderings are modeled
+//! as SeqCst — relaxed-memory reorderings are out of scope).
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use smat_diag::{DiagCode, Diagnostic, Location};
+
+use crate::ACTIVE;
+
+/// Hard per-execution operation limit: a guard against accidental
+/// spin loops in model bodies, reported as a C007 finding when hit.
+const STEP_LIMIT: usize = 50_000;
+
+/// Bounds and identity of one model-checking run.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Name of the protocol under test (appears in findings and logs).
+    pub name: &'static str,
+    /// Preemption bound for the DFS phase: schedules that switch away
+    /// from a still-runnable thread more than this many times are pruned.
+    pub max_preemptions: usize,
+    /// DFS schedule budget. When hit before exhaustion, the random-walk
+    /// fallback runs and the report carries a C008 truncation note.
+    pub max_schedules: usize,
+    /// Number of seeded random-walk schedules after a truncated DFS
+    /// (explored with the preemption bound lifted).
+    pub random_walks: usize,
+    /// Seed for the random-walk fallback.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            name: "model",
+            max_preemptions: 2,
+            max_schedules: 4096,
+            random_walks: 64,
+            seed: 0x5eed_c0de,
+        }
+    }
+}
+
+impl Config {
+    /// A default-bounded config named after the protocol under test.
+    pub fn named(name: &'static str) -> Self {
+        Config {
+            name,
+            ..Config::default()
+        }
+    }
+}
+
+/// Outcome of a model-checking run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Protocol name from the [`Config`].
+    pub name: &'static str,
+    /// Total executions performed (DFS + random walks).
+    pub schedules: usize,
+    /// Whether the preemption-bounded schedule space was exhausted.
+    pub exhausted: bool,
+    /// Longest schedule (in scheduling points) seen.
+    pub max_depth: usize,
+    /// Findings: C005/C006/C007 failures (exploration stops at the first
+    /// one) plus a C008 note when the DFS budget truncated exploration.
+    pub findings: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Whether the run found no error-severity failures (a C008
+    /// truncation note does not count as a failure).
+    pub fn is_clean(&self) -> bool {
+        self.findings.iter().all(|d| !d.is_error())
+    }
+
+    /// One-line human summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "model `{}`: {} schedules, {}, max depth {}, {} finding(s)",
+            self.name,
+            self.schedules,
+            if self.exhausted {
+                "exhausted (within preemption bound)".to_string()
+            } else {
+                "budget-truncated".to_string()
+            },
+            self.max_depth,
+            self.findings.len()
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Execution state
+// ---------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum TState {
+    Runnable,
+    BlockedLock(usize),
+    BlockedCv(usize),
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Clone, Debug)]
+struct ChoiceRec {
+    /// Index into the enabled list that was taken.
+    chosen: usize,
+    /// Size of the enabled list at this point.
+    enabled_len: usize,
+    /// Position of the previously running thread in the enabled list
+    /// (`None` when it was blocked/finished — a forced switch).
+    cur_pos: Option<usize>,
+    /// Preemptions spent on the schedule before this choice.
+    preemptions_before: usize,
+    /// Thread id the choice handed control to (for failure messages).
+    chosen_tid: usize,
+}
+
+#[derive(Clone, Debug)]
+enum Failure {
+    Deadlock {
+        all_cv: bool,
+        desc: String,
+        thread: usize,
+    },
+    Panic {
+        msg: String,
+        thread: usize,
+    },
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    /// Replay `prefix`, then take the first bound-allowed choice.
+    Dfs,
+    /// Seeded random choice among bound-allowed alternatives.
+    Random(u64),
+}
+
+struct LockSt {
+    owner: Option<usize>,
+    label: &'static str,
+}
+
+struct CvSt {
+    waiters: Vec<usize>,
+    label: &'static str,
+}
+
+struct ExecState {
+    threads: Vec<TState>,
+    current: usize,
+    live: usize,
+    locks: Vec<LockSt>,
+    cvs: Vec<CvSt>,
+    prefix: Vec<usize>,
+    pos: usize,
+    trace: Vec<ChoiceRec>,
+    preemptions: usize,
+    bound: usize,
+    mode: Mode,
+    rng: u64,
+    steps: usize,
+    failure: Option<Failure>,
+    aborting: bool,
+}
+
+struct Exec {
+    st: Mutex<ExecState>,
+    cv: Condvar,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    epoch: u64,
+}
+
+/// Payload used to unwind model threads once the execution is over
+/// (deadlock detected, or another thread failed). Caught quietly by the
+/// per-thread wrapper.
+struct ModelAbort;
+
+#[derive(Clone)]
+struct Ctx {
+    exec: Arc<Exec>,
+    tid: usize,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+}
+
+fn ctx() -> Option<Ctx> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Whether the calling thread is a model thread of an active execution.
+pub fn in_model() -> bool {
+    ACTIVE.load(Ordering::Relaxed) >= 2 && CTX.with(|c| c.borrow().is_some())
+}
+
+static NEXT_EPOCH: AtomicU64 = AtomicU64::new(1);
+
+/// Per-primitive model identity: an execution-local slot index plus the
+/// epoch of the execution that assigned it (primitives must be created
+/// inside the model body; the epoch guards against stale reuse).
+pub(crate) struct ModelSlot {
+    id: AtomicUsize,
+    epoch: AtomicU64,
+}
+
+impl ModelSlot {
+    pub(crate) const fn new() -> Self {
+        ModelSlot {
+            id: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+        }
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+// ---------------------------------------------------------------------
+// Scheduler core
+// ---------------------------------------------------------------------
+
+fn enabled_list(st: &ExecState) -> Vec<usize> {
+    st.threads
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| matches!(s, TState::Runnable))
+        .map(|(t, _)| t)
+        .collect()
+}
+
+/// Chooses the next thread to run and transfers logical control to it.
+/// `me` is the thread making the choice (the logically current one);
+/// `me_runnable` is false when `me` just blocked or finished.
+fn pick_and_transfer(exec: &Exec, st: &mut ExecState, me: usize) -> bool {
+    let enabled = enabled_list(st);
+    if enabled.is_empty() {
+        if st.live > 0 && st.failure.is_none() {
+            let mut kinds = Vec::new();
+            let mut all_cv = true;
+            let mut first = 0;
+            for (t, s) in st.threads.iter().enumerate() {
+                match s {
+                    TState::BlockedLock(l) => {
+                        all_cv = false;
+                        if kinds.is_empty() {
+                            first = t;
+                        }
+                        kinds.push(format!("t{t} blocked on lock `{}`", st.locks[*l].label));
+                    }
+                    TState::BlockedCv(c) => {
+                        if kinds.is_empty() {
+                            first = t;
+                        }
+                        kinds.push(format!("t{t} waiting on condvar `{}`", st.cvs[*c].label));
+                    }
+                    TState::BlockedJoin(j) => {
+                        all_cv = false;
+                        if kinds.is_empty() {
+                            first = t;
+                        }
+                        kinds.push(format!("t{t} joining t{j}"));
+                    }
+                    TState::Runnable | TState::Finished => {}
+                }
+            }
+            st.failure = Some(Failure::Deadlock {
+                all_cv,
+                desc: kinds.join("; "),
+                thread: first,
+            });
+        }
+        abort(exec, st);
+        return false;
+    }
+    let cur_pos = enabled.iter().position(|&t| t == me);
+    let allowed = |c: usize| -> bool {
+        let preempt = cur_pos.is_some() && Some(c) != cur_pos;
+        st.preemptions + usize::from(preempt) <= st.bound
+    };
+    let c = if st.pos < st.prefix.len() {
+        st.prefix[st.pos].min(enabled.len() - 1)
+    } else {
+        match st.mode {
+            Mode::Dfs => (0..enabled.len())
+                .find(|&c| allowed(c))
+                .unwrap_or_else(|| cur_pos.unwrap_or(0)),
+            Mode::Random(_) => {
+                let candidates: Vec<usize> = (0..enabled.len()).filter(|&c| allowed(c)).collect();
+                let pick = splitmix(&mut st.rng) as usize % candidates.len().max(1);
+                *candidates.get(pick).unwrap_or(&0)
+            }
+        }
+    };
+    let preempt = cur_pos.is_some() && Some(c) != cur_pos;
+    st.trace.push(ChoiceRec {
+        chosen: c,
+        enabled_len: enabled.len(),
+        cur_pos,
+        preemptions_before: st.preemptions,
+        chosen_tid: enabled[c],
+    });
+    st.pos += 1;
+    if preempt {
+        st.preemptions += 1;
+    }
+    st.current = enabled[c];
+    if st.current != me {
+        exec.cv.notify_all();
+    }
+    true
+}
+
+fn abort(exec: &Exec, st: &mut ExecState) {
+    st.aborting = true;
+    exec.cv.notify_all();
+}
+
+/// A scheduling point: pause, let the explorer choose who runs next, and
+/// return once this thread is (re-)scheduled. Skipped while the thread
+/// is unwinding (guard drops during a panic must not re-enter the
+/// scheduler).
+fn sched_point(c: &Ctx) {
+    if std::thread::panicking() {
+        return;
+    }
+    let exec = &*c.exec;
+    let mut st = exec.st.lock().unwrap();
+    st.steps += 1;
+    if st.steps > STEP_LIMIT && st.failure.is_none() {
+        st.failure = Some(Failure::Panic {
+            msg: format!("execution exceeded the {STEP_LIMIT}-operation step limit"),
+            thread: c.tid,
+        });
+        abort(exec, &mut st);
+    }
+    if !st.aborting && st.current == c.tid {
+        pick_and_transfer(exec, &mut st, c.tid);
+    }
+    loop {
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        if st.current == c.tid && matches!(st.threads[c.tid], TState::Runnable) {
+            return;
+        }
+        st = exec.cv.wait(st).unwrap();
+    }
+}
+
+/// Blocks the calling thread with `state`, hands control to another
+/// thread (detecting deadlock if none is runnable), and returns once a
+/// wakeup made this thread runnable and the explorer scheduled it.
+fn block_me(c: &Ctx, state: TState) {
+    let exec = &*c.exec;
+    let mut st = exec.st.lock().unwrap();
+    st.threads[c.tid] = state;
+    if !st.aborting {
+        pick_and_transfer(exec, &mut st, c.tid);
+    }
+    loop {
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        if st.current == c.tid && matches!(st.threads[c.tid], TState::Runnable) {
+            return;
+        }
+        st = exec.cv.wait(st).unwrap();
+    }
+}
+
+fn ensure_lock(st: &mut ExecState, exec: &Exec, slot: &ModelSlot, label: &'static str) -> usize {
+    if slot.epoch.load(Ordering::Relaxed) == exec.epoch {
+        return slot.id.load(Ordering::Relaxed);
+    }
+    st.locks.push(LockSt { owner: None, label });
+    let id = st.locks.len() - 1;
+    slot.id.store(id, Ordering::Relaxed);
+    slot.epoch.store(exec.epoch, Ordering::Relaxed);
+    id
+}
+
+fn ensure_cv(st: &mut ExecState, exec: &Exec, slot: &ModelSlot, label: &'static str) -> usize {
+    if slot.epoch.load(Ordering::Relaxed) == exec.epoch {
+        return slot.id.load(Ordering::Relaxed);
+    }
+    st.cvs.push(CvSt {
+        waiters: Vec::new(),
+        label,
+    });
+    let id = st.cvs.len() - 1;
+    slot.id.store(id, Ordering::Relaxed);
+    slot.epoch.store(exec.epoch, Ordering::Relaxed);
+    id
+}
+
+// ---------------------------------------------------------------------
+// Operations called by the checked primitives (crate::sync)
+// ---------------------------------------------------------------------
+
+/// Model-acquires a mutex for the calling model thread, blocking (in
+/// model time) while another model thread owns it.
+pub(crate) fn mutex_lock(slot: &ModelSlot, label: &'static str) {
+    let Some(c) = ctx() else { return };
+    loop {
+        sched_point(&c);
+        let mut st = c.exec.st.lock().unwrap();
+        let id = ensure_lock(&mut st, &c.exec, slot, label);
+        match st.locks[id].owner {
+            None => {
+                st.locks[id].owner = Some(c.tid);
+                return;
+            }
+            Some(owner) if owner == c.tid => {
+                // Self-deadlock: block on our own lock; the deadlock
+                // detector reports it (C005) once nothing else can run.
+            }
+            Some(_) => {}
+        }
+        drop(st);
+        block_me(&c, TState::BlockedLock(slot.id.load(Ordering::Relaxed)));
+    }
+}
+
+/// Model-releases a mutex, waking model threads blocked on it. Never
+/// blocks (safe to call from guard drops during unwinding).
+pub(crate) fn mutex_unlock(slot: &ModelSlot) {
+    let Some(c) = ctx() else { return };
+    let mut st = c.exec.st.lock().unwrap();
+    if slot.epoch.load(Ordering::Relaxed) != c.exec.epoch {
+        return;
+    }
+    let id = slot.id.load(Ordering::Relaxed);
+    if st.locks[id].owner == Some(c.tid) {
+        st.locks[id].owner = None;
+        for t in 0..st.threads.len() {
+            if st.threads[t] == TState::BlockedLock(id) {
+                st.threads[t] = TState::Runnable;
+            }
+        }
+    }
+}
+
+/// Model condvar wait: atomically releases the (model) mutex, parks the
+/// calling thread on the condvar, and re-acquires the mutex after a
+/// wakeup. No spurious wakeups in model time.
+pub(crate) fn cv_wait(
+    cv_slot: &ModelSlot,
+    cv_label: &'static str,
+    mutex_slot: &ModelSlot,
+    mutex_label: &'static str,
+) {
+    let Some(c) = ctx() else { return };
+    sched_point(&c);
+    {
+        let mut st = c.exec.st.lock().unwrap();
+        let cvid = ensure_cv(&mut st, &c.exec, cv_slot, cv_label);
+        let mid = ensure_lock(&mut st, &c.exec, mutex_slot, mutex_label);
+        // Release the mutex and park, as one model-atomic step.
+        if st.locks[mid].owner == Some(c.tid) {
+            st.locks[mid].owner = None;
+            for t in 0..st.threads.len() {
+                if st.threads[t] == TState::BlockedLock(mid) {
+                    st.threads[t] = TState::Runnable;
+                }
+            }
+        }
+        st.cvs[cvid].waiters.push(c.tid);
+        drop(st);
+        block_me(&c, TState::BlockedCv(cvid));
+    }
+    mutex_lock(mutex_slot, mutex_label);
+}
+
+/// Model condvar notify. `all` wakes every parked waiter, otherwise the
+/// longest-parked one. A notify with no waiters is lost (real condvar
+/// semantics — this is exactly what makes lost wakeups detectable).
+/// The scheduling point before the notify lets a waiter park in between
+/// a state change and the signal; the notify itself never blocks.
+pub(crate) fn cv_notify(slot: &ModelSlot, label: &'static str, all: bool) {
+    let Some(c) = ctx() else { return };
+    sched_point(&c);
+    let mut st = c.exec.st.lock().unwrap();
+    let id = ensure_cv(&mut st, &c.exec, slot, label);
+    let waiters = if all {
+        std::mem::take(&mut st.cvs[id].waiters)
+    } else if st.cvs[id].waiters.is_empty() {
+        Vec::new()
+    } else {
+        vec![st.cvs[id].waiters.remove(0)]
+    };
+    for w in waiters {
+        if st.threads[w] == TState::BlockedCv(id) {
+            st.threads[w] = TState::Runnable;
+        }
+    }
+}
+
+/// Scheduling point wrapped around every checked atomic operation.
+pub(crate) fn atomic_point() {
+    if let Some(c) = ctx() {
+        sched_point(&c);
+    }
+}
+
+/// An explicit scheduling point; outside a model execution it is a
+/// plain `std::thread::yield_now`.
+pub fn yield_now() {
+    match ctx() {
+        Some(c) => sched_point(&c),
+        None => std::thread::yield_now(),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------
+
+/// Handle to a model thread, returned by [`spawn`].
+pub struct JoinHandle<T> {
+    tid: usize,
+    result: Arc<Mutex<Option<T>>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits (in model time) for the thread to finish and returns its
+    /// value.
+    pub fn join(self) -> T {
+        let c = ctx().expect("JoinHandle::join outside a model execution");
+        loop {
+            sched_point(&c);
+            let st = c.exec.st.lock().unwrap();
+            if matches!(st.threads[self.tid], TState::Finished) {
+                break;
+            }
+            drop(st);
+            block_me(&c, TState::BlockedJoin(self.tid));
+        }
+        let out = self.result.lock().unwrap().take();
+        match out {
+            Some(v) => v,
+            // The joined thread panicked; the execution is aborting.
+            None => std::panic::panic_any(ModelAbort),
+        }
+    }
+}
+
+/// Spawns a model thread. Must be called from inside a model body; the
+/// new thread starts paused and runs only when the explorer schedules it.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    let c = ctx().expect("model::spawn outside a model execution");
+    sched_point(&c);
+    let tid = {
+        let mut st = c.exec.st.lock().unwrap();
+        st.threads.push(TState::Runnable);
+        st.live += 1;
+        st.threads.len() - 1
+    };
+    let result = Arc::new(Mutex::new(None));
+    let slot = Arc::clone(&result);
+    let exec = Arc::clone(&c.exec);
+    let h = std::thread::Builder::new()
+        .name(format!("model-t{tid}"))
+        .spawn(move || thread_main(exec, tid, move || *slot.lock().unwrap() = Some(f())))
+        .expect("spawn model OS thread");
+    c.exec.handles.lock().unwrap().push(h);
+    JoinHandle { tid, result }
+}
+
+fn thread_main(exec: Arc<Exec>, tid: usize, f: impl FnOnce()) {
+    let c = Ctx {
+        exec: Arc::clone(&exec),
+        tid,
+    };
+    CTX.with(|cell| *cell.borrow_mut() = Some(c.clone()));
+    // Wait to be logically scheduled for the first time.
+    {
+        let mut st = exec.st.lock().unwrap();
+        loop {
+            if st.aborting {
+                break;
+            }
+            if st.current == tid {
+                break;
+            }
+            st = exec.cv.wait(st).unwrap();
+        }
+    }
+    let aborted_early = exec.st.lock().unwrap().aborting;
+    let outcome = if aborted_early {
+        Err(Box::new(ModelAbort) as Box<dyn std::any::Any + Send>)
+    } else {
+        catch_unwind(AssertUnwindSafe(f))
+    };
+    let mut st = exec.st.lock().unwrap();
+    st.threads[tid] = TState::Finished;
+    st.live -= 1;
+    for t in 0..st.threads.len() {
+        if st.threads[t] == TState::BlockedJoin(tid) {
+            st.threads[t] = TState::Runnable;
+        }
+    }
+    if let Err(payload) = outcome {
+        if !payload.is::<ModelAbort>() && st.failure.is_none() {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "model thread panicked".to_string());
+            st.failure = Some(Failure::Panic { msg, thread: tid });
+        }
+        abort(&exec, &mut st);
+    }
+    if st.live == 0 {
+        exec.cv.notify_all();
+    } else if !st.aborting && st.current == tid {
+        pick_and_transfer(&exec, &mut st, tid);
+    }
+    drop(st);
+    CTX.with(|cell| *cell.borrow_mut() = None);
+}
+
+// ---------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------
+
+fn run_one(
+    body: &Arc<dyn Fn() + Send + Sync>,
+    prefix: Vec<usize>,
+    bound: usize,
+    mode: Mode,
+) -> (Vec<ChoiceRec>, Option<Failure>) {
+    let rng = match mode {
+        Mode::Random(seed) => seed,
+        Mode::Dfs => 0,
+    };
+    let exec = Arc::new(Exec {
+        st: Mutex::new(ExecState {
+            threads: vec![TState::Runnable],
+            current: 0,
+            live: 1,
+            locks: Vec::new(),
+            cvs: Vec::new(),
+            prefix,
+            pos: 0,
+            trace: Vec::new(),
+            preemptions: 0,
+            bound,
+            mode,
+            rng,
+            steps: 0,
+            failure: None,
+            aborting: false,
+        }),
+        cv: Condvar::new(),
+        handles: Mutex::new(Vec::new()),
+        epoch: NEXT_EPOCH.fetch_add(1, Ordering::Relaxed),
+    });
+    let body = Arc::clone(body);
+    let exec2 = Arc::clone(&exec);
+    let root = std::thread::Builder::new()
+        .name("model-t0".to_string())
+        .spawn(move || thread_main(exec2, 0, move || body()))
+        .expect("spawn model root thread");
+    exec.handles.lock().unwrap().push(root);
+    {
+        let mut st = exec.st.lock().unwrap();
+        while st.live > 0 {
+            st = exec.cv.wait(st).unwrap();
+        }
+    }
+    loop {
+        let h = exec.handles.lock().unwrap().pop();
+        match h {
+            Some(h) => {
+                let _ = h.join();
+            }
+            None => break,
+        }
+    }
+    let st = exec.st.lock().unwrap();
+    (st.trace.clone(), st.failure.clone())
+}
+
+/// The lexicographically next DFS decision prefix within the preemption
+/// bound, or `None` when the bounded space is exhausted.
+fn next_prefix(trace: &[ChoiceRec], bound: usize) -> Option<Vec<usize>> {
+    for i in (0..trace.len()).rev() {
+        let t = &trace[i];
+        for c in t.chosen + 1..t.enabled_len {
+            let preempt = t.cur_pos.is_some() && Some(c) != t.cur_pos;
+            if t.preemptions_before + usize::from(preempt) <= bound {
+                let mut prefix: Vec<usize> = trace[..i].iter().map(|r| r.chosen).collect();
+                prefix.push(c);
+                return Some(prefix);
+            }
+        }
+    }
+    None
+}
+
+fn schedule_string(trace: &[ChoiceRec]) -> String {
+    let tids: Vec<String> = trace.iter().map(|r| r.chosen_tid.to_string()).collect();
+    if tids.len() > 96 {
+        format!("{}..(+{})", tids[..96].join(","), tids.len() - 96)
+    } else {
+        tids.join(",")
+    }
+}
+
+fn failure_diag(cfg: &Config, f: &Failure, trace: &[ChoiceRec]) -> Diagnostic {
+    let sched = schedule_string(trace);
+    match f {
+        Failure::Deadlock {
+            all_cv,
+            desc,
+            thread,
+        } => {
+            let code = if *all_cv {
+                DiagCode::ModelLostWakeup
+            } else {
+                DiagCode::ModelDeadlock
+            };
+            Diagnostic::new(
+                code,
+                Location::Thread { thread: *thread },
+                format!(
+                    "model `{}`: {} under schedule [{sched}]: {desc}",
+                    cfg.name,
+                    if *all_cv {
+                        "lost wakeup (every live thread parked on a condvar)"
+                    } else {
+                        "deadlock (every live thread blocked)"
+                    }
+                ),
+            )
+        }
+        Failure::Panic { msg, thread } => Diagnostic::new(
+            DiagCode::ModelInvariantViolation,
+            Location::Thread { thread: *thread },
+            format!(
+                "model `{}`: invariant violated under schedule [{sched}]: {msg}",
+                cfg.name
+            ),
+        ),
+    }
+}
+
+struct ActiveGuard;
+
+impl ActiveGuard {
+    fn new() -> Self {
+        ACTIVE.fetch_add(2, Ordering::Relaxed);
+        ActiveGuard
+    }
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        ACTIVE.fetch_sub(2, Ordering::Relaxed);
+    }
+}
+
+/// Model-checks `body`: DFS-enumerates schedules within the preemption
+/// bound (stopping at the first failing schedule), falling back to
+/// seeded random walks when the DFS budget is hit first. See the module
+/// docs for the discipline `body` must follow.
+pub fn check<F>(cfg: Config, body: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(body);
+    let _active = ActiveGuard::new();
+    let mut findings = Vec::new();
+    let mut schedules = 0usize;
+    let mut max_depth = 0usize;
+    let mut exhausted = false;
+    let mut prefix = Vec::new();
+    loop {
+        let (trace, failure) = run_one(&body, prefix.clone(), cfg.max_preemptions, Mode::Dfs);
+        schedules += 1;
+        max_depth = max_depth.max(trace.len());
+        if let Some(f) = failure {
+            findings.push(failure_diag(&cfg, &f, &trace));
+            break;
+        }
+        match next_prefix(&trace, cfg.max_preemptions) {
+            None => {
+                exhausted = true;
+                break;
+            }
+            Some(p) => prefix = p,
+        }
+        if schedules >= cfg.max_schedules {
+            break;
+        }
+    }
+    if !exhausted && findings.is_empty() {
+        let mut seed = cfg.seed;
+        for _ in 0..cfg.random_walks {
+            let walk_seed = splitmix(&mut seed);
+            let (trace, failure) = run_one(&body, Vec::new(), usize::MAX, Mode::Random(walk_seed));
+            schedules += 1;
+            max_depth = max_depth.max(trace.len());
+            if let Some(f) = failure {
+                findings.push(failure_diag(&cfg, &f, &trace));
+                break;
+            }
+        }
+        findings.push(Diagnostic::new(
+            DiagCode::ModelExplorationTruncated,
+            Location::Whole,
+            format!(
+                "model `{}`: DFS budget of {} schedules hit before exhausting the \
+                 preemption-bounded space (bound {}); sampled {} random walks",
+                cfg.name, cfg.max_schedules, cfg.max_preemptions, cfg.random_walks
+            ),
+        ));
+    }
+    if smat_trace::enabled() {
+        for d in &findings {
+            smat_trace::instant(
+                d.code.as_str(),
+                "sanitize",
+                vec![("message", d.message.clone().into())],
+            );
+        }
+        smat_trace::instant(
+            "model.check",
+            "sanitize",
+            vec![
+                ("name", cfg.name.into()),
+                ("schedules", schedules.into()),
+                ("exhausted", u64::from(exhausted).into()),
+            ],
+        );
+    }
+    Report {
+        name: cfg.name,
+        schedules,
+        exhausted,
+        max_depth,
+        findings,
+    }
+}

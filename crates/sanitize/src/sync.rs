@@ -1,0 +1,553 @@
+//! Checked sync primitives: drop-in `Mutex`/`RwLock`/`Condvar`/atomics
+//! that feed the [`crate::lockdep`] graph when lock-order recording is
+//! enabled and yield to the [`crate::model`] explorer inside a model
+//! execution.
+//!
+//! **Disabled cost.** With both engines off, every operation is the
+//! underlying `std::sync` operation plus one relaxed atomic load
+//! ([`crate::active`]) — the same trick `smat-trace` uses.
+//!
+//! **Poisoning.** `lock()` is `std`-shaped (returns [`LockResult`]) so
+//! call sites choose a policy. [`Mutex::lock_or_recover`] implements the
+//! recover policy: take the data despite a poisoned flag. That is only
+//! correct when every critical section leaves the data structurally
+//! valid at every panic point (document this at each call site).
+//! `Condvar::wait` always recovers: a poison observed at wakeup means
+//! some other thread panicked while we slept, and the waiter's predicate
+//! re-check loop is the validity barrier.
+
+use std::sync::atomic::Ordering;
+use std::sync::{LockResult, PoisonError};
+
+use crate::lockdep::{self, LockMeta};
+use crate::model::{self, ModelSlot};
+
+// ---------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------
+
+/// A checked mutual-exclusion lock wrapping [`std::sync::Mutex`].
+pub struct Mutex<T: ?Sized> {
+    meta: LockMeta,
+    model: ModelSlot,
+    label: &'static str,
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// An unlabeled checked mutex (shows up as `mutex#<id>` in findings).
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            meta: LockMeta::new(""),
+            model: ModelSlot::new(),
+            label: "",
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// A checked mutex carrying a stable label for diagnostics.
+    pub const fn labeled(label: &'static str, value: T) -> Self {
+        Mutex {
+            meta: LockMeta::new(label),
+            model: ModelSlot::new(),
+            label,
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    fn wrap<'a>(
+        &'a self,
+        res: LockResult<std::sync::MutexGuard<'a, T>>,
+        tracked: bool,
+        model_tracked: bool,
+    ) -> LockResult<MutexGuard<'a, T>> {
+        let make = |inner| MutexGuard {
+            lock: self,
+            inner: Some(inner),
+            tracked,
+            model_tracked,
+        };
+        match res {
+            Ok(g) => Ok(make(g)),
+            Err(e) => Err(PoisonError::new(make(e.into_inner()))),
+        }
+    }
+
+    /// Acquires the lock. `std`-shaped: an [`Err`] carries the guard of a
+    /// poisoned mutex (some thread panicked while holding it).
+    #[inline]
+    pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+        if crate::active() {
+            return self.lock_checked();
+        }
+        self.wrap(self.inner.lock(), false, false)
+    }
+
+    #[cold]
+    fn lock_checked(&self) -> LockResult<MutexGuard<'_, T>> {
+        if model::in_model() {
+            model::mutex_lock(&self.model, self.label);
+            // Model ownership held: the real lock is uncontended.
+            return self.wrap(self.inner.lock(), false, true);
+        }
+        if lockdep::enabled() {
+            let tracked = lockdep::on_acquire(&self.meta);
+            return self.wrap(self.inner.lock(), tracked, false);
+        }
+        self.wrap(self.inner.lock(), false, false)
+    }
+
+    /// Acquires the lock, recovering from poisoning: the guard is handed
+    /// out even if a previous holder panicked. Use only where every
+    /// critical section keeps the data valid at every panic point — and
+    /// say why at the call site.
+    #[inline]
+    pub fn lock_or_recover(&self) -> MutexGuard<'_, T> {
+        self.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mutable access through exclusive ownership (no locking, recovers
+    /// from poisoning — with `&mut self` no other holder can exist).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mutex").field("label", &self.label).finish()
+    }
+}
+
+/// Guard of a [`Mutex`]; releases lockdep/model bookkeeping on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+    tracked: bool,
+    model_tracked: bool,
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard not neutralized")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard not neutralized")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the real lock before the model/lockdep bookkeeping so a
+        // woken model thread finds it free.
+        self.inner = None;
+        if self.model_tracked {
+            model::mutex_unlock(&self.lock.model);
+        }
+        if self.tracked {
+            lockdep::on_release(&self.lock.meta);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------
+
+/// A checked condition variable wrapping [`std::sync::Condvar`].
+pub struct Condvar {
+    model: ModelSlot,
+    label: &'static str,
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// An unlabeled checked condvar.
+    pub const fn new() -> Self {
+        Condvar::labeled("condvar")
+    }
+
+    /// A checked condvar carrying a stable label for diagnostics.
+    pub const fn labeled(label: &'static str) -> Self {
+        Condvar {
+            model: ModelSlot::new(),
+            label,
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Blocks on this condvar, releasing `guard`'s mutex while asleep and
+    /// re-acquiring it before returning. Recovers from poisoning observed
+    /// at wakeup (see the module docs); callers must re-check their
+    /// predicate in a loop as with any condvar. When lockdep is recording
+    /// and the calling thread holds *another* checked lock, a C002
+    /// finding is recorded. In model mode there are no spurious wakeups.
+    pub fn wait<'a, T>(&self, mut guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        let lock = guard.lock;
+        if guard.model_tracked {
+            // Neutralize the guard: the model wait releases ownership
+            // itself, atomically with parking.
+            drop(guard.inner.take());
+            guard.model_tracked = false;
+            drop(guard);
+            model::cv_wait(&self.model, self.label, &lock.model, lock.label);
+            let inner = lock.inner.lock().unwrap_or_else(PoisonError::into_inner);
+            return MutexGuard {
+                lock,
+                inner: Some(inner),
+                tracked: false,
+                model_tracked: true,
+            };
+        }
+        let tracked = guard.tracked;
+        if tracked {
+            lockdep::on_condvar_wait(&lock.meta);
+            // The mutex is released while we sleep but conceptually still
+            // ours (we re-own it at return), so the held entry stays; the
+            // neutralized guard must not pop it.
+            guard.tracked = false;
+        }
+        let std_guard = guard.inner.take().expect("guard not neutralized");
+        drop(guard);
+        let res = self.inner.wait(std_guard);
+        let inner = res.unwrap_or_else(PoisonError::into_inner);
+        MutexGuard {
+            lock,
+            inner: Some(inner),
+            tracked,
+            model_tracked: false,
+        }
+    }
+
+    /// Wakes one waiter (the longest-parked one in model mode).
+    pub fn notify_one(&self) {
+        if crate::active() && model::in_model() {
+            model::cv_notify(&self.model, self.label, false);
+            return;
+        }
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        if crate::active() && model::in_model() {
+            model::cv_notify(&self.model, self.label, true);
+            return;
+        }
+        self.inner.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl std::fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Condvar")
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------
+
+/// A checked reader-writer lock wrapping [`std::sync::RwLock`].
+///
+/// For lock-order purposes read and write acquisitions are the same node
+/// (a read-then-write upgrade pattern still deadlocks). In model mode
+/// both are modeled as exclusive — conservative, but sound for deadlock
+/// detection.
+pub struct RwLock<T: ?Sized> {
+    meta: LockMeta,
+    model: ModelSlot,
+    label: &'static str,
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// An unlabeled checked rwlock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            meta: LockMeta::new(""),
+            model: ModelSlot::new(),
+            label: "",
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// A checked rwlock carrying a stable label for diagnostics.
+    pub const fn labeled(label: &'static str, value: T) -> Self {
+        RwLock {
+            meta: LockMeta::new(label),
+            model: ModelSlot::new(),
+            label,
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    fn track(&self) -> (bool, bool) {
+        if !crate::active() {
+            return (false, false);
+        }
+        if model::in_model() {
+            model::mutex_lock(&self.model, self.label);
+            return (false, true);
+        }
+        if lockdep::enabled() {
+            return (lockdep::on_acquire(&self.meta), false);
+        }
+        (false, false)
+    }
+
+    /// Acquires shared read access (`std`-shaped result).
+    pub fn read(&self) -> LockResult<RwLockReadGuard<'_, T>> {
+        let (tracked, model_tracked) = self.track();
+        let make = |inner| RwLockReadGuard {
+            lock: self,
+            inner: Some(inner),
+            tracked,
+            model_tracked,
+        };
+        match self.inner.read() {
+            Ok(g) => Ok(make(g)),
+            Err(e) => Err(PoisonError::new(make(e.into_inner()))),
+        }
+    }
+
+    /// Acquires exclusive write access (`std`-shaped result).
+    pub fn write(&self) -> LockResult<RwLockWriteGuard<'_, T>> {
+        let (tracked, model_tracked) = self.track();
+        let make = |inner| RwLockWriteGuard {
+            lock: self,
+            inner: Some(inner),
+            tracked,
+            model_tracked,
+        };
+        match self.inner.write() {
+            Ok(g) => Ok(make(g)),
+            Err(e) => Err(PoisonError::new(make(e.into_inner()))),
+        }
+    }
+
+    /// Read access with the recover-from-poison policy (see
+    /// [`Mutex::lock_or_recover`]).
+    pub fn read_or_recover(&self) -> RwLockReadGuard<'_, T> {
+        self.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Write access with the recover-from-poison policy (see
+    /// [`Mutex::lock_or_recover`]).
+    pub fn write_or_recover(&self) -> RwLockWriteGuard<'_, T> {
+        self.write().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+macro_rules! rw_guard {
+    ($name:ident, $std:ident $(, $mut:ident)?) => {
+        /// Guard of a [`RwLock`]; releases bookkeeping on drop.
+        pub struct $name<'a, T: ?Sized> {
+            lock: &'a RwLock<T>,
+            inner: Option<std::sync::$std<'a, T>>,
+            tracked: bool,
+            model_tracked: bool,
+        }
+
+        impl<T: ?Sized> std::ops::Deref for $name<'_, T> {
+            type Target = T;
+            fn deref(&self) -> &T {
+                self.inner.as_ref().expect("guard not neutralized")
+            }
+        }
+
+        $(impl<T: ?Sized> std::ops::$mut for $name<'_, T> {
+            fn deref_mut(&mut self) -> &mut T {
+                self.inner.as_mut().expect("guard not neutralized")
+            }
+        })?
+
+        impl<T: ?Sized> Drop for $name<'_, T> {
+            fn drop(&mut self) {
+                self.inner = None;
+                if self.model_tracked {
+                    model::mutex_unlock(&self.lock.model);
+                }
+                if self.tracked {
+                    lockdep::on_release(&self.lock.meta);
+                }
+            }
+        }
+    };
+}
+
+rw_guard!(RwLockReadGuard, RwLockReadGuard);
+rw_guard!(RwLockWriteGuard, RwLockWriteGuard, DerefMut);
+
+// ---------------------------------------------------------------------
+// Atomics
+// ---------------------------------------------------------------------
+
+#[inline]
+fn atomic_point() {
+    if crate::active() && model::in_model() {
+        model::atomic_point();
+    }
+}
+
+macro_rules! checked_atomic {
+    ($name:ident, $std:ident, $ty:ty) => {
+        /// A checked atomic: passthrough to the `std` atomic, plus a
+        /// scheduling point per operation inside a model execution
+        /// (explored with SeqCst semantics there).
+        #[derive(Debug, Default)]
+        pub struct $name {
+            inner: std::sync::atomic::$std,
+        }
+
+        impl $name {
+            /// A new atomic holding `value`.
+            pub const fn new(value: $ty) -> Self {
+                $name {
+                    inner: std::sync::atomic::$std::new(value),
+                }
+            }
+
+            /// Atomic load.
+            #[inline]
+            pub fn load(&self, order: Ordering) -> $ty {
+                atomic_point();
+                self.inner.load(order)
+            }
+
+            /// Atomic store.
+            #[inline]
+            pub fn store(&self, value: $ty, order: Ordering) {
+                atomic_point();
+                self.inner.store(value, order);
+            }
+
+            /// Atomic swap, returning the previous value.
+            #[inline]
+            pub fn swap(&self, value: $ty, order: Ordering) -> $ty {
+                atomic_point();
+                self.inner.swap(value, order)
+            }
+        }
+    };
+}
+
+checked_atomic!(AtomicBool, AtomicBool, bool);
+checked_atomic!(AtomicU32, AtomicU32, u32);
+checked_atomic!(AtomicU64, AtomicU64, u64);
+checked_atomic!(AtomicUsize, AtomicUsize, usize);
+
+macro_rules! checked_atomic_arith {
+    ($name:ident, $ty:ty) => {
+        impl $name {
+            /// Atomic add, returning the previous value.
+            #[inline]
+            pub fn fetch_add(&self, value: $ty, order: Ordering) -> $ty {
+                atomic_point();
+                self.inner.fetch_add(value, order)
+            }
+
+            /// Atomic subtract, returning the previous value.
+            #[inline]
+            pub fn fetch_sub(&self, value: $ty, order: Ordering) -> $ty {
+                atomic_point();
+                self.inner.fetch_sub(value, order)
+            }
+
+            /// Atomic max, returning the previous value.
+            #[inline]
+            pub fn fetch_max(&self, value: $ty, order: Ordering) -> $ty {
+                atomic_point();
+                self.inner.fetch_max(value, order)
+            }
+        }
+    };
+}
+
+checked_atomic_arith!(AtomicU32, u32);
+checked_atomic_arith!(AtomicU64, u64);
+checked_atomic_arith!(AtomicUsize, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_mode_is_a_plain_mutex() {
+        let m = Mutex::labeled("test.plain", 41);
+        {
+            let mut g = m.lock().unwrap();
+            *g += 1;
+        }
+        assert_eq!(*m.lock_or_recover(), 42);
+    }
+
+    #[test]
+    fn poisoned_lock_recovers_with_the_documented_policy() {
+        let m = std::sync::Arc::new(Mutex::labeled("test.poison", vec![1, 2, 3]));
+        let m2 = std::sync::Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.lock().is_err(), "mutex should be poisoned");
+        assert_eq!(m.lock_or_recover().len(), 3);
+    }
+
+    #[test]
+    fn condvar_roundtrip_without_engines() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = std::sync::Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock_or_recover();
+            *g = true;
+            drop(g);
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock_or_recover();
+        while !*g {
+            g = cv.wait(g);
+        }
+        drop(g);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn rwlock_readers_and_writer() {
+        let l = RwLock::labeled("test.rw", 7);
+        assert_eq!(*l.read_or_recover(), 7);
+        *l.write_or_recover() = 8;
+        assert_eq!(*l.read().unwrap(), 8);
+    }
+
+    #[test]
+    fn checked_atomics_pass_through() {
+        let b = AtomicBool::new(false);
+        assert!(!b.swap(true, Ordering::SeqCst));
+        assert!(b.load(Ordering::SeqCst));
+        let n = AtomicU32::new(1);
+        assert_eq!(n.fetch_add(2, Ordering::SeqCst), 1);
+        assert_eq!(n.load(Ordering::SeqCst), 3);
+    }
+}

@@ -1,0 +1,66 @@
+//! Regression guard for the disabled-mode cost contract: a checked
+//! `sanitize::sync::Mutex` with both engines off must cost the same as a
+//! raw `std::sync::Mutex` plus one relaxed atomic load per acquire.
+//!
+//! Timing asserts are inherently noisy, so this test is deliberately
+//! coarse: it compares medians over several trials and only fails when
+//! the checked path is a *multiple* of the raw path — which would mean
+//! the disabled fast path regressed into taking a lock or walking the
+//! held-stack. The fine-grained numbers live in the `serve_engine` bench
+//! (`mutex_x10k_std` vs `mutex_x10k_checked_disabled`).
+
+use std::time::Instant;
+
+use smat_sanitize::sync::Mutex;
+
+const OPS: usize = 50_000;
+const TRIALS: usize = 9;
+
+fn median_nanos(mut f: impl FnMut()) -> u128 {
+    let mut samples: Vec<u128> = (0..TRIALS)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[TRIALS / 2]
+}
+
+#[test]
+fn disabled_checked_mutex_is_within_noise_of_std() {
+    // Both engines off — the default state; reset() defends against other
+    // tests in this binary (there are none today) leaving bits set.
+    smat_sanitize::reset();
+
+    let raw = std::sync::Mutex::new(0u64);
+    let checked = Mutex::labeled("overhead.checked", 0u64);
+
+    // Interleave warm-up so neither side benefits from cache priming.
+    for _ in 0..OPS {
+        *raw.lock().unwrap() += 1;
+        *checked.lock_or_recover() += 1;
+    }
+
+    let raw_ns = median_nanos(|| {
+        for _ in 0..OPS {
+            *std::hint::black_box(raw.lock().unwrap()) += 1;
+        }
+    });
+    let checked_ns = median_nanos(|| {
+        for _ in 0..OPS {
+            *std::hint::black_box(checked.lock_or_recover()) += 1;
+        }
+    });
+
+    // One relaxed load per acquire should land well under 2x even in a
+    // debug build; 4x is the "the fast path broke" threshold, chosen so
+    // scheduler noise on a loaded CI box cannot fire it spuriously.
+    assert!(
+        checked_ns < raw_ns.saturating_mul(4),
+        "disabled checked mutex took {checked_ns} ns for {OPS} ops vs {raw_ns} ns raw \
+         (>{0}x bound) — the disabled fast path has regressed",
+        4
+    );
+}

@@ -1,0 +1,364 @@
+//! Proof the two engines work: intentionally buggy fixture protocols
+//! that threaded stress tests pass but the analyses must fail.
+//!
+//! 1. **AB-BA pair** — two locks taken in contradicting orders. The
+//!    lock-order engine flags the cycle statically (C001) and the model
+//!    checker finds a schedule that actually deadlocks (C005).
+//! 2. **Lost-wakeup park variant** — a park/fulfill slot that drains its
+//!    waiter list *before* publishing the value (the inverse of the
+//!    publish-then-drain order `smat-serve` uses), and a flag+condvar
+//!    wait that checks its predicate outside the mutex. The stress tests
+//!    pass (the racy window is a few instructions wide), the model
+//!    checker fails them (C007 / C006).
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use smat_sanitize::sync::{AtomicBool, AtomicU32, Condvar, Mutex};
+use smat_sanitize::{model, DiagCode, DiagnosticsExt, ModelConfig};
+
+// ---------------------------------------------------------------------
+// Fixture 1: AB-BA lock pair
+// ---------------------------------------------------------------------
+
+#[test]
+fn lockdep_flags_ab_ba_cycle_as_c001() {
+    // A single thread is enough: the graph accumulates `a -> b` from one
+    // call path and `b -> a` from another, which is exactly the situation
+    // two threads deadlock on.
+    smat_sanitize::reset();
+    smat_sanitize::enable();
+    let a = Mutex::labeled("fixture.lock_a", ());
+    let b = Mutex::labeled("fixture.lock_b", ());
+    {
+        let _ga = a.lock_or_recover();
+        let _gb = b.lock_or_recover();
+    }
+    {
+        let _gb = b.lock_or_recover();
+        let _ga = a.lock_or_recover();
+    }
+    smat_sanitize::disable();
+    let findings = smat_sanitize::report();
+    assert!(
+        findings.codes().contains(&DiagCode::LockOrderCycle),
+        "expected C001 in {findings:?}"
+    );
+    let cycle = findings
+        .iter()
+        .find(|d| d.code == DiagCode::LockOrderCycle)
+        .unwrap();
+    assert!(
+        cycle.message.contains("fixture.lock_a"),
+        "{}",
+        cycle.message
+    );
+    assert!(
+        cycle.message.contains("fixture.lock_b"),
+        "{}",
+        cycle.message
+    );
+    smat_sanitize::reset();
+}
+
+#[test]
+fn model_detects_ab_ba_deadlock_as_c005() {
+    let report = model::check(ModelConfig::named("fixture.ab_ba"), || {
+        let a = Arc::new(Mutex::labeled("ab_ba.a", ()));
+        let b = Arc::new(Mutex::labeled("ab_ba.b", ()));
+        let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+        let t1 = model::spawn(move || {
+            let _ga = a1.lock_or_recover();
+            let _gb = b1.lock_or_recover();
+        });
+        let t2 = model::spawn(move || {
+            let _gb = b.lock_or_recover();
+            let _ga = a.lock_or_recover();
+        });
+        t1.join();
+        t2.join();
+    });
+    assert!(
+        report.findings.codes().contains(&DiagCode::ModelDeadlock),
+        "expected C005 in {report:?}"
+    );
+    assert!(!report.is_clean());
+}
+
+// Threaded stress over the same AB-BA pair: passes in practice because
+// the first thread usually finishes its two-lock critical section before
+// the second even starts — which is why stress tests kept the serve
+// protocols looking healthy and a model checker is needed at all.
+#[test]
+fn stress_rarely_trips_over_ab_ba() {
+    for _ in 0..50 {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a1, b1) = (Arc::clone(&a), Arc::clone(&b));
+        let t1 = std::thread::spawn(move || {
+            let _ga = a1.lock_or_recover();
+            let _gb = b1.lock_or_recover();
+        });
+        t1.join().unwrap();
+        // Sequenced after t1 to keep the stress test honest *and* hang-
+        // free: real schedulers almost never interleave the two-lock
+        // window, and when they do the test would deadlock forever.
+        let t2 = std::thread::spawn(move || {
+            let _gb = b.lock_or_recover();
+            let _ga = a.lock_or_recover();
+        });
+        t2.join().unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Fixture 2a: lost wakeup (condvar predicate checked outside the mutex)
+// ---------------------------------------------------------------------
+
+fn buggy_wait_protocol() {
+    let flag = Arc::new(AtomicBool::new(false));
+    let pair = Arc::new((Mutex::labeled("lost_wakeup.m", ()), Condvar::new()));
+    let (flag2, pair2) = (Arc::clone(&flag), Arc::clone(&pair));
+    let waiter = model::spawn(move || {
+        // BUG: the predicate is sampled before taking the mutex, and not
+        // re-checked under it — the signal can land in between.
+        if !flag2.load(Ordering::SeqCst) {
+            let (m, cv) = &*pair2;
+            let g = m.lock_or_recover();
+            let _g = cv.wait(g);
+        }
+    });
+    let signaler = model::spawn(move || {
+        flag.store(true, Ordering::SeqCst);
+        let (_m, cv) = &*pair;
+        cv.notify_all();
+    });
+    signaler.join();
+    // The waiter handle is dropped, not joined: if the wakeup is lost the
+    // waiter stays parked forever with nothing left to signal it.
+    drop(waiter);
+}
+
+#[test]
+fn model_detects_lost_wakeup_as_c006() {
+    let report = model::check(
+        ModelConfig::named("fixture.lost_wakeup"),
+        buggy_wait_protocol,
+    );
+    assert!(
+        report.findings.codes().contains(&DiagCode::ModelLostWakeup),
+        "expected C006 in {report:?}"
+    );
+    assert!(!report.is_clean());
+}
+
+// ---------------------------------------------------------------------
+// Fixture 2b: a park slot that drains before publishing
+// ---------------------------------------------------------------------
+
+type BuggyWaiter = Box<dyn FnOnce(u32) + Send>;
+
+/// The buggy variant of serve's park slot: `fulfill` takes the parked
+/// waiters *before* publishing the value, so a waiter that parks in
+/// between is never drained. The registry's real slot publishes first
+/// and drains second, exactly to close this window.
+struct BuggyParkSlot {
+    value: Mutex<Option<u32>>,
+    waiters: Mutex<Vec<BuggyWaiter>>,
+}
+
+impl BuggyParkSlot {
+    fn new() -> Self {
+        BuggyParkSlot {
+            value: Mutex::labeled("buggy_slot.value", None),
+            waiters: Mutex::labeled("buggy_slot.waiters", Vec::new()),
+        }
+    }
+
+    fn fulfill(&self, v: u32) {
+        // BUG: drain-then-publish. Anyone parking between the take and
+        // the publish is lost.
+        let ws = std::mem::take(&mut *self.waiters.lock_or_recover());
+        *self.value.lock_or_recover() = Some(v);
+        for w in ws {
+            w(v);
+        }
+    }
+
+    fn park(&self, f: BuggyWaiter) {
+        let mut ws = self.waiters.lock_or_recover();
+        let ready = *self.value.lock_or_recover();
+        match ready {
+            Some(v) => {
+                drop(ws);
+                f(v);
+            }
+            None => ws.push(f),
+        }
+    }
+}
+
+#[test]
+fn model_detects_dropped_waiter_as_c007() {
+    let report = model::check(ModelConfig::named("fixture.buggy_park"), || {
+        let slot = Arc::new(BuggyParkSlot::new());
+        let delivered = Arc::new(AtomicU32::new(0));
+        let (s2, d2) = (Arc::clone(&slot), Arc::clone(&delivered));
+        let parker = model::spawn(move || {
+            let d = Arc::clone(&d2);
+            s2.park(Box::new(move |v| {
+                assert_eq!(v, 7);
+                d.fetch_add(1, Ordering::SeqCst);
+            }));
+        });
+        let fulfiller = model::spawn(move || slot.fulfill(7));
+        parker.join();
+        fulfiller.join();
+        assert_eq!(
+            delivered.load(Ordering::SeqCst),
+            1,
+            "parked waiter was dropped without being served"
+        );
+    });
+    assert!(
+        report
+            .findings
+            .codes()
+            .contains(&DiagCode::ModelInvariantViolation),
+        "expected C007 in {report:?}"
+    );
+}
+
+// The same protocol under a threaded stress loop: passes, because the
+// racy window (between the waiter take and the value publish) is a few
+// instructions wide. This is the test suite the serve protocols had
+// before this crate — green and blind.
+#[test]
+fn stress_passes_the_buggy_park_slot() {
+    for _ in 0..50 {
+        let slot = Arc::new(BuggyParkSlot::new());
+        let delivered = Arc::new(AtomicU32::new(0));
+        let (s2, d2) = (Arc::clone(&slot), Arc::clone(&delivered));
+        let parker = std::thread::spawn(move || {
+            let d = Arc::clone(&d2);
+            s2.park(Box::new(move |v| {
+                assert_eq!(v, 7);
+                d.fetch_add(1, Ordering::SeqCst);
+            }));
+        });
+        parker.join().unwrap();
+        // Parker fully parked (or served) before fulfill starts: both
+        // orders the OS scheduler actually produces are safe.
+        let fulfiller = std::thread::spawn(move || slot.fulfill(7));
+        fulfiller.join().unwrap();
+        assert_eq!(delivered.load(Ordering::SeqCst), 1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Clean protocols: the checker must NOT cry wolf
+// ---------------------------------------------------------------------
+
+#[test]
+fn clean_wait_protocol_is_exhausted_with_zero_findings() {
+    let report = model::check(ModelConfig::named("fixture.clean_wait"), || {
+        let pair = Arc::new((Mutex::labeled("clean.m", false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let waiter = model::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut g = m.lock_or_recover();
+            while !*g {
+                g = cv.wait(g);
+            }
+        });
+        let signaler = model::spawn(move || {
+            let (m, cv) = &*pair;
+            *m.lock_or_recover() = true;
+            cv.notify_all();
+        });
+        waiter.join();
+        signaler.join();
+    });
+    assert!(report.findings.is_empty(), "{report:?}");
+    assert!(report.exhausted, "{}", report.summary());
+    assert!(report.schedules > 1, "{}", report.summary());
+}
+
+#[test]
+fn racy_read_modify_write_is_caught_as_c007() {
+    let report = model::check(ModelConfig::named("fixture.rmw"), || {
+        let n = Arc::new(Mutex::labeled("rmw.n", 0u32));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                model::spawn(move || {
+                    let v = *n.lock_or_recover();
+                    // Scheduling point between read and write: the other
+                    // thread's increment can be lost here.
+                    model::yield_now();
+                    *n.lock_or_recover() = v + 1;
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(*n.lock_or_recover(), 2, "lost update");
+    });
+    assert!(
+        report
+            .findings
+            .codes()
+            .contains(&DiagCode::ModelInvariantViolation),
+        "expected C007 in {report:?}"
+    );
+}
+
+#[test]
+fn truncated_exploration_carries_a_c008_note_and_stays_clean() {
+    let cfg = ModelConfig {
+        max_schedules: 2,
+        random_walks: 3,
+        ..ModelConfig::named("fixture.truncated")
+    };
+    let report = model::check(cfg, || {
+        let n = Arc::new(AtomicU32::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let n = Arc::clone(&n);
+                model::spawn(move || {
+                    n.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join();
+        }
+        assert_eq!(n.load(Ordering::SeqCst), 3);
+    });
+    assert!(!report.exhausted);
+    assert!(
+        report
+            .findings
+            .codes()
+            .contains(&DiagCode::ModelExplorationTruncated),
+        "expected C008 note in {report:?}"
+    );
+    // A truncation note is not a failure.
+    assert!(report.is_clean(), "{report:?}");
+    assert!(report.schedules >= 2 + 3, "{}", report.summary());
+}
+
+#[test]
+fn double_acquire_self_deadlocks_under_the_model() {
+    let report = model::check(ModelConfig::named("fixture.double_acquire"), || {
+        let m = Arc::new(Mutex::labeled("double.m", ()));
+        let g1 = m.lock_or_recover();
+        let _g2 = m.lock_or_recover();
+        drop(g1);
+    });
+    assert!(
+        report.findings.codes().contains(&DiagCode::ModelDeadlock),
+        "expected C005 in {report:?}"
+    );
+}

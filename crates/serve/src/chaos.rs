@@ -14,9 +14,10 @@
 //! are settled between the drained submission windows a deterministic
 //! replay uses.
 
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use smat_gpusim::FaultKind;
+use smat_sanitize::sync::{AtomicBool, AtomicU32};
 
 use crate::stats::ChaosStats;
 
@@ -91,6 +92,11 @@ impl RecoveryPolicy {
 /// attempts), never hedge attempts landing from another worker. With one
 /// writer, the consecutive-failure count — and hence every breaker trip —
 /// replays deterministically for a replayed trace.
+///
+/// The state is held in checked `smat-sanitize` atomics, so the
+/// single-writer transition protocol is explorable by the model checker
+/// (`tests/model_check.rs` proves a trip fires exactly once per open, and
+/// that a *multi*-writer breaker would violate that invariant).
 #[derive(Debug, Default)]
 pub struct CircuitBreaker {
     consecutive: AtomicU32,

@@ -24,6 +24,13 @@
 //!   deterministic hedged re-dispatch, and graceful degradation to the
 //!   scalar `baselines::cusparse` path — all surfaced in
 //!   [`ChaosStats`] and as `chaos`-category trace events.
+//! * concurrency verification — every lock, condvar, and protocol-bearing
+//!   atomic in this crate is a checked `smat-sanitize` primitive, so
+//!   lock-order analysis covers the engine when enabled (zero overhead
+//!   otherwise), and the core protocols ([`ParkSlot`] publish-then-drain,
+//!   warm-prepare single-producer, breaker single-writer) are verified
+//!   under exhaustive interleaving by the model tests in
+//!   `tests/model_check.rs`.
 //!
 //! Requests complete through an executor-independent future
 //! ([`ResponseFuture`]); synchronous callers use its
@@ -36,6 +43,7 @@ pub mod chaos;
 pub mod error;
 pub mod lru;
 pub mod oneshot;
+pub mod parkslot;
 pub mod plan;
 pub mod registry;
 pub mod server;
@@ -46,6 +54,7 @@ pub use chaos::{ChaosCounters, CircuitBreaker, RecoveryPolicy};
 pub use error::{RejectReason, ServeError};
 pub use lru::LruMap;
 pub use oneshot::block_on;
+pub use parkslot::ParkSlot;
 pub use plan::{Plan, PlanCache, PlanStats};
 pub use registry::{
     config_digest, AdmissionState, MatrixKey, ParkResult, PreparedMatrixRegistry, RegistryStats,

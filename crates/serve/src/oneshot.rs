@@ -9,9 +9,11 @@
 
 use std::future::Future;
 use std::pin::Pin;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::task::{Context, Poll, Wake, Waker};
 use std::thread::Thread;
+
+use smat_sanitize::sync::{Condvar, Mutex};
 
 enum State<T> {
     /// Not yet fulfilled; holds the most recent waker to notify.
@@ -31,7 +33,10 @@ struct Shared<T> {
 
 impl<T> Shared<T> {
     fn fulfill(&self, next: State<T>) {
-        let mut st = self.state.lock().unwrap();
+        // POLICY (poisoning): recover. The state machine is written with
+        // single `replace`/assign steps; no panic can leave it between
+        // states, so a poisoned flag carries no information here.
+        let mut st = self.state.lock_or_recover();
         if let State::Pending(waker) = &mut *st {
             let waker = waker.take();
             *st = next;
@@ -74,8 +79,8 @@ impl<T> Receiver<T> {
     pub fn ready(v: T) -> Self {
         Receiver {
             shared: Arc::new(Shared {
-                state: Mutex::new(State::Ready(v)),
-                cv: Condvar::new(),
+                state: Mutex::labeled("oneshot.state", State::Ready(v)),
+                cv: Condvar::labeled("oneshot.cv"),
             }),
         }
     }
@@ -83,14 +88,18 @@ impl<T> Receiver<T> {
     /// Blocks the calling thread until the value arrives (or the sender is
     /// dropped), without needing an executor.
     pub fn wait(self) -> Option<T> {
-        let mut st = self.shared.state.lock().unwrap();
+        // Lock-order check: blocking here while holding any other checked
+        // lock is a lost-wakeup hazard (C003).
+        smat_sanitize::check_park("oneshot::Receiver::wait");
+        // POLICY (poisoning): recover (see `Shared::fulfill`).
+        let mut st = self.shared.state.lock_or_recover();
         loop {
             match std::mem::replace(&mut *st, State::Taken) {
                 State::Ready(v) => return Some(v),
                 State::Closed => return None,
                 pending @ State::Pending(_) => {
                     *st = pending;
-                    st = self.shared.cv.wait(st).unwrap();
+                    st = self.shared.cv.wait(st);
                 }
                 State::Taken => unreachable!("oneshot value taken twice"),
             }
@@ -102,7 +111,8 @@ impl<T> Future for Receiver<T> {
     type Output = Option<T>;
 
     fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
-        let mut st = self.shared.state.lock().unwrap();
+        // POLICY (poisoning): recover (see `Shared::fulfill`).
+        let mut st = self.shared.state.lock_or_recover();
         match std::mem::replace(&mut *st, State::Taken) {
             State::Ready(v) => Poll::Ready(Some(v)),
             State::Closed => Poll::Ready(None),
@@ -118,8 +128,8 @@ impl<T> Future for Receiver<T> {
 /// Creates a connected sender/receiver pair.
 pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
-        state: Mutex::new(State::Pending(None)),
-        cv: Condvar::new(),
+        state: Mutex::labeled("oneshot.state", State::Pending(None)),
+        cv: Condvar::labeled("oneshot.cv"),
     });
     (
         Sender {
@@ -150,7 +160,12 @@ pub fn block_on<F: Future>(fut: F) -> F::Output {
     loop {
         match fut.as_mut().poll(&mut cx) {
             Poll::Ready(v) => return v,
-            Poll::Pending => std::thread::park(),
+            Poll::Pending => {
+                // Lock-order check: parking while holding a checked lock
+                // would stall everyone contending on it (C003).
+                smat_sanitize::check_park("oneshot::block_on");
+                std::thread::park();
+            }
         }
     }
 }

@@ -1,0 +1,256 @@
+//! The publish-then-drain park slot: the one-shot fill-in cell behind
+//! [`PreparedMatrixRegistry`](crate::registry::PreparedMatrixRegistry).
+//!
+//! A [`ParkSlot`] holds one value that is produced at most once
+//! ([`ParkSlot::fulfill`]) and consumed by callers that either observe it
+//! ready or *park* a completion closure on it ([`ParkSlot::park`]). The
+//! protocol is race-free by a publication-order argument:
+//!
+//! * the fulfiller stores the value and sets `published` (release) *before*
+//!   taking the waiter lock to drain;
+//! * a parker loads `published` (acquire) *while holding* the waiter lock.
+//!
+//! Either the parker sees the flag and runs inline, or its pushed waiter is
+//! in the list before the fulfiller's drain takes the lock — never lost.
+//! (The intentionally inverted drain-then-publish variant is a model-checker
+//! fixture in `smat-sanitize`; the model tests in `tests/model_check.rs`
+//! verify this slot under exhaustive interleaving.)
+//!
+//! Lock order: `running` and `waiters` are leaf locks — neither is ever
+//! acquired while the other (or any caller lock) is held, so the slot
+//! contributes no edges to the lock-order graph.
+//!
+//! `fulfill` is panic-safe: if `produce` unwinds, the `running` flag is
+//! reset and the next fulfiller retries, so a panicked prepare leaves the
+//! slot re-fulfillable (and its parked waiters servable) instead of wedged.
+
+use std::sync::atomic::Ordering;
+use std::sync::OnceLock;
+
+use smat_sanitize::sync::{AtomicBool, Condvar, Mutex};
+
+/// A parked completion closure, run with the published value.
+pub type Waiter<V> = Box<dyn FnOnce(V) + Send>;
+
+/// A one-shot value cell with parked-waiter draining; see the module docs
+/// for the publish-then-drain protocol.
+pub struct ParkSlot<V> {
+    /// Storage for the produced value. Readiness is signaled by
+    /// `published`, stored (release) strictly after the cell is set.
+    value: OnceLock<V>,
+    published: AtomicBool,
+    /// Whether some thread is currently running `produce`. Leaf lock.
+    running: Mutex<bool>,
+    running_cv: Condvar,
+    /// Completion closures parked until publication. Leaf lock.
+    waiters: Mutex<Vec<Waiter<V>>>,
+}
+
+/// Resets `running` (and wakes blocked fulfillers) when `produce` unwinds.
+/// Forgotten on the success path; its `Drop` runs only during a panic, and
+/// only touches the uncontended leaf `running` lock, which is safe even
+/// while unwinding inside a model execution (`unlock` never blocks there).
+struct ResetOnUnwind<'a, V> {
+    slot: &'a ParkSlot<V>,
+}
+
+impl<V> Drop for ResetOnUnwind<'_, V> {
+    fn drop(&mut self) {
+        // POLICY (poisoning): recover. `running` guards a single bool this
+        // very guard keeps consistent across unwinds; there is no torn
+        // state a poison flag could be protecting.
+        *self.slot.running.lock_or_recover() = false;
+        self.slot.running_cv.notify_all();
+    }
+}
+
+impl<V: Clone> ParkSlot<V> {
+    /// An empty, unpublished slot.
+    pub fn new() -> Self {
+        ParkSlot {
+            value: OnceLock::new(),
+            published: AtomicBool::new(false),
+            running: Mutex::labeled("parkslot.running", false),
+            running_cv: Condvar::new(),
+            waiters: Mutex::labeled("parkslot.waiters", Vec::new()),
+        }
+    }
+
+    /// Whether the value has been published.
+    pub fn is_ready(&self) -> bool {
+        self.published.load(Ordering::Acquire)
+    }
+
+    /// The published value, if ready.
+    pub fn get(&self) -> Option<V> {
+        if self.is_ready() {
+            Some(self.value.get().expect("published implies set").clone())
+        } else {
+            None
+        }
+    }
+
+    /// Ensures the slot is fulfilled and drained: runs `produce` if no
+    /// value is published and nobody else is producing, otherwise waits for
+    /// the in-flight producer; then drains every parked waiter with the
+    /// published value. Returns `true` iff *this* call ran `produce`.
+    ///
+    /// If `produce` panics, the panic propagates to this caller after the
+    /// slot is restored to a re-fulfillable state (waiters stay parked for
+    /// the next fulfiller).
+    pub fn fulfill(&self, produce: impl FnOnce() -> V) -> bool {
+        let mut ran = false;
+        if !self.is_ready() {
+            // POLICY (poisoning): recover. A producer that panicked has
+            // already reset `running` via its unwind guard, so the bool
+            // under a poisoned lock is still protocol-consistent.
+            let mut running = self.running.lock_or_recover();
+            loop {
+                if self.is_ready() {
+                    break;
+                }
+                if !*running {
+                    *running = true;
+                    drop(running);
+                    let reset = ResetOnUnwind { slot: self };
+                    let v = produce();
+                    std::mem::forget(reset);
+                    let _ = self.value.set(v);
+                    // Publish *before* draining — the fulfiller half of the
+                    // race-free parking protocol (module docs).
+                    self.published.store(true, Ordering::Release);
+                    *self.running.lock_or_recover() = false;
+                    self.running_cv.notify_all();
+                    ran = true;
+                    break;
+                }
+                running = self.running_cv.wait(running);
+            }
+        }
+        self.drain();
+        ran
+    }
+
+    /// Runs `waiter` inline if the value is published, otherwise parks it
+    /// for the fulfiller's drain. Returns `true` iff it ran inline.
+    pub fn park(&self, waiter: Waiter<V>) -> bool {
+        // POLICY (poisoning): recover. The waiter list is only ever pushed
+        // to or taken whole; a panic inside a *drained* waiter unwinds with
+        // the lock already released, so the list cannot be torn.
+        let mut waiters = self.waiters.lock_or_recover();
+        // The parker half of the protocol: load `published` while holding
+        // the waiter lock.
+        if self.is_ready() {
+            drop(waiters);
+            waiter(self.value.get().expect("published implies set").clone());
+            true
+        } else {
+            waiters.push(waiter);
+            false
+        }
+    }
+
+    /// Drains parked waiters after publication. Idempotent: the list is
+    /// taken whole, so concurrent drains split the waiters between them.
+    fn drain(&self) {
+        let parked = std::mem::take(&mut *self.waiters.lock_or_recover());
+        if parked.is_empty() {
+            return;
+        }
+        let v = self.value.get().expect("drained only after publish");
+        for w in parked {
+            w(v.clone());
+        }
+    }
+}
+
+impl<V: Clone> Default for ParkSlot<V> {
+    fn default() -> Self {
+        ParkSlot::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    use super::*;
+
+    #[test]
+    fn fulfill_publishes_once_and_reports_who_ran() {
+        let slot: ParkSlot<u32> = ParkSlot::new();
+        assert!(!slot.is_ready());
+        assert_eq!(slot.get(), None);
+        assert!(slot.fulfill(|| 7));
+        assert!(slot.is_ready());
+        assert_eq!(slot.get(), Some(7));
+        assert!(!slot.fulfill(|| panic!("must not re-produce")));
+        assert_eq!(slot.get(), Some(7));
+    }
+
+    #[test]
+    fn parked_waiters_are_drained_and_late_parkers_run_inline() {
+        let slot: ParkSlot<u32> = ParkSlot::new();
+        let seen = Arc::new(AtomicU32::new(0));
+        let s = Arc::clone(&seen);
+        assert!(!slot.park(Box::new(move |v| {
+            s.fetch_add(v, Ordering::SeqCst);
+        })));
+        assert!(slot.fulfill(|| 5));
+        assert_eq!(seen.load(Ordering::SeqCst), 5);
+        let s = Arc::clone(&seen);
+        assert!(slot.park(Box::new(move |v| {
+            s.fetch_add(v, Ordering::SeqCst);
+        })));
+        assert_eq!(seen.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn panicked_produce_leaves_the_slot_refulfillable() {
+        let slot: Arc<ParkSlot<u32>> = Arc::new(ParkSlot::new());
+        let seen = Arc::new(AtomicU32::new(0));
+        let s = Arc::clone(&seen);
+        assert!(!slot.park(Box::new(move |v| {
+            s.fetch_add(v, Ordering::SeqCst);
+        })));
+        let s2 = Arc::clone(&slot);
+        let panicked = std::thread::spawn(move || {
+            s2.fulfill(|| panic!("prepare blew up"));
+        })
+        .join();
+        assert!(panicked.is_err(), "the produce panic must propagate");
+        assert!(!slot.is_ready(), "a panicked produce publishes nothing");
+        assert_eq!(seen.load(Ordering::SeqCst), 0, "waiter still parked");
+        // The retry both produces and drains the surviving waiter.
+        assert!(slot.fulfill(|| 9));
+        assert_eq!(slot.get(), Some(9));
+        assert_eq!(seen.load(Ordering::SeqCst), 9);
+    }
+
+    #[test]
+    fn concurrent_fulfillers_agree_on_one_producer() {
+        for _ in 0..20 {
+            let slot: Arc<ParkSlot<u32>> = Arc::new(ParkSlot::new());
+            let runs = Arc::new(AtomicU32::new(0));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let (slot, runs) = (Arc::clone(&slot), Arc::clone(&runs));
+                    std::thread::spawn(move || {
+                        slot.fulfill(|| {
+                            runs.fetch_add(1, Ordering::SeqCst);
+                            42
+                        })
+                    })
+                })
+                .collect();
+            let ran: u32 = handles
+                .into_iter()
+                .map(|h| u32::from(h.join().unwrap()))
+                .sum();
+            assert_eq!(runs.load(Ordering::SeqCst), 1, "exactly one produce");
+            assert_eq!(ran, 1, "exactly one fulfiller reports having run it");
+            assert_eq!(slot.get(), Some(42));
+        }
+    }
+}

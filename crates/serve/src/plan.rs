@@ -9,7 +9,9 @@
 //! plans are refused before they occupy queue slots.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use smat_sanitize::sync::Mutex;
 
 use serde::Serialize;
 use smat::Smat;
@@ -75,7 +77,7 @@ impl PlanCache {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         PlanCache {
-            plans: Mutex::new(LruMap::new(capacity)),
+            plans: Mutex::labeled("plans.cache", LruMap::new(capacity)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -84,7 +86,10 @@ impl PlanCache {
     /// Returns the plan for (`key`, `n`), building it from the prepared
     /// handle on first use.
     pub fn get_or_build<T: Element>(&self, key: MatrixKey, n: usize, smat: &Smat<T>) -> Arc<Plan> {
-        if let Some(plan) = self.plans.lock().unwrap().get(&(key, n)) {
+        // POLICY (poisoning): recover. The LRU map only sees panic-free
+        // get/insert calls under the lock (plans are built outside it), so
+        // a poisoned flag cannot indicate a torn map.
+        if let Some(plan) = self.plans.lock_or_recover().get(&(key, n)) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Arc::clone(plan);
         }
@@ -93,8 +98,7 @@ impl PlanCache {
         // and the last insert wins.
         let plan = Arc::new(build_plan(n, smat));
         self.plans
-            .lock()
-            .unwrap()
+            .lock_or_recover()
             .insert((key, n), Arc::clone(&plan));
         plan
     }
@@ -104,7 +108,7 @@ impl PlanCache {
         PlanStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.plans.lock().unwrap().len(),
+            entries: self.plans.lock_or_recover().len(),
         }
     }
 }

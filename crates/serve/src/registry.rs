@@ -13,20 +13,26 @@
 //! immediately, and callers that need the handle either observe the typed
 //! [`AdmissionState::Preparing`] and park a completion closure
 //! ([`PreparedMatrixRegistry::get_or_park`]) or block until ready
-//! ([`PreparedMatrixRegistry::wait_ready`]). Parking is race-free: the
-//! fulfiller publishes the handle *before* draining the waiter list, and a
-//! parker checks for the published handle *while holding* the waiter lock,
-//! so a waiter is either run inline or guaranteed to be drained — never
-//! lost.
+//! ([`PreparedMatrixRegistry::wait_ready`]). Parking is race-free through
+//! the publish-then-drain protocol of [`ParkSlot`] (see
+//! [`crate::parkslot`]); that protocol is verified under exhaustive
+//! interleaving by the model tests in `tests/model_check.rs`.
+//!
+//! Every lock here is a checked `smat-sanitize` primitive, so lock-order
+//! analysis covers the registry when enabled. The registry lock
+//! (`registry.entries`) is a leaf: it is never held across a prepare, a
+//! waiter drain, or any slot lock.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::Arc;
 
 use serde::Serialize;
 use smat::{Smat, SmatConfig};
 use smat_formats::{Element, Fnv1a, MatrixFingerprint};
+use smat_sanitize::sync::Mutex;
 
 use crate::lru::LruMap;
+use crate::parkslot::ParkSlot;
 
 /// Registry key: content fingerprint of the matrix plus a digest of the
 /// preparation configuration (different block shapes or reorderings must
@@ -119,25 +125,8 @@ impl RegistryStats {
     }
 }
 
-/// A parked completion closure, run with the prepared handle.
-type Waiter<T> = Box<dyn FnOnce(Smat<T>) + Send>;
-
-/// One registry slot: the prepared handle plus its parked waiters.
-struct PrepSlot<T> {
-    cell: OnceLock<Smat<T>>,
-    waiters: Mutex<Vec<Waiter<T>>>,
-}
-
-impl<T> PrepSlot<T> {
-    fn new() -> Self {
-        PrepSlot {
-            cell: OnceLock::new(),
-            waiters: Mutex::new(Vec::new()),
-        }
-    }
-}
-
-type Slot<T> = Arc<PrepSlot<T>>;
+/// One registry slot: a publish-then-drain cell for the prepared handle.
+type Slot<T> = Arc<ParkSlot<Smat<T>>>;
 
 /// Concurrent, size-bounded LRU of prepared matrices.
 pub struct PreparedMatrixRegistry<T> {
@@ -153,25 +142,21 @@ pub struct PreparedMatrixRegistry<T> {
     warm_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
-/// Publishes `smat` into the slot (if not already set) and drains every
-/// parked waiter. The publish happens *before* the waiter lock is taken —
-/// the other half of the race-free parking protocol (see module docs).
+/// Fulfills the slot (running `prepare` only if this caller wins the
+/// producer race) and drains parked waiters. A *completed* prepare is
+/// counted before the handle is published, so any caller woken by the
+/// publication already observes it in the stats; a panicked prepare is
+/// never counted.
 fn fulfill<T: Element>(
-    slot: &PrepSlot<T>,
+    slot: &ParkSlot<Smat<T>>,
     prepares: &AtomicU64,
     prepare: impl FnOnce() -> Smat<T>,
 ) {
-    let smat = slot
-        .cell
-        .get_or_init(|| {
-            prepares.fetch_add(1, Ordering::Relaxed);
-            prepare()
-        })
-        .clone();
-    let waiters = std::mem::take(&mut *slot.waiters.lock().unwrap());
-    for w in waiters {
-        w(smat.clone());
-    }
+    slot.fulfill(|| {
+        let smat = prepare();
+        prepares.fetch_add(1, Ordering::Relaxed);
+        smat
+    });
 }
 
 impl<T: Element> PreparedMatrixRegistry<T> {
@@ -181,24 +166,28 @@ impl<T: Element> PreparedMatrixRegistry<T> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         PreparedMatrixRegistry {
-            entries: Mutex::new(LruMap::new(capacity)),
+            entries: Mutex::labeled("registry.entries", LruMap::new(capacity)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             prepares: Arc::new(AtomicU64::new(0)),
             warm_prepares: AtomicU64::new(0),
             parked: AtomicU64::new(0),
-            warm_threads: Mutex::new(Vec::new()),
+            warm_threads: Mutex::labeled("registry.warm_threads", Vec::new()),
         }
     }
 
     /// Looks up or inserts the slot for `key`, under the registry lock.
     fn slot_of(&self, key: MatrixKey) -> (Slot<T>, bool) {
-        let mut entries = self.entries.lock().unwrap();
+        // POLICY (poisoning): recover. The LRU map is only mutated through
+        // panic-free operations (lookups, insertions of already-built
+        // values); a poisoning panic can only have come from a *caller*
+        // unwinding through a counter update, never mid-mutation.
+        let mut entries = self.entries.lock_or_recover();
         if let Some(slot) = entries.get(&key) {
             (Arc::clone(slot), true)
         } else {
-            let slot: Slot<T> = Arc::new(PrepSlot::new());
+            let slot: Slot<T> = Arc::new(ParkSlot::new());
             if entries.insert(key, Arc::clone(&slot)).is_some() {
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
@@ -214,6 +203,11 @@ impl<T: Element> PreparedMatrixRegistry<T> {
     /// including "resident but still being prepared by another caller or a
     /// warm-prepare thread"). The prepare itself runs outside the registry
     /// lock, so a slow prepare never blocks lookups of other keys.
+    ///
+    /// If `prepare` panics the panic propagates, but the slot stays
+    /// admissible: the key remains [`AdmissionState::Preparing`] and the
+    /// next `get_or_prepare` (or warm fulfiller) retries the preparation
+    /// and serves any waiters parked in the meantime.
     pub fn get_or_prepare(
         &self,
         key: MatrixKey,
@@ -226,7 +220,7 @@ impl<T: Element> PreparedMatrixRegistry<T> {
             self.misses.fetch_add(1, Ordering::Relaxed);
         }
         fulfill(&slot, &self.prepares, prepare);
-        (slot.cell.get().expect("fulfilled above").clone(), hit)
+        (slot.get().expect("fulfilled above"), hit)
     }
 
     /// Starts preparing `key` on a background thread and returns
@@ -250,17 +244,20 @@ impl<T: Element> PreparedMatrixRegistry<T> {
         self.warm_prepares.fetch_add(1, Ordering::Relaxed);
         let prepares = Arc::clone(&self.prepares);
         let handle = std::thread::spawn(move || fulfill(&slot, &prepares, prepare));
-        self.warm_threads.lock().unwrap().push(handle);
+        // POLICY (poisoning): recover. The handle list is push/drain only;
+        // a panic cannot leave it torn.
+        self.warm_threads.lock_or_recover().push(handle);
         true
     }
 
     /// Readiness of `key` without preparing, bumping LRU recency, or
     /// touching the hit/miss counters.
     pub fn admission_state(&self, key: &MatrixKey) -> AdmissionState {
-        let entries = self.entries.lock().unwrap();
+        // POLICY (poisoning): recover (see `slot_of`).
+        let entries = self.entries.lock_or_recover();
         match entries.peek(key) {
             None => AdmissionState::Absent,
-            Some(slot) if slot.cell.get().is_some() => AdmissionState::Ready,
+            Some(slot) if slot.is_ready() => AdmissionState::Ready,
             Some(_) => AdmissionState::Preparing,
         }
     }
@@ -276,27 +273,23 @@ impl<T: Element> PreparedMatrixRegistry<T> {
         waiter: impl FnOnce(Smat<T>) + Send + 'static,
     ) -> ParkResult {
         let slot = {
-            let mut entries = self.entries.lock().unwrap();
+            // POLICY (poisoning): recover (see `slot_of`).
+            let mut entries = self.entries.lock_or_recover();
             entries.get(key).map(Arc::clone)
         };
         let Some(slot) = slot else {
             self.misses.fetch_add(1, Ordering::Relaxed);
             return ParkResult::Absent;
         };
-        // Check the cell while holding the waiter lock: the fulfiller sets
-        // the cell before draining, so either we see the handle here or our
-        // pushed waiter is guaranteed to be drained.
-        let mut waiters = slot.waiters.lock().unwrap();
-        if let Some(smat) = slot.cell.get() {
-            let smat = smat.clone();
-            drop(waiters);
+        // Race-free by the slot's publish-then-drain protocol: the waiter
+        // either runs inline or is guaranteed to be drained — never lost.
+        if slot.park(Box::new(waiter)) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            waiter(smat);
-            return ParkResult::Ready;
+            ParkResult::Ready
+        } else {
+            self.parked.fetch_add(1, Ordering::Relaxed);
+            ParkResult::Parked
         }
-        waiters.push(Box::new(waiter));
-        self.parked.fetch_add(1, Ordering::Relaxed);
-        ParkResult::Parked
     }
 
     /// Blocks until `key` is ready and returns its handle, or `None` if the
@@ -317,13 +310,14 @@ impl<T: Element> PreparedMatrixRegistry<T> {
     /// (use [`PreparedMatrixRegistry::get_or_park`] to attach to one).
     pub fn get(&self, key: &MatrixKey) -> Option<Smat<T>> {
         let slot = {
-            let mut entries = self.entries.lock().unwrap();
+            // POLICY (poisoning): recover (see `slot_of`).
+            let mut entries = self.entries.lock_or_recover();
             entries.get(key).map(Arc::clone)
         };
-        match slot.as_ref().and_then(|s| s.cell.get()) {
+        match slot.as_ref().and_then(|s| s.get()) {
             Some(smat) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                Some(smat.clone())
+                Some(smat)
             }
             None => {
                 self.misses.fetch_add(1, Ordering::Relaxed);
@@ -337,7 +331,8 @@ impl<T: Element> PreparedMatrixRegistry<T> {
     /// the key still completes and serves its parked waiters (they hold the
     /// slot, not the registry entry).
     pub fn invalidate(&self, key: &MatrixKey) -> bool {
-        let removed = self.entries.lock().unwrap().remove(key).is_some();
+        // POLICY (poisoning): recover (see `slot_of`).
+        let removed = self.entries.lock_or_recover().remove(key).is_some();
         if removed {
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
@@ -346,7 +341,7 @@ impl<T: Element> PreparedMatrixRegistry<T> {
 
     /// Number of resident entries.
     pub fn len(&self) -> usize {
-        self.entries.lock().unwrap().len()
+        self.entries.lock_or_recover().len()
     }
 
     /// Whether the registry is empty.
@@ -356,7 +351,7 @@ impl<T: Element> PreparedMatrixRegistry<T> {
 
     /// Counter snapshot.
     pub fn stats(&self) -> RegistryStats {
-        let entries = self.entries.lock().unwrap();
+        let entries = self.entries.lock_or_recover();
         RegistryStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
@@ -372,7 +367,10 @@ impl<T: Element> PreparedMatrixRegistry<T> {
 
 impl<T> Drop for PreparedMatrixRegistry<T> {
     fn drop(&mut self) {
-        for h in self.warm_threads.get_mut().unwrap().drain(..) {
+        // A warm thread whose prepare panicked is joined here too; its
+        // panic was already delivered (the join error is discarded) and the
+        // slot it abandoned was left re-fulfillable.
+        for h in self.warm_threads.get_mut().drain(..) {
             let _ = h.join();
         }
     }
@@ -566,6 +564,70 @@ mod tests {
         assert_eq!(reg.stats().prepares, 1);
         let b = smat_formats::Dense::from_fn(64, 8, |i, j| F16::from_f64(((i + j) % 3) as f64));
         assert_eq!(handle.spmm(&b).c, a.spmm_reference(&b));
+    }
+
+    #[test]
+    fn panicked_prepare_leaves_the_key_admissible() {
+        let cfg = SmatConfig::default();
+        let a = matrix(3);
+        let key = key_of(&a, &cfg);
+        let reg: Arc<PreparedMatrixRegistry<F16>> = Arc::new(PreparedMatrixRegistry::new(4));
+        let r2 = Arc::clone(&reg);
+        let res = std::thread::spawn(move || {
+            r2.get_or_prepare(key, || panic!("prepare blew up"));
+        })
+        .join();
+        assert!(res.is_err(), "the prepare panic must propagate");
+        // The key is resident-but-preparing, not wedged or corrupt: waiters
+        // can still park on it, and nothing was published.
+        assert_eq!(reg.admission_state(&key), AdmissionState::Preparing);
+        let seen: Arc<Mutex<Vec<Smat<F16>>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        assert_eq!(
+            reg.get_or_park(&key, move |s| sink.lock_or_recover().push(s)),
+            ParkResult::Parked
+        );
+        // The retry prepares, publishes, and drains the surviving waiter.
+        let (handle, hit) = reg.get_or_prepare(key, || Smat::prepare(&a, cfg.clone()));
+        assert!(hit, "the slot survived the panic");
+        assert_eq!(reg.admission_state(&key), AdmissionState::Ready);
+        assert_eq!(
+            reg.stats().prepares,
+            1,
+            "only the successful prepare counts"
+        );
+        let seen = seen.lock_or_recover();
+        assert_eq!(seen.len(), 1);
+        assert!(std::ptr::eq(seen[0].bcsr(), handle.bcsr()));
+    }
+
+    #[test]
+    fn panicked_warm_prepare_is_recovered_by_the_next_caller() {
+        let cfg = SmatConfig::default();
+        let a = matrix(4);
+        let key = key_of(&a, &cfg);
+        let reg: PreparedMatrixRegistry<F16> = PreparedMatrixRegistry::new(4);
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let g = Arc::clone(&gate);
+        assert!(reg.warm_prepare(key, move || {
+            g.wait();
+            panic!("warm prepare blew up");
+        }));
+        gate.wait();
+        // Possibly racing the warm thread's unwind: if its producer flag is
+        // still set we wait for the unwind guard's reset, then retry.
+        let (handle, hit) = reg.get_or_prepare(key, || Smat::prepare(&a, cfg.clone()));
+        assert!(hit);
+        assert_eq!(reg.admission_state(&key), AdmissionState::Ready);
+        let s = reg.stats();
+        assert_eq!(
+            (s.warm_prepares, s.prepares),
+            (1, 1),
+            "the panicked warm prepare is not counted as executed"
+        );
+        let b = smat_formats::Dense::from_fn(64, 8, |i, j| F16::from_f64(((i + j) % 3) as f64));
+        assert_eq!(handle.spmm(&b).c, a.spmm_reference(&b));
+        // Drop joins the panicked warm thread, discarding its panic.
     }
 
     #[test]

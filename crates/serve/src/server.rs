@@ -13,7 +13,9 @@ use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
+
+use smat_sanitize::sync::{Condvar, Mutex};
 use std::task::{Context, Poll};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -159,8 +161,8 @@ struct DeviceState<T> {
 impl<T> DeviceState<T> {
     fn new() -> Self {
         DeviceState {
-            queue: Mutex::new(VecDeque::new()),
-            cv: Condvar::new(),
+            queue: Mutex::labeled("server.device.queue", VecDeque::new()),
+            cv: Condvar::labeled("server.device.cv"),
             load_cols: AtomicUsize::new(0),
             launches: AtomicU64::new(0),
             served: AtomicU64::new(0),
@@ -261,7 +263,7 @@ impl<T: Element> Server<T> {
             column_budget: config.column_budget,
             started: Instant::now(),
             paused_ns: AtomicU64::new(0),
-            pause_began: Mutex::new(None),
+            pause_began: Mutex::labeled("server.pause_began", None),
         });
         let workers = (0..config.devices)
             .map(|idx| {
@@ -365,10 +367,13 @@ impl<T: Element> Server<T> {
         let shared = Arc::clone(&self.shared);
         let plans = Arc::clone(&self.plans);
         let queue_capacity = self.config.queue_capacity;
-        let tx_cell = Arc::new(Mutex::new(Some(tx)));
+        let tx_cell = Arc::new(Mutex::labeled("server.parked_tx", Some(tx)));
         let tx_park = Arc::clone(&tx_cell);
         match self.registry.get_or_park(&key, move |smat| {
-            let Some(tx) = tx_park.lock().unwrap().take() else {
+            // POLICY (poisoning): recover. The cell holds a `take`-once
+            // Option; either arm observing a poisoned lock still sees a
+            // consistent taken/untaken state.
+            let Some(tx) = tx_park.lock_or_recover().take() else {
                 return;
             };
             // Deferred admission runs on whichever thread fulfilled the
@@ -395,7 +400,7 @@ impl<T: Element> Server<T> {
             ParkResult::Parked => adm_span.arg("outcome", "parked"),
             ParkResult::Absent => {
                 adm_span.arg("outcome", "unknown_matrix");
-                if let Some(tx) = tx_cell.lock().unwrap().take() {
+                if let Some(tx) = tx_cell.lock_or_recover().take() {
                     tx.send(Err(ServeError::UnknownMatrix));
                 }
             }
@@ -408,7 +413,9 @@ impl<T: Element> Server<T> {
     /// makes backpressure and batch composition reproducible — tests and
     /// the trace-replay example pause, submit, then [`Server::resume`].
     pub fn pause(&self) {
-        let mut began = self.shared.pause_began.lock().unwrap();
+        // POLICY (poisoning): recover. The pause window is a single Option
+        // assignment; there is no multi-step state to tear.
+        let mut began = self.shared.pause_began.lock_or_recover();
         if began.is_none() {
             *began = Some(Instant::now());
         }
@@ -420,7 +427,7 @@ impl<T: Element> Server<T> {
     /// server was actually allowed to run.
     pub fn resume(&self) {
         {
-            let mut began = self.shared.pause_began.lock().unwrap();
+            let mut began = self.shared.pause_began.lock_or_recover();
             if let Some(t0) = began.take() {
                 self.shared
                     .paused_ns
@@ -446,7 +453,7 @@ impl<T: Element> Server<T> {
         // pauses don't deflate it.
         let paused_ms = {
             let mut p = self.shared.paused_ns.load(Ordering::Relaxed) as f64 / 1e6;
-            if let Some(t0) = *self.shared.pause_began.lock().unwrap() {
+            if let Some(t0) = *self.shared.pause_began.lock_or_recover() {
                 p += t0.elapsed().as_secs_f64() * 1e3;
             }
             p
@@ -472,7 +479,7 @@ impl<T: Element> Server<T> {
                     } else {
                         0.0
                     },
-                    queue_depth: d.queue.lock().unwrap().len(),
+                    queue_depth: d.queue.lock_or_recover().len(),
                     breaker_open: self.shared.breakers[i].is_open(),
                 }
             })
@@ -494,7 +501,7 @@ impl<T: Element> Server<T> {
             registry: self.registry.stats(),
             plans: self.plans.stats(),
             chaos: self.shared.chaos.snapshot(),
-            latency: LatencyStats::from_samples(&c.latencies.lock().unwrap()),
+            latency: LatencyStats::from_samples(&c.latencies.lock_or_recover()),
             devices,
         }
     }
@@ -600,7 +607,10 @@ fn admit_prepared<T: Element>(
     });
     for &i in &order {
         let dev = &shared.devices[i];
-        let mut q = dev.queue.lock().unwrap();
+        // POLICY (poisoning): recover. Queues hold whole `Request` values;
+        // push/pop are panic-free, so a poisoned flag can only come from a
+        // panic elsewhere in a worker's iteration, not a torn queue.
+        let mut q = dev.queue.lock_or_recover();
         if q.len() >= queue_capacity {
             continue;
         }
@@ -620,7 +630,7 @@ fn admit_prepared<T: Element>(
     let depth: usize = shared
         .devices
         .iter()
-        .map(|d| d.queue.lock().unwrap().len())
+        .map(|d| d.queue.lock_or_recover().len())
         .sum();
     shared
         .central
@@ -638,7 +648,8 @@ fn worker_loop<T: Element>(shared: &PoolShared<T>, idx: usize) {
     let dev = &shared.devices[idx];
     loop {
         let batch = {
-            let mut q = dev.queue.lock().unwrap();
+            // POLICY (poisoning): recover (see `admit_prepared`).
+            let mut q = dev.queue.lock_or_recover();
             loop {
                 let shutting_down = shared.shutdown.load(Ordering::Acquire);
                 if q.is_empty() {
@@ -648,7 +659,7 @@ fn worker_loop<T: Element>(shared: &PoolShared<T>, idx: usize) {
                 } else if shutting_down || !shared.paused.load(Ordering::Acquire) {
                     break;
                 }
-                q = dev.cv.wait(q).unwrap();
+                q = dev.cv.wait(q);
             }
             take_batch(
                 &mut q,
@@ -963,7 +974,9 @@ fn execute_batch<T: Element>(
                 central
                     .completed
                     .fetch_add(n_live as u64, Ordering::Relaxed);
-                let mut latencies = central.latencies.lock().unwrap();
+                // POLICY (poisoning): recover. The sample vector is append-
+                // only; a panic between pushes loses nothing.
+                let mut latencies = central.latencies.lock_or_recover();
                 for (r, c) in live.into_iter().zip(out.cs) {
                     let wall_ms = r.enq.elapsed().as_secs_f64() * 1e3;
                     latencies.push(wall_ms);

@@ -1,0 +1,211 @@
+//! Deterministic model checking of the serving protocols.
+//!
+//! These tests run the three protocol cores of `smat-serve` under the
+//! `smat-sanitize` interleaving model checker:
+//!
+//! 1. the [`ParkSlot`] publish-then-drain parking protocol (the heart of
+//!    `get_or_park` / `wait_ready`),
+//! 2. the warm-prepare single-producer invariant (a foreground
+//!    `get_or_prepare` attaching to an in-flight warm prepare never
+//!    duplicates the prepare),
+//! 3. the circuit breaker's single-writer transition sequence.
+//!
+//! Each clean protocol must be explored exhaustively within the preemption
+//! bound, or cap-bounded with the cap logged through the `C008` truncation
+//! note. The final test is the counterexample: it hands the breaker a
+//! *second* writer and the checker finds the schedule on which the
+//! trip disappears — the reason the server keeps breakers single-writer.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use smat_sanitize::sync::AtomicU32;
+use smat_sanitize::{model, DiagCode, DiagnosticsExt, ModelConfig, ModelReport};
+use smat_serve::{CircuitBreaker, ParkSlot};
+
+/// Asserts the protocol came back clean: zero error-severity findings, and
+/// either the bounded space was exhausted or the truncation cap was logged
+/// via the C008 note (whose message states the budget).
+fn assert_clean(report: &ModelReport) {
+    println!("{}", report.summary());
+    assert!(report.is_clean(), "{report:?}");
+    assert!(report.findings.iter().all(|d| !d.is_error()), "{report:?}");
+    if !report.exhausted {
+        assert!(
+            report
+                .findings
+                .codes()
+                .contains(&DiagCode::ModelExplorationTruncated),
+            "truncated exploration must carry the C008 cap note: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn park_slot_publish_then_drain_is_race_free_under_the_model() {
+    // Three threads over the full slot need more than the default DFS
+    // budget to exhaust the preemption-bounded space.
+    let cfg = ModelConfig {
+        max_schedules: 40_000,
+        ..ModelConfig::named("serve.parkslot")
+    };
+    let report = model::check(cfg, || {
+        let slot: Arc<ParkSlot<u32>> = Arc::new(ParkSlot::new());
+        let runs = Arc::new(AtomicU32::new(0));
+        let delivered = Arc::new(AtomicU32::new(0));
+        let (s1, r1) = (Arc::clone(&slot), Arc::clone(&runs));
+        let f1 = model::spawn(move || {
+            s1.fulfill(|| {
+                r1.fetch_add(1, Ordering::SeqCst);
+                7
+            })
+        });
+        let (s2, r2) = (Arc::clone(&slot), Arc::clone(&runs));
+        let f2 = model::spawn(move || {
+            s2.fulfill(|| {
+                r2.fetch_add(1, Ordering::SeqCst);
+                7
+            })
+        });
+        let (s3, d3) = (Arc::clone(&slot), Arc::clone(&delivered));
+        let parker = model::spawn(move || {
+            let d = Arc::clone(&d3);
+            s3.park(Box::new(move |v| {
+                assert_eq!(v, 7, "waiter saw an unpublished value");
+                d.fetch_add(1, Ordering::SeqCst);
+            }));
+        });
+        let ran1 = f1.join();
+        let ran2 = f2.join();
+        parker.join();
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "exactly one produce runs");
+        assert_eq!(
+            u32::from(ran1) + u32::from(ran2),
+            1,
+            "exactly one fulfiller reports having produced"
+        );
+        assert_eq!(
+            delivered.load(Ordering::SeqCst),
+            1,
+            "the parked waiter is served exactly once, never lost"
+        );
+        assert_eq!(slot.get(), Some(7));
+    });
+    assert_clean(&report);
+    assert!(report.schedules > 1, "{}", report.summary());
+}
+
+#[test]
+fn warm_prepare_attach_never_duplicates_the_prepare_under_the_model() {
+    let report = model::check(ModelConfig::named("serve.warm_prepare"), || {
+        let slot: Arc<ParkSlot<u32>> = Arc::new(ParkSlot::new());
+        let runs = Arc::new(AtomicU32::new(0));
+        // The background warm-prepare fulfiller.
+        let (s1, r1) = (Arc::clone(&slot), Arc::clone(&runs));
+        let warm = model::spawn(move || {
+            s1.fulfill(|| {
+                r1.fetch_add(1, Ordering::SeqCst);
+                11
+            });
+        });
+        // A foreground get_or_prepare racing it: it must either win the
+        // producer race or attach and wait — never run a second prepare
+        // after the first published.
+        let (s2, r2) = (Arc::clone(&slot), Arc::clone(&runs));
+        let attach = model::spawn(move || {
+            s2.fulfill(|| {
+                r2.fetch_add(1, Ordering::SeqCst);
+                11
+            });
+            s2.get().expect("fulfill implies published")
+        });
+        warm.join();
+        assert_eq!(attach.join(), 11);
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            1,
+            "warm + foreground prepare must collapse to one execution"
+        );
+    });
+    assert_clean(&report);
+}
+
+#[test]
+fn breaker_single_writer_trips_once_per_open_under_the_model() {
+    let report = model::check(ModelConfig::named("serve.breaker"), || {
+        let breaker = Arc::new(CircuitBreaker::new());
+        let (b, trips, closes) = (
+            Arc::clone(&breaker),
+            Arc::new(AtomicU32::new(0)),
+            Arc::new(AtomicU32::new(0)),
+        );
+        let (t, c) = (Arc::clone(&trips), Arc::clone(&closes));
+        // The owning device's worker: the only writer, exactly as the
+        // server wires it (hedge outcomes never touch a foreign breaker).
+        let writer = model::spawn(move || {
+            for _ in 0..3 {
+                if b.record_failure(2) {
+                    t.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+            if b.record_success() {
+                c.fetch_add(1, Ordering::SeqCst);
+            }
+            for _ in 0..2 {
+                if b.record_failure(2) {
+                    t.fetch_add(1, Ordering::SeqCst);
+                }
+            }
+        });
+        // Concurrent dispatch-side readers must not perturb the writer's
+        // transition sequence, under any schedule.
+        let b2 = Arc::clone(&breaker);
+        let reader = model::spawn(move || {
+            let _ = b2.is_open();
+            let _ = b2.is_open();
+        });
+        writer.join();
+        reader.join();
+        assert!(breaker.is_open(), "final failure streak leaves it open");
+        assert_eq!(
+            trips.load(Ordering::SeqCst),
+            2,
+            "exactly one trip per open period"
+        );
+        assert_eq!(closes.load(Ordering::SeqCst), 1, "one close per success");
+    });
+    assert_clean(&report);
+}
+
+#[test]
+fn a_second_breaker_writer_is_schedule_dependent_and_the_model_proves_it() {
+    // The counterexample behind the single-writer rule: let a hedge lane
+    // record its success on the home breaker and there is a schedule where
+    // the success lands *between* two home failures, resetting the
+    // consecutive count — the trip silently disappears, and with it the
+    // replay determinism of `breaker_trips`.
+    let report = model::check(ModelConfig::named("serve.breaker_two_writers"), || {
+        let breaker = Arc::new(CircuitBreaker::new());
+        let home = Arc::clone(&breaker);
+        let w1 = model::spawn(move || {
+            let t1 = home.record_failure(2);
+            let t2 = home.record_failure(2);
+            u32::from(t1) + u32::from(t2)
+        });
+        let hedge = Arc::clone(&breaker);
+        let w2 = model::spawn(move || {
+            let _ = hedge.record_success();
+        });
+        let trips = w1.join();
+        w2.join();
+        assert_eq!(trips, 1, "two consecutive failures must trip the breaker");
+    });
+    assert!(
+        report
+            .findings
+            .codes()
+            .contains(&DiagCode::ModelInvariantViolation),
+        "expected the checker to find the lost-trip schedule: {report:?}"
+    );
+    assert!(!report.is_clean());
+}

@@ -10,7 +10,11 @@
 //! cargo run --release --example serve
 //! cargo run --release --example serve -- --requests 512 --matrices 6 --devices 4
 //! cargo run --release --example serve -- --seed 7 --window 16 --budget 128
+//! cargo run --release --example serve -- --warm-prepare --sanitize
 //! ```
+//!
+//! `--sanitize` runs both replays under the `smat-sanitize` lock-order
+//! engine and fails the run (exit 1) on any concurrency finding.
 //!
 //! Stdout is a single JSON record (trace spec, verification verdicts, the
 //! deterministic end-state summary, and the full `ServerStats` snapshot of
@@ -51,6 +55,9 @@ struct Args {
     /// Prepare matrices on background threads (`Server::warm_prepare`)
     /// instead of the synchronous `register` barrier.
     warm_prepare: bool,
+    /// Run both replays under the `smat-sanitize` lock-order engine and
+    /// fail the run on any concurrency finding (C-codes).
+    sanitize: bool,
 }
 
 impl Default for Args {
@@ -68,6 +75,7 @@ impl Default for Args {
             fault_rate: 0.1,
             reorder: None,
             warm_prepare: false,
+            sanitize: false,
         }
     }
 }
@@ -98,7 +106,7 @@ fn usage() -> ExitCode {
         "usage: serve [--requests N] [--matrices M] [--devices D] [--seed S]\n\
          \u{20}            [--window W] [--budget COLS] [--size DIM] [--trace PATH]\n\
          \u{20}            [--chaos-seed S] [--fault-rate R] [--reorder NAME]\n\
-         \u{20}            [--warm-prepare]"
+         \u{20}            [--warm-prepare] [--sanitize]"
     );
     ExitCode::from(2)
 }
@@ -131,6 +139,7 @@ fn parse_args() -> Result<Args, String> {
                     Some(parse_reorder(&name).ok_or_else(|| format!("unknown reordering {name}"))?);
             }
             "--warm-prepare" => args.warm_prepare = true,
+            "--sanitize" => args.sanitize = true,
             "--fault-rate" => {
                 args.fault_rate = it
                     .next()
@@ -363,6 +372,16 @@ fn main() -> ExitCode {
         );
     }
 
+    // Lock-order smoke: record every checked-lock acquisition across both
+    // replays (and the warm-prepare threads they spawn) and analyze the
+    // accumulated graph at the end. The serving protocols must come back
+    // with zero C-codes.
+    if args.sanitize {
+        smat_repro::sanitize::reset();
+        smat_repro::sanitize::enable();
+        eprintln!("sanitize: lock-order recording enabled");
+    }
+
     // Trace only the first replay: the recorder is process-global, so the
     // second (determinism-check) replay would otherwise interleave its
     // spans with the first run's timeline.
@@ -420,6 +439,19 @@ fn main() -> ExitCode {
         eprintln!("run 2: {:?}", second.summary);
     }
 
+    let sanitize_findings = if args.sanitize {
+        smat_repro::sanitize::disable();
+        let findings = smat_repro::sanitize::report();
+        if findings.is_empty() {
+            eprintln!("sanitize: lock-order graph clean across both replays (0 findings)");
+        } else {
+            eprint!("{}", smat_repro::analyze::render_human(&findings));
+        }
+        Some(findings)
+    } else {
+        None
+    };
+
     let record = serde_json::json!({
         "example": "serve",
         "spec": spec,
@@ -436,12 +468,20 @@ fn main() -> ExitCode {
         "fault_rate": args.fault_rate,
         "registry_hit_rate": first.stats.registry.hit_rate(),
         "runs_identical": runs_identical,
+        "sanitize_enabled": args.sanitize,
+        "sanitize_findings": sanitize_findings.as_ref().map_or(0, Vec::len),
+        "sanitize_codes": sanitize_findings
+            .as_ref()
+            .map_or_else(Vec::new, |f| {
+                f.iter().map(|d| d.code.as_str()).collect::<Vec<_>>()
+            }),
         "deterministic": first.summary,
         "stats": first.stats,
     });
     println!("{record}");
 
-    if first.mismatches == 0 && runs_identical {
+    let sanitize_clean = sanitize_findings.as_ref().is_none_or(Vec::is_empty);
+    if first.mismatches == 0 && runs_identical && sanitize_clean {
         ExitCode::SUCCESS
     } else {
         ExitCode::from(1)

@@ -72,6 +72,30 @@ print(f"chaos smoke OK: {chaos['faults_injected']} faults "
       f"{chaos['degraded_completions']} degraded — all responses correct")
 PY
 
+echo "==> sanitize: raw std::sync primitives are banned in crates/serve"
+# Every lock/condvar in the serving engine must be a checked smat-sanitize
+# primitive so the lock-order engine and the model checker see it. The shim
+# lives in crates/sanitize/src/sync.rs; OnceLock, Barrier, and std atomics
+# without protocol roles stay allowed.
+if grep -rnE 'std::sync::(Mutex|RwLock|Condvar)' crates/serve/src; then
+    echo "error: raw std::sync lock in crates/serve — use smat_sanitize::sync" >&2
+    exit 1
+fi
+
+echo "==> sanitize: model checker must pass the serve protocols and fail the fixtures"
+cargo test -q -p smat-sanitize --test model_fixtures
+cargo test -q -p smat-serve --test model_check
+
+echo "==> sanitize: lock-order smoke over the serving engine (zero C-codes)"
+sanitize_json="$(./target/release/examples/serve --requests 96 --warm-prepare --sanitize 2>/dev/null)"
+python3 - "$sanitize_json" <<'PY'
+import json, sys
+rec = json.loads(sys.argv[1])
+assert rec["sanitize_enabled"] is True
+assert rec["sanitize_findings"] == 0, f"C-codes fired: {rec['sanitize_codes']}"
+print("sanitize smoke OK: lock-order graph clean across both replays")
+PY
+
 echo "==> prepare-path smoke: parallel BCSR bitwise-identical, LSH quality in tolerance"
 cargo build -q --release --example prepare_perf
 ./target/release/examples/prepare_perf --smoke

@@ -12,17 +12,58 @@
 //! several threads without unsafe code.
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// The rayon-style prelude: `use rayon::prelude::*`.
 pub mod prelude {
     pub use crate::IntoParallelIterator;
 }
 
+/// Programmatic thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// `RAYON_NUM_THREADS` parsed once at first parallel call (like rayon's
+/// global pool, which reads it when the pool is built).
+fn env_num_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(0)
+    })
+}
+
+/// Overrides the worker-thread count for subsequent parallel calls
+/// (`0` restores the default). Mirrors `RAYON_NUM_THREADS`, but — unlike
+/// the env var, which is read once — may be changed at any time, which is
+/// what the thread-count determinism tests use to sweep 1/2/8 workers
+/// inside one process.
+pub fn set_num_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The worker-thread count parallel calls will use: the
+/// [`set_num_threads`] override if set, else `RAYON_NUM_THREADS` if set
+/// and parseable, else `std::thread::available_parallelism()`.
+pub fn current_num_threads() -> usize {
+    let over = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if over > 0 {
+        return over;
+    }
+    let env = env_num_threads();
+    if env > 0 {
+        return env;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
 /// Number of worker chunks for an input of length `n`.
 fn chunk_plan(n: usize) -> Option<(usize, usize)> {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let threads = current_num_threads();
     if n < 2 || threads < 2 {
         return None;
     }
@@ -201,6 +242,18 @@ mod tests {
         let v: Vec<usize> = src.into_par_iter().map(|i| i * 3).collect();
         assert_eq!(v.len(), 997);
         assert!(v.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn thread_override_wins_and_zero_restores_the_default() {
+        // No other test in this crate touches the override, so the global
+        // is safe to probe here even under the parallel test runner.
+        crate::set_num_threads(3);
+        assert_eq!(crate::current_num_threads(), 3);
+        let v: Vec<usize> = (0..100).into_par_iter().map(|i| i + 1).collect();
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i + 1));
+        crate::set_num_threads(0);
+        assert!(crate::current_num_threads() >= 1);
     }
 
     #[test]

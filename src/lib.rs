@@ -22,7 +22,11 @@
 //!   registry, plan cache, request batcher, device-pool scheduler);
 //! * [`trace`] — the structured tracing/metrics layer (dual-clock span
 //!   recorder, Chrome Trace export, summary tables) threaded through the
-//!   pipeline, simulator, and serving engine.
+//!   pipeline, simulator, and serving engine;
+//! * [`sanitize`] — the concurrency verification layer: checked sync
+//!   primitives feeding a lockdep-style lock-order analysis, plus a
+//!   deterministic interleaving model checker the serving protocols are
+//!   proved against (C001–C008 diagnostics).
 //!
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
@@ -50,6 +54,7 @@ pub use smat_diag as diag;
 pub use smat_formats as formats;
 pub use smat_gpusim as gpusim;
 pub use smat_reorder as reorder;
+pub use smat_sanitize as sanitize;
 pub use smat_serve as serve;
 pub use smat_trace as trace;
 pub use smat_workloads as workloads;

@@ -1,0 +1,66 @@
+//! Thread-count determinism of the parallel prepare pipeline.
+//!
+//! The parallel BCSR conversion and the LSH Jaccard reordering both fan
+//! work out over the rayon shim. Their contract is that the worker count
+//! is a pure *throughput* knob: the produced structures must be bitwise
+//! identical whether the pool runs 1, 2, or 8 threads (the shim chunks
+//! inputs contiguously and concatenates per-chunk outputs in index order,
+//! and the LSH bucket construction is a sequential row scan downstream of
+//! the data-parallel signature pass). This is what makes
+//! `RAYON_NUM_THREADS` safe to vary between a trace capture and its
+//! replay.
+//!
+//! The whole sweep lives in one test function because the thread-count
+//! override is process-global state.
+
+use smat_repro::formats::{Bcsr, Csr, Permutation, F16};
+use smat_repro::reorder::{jaccard_lsh_row_permutation, JaccardLshParams};
+
+/// A mid-sized power-law matrix: enough rows to split into many chunks,
+/// heavy columns to exercise the LSH bucket pruning.
+fn matrix() -> Csr<F16> {
+    smat_repro::workloads::rmat::<F16>(9, 6_000, 7)
+}
+
+fn bcsr_at(threads: usize, a: &Csr<F16>) -> Bcsr<F16> {
+    rayon::set_num_threads(threads);
+    let b = Bcsr::from_csr_parallel(a, 16, 16);
+    rayon::set_num_threads(0);
+    b
+}
+
+fn lsh_at(threads: usize, a: &Csr<F16>, params: &JaccardLshParams) -> Permutation {
+    rayon::set_num_threads(threads);
+    let p = jaccard_lsh_row_permutation(a, params);
+    rayon::set_num_threads(0);
+    p
+}
+
+#[test]
+fn parallel_prepare_is_bitwise_identical_at_1_2_and_8_threads() {
+    let a = matrix();
+    assert!(a.nnz() > 1_000, "generator sanity: nnz = {}", a.nnz());
+
+    let bcsr1 = bcsr_at(1, &a);
+    for threads in [2, 8] {
+        let b = bcsr_at(threads, &a);
+        assert_eq!(
+            b, bcsr1,
+            "Bcsr::from_csr_parallel diverged at {threads} threads"
+        );
+    }
+
+    let params = JaccardLshParams::default();
+    let perm1 = lsh_at(1, &a, &params);
+    for threads in [2, 8] {
+        let p = lsh_at(threads, &a, &params);
+        assert_eq!(
+            p, perm1,
+            "jaccard_lsh_row_permutation diverged at {threads} threads"
+        );
+    }
+
+    // The single-thread run equals the plain sequential conversion, so the
+    // whole family collapses to one canonical result.
+    assert_eq!(bcsr1, Bcsr::from_csr(&a, 16, 16));
+}
