@@ -8,6 +8,7 @@ use smat::{Smat, SmatConfig};
 use smat_formats::{Csr, F16};
 use smat_gpusim::FaultConfig;
 use smat_serve::{RecoveryPolicy, Server, ServerConfig};
+use smat_shard::estimated_csr_bytes;
 use smat_workloads::{dense_b, random_uniform};
 
 fn bench_serve_overhead(c: &mut Criterion) {
@@ -54,6 +55,28 @@ fn bench_serve_overhead(c: &mut Criterion) {
                 .submit(chaos_key, b.clone())
                 .wait()
                 .expect("recovery served");
+            std::hint::black_box(resp)
+        });
+    });
+
+    // The fan-out tax: the same request against the same matrix, but
+    // registered under a shard budget that splits it three ways across a
+    // three-device pool. The delta over `submit_wait` prices the two-level
+    // scheduler — partition lookup, three sub-request enqueues, and the
+    // join's row concatenation — per sharded request.
+    let shard_a: Csr<F16> = random_uniform(384, 128, 0.9, 42);
+    let sharded: Server<F16> = Server::new(ServerConfig {
+        devices: 3,
+        shard_max_bytes: Some(estimated_csr_bytes(&shard_a).div_ceil(3)),
+        ..ServerConfig::default()
+    });
+    let shard_key = sharded.register(&shard_a);
+    group.bench_function("submit_wait_sharded_x3", |bch| {
+        bch.iter(|| {
+            let resp = sharded
+                .submit(shard_key, b.clone())
+                .wait()
+                .expect("sharded served");
             std::hint::black_box(resp)
         });
     });

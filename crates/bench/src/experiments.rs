@@ -1069,6 +1069,7 @@ pub fn run_serve(cfg: &HarnessConfig) -> Vec<Value> {
         widths: vec![8, 16, 32],
         zipf_s: 1.0,
         seed: 42,
+        large_matrices: 0,
     };
     let trace = serve_trace(&spec);
     let matrices: Vec<Csr<F16>> = (0..n_matrices)

@@ -91,6 +91,17 @@ impl PrepareTimings {
     pub fn stages_ms(&self) -> f64 {
         self.reorder_ms + self.pack_ms + self.convert_ms
     }
+
+    /// Adds another breakdown stage-by-stage. The sharded prepare path uses
+    /// this to report pool-level `T_init` as the sum over per-shard
+    /// prepares (shards prepare sequentially, so the sum is the wall
+    /// clock).
+    pub fn accumulate(&mut self, other: &PrepareTimings) {
+        self.reorder_ms += other.reorder_ms;
+        self.pack_ms += other.pack_ms;
+        self.convert_ms += other.convert_ms;
+        self.total_ms += other.total_ms;
+    }
 }
 
 /// Result of one SpMM execution.

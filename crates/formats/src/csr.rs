@@ -321,6 +321,33 @@ impl<T: Element> Csr<T> {
     pub fn row_nnz_histogram(&self) -> Vec<usize> {
         (0..self.nrows).map(|i| self.row_nnz(i)).collect()
     }
+
+    /// Copies the row range `[start, end)` into a standalone CSR matrix
+    /// with the same column space.
+    ///
+    /// This is the row-range view the 1D shard partitioner cuts on: each
+    /// shard keeps every nonzero of the rows it owns, so `A·B` restricted
+    /// to those rows equals the slice's product with the same `B` — the
+    /// sharded join is a pure row concatenation.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end > nrows`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Csr<T> {
+        assert!(
+            start <= end && end <= self.nrows,
+            "row slice [{start}, {end}) out of bounds for {} rows",
+            self.nrows
+        );
+        let base = self.row_ptr[start];
+        let stop = self.row_ptr[end];
+        Csr {
+            nrows: end - start,
+            ncols: self.ncols,
+            row_ptr: self.row_ptr[start..=end].iter().map(|p| p - base).collect(),
+            col_idx: self.col_idx[base..stop].to_vec(),
+            values: self.values[base..stop].to_vec(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -427,6 +454,40 @@ mod tests {
         let m = sample();
         let b = Dense::<f32>::zeros(2, 2);
         let _ = m.spmm_reference(&b);
+    }
+
+    #[test]
+    fn slice_rows_matches_row_ranges() {
+        let m = sample();
+        let top = m.slice_rows(0, 2);
+        assert_eq!(top.nrows(), 2);
+        assert_eq!(top.ncols(), 3);
+        assert_eq!(top.nnz(), 2);
+        assert_eq!(top.row_cols(0), m.row_cols(0));
+        assert_eq!(top.row_values(0), m.row_values(0));
+        assert_eq!(top.row_nnz(1), 0);
+        let bottom = m.slice_rows(2, 3);
+        assert_eq!(bottom.row_cols(0), m.row_cols(2));
+        assert_eq!(bottom.row_values(0), m.row_values(2));
+        let empty = m.slice_rows(1, 1);
+        assert_eq!(empty.nrows(), 0);
+        assert_eq!(empty.nnz(), 0);
+    }
+
+    #[test]
+    fn slice_rows_product_matches_full_product_rows() {
+        let m = sample();
+        let b = Dense::from_fn(3, 2, |i, j| (i * 2 + j + 1) as f32);
+        let full = m.spmm_reference(&b);
+        let part = m.slice_rows(1, 3).spmm_reference(&b);
+        assert_eq!(part.row(0), full.row(1));
+        assert_eq!(part.row(1), full.row(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_rows_validates_bounds() {
+        let _ = sample().slice_rows(1, 4);
     }
 
     #[test]

@@ -247,6 +247,55 @@ impl<T: Element> Dense<T> {
         out
     }
 
+    /// Vertically concatenates panels that share a column count:
+    /// `vconcat([C1, C2, C3])` stacks the panels top to bottom.
+    ///
+    /// This is how the sharded executor joins partial results: each shard
+    /// computes the rows it owns and the join is a pure row-major buffer
+    /// append, so the concatenation is bitwise — no arithmetic happens.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or the column counts disagree.
+    pub fn vconcat(parts: &[&Dense<T>]) -> Dense<T> {
+        assert!(!parts.is_empty(), "vconcat of zero panels");
+        let ncols = parts[0].ncols;
+        let mut nrows = 0;
+        let mut data = Vec::with_capacity(parts.iter().map(|p| p.data.len()).sum());
+        for p in parts {
+            assert_eq!(p.ncols, ncols, "vconcat panels must share column count");
+            nrows += p.nrows;
+            data.extend_from_slice(&p.data);
+        }
+        Dense { nrows, ncols, data }
+    }
+
+    /// Splits the matrix into row panels of the given heights — the inverse
+    /// of [`Dense::vconcat`]: `split_rows(&[h1, h2])` returns the first `h1`
+    /// rows and the next `h2` rows as separate matrices.
+    ///
+    /// # Panics
+    /// Panics if the heights do not sum to `nrows`.
+    pub fn split_rows(&self, heights: &[usize]) -> Vec<Dense<T>> {
+        assert_eq!(
+            heights.iter().sum::<usize>(),
+            self.nrows,
+            "split heights must sum to the row count {}",
+            self.nrows
+        );
+        let mut out = Vec::with_capacity(heights.len());
+        let mut at = 0;
+        for &h in heights {
+            let data = self.data[at * self.ncols..(at + h) * self.ncols].to_vec();
+            out.push(Dense {
+                nrows: h,
+                ncols: self.ncols,
+                data,
+            });
+            at += h;
+        }
+        out
+    }
+
     /// Converts element type (through `f64`).
     pub fn cast<U: Element>(&self) -> Dense<U> {
         Dense {
@@ -349,6 +398,43 @@ mod tests {
     fn split_cols_validates_widths() {
         let m = Dense::<f32>::zeros(2, 3);
         let _ = m.split_cols(&[2, 2]);
+    }
+
+    #[test]
+    fn vconcat_then_split_rows_roundtrips() {
+        let c1 = Dense::<f32>::from_fn(2, 3, |i, j| (10 * i + j) as f32);
+        let c2 = Dense::<f32>::from_fn(4, 3, |i, j| (100 * i + j) as f32);
+        let c3 = Dense::<f32>::from_fn(1, 3, |_, j| j as f32);
+        let tall = Dense::vconcat(&[&c1, &c2, &c3]);
+        assert_eq!(tall.shape(), (7, 3));
+        assert_eq!(tall.row(1), c1.row(1));
+        assert_eq!(tall.row(5), c2.row(3));
+        assert_eq!(tall.row(6), c3.row(0));
+        let parts = tall.split_rows(&[2, 4, 1]);
+        assert_eq!(parts, vec![c1, c2, c3]);
+    }
+
+    #[test]
+    fn split_rows_allows_zero_height_panels() {
+        let m = Dense::<f32>::from_fn(3, 2, |i, j| (i + j) as f32);
+        let parts = m.split_rows(&[0, 3]);
+        assert_eq!(parts[0].shape(), (0, 2));
+        assert_eq!(parts[1], m);
+    }
+
+    #[test]
+    #[should_panic(expected = "share column count")]
+    fn vconcat_rejects_mismatched_cols() {
+        let a = Dense::<f32>::zeros(1, 2);
+        let b = Dense::<f32>::zeros(1, 3);
+        let _ = Dense::vconcat(&[&a, &b]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must sum to the row count")]
+    fn split_rows_validates_heights() {
+        let m = Dense::<f32>::zeros(3, 2);
+        let _ = m.split_rows(&[2, 2]);
     }
 
     #[test]

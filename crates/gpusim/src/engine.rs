@@ -355,6 +355,16 @@ impl Gpu {
         self
     }
 
+    /// A pool of `n` identically configured devices with pool-index trace
+    /// identities: device `i` traces to device track `i` and draws device-
+    /// `i` fault schedules. This is the multi-device substrate the sharded
+    /// executor and the serving tier fan out over.
+    pub fn pool(cfg: DeviceConfig, n: usize) -> Vec<Gpu> {
+        (0..n)
+            .map(|i| Gpu::new(cfg.clone()).with_trace_device(i))
+            .collect()
+    }
+
     /// Attaches a fault plan: subsequent launches consult it and may fail
     /// with [`SimError::FaultInjected`] (builder style).
     pub fn with_fault_plan(mut self, plan: Arc<FaultPlan>) -> Self {

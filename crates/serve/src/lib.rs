@@ -18,6 +18,14 @@
 //! * [`batch`] — same-matrix requests are coalesced into one wide launch
 //!   (bitwise identical to per-request execution) to amortize the
 //!   per-launch constant.
+//! * sharding — a two-level scheduler for matrices too big for one
+//!   device: registration under [`ServerConfig::shard_max_bytes`]
+//!   partitions the operand into nnz-balanced row shards (`smat-shard`),
+//!   each prepared under its own fingerprint; a submission against the
+//!   parent key fans out one sub-request per shard through the ordinary
+//!   device-level dispatch and a checked join ([`FanoutJoin`])
+//!   row-concatenates the partial products — bitwise identical to
+//!   unsharded execution, with per-shard recovery under chaos.
 //! * [`chaos`] — fault survival over the seeded fault-injection layer of
 //!   `smat-gpusim`: bounded retry with seeded-jitter backoff, per-device
 //!   circuit breakers that eject flapping devices from dispatch,
@@ -47,6 +55,7 @@ pub mod parkslot;
 pub mod plan;
 pub mod registry;
 pub mod server;
+mod sharded;
 pub mod stats;
 
 pub use batch::{spmm_batched, spmm_scalar_fallback, take_batch};
@@ -60,5 +69,6 @@ pub use registry::{
     config_digest, AdmissionState, MatrixKey, ParkResult, PreparedMatrixRegistry, RegistryStats,
 };
 pub use server::{ResponseFuture, ServeResponse, Server, ServerConfig};
+pub use smat_shard::{FanoutJoin, ShardPlan, ShardPolicy};
 pub use smat_trace::TraceHandle;
 pub use stats::{ChaosStats, DeviceStats, LatencyStats, ServerStats};

@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 use smat::{Smat, SmatConfig};
 use smat_formats::{Csr, Dense, Element, MatrixFingerprint};
 use smat_gpusim::{compose_key, FaultConfig, FaultPlan, Gpu, SimError};
+use smat_shard::{partition, FanoutJoin, ShardPlan};
 
 use crate::batch::{spmm_batched, spmm_scalar_fallback, take_batch};
 use crate::chaos::{ChaosCounters, CircuitBreaker, RecoveryPolicy};
@@ -30,6 +31,7 @@ use crate::error::{RejectReason, ServeError};
 use crate::oneshot::{self, Receiver};
 use crate::plan::PlanCache;
 use crate::registry::{MatrixKey, ParkResult, PreparedMatrixRegistry};
+use crate::sharded::{fulfill_entry, shard_policy, ShardTable, ShardedEntry};
 use crate::stats::{DeviceStats, LatencyStats, ServerStats};
 
 /// Serving engine parameters.
@@ -62,6 +64,14 @@ pub struct ServerConfig {
     /// Retry/hedge/breaker/degradation parameters (active only when faults
     /// actually occur; a fault-free run never enters the recovery ladder).
     pub recovery: RecoveryPolicy,
+    /// Shard byte budget for registered matrices. `Some(n)` with `n > 0`
+    /// partitions any matrix whose estimated CSR footprint exceeds `n`
+    /// into nnz-balanced row shards, each prepared and cached
+    /// independently; submissions against the parent key fan out across
+    /// the pool and the per-shard products are row-concatenated (bitwise
+    /// identical to unsharded execution). `None` (the default) and
+    /// `Some(0)` disable sharding.
+    pub shard_max_bytes: Option<usize>,
 }
 
 impl Default for ServerConfig {
@@ -76,6 +86,7 @@ impl Default for ServerConfig {
             default_deadline: None,
             chaos: None,
             recovery: RecoveryPolicy::default(),
+            shard_max_bytes: None,
         }
     }
 }
@@ -128,6 +139,43 @@ impl<T> Future for ResponseFuture<T> {
     }
 }
 
+/// Where a request's terminal result goes: straight to the submitter, or
+/// into the join of a sharded fan-out.
+///
+/// The distinction also gates the pool-level request counters
+/// (`submitted`, `completed`, the `rejected_*` family, `failed`,
+/// latencies): a fanned-out request counts **once**, at the parent level —
+/// sub-requests only feed the per-device `dispatched`/`completed` pair and
+/// the batching counters, so `submitted`/`completed` keep meaning
+/// "requests the caller sees" whether or not sharding is on.
+enum Responder<T> {
+    /// An unsharded request: resolve the submitter's future directly.
+    Direct(oneshot::Sender<Result<ServeResponse<T>, ServeError>>),
+    /// One shard of a fan-out: deliver into the join (idempotent per
+    /// shard; the join resolves the parent once every shard landed).
+    Shard {
+        join: Arc<FanoutJoin<Result<ServeResponse<T>, ServeError>>>,
+        shard: usize,
+    },
+}
+
+impl<T: Send> Responder<T> {
+    /// Delivers the terminal result.
+    fn send(self, result: Result<ServeResponse<T>, ServeError>) {
+        match self {
+            Responder::Direct(tx) => tx.send(result),
+            Responder::Shard { join, shard } => {
+                join.complete(shard, result);
+            }
+        }
+    }
+
+    /// Whether this request owns the pool-level request counters.
+    fn is_direct(&self) -> bool {
+        matches!(self, Responder::Direct(_))
+    }
+}
+
 /// One in-queue request.
 struct Request<T> {
     key: MatrixKey,
@@ -138,7 +186,7 @@ struct Request<T> {
     /// Monotone per-server submission id — the request's identity on trace
     /// timelines (batch membership, lifecycle spans).
     seq: u64,
-    tx: oneshot::Sender<Result<ServeResponse<T>, ServeError>>,
+    responder: Responder<T>,
 }
 
 /// Per-device state shared between the submitter and one worker.
@@ -148,6 +196,11 @@ struct DeviceState<T> {
     /// Outstanding B columns (queued + in flight) — the load metric of
     /// least-loaded dispatch.
     load_cols: AtomicUsize,
+    /// Requests (direct and shard sub-requests) enqueued to this device.
+    dispatched: AtomicU64,
+    /// Terminal responses delivered by this device's worker. At quiescence
+    /// `dispatched == completed`, or a request was lost.
+    completed: AtomicU64,
     launches: AtomicU64,
     served: AtomicU64,
     cols: AtomicU64,
@@ -164,6 +217,8 @@ impl<T> DeviceState<T> {
             queue: Mutex::labeled("server.device.queue", VecDeque::new()),
             cv: Condvar::labeled("server.device.cv"),
             load_cols: AtomicUsize::new(0),
+            dispatched: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
             launches: AtomicU64::new(0),
             served: AtomicU64::new(0),
             cols: AtomicU64::new(0),
@@ -185,6 +240,10 @@ struct Central {
     batches: AtomicU64,
     batched_requests: AtomicU64,
     max_batch: AtomicU64,
+    /// Sharded parent requests fanned out by the matrix-level scheduler.
+    fanouts: AtomicU64,
+    /// Per-shard sub-requests those fan-outs emitted.
+    shard_subrequests: AtomicU64,
     /// Trace identity source: every submission (accepted or not) draws a
     /// seq. Not exported in stats — the `submitted` counter keeps its
     /// accepted-only semantics.
@@ -223,6 +282,9 @@ pub struct Server<T: Element> {
     shared: Arc<PoolShared<T>>,
     registry: Arc<PreparedMatrixRegistry<T>>,
     plans: Arc<PlanCache>,
+    /// Matrix-level scheduler state: parent keys that were registered as
+    /// sharded, each with its partition plan and pinned shard handles.
+    sharded: ShardTable<T>,
     config: ServerConfig,
     workers: Vec<JoinHandle<()>>,
 }
@@ -278,6 +340,7 @@ impl<T: Element> Server<T> {
             shared,
             registry: Arc::new(PreparedMatrixRegistry::new(config.registry_capacity)),
             plans: Arc::new(PlanCache::new(config.plan_capacity)),
+            sharded: ShardTable::new(),
             config,
             workers,
         }
@@ -288,8 +351,22 @@ impl<T: Element> Server<T> {
     /// the key for [`Server::submit`]. Duplicate registrations of the same
     /// matrix are registry hits and cost one fingerprint pass, not a
     /// prepare.
+    ///
+    /// When [`ServerConfig::shard_max_bytes`] is set and the matrix
+    /// exceeds the budget, it is partitioned instead: each shard is
+    /// prepared under its own fingerprint (deduplicated through the same
+    /// registry) and submissions against the returned key fan out across
+    /// the pool.
     pub fn register(&self, a: &Csr<T>) -> MatrixKey {
         let key = MatrixKey::new(MatrixFingerprint::of_csr(a), &self.config.smat);
+        if let Some(policy) = shard_policy(self.config.shard_max_bytes) {
+            let plan = partition(a, &policy);
+            if plan.is_sharded() {
+                let slot = self.sharded.slot(key);
+                fulfill_entry(&slot, &self.registry, a, plan, &self.config.smat);
+                return key;
+            }
+        }
         let cfg = self.config.smat.clone();
         self.registry.get_or_prepare(key, || Smat::prepare(a, cfg));
         key
@@ -303,11 +380,36 @@ impl<T: Element> Server<T> {
     /// an equal matrix is already resident or already being prepared.
     pub fn warm_prepare(&self, a: &Csr<T>) -> MatrixKey {
         let key = MatrixKey::new(MatrixFingerprint::of_csr(a), &self.config.smat);
+        if let Some(policy) = shard_policy(self.config.shard_max_bytes) {
+            let plan = partition(a, &policy);
+            if plan.is_sharded() {
+                let slot = self.sharded.slot(key);
+                if !slot.is_ready() {
+                    let registry = Arc::clone(&self.registry);
+                    let cfg = self.config.smat.clone();
+                    let a = a.clone();
+                    let handle = std::thread::Builder::new()
+                        .name("smat-serve-shard-warm".into())
+                        .spawn(move || {
+                            fulfill_entry(&slot, &registry, &a, plan, &cfg);
+                        })
+                        .expect("spawn shard warm thread");
+                    self.sharded.push_warm(handle);
+                }
+                return key;
+            }
+        }
         let cfg = self.config.smat.clone();
         let a = a.clone();
         self.registry
             .warm_prepare(key, move || Smat::prepare(&a, cfg));
         key
+    }
+
+    /// The partition plan behind `key`, if it was registered as sharded
+    /// and its shards have finished preparing.
+    pub fn shard_plan(&self, key: &MatrixKey) -> Option<Arc<ShardPlan>> {
+        self.sharded.plan(key)
     }
 
     /// Submits `C = A·B` for the registered matrix `key` with the
@@ -343,6 +445,38 @@ impl<T: Element> Server<T> {
         // in-flight preparation counts against the request's budget.
         let now = Instant::now();
         let deadline = deadline.map(|d| now + d);
+        // Sharded keys are resolved by the matrix-level scheduler, never
+        // the registry directly (a parent key has no registry entry, and a
+        // probe there would count a spurious miss). If the shard entry is
+        // still preparing, the fan-out parks on it exactly like unsharded
+        // submissions park on a warm prepare.
+        if let Some(slot) = self.sharded.lookup(&key) {
+            let shared = Arc::clone(&self.shared);
+            let plans = Arc::clone(&self.plans);
+            let queue_capacity = self.config.queue_capacity;
+            let inline = slot.park(Box::new(move |entry: ShardedEntry<T>| {
+                fan_out(
+                    &shared,
+                    &plans,
+                    queue_capacity,
+                    &entry,
+                    b,
+                    deadline,
+                    now,
+                    seq,
+                    tx,
+                );
+            }));
+            adm_span.arg(
+                "outcome",
+                if inline {
+                    "fanned_out"
+                } else {
+                    "parked_sharded"
+                },
+            );
+            return fut;
+        }
         if let Some(smat) = self.registry.get(&key) {
             admit_prepared(
                 &self.shared,
@@ -354,7 +488,7 @@ impl<T: Element> Server<T> {
                 deadline,
                 now,
                 seq,
-                tx,
+                Responder::Direct(tx),
                 &mut adm_span,
             );
             return fut;
@@ -391,7 +525,7 @@ impl<T: Element> Server<T> {
                 deadline,
                 now,
                 seq,
-                tx,
+                Responder::Direct(tx),
                 &mut span,
             );
         }) {
@@ -469,6 +603,8 @@ impl<T: Element> Server<T> {
                 let busy_ms = d.busy_ns.load(Ordering::Relaxed) as f64 / 1e6;
                 DeviceStats {
                     device: i,
+                    dispatched: d.dispatched.load(Ordering::Relaxed),
+                    completed: d.completed.load(Ordering::Relaxed),
                     launches: d.launches.load(Ordering::Relaxed),
                     served: d.served.load(Ordering::Relaxed),
                     cols: d.cols.load(Ordering::Relaxed),
@@ -496,6 +632,8 @@ impl<T: Element> Server<T> {
             batches: c.batches.load(Ordering::Relaxed),
             batched_requests: c.batched_requests.load(Ordering::Relaxed),
             max_batch: c.max_batch.load(Ordering::Relaxed),
+            fanout_requests: c.fanouts.load(Ordering::Relaxed),
+            shard_subrequests: c.shard_subrequests.load(Ordering::Relaxed),
             queue_depth: devices.iter().map(|d| d.queue_depth).sum(),
             sim_ms_total: devices.iter().map(|d| d.sim_ms).sum(),
             registry: self.registry.stats(),
@@ -521,6 +659,9 @@ impl<T: Element> Server<T> {
     /// Stops accepting work, drains every queue, and joins the workers.
     /// Called automatically on drop.
     pub fn shutdown(&mut self) {
+        // Background shard prepares first: their parked submissions fan out
+        // on the warm thread and land in queues before the drain begins.
+        self.sharded.join_warm();
         self.shared.shutdown.store(true, Ordering::Release);
         for dev in &self.shared.devices {
             dev.cv.notify_all();
@@ -537,11 +678,14 @@ impl<T: Element> Drop for Server<T> {
     }
 }
 
-/// Admission tail shared by the inline and parked submit paths: shape
-/// check, plan pre-flight, least-loaded enqueue, typed backpressure. Runs
-/// on the submitting thread when the prepared handle is resident, and on
-/// the preparing thread for requests that parked on a warm prepare. Every
-/// rejection resolves the request's sender directly.
+/// Admission tail shared by the inline, parked, and fan-out submit paths:
+/// shape check, plan pre-flight, least-loaded enqueue, typed backpressure.
+/// Runs on the submitting thread when the prepared handle is resident, and
+/// on the preparing thread for requests that parked on a warm prepare.
+/// Every rejection resolves the request's responder directly. Pool-level
+/// request counters fire only for [`Responder::Direct`] requests; shard
+/// sub-requests count once at the parent (see [`fan_out`]). Returns
+/// whether the request reached a queue.
 #[allow(clippy::too_many_arguments)]
 fn admit_prepared<T: Element>(
     shared: &PoolShared<T>,
@@ -553,35 +697,37 @@ fn admit_prepared<T: Element>(
     deadline: Option<Instant>,
     enq: Instant,
     seq: u64,
-    tx: oneshot::Sender<Result<ServeResponse<T>, ServeError>>,
+    responder: Responder<T>,
     adm_span: &mut smat_trace::SpanGuard,
-) {
+) -> bool {
     // Re-checked here because deferred admission may run after shutdown
     // began; workers ignore their queues once the drain completes.
     if shared.shutdown.load(Ordering::Acquire) {
         adm_span.arg("outcome", "shutdown");
-        tx.send(Err(ServeError::ShutDown));
-        return;
+        responder.send(Err(ServeError::ShutDown));
+        return false;
     }
     if b.nrows() != smat.input_ncols() {
         adm_span.arg("outcome", "shape_mismatch");
-        tx.send(Err(ServeError::ShapeMismatch {
+        responder.send(Err(ServeError::ShapeMismatch {
             expected_rows: smat.input_ncols(),
             got_rows: b.nrows(),
         }));
-        return;
+        return false;
     }
     let plan = plans.get_or_build(key, b.ncols(), &smat);
     if !plan.admissible {
-        shared
-            .central
-            .rejected_preflight
-            .fetch_add(1, Ordering::Relaxed);
+        if responder.is_direct() {
+            shared
+                .central
+                .rejected_preflight
+                .fetch_add(1, Ordering::Relaxed);
+        }
         adm_span.arg("outcome", "preflight_rejected");
-        tx.send(Err(ServeError::Rejected(RejectReason::Preflight {
+        responder.send(Err(ServeError::Rejected(RejectReason::Preflight {
             diagnostics: plan.diagnostics.as_ref().clone(),
         })));
-        return;
+        return false;
     }
 
     // Least-loaded dispatch: try devices by outstanding column count.
@@ -596,6 +742,7 @@ fn admit_prepared<T: Element>(
         )
     });
     let ncols = b.ncols();
+    let direct = responder.is_direct();
     let mut request = Some(Request {
         key,
         smat,
@@ -603,7 +750,7 @@ fn admit_prepared<T: Element>(
         deadline,
         enq,
         seq,
-        tx,
+        responder,
     });
     for &i in &order {
         let dev = &shared.devices[i];
@@ -617,31 +764,206 @@ fn admit_prepared<T: Element>(
         q.push_back(request.take().expect("request still in hand"));
         drop(q);
         dev.load_cols.fetch_add(ncols, Ordering::Relaxed);
-        shared.central.submitted.fetch_add(1, Ordering::Relaxed);
+        dev.dispatched.fetch_add(1, Ordering::Relaxed);
+        if direct {
+            shared.central.submitted.fetch_add(1, Ordering::Relaxed);
+        }
         dev.cv.notify_one();
         adm_span.arg("outcome", "enqueued");
         adm_span.arg("device", i as u64);
-        return;
+        return true;
     }
-    // Every queue at capacity: backpressure. Reclaim the sender from the
-    // unenqueued request so the caller gets the typed rejection rather
+    // Every queue at capacity: backpressure. Reclaim the responder from
+    // the unenqueued request so the caller gets the typed rejection rather
     // than the sender-drop ShutDown.
-    let Request { tx, .. } = request.take().expect("request still in hand");
+    let Request { responder, .. } = request.take().expect("request still in hand");
     let depth: usize = shared
         .devices
         .iter()
         .map(|d| d.queue.lock_or_recover().len())
         .sum();
-    shared
-        .central
-        .rejected_queue_full
-        .fetch_add(1, Ordering::Relaxed);
+    if responder.is_direct() {
+        shared
+            .central
+            .rejected_queue_full
+            .fetch_add(1, Ordering::Relaxed);
+    }
     adm_span.arg("outcome", "queue_full");
     let capacity = queue_capacity * shared.devices.len();
-    tx.send(Err(ServeError::Rejected(RejectReason::QueueFull {
+    responder.send(Err(ServeError::Rejected(RejectReason::QueueFull {
         depth,
         capacity,
     })));
+    false
+}
+
+/// The matrix-level half of the two-level scheduler: turns one submission
+/// against a sharded key into per-shard sub-requests placed by the
+/// ordinary least-loaded device dispatch, joined by a [`FanoutJoin`].
+///
+/// Admission is all-or-nothing *before* any queue slot is taken: shutdown,
+/// shape, and every shard's plan pre-flight are checked up front, so a
+/// rejected fan-out never leaves orphan sub-requests behind. After that,
+/// individual shards can still bounce on `QueueFull` or expire on
+/// deadline; those errors flow into the join and the parent resolves with
+/// the first failure in shard order (deterministic for a fixed trace).
+/// The parent counts once in `submitted` iff every sub-request enqueued.
+#[allow(clippy::too_many_arguments)]
+fn fan_out<T: Element>(
+    shared: &Arc<PoolShared<T>>,
+    plans: &Arc<PlanCache>,
+    queue_capacity: usize,
+    entry: &ShardedEntry<T>,
+    b: Dense<T>,
+    deadline: Option<Instant>,
+    enq: Instant,
+    parent_seq: u64,
+    tx: oneshot::Sender<Result<ServeResponse<T>, ServeError>>,
+) {
+    let mut span = smat_trace::span("fanout", "serve");
+    span.arg("seq", parent_seq);
+    span.arg("shards", entry.plan.nshards() as u64);
+    if shared.shutdown.load(Ordering::Acquire) {
+        span.arg("outcome", "shutdown");
+        tx.send(Err(ServeError::ShutDown));
+        return;
+    }
+    if b.nrows() != entry.plan.ncols {
+        span.arg("outcome", "shape_mismatch");
+        tx.send(Err(ServeError::ShapeMismatch {
+            expected_rows: entry.plan.ncols,
+            got_rows: b.nrows(),
+        }));
+        return;
+    }
+    for (i, smat) in entry.smats.iter().enumerate() {
+        let plan = plans.get_or_build(entry.keys[i], b.ncols(), smat);
+        if !plan.admissible {
+            shared
+                .central
+                .rejected_preflight
+                .fetch_add(1, Ordering::Relaxed);
+            span.arg("outcome", "preflight_rejected");
+            span.arg("shard", i as u64);
+            tx.send(Err(ServeError::Rejected(RejectReason::Preflight {
+                diagnostics: plan.diagnostics.as_ref().clone(),
+            })));
+            return;
+        }
+    }
+
+    let n = entry.plan.nshards();
+    shared.central.fanouts.fetch_add(1, Ordering::Relaxed);
+    shared
+        .central
+        .shard_subrequests
+        .fetch_add(n as u64, Ordering::Relaxed);
+    span.arg("outcome", "dispatched");
+    drop(span);
+    let join = make_join(shared, n, enq, parent_seq, tx);
+    // Sub-requests enqueue in shard order, drawing fresh seqs; least-
+    // loaded dispatch then spreads them round-robin from an idle pool
+    // (each enqueue bumps the chosen device's load before the next sort).
+    let mut all_enqueued = true;
+    for (i, smat) in entry.smats.iter().enumerate() {
+        let sub_seq = shared.central.next_seq.fetch_add(1, Ordering::Relaxed);
+        let mut sub_span = smat_trace::span("admission", "serve");
+        sub_span.arg("seq", sub_seq);
+        sub_span.arg("parent", parent_seq);
+        sub_span.arg("shard", i as u64);
+        all_enqueued &= admit_prepared(
+            shared,
+            plans,
+            queue_capacity,
+            entry.keys[i],
+            smat.clone(),
+            b.clone(),
+            deadline,
+            enq,
+            sub_seq,
+            Responder::Shard {
+                join: Arc::clone(&join),
+                shard: i,
+            },
+            &mut sub_span,
+        );
+    }
+    if all_enqueued {
+        shared.central.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Builds the join for one fan-out: the callback runs on whichever worker
+/// delivers the last shard, row-concatenates the partial products in shard
+/// order, settles the parent-level counters the sub-requests skipped, and
+/// resolves the submitter's future.
+fn make_join<T: Element>(
+    shared: &Arc<PoolShared<T>>,
+    n: usize,
+    enq: Instant,
+    parent_seq: u64,
+    tx: oneshot::Sender<Result<ServeResponse<T>, ServeError>>,
+) -> Arc<FanoutJoin<Result<ServeResponse<T>, ServeError>>> {
+    let shared = Arc::clone(shared);
+    Arc::new(FanoutJoin::new(
+        n,
+        Box::new(move |parts| {
+            let central = &shared.central;
+            let mut responses = Vec::with_capacity(parts.len());
+            for part in parts {
+                match part {
+                    Ok(r) => responses.push(r),
+                    Err(e) => {
+                        // First failure in shard order fails the parent,
+                        // with the request-level counter its sub-request
+                        // deliberately skipped.
+                        match &e {
+                            ServeError::Rejected(RejectReason::QueueFull { .. }) => {
+                                central.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+                            }
+                            ServeError::Rejected(RejectReason::Deadline { .. }) => {
+                                central.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                            }
+                            ServeError::Rejected(RejectReason::Preflight { .. }) => {
+                                central.rejected_preflight.fetch_add(1, Ordering::Relaxed);
+                            }
+                            ServeError::Sim(_) => {
+                                central.failed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            _ => {}
+                        }
+                        tx.send(Err(e));
+                        return;
+                    }
+                }
+            }
+            // Exactness: shard products are whole-row slices of the
+            // unsharded product, so concatenation in shard order *is* the
+            // unsharded result, bitwise (see smat-shard's crate docs).
+            let c = Dense::vconcat(&responses.iter().map(|r| &r.c).collect::<Vec<_>>());
+            let wall_ms = enq.elapsed().as_secs_f64() * 1e3;
+            let resp = ServeResponse {
+                c,
+                device: responses[0].device,
+                batched_with: responses.iter().map(|r| r.batched_with).max().unwrap_or(1),
+                batch_cols: responses.iter().map(|r| r.batch_cols).max().unwrap_or(0),
+                sim_ms: responses.iter().map(|r| r.sim_ms).sum(),
+                wall_ms,
+                degraded: responses.iter().any(|r| r.degraded),
+                attempts: responses.iter().map(|r| r.attempts).max().unwrap_or(1),
+            };
+            central.completed.fetch_add(1, Ordering::Relaxed);
+            // POLICY (poisoning): recover. Append-only sample vector.
+            central.latencies.lock_or_recover().push(wall_ms);
+            smat_trace::complete_from(
+                "join",
+                "serve",
+                enq,
+                vec![("seq", parent_seq.into()), ("shards", (n as u64).into())],
+            );
+            tx.send(Ok(resp));
+        }),
+    ))
 }
 
 fn worker_loop<T: Element>(shared: &PoolShared<T>, idx: usize) {
@@ -903,14 +1225,18 @@ fn execute_batch<T: Element>(
     let expired_cols: usize = expired.iter().map(|r| r.b.ncols()).sum();
     dev.load_cols.fetch_sub(expired_cols, Ordering::Relaxed);
     for r in expired {
-        central.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+        if r.responder.is_direct() {
+            central.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+        }
         let late_ms = now
             .duration_since(r.deadline.expect("expired"))
             .as_secs_f64()
             * 1e3;
-        r.tx.send(Err(ServeError::Rejected(RejectReason::Deadline {
-            late_ms,
-        })));
+        dev.completed.fetch_add(1, Ordering::Relaxed);
+        r.responder
+            .send(Err(ServeError::Rejected(RejectReason::Deadline {
+                late_ms,
+            })));
     }
 
     if !live.is_empty() {
@@ -971,22 +1297,40 @@ fn execute_batch<T: Element>(
                 central
                     .max_batch
                     .fetch_max(n_live as u64, Ordering::Relaxed);
-                central
-                    .completed
-                    .fetch_add(n_live as u64, Ordering::Relaxed);
-                // POLICY (poisoning): recover. The sample vector is append-
-                // only; a panic between pushes loses nothing.
-                let mut latencies = central.latencies.lock_or_recover();
-                for (r, c) in live.into_iter().zip(out.cs) {
-                    let wall_ms = r.enq.elapsed().as_secs_f64() * 1e3;
-                    latencies.push(wall_ms);
+                // `completed` counts requests the caller sees: shard
+                // sub-results settle the parent's count in the join.
+                let n_direct = live.iter().filter(|r| r.responder.is_direct()).count() as u64;
+                central.completed.fetch_add(n_direct, Ordering::Relaxed);
+                // Latency samples land before any response is sent: a shard
+                // responder finishing a fan-out runs the join callback
+                // inline, which takes this same lock for the parent sample.
+                let stamped: Vec<(Request<T>, Dense<T>, f64)> = live
+                    .into_iter()
+                    .zip(out.cs)
+                    .map(|(r, c)| {
+                        let wall_ms = r.enq.elapsed().as_secs_f64() * 1e3;
+                        (r, c, wall_ms)
+                    })
+                    .collect();
+                {
+                    // POLICY (poisoning): recover. The sample vector is
+                    // append-only; a panic between pushes loses nothing.
+                    let mut latencies = central.latencies.lock_or_recover();
+                    for (r, _, wall_ms) in &stamped {
+                        if r.responder.is_direct() {
+                            latencies.push(*wall_ms);
+                        }
+                    }
+                }
+                for (r, c, wall_ms) in stamped {
                     smat_trace::complete_from(
                         "complete",
                         "serve",
                         r.enq,
                         vec![("seq", r.seq.into()), ("device", (out.exec as u64).into())],
                     );
-                    r.tx.send(Ok(ServeResponse {
+                    dev.completed.fetch_add(1, Ordering::Relaxed);
+                    r.responder.send(Ok(ServeResponse {
                         c,
                         device: out.exec,
                         batched_with: n_live,
@@ -1000,8 +1344,11 @@ fn execute_batch<T: Element>(
             }
             Err(e) => {
                 for r in live {
-                    central.failed.fetch_add(1, Ordering::Relaxed);
-                    r.tx.send(Err(ServeError::Sim(e.clone())));
+                    if r.responder.is_direct() {
+                        central.failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    dev.completed.fetch_add(1, Ordering::Relaxed);
+                    r.responder.send(Err(ServeError::Sim(e.clone())));
                 }
             }
         }

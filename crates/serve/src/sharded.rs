@@ -1,0 +1,161 @@
+//! Shard-aware serving state: the matrix-level half of the two-level
+//! scheduler.
+//!
+//! When a registered matrix exceeds the configured shard byte budget
+//! ([`crate::ServerConfig::shard_max_bytes`]), it never becomes a single
+//! registry entry. Instead the [`ShardTable`] holds, per *parent* key, a
+//! [`ParkSlot`] publishing a [`ShardedEntry`]: the partition plan plus one
+//! prepared handle per shard, each of which went through the ordinary
+//! registry (`get_or_prepare`) under its own shard fingerprint and
+//! therefore owns its own plan-cache line. Submissions for the parent key
+//! either observe the entry ready and fan out inline, or park on the slot
+//! exactly like unsharded requests park on a warm prepare — never
+//! blocking, never duplicating a prepare.
+//!
+//! The prepared shard handles are pinned inside the entry, so LRU eviction
+//! of shard keys from the registry can never invalidate an in-flight
+//! fan-out.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use smat::{Smat, SmatConfig};
+use smat_formats::{Csr, Element, MatrixFingerprint};
+use smat_sanitize::sync::Mutex;
+use smat_shard::{ShardPlan, ShardPolicy};
+
+use crate::parkslot::ParkSlot;
+use crate::registry::{MatrixKey, PreparedMatrixRegistry};
+
+/// A sharded matrix resident in the serving tier: the plan plus every
+/// shard's registry key and prepared handle, in shard order.
+pub(crate) struct ShardedEntry<T> {
+    /// The partition (row ranges, nnz, byte estimates).
+    pub plan: Arc<ShardPlan>,
+    /// Per-shard registry keys (shard fingerprint + config digest).
+    pub keys: Arc<Vec<MatrixKey>>,
+    /// Per-shard prepared handles, pinned for the entry's lifetime.
+    pub smats: Arc<Vec<Smat<T>>>,
+}
+
+impl<T> Clone for ShardedEntry<T> {
+    fn clone(&self) -> Self {
+        ShardedEntry {
+            plan: Arc::clone(&self.plan),
+            keys: Arc::clone(&self.keys),
+            smats: Arc::clone(&self.smats),
+        }
+    }
+}
+
+/// Parent-key → sharded-entry slots, plus the background warm threads
+/// preparing them.
+pub(crate) struct ShardTable<T> {
+    /// Leaf lock: held only to clone a slot `Arc` in or out.
+    slots: Mutex<HashMap<MatrixKey, Arc<ParkSlot<ShardedEntry<T>>>>>,
+    /// Background shard-prepare threads, joined on drop.
+    warm: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl<T: Element> ShardTable<T> {
+    pub fn new() -> Self {
+        ShardTable {
+            slots: Mutex::labeled("server.shard.slots", HashMap::new()),
+            warm: Mutex::labeled("server.shard.warm", Vec::new()),
+        }
+    }
+
+    /// The slot for `key` if one exists (i.e. the key was registered as
+    /// sharded). Never inserts: the submit path must not grow the table
+    /// for unsharded keys.
+    pub fn lookup(&self, key: &MatrixKey) -> Option<Arc<ParkSlot<ShardedEntry<T>>>> {
+        // POLICY (poisoning): recover. The map is insert/lookup only.
+        self.slots.lock_or_recover().get(key).map(Arc::clone)
+    }
+
+    /// The slot for `key`, inserting an empty one if absent (registration
+    /// path).
+    pub fn slot(&self, key: MatrixKey) -> Arc<ParkSlot<ShardedEntry<T>>> {
+        // POLICY (poisoning): recover (see `lookup`).
+        Arc::clone(
+            self.slots
+                .lock_or_recover()
+                .entry(key)
+                .or_insert_with(|| Arc::new(ParkSlot::new())),
+        )
+    }
+
+    /// The published plan for `key`, if the entry is ready.
+    pub fn plan(&self, key: &MatrixKey) -> Option<Arc<ShardPlan>> {
+        self.lookup(key)
+            .and_then(|slot| slot.get())
+            .map(|entry| entry.plan)
+    }
+
+    /// Records a background shard-prepare thread for joining.
+    pub fn push_warm(&self, handle: JoinHandle<()>) {
+        // POLICY (poisoning): recover. Push/drain only.
+        self.warm.lock_or_recover().push(handle);
+    }
+
+    /// Joins every background shard-prepare thread (idempotent).
+    pub fn join_warm(&self) {
+        let handles = std::mem::take(&mut *self.warm.lock_or_recover());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<T> Drop for ShardTable<T> {
+    fn drop(&mut self) {
+        for h in std::mem::take(self.warm.get_mut()) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The active shard policy, if the configuration enables sharding.
+/// `Some(0)` is treated as disabled (mirrors the example's `0 = off` CLI
+/// convention).
+pub(crate) fn shard_policy(shard_max_bytes: Option<usize>) -> Option<ShardPolicy> {
+    match shard_max_bytes {
+        Some(max_bytes) if max_bytes > 0 => Some(ShardPolicy { max_bytes }),
+        _ => None,
+    }
+}
+
+/// Prepares every shard of `a` through the registry and publishes the
+/// entry on `slot`. Runs at most one producer per slot (duplicate
+/// registrations are no-ops beyond the partition pass); each shard's
+/// prepare deduplicates through the registry, so a shard shared with an
+/// earlier registration is a registry hit, not a second prepare. Returns
+/// `true` iff this call ran the preparation.
+pub(crate) fn fulfill_entry<T: Element>(
+    slot: &ParkSlot<ShardedEntry<T>>,
+    registry: &PreparedMatrixRegistry<T>,
+    a: &Csr<T>,
+    plan: ShardPlan,
+    cfg: &SmatConfig,
+) -> bool {
+    slot.fulfill(|| {
+        let plan = Arc::new(plan);
+        let mut keys = Vec::with_capacity(plan.nshards());
+        let mut smats = Vec::with_capacity(plan.nshards());
+        for d in &plan.shards {
+            let shard_csr = a.slice_rows(d.row_start, d.row_end);
+            let key = MatrixKey::new(MatrixFingerprint::of_csr(&shard_csr), cfg);
+            let prep_cfg = cfg.clone();
+            let (smat, _hit) =
+                registry.get_or_prepare(key, move || Smat::prepare(&shard_csr, prep_cfg));
+            keys.push(key);
+            smats.push(smat);
+        }
+        ShardedEntry {
+            plan,
+            keys: Arc::new(keys),
+            smats: Arc::new(smats),
+        }
+    })
+}

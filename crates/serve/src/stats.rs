@@ -78,6 +78,13 @@ pub struct DeviceStats {
     /// toward zero even while every device was saturated whenever it was
     /// allowed to run.
     pub occupancy: f64,
+    /// Requests (direct and per-shard sub-requests alike) the matrix-level
+    /// scheduler enqueued to this device.
+    pub dispatched: u64,
+    /// Terminal responses this device's worker delivered for dispatched
+    /// requests — success, failure, or deadline expiry. At quiescence
+    /// `dispatched == completed` on every device, or a request was lost.
+    pub completed: u64,
     /// Requests waiting in this device's queue right now.
     pub queue_depth: usize,
     /// Whether this device's circuit breaker is currently open (the device
@@ -159,6 +166,12 @@ pub struct ServerStats {
     pub batched_requests: u64,
     /// Largest batch observed, in requests.
     pub max_batch: u64,
+    /// Sharded requests fanned out across the pool by the matrix-level
+    /// scheduler (each counts once in `submitted`/`completed`).
+    pub fanout_requests: u64,
+    /// Per-shard sub-requests those fan-outs emitted (not counted in
+    /// `submitted`; they surface per-device in [`DeviceStats::dispatched`]).
+    pub shard_subrequests: u64,
     /// Total requests waiting across all queues right now.
     pub queue_depth: usize,
     /// Total simulated kernel milliseconds across the pool.

@@ -1,0 +1,185 @@
+//! Per-shard prepare and the cooperative multi-device executor.
+
+use std::sync::Arc;
+
+use smat::{PrepareTimings, Smat, SmatConfig};
+use smat_formats::{Csr, Dense, Element};
+use smat_gpusim::{Gpu, SimError};
+
+use crate::partition::{partition, ShardPlan, ShardPolicy};
+
+/// A matrix prepared shard-by-shard: each shard ran the full pipeline
+/// (reorder → pack → BCSR) independently and carries its own fingerprint
+/// and preflight cache, exactly as if it were a standalone matrix.
+///
+/// `spmm` fans a request out across a device pool and joins the partial
+/// products by row concatenation; see the crate docs for why the join is
+/// exact.
+pub struct ShardedSmat<T> {
+    plan: Arc<ShardPlan>,
+    shards: Vec<Smat<T>>,
+    timings: PrepareTimings,
+}
+
+impl<T: Element> ShardedSmat<T> {
+    /// Partitions `a` under `policy` and prepares every shard with the
+    /// same configuration. Shards prepare sequentially, so the accumulated
+    /// [`PrepareTimings`] is the pool-level `T_init`.
+    pub fn prepare(a: &Csr<T>, config: SmatConfig, policy: &ShardPolicy) -> Self {
+        let plan = Arc::new(partition(a, policy));
+        let mut shards = Vec::with_capacity(plan.nshards());
+        let mut timings: Option<PrepareTimings> = None;
+        for d in &plan.shards {
+            let s = Smat::prepare(&a.slice_rows(d.row_start, d.row_end), config.clone());
+            match &mut timings {
+                Some(t) => t.accumulate(&s.prepare_timings()),
+                None => timings = Some(s.prepare_timings()),
+            }
+            shards.push(s);
+        }
+        ShardedSmat {
+            plan,
+            shards,
+            timings: timings.expect("a plan always has at least one shard"),
+        }
+    }
+
+    /// The partition this matrix was prepared under.
+    pub fn plan(&self) -> &Arc<ShardPlan> {
+        &self.plan
+    }
+
+    /// The prepared shards, in plan order.
+    pub fn shards(&self) -> &[Smat<T>] {
+        &self.shards
+    }
+
+    /// Accumulated prepare timings across every shard (`T_init`).
+    pub fn timings(&self) -> PrepareTimings {
+        self.timings
+    }
+
+    /// Rows the right-hand side must have (the shared column count).
+    pub fn input_ncols(&self) -> usize {
+        self.plan.ncols
+    }
+
+    /// Cooperative multi-device SpMM: shard `i` executes on
+    /// `gpus[i % gpus.len()]`, all shards concurrently, and the partial
+    /// products are joined by [`Dense::vconcat`] in shard order.
+    ///
+    /// Any shard failure fails the whole product with the first failing
+    /// shard's error (in shard order, deterministically) — retry/hedging
+    /// policy lives a layer up, in the serving tier's recovery ladder.
+    ///
+    /// # Errors
+    /// Returns the first (by shard index) [`SimError`] any shard hit.
+    ///
+    /// # Panics
+    /// Panics if `gpus` is empty or `b` has the wrong row count.
+    pub fn try_spmm_on_pool(&self, gpus: &[Gpu], b: &Dense<T>) -> Result<Dense<T>, SimError> {
+        assert!(!gpus.is_empty(), "device pool must not be empty");
+        assert_eq!(
+            self.plan.ncols,
+            b.nrows(),
+            "B must have {} rows, got {}",
+            self.plan.ncols,
+            b.nrows()
+        );
+        let results: Vec<Result<Dense<T>, SimError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(i, shard)| {
+                    let gpu = &gpus[i % gpus.len()];
+                    scope.spawn(move || shard.try_spmm_on(gpu, b).map(|run| run.c))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+        let mut parts = Vec::with_capacity(results.len());
+        for r in results {
+            parts.push(r?);
+        }
+        Ok(Dense::vconcat(&parts.iter().collect::<Vec<_>>()))
+    }
+}
+
+impl<T> std::fmt::Debug for ShardedSmat<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedSmat")
+            .field("plan", &self.plan)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::estimated_csr_bytes;
+    use smat_formats::F16;
+    use smat_gpusim::DeviceConfig;
+    use smat_workloads::{dense_b, random_uniform};
+
+    fn sharded_setup(nshards: usize) -> (Csr<F16>, ShardedSmat<F16>) {
+        let a: Csr<F16> = random_uniform(192, 96, 0.88, 99);
+        let policy = ShardPolicy {
+            max_bytes: estimated_csr_bytes(&a).div_ceil(nshards),
+        };
+        let sharded = ShardedSmat::prepare(&a, SmatConfig::default(), &policy);
+        assert_eq!(sharded.plan().nshards(), nshards);
+        (a, sharded)
+    }
+
+    #[test]
+    fn sharded_product_is_bitwise_identical_to_unsharded() {
+        let (a, sharded) = sharded_setup(3);
+        let b = dense_b::<F16>(96, 16);
+        let whole = Smat::prepare(&a, SmatConfig::default()).spmm(&b).c;
+        let gpus = Gpu::pool(DeviceConfig::a100_sxm4_40gb(), 3);
+        let joined = sharded.try_spmm_on_pool(&gpus, &b).expect("pool run");
+        assert_eq!(joined, whole, "sharded join must be bitwise identical");
+    }
+
+    #[test]
+    fn fewer_devices_than_shards_wraps_round_robin() {
+        let (a, sharded) = sharded_setup(4);
+        let b = dense_b::<F16>(96, 8);
+        let whole = Smat::prepare(&a, SmatConfig::default()).spmm(&b).c;
+        let gpus = Gpu::pool(DeviceConfig::a100_sxm4_40gb(), 2);
+        let joined = sharded.try_spmm_on_pool(&gpus, &b).expect("pool run");
+        assert_eq!(joined, whole);
+    }
+
+    #[test]
+    fn per_shard_fingerprints_are_distinct_and_timings_accumulate() {
+        let (_, sharded) = sharded_setup(3);
+        let fps: Vec<_> = sharded.shards().iter().map(Smat::fingerprint).collect();
+        assert!(
+            fps.windows(2).all(|w| w[0] != w[1]),
+            "distinct shards must fingerprint differently"
+        );
+        let total = sharded.timings();
+        let sum: f64 = sharded
+            .shards()
+            .iter()
+            .map(|s| s.prepare_timings().total_ms)
+            .sum();
+        assert!((total.total_ms - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_shard_plan_degenerates_to_plain_prepare() {
+        let a: Csr<F16> = random_uniform(64, 64, 0.9, 5);
+        let sharded = ShardedSmat::prepare(&a, SmatConfig::default(), &ShardPolicy::default());
+        assert!(!sharded.plan().is_sharded());
+        let b = dense_b::<F16>(64, 4);
+        let whole = Smat::prepare(&a, SmatConfig::default()).spmm(&b).c;
+        let gpus = [Gpu::a100()];
+        assert_eq!(sharded.try_spmm_on_pool(&gpus, &b).unwrap(), whole);
+    }
+}

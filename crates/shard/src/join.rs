@@ -1,0 +1,186 @@
+//! The fan-out/join completion protocol.
+//!
+//! A sharded request fans out into one sub-request per shard, executed by
+//! whichever device workers hold the shards — possibly with hedged
+//! duplicates racing the originals under the recovery ladder. The join
+//! must deliver exactly one response when the last part lands, never lose
+//! a completion, and never double-fire when a hedge and the original
+//! finish together. [`FanoutJoin`] is that protocol, small enough to
+//! model-check exhaustively (see `tests/model_join.rs`):
+//!
+//! * completions are **idempotent per shard index** — the first result for
+//!   a shard wins, later duplicates are dropped;
+//! * the join callback runs **exactly once**, on whichever thread delivers
+//!   the final outstanding part;
+//! * the callback is invoked **outside the lock**, so a callback that
+//!   re-enters serving machinery (sending the joined response) cannot
+//!   deadlock against a racing completion.
+
+use smat_sanitize::sync::Mutex;
+
+/// The join continuation: receives every part in shard order.
+pub type JoinCallback<P> = Box<dyn FnOnce(Vec<P>) + Send>;
+
+struct JoinState<P> {
+    /// One slot per shard; `Some` once the shard's first result landed.
+    parts: Vec<Option<P>>,
+    /// Shards still missing a first result.
+    remaining: usize,
+    /// Taken (under the lock) by the completion that zeroes `remaining`,
+    /// invoked after the lock is released.
+    on_complete: Option<JoinCallback<P>>,
+}
+
+/// Tracks the outstanding shards of one fanned-out request and fires a
+/// callback exactly once when all of them have completed.
+pub struct FanoutJoin<P> {
+    state: Mutex<JoinState<P>>,
+}
+
+impl<P: Send> FanoutJoin<P> {
+    /// A join over `n` shards; `on_complete` receives the parts in shard
+    /// order once each shard has delivered a result.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` (an empty fan-out has nothing to join).
+    pub fn new(n: usize, on_complete: JoinCallback<P>) -> Self {
+        assert!(n > 0, "fan-out needs at least one shard");
+        FanoutJoin {
+            state: Mutex::labeled(
+                "shard.join",
+                JoinState {
+                    parts: (0..n).map(|_| None).collect(),
+                    remaining: n,
+                    on_complete: Some(on_complete),
+                },
+            ),
+        }
+    }
+
+    /// Delivers shard `idx`'s result. Returns `true` if this call was the
+    /// shard's *first* completion (it was stored); `false` if a duplicate
+    /// — e.g. a hedge that lost the race — was dropped. If this call
+    /// filled the last outstanding slot, the join callback runs on this
+    /// thread before the method returns, after the lock is released.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn complete(&self, idx: usize, part: P) -> bool {
+        let fire = {
+            // POLICY (poisoning): recover. The state is a plain slot table;
+            // every mutation below leaves it consistent at every panic
+            // point (the callback runs outside the critical section).
+            let mut st = self.state.lock_or_recover();
+            assert!(idx < st.parts.len(), "shard index {idx} out of range");
+            // Already fired (slots were drained) or this shard already has
+            // a result: the duplicate is dropped.
+            if st.remaining == 0 || st.parts[idx].is_some() {
+                return false;
+            }
+            st.parts[idx] = Some(part);
+            st.remaining -= 1;
+            if st.remaining == 0 {
+                let parts = st
+                    .parts
+                    .iter_mut()
+                    .map(|p| p.take().expect("remaining == 0 implies every slot filled"))
+                    .collect::<Vec<_>>();
+                let cb = st
+                    .on_complete
+                    .take()
+                    .expect("remaining hits zero exactly once");
+                Some((cb, parts))
+            } else {
+                None
+            }
+        };
+        if let Some((cb, parts)) = fire {
+            cb(parts);
+        }
+        true
+    }
+
+    /// Shards still waiting for their first completion.
+    pub fn pending(&self) -> usize {
+        // POLICY (poisoning): recover. Read-only.
+        self.state.lock_or_recover().remaining
+    }
+
+    /// Whether every shard has completed (and the callback has been taken).
+    pub fn is_done(&self) -> bool {
+        self.pending() == 0
+    }
+}
+
+impl<P> std::fmt::Debug for FanoutJoin<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // POLICY (poisoning): recover. Read-only.
+        let st = self.state.lock_or_recover();
+        f.debug_struct("FanoutJoin")
+            .field("shards", &st.parts.len())
+            .field("remaining", &st.remaining)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    type CountingJoin = (Arc<FanoutJoin<u32>>, Arc<AtomicUsize>, Arc<Mutex<Vec<u32>>>);
+
+    fn counting_join(n: usize) -> CountingJoin {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::new(Mutex::labeled("test.join_seen", Vec::new()));
+        let (f, s) = (Arc::clone(&fired), Arc::clone(&seen));
+        let join = Arc::new(FanoutJoin::new(
+            n,
+            Box::new(move |parts| {
+                f.fetch_add(1, Ordering::SeqCst);
+                *s.lock_or_recover() = parts;
+            }),
+        ));
+        (join, fired, seen)
+    }
+
+    #[test]
+    fn fires_once_with_parts_in_shard_order() {
+        let (join, fired, seen) = counting_join(3);
+        assert_eq!(join.pending(), 3);
+        assert!(join.complete(2, 20));
+        assert!(join.complete(0, 0));
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "not done yet");
+        assert!(join.complete(1, 10));
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_eq!(*seen.lock_or_recover(), vec![0, 10, 20]);
+        assert!(join.is_done());
+    }
+
+    #[test]
+    fn duplicate_completions_are_dropped_first_wins() {
+        let (join, fired, seen) = counting_join(2);
+        assert!(join.complete(0, 1));
+        assert!(!join.complete(0, 99), "hedge duplicate must be dropped");
+        assert_eq!(fired.load(Ordering::SeqCst), 0);
+        assert!(join.complete(1, 2));
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+        assert_eq!(*seen.lock_or_recover(), vec![1, 2], "first value wins");
+        assert!(!join.complete(1, 3), "late duplicate after the join fired");
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "never double-fires");
+    }
+
+    #[test]
+    fn single_shard_join_fires_immediately() {
+        let (join, fired, _) = counting_join(1);
+        assert!(join.complete(0, 7));
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shard_join_is_rejected() {
+        let _ = FanoutJoin::<u32>::new(0, Box::new(|_| {}));
+    }
+}

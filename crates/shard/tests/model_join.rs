@@ -1,0 +1,107 @@
+//! Model checking of the fan-out/join completion protocol.
+//!
+//! The scenario the serving tier cares about: the *last* outstanding shard
+//! completes at the same moment a hedged duplicate of it lands. Under any
+//! interleaving the join must fire exactly once, with the first result to
+//! arrive, and no completion may be lost — a lost wakeup here would leave
+//! a request hanging forever with every shard finished.
+
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+use smat_sanitize::sync::AtomicU32;
+use smat_sanitize::{model, DiagCode, DiagnosticsExt, ModelConfig, ModelReport};
+use smat_shard::FanoutJoin;
+
+/// Clean = zero error-severity findings, and either exhaustive exploration
+/// or a C008 truncation note stating the cap.
+fn assert_clean(report: &ModelReport) {
+    println!("{}", report.summary());
+    assert!(report.is_clean(), "{report:?}");
+    assert!(report.findings.iter().all(|d| !d.is_error()), "{report:?}");
+    if !report.exhausted {
+        assert!(
+            report
+                .findings
+                .codes()
+                .contains(&DiagCode::ModelExplorationTruncated),
+            "truncated exploration must carry the C008 cap note: {report:?}"
+        );
+    }
+}
+
+#[test]
+fn last_shard_racing_its_hedge_fires_the_join_exactly_once() {
+    let cfg = ModelConfig {
+        max_schedules: 40_000,
+        ..ModelConfig::named("shard.join_hedge_race")
+    };
+    let report = model::check(cfg, || {
+        let fired = Arc::new(AtomicU32::new(0));
+        let f = Arc::clone(&fired);
+        let join: Arc<FanoutJoin<u32>> = Arc::new(FanoutJoin::new(
+            2,
+            Box::new(move |parts| {
+                f.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(parts[0], 100, "shard 0 delivered before the race");
+                assert!(
+                    parts[1] == 201 || parts[1] == 202,
+                    "shard 1 must carry whichever lane won"
+                );
+            }),
+        ));
+        // Shard 0 already completed before the race of interest.
+        assert!(join.complete(0, 100));
+
+        // The race: shard 1's original and its hedge deliver concurrently.
+        let (j1, j2) = (Arc::clone(&join), Arc::clone(&join));
+        let original = model::spawn(move || j1.complete(1, 201));
+        let hedge = model::spawn(move || j2.complete(1, 202));
+        let won1 = original.join();
+        let won2 = hedge.join();
+
+        assert_eq!(
+            u32::from(won1) + u32::from(won2),
+            1,
+            "exactly one lane's completion is accepted"
+        );
+        assert_eq!(
+            fired.load(Ordering::SeqCst),
+            1,
+            "the join fires exactly once — no lost completion, no double fire"
+        );
+        assert!(join.is_done());
+    });
+    assert_clean(&report);
+    assert!(report.schedules > 1, "{}", report.summary());
+}
+
+#[test]
+fn concurrent_distinct_shards_never_lose_a_completion() {
+    let cfg = ModelConfig {
+        max_schedules: 40_000,
+        ..ModelConfig::named("shard.join_concurrent")
+    };
+    let report = model::check(cfg, || {
+        let fired = Arc::new(AtomicU32::new(0));
+        let f = Arc::clone(&fired);
+        let join: Arc<FanoutJoin<u32>> = Arc::new(FanoutJoin::new(
+            3,
+            Box::new(move |parts| {
+                f.fetch_add(1, Ordering::SeqCst);
+                assert_eq!(parts, vec![10, 11, 12], "parts arrive in shard order");
+            }),
+        ));
+        let workers: Vec<_> = (0..3u32)
+            .map(|i| {
+                let j = Arc::clone(&join);
+                model::spawn(move || j.complete(i as usize, 10 + i))
+            })
+            .collect();
+        for w in workers {
+            assert!(w.join(), "distinct shards are all first completions");
+        }
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "joined exactly once");
+    });
+    assert_clean(&report);
+}

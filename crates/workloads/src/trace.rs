@@ -25,6 +25,12 @@ pub struct TraceRequest {
     pub matrix: usize,
     /// Right-hand-side column count for this request.
     pub n_cols: usize,
+    /// Whether the target is one of the trace's *large* matrices (see
+    /// [`TraceSpec::large_matrices`]) — tenants whose operands a sharding
+    /// server would partition across devices. The driver decides what
+    /// "large" means dimensionally; the trace only marks which tenants mix
+    /// sharded and unsharded traffic.
+    pub large: bool,
 }
 
 /// Parameters of the synthetic trace generator.
@@ -40,6 +46,12 @@ pub struct TraceSpec {
     pub zipf_s: f64,
     /// RNG seed.
     pub seed: u64,
+    /// How many of the `n_matrices` tenants are *large* (clamped to
+    /// `n_matrices`). Large tenants are spread evenly across the
+    /// popularity ranks (`k % ceil(n/large) == 0`), not bunched at the hot
+    /// or cold end, so sharded and unsharded requests interleave
+    /// throughout the trace rather than phase-separating.
+    pub large_matrices: usize,
 }
 
 impl Default for TraceSpec {
@@ -50,8 +62,40 @@ impl Default for TraceSpec {
             widths: vec![8, 16, 32],
             zipf_s: 1.0,
             seed: 42,
+            large_matrices: 0,
         }
     }
+}
+
+/// Which popularity ranks are large: `large` ranks spread evenly over
+/// `0..n` (stride `ceil(n/large)`, shortfall filled from the cold end).
+/// Rank 0 — the hottest tenant — is always large when any rank is, so
+/// sharded traffic stays interleaved with the unsharded stream instead of
+/// hiding in the cold tail.
+fn large_ranks(n: usize, large: usize) -> Vec<bool> {
+    let large = large.min(n);
+    let mut flags = vec![false; n];
+    if large == 0 {
+        return flags;
+    }
+    let mut marked = 0;
+    for k in (0..n).step_by(n.div_ceil(large)) {
+        if marked == large {
+            break;
+        }
+        flags[k] = true;
+        marked += 1;
+    }
+    for k in (0..n).rev() {
+        if marked == large {
+            break;
+        }
+        if !flags[k] {
+            flags[k] = true;
+            marked += 1;
+        }
+    }
+    flags
 }
 
 /// Generates the trace described by `spec`.
@@ -67,6 +111,7 @@ pub fn serve_trace(spec: &TraceSpec) -> Vec<TraceRequest> {
     assert!(spec.n_matrices > 0, "trace needs at least one matrix");
     assert!(!spec.widths.is_empty(), "trace needs at least one width");
     let mut rng = StdRng::seed_from_u64(spec.seed);
+    let large = large_ranks(spec.n_matrices, spec.large_matrices);
     // Cumulative Zipf mass over matrix ranks.
     let weights: Vec<f64> = (0..spec.n_matrices)
         .map(|k| 1.0 / ((k + 1) as f64).powf(spec.zipf_s))
@@ -94,6 +139,7 @@ pub fn serve_trace(spec: &TraceSpec) -> Vec<TraceRequest> {
             seq,
             matrix,
             n_cols,
+            large: large[matrix],
         });
     }
     out
@@ -122,6 +168,7 @@ mod tests {
             widths: vec![8, 16],
             zipf_s: 1.2,
             seed: 3,
+            large_matrices: 0,
         };
         let trace = serve_trace(&spec);
         assert_eq!(trace.len(), 200);
@@ -141,6 +188,7 @@ mod tests {
             widths: vec![8],
             zipf_s: 1.0,
             seed: 11,
+            large_matrices: 0,
         };
         let trace = serve_trace(&spec);
         let mut counts = [0usize; 4];
@@ -151,6 +199,44 @@ mod tests {
             counts[0] > counts[3] * 2,
             "rank 0 must dominate rank 3: {counts:?}"
         );
+    }
+
+    #[test]
+    fn large_tenants_interleave_with_small_ones() {
+        let spec = TraceSpec {
+            requests: 400,
+            n_matrices: 4,
+            widths: vec![8],
+            zipf_s: 1.0,
+            seed: 9,
+            large_matrices: 2,
+        };
+        let trace = serve_trace(&spec);
+        // Ranks 0 and 2 are large (stride 2); flags follow the matrix.
+        assert!(trace.iter().all(|r| r.large == (r.matrix % 2 == 0)));
+        let n_large = trace.iter().filter(|r| r.large).count();
+        assert!(
+            n_large > 0 && n_large < trace.len(),
+            "both kinds must appear: {n_large} large of {}",
+            trace.len()
+        );
+        // Interleaved, not phase-separated: both kinds appear in the
+        // steady-state (post-warmup) half of the trace.
+        let tail = &trace[trace.len() / 2..];
+        assert!(tail.iter().any(|r| r.large));
+        assert!(tail.iter().any(|r| !r.large));
+        // The hottest tenant is large, so sharded traffic dominates.
+        assert!(trace.iter().filter(|r| r.matrix == 0).all(|r| r.large));
+    }
+
+    #[test]
+    fn large_rank_selection_clamps_and_spreads() {
+        assert_eq!(large_ranks(4, 0), vec![false; 4]);
+        assert_eq!(large_ranks(4, 2), vec![true, false, true, false]);
+        assert_eq!(large_ranks(3, 5), vec![true, true, true], "clamped");
+        let six = large_ranks(6, 4);
+        assert_eq!(six.iter().filter(|&&f| f).count(), 4);
+        assert!(six[0], "rank 0 is always large when any rank is");
     }
 
     #[test]

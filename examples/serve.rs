@@ -11,7 +11,15 @@
 //! cargo run --release --example serve -- --requests 512 --matrices 6 --devices 4
 //! cargo run --release --example serve -- --seed 7 --window 16 --budget 128
 //! cargo run --release --example serve -- --warm-prepare --sanitize
+//! cargo run --release --example serve -- --devices 3 --shard-max-bytes 20000 --large-matrices 2
 //! ```
+//!
+//! `--shard-max-bytes N` (0 = off) turns on partitioned serving: matrices
+//! whose estimated CSR footprint exceeds `N` bytes are split into
+//! nnz-balanced row shards and every submission against them fans out
+//! across the device pool, joined by row concatenation (bitwise identical
+//! to unsharded execution). `--large-matrices M` marks `M` of the tenants as large (double
+//! dimension), so sharded and unsharded traffic interleave in the trace.
 //!
 //! `--sanitize` runs both replays under the `smat-sanitize` lock-order
 //! engine and fails the run (exit 1) on any concurrency finding.
@@ -30,7 +38,8 @@ use smat_repro::reorder::ReorderAlgorithm;
 use smat_repro::serve::{
     AdmissionState, ChaosStats, MatrixKey, ServeError, Server, ServerConfig, ServerStats,
 };
-use smat_repro::smat::SmatConfig;
+use smat_repro::shard::estimated_csr_bytes;
+use smat_repro::smat::{Smat, SmatConfig};
 use smat_repro::workloads::{random_uniform, serve_trace, TraceRequest, TraceSpec};
 
 struct Args {
@@ -58,6 +67,11 @@ struct Args {
     /// Run both replays under the `smat-sanitize` lock-order engine and
     /// fail the run on any concurrency finding (C-codes).
     sanitize: bool,
+    /// Shard byte budget for registered matrices (0 = sharding off).
+    shard_max_bytes: usize,
+    /// How many tenants are large (double dimension; candidates for
+    /// sharding when `--shard-max-bytes` is set).
+    large_matrices: usize,
 }
 
 impl Default for Args {
@@ -76,6 +90,8 @@ impl Default for Args {
             reorder: None,
             warm_prepare: false,
             sanitize: false,
+            shard_max_bytes: 0,
+            large_matrices: 0,
         }
     }
 }
@@ -106,7 +122,8 @@ fn usage() -> ExitCode {
         "usage: serve [--requests N] [--matrices M] [--devices D] [--seed S]\n\
          \u{20}            [--window W] [--budget COLS] [--size DIM] [--trace PATH]\n\
          \u{20}            [--chaos-seed S] [--fault-rate R] [--reorder NAME]\n\
-         \u{20}            [--warm-prepare] [--sanitize]"
+         \u{20}            [--warm-prepare] [--sanitize]\n\
+         \u{20}            [--shard-max-bytes N] [--large-matrices M]"
     );
     ExitCode::from(2)
 }
@@ -140,6 +157,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--warm-prepare" => args.warm_prepare = true,
             "--sanitize" => args.sanitize = true,
+            "--shard-max-bytes" => args.shard_max_bytes = value("--shard-max-bytes")?,
+            "--large-matrices" => args.large_matrices = value("--large-matrices")?,
             "--fault-rate" => {
                 args.fault_rate = it
                     .next()
@@ -157,6 +176,25 @@ fn parse_args() -> Result<Args, String> {
         return Err("--fault-rate must be within [0, 1]".into());
     }
     Ok(args)
+}
+
+/// The pipeline configuration shared by the server and the out-of-band
+/// reference handles (they must match for bitwise verification).
+fn smat_config(args: &Args) -> SmatConfig {
+    SmatConfig {
+        reorder: args.reorder.unwrap_or(SmatConfig::default().reorder),
+        ..SmatConfig::default()
+    }
+}
+
+/// Square dimension of tenant `m`'s matrix: large tenants are doubled so a
+/// `--shard-max-bytes` budget sized between the two splits only them.
+fn tenant_dim(args: &Args, large: bool) -> usize {
+    if large {
+        args.size * 2
+    } else {
+        args.size
+    }
 }
 
 /// Deterministic per-request B panel: the trace position salts the pattern
@@ -191,6 +229,13 @@ struct DeterministicSummary {
     per_device_served: Vec<u64>,
     per_device_cols: Vec<u64>,
     per_device_launches: Vec<u64>,
+    /// Fan-out accounting for sharded tenants (zero with sharding off).
+    fanout_requests: u64,
+    shard_subrequests: u64,
+    /// Requests (direct + shard sub-requests) enqueued per device — the
+    /// two-level scheduler's placement, reproducible under the window
+    /// discipline.
+    per_device_dispatched: Vec<u64>,
     /// Fault-injection and recovery counters — reproducible under the
     /// pause/resume window discipline with a fixed `--chaos-seed`.
     chaos: ChaosStats,
@@ -220,6 +265,9 @@ impl DeterministicSummary {
             per_device_served: stats.devices.iter().map(|d| d.served).collect(),
             per_device_cols: stats.devices.iter().map(|d| d.cols).collect(),
             per_device_launches: stats.devices.iter().map(|d| d.launches).collect(),
+            fanout_requests: stats.fanout_requests,
+            shard_subrequests: stats.shard_subrequests,
+            per_device_dispatched: stats.devices.iter().map(|d| d.dispatched).collect(),
             chaos: stats.chaos,
             output_checksum,
         }
@@ -239,18 +287,37 @@ struct Replay {
 /// One full replay on a fresh server: register, submit in pause/resume
 /// windows (so backpressure, device assignment, and batch composition are
 /// reproducible), verify each response against an unbatched run.
-fn replay(args: &Args, matrices: &[Csr<F16>], trace: &[TraceRequest], verify: bool) -> Replay {
+///
+/// `references` are prepared *outside* the server (same `SmatConfig`), so
+/// verification of sharded tenants — whose parent keys never enter the
+/// registry — neither misses the registry nor perturbs its counters.
+fn replay(
+    args: &Args,
+    matrices: &[Csr<F16>],
+    references: &[Smat<F16>],
+    trace: &[TraceRequest],
+    verify: bool,
+) -> Replay {
+    // Shards of large tenants occupy registry lines of their own; size the
+    // capacity for parents plus the worst-case shard count so sharded
+    // admission never evicts a small tenant's entry mid-trace.
+    let shard_lines: usize = if args.shard_max_bytes > 0 {
+        matrices
+            .iter()
+            .map(|a| estimated_csr_bytes(a).div_ceil(args.shard_max_bytes).max(1))
+            .sum()
+    } else {
+        0
+    };
     let server: Server<F16> = Server::new(ServerConfig {
         devices: args.devices,
         column_budget: args.budget,
-        registry_capacity: args.matrices.max(2),
+        registry_capacity: args.matrices.max(2) + shard_lines,
         chaos: args
             .chaos_seed
             .map(|seed| FaultConfig::blended(seed, args.fault_rate)),
-        smat: SmatConfig {
-            reorder: args.reorder.unwrap_or(SmatConfig::default().reorder),
-            ..SmatConfig::default()
-        },
+        smat: smat_config(args),
+        shard_max_bytes: (args.shard_max_bytes > 0).then_some(args.shard_max_bytes),
         ..ServerConfig::default()
     });
     let keys: Vec<MatrixKey> = if args.warm_prepare {
@@ -258,9 +325,12 @@ fn replay(args: &Args, matrices: &[Csr<F16>], trace: &[TraceRequest], verify: bo
         // this thread only pays the fingerprint pass. The readiness spin is
         // counter-neutral (unlike `wait_ready`) so the deterministic
         // summary's registry counters stay comparable across replays.
+        // Sharded tenants publish on the shard table, not the registry.
         let keys: Vec<MatrixKey> = matrices.iter().map(|a| server.warm_prepare(a)).collect();
         for k in &keys {
-            while server.registry().admission_state(k) != AdmissionState::Ready {
+            while server.registry().admission_state(k) != AdmissionState::Ready
+                && server.shard_plan(k).is_none()
+            {
                 std::thread::yield_now();
             }
         }
@@ -268,12 +338,6 @@ fn replay(args: &Args, matrices: &[Csr<F16>], trace: &[TraceRequest], verify: bo
     } else {
         matrices.iter().map(|a| server.register(a)).collect()
     };
-    // Resolve the shared handles once, in both runs, so registry counters
-    // (and hence the deterministic summary) don't depend on `verify`.
-    let handles: Vec<_> = keys
-        .iter()
-        .map(|k| server.registry().get(k).expect("just registered"))
-        .collect();
 
     let mut checksum = Fnv1a::new();
     let mut mismatches = 0usize;
@@ -285,7 +349,7 @@ fn replay(args: &Args, matrices: &[Csr<F16>], trace: &[TraceRequest], verify: bo
         let futures: Vec<_> = window
             .iter()
             .map(|req| {
-                let b = panel(args.size, req);
+                let b = panel(tenant_dim(args, req.large), req);
                 (req, server.submit(keys[req.matrix], b))
             })
             .collect();
@@ -316,9 +380,9 @@ fn replay(args: &Args, matrices: &[Csr<F16>], trace: &[TraceRequest], verify: bo
                 checksum.write_u64(v.to_f64().to_bits());
             }
             if verify {
-                // Unbatched reference: the same prepared handle, one launch
-                // for this request alone. Must be bitwise identical.
-                let solo = handles[req.matrix].spmm(&panel(args.size, req));
+                // Unbatched reference: an identically-prepared handle, one
+                // launch for this request alone. Must be bitwise identical.
+                let solo = references[req.matrix].spmm(&panel(tenant_dim(args, req.large), req));
                 if solo.c != resp.c {
                     eprintln!("MISMATCH at seq {}", req.seq);
                     mismatches += 1;
@@ -352,19 +416,39 @@ fn main() -> ExitCode {
         widths: vec![8, 16, 32],
         zipf_s: 1.0,
         seed: args.seed,
+        large_matrices: args.large_matrices,
     };
     let trace = serve_trace(&spec);
+    // Which tenants the trace marked large (doubled dimension below).
+    let mut is_large = vec![false; args.matrices];
+    for r in &trace {
+        is_large[r.matrix] = r.large;
+    }
     // Distinct sparsity per matrix so the prepared pipelines differ.
     let matrices: Vec<Csr<F16>> = (0..args.matrices)
         .map(|m| {
             let sparsity = 0.88 + 0.02 * (m as f64);
-            random_uniform::<F16>(args.size, args.size, sparsity, args.seed + m as u64)
+            let dim = tenant_dim(&args, is_large[m]);
+            random_uniform::<F16>(dim, dim, sparsity, args.seed + m as u64)
         })
+        .collect();
+    // Out-of-band reference handles for bitwise verification: prepared with
+    // the server's exact config, but never touching its registry (sharded
+    // parent keys have no registry entry, and `get` would count misses).
+    let references: Vec<Smat<F16>> = matrices
+        .iter()
+        .map(|a| Smat::prepare(a, smat_config(&args)))
         .collect();
     eprintln!(
         "replaying {} requests over {} matrices ({}x{}) on {} devices (window {}, budget {})",
         args.requests, args.matrices, args.size, args.size, args.devices, args.window, args.budget
     );
+    if args.shard_max_bytes > 0 {
+        eprintln!(
+            "sharding: matrices above {} bytes fan out across the pool ({} large tenants)",
+            args.shard_max_bytes, args.large_matrices
+        );
+    }
     if let Some(seed) = args.chaos_seed {
         eprintln!(
             "chaos: injecting faults with seed {seed} at blended rate {}",
@@ -389,7 +473,7 @@ fn main() -> ExitCode {
     if args.trace.is_some() {
         tracer.enable();
     }
-    let first = replay(&args, &matrices, &trace, true);
+    let first = replay(&args, &matrices, &references, &trace, true);
     if let Some(path) = &args.trace {
         tracer.disable();
         let events = tracer.drain();
@@ -424,7 +508,7 @@ fn main() -> ExitCode {
             first.exhausted,
         );
     }
-    let second = replay(&args, &matrices, &trace, false);
+    let second = replay(&args, &matrices, &references, &trace, false);
     let runs_identical = first.summary == second.summary;
     eprintln!(
         "run 2: end state {} run 1",
@@ -466,6 +550,9 @@ fn main() -> ExitCode {
         "exhausted_requests": first.exhausted,
         "chaos_seed": args.chaos_seed,
         "fault_rate": args.fault_rate,
+        "shard_max_bytes": args.shard_max_bytes,
+        "fanout_requests": first.stats.fanout_requests,
+        "shard_subrequests": first.stats.shard_subrequests,
         "registry_hit_rate": first.stats.registry.hit_rate(),
         "runs_identical": runs_identical,
         "sanitize_enabled": args.sanitize,

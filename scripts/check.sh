@@ -72,6 +72,30 @@ print(f"chaos smoke OK: {chaos['faults_injected']} faults "
       f"{chaos['degraded_completions']} degraded — all responses correct")
 PY
 
+echo "==> shard smoke: sharded replay bitwise-verified, deterministic, sanitize-clean"
+# Forces the two large tenants over the shard budget: every request against
+# them fans out across the 3-device pool, joins by row concatenation, and
+# must still verify bitwise against the unbatched single-handle reference.
+shard_json="$(./target/release/examples/serve --requests 128 --devices 3 \
+    --shard-max-bytes 20000 --large-matrices 2 --sanitize 2>/dev/null)"
+python3 - "$shard_json" <<'PY'
+import json, sys
+rec = json.loads(sys.argv[1])
+assert rec["mismatches"] == 0, "a sharded join diverged from the unsharded reference"
+assert rec["runs_identical"] is True, "sharded replay not deterministic"
+assert rec["fanout_requests"] > 0, "no request actually fanned out"
+assert rec["shard_subrequests"] > rec["fanout_requests"], \
+    "fan-outs must produce multiple sub-requests each"
+assert rec["sanitize_findings"] == 0, f"C-codes fired: {rec['sanitize_codes']}"
+disp = [d["dispatched"] for d in rec["stats"]["devices"]]
+comp = [d["completed"] for d in rec["stats"]["devices"]]
+assert disp == comp, f"lost sub-requests: dispatched {disp} vs completed {comp}"
+assert all(d > 0 for d in disp), f"a device sat idle under fan-out: {disp}"
+print(f"shard smoke OK: {rec['fanout_requests']} fan-outs -> "
+      f"{rec['shard_subrequests']} sub-requests across {len(disp)} devices, "
+      f"0 mismatches, deterministic, lock-order clean")
+PY
+
 echo "==> sanitize: raw std::sync primitives are banned in crates/serve"
 # Every lock/condvar in the serving engine must be a checked smat-sanitize
 # primitive so the lock-order engine and the model checker see it. The shim

@@ -18,8 +18,12 @@
 //! * [`diag`] / [`analyze`] — typed diagnostics, the format invariant
 //!   verifiers, and the kernel-schedule hazard analyzer backing the
 //!   pipeline's pre-flight hook and the `analyze` example CLI;
+//! * [`shard`] — 1D row partitioning of oversized operands into
+//!   nnz-balanced device-sized shards, the fan-out/join primitive, and the
+//!   cooperative multi-device executor;
 //! * [`serve`] — the async multi-tenant serving engine (prepared-matrix
-//!   registry, plan cache, request batcher, device-pool scheduler);
+//!   registry, plan cache, request batcher, two-level device-pool
+//!   scheduler with shard-aware fan-out);
 //! * [`trace`] — the structured tracing/metrics layer (dual-clock span
 //!   recorder, Chrome Trace export, summary tables) threaded through the
 //!   pipeline, simulator, and serving engine;
@@ -56,6 +60,7 @@ pub use smat_gpusim as gpusim;
 pub use smat_reorder as reorder;
 pub use smat_sanitize as sanitize;
 pub use smat_serve as serve;
+pub use smat_shard as shard;
 pub use smat_trace as trace;
 pub use smat_workloads as workloads;
 

@@ -15,9 +15,11 @@
 //!   `narrow_accumulation_is_ulp_bounded_against_the_oracle`).
 
 use smat_formats::{Bcsr, Coo, Csc, Csr, Dense, Element, Ell, SrBcrs, F16};
+use smat_gpusim::{DeviceConfig, Gpu};
 use smat_reorder::ReorderAlgorithm;
 use smat_repro::prelude::*;
 use smat_repro::workloads;
+use smat_shard::{estimated_csr_bytes, ShardPolicy, ShardedSmat};
 
 /// Naive dense oracle: expand `A` to dense and run the textbook triple loop
 /// with f64 accumulation over the *full* inner dimension (zeros included),
@@ -253,6 +255,38 @@ fn narrow_accumulation_is_ulp_bounded_against_the_oracle() {
         // exact in f32 and these magnitudes never exceed f32's integer-exact
         // accumulation range.
         assert!(worst <= bound, "block {h}x{w}: worst {worst} > {bound}");
+    }
+}
+
+#[test]
+fn sharded_execution_conforms_for_every_reordering_and_shard_count() {
+    // Row partitioning composes with any per-shard pipeline: each shard
+    // reorders and packs independently, and the row-concatenated join must
+    // still agree bitwise with the dense oracle. The awkward matrix puts
+    // empty rows and ragged row lengths on both sides of shard boundaries.
+    let a = awkward_matrix();
+    let b = rhs(a.ncols(), 9);
+    let want = dense_oracle(&a, &b);
+    let gpus = Gpu::pool(DeviceConfig::a100_sxm4_40gb(), 3);
+    for alg in all_reorderings() {
+        for target in [2usize, 3, 5] {
+            let policy = ShardPolicy {
+                max_bytes: estimated_csr_bytes(&a).div_ceil(target),
+            };
+            let cfg = SmatConfig {
+                reorder: alg,
+                ..SmatConfig::default()
+            };
+            let sharded = ShardedSmat::prepare(&a, cfg, &policy);
+            let got = sharded.try_spmm_on_pool(&gpus, &b).expect("pool run");
+            assert_eq!(
+                got,
+                want,
+                "reorder {}, {} shards",
+                alg.name(),
+                sharded.plan().nshards()
+            );
+        }
     }
 }
 

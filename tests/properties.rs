@@ -86,6 +86,46 @@ proptest! {
     }
 
     #[test]
+    fn dense_split_rows_vconcat_roundtrips(
+        a in sparse_matrix(),
+        cuts in proptest::collection::vec(0usize..60, 0..5),
+    ) {
+        // split∘vconcat is bitwise: the sharded join relies on this.
+        let d = a.to_dense();
+        let mut heights = Vec::new();
+        let mut left = d.nrows();
+        for c in cuts {
+            let h = c % (left + 1);
+            heights.push(h);
+            left -= h;
+        }
+        heights.push(left);
+        let parts = d.split_rows(&heights);
+        let refs: Vec<&Dense<F16>> = parts.iter().collect();
+        prop_assert_eq!(Dense::vconcat(&refs), d);
+    }
+
+    #[test]
+    fn csr_slice_rows_reassembles_and_preserves_products(
+        a in sparse_matrix(),
+        cut_seed in 0usize..1000,
+    ) {
+        // Slicing rows then multiplying each slice gives exactly the rows of
+        // the full product — the invariant that makes 1D sharding exact.
+        let mid = cut_seed % (a.nrows() + 1);
+        let top = a.slice_rows(0, mid);
+        let bottom = a.slice_rows(mid, a.nrows());
+        prop_assert_eq!(top.nnz() + bottom.nnz(), a.nnz());
+        let b = rhs(a.ncols(), 4);
+        let full = a.spmm_reference(&b);
+        let joined = Dense::vconcat(&[
+            &top.spmm_reference(&b),
+            &bottom.spmm_reference(&b),
+        ]);
+        prop_assert_eq!(joined, full);
+    }
+
+    #[test]
     fn row_permutation_commutes_with_spmm(a in sparse_matrix(), seed in 0u64..1000) {
         // (P·A)·B == P·(A·B) — the algebraic basis of SMaT's preprocessing.
         let n = a.nrows();
