@@ -14,6 +14,7 @@ use smat_reorder::ReorderAlgorithm;
 
 use crate::config::SmatConfig;
 use crate::pipeline::Smat;
+use crate::planner::ReorderCache;
 
 /// One evaluated candidate configuration.
 #[derive(Clone, Debug, Serialize)]
@@ -22,14 +23,25 @@ pub struct Trial {
     pub block_h: usize,
     /// Block width.
     pub block_w: usize,
-    /// Reordering scheme name.
+    /// Reordering scheme name (display form of `algorithm`).
     pub reorder: String,
+    /// The full reordering scheme, parameters included. `reorder` alone is
+    /// ambiguous: every `tau` of the Jaccard family shares one name.
+    pub algorithm: ReorderAlgorithm,
     /// Simulated kernel time for the probe SpMM, in milliseconds.
     pub time_ms: f64,
     /// Stored blocks after preprocessing.
     pub nblocks: usize,
     /// Fraction of true nonzeros per stored block.
     pub fill_ratio: f64,
+}
+
+impl Trial {
+    /// Whether this trial evaluated exactly the given candidate
+    /// (block shape *and* full reordering scheme).
+    fn matches(&self, block_h: usize, block_w: usize, algorithm: ReorderAlgorithm) -> bool {
+        self.block_h == block_h && self.block_w == block_w && self.algorithm == algorithm
+    }
 }
 
 /// Autotuning outcome: the winning configuration plus the full trial log.
@@ -39,22 +51,34 @@ pub struct TuneReport {
     pub best: SmatConfig,
     /// All trials, in evaluation order.
     pub trials: Vec<Trial>,
+    /// Distinct permutations actually computed; at most
+    /// `trials.len()`, and strictly fewer whenever the space crosses one
+    /// algorithm with block shapes its permutation ignores (see
+    /// [`ReorderAlgorithm::permutation_signature`]).
+    pub reorders_computed: usize,
 }
 
 impl TuneReport {
     /// Simulated speedup of the winner over the paper's default
-    /// configuration (16×16, Jaccard rows), if the default was evaluated.
+    /// configuration ([`SmatConfig::default`]: 16×16, Jaccard rows at
+    /// `tau = 0.7`), if that exact configuration was evaluated.
+    ///
+    /// The default trial is matched on the *full* configuration — block
+    /// shape and reordering scheme including parameters — and the
+    /// denominator is the time of the trial corresponding to
+    /// [`TuneReport::best`], so on ties the reported speedup describes the
+    /// configuration actually returned.
     pub fn speedup_over_default(&self) -> Option<f64> {
+        let d = SmatConfig::default();
         let default = self
             .trials
             .iter()
-            .find(|t| t.block_h == 16 && t.block_w == 16 && t.reorder == "jaccard-rows")?;
-        let best = self
+            .find(|t| t.matches(d.block_h, d.block_w, d.reorder))?;
+        let winner = self
             .trials
             .iter()
-            .map(|t| t.time_ms)
-            .fold(f64::INFINITY, f64::min);
-        Some(default.time_ms / best)
+            .find(|t| t.matches(self.best.block_h, self.best.block_w, self.best.reorder))?;
+        Some(default.time_ms / winner.time_ms)
     }
 }
 
@@ -85,6 +109,13 @@ impl Default for TuneSpace {
 /// output columns: prepares and probe-runs every candidate in `space`,
 /// returning the fastest.
 ///
+/// The permutation is computed once per effective signature and reused
+/// across block shapes it does not depend on
+/// ([`ReorderAlgorithm::permutation_signature`]), so tuning costs
+/// O(distinct permutations) reorder passes rather than O(candidates) —
+/// with identical trial results, since the reused permutation is exactly
+/// what the per-candidate recomputation would produce.
+///
 /// # Panics
 /// Panics if `space` is empty or a probe launch fails.
 pub fn autotune<T: Element>(
@@ -100,6 +131,7 @@ pub fn autotune<T: Element>(
     // A fixed probe right-hand side; values are irrelevant for timing.
     let probe = Dense::from_fn(a.ncols(), n_cols, |i, j| T::from_f64(((i + j) % 3) as f64));
 
+    let mut cache = ReorderCache::new(a);
     let mut trials = Vec::new();
     let mut best: Option<(f64, SmatConfig)> = None;
     for &(h, w) in &space.block_shapes {
@@ -110,13 +142,15 @@ pub fn autotune<T: Element>(
                 reorder: alg,
                 ..base.clone()
             };
-            let engine = Smat::prepare(a, cfg.clone());
+            let reordering = cache.reordering(alg, h, w);
+            let engine = Smat::prepare_with_reordering(a, cfg.clone(), reordering);
             let run = engine.spmm(&probe);
             let t = run.report.elapsed_ms();
             trials.push(Trial {
                 block_h: h,
                 block_w: w,
                 reorder: alg.name().to_string(),
+                algorithm: alg,
                 time_ms: t,
                 nblocks: run.report.nblocks,
                 fill_ratio: engine.bcsr().fill_ratio(),
@@ -130,6 +164,7 @@ pub fn autotune<T: Element>(
     TuneReport {
         best: best.expect("non-empty space").1,
         trials,
+        reorders_computed: cache.computed(),
     }
 }
 
@@ -197,6 +232,105 @@ mod tests {
         let report = autotune(&a, 8, &SmatConfig::default(), &TuneSpace::default());
         let s = report.speedup_over_default().expect("default in space");
         assert!(s >= 1.0, "winner can't be slower than the default: {s}");
+    }
+
+    #[test]
+    fn speedup_matches_default_by_full_config_and_best_trial_on_ties() {
+        // A tied space that used to produce a wrong answer twice over:
+        // a *non-default* tau shares the "jaccard-rows" name with the true
+        // default, and the global minimum is a tie between two trials.
+        let trial = |h: usize, w: usize, alg: ReorderAlgorithm, t: f64| Trial {
+            block_h: h,
+            block_w: w,
+            reorder: alg.name().to_string(),
+            algorithm: alg,
+            time_ms: t,
+            nblocks: 10,
+            fill_ratio: 1.0,
+        };
+        let d = SmatConfig::default();
+        let report = TuneReport {
+            // The returned winner: Identity at 16×8, tied at 0.5 ms with
+            // the fast non-default Jaccard below.
+            best: SmatConfig {
+                block_h: 16,
+                block_w: 8,
+                reorder: ReorderAlgorithm::Identity,
+                ..d.clone()
+            },
+            trials: vec![
+                // Name-only matching used to pick THIS trial as "the
+                // default" (any tau counts as "jaccard-rows") → speedup 1.0.
+                trial(16, 16, ReorderAlgorithm::JaccardRows { tau: 0.3 }, 0.5),
+                // The actual default configuration.
+                trial(16, 16, ReorderAlgorithm::smat_default(), 4.0),
+                trial(16, 8, ReorderAlgorithm::Identity, 0.5),
+            ],
+            reorders_computed: 3,
+        };
+        let s = report
+            .speedup_over_default()
+            .expect("default was evaluated");
+        assert_eq!(s, 8.0, "default (4.0) over the returned winner (0.5)");
+    }
+
+    #[test]
+    fn speedup_is_none_when_exact_default_missing() {
+        // Only a non-default tau of the default's *name* was evaluated.
+        let alg = ReorderAlgorithm::JaccardRows { tau: 0.3 };
+        let report = TuneReport {
+            best: SmatConfig {
+                reorder: alg,
+                ..SmatConfig::default()
+            },
+            trials: vec![Trial {
+                block_h: 16,
+                block_w: 16,
+                reorder: alg.name().to_string(),
+                algorithm: alg,
+                time_ms: 1.0,
+                nblocks: 10,
+                fill_ratio: 1.0,
+            }],
+            reorders_computed: 1,
+        };
+        assert!(report.speedup_over_default().is_none());
+    }
+
+    #[test]
+    fn hoisted_reorders_pin_identical_trials() {
+        // The hoisted tuner must produce bit-identical trials to a naive
+        // per-candidate prepare (the simulator is deterministic), while
+        // computing strictly fewer permutations than trials.
+        let a = scrambled_families(128);
+        let base = SmatConfig::default();
+        let space = TuneSpace::default();
+        let report = autotune(&a, 8, &base, &space);
+        // Identity ignores both dims (1), JaccardRows depends on both (2),
+        // GrayCode on w only (2) → 5 distinct permutations for 6 trials.
+        assert_eq!(report.reorders_computed, 5);
+        assert!(report.reorders_computed < report.trials.len());
+
+        let probe = Dense::from_fn(a.ncols(), 8, |i, j| F16::from_f64(((i + j) % 3) as f64));
+        let mut k = 0;
+        for &(h, w) in &space.block_shapes {
+            for &alg in &space.reorderings {
+                let cfg = SmatConfig {
+                    block_h: h,
+                    block_w: w,
+                    reorder: alg,
+                    ..base.clone()
+                };
+                let engine = Smat::prepare(&a, cfg);
+                let run = engine.spmm(&probe);
+                let t = &report.trials[k];
+                assert_eq!(t.time_ms.to_bits(), run.report.elapsed_ms().to_bits());
+                assert_eq!(t.nblocks, run.report.nblocks);
+                assert_eq!(t.fill_ratio.to_bits(), engine.bcsr().fill_ratio().to_bits());
+                k += 1;
+            }
+        }
+        assert_eq!(k, report.trials.len());
     }
 
     #[test]

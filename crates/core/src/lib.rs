@@ -31,6 +31,7 @@ pub mod config;
 pub mod kernel;
 pub mod perfmodel;
 pub mod pipeline;
+pub mod planner;
 
 pub use autotune::{autotune, TuneReport, TuneSpace};
 pub use config::{AccumMode, OptFlags, PreflightMode, Schedule, SmatConfig};
@@ -40,3 +41,4 @@ pub use kernel::{
 };
 pub use perfmodel::{PerfModel, PerfSample};
 pub use pipeline::{PrepareTimings, RunReport, Smat, SmatRun};
+pub use planner::{Calibration, PlanDecision, PlanSource, PlanSpace, Planner, ReorderCache};

@@ -36,19 +36,26 @@ impl PerfModel {
     pub fn fit(samples: &[PerfSample]) -> PerfModel {
         assert!(samples.len() >= 2, "need at least two samples to fit");
         let n = samples.len() as f64;
-        let sx: f64 = samples.iter().map(|s| s.n_e).sum();
-        let sy: f64 = samples.iter().map(|s| s.t_ms).sum();
-        let sxx: f64 = samples.iter().map(|s| s.n_e * s.n_e).sum();
-        let sxy: f64 = samples.iter().map(|s| s.n_e * s.t_ms).sum();
-        let denom = n * sxx - sx * sx;
+        // Centered OLS: slope = Σ(x−x̄)(y−ȳ) / Σ(x−x̄)². The textbook
+        // uncentered form `n·Σx² − (Σx)²` subtracts two ~x̄²-sized numbers
+        // and cancels catastrophically once n_e reaches realistic block
+        // counts (1e7–1e9 with a small spread): the difference carries the
+        // *variance*, which is ulps of the squared mean there.
+        let mean_x: f64 = samples.iter().map(|s| s.n_e).sum::<f64>() / n;
+        let mean_y: f64 = samples.iter().map(|s| s.t_ms).sum::<f64>() / n;
+        let sxx: f64 = samples.iter().map(|s| (s.n_e - mean_x).powi(2)).sum();
+        let sxy: f64 = samples
+            .iter()
+            .map(|s| (s.n_e - mean_x) * (s.t_ms - mean_y))
+            .sum();
+        // Degenerate-x guard, now on the centered spread: all-equal n_e
+        // gives sxx == 0 up to rounding of the mean.
         assert!(
-            denom.abs() > f64::EPSILON * n * sxx.max(1.0),
+            sxx > n * (f64::EPSILON * mean_x.abs().max(1.0)).powi(2),
             "all n_e equal; slope unidentifiable"
         );
-        let t_e = (n * sxy - sx * sy) / denom;
-        let t_init = (sy - t_e * sx) / n;
-
-        let mean_y = sy / n;
+        let t_e = sxy / sxx;
+        let t_init = mean_y - t_e * mean_x;
         let ss_tot: f64 = samples.iter().map(|s| (s.t_ms - mean_y).powi(2)).sum();
         let ss_res: f64 = samples
             .iter()
@@ -177,6 +184,41 @@ mod tests {
         let (mean, excluded) = m.relative_error_stats(&samples);
         assert_eq!(mean, 0.0);
         assert_eq!(excluded, 1);
+    }
+
+    #[test]
+    fn centered_fit_survives_large_offset_samples() {
+        // Realistic block counts: n_e ≈ 1e9 with a spread of 10. Every
+        // input here is exactly representable, yet the uncentered slope
+        // formula `(n·Σxy − Σx·Σy) / (n·Σx² − (Σx)²)` computes a
+        // denominator of exactly 0 (true value: 825) — Σx² ≈ 1e19 has an
+        // ulp of 2048, so the variance vanishes in the cancellation and the
+        // old code rejected identifiable data as "all n_e equal". The
+        // centered fit is exact.
+        let samples: Vec<PerfSample> = (0..10)
+            .map(|i| {
+                let x = 1.0e9 + i as f64;
+                PerfSample {
+                    n_e: x,
+                    t_ms: 0.5 * x + 3.0,
+                }
+            })
+            .collect();
+        {
+            // Pin the failure mode the centered rewrite fixes.
+            let n = samples.len() as f64;
+            let sx: f64 = samples.iter().map(|s| s.n_e).sum();
+            let sxx: f64 = samples.iter().map(|s| s.n_e * s.n_e).sum();
+            assert_eq!(n * sxx - sx * sx, 0.0, "cancellation demo");
+        }
+        let m = PerfModel::fit(&samples);
+        assert!((m.t_e_ms - 0.5).abs() < 1e-9, "slope: {}", m.t_e_ms);
+        assert!(
+            (m.t_init_ms - 3.0).abs() < 1e-6,
+            "intercept: {}",
+            m.t_init_ms
+        );
+        assert!(m.r2 > 1.0 - 1e-12);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use smat_gpusim::{Gpu, LaunchResult, SimError};
 use smat_reorder::{reorder, Reordering};
 
 use crate::config::SmatConfig;
+use crate::planner::PlanDecision;
 
 /// A prepared SMaT engine: the preprocessing (permutation + BCSR
 /// conversion) runs once in [`Smat::prepare`]; [`Smat::spmm`] can then be
@@ -84,6 +85,11 @@ pub struct PrepareTimings {
     /// End-to-end `prepare` wall clock (equals
     /// [`Smat::prepare_wall_ms`]).
     pub total_ms: f64,
+    /// The admission planner's decision, when this prepare was planned
+    /// (see [`crate::planner`]): the chosen configuration plus the
+    /// predicted `T_tot` recorded *before* any execution, so the
+    /// prediction is falsifiable against observed launch times.
+    pub plan: Option<PlanDecision>,
 }
 
 impl PrepareTimings {
@@ -101,6 +107,10 @@ impl PrepareTimings {
         self.pack_ms += other.pack_ms;
         self.convert_ms += other.convert_ms;
         self.total_ms += other.total_ms;
+        // Plan decisions are per-prepare, not additive: keep the first one
+        // (the lead shard's). Per-shard decisions live on the individual
+        // shard handles.
+        self.plan = self.plan.or(other.plan);
     }
 }
 
@@ -154,22 +164,62 @@ impl<T: Element> Smat<T> {
     /// Runs the one-time preprocessing: computes the block-densifying
     /// permutation, permutes the matrix, and converts it to BCSR.
     pub fn prepare(a: &Csr<T>, config: SmatConfig) -> Self {
+        Self::prepare_impl(a, config, None, None)
+    }
+
+    /// [`Smat::prepare`] with a precomputed [`Reordering`], skipping the
+    /// reorder stage (`reorder_ms` is reported as 0). Callers sweeping a
+    /// candidate space — autotune, the admission planner — compute each
+    /// distinct permutation once (see
+    /// [`ReorderAlgorithm::permutation_signature`](smat_reorder::ReorderAlgorithm::permutation_signature))
+    /// and reuse it across block shapes that don't affect it.
+    ///
+    /// The caller is responsible for `reordering` being exactly what
+    /// `reorder(a, config.reorder, config.block_h, config.block_w)` would
+    /// produce; correctness (bitwise output identity) is preserved for any
+    /// valid permutation of `a`, but reports would attribute block counts
+    /// to the wrong scheme.
+    pub fn prepare_with_reordering(a: &Csr<T>, config: SmatConfig, reordering: Reordering) -> Self {
+        Self::prepare_impl(a, config, Some(reordering), None)
+    }
+
+    /// [`Smat::prepare`] with an admission-planner decision attached: the
+    /// decision rides on [`PrepareTimings::plan`] and the prepare trace
+    /// span, and is readable back via [`Smat::plan_decision`] so the
+    /// serving layer can compare predicted against observed time.
+    pub fn prepare_with_plan(a: &Csr<T>, config: SmatConfig, plan: PlanDecision) -> Self {
+        Self::prepare_impl(a, config, None, Some(plan))
+    }
+
+    fn prepare_impl(
+        a: &Csr<T>,
+        config: SmatConfig,
+        precomputed: Option<Reordering>,
+        plan: Option<PlanDecision>,
+    ) -> Self {
         let mut prep_span = smat_trace::span("prepare", "pipeline");
         prep_span.arg("rows", a.nrows() as u64);
         prep_span.arg("nnz", a.nnz() as u64);
+        if let Some(p) = &plan {
+            prep_span.arg("planned", 1u64);
+            prep_span.arg("predicted_ms", p.predicted_ms);
+        }
         let t0 = std::time::Instant::now();
         let fingerprint = MatrixFingerprint::of_csr(a);
         let stats_before = smat_reorder::stats::block_row_stats(a, config.block_h, config.block_w);
         // Each stage stopwatch is read before the span arguments are
         // recorded, so trace-recorder overhead stays out of the stage
         // numbers (it is still part of total_ms — see PrepareTimings).
-        let (reordering, reorder_ms) = {
-            let mut sp = smat_trace::span("reorder", "pipeline");
-            let ts = std::time::Instant::now();
-            let reordering = reorder(a, config.reorder, config.block_h, config.block_w);
-            let reorder_ms = ts.elapsed().as_secs_f64() * 1e3;
-            sp.arg("algorithm", config.reorder.name());
-            (reordering, reorder_ms)
+        let (reordering, reorder_ms) = match precomputed {
+            Some(r) => (r, 0.0),
+            None => {
+                let mut sp = smat_trace::span("reorder", "pipeline");
+                let ts = std::time::Instant::now();
+                let reordering = reorder(a, config.reorder, config.block_h, config.block_w);
+                let reorder_ms = ts.elapsed().as_secs_f64() * 1e3;
+                sp.arg("algorithm", config.reorder.name());
+                (reordering, reorder_ms)
+            }
         };
         let (permuted, pack_ms) = {
             let mut sp = smat_trace::span("pack", "pipeline");
@@ -207,6 +257,7 @@ impl<T: Element> Smat<T> {
                     pack_ms,
                     convert_ms,
                     total_ms,
+                    plan,
                 },
                 ncols: a.ncols(),
                 fingerprint,
@@ -228,6 +279,13 @@ impl<T: Element> Smat<T> {
     /// stage covers and how trace overhead is accounted.
     pub fn prepare_timings(&self) -> PrepareTimings {
         self.inner.prepare_timings
+    }
+
+    /// The admission planner's decision this handle was prepared under, if
+    /// any (set by [`Smat::prepare_with_plan`]). `None` for manually
+    /// configured prepares.
+    pub fn plan_decision(&self) -> Option<PlanDecision> {
+        self.inner.prepare_timings.plan
     }
 
     /// The internal BCSR representation (after preprocessing).

@@ -1,0 +1,830 @@
+//! Cost-model-driven admission planner.
+//!
+//! The paper fixes `{16×16 blocks, Jaccard rows, T+B+C}` for every matrix;
+//! its own block-size discussion (§II-B3) and performance model (Eq. 1,
+//! [`crate::perfmodel`]) imply the optimum is matrix-dependent. This module
+//! closes the loop the ROADMAP calls the *serving-layer learning loop*:
+//!
+//! 1. **Decide** — at admission, enumerate a small candidate space
+//!    `{block_h, block_w, reorder, scalar-vs-TC}`. Each candidate is scored
+//!    with *cheap structure statistics* ([`smat_reorder::stats`]): the
+//!    permutation is computed once per effective signature
+//!    ([`ReorderAlgorithm::permutation_signature`]), the permuted matrix's
+//!    block count `n_e` comes from [`count_blocks`] (no BCSR build, no
+//!    launch), and the calibrated [`PerfModel`] predicts
+//!    `T_tot = T_e · (n_e · ⌈n/8⌉) + T_init`. The winning candidate and its
+//!    prediction become a [`PlanDecision`].
+//! 2. **Probe fallback** — with no calibration, the planner dry-runs each
+//!    candidate once ([`Smat::prepare_with_reordering`] + one simulated
+//!    launch per execution mode) and *bootstraps* a calibration from those
+//!    probe samples, so the expensive path runs at most once per planner.
+//! 3. **Observe** — the serving layer feeds observed kernel times back via
+//!    [`Planner::observe`]; the model is refit online over a sliding
+//!    window, making every recorded prediction falsifiable
+//!    (`plan_mean_rel_error` in the server stats).
+//!
+//! The model variable is `x = n_e · ⌈n/NTILE⌉`: the kernel executes one
+//! elementary computation (block × B-tile MMA) per stored block per output
+//! column tile, so Eq. 1's `n_e` generalizes across right-hand-side widths
+//! by multiplying with the tile count.
+
+use std::sync::Mutex;
+
+use serde::Serialize;
+use smat_formats::{Csr, Dense, Element};
+use smat_gpusim::Gpu;
+use smat_reorder::stats::count_blocks;
+use smat_reorder::{reorder, ReorderAlgorithm, Reordering};
+
+use crate::config::SmatConfig;
+use crate::kernel::{smat_spmm_scheduled, Epilogue, NTILE};
+use crate::perfmodel::{PerfModel, PerfSample};
+use crate::pipeline::Smat;
+
+/// Sliding-window capacity for online refit samples (per execution mode).
+const OBSERVE_WINDOW: usize = 128;
+/// Refit cadence: the model is refit every this many new observations in a
+/// mode's window (provided the window is identifiable).
+const REFIT_EVERY: usize = 8;
+/// Minimum samples in a window before the first (re)fit.
+const REFIT_MIN: usize = 8;
+
+/// Candidate space the planner searches at admission.
+#[derive(Clone, Debug)]
+pub struct PlanSpace {
+    /// Block shapes to consider; each must map to an MMA fragment shape the
+    /// device supports (`m = h`, `k = w`), or its probe launch fails and
+    /// the candidate is skipped.
+    pub block_shapes: Vec<(usize, usize)>,
+    /// Reordering schemes to consider.
+    pub reorderings: Vec<ReorderAlgorithm>,
+    /// Also consider the scalar (CUDA-core) execution mode. On skewed
+    /// matrices with tiny fill the modeled TC advantage can invert.
+    pub try_scalar: bool,
+}
+
+impl Default for PlanSpace {
+    /// The f16-supported fragment shapes (`m16n8k16`, `m16n8k8`) crossed
+    /// with the paper's default reordering, no reordering, and Gray code —
+    /// the same space [`crate::autotune::TuneSpace`] defaults to — plus the
+    /// scalar mode.
+    fn default() -> Self {
+        PlanSpace {
+            block_shapes: vec![(16, 16), (16, 8)],
+            reorderings: vec![
+                ReorderAlgorithm::Identity,
+                ReorderAlgorithm::JaccardRows { tau: 0.7 },
+                ReorderAlgorithm::GrayCode,
+            ],
+            try_scalar: true,
+        }
+    }
+}
+
+/// How a [`PlanDecision`] was reached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
+pub enum PlanSource {
+    /// Scored with the calibrated perf model over cheap structure stats.
+    Calibrated,
+    /// Measured by probe launches (no calibration existed yet);
+    /// `predicted_ms` is the winner's measured probe time.
+    Probe,
+}
+
+/// The planner's choice for one matrix, recorded *before* execution so the
+/// prediction can be checked against observed launch times.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct PlanDecision {
+    /// Chosen BCSR block height.
+    pub block_h: usize,
+    /// Chosen BCSR block width.
+    pub block_w: usize,
+    /// Chosen preprocessing permutation.
+    pub reorder: ReorderAlgorithm,
+    /// Tensor-core (`true`) or scalar (`false`) execution.
+    pub use_tc: bool,
+    /// Predicted `T_tot` in milliseconds for the planning width
+    /// (see [`Planner::decide`]'s `n_cols`).
+    pub predicted_ms: f64,
+    /// Block count `n_e` of the permuted matrix under the chosen shape —
+    /// equals `bcsr.nblocks()` of the resulting prepare.
+    pub n_e: usize,
+    /// Whether the decision came from the model or from probe runs.
+    pub source: PlanSource,
+}
+
+impl PlanDecision {
+    /// Materializes the decision as a full [`SmatConfig`], inheriting
+    /// everything the planner does not choose (accumulation mode, schedule,
+    /// device, preflight policy) from `base`.
+    pub fn apply(&self, base: &SmatConfig) -> SmatConfig {
+        let mut opts = base.opts;
+        opts.tc = self.use_tc;
+        SmatConfig {
+            block_h: self.block_h,
+            block_w: self.block_w,
+            reorder: self.reorder,
+            opts,
+            ..base.clone()
+        }
+    }
+
+    /// The model variable for this decision at right-hand-side width `n`:
+    /// `x = n_e · ⌈n/NTILE⌉`.
+    pub fn model_x(&self, n: usize) -> f64 {
+        self.n_e as f64 * n.div_ceil(NTILE).max(1) as f64
+    }
+}
+
+/// A fitted model pair: one Eq. 1 line per execution mode.
+#[derive(Clone, Copy, Debug, Serialize)]
+pub struct Calibration {
+    /// Model of the tensor-core kernel (`opts.tc = true`).
+    pub tc: PerfModel,
+    /// Model of the scalar kernel (`opts.tc = false`).
+    pub scalar: PerfModel,
+}
+
+impl Calibration {
+    /// The model for an execution mode.
+    pub fn model(&self, use_tc: bool) -> &PerfModel {
+        if use_tc {
+            &self.tc
+        } else {
+            &self.scalar
+        }
+    }
+
+    /// Fits both models by probe-running every matrix in `matrices` once
+    /// per mode with `base`'s block shape and no reordering, against an
+    /// `n_cols`-wide right-hand side — the paper's band-matrix fitting
+    /// procedure (§III) with the caller choosing the suite
+    /// (`smat_workloads::generators::calibration_bands` reproduces the
+    /// paper's).
+    ///
+    /// # Panics
+    /// Panics if fewer than two matrices produce distinct block counts (the
+    /// slope is unidentifiable) or a probe launch fails.
+    pub fn fit_on<T: Element>(matrices: &[Csr<T>], n_cols: usize, base: &SmatConfig) -> Self {
+        let gpu = Gpu::new(base.device.clone());
+        let mut tc_samples = Vec::with_capacity(matrices.len());
+        let mut scalar_samples = Vec::with_capacity(matrices.len());
+        for a in matrices {
+            let cfg = SmatConfig {
+                reorder: ReorderAlgorithm::Identity,
+                ..base.clone()
+            };
+            let engine = Smat::prepare(a, cfg);
+            let probe = probe_rhs::<T>(a.ncols(), n_cols);
+            let x = engine.bcsr().nblocks() as f64 * n_cols.div_ceil(NTILE).max(1) as f64;
+            for use_tc in [true, false] {
+                let t = probe_launch(&gpu, &engine, &probe, use_tc, base)
+                    .expect("calibration probe launch failed");
+                let sample = PerfSample { n_e: x, t_ms: t };
+                if use_tc {
+                    tc_samples.push(sample);
+                } else {
+                    scalar_samples.push(sample);
+                }
+            }
+        }
+        Calibration {
+            tc: PerfModel::fit(&tc_samples),
+            scalar: PerfModel::fit(&scalar_samples),
+        }
+    }
+}
+
+/// Mutable planner state behind one lock: the current calibration plus the
+/// per-mode observation windows feeding online refits.
+#[derive(Debug, Default)]
+struct PlannerState {
+    calibration: Option<Calibration>,
+    tc_window: Vec<PerfSample>,
+    scalar_window: Vec<PerfSample>,
+    observations: u64,
+    refits: u64,
+}
+
+/// The admission planner. Cheap to share (`Arc<Planner>` in the serving
+/// layer); all methods take `&self`.
+#[derive(Debug)]
+pub struct Planner {
+    space: PlanSpace,
+    state: Mutex<PlannerState>,
+}
+
+impl Planner {
+    /// An uncalibrated planner: the first [`Planner::decide`] per planner
+    /// runs probe launches and bootstraps the calibration from them.
+    pub fn new(space: PlanSpace) -> Self {
+        Planner {
+            space,
+            state: Mutex::new(PlannerState::default()),
+        }
+    }
+
+    /// A planner with a pre-fitted calibration: every decision uses the
+    /// cheap model-scored path from the start.
+    pub fn with_calibration(space: PlanSpace, calibration: Calibration) -> Self {
+        Planner {
+            space,
+            state: Mutex::new(PlannerState {
+                calibration: Some(calibration),
+                ..PlannerState::default()
+            }),
+        }
+    }
+
+    /// The candidate space this planner searches.
+    pub fn space(&self) -> &PlanSpace {
+        &self.space
+    }
+
+    /// The current calibration (updated by online refits), if any.
+    pub fn calibration(&self) -> Option<Calibration> {
+        self.lock_state().calibration
+    }
+
+    /// Observed samples fed back so far (accepted by [`Planner::observe`]).
+    pub fn observations(&self) -> u64 {
+        self.lock_state().observations
+    }
+
+    /// Online refits performed so far.
+    pub fn refits(&self) -> u64 {
+        self.lock_state().refits
+    }
+
+    /// Predicted `T_tot` in milliseconds for `n_e` blocks against an
+    /// `n_cols`-wide right-hand side, under the current calibration.
+    pub fn predict(&self, use_tc: bool, n_e: usize, n_cols: usize) -> Option<f64> {
+        let x = n_e as f64 * n_cols.div_ceil(NTILE).max(1) as f64;
+        self.lock_state()
+            .calibration
+            .map(|c| c.model(use_tc).predict(x))
+    }
+
+    /// Chooses a configuration for matrix `a` and a planning width of
+    /// `n_cols` output columns.
+    ///
+    /// With a calibration present this costs one permutation per effective
+    /// signature plus one [`count_blocks`] pass per candidate — no BCSR
+    /// build, no launch. Without one it probe-runs the candidates and
+    /// bootstraps the calibration as a side effect.
+    ///
+    /// # Panics
+    /// Panics if the space is empty or (in probe mode) no candidate admits
+    /// a launch.
+    pub fn decide<T: Element>(&self, a: &Csr<T>, n_cols: usize, base: &SmatConfig) -> PlanDecision {
+        assert!(
+            !self.space.block_shapes.is_empty() && !self.space.reorderings.is_empty(),
+            "empty planning space"
+        );
+        let mut span = smat_trace::span("plan", "planner");
+        span.arg("rows", a.nrows() as u64);
+        span.arg("nnz", a.nnz() as u64);
+        span.arg("n_cols", n_cols as u64);
+        let calibration = self.lock_state().calibration;
+        let decision = match calibration {
+            Some(cal) => self.decide_calibrated(a, n_cols, &cal),
+            None => self.decide_probe(a, n_cols, base),
+        };
+        span.arg("block_h", decision.block_h as u64);
+        span.arg("block_w", decision.block_w as u64);
+        span.arg("reorder", decision.reorder.name());
+        span.arg("use_tc", decision.use_tc as u64);
+        span.arg("n_e", decision.n_e as u64);
+        span.arg("predicted_ms", decision.predicted_ms);
+        span.arg(
+            "source",
+            match decision.source {
+                PlanSource::Calibrated => "calibrated",
+                PlanSource::Probe => "probe",
+            },
+        );
+        decision
+    }
+
+    /// Feeds an observed kernel time back into the model: `t_ms` is the
+    /// simulated launch time of an `n_cols`-wide SpMM over a prepare with
+    /// `n_e` blocks in mode `use_tc`. Non-positive or non-finite times are
+    /// ignored (degraded/fallback executions are not kernel samples).
+    pub fn observe(&self, use_tc: bool, n_e: usize, n_cols: usize, t_ms: f64) {
+        if !(t_ms.is_finite() && t_ms > 0.0) {
+            return;
+        }
+        let x = n_e as f64 * n_cols.div_ceil(NTILE).max(1) as f64;
+        let mut st = self.lock_state();
+        st.observations += 1;
+        let window = if use_tc {
+            &mut st.tc_window
+        } else {
+            &mut st.scalar_window
+        };
+        window.push(PerfSample { n_e: x, t_ms });
+        if window.len() > OBSERVE_WINDOW {
+            let excess = window.len() - OBSERVE_WINDOW;
+            window.drain(..excess);
+        }
+        if window.len() < REFIT_MIN || window.len() % REFIT_EVERY != 0 {
+            return;
+        }
+        // Refit only when the window's x-spread is identifiable; a burst of
+        // identical shapes must not wipe out the calibration.
+        let (min_x, max_x) = window
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), s| {
+                (lo.min(s.n_e), hi.max(s.n_e))
+            });
+        if max_x - min_x <= max_x.abs() * 1e-6 + 1e-12 {
+            return;
+        }
+        let model = PerfModel::fit(window);
+        match &mut st.calibration {
+            Some(cal) => {
+                if use_tc {
+                    cal.tc = model;
+                } else {
+                    cal.scalar = model;
+                }
+            }
+            // No calibration yet (never probed): bootstrap both modes from
+            // this one — the other mode's line is replaced as soon as its
+            // own window becomes identifiable.
+            None => {
+                st.calibration = Some(Calibration {
+                    tc: model,
+                    scalar: model,
+                });
+            }
+        }
+        st.refits += 1;
+    }
+
+    fn decide_calibrated<T: Element>(
+        &self,
+        a: &Csr<T>,
+        n_cols: usize,
+        cal: &Calibration,
+    ) -> PlanDecision {
+        let ntiles = n_cols.div_ceil(NTILE).max(1) as f64;
+        let mut cache = ReorderCache::new(a);
+        let mut best: Option<PlanDecision> = None;
+        for &(h, w) in &self.space.block_shapes {
+            for &alg in &self.space.reorderings {
+                let n_e = count_blocks(cache.permuted(alg, h, w), h, w);
+                for use_tc in self.modes() {
+                    let predicted = cal.model(use_tc).predict(n_e as f64 * ntiles);
+                    if best.as_ref().is_none_or(|b| predicted < b.predicted_ms) {
+                        best = Some(PlanDecision {
+                            block_h: h,
+                            block_w: w,
+                            reorder: alg,
+                            use_tc,
+                            predicted_ms: predicted,
+                            n_e,
+                            source: PlanSource::Calibrated,
+                        });
+                    }
+                }
+            }
+        }
+        best.expect("non-empty planning space")
+    }
+
+    fn decide_probe<T: Element>(
+        &self,
+        a: &Csr<T>,
+        n_cols: usize,
+        base: &SmatConfig,
+    ) -> PlanDecision {
+        let gpu = Gpu::new(base.device.clone());
+        let probe = probe_rhs::<T>(a.ncols(), n_cols);
+        let ntiles = n_cols.div_ceil(NTILE).max(1) as f64;
+        let mut cache = ReorderCache::new(a);
+        let mut tc_samples: Vec<PerfSample> = Vec::new();
+        let mut scalar_samples: Vec<PerfSample> = Vec::new();
+        let mut best: Option<PlanDecision> = None;
+        for &(h, w) in &self.space.block_shapes {
+            for &alg in &self.space.reorderings {
+                let reordering = cache.reordering(alg, h, w);
+                let cfg = SmatConfig {
+                    block_h: h,
+                    block_w: w,
+                    reorder: alg,
+                    ..base.clone()
+                };
+                let engine = Smat::prepare_with_reordering(a, cfg, reordering);
+                let n_e = engine.bcsr().nblocks();
+                for use_tc in self.modes() {
+                    // A candidate whose fragment shape the device rejects is
+                    // simply not a viable plan; skip it.
+                    let Ok(t) = probe_launch(&gpu, &engine, &probe, use_tc, base) else {
+                        continue;
+                    };
+                    let sample = PerfSample {
+                        n_e: n_e as f64 * ntiles,
+                        t_ms: t,
+                    };
+                    if use_tc {
+                        tc_samples.push(sample);
+                    } else {
+                        scalar_samples.push(sample);
+                    }
+                    if best.as_ref().is_none_or(|b| t < b.predicted_ms) {
+                        best = Some(PlanDecision {
+                            block_h: h,
+                            block_w: w,
+                            reorder: alg,
+                            use_tc,
+                            predicted_ms: t,
+                            n_e,
+                            source: PlanSource::Probe,
+                        });
+                    }
+                }
+            }
+        }
+        let best = best.expect("no plan candidate admitted a probe launch");
+        self.bootstrap(&tc_samples, &scalar_samples);
+        best
+    }
+
+    /// Seeds the calibration from probe samples when none exists yet and
+    /// the samples identify a slope. First writer wins: a concurrent
+    /// probe's bootstrap is not overwritten.
+    fn bootstrap(&self, tc: &[PerfSample], scalar: &[PerfSample]) {
+        let fit = |samples: &[PerfSample]| -> Option<PerfModel> {
+            if samples.len() < 2 {
+                return None;
+            }
+            let (min_x, max_x) = samples
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), s| {
+                    (lo.min(s.n_e), hi.max(s.n_e))
+                });
+            if max_x - min_x <= max_x.abs() * 1e-6 + 1e-12 {
+                return None;
+            }
+            Some(PerfModel::fit(samples))
+        };
+        let (Some(tc_model), scalar_model) = (fit(tc), fit(scalar)) else {
+            return;
+        };
+        let mut st = self.lock_state();
+        if st.calibration.is_none() {
+            st.calibration = Some(Calibration {
+                tc: tc_model,
+                scalar: scalar_model.unwrap_or(tc_model),
+            });
+        }
+    }
+
+    /// Execution modes to consider, TC first so exact prediction ties keep
+    /// the tensor-core path.
+    fn modes(&self) -> impl Iterator<Item = bool> {
+        std::iter::once(true).chain(self.space.try_scalar.then_some(false))
+    }
+
+    fn lock_state(&self) -> std::sync::MutexGuard<'_, PlannerState> {
+        // Poisoning can only happen if a panic fires inside one of the
+        // short critical sections above; the state is a plain value that
+        // stays consistent, so recover rather than cascade.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+/// The fixed probe right-hand side shared by probe decisions and
+/// calibration fits; values are irrelevant for (simulated) timing.
+fn probe_rhs<T: Element>(rows: usize, n_cols: usize) -> Dense<T> {
+    Dense::from_fn(rows, n_cols.max(1), |i, j| {
+        T::from_f64(((i + j) % 3) as f64)
+    })
+}
+
+/// One probe launch of `engine`'s BCSR in the given execution mode,
+/// returning the simulated time. Goes through the kernel directly so both
+/// modes reuse a single prepare.
+fn probe_launch<T: Element>(
+    gpu: &Gpu,
+    engine: &Smat<T>,
+    probe: &Dense<T>,
+    use_tc: bool,
+    base: &SmatConfig,
+) -> Result<f64, smat_gpusim::SimError> {
+    let mut opts = base.opts;
+    opts.tc = use_tc;
+    let b_permuted;
+    let b_eff = match engine.permute_rhs(probe) {
+        Some(p) => {
+            b_permuted = p;
+            &b_permuted
+        }
+        None => probe,
+    };
+    let (launch, _) = smat_spmm_scheduled(
+        gpu,
+        engine.bcsr(),
+        b_eff,
+        opts,
+        base.accum,
+        Epilogue::default(),
+        base.schedule,
+    )?;
+    Ok(launch.time_ms)
+}
+
+/// Memoizes `reorder()` products per effective permutation signature so a
+/// candidate sweep computes each distinct permutation (and, on demand, the
+/// permuted matrix) exactly once. Used by both the planner and
+/// [`crate::autotune()`].
+pub struct ReorderCache<'a, T> {
+    a: &'a Csr<T>,
+    entries: Vec<CacheEntry<T>>,
+}
+
+struct CacheEntry<T> {
+    alg: ReorderAlgorithm,
+    signature: (usize, usize),
+    reordering: Reordering,
+    permuted: Option<Csr<T>>,
+}
+
+impl<'a, T: Element> ReorderCache<'a, T> {
+    /// A cache over matrix `a`.
+    pub fn new(a: &'a Csr<T>) -> Self {
+        ReorderCache {
+            a,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Number of distinct permutations computed so far.
+    pub fn computed(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn entry_index(&mut self, alg: ReorderAlgorithm, block_h: usize, block_w: usize) -> usize {
+        let signature = alg.permutation_signature(block_h, block_w);
+        if let Some(i) = self
+            .entries
+            .iter()
+            .position(|e| e.alg == alg && e.signature == signature)
+        {
+            return i;
+        }
+        let reordering = reorder(self.a, alg, block_h, block_w);
+        self.entries.push(CacheEntry {
+            alg,
+            signature,
+            reordering,
+            permuted: None,
+        });
+        self.entries.len() - 1
+    }
+
+    /// The reordering for a candidate, computed on first use per signature.
+    pub fn reordering(
+        &mut self,
+        alg: ReorderAlgorithm,
+        block_h: usize,
+        block_w: usize,
+    ) -> Reordering {
+        let i = self.entry_index(alg, block_h, block_w);
+        self.entries[i].reordering.clone()
+    }
+
+    /// The permuted matrix for a candidate, computed (and cached) on first
+    /// use per signature.
+    pub fn permuted(&mut self, alg: ReorderAlgorithm, block_h: usize, block_w: usize) -> &Csr<T> {
+        let i = self.entry_index(alg, block_h, block_w);
+        if self.entries[i].permuted.is_none() {
+            let permuted = self.entries[i].reordering.apply(self.a);
+            self.entries[i].permuted = Some(permuted);
+        }
+        self.entries[i].permuted.as_ref().expect("just filled")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smat_formats::{Coo, F16};
+
+    /// A band matrix with semi-bandwidth `b` (inline so core needs no
+    /// workloads dependency; `smat_workloads::generators::band` is the
+    /// public equivalent).
+    fn band(n: usize, b: usize) -> Csr<F16> {
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            for j in i.saturating_sub(b)..(i + b + 1).min(n) {
+                coo.push(i, j, F16::from_f64(1.0));
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn scrambled_families(n: usize) -> Csr<F16> {
+        let mut coo = Coo::new(n, n);
+        for r in 0..n {
+            let base = (r % 4) * (n / 4);
+            for j in 0..6 {
+                coo.push(r, (base + j * 16) % n, F16::from_f64(1.0));
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn band_suite() -> Vec<Csr<F16>> {
+        [2usize, 4, 8, 16, 24]
+            .iter()
+            .map(|&b| band(96, b))
+            .collect()
+    }
+
+    fn calibrated_planner() -> Planner {
+        let cal = Calibration::fit_on(&band_suite(), 8, &SmatConfig::default());
+        Planner::with_calibration(PlanSpace::default(), cal)
+    }
+
+    #[test]
+    fn calibration_fits_positive_slopes() {
+        let cal = Calibration::fit_on(&band_suite(), 8, &SmatConfig::default());
+        assert!(cal.tc.t_e_ms > 0.0, "tc slope: {}", cal.tc.t_e_ms);
+        assert!(cal.scalar.t_e_ms > 0.0);
+        assert!(
+            cal.tc.r2 > 0.9,
+            "band fit should be near-linear: {}",
+            cal.tc.r2
+        );
+        // The scalar kernel pays more per elementary computation.
+        assert!(cal.scalar.t_e_ms > cal.tc.t_e_ms);
+    }
+
+    #[test]
+    fn calibrated_decision_is_deterministic_and_finite() {
+        let planner = calibrated_planner();
+        let a = scrambled_families(128);
+        let d1 = planner.decide(&a, 8, &SmatConfig::default());
+        let d2 = planner.decide(&a, 8, &SmatConfig::default());
+        assert!(d1.predicted_ms.is_finite() && d1.predicted_ms > 0.0);
+        assert!(d1.n_e > 0);
+        assert_eq!(d1.source, PlanSource::Calibrated);
+        assert_eq!((d1.block_h, d1.block_w), (d2.block_h, d2.block_w));
+        assert_eq!(d1.reorder, d2.reorder);
+        assert_eq!(d1.use_tc, d2.use_tc);
+        assert_eq!(d1.predicted_ms.to_bits(), d2.predicted_ms.to_bits());
+    }
+
+    #[test]
+    fn decision_n_e_matches_prepared_block_count() {
+        let planner = calibrated_planner();
+        let a = scrambled_families(96);
+        let d = planner.decide(&a, 8, &SmatConfig::default());
+        let engine = Smat::prepare(&a, d.apply(&SmatConfig::default()));
+        assert_eq!(d.n_e, engine.bcsr().nblocks());
+    }
+
+    #[test]
+    fn probe_fallback_decides_and_bootstraps_calibration() {
+        let planner = Planner::new(PlanSpace::default());
+        assert!(planner.calibration().is_none());
+        let a = scrambled_families(128);
+        let d = planner.decide(&a, 8, &SmatConfig::default());
+        assert_eq!(d.source, PlanSource::Probe);
+        assert!(d.predicted_ms.is_finite() && d.predicted_ms > 0.0);
+        // The probe samples seeded a calibration: the next decision is
+        // model-scored.
+        assert!(planner.calibration().is_some());
+        let d2 = planner.decide(&a, 8, &SmatConfig::default());
+        assert_eq!(d2.source, PlanSource::Calibrated);
+    }
+
+    #[test]
+    fn probe_decision_picks_the_measured_minimum() {
+        // With try_scalar on, the scalar mode must never win a probe on a
+        // clean blocked matrix (TC is strictly faster per block here).
+        let planner = Planner::new(PlanSpace::default());
+        let a = band(96, 8);
+        let d = planner.decide(&a, 8, &SmatConfig::default());
+        assert!(d.use_tc, "TC must win on a band matrix: {d:?}");
+    }
+
+    #[test]
+    fn observe_refits_toward_a_synthetic_linear_workload() {
+        // Start from a deliberately wrong calibration and feed samples from
+        // a known line; the online refit must converge to it.
+        let bad = PerfModel {
+            t_e_ms: 123.0,
+            t_init_ms: 9.9,
+            r2: 0.0,
+        };
+        let planner = Planner::with_calibration(
+            PlanSpace::default(),
+            Calibration {
+                tc: bad,
+                scalar: bad,
+            },
+        );
+        let true_te = 2.5e-4;
+        let true_init = 0.75;
+        for i in 1..=32usize {
+            let n_e = 100 * i;
+            let x = n_e as f64; // n_cols = 8 → one tile
+            planner.observe(true, n_e, 8, true_te * x + true_init);
+        }
+        assert!(planner.refits() >= 1, "refits: {}", planner.refits());
+        assert_eq!(planner.observations(), 32);
+        let predicted = planner.predict(true, 2000, 8).expect("calibrated");
+        let truth = true_te * 2000.0 + true_init;
+        assert!(
+            ((predicted - truth) / truth).abs() < 1e-6,
+            "predicted {predicted} vs truth {truth}"
+        );
+        // The scalar model was untouched (still the bad line).
+        let scalar = planner.calibration().unwrap().scalar;
+        assert_eq!(scalar.t_e_ms, 123.0);
+    }
+
+    #[test]
+    fn degenerate_observations_do_not_wipe_calibration() {
+        let planner = calibrated_planner();
+        let before = planner.calibration().unwrap().tc;
+        // A burst of identical shapes and some garbage times.
+        for _ in 0..64 {
+            planner.observe(true, 500, 8, 1.0);
+        }
+        planner.observe(true, 500, 8, f64::NAN);
+        planner.observe(true, 500, 8, 0.0);
+        planner.observe(true, 500, 8, -3.0);
+        let after = planner.calibration().unwrap().tc;
+        assert_eq!(before.t_e_ms.to_bits(), after.t_e_ms.to_bits());
+        assert_eq!(planner.refits(), 0);
+        // Only the finite positive samples were counted.
+        assert_eq!(planner.observations(), 64);
+    }
+
+    #[test]
+    fn reorder_cache_computes_each_signature_once() {
+        let a = scrambled_families(64);
+        let mut cache = ReorderCache::new(&a);
+        // GrayCode ignores block_h: two shapes sharing w → one entry.
+        cache.reordering(ReorderAlgorithm::GrayCode, 16, 16);
+        cache.reordering(ReorderAlgorithm::GrayCode, 8, 16);
+        assert_eq!(cache.computed(), 1);
+        // ...but a different w is a different signature.
+        cache.reordering(ReorderAlgorithm::GrayCode, 16, 8);
+        assert_eq!(cache.computed(), 2);
+        // Identity ignores both dims.
+        cache.reordering(ReorderAlgorithm::Identity, 16, 16);
+        cache.reordering(ReorderAlgorithm::Identity, 4, 4);
+        assert_eq!(cache.computed(), 3);
+        // Jaccard depends on both.
+        cache.reordering(ReorderAlgorithm::JaccardRows { tau: 0.7 }, 16, 16);
+        cache.reordering(ReorderAlgorithm::JaccardRows { tau: 0.7 }, 16, 8);
+        assert_eq!(cache.computed(), 5);
+        // Same params again: cached.
+        cache.permuted(ReorderAlgorithm::JaccardRows { tau: 0.7 }, 16, 16);
+        assert_eq!(cache.computed(), 5);
+        // Different tau is a different algorithm even at the same shape.
+        cache.reordering(ReorderAlgorithm::JaccardRows { tau: 0.3 }, 16, 16);
+        assert_eq!(cache.computed(), 6);
+    }
+
+    #[test]
+    fn cached_reordering_matches_direct_computation() {
+        let a = scrambled_families(96);
+        let mut cache = ReorderCache::new(&a);
+        for &(h, w) in &[(16usize, 16usize), (16, 8), (8, 16)] {
+            for alg in [
+                ReorderAlgorithm::Identity,
+                ReorderAlgorithm::JaccardRows { tau: 0.7 },
+                ReorderAlgorithm::GrayCode,
+                ReorderAlgorithm::DegreeSort,
+            ] {
+                let cached = cache.reordering(alg, h, w);
+                let direct = reorder(&a, alg, h, w);
+                assert_eq!(
+                    cached.row_perm.as_slice(),
+                    direct.row_perm.as_slice(),
+                    "{alg:?} at {h}x{w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty planning space")]
+    fn rejects_empty_space() {
+        let planner = Planner::new(PlanSpace {
+            block_shapes: vec![],
+            reorderings: vec![],
+            try_scalar: false,
+        });
+        let a = band(32, 2);
+        let _ = planner.decide(&a, 8, &SmatConfig::default());
+    }
+}

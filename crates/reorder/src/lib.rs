@@ -26,6 +26,7 @@ pub mod rcm;
 pub mod saad;
 pub mod stats;
 
+use serde::Serialize;
 use smat_formats::{BlockRowStats, Csr, Element, Permutation};
 
 pub use bisection::{bisection_row_permutation, BisectionParams};
@@ -37,7 +38,7 @@ pub use saad::{saad_row_permutation, SaadParams};
 
 /// The reordering schemes evaluated in the paper, unified behind one
 /// dispatcher ([`reorder`]).
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
 pub enum ReorderAlgorithm {
     /// No reordering (`P = I`).
     Identity,
@@ -103,6 +104,39 @@ impl ReorderAlgorithm {
             ReorderAlgorithm::Bisection => "bisection",
             ReorderAlgorithm::DegreeSort => "degree-sort",
         }
+    }
+
+    /// Which block dimensions `(block_h, block_w)` the computed permutation
+    /// actually depends on. Algorithms that ignore a dimension produce the
+    /// same [`Reordering`] for every value of it, so callers sweeping a
+    /// block-shape space (autotune, the admission planner) can reorder once
+    /// per *effective* signature instead of once per candidate.
+    ///
+    /// Mirrors the [`reorder`] dispatcher: the Jaccard family quantizes
+    /// column patterns by `block_w` and caps clusters at `block_h` rows;
+    /// Saad and Gray-code quantize by `block_w` only; bisection partitions
+    /// down to `block_h` under `block_w`-quantized connectivity; identity,
+    /// RCM, and degree sort look at the graph alone.
+    pub fn permutation_depends_on(&self) -> (bool, bool) {
+        match self {
+            ReorderAlgorithm::Identity
+            | ReorderAlgorithm::ReverseCuthillMcKee
+            | ReorderAlgorithm::DegreeSort => (false, false),
+            ReorderAlgorithm::Saad { .. } | ReorderAlgorithm::GrayCode => (false, true),
+            ReorderAlgorithm::JaccardRows { .. }
+            | ReorderAlgorithm::JaccardRowsCols { .. }
+            | ReorderAlgorithm::JaccardLsh { .. }
+            | ReorderAlgorithm::Bisection => (true, true),
+        }
+    }
+
+    /// The `(block_h, block_w)` pair after masking out dimensions the
+    /// permutation does not depend on (masked dims map to 0). Two candidate
+    /// configurations with equal signatures are guaranteed to produce the
+    /// same permutation, so the signature is a reuse key.
+    pub fn permutation_signature(&self, block_h: usize, block_w: usize) -> (usize, usize) {
+        let (h, w) = self.permutation_depends_on();
+        (if h { block_h } else { 0 }, if w { block_w } else { 0 })
     }
 }
 

@@ -26,6 +26,14 @@
 //!   device-level dispatch and a checked join ([`FanoutJoin`])
 //!   row-concatenates the partial products — bitwise identical to
 //!   unsharded execution, with per-shard recovery under chaos.
+//! * planning — an optional cost-model-driven admission planner
+//!   ([`ServerConfig::planner`]): registrations without a pinned
+//!   configuration are scored with the calibrated Eq. 1 perf model
+//!   ([`smat::Planner`]) to choose `{block shape, reordering,
+//!   scalar-vs-TC}` per matrix (per shard for sharded ones); observed
+//!   launch times flow back for online refits and every prediction is
+//!   graded against the launch it planned
+//!   ([`ServerStats::plan_mean_rel_error`]).
 //! * [`chaos`] — fault survival over the seeded fault-injection layer of
 //!   `smat-gpusim`: bounded retry with seeded-jitter backoff, per-device
 //!   circuit breakers that eject flapping devices from dispatch,
@@ -69,6 +77,7 @@ pub use registry::{
     config_digest, AdmissionState, MatrixKey, ParkResult, PreparedMatrixRegistry, RegistryStats,
 };
 pub use server::{ResponseFuture, ServeResponse, Server, ServerConfig};
+pub use smat::{Calibration, PlanDecision, PlanSource, PlanSpace, Planner};
 pub use smat_shard::{FanoutJoin, ShardPlan, ShardPolicy};
 pub use smat_trace::TraceHandle;
 pub use stats::{ChaosStats, DeviceStats, LatencyStats, ServerStats};

@@ -20,7 +20,7 @@ use std::task::{Context, Poll};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use smat::{Smat, SmatConfig};
+use smat::{Planner, Smat, SmatConfig};
 use smat_formats::{Csr, Dense, Element, MatrixFingerprint};
 use smat_gpusim::{compose_key, FaultConfig, FaultPlan, Gpu, SimError};
 use smat_shard::{partition, FanoutJoin, ShardPlan};
@@ -72,6 +72,18 @@ pub struct ServerConfig {
     /// identical to unsharded execution). `None` (the default) and
     /// `Some(0)` disable sharding.
     pub shard_max_bytes: Option<usize>,
+    /// Cost-model-driven admission planner. `None` (the default) prepares
+    /// every registration under [`ServerConfig::smat`] verbatim. `Some`
+    /// lets the planner choose `{block shape, reordering, scalar-vs-TC}`
+    /// per registered matrix (per shard for sharded ones), scored with the
+    /// calibrated perf model at a planning width of
+    /// [`ServerConfig::column_budget`] columns — the width a saturated
+    /// batched launch runs at. Observed launch times flow back into the
+    /// planner for online refits, and every prediction is checked against
+    /// the launch it planned (`plan_mean_rel_error` in the stats).
+    /// Tenants that pin a configuration via
+    /// [`Server::register_with_config`] bypass the planner entirely.
+    pub planner: Option<Arc<Planner>>,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +99,7 @@ impl Default for ServerConfig {
             chaos: None,
             recovery: RecoveryPolicy::default(),
             shard_max_bytes: None,
+            planner: None,
         }
     }
 }
@@ -112,6 +125,15 @@ pub struct ServeResponse<T> {
     pub degraded: bool,
     /// Launch attempts the batch needed (1 on the fault-free fast path).
     pub attempts: u32,
+    /// The planner's predicted kernel milliseconds for the shared launch,
+    /// recorded before the observation fed back into the model. `None`
+    /// when the server runs without an admission planner, for pinned
+    /// registrations, and for degraded completions (a scalar-path timing
+    /// is not a sample of the planned mode). For sharded requests this is
+    /// the sum over shard launches, `None` if any shard lacked one.
+    /// Together with `sim_ms` this is the per-request
+    /// predicted-vs-actual record.
+    pub predicted_ms: Option<f64>,
 }
 
 /// Future returned by [`Server::submit`].
@@ -249,6 +271,12 @@ struct Central {
     /// accepted-only semantics.
     next_seq: AtomicU64,
     latencies: Mutex<Vec<f64>>,
+    /// Requests completed under a planner-chosen configuration whose
+    /// prediction was checked against the observed launch time.
+    planned: AtomicU64,
+    /// Accumulated (Σ relative error, check count) of plan predictions
+    /// against observed launch times.
+    plan_err: Mutex<(f64, u64)>,
 }
 
 struct PoolShared<T> {
@@ -265,6 +293,9 @@ struct PoolShared<T> {
     recovery: RecoveryPolicy,
     chaos: ChaosCounters,
     central: Central,
+    /// The admission planner (mirrors [`ServerConfig::planner`]); workers
+    /// feed observed launch times back through it.
+    planner: Option<Arc<Planner>>,
     shutdown: AtomicBool,
     paused: AtomicBool,
     column_budget: usize,
@@ -320,6 +351,7 @@ impl<T: Element> Server<T> {
             recovery: config.recovery,
             chaos: ChaosCounters::default(),
             central: Central::default(),
+            planner: config.planner.clone(),
             shutdown: AtomicBool::new(false),
             paused: AtomicBool::new(false),
             column_budget: config.column_budget,
@@ -358,16 +390,50 @@ impl<T: Element> Server<T> {
     /// registry) and submissions against the returned key fan out across
     /// the pool.
     pub fn register(&self, a: &Csr<T>) -> MatrixKey {
+        // With an admission planner, the key still identifies
+        // (matrix, base config): deciding before key derivation would make
+        // key computation as expensive as planning, and equal matrices
+        // must keep deduplicating regardless of when they were planned.
+        // The prepared handle carries the planned configuration.
         let key = MatrixKey::new(MatrixFingerprint::of_csr(a), &self.config.smat);
         if let Some(policy) = shard_policy(self.config.shard_max_bytes) {
             let plan = partition(a, &policy);
             if plan.is_sharded() {
                 let slot = self.sharded.slot(key);
-                fulfill_entry(&slot, &self.registry, a, plan, &self.config.smat);
+                fulfill_entry(
+                    &slot,
+                    &self.registry,
+                    a,
+                    plan,
+                    &self.config.smat,
+                    self.config.planner.as_ref(),
+                    self.config.column_budget,
+                );
                 return key;
             }
         }
         let cfg = self.config.smat.clone();
+        let planner = self.config.planner.clone();
+        let width = self.config.column_budget;
+        self.registry.get_or_prepare(key, || match planner {
+            Some(p) => {
+                let d = p.decide(a, width, &cfg);
+                Smat::prepare_with_plan(a, d.apply(&cfg), d)
+            }
+            None => Smat::prepare(a, cfg),
+        });
+        key
+    }
+
+    /// Registers `a` under an explicit pinned configuration, bypassing
+    /// both the admission planner and sharding. The key is derived from
+    /// `cfg`'s digest, so the same matrix pinned under different
+    /// configurations coexists in the registry (and is distinct from its
+    /// planner-managed registration). Tenants that know their
+    /// configuration use this; everyone else goes through
+    /// [`Server::register`] and lets the planner choose.
+    pub fn register_with_config(&self, a: &Csr<T>, cfg: SmatConfig) -> MatrixKey {
+        let key = MatrixKey::new(MatrixFingerprint::of_csr(a), &cfg);
         self.registry.get_or_prepare(key, || Smat::prepare(a, cfg));
         key
     }
@@ -387,11 +453,21 @@ impl<T: Element> Server<T> {
                 if !slot.is_ready() {
                     let registry = Arc::clone(&self.registry);
                     let cfg = self.config.smat.clone();
+                    let planner = self.config.planner.clone();
+                    let width = self.config.column_budget;
                     let a = a.clone();
                     let handle = std::thread::Builder::new()
                         .name("smat-serve-shard-warm".into())
                         .spawn(move || {
-                            fulfill_entry(&slot, &registry, &a, plan, &cfg);
+                            fulfill_entry(
+                                &slot,
+                                &registry,
+                                &a,
+                                plan,
+                                &cfg,
+                                planner.as_ref(),
+                                width,
+                            );
                         })
                         .expect("spawn shard warm thread");
                     self.sharded.push_warm(handle);
@@ -400,9 +476,16 @@ impl<T: Element> Server<T> {
             }
         }
         let cfg = self.config.smat.clone();
+        let planner = self.config.planner.clone();
+        let width = self.config.column_budget;
         let a = a.clone();
-        self.registry
-            .warm_prepare(key, move || Smat::prepare(&a, cfg));
+        self.registry.warm_prepare(key, move || match planner {
+            Some(p) => {
+                let d = p.decide(&a, width, &cfg);
+                Smat::prepare_with_plan(&a, d.apply(&cfg), d)
+            }
+            None => Smat::prepare(&a, cfg),
+        });
         key
     }
 
@@ -594,6 +677,8 @@ impl<T: Element> Server<T> {
         };
         let active_ms = (wall_ms - paused_ms).max(0.0);
         let c = &self.shared.central;
+        // POLICY (poisoning): recover. Two-scalar accumulator.
+        let (plan_err_sum, plan_predictions) = *c.plan_err.lock_or_recover();
         let devices: Vec<DeviceStats> = self
             .shared
             .devices
@@ -636,6 +721,15 @@ impl<T: Element> Server<T> {
             shard_subrequests: c.shard_subrequests.load(Ordering::Relaxed),
             queue_depth: devices.iter().map(|d| d.queue_depth).sum(),
             sim_ms_total: devices.iter().map(|d| d.sim_ms).sum(),
+            planned_requests: c.planned.load(Ordering::Relaxed),
+            plan_predictions,
+            plan_mean_rel_error: if plan_predictions == 0 {
+                0.0
+            } else {
+                plan_err_sum / plan_predictions as f64
+            },
+            plan_refits: self.shared.planner.as_ref().map_or(0, |p| p.refits()),
+            plan_observations: self.shared.planner.as_ref().map_or(0, |p| p.observations()),
             registry: self.registry.stats(),
             plans: self.plans.stats(),
             chaos: self.shared.chaos.snapshot(),
@@ -951,6 +1045,9 @@ fn make_join<T: Element>(
                 wall_ms,
                 degraded: responses.iter().any(|r| r.degraded),
                 attempts: responses.iter().map(|r| r.attempts).max().unwrap_or(1),
+                // Sum of the shard predictions; `None` as soon as any
+                // shard lacked one (Option's `Sum` short-circuits).
+                predicted_ms: responses.iter().map(|r| r.predicted_ms).sum(),
             };
             central.completed.fetch_add(1, Ordering::Relaxed);
             // POLICY (poisoning): recover. Append-only sample vector.
@@ -1301,6 +1398,44 @@ fn execute_batch<T: Element>(
                 // sub-results settle the parent's count in the join.
                 let n_direct = live.iter().filter(|r| r.responder.is_direct()).count() as u64;
                 central.completed.fetch_add(n_direct, Ordering::Relaxed);
+                // Cost-model feedback: grade the plan's prediction against
+                // the observed launch, then feed the observation back for
+                // online refit — predict *before* observe, so a launch
+                // never trains the model that grades it. Degraded
+                // completions are scalar-path timings of a TC-planned
+                // configuration, not a sample of the planned mode.
+                let mut predicted_ms = None;
+                if let (Some(planner), Some(decision)) =
+                    (&shared.planner, live[0].smat.plan_decision())
+                {
+                    if !out.degraded && out.sim_ms > 0.0 {
+                        let pred = planner
+                            .predict(decision.use_tc, decision.n_e, batch_cols)
+                            .unwrap_or(decision.predicted_ms);
+                        central.planned.fetch_add(n_live as u64, Ordering::Relaxed);
+                        {
+                            // POLICY (poisoning): recover. Two-scalar
+                            // accumulator; both fields update under one
+                            // guard.
+                            let mut err = central.plan_err.lock_or_recover();
+                            err.0 += (pred - out.sim_ms).abs() / out.sim_ms;
+                            err.1 += 1;
+                        }
+                        planner.observe(decision.use_tc, decision.n_e, batch_cols, out.sim_ms);
+                        if smat_trace::enabled() {
+                            smat_trace::instant(
+                                "plan_feedback",
+                                "planner",
+                                vec![
+                                    ("device", (idx as u64).into()),
+                                    ("predicted_ms", pred.into()),
+                                    ("sim_ms", out.sim_ms.into()),
+                                ],
+                            );
+                        }
+                        predicted_ms = Some(pred);
+                    }
+                }
                 // Latency samples land before any response is sent: a shard
                 // responder finishing a fan-out runs the join callback
                 // inline, which takes this same lock for the parent sample.
@@ -1339,6 +1474,7 @@ fn execute_batch<T: Element>(
                         wall_ms,
                         degraded: out.degraded,
                         attempts: out.attempts,
+                        predicted_ms,
                     }));
                 }
             }

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use smat::{Smat, SmatConfig};
+use smat::{Planner, Smat, SmatConfig};
 use smat_formats::{Csr, Element, MatrixFingerprint};
 use smat_sanitize::sync::Mutex;
 use smat_shard::{ShardPlan, ShardPolicy};
@@ -132,12 +132,20 @@ pub(crate) fn shard_policy(shard_max_bytes: Option<usize>) -> Option<ShardPolicy
 /// prepare deduplicates through the registry, so a shard shared with an
 /// earlier registration is a registry hit, not a second prepare. Returns
 /// `true` iff this call ran the preparation.
+///
+/// With a `planner`, each shard is planned *independently* on its own row
+/// slice at `plan_width` columns — a skewed tail shard can land on a
+/// different block shape or reordering than the dense head. Shard keys
+/// stay derived from the base config digest (see [`crate::Server::register`]
+/// for why), so equal shards deduplicate regardless of planning.
 pub(crate) fn fulfill_entry<T: Element>(
     slot: &ParkSlot<ShardedEntry<T>>,
     registry: &PreparedMatrixRegistry<T>,
     a: &Csr<T>,
     plan: ShardPlan,
     cfg: &SmatConfig,
+    planner: Option<&Arc<Planner>>,
+    plan_width: usize,
 ) -> bool {
     slot.fulfill(|| {
         let plan = Arc::new(plan);
@@ -147,8 +155,14 @@ pub(crate) fn fulfill_entry<T: Element>(
             let shard_csr = a.slice_rows(d.row_start, d.row_end);
             let key = MatrixKey::new(MatrixFingerprint::of_csr(&shard_csr), cfg);
             let prep_cfg = cfg.clone();
-            let (smat, _hit) =
-                registry.get_or_prepare(key, move || Smat::prepare(&shard_csr, prep_cfg));
+            let planner = planner.map(Arc::clone);
+            let (smat, _hit) = registry.get_or_prepare(key, move || match planner {
+                Some(p) => {
+                    let decision = p.decide(&shard_csr, plan_width, &prep_cfg);
+                    Smat::prepare_with_plan(&shard_csr, decision.apply(&prep_cfg), decision)
+                }
+                None => Smat::prepare(&shard_csr, prep_cfg),
+            });
             keys.push(key);
             smats.push(smat);
         }

@@ -176,6 +176,26 @@ pub struct ServerStats {
     pub queue_depth: usize,
     /// Total simulated kernel milliseconds across the pool.
     pub sim_ms_total: f64,
+    /// Requests completed under a planner-chosen configuration whose
+    /// prediction was checked against the observed launch time. Zero
+    /// without an admission planner and for pinned registrations. A pure
+    /// request-stream counter under drained replay (degradation, the only
+    /// exclusion, is content-deterministic there) — part of the
+    /// deterministic group.
+    pub planned_requests: u64,
+    /// Prediction checks performed — one per planned, non-degraded batch.
+    /// Depends on batch composition; *not* deterministic.
+    pub plan_predictions: u64,
+    /// Mean relative error `|predicted − observed| / observed` over those
+    /// checks (`0.0` when none ran). The falsifiability stat of the
+    /// admission planner: each check predicts the batch's total width, so
+    /// the value depends on batch composition and is *not* part of the
+    /// deterministic counter group.
+    pub plan_mean_rel_error: f64,
+    /// Online perf-model refits the planner has performed.
+    pub plan_refits: u64,
+    /// Observed launch samples the planner accepted into refit windows.
+    pub plan_observations: u64,
     /// Prepared-matrix registry counters.
     pub registry: RegistryStats,
     /// Plan-cache counters.

@@ -34,6 +34,16 @@ pub fn band_nnz(n: usize, b: usize) -> usize {
         .sum()
 }
 
+/// The paper's perf-model calibration suite (§III): `n×n` band matrices of
+/// geometrically spread half-bandwidths, so the block counts `n_e` span the
+/// range the fitted line will be asked to interpolate. Feeds
+/// `smat::Calibration::fit_on`.
+pub fn calibration_bands<T: Element>(n: usize) -> Vec<Csr<T>> {
+    let mut bands = vec![2usize, 4, 8, 16, 32];
+    bands.retain(|&b| b < n);
+    bands.iter().map(|&b| band(n, b)).collect()
+}
+
 /// Uniform (Erdős–Rényi) random sparse matrix with the given `sparsity`
 /// (fraction of zeros). Sampling is per-row binomial with deterministic
 /// seeding; the diagonal is always present so no row is empty for

@@ -23,8 +23,8 @@ pub mod trace;
 pub mod values;
 
 pub use generators::{
-    band, band_nnz, dense_b, mesh2d, mesh3d, mesh_fem, random_uniform, rmat, rmat_with_probs,
-    scramble_rows,
+    band, band_nnz, calibration_bands, dense_b, mesh2d, mesh3d, mesh_fem, random_uniform, rmat,
+    rmat_with_probs, scramble_rows,
 };
 pub use suitesparse::{by_name, table1, Mimic, MimicKind};
 pub use trace::{serve_trace, TraceRequest, TraceSpec};

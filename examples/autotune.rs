@@ -54,6 +54,11 @@ fn main() {
         report.best.block_w,
         report.best.reorder.name()
     );
+    println!(
+        "reorder passes: {} for {} trials (permutations hoisted across block shapes)",
+        report.reorders_computed,
+        report.trials.len()
+    );
     if let Some(s) = report.speedup_over_default() {
         println!("speedup over the paper's default configuration: {s:.2}x");
     }

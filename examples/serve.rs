@@ -12,6 +12,7 @@
 //! cargo run --release --example serve -- --seed 7 --window 16 --budget 128
 //! cargo run --release --example serve -- --warm-prepare --sanitize
 //! cargo run --release --example serve -- --devices 3 --shard-max-bytes 20000 --large-matrices 2
+//! cargo run --release --example serve -- --plan
 //! ```
 //!
 //! `--shard-max-bytes N` (0 = off) turns on partitioned serving: matrices
@@ -20,6 +21,15 @@
 //! across the device pool, joined by row concatenation (bitwise identical
 //! to unsharded execution). `--large-matrices M` marks `M` of the tenants as large (double
 //! dimension), so sharded and unsharded traffic interleave in the trace.
+//!
+//! `--plan` turns on the cost-model-driven admission planner: a perf-model
+//! calibration is fitted once on the paper's band suite, each tenant's
+//! configuration is chosen by the calibrated planner at registration, and
+//! every response's predicted kernel time is checked against the observed
+//! one (the per-request predicted-vs-actual record aggregated in the JSON
+//! output). Bitwise verification still runs — against references prepared
+//! under the *same decisions made manually* — because planner-chosen
+//! configurations preserve exactness.
 //!
 //! `--sanitize` runs both replays under the `smat-sanitize` lock-order
 //! engine and fails the run (exit 1) on any concurrency finding.
@@ -31,16 +41,20 @@
 //! otherwise, 2 on usage errors.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use smat_repro::formats::{Csr, Dense, Element, Fnv1a, F16};
 use smat_repro::gpusim::{FaultConfig, SimError};
 use smat_repro::reorder::ReorderAlgorithm;
 use smat_repro::serve::{
-    AdmissionState, ChaosStats, MatrixKey, ServeError, Server, ServerConfig, ServerStats,
+    AdmissionState, Calibration, ChaosStats, MatrixKey, PlanDecision, PlanSpace, Planner,
+    ServeError, Server, ServerConfig, ServerStats,
 };
 use smat_repro::shard::estimated_csr_bytes;
 use smat_repro::smat::{Smat, SmatConfig};
-use smat_repro::workloads::{random_uniform, serve_trace, TraceRequest, TraceSpec};
+use smat_repro::workloads::{
+    calibration_bands, random_uniform, serve_trace, TraceRequest, TraceSpec,
+};
 
 struct Args {
     requests: usize,
@@ -72,6 +86,9 @@ struct Args {
     /// How many tenants are large (double dimension; candidates for
     /// sharding when `--shard-max-bytes` is set).
     large_matrices: usize,
+    /// Choose each tenant's configuration with the calibrated admission
+    /// planner instead of serving everything under the base config.
+    plan: bool,
 }
 
 impl Default for Args {
@@ -92,6 +109,7 @@ impl Default for Args {
             sanitize: false,
             shard_max_bytes: 0,
             large_matrices: 0,
+            plan: false,
         }
     }
 }
@@ -122,7 +140,7 @@ fn usage() -> ExitCode {
         "usage: serve [--requests N] [--matrices M] [--devices D] [--seed S]\n\
          \u{20}            [--window W] [--budget COLS] [--size DIM] [--trace PATH]\n\
          \u{20}            [--chaos-seed S] [--fault-rate R] [--reorder NAME]\n\
-         \u{20}            [--warm-prepare] [--sanitize]\n\
+         \u{20}            [--warm-prepare] [--sanitize] [--plan]\n\
          \u{20}            [--shard-max-bytes N] [--large-matrices M]"
     );
     ExitCode::from(2)
@@ -157,6 +175,7 @@ fn parse_args() -> Result<Args, String> {
             }
             "--warm-prepare" => args.warm_prepare = true,
             "--sanitize" => args.sanitize = true,
+            "--plan" => args.plan = true,
             "--shard-max-bytes" => args.shard_max_bytes = value("--shard-max-bytes")?,
             "--large-matrices" => args.large_matrices = value("--large-matrices")?,
             "--fault-rate" => {
@@ -239,6 +258,11 @@ struct DeterministicSummary {
     /// Fault-injection and recovery counters — reproducible under the
     /// pause/resume window discipline with a fixed `--chaos-seed`.
     chaos: ChaosStats,
+    /// Requests served under a planner-chosen configuration (zero without
+    /// `--plan`). Deterministic under the window discipline; the
+    /// prediction-error stats are *not* (they depend on batch
+    /// composition) and stay out of this summary.
+    planned_requests: u64,
     /// FNV-1a over every response's C bits, in trace order.
     output_checksum: u64,
 }
@@ -269,6 +293,7 @@ impl DeterministicSummary {
             shard_subrequests: stats.shard_subrequests,
             per_device_dispatched: stats.devices.iter().map(|d| d.dispatched).collect(),
             chaos: stats.chaos,
+            planned_requests: stats.planned_requests,
             output_checksum,
         }
     }
@@ -282,6 +307,12 @@ struct Replay {
     degraded_responses: u64,
     /// Requests that exhausted the recovery ladder (chaos runs only).
     exhausted: u64,
+    /// Responses carrying a plan prediction (`--plan` only).
+    plan_checked: u64,
+    /// Σ |predicted − observed| / observed over those responses.
+    plan_rel_sum: f64,
+    /// Worst per-request relative prediction error.
+    plan_rel_max: f64,
 }
 
 /// One full replay on a fresh server: register, submit in pause/resume
@@ -296,6 +327,7 @@ fn replay(
     matrices: &[Csr<F16>],
     references: &[Smat<F16>],
     trace: &[TraceRequest],
+    plan_cal: Option<Calibration>,
     verify: bool,
 ) -> Replay {
     // Shards of large tenants occupy registry lines of their own; size the
@@ -318,6 +350,11 @@ fn replay(
             .map(|seed| FaultConfig::blended(seed, args.fault_rate)),
         smat: smat_config(args),
         shard_max_bytes: (args.shard_max_bytes > 0).then_some(args.shard_max_bytes),
+        // A fresh planner per replay, seeded from the one shared
+        // calibration: decisions depend only on (calibration, matrix), so
+        // both replays register identical configurations and the
+        // deterministic summary stays comparable.
+        planner: plan_cal.map(|cal| Arc::new(Planner::with_calibration(PlanSpace::default(), cal))),
         ..ServerConfig::default()
     });
     let keys: Vec<MatrixKey> = if args.warm_prepare {
@@ -344,6 +381,9 @@ fn replay(
     let mut batched_responses = 0u64;
     let mut degraded_responses = 0u64;
     let mut exhausted = 0u64;
+    let mut plan_checked = 0u64;
+    let mut plan_rel_sum = 0.0f64;
+    let mut plan_rel_max = 0.0f64;
     for window in trace.chunks(args.window) {
         server.pause();
         let futures: Vec<_> = window
@@ -376,6 +416,17 @@ fn replay(
             if resp.degraded {
                 degraded_responses += 1;
             }
+            // The per-request predicted-vs-actual record: both numbers
+            // describe the request's shared launch, so the ratio grades
+            // the prediction at the width that actually ran.
+            if let Some(pred) = resp.predicted_ms {
+                if resp.sim_ms > 0.0 {
+                    let rel = (pred - resp.sim_ms).abs() / resp.sim_ms;
+                    plan_checked += 1;
+                    plan_rel_sum += rel;
+                    plan_rel_max = plan_rel_max.max(rel);
+                }
+            }
             for v in resp.c.as_slice() {
                 checksum.write_u64(v.to_f64().to_bits());
             }
@@ -398,6 +449,9 @@ fn replay(
         batched_responses,
         degraded_responses,
         exhausted,
+        plan_checked,
+        plan_rel_sum,
+        plan_rel_max,
     }
 }
 
@@ -432,12 +486,44 @@ fn main() -> ExitCode {
             random_uniform::<F16>(dim, dim, sparsity, args.seed + m as u64)
         })
         .collect();
+    // With --plan, fit the Eq. 1 calibration once on the paper's band
+    // suite; both replays (and the reference decisions below) share it.
+    let plan_cal = args.plan.then(|| {
+        let cal =
+            Calibration::fit_on(&calibration_bands::<F16>(args.size), 8, &smat_config(&args));
+        eprintln!(
+            "plan: calibrated T_e(tc)={:.3e} ms T_init(tc)={:.3e} ms (r2 {:.4}) | T_e(scalar)={:.3e} ms",
+            cal.tc.t_e_ms, cal.tc.t_init_ms, cal.tc.r2, cal.scalar.t_e_ms
+        );
+        cal
+    });
+    // The decisions the server's planner will make, reproduced offline
+    // (decisions are a pure function of calibration + matrix): the
+    // reference handles below are prepared under the *same configurations
+    // chosen manually*, so verification checks that planned serving is
+    // bitwise identical to hand-pinning those configs. The planning width
+    // is the server's column budget.
+    let plan_decisions: Option<Vec<PlanDecision>> = plan_cal.map(|cal| {
+        let offline = Planner::with_calibration(PlanSpace::default(), cal);
+        matrices
+            .iter()
+            .map(|a| offline.decide(a, args.budget, &smat_config(&args)))
+            .collect()
+    });
     // Out-of-band reference handles for bitwise verification: prepared with
-    // the server's exact config, but never touching its registry (sharded
-    // parent keys have no registry entry, and `get` would count misses).
+    // the server's exact per-tenant config, but never touching its registry
+    // (sharded parent keys have no registry entry, and `get` would count
+    // misses).
     let references: Vec<Smat<F16>> = matrices
         .iter()
-        .map(|a| Smat::prepare(a, smat_config(&args)))
+        .enumerate()
+        .map(|(m, a)| {
+            let cfg = match &plan_decisions {
+                Some(ds) => ds[m].apply(&smat_config(&args)),
+                None => smat_config(&args),
+            };
+            Smat::prepare(a, cfg)
+        })
         .collect();
     eprintln!(
         "replaying {} requests over {} matrices ({}x{}) on {} devices (window {}, budget {})",
@@ -473,7 +559,7 @@ fn main() -> ExitCode {
     if args.trace.is_some() {
         tracer.enable();
     }
-    let first = replay(&args, &matrices, &references, &trace, true);
+    let first = replay(&args, &matrices, &references, &trace, plan_cal, true);
     if let Some(path) = &args.trace {
         tracer.disable();
         let events = tracer.drain();
@@ -508,7 +594,22 @@ fn main() -> ExitCode {
             first.exhausted,
         );
     }
-    let second = replay(&args, &matrices, &references, &trace, false);
+    if args.plan {
+        eprintln!(
+            "run 1 plan: {} planned requests | {} predictions checked | mean rel error {:.4} (worst {:.4}) | {} refits over {} observations",
+            first.stats.planned_requests,
+            first.plan_checked,
+            if first.plan_checked == 0 {
+                0.0
+            } else {
+                first.plan_rel_sum / first.plan_checked as f64
+            },
+            first.plan_rel_max,
+            first.stats.plan_refits,
+            first.stats.plan_observations,
+        );
+    }
+    let second = replay(&args, &matrices, &references, &trace, plan_cal, false);
     let runs_identical = first.summary == second.summary;
     eprintln!(
         "run 2: end state {} run 1",
@@ -554,6 +655,23 @@ fn main() -> ExitCode {
         "fanout_requests": first.stats.fanout_requests,
         "shard_subrequests": first.stats.shard_subrequests,
         "registry_hit_rate": first.stats.registry.hit_rate(),
+        "plan_enabled": args.plan,
+        "plan": args.plan.then(|| serde_json::json!({
+            "calibration": plan_cal,
+            // Whole-matrix decisions per tenant (sharded tenants re-plan
+            // per shard inside the server; these are the unsharded view).
+            "decisions": plan_decisions,
+            "planned_requests": first.stats.planned_requests,
+            "plan_predictions": first.stats.plan_predictions,
+            "plan_mean_rel_error": first.stats.plan_mean_rel_error,
+            "plan_refits": first.stats.plan_refits,
+            "plan_observations": first.stats.plan_observations,
+            // Per-request predicted-vs-actual aggregate over responses.
+            "request_checks": first.plan_checked,
+            "request_mean_rel_error": if first.plan_checked == 0 { 0.0 }
+                else { first.plan_rel_sum / first.plan_checked as f64 },
+            "request_max_rel_error": first.plan_rel_max,
+        })),
         "runs_identical": runs_identical,
         "sanitize_enabled": args.sanitize,
         "sanitize_findings": sanitize_findings.as_ref().map_or(0, Vec::len),

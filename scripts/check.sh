@@ -96,6 +96,31 @@ print(f"shard smoke OK: {rec['fanout_requests']} fan-outs -> "
       f"0 mismatches, deterministic, lock-order clean")
 PY
 
+echo "==> plan smoke: planned replay bitwise-verified, predictions graded, sanitize-clean"
+# --plan routes every registration through the cost-model-driven admission
+# planner; the example verifies planned serving bitwise against references
+# prepared under the same decisions chosen manually, and grades every
+# prediction against the launch it planned.
+plan_json="$(./target/release/examples/serve --requests 128 --plan --sanitize 2>/dev/null)"
+python3 - "$plan_json" <<'PY'
+import json, math, sys
+rec = json.loads(sys.argv[1])
+assert rec["plan_enabled"] is True
+assert rec["mismatches"] == 0, "a planned response diverged from its hand-pinned reference"
+assert rec["runs_identical"] is True, "planned replay not deterministic"
+assert rec["sanitize_findings"] == 0, f"C-codes fired: {rec['sanitize_codes']}"
+plan = rec["plan"]
+assert plan["planned_requests"] > 0, "no request ran under a planner-chosen config"
+assert plan["plan_predictions"] > 0, "no prediction was graded against a launch"
+assert math.isfinite(plan["plan_mean_rel_error"]), plan["plan_mean_rel_error"]
+assert plan["request_checks"] > 0 and math.isfinite(plan["request_mean_rel_error"])
+assert plan["decisions"], "no admission decisions were recorded"
+print(f"plan smoke OK: {plan['planned_requests']} planned requests, "
+      f"{plan['plan_predictions']} predictions graded "
+      f"(mean rel error {plan['plan_mean_rel_error']:.3f}), "
+      f"{plan['plan_refits']} refits over {plan['plan_observations']} observations")
+PY
+
 echo "==> sanitize: raw std::sync primitives are banned in crates/serve"
 # Every lock/condvar in the serving engine must be a checked smat-sanitize
 # primitive so the lock-order engine and the model checker see it. The shim

@@ -14,6 +14,7 @@
 //!   documented ULP bound instead (see
 //!   `narrow_accumulation_is_ulp_bounded_against_the_oracle`).
 
+use smat::{Calibration, PlanSpace, Planner};
 use smat_formats::{Bcsr, Coo, Csc, Csr, Dense, Element, Ell, SrBcrs, F16};
 use smat_gpusim::{DeviceConfig, Gpu};
 use smat_reorder::ReorderAlgorithm;
@@ -157,6 +158,43 @@ fn pipeline_conforms_for_every_format_reordering_and_block_shape() {
                     alg.name()
                 );
             }
+        }
+    }
+}
+
+#[test]
+fn planner_chosen_configs_conform_bitwise() {
+    // The admission planner only picks *which* configuration runs; the run
+    // itself must stay in the bitwise-exact regime. Exercise both planner
+    // modes (calibrated scoring and probe-run fallback) on matrices with
+    // awkward structure and make sure the chosen pipeline agrees with the
+    // dense oracle exactly.
+    let base = SmatConfig::default();
+    let calibrated = Planner::with_calibration(
+        PlanSpace::default(),
+        Calibration::fit_on(&workloads::calibration_bands::<F16>(96), 8, &base),
+    );
+    let probing = Planner::new(PlanSpace::default());
+    for (label, a) in [
+        ("awkward", awkward_matrix()),
+        ("uniform", workloads::random_uniform(128, 96, 0.9, 21)),
+        ("rmat", workloads::rmat::<F16>(7, 600, 77)),
+    ] {
+        let b = rhs(a.ncols(), 9);
+        let want = dense_oracle(&a, &b);
+        for (mode, planner) in [("calibrated", &calibrated), ("probe", &probing)] {
+            let d = planner.decide(&a, b.ncols(), &base);
+            let run = Smat::prepare(&a, d.apply(&base)).spmm(&b);
+            assert_eq!(
+                run.c,
+                want,
+                "{label} under the {mode} planner's choice \
+                 ({}x{}, {}, tc={})",
+                d.block_h,
+                d.block_w,
+                d.reorder.name(),
+                d.use_tc
+            );
         }
     }
 }

@@ -3,7 +3,7 @@
 //! kernel-vs-reference agreement on arbitrary matrices and configurations.
 
 use proptest::prelude::*;
-use smat::{AccumMode, OptFlags, Smat, SmatConfig};
+use smat::{AccumMode, OptFlags, PlanSpace, Planner, Smat, SmatConfig};
 use smat_formats::{Bcsr, Coo, Csr, Dense, Element, Permutation, SrBcrs, F16};
 use smat_reorder::{reorder, ReorderAlgorithm};
 
@@ -359,5 +359,96 @@ proptest! {
         let r = reorder(&a, ReorderAlgorithm::Bisection, 8, 8);
         prop_assert_eq!(r.row_perm.len(), a.nrows());
         prop_assert_eq!(r.apply(&a).nnz(), a.nnz());
+    }
+}
+
+/// One calibration shared by every planner property case: fitting is
+/// deterministic, so this keeps the cases fast without making them depend
+/// on each other.
+fn shared_calibration() -> smat::Calibration {
+    use std::sync::OnceLock;
+    static CAL: OnceLock<smat::Calibration> = OnceLock::new();
+    *CAL.get_or_init(|| {
+        smat::Calibration::fit_on(
+            &smat_workloads::calibration_bands::<F16>(96),
+            8,
+            &SmatConfig::default(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn planner_decisions_stay_in_space_and_conform(
+        a in sparse_matrix(), n in 1usize..12
+    ) {
+        // The calibrated planner, on an arbitrary matrix: its decision must
+        // come from the declared space, carry a usable prediction, count
+        // blocks exactly as the prepare it induces, and the pipeline it
+        // picks must stay bitwise-exact.
+        let base = SmatConfig::default();
+        let planner = Planner::with_calibration(PlanSpace::default(), shared_calibration());
+        let d = planner.decide(&a, n, &base);
+        prop_assert!(
+            planner.space().block_shapes.contains(&(d.block_h, d.block_w))
+        );
+        prop_assert!(planner.space().reorderings.contains(&d.reorder));
+        prop_assert!(
+            d.predicted_ms.is_finite() && d.predicted_ms > 0.0,
+            "prediction must be finite and positive: {}", d.predicted_ms
+        );
+        prop_assert!(
+            planner
+                .predict(d.use_tc, d.n_e, n)
+                .is_some_and(|p| p == d.predicted_ms),
+            "recorded prediction must reproduce from (mode, n_e, width)"
+        );
+
+        // Deciding again is bitwise the same decision: admission planning
+        // may not introduce nondeterminism into the serving path.
+        let d2 = planner.decide(&a, n, &base);
+        prop_assert_eq!((d.block_h, d.block_w), (d2.block_h, d2.block_w));
+        prop_assert_eq!(d.reorder, d2.reorder);
+        prop_assert_eq!(d.use_tc, d2.use_tc);
+        prop_assert_eq!(d.n_e, d2.n_e);
+        prop_assert_eq!(d.predicted_ms.to_bits(), d2.predicted_ms.to_bits());
+
+        let engine = Smat::prepare_with_plan(&a, d.apply(&base), d);
+        prop_assert_eq!(
+            engine.bcsr().nblocks(), d.n_e,
+            "the decision's n_e must equal the blocks the prepare builds"
+        );
+        let b = rhs(a.ncols(), n);
+        prop_assert_eq!(engine.spmm(&b).c, a.spmm_reference(&b));
+    }
+
+    #[test]
+    fn planner_observations_never_corrupt_the_calibration(
+        a in sparse_matrix(),
+        times in proptest::collection::vec(0.001f64..10.0, 1..12),
+        same_x in proptest::bool::ANY,
+    ) {
+        // Feeding any stream of observed launch times — including bursts
+        // with zero x-spread, which must be rejected by the identifiability
+        // guard rather than fitted — leaves the planner with a finite,
+        // positive prediction for every matrix.
+        let base = SmatConfig::default();
+        let planner = Planner::with_calibration(PlanSpace::default(), shared_calibration());
+        let d = planner.decide(&a, 8, &base);
+        for (i, t) in times.iter().enumerate() {
+            let n_e = if same_x { d.n_e.max(1) } else { d.n_e.max(1) + i * 7 };
+            planner.observe(d.use_tc, n_e, 8, *t);
+        }
+        prop_assert_eq!(planner.observations(), times.len() as u64);
+        let after = planner.decide(&a, 8, &base);
+        prop_assert!(
+            after.predicted_ms.is_finite(),
+            "prediction after refits: {}", after.predicted_ms
+        );
+        let cal = planner.calibration().expect("calibrated planner stays calibrated");
+        prop_assert!(cal.tc.t_e_ms.is_finite() && cal.scalar.t_e_ms.is_finite());
+        prop_assert!(cal.tc.t_init_ms.is_finite() && cal.scalar.t_init_ms.is_finite());
     }
 }
