@@ -1070,6 +1070,7 @@ pub fn run_serve(cfg: &HarnessConfig) -> Vec<Value> {
         zipf_s: 1.0,
         seed: 42,
         large_matrices: 0,
+        mutate_rate: 0.0,
     };
     let trace = serve_trace(&spec);
     let matrices: Vec<Csr<F16>> = (0..n_matrices)

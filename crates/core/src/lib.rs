@@ -29,6 +29,7 @@
 pub mod autotune;
 pub mod config;
 pub mod kernel;
+pub mod overlay;
 pub mod perfmodel;
 pub mod pipeline;
 pub mod planner;
@@ -39,6 +40,7 @@ pub use kernel::{
     build_launch_config, smat_spmm, smat_spmm_axpby, smat_spmm_scheduled, Epilogue, NTILE,
     WARPS_PER_TB,
 };
+pub use overlay::{MatrixUpdate, OverlayCell, OverlaySnapshot};
 pub use perfmodel::{PerfModel, PerfSample};
 pub use pipeline::{PrepareTimings, RunReport, Smat, SmatRun};
 pub use planner::{Calibration, PlanDecision, PlanSource, PlanSpace, Planner, ReorderCache};

@@ -6,12 +6,13 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use smat_analyze::{analyze_launch, verify_bcsr, ScheduleSpec};
-use smat_diag::{Diagnostic, DiagnosticsExt};
-use smat_formats::{Bcsr, BlockRowStats, Csr, Dense, Element, MatrixFingerprint};
+use smat_diag::{DiagCode, Diagnostic, DiagnosticsExt, Location};
+use smat_formats::{Bcsr, BlockRowStats, Coo, Csr, Dense, Element, MatrixFingerprint, Permutation};
 use smat_gpusim::{Gpu, LaunchResult, SimError};
 use smat_reorder::{reorder, Reordering};
 
 use crate::config::SmatConfig;
+use crate::overlay::{MatrixUpdate, OverlayCell, OverlaySnapshot};
 use crate::planner::PlanDecision;
 
 /// A prepared SMaT engine: the preprocessing (permutation + BCSR
@@ -53,16 +54,63 @@ struct SmatInner<T> {
     ncols: usize,
     /// Content fingerprint of the *original* (pre-permutation) matrix.
     fingerprint: MatrixFingerprint,
-    /// Memoized pre-flight findings per right-hand-side width `n`. The
-    /// pass is a pure function of (BCSR, config, device, n), all fixed at
-    /// prepare time, so repeat launches with the same `n` — the common
-    /// serving case — reuse the diagnostics instead of re-running the
-    /// analysis.
-    preflight_cache: Mutex<HashMap<usize, Arc<Vec<Diagnostic>>>>,
+    /// Memoized pre-flight findings per `(n, overlay epoch)`. The pass is
+    /// a pure function of (BCSR, config, device, n, overlay), so repeat
+    /// launches with the same width at the same epoch — the common serving
+    /// case — reuse the diagnostics, while any mutation keys a fresh entry
+    /// (a memo computed for the old epoch can never answer for the new
+    /// payload).
+    preflight_cache: Mutex<PreflightMemos>,
     /// Memoized CSR reconstruction of the permuted matrix (`P·A·Qᵀ`), the
     /// operand of the scalar degradation path. Built on first use: the
     /// fault-free serving path never pays for it.
     fallback_csr: OnceLock<Arc<Csr<T>>>,
+    /// The COO delta overlay (see [`crate::overlay`]): current snapshot
+    /// behind one short lock, swapped wholesale on mutation so pinned
+    /// readers are never torn, plus the lazily built inverse permutations
+    /// that map original coordinates into the permuted base for
+    /// base-value lookups.
+    overlay: Mutex<OverlayStore>,
+}
+
+/// Pre-flight memo table: `(n, overlay epoch)` → findings.
+type PreflightMemos = HashMap<(usize, u64), Arc<Vec<Diagnostic>>>;
+
+/// Mutable overlay state behind [`SmatInner::overlay`].
+struct OverlayStore {
+    snapshot: Arc<OverlaySnapshot>,
+    /// `row_perm⁻¹`: original row → permuted row. Built on first mutation.
+    inv_row: Option<Permutation>,
+    /// `col_perm⁻¹` when a column permutation is active.
+    inv_col: Option<Permutation>,
+}
+
+impl OverlayStore {
+    fn new() -> Self {
+        OverlayStore {
+            snapshot: Arc::new(OverlaySnapshot::empty()),
+            inv_row: None,
+            inv_col: None,
+        }
+    }
+
+    fn ensure_inverses(&mut self, reordering: &Reordering) {
+        if self.inv_row.is_none() {
+            self.inv_row = Some(reordering.row_perm.inverse());
+            self.inv_col = reordering.col_perm.as_ref().map(Permutation::inverse);
+        }
+    }
+
+    /// The prepared base value at original coordinate `(r, c)`, looked up
+    /// through the permutation in the fallback CSR (`0.0` if unstored).
+    fn base_value<T: Element>(&self, fallback: &Csr<T>, r: usize, c: usize) -> f64 {
+        let rp = self.inv_row.as_ref().expect("inverses built").source_of(r);
+        let cp = match &self.inv_col {
+            Some(ic) => ic.source_of(c),
+            None => c,
+        };
+        fallback.get(rp, cp).map_or(0.0, Element::to_f64)
+    }
 }
 
 /// Per-stage wall-clock breakdown of [`Smat::prepare`] — the `T_init` term
@@ -263,6 +311,7 @@ impl<T: Element> Smat<T> {
                 fingerprint,
                 preflight_cache: Mutex::new(HashMap::new()),
                 fallback_csr: OnceLock::new(),
+                overlay: Mutex::new(OverlayStore::new()),
             }),
         }
     }
@@ -340,26 +389,40 @@ impl<T: Element> Smat<T> {
     }
 
     /// Like [`Smat::preflight`] but returns the memoized, shareable
-    /// diagnostics without cloning the findings.
+    /// diagnostics without cloning the findings. Keyed by `(n, overlay
+    /// epoch)`: uses the current overlay snapshot.
     pub fn preflight_cached(&self, n: usize) -> Arc<Vec<Diagnostic>> {
-        if let Some(hit) = self.inner.preflight_cache.lock().unwrap().get(&n) {
+        self.preflight_cached_at(n, &self.overlay_snapshot())
+    }
+
+    /// The memoized pre-flight findings for a launch at width `n` under a
+    /// specific overlay snapshot — the epoch-pinned entry point the
+    /// serving layer uses so a request admitted at epoch `e` is analyzed
+    /// (and cached) against exactly that overlay.
+    pub fn preflight_cached_at(&self, n: usize, overlay: &OverlaySnapshot) -> Arc<Vec<Diagnostic>> {
+        let key = (n, overlay.epoch());
+        if let Some(hit) = self.inner.preflight_cache.lock().unwrap().get(&key) {
             return Arc::clone(hit);
         }
         // Analysis runs outside the lock: it is pure and idempotent, so two
         // racing threads at worst both compute the same findings and one
         // insert wins.
-        let diags = Arc::new(self.run_preflight(n));
+        let diags = Arc::new(self.run_preflight(n, overlay));
         let mut cache = self.inner.preflight_cache.lock().unwrap();
-        Arc::clone(cache.entry(n).or_insert(diags))
+        Arc::clone(cache.entry(key).or_insert(diags))
     }
 
-    /// Number of distinct `n` values with memoized pre-flight findings.
+    /// Number of distinct `(n, epoch)` keys with memoized pre-flight
+    /// findings.
     pub fn preflight_cache_len(&self) -> usize {
         self.inner.preflight_cache.lock().unwrap().len()
     }
 
-    /// The uncached pre-flight pass.
-    fn run_preflight(&self, n: usize) -> Vec<Diagnostic> {
+    /// The uncached pre-flight pass: the base BCSR/launch analysis plus a
+    /// scan of the overlay payload (a non-finite override would poison the
+    /// scalar correction path exactly like a non-finite base value poisons
+    /// the kernel).
+    fn run_preflight(&self, n: usize, overlay: &OverlaySnapshot) -> Vec<Diagnostic> {
         let inner = &*self.inner;
         let mut diags = verify_bcsr(&inner.bcsr);
         let launch_cfg = crate::kernel::build_launch_config(
@@ -376,6 +439,18 @@ impl<T: Element> Smat<T> {
             &inner.gpu.cfg,
             &ScheduleSpec::for_async(inner.config.opts.async_copy),
         ));
+        for cell in overlay.cells() {
+            if !cell.value.is_finite() || !cell.correction.is_finite() {
+                diags.push(Diagnostic::new(
+                    DiagCode::NonFinitePayload,
+                    Location::Row { row: cell.row },
+                    format!(
+                        "overlay override at ({}, {}) is non-finite (value {}, correction {})",
+                        cell.row, cell.col, cell.value, cell.correction
+                    ),
+                ));
+            }
+        }
         diags
     }
 
@@ -399,6 +474,24 @@ impl<T: Element> Smat<T> {
     /// from the prepared configuration. This is asserted by device name in
     /// debug builds.
     pub fn try_spmm_on(&self, gpu: &Gpu, b: &Dense<T>) -> Result<SmatRun<T>, SimError> {
+        self.try_spmm_on_pinned(gpu, b, &self.overlay_snapshot())
+    }
+
+    /// Like [`Smat::try_spmm_on`] but executes against an explicit
+    /// [`OverlaySnapshot`] instead of the current one — the epoch-pinning
+    /// entry point of the serving layer: a request captures the snapshot
+    /// at admission and finishes on that epoch even if the matrix mutates
+    /// while the request waits in a queue.
+    ///
+    /// The base runs on the Tensor Core path unchanged; the overlay's
+    /// corrections run on the scalar path over the touched rows and merge
+    /// into the output (see [`crate::overlay`] for the bitwise contract).
+    pub fn try_spmm_on_pinned(
+        &self,
+        gpu: &Gpu,
+        b: &Dense<T>,
+        overlay: &OverlaySnapshot,
+    ) -> Result<SmatRun<T>, SimError> {
         let inner = &*self.inner;
         debug_assert_eq!(
             gpu.cfg.name, inner.gpu.cfg.name,
@@ -414,10 +507,11 @@ impl<T: Element> Smat<T> {
         let mut spmm_span = smat_trace::span("spmm", "pipeline");
         spmm_span.arg("n", b.ncols() as u64);
         spmm_span.arg("device", gpu.trace_device as u64);
+        spmm_span.arg("epoch", overlay.epoch());
         if inner.config.preflight.enabled() {
             let diagnostics = {
                 let mut sp = smat_trace::span("preflight", "pipeline");
-                let diagnostics = self.preflight_cached(b.ncols());
+                let diagnostics = self.preflight_cached_at(b.ncols(), overlay);
                 sp.arg("findings", diagnostics.len() as u64);
                 diagnostics
             };
@@ -449,7 +543,11 @@ impl<T: Element> Smat<T> {
 
         // (P·A)·B = P·(A·B): undo the row permutation on the output.
         let inv = inner.reordering.row_perm.inverse();
-        let c = c_permuted.select_rows(inv.as_slice());
+        let mut c = c_permuted.select_rows(inv.as_slice());
+        // The scalar half of the split: overlay corrections merge into the
+        // original-order product. B enters un-permuted — overlay
+        // coordinates live in the original space.
+        overlay.apply_corrections(&mut c, b, 1.0);
 
         Ok(SmatRun {
             c,
@@ -544,8 +642,12 @@ impl<T: Element> Smat<T> {
         )
         .expect("simulated launch failed");
         let inv = inner.reordering.row_perm.inverse();
+        let mut out = out_permuted.select_rows(inv.as_slice());
+        // alpha·A_eff·B = alpha·A_base·B + alpha·(overlay corrections)·B.
+        self.overlay_snapshot()
+            .apply_corrections(&mut out, b, alpha);
         SmatRun {
-            c: out_permuted.select_rows(inv.as_slice()),
+            c: out,
             report: RunReport {
                 launch,
                 nblocks: inner.bcsr.nblocks(),
@@ -568,6 +670,148 @@ impl<T: Element> Smat<T> {
         let run = self.spmm(&b);
         let y = (0..run.c.nrows()).map(|i| run.c.get(i, 0)).collect();
         (y, run.report)
+    }
+
+    // ----- dynamic-matrix overlay (see `crate::overlay`) -----
+
+    /// The current overlay snapshot. Immutable and `Arc`-shared: callers
+    /// that must execute on a fixed epoch hold this and use
+    /// [`Smat::try_spmm_on_pinned`].
+    pub fn overlay_snapshot(&self) -> Arc<OverlaySnapshot> {
+        Arc::clone(&self.inner.overlay.lock().unwrap().snapshot)
+    }
+
+    /// The current overlay epoch: the number of mutations applied since
+    /// prepare (or since the last compaction rebase anchored it).
+    pub fn overlay_epoch(&self) -> u64 {
+        self.overlay_snapshot().epoch()
+    }
+
+    /// The fingerprint of the *effective* matrix identity: the base
+    /// content fingerprint stamped with the current overlay epoch. This is
+    /// what epoch-sensitive caches (plan cache, planner decisions) must
+    /// key on; [`Smat::fingerprint`] stays the epoch-0 base identity the
+    /// registry keys tenants by.
+    pub fn effective_fingerprint(&self) -> MatrixFingerprint {
+        self.inner.fingerprint.with_epoch(self.overlay_epoch())
+    }
+
+    /// Applies a batch of mutations to the overlay atomically (one epoch
+    /// swap covers the whole batch; the epoch advances by `ops.len()`).
+    /// Returns the new epoch.
+    ///
+    /// All update variants carry absolute cell state, so re-applying the
+    /// same batch is idempotent (same resulting overrides, higher epoch) —
+    /// the serving layer's mutate-during-compaction retry depends on this.
+    ///
+    /// The first mutation on a handle builds the fallback CSR and the
+    /// inverse permutations (both memoized); after that each op costs two
+    /// binary searches.
+    ///
+    /// # Panics
+    /// Panics if a coordinate is out of bounds for the matrix shape.
+    pub fn apply_updates(&self, ops: &[MatrixUpdate<T>]) -> u64 {
+        if ops.is_empty() {
+            return self.overlay_epoch();
+        }
+        let inner = &*self.inner;
+        let fallback = self.fallback_csr();
+        let mut store = inner.overlay.lock().unwrap();
+        store.ensure_inverses(&inner.reordering);
+        let mut cells = store.snapshot.cells().to_vec();
+        for op in ops {
+            let (r, c) = op.cell();
+            assert!(
+                r < inner.fingerprint.nrows && c < inner.ncols,
+                "update at ({r},{c}) out of bounds for {}x{}",
+                inner.fingerprint.nrows,
+                inner.ncols
+            );
+            let value = op.value_f64();
+            let base = store.base_value(&fallback, r, c);
+            let cell = OverlayCell {
+                row: r,
+                col: c,
+                value,
+                correction: value - base,
+            };
+            match cells.binary_search_by_key(&(r, c), |x| (x.row, x.col)) {
+                Ok(i) => cells[i] = cell,
+                Err(i) => cells.insert(i, cell),
+            }
+        }
+        let epoch = store.snapshot.epoch() + ops.len() as u64;
+        store.snapshot = Arc::new(OverlaySnapshot::from_parts(cells, epoch));
+        epoch
+    }
+
+    /// The effective matrix `base ⊕ overlay` as a CSR in the original
+    /// coordinate space — the compaction operand (re-preparing this under
+    /// the same config folds the overlay into a fresh base). With an empty
+    /// overlay this reconstructs the original input exactly.
+    pub fn merged_csr(&self) -> Csr<T> {
+        let inner = &*self.inner;
+        let fallback = self.fallback_csr();
+        // Un-permute the fallback CSR back into original coordinates.
+        let rp = &inner.reordering.row_perm;
+        let cp = inner.reordering.col_perm.as_ref();
+        let mut base = Coo::with_capacity(inner.fingerprint.nrows, inner.ncols, fallback.nnz());
+        for (r, c, v) in fallback.iter() {
+            let orig_c = cp.map_or(c, |p| p.source_of(c));
+            base.push(rp.source_of(r), orig_c, v);
+        }
+        let base = base.to_csr();
+        let overrides = self.overlay_snapshot().overrides();
+        Coo::with_overrides(&base, &overrides).to_csr()
+    }
+
+    /// Re-anchors an absolute override set onto *this* handle's base — the
+    /// publish step of background compaction. Corrections are recomputed
+    /// against this base; overrides the base already satisfies (the cells
+    /// the compaction folded in) drop out, and coordinates this handle
+    /// already overrides — mutations that raced past the swap and were
+    /// retried here — are kept as-is, since they are strictly newer than
+    /// the incoming set. The epoch advances to at least `epoch` so the
+    /// counter never runs backwards across a swap. Returns the resulting
+    /// epoch.
+    pub fn rebase_overlay(&self, incoming: &[OverlayCell], epoch: u64) -> u64 {
+        let inner = &*self.inner;
+        let fallback = self.fallback_csr();
+        let mut store = inner.overlay.lock().unwrap();
+        store.ensure_inverses(&inner.reordering);
+        let mut cells = store.snapshot.cells().to_vec();
+        for cell in incoming {
+            let base = store.base_value(&fallback, cell.row, cell.col);
+            let correction = cell.value - base;
+            match cells.binary_search_by_key(&(cell.row, cell.col), |x| (x.row, x.col)) {
+                // Existing override is newer (written after the swap):
+                // keep it.
+                Ok(_) => {}
+                Err(i) => {
+                    if correction != 0.0 {
+                        cells.insert(
+                            i,
+                            OverlayCell {
+                                row: cell.row,
+                                col: cell.col,
+                                value: cell.value,
+                                correction,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+        let new_epoch = store.snapshot.epoch().max(epoch);
+        store.snapshot = Arc::new(OverlaySnapshot::from_parts(cells, new_epoch));
+        new_epoch
+    }
+
+    /// Whether two handles share the same prepared state (pointer
+    /// identity, not content equality). The serving layer uses this to
+    /// detect an epoch swap between fetching a handle and mutating it.
+    pub fn ptr_eq(&self, other: &Smat<T>) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 }
 
@@ -931,6 +1175,195 @@ mod tests {
         let engine = Smat::prepare(&a, SmatConfig::default());
         assert!(engine.reordering().col_perm.is_none());
         assert!(engine.permute_rhs(&rhs(32, 4)).is_none());
+    }
+
+    #[test]
+    fn overlay_spmm_matches_merged_rebuild_bitwise() {
+        use crate::overlay::MatrixUpdate;
+        let a = interleaved(64);
+        let b = rhs(64, 8);
+        for alg in [
+            ReorderAlgorithm::JaccardRows { tau: 0.7 },
+            // Exercises the permuted-coordinate base lookups on both axes.
+            ReorderAlgorithm::JaccardRowsCols { tau: 0.7 },
+        ] {
+            let cfg = SmatConfig {
+                reorder: alg,
+                ..SmatConfig::default()
+            };
+            let engine = Smat::prepare(&a, cfg.clone());
+            let ops = [
+                MatrixUpdate::Update {
+                    row: 3,
+                    col: 5,
+                    value: F16::from_f64(2.0),
+                },
+                MatrixUpdate::Insert {
+                    row: 10,
+                    col: 63,
+                    value: F16::from_f64(-1.0),
+                },
+                MatrixUpdate::Delete {
+                    row: 1,
+                    col: a.row_cols(1)[0],
+                },
+            ];
+            let epoch = engine.apply_updates(&ops);
+            assert_eq!(epoch, 3);
+            let merged = engine.merged_csr();
+            assert_eq!(merged.get(3, 5), Some(F16::from_f64(2.0)));
+            assert_eq!(merged.get(10, 63), Some(F16::from_f64(-1.0)));
+            assert_eq!(merged.get(1, a.row_cols(1)[0]), None);
+            let rebuilt = Smat::prepare(&merged, cfg);
+            assert_eq!(
+                engine.spmm(&b).c,
+                rebuilt.spmm(&b).c,
+                "overlay path must equal a from-scratch rebuild ({})",
+                alg.name()
+            );
+            assert_eq!(engine.spmm(&b).c, merged.spmm_reference(&b));
+        }
+    }
+
+    #[test]
+    fn merged_csr_with_empty_overlay_reconstructs_the_input() {
+        let a = interleaved(48);
+        let engine = Smat::prepare(&a, SmatConfig::default());
+        let merged = engine.merged_csr();
+        assert_eq!(merged.row_ptr(), a.row_ptr());
+        assert_eq!(merged.col_idx(), a.col_idx());
+        assert_eq!(merged.values(), a.values());
+    }
+
+    #[test]
+    fn pinned_snapshot_executes_on_the_admitted_epoch() {
+        use crate::overlay::MatrixUpdate;
+        let a = interleaved(48);
+        let b = rhs(48, 8);
+        let engine = Smat::prepare(&a, SmatConfig::default());
+        let before = engine.spmm(&b).c;
+        let pinned = engine.overlay_snapshot();
+        engine.apply_updates(&[MatrixUpdate::Update {
+            row: 0,
+            col: 0,
+            value: F16::from_f64(3.0),
+        }]);
+        // A pinned execution ignores the later mutation...
+        let gpu = Gpu::new(engine.config().device.clone());
+        let run = engine.try_spmm_on_pinned(&gpu, &b, &pinned).unwrap();
+        assert_eq!(run.c, before, "in-flight work finishes on its epoch");
+        // ...while the unpinned path sees it.
+        assert_ne!(engine.spmm(&b).c, before);
+        assert_eq!(engine.overlay_epoch(), 1);
+        assert_eq!(engine.effective_fingerprint().epoch, 1);
+        assert_eq!(engine.fingerprint().epoch, 0, "base identity is stable");
+    }
+
+    #[test]
+    fn reapplying_updates_is_idempotent_on_overrides() {
+        use crate::overlay::MatrixUpdate;
+        let a = interleaved(32);
+        let engine = Smat::prepare(&a, SmatConfig::default());
+        let ops = [
+            MatrixUpdate::Update {
+                row: 2,
+                col: 7,
+                value: F16::from_f64(4.0),
+            },
+            MatrixUpdate::Delete { row: 5, col: 3 },
+        ];
+        engine.apply_updates(&ops);
+        let cells_once = engine.overlay_snapshot().cells().to_vec();
+        engine.apply_updates(&ops);
+        let again = engine.overlay_snapshot();
+        assert_eq!(again.cells(), cells_once.as_slice(), "absolute semantics");
+        assert_eq!(again.epoch(), 4, "the epoch still advances");
+    }
+
+    #[test]
+    fn rebase_folds_satisfied_overrides_and_keeps_newer_ones() {
+        use crate::overlay::MatrixUpdate;
+        let a = interleaved(32);
+        let engine = Smat::prepare(&a, SmatConfig::default());
+        engine.apply_updates(&[MatrixUpdate::Update {
+            row: 1,
+            col: 2,
+            value: F16::from_f64(5.0),
+        }]);
+        let old_cells = engine.overlay_snapshot().cells().to_vec();
+        let old_epoch = engine.overlay_epoch();
+        // Compaction: prepare the merged matrix fresh, then rebase.
+        let fresh = Smat::prepare(&engine.merged_csr(), SmatConfig::default());
+        // A mutation that raced past the swap and was retried on `fresh`.
+        fresh.apply_updates(&[MatrixUpdate::Update {
+            row: 1,
+            col: 2,
+            value: F16::from_f64(9.0),
+        }]);
+        let epoch = fresh.rebase_overlay(&old_cells, old_epoch);
+        assert!(epoch >= old_epoch);
+        let ov = fresh.overlay_snapshot();
+        // The newer retried value wins; the folded override is dropped.
+        assert_eq!(ov.len(), 1);
+        assert_eq!(ov.cells()[0].value, 9.0);
+        // A rebase with no racing mutations empties the overlay entirely.
+        let quiet = Smat::prepare(&engine.merged_csr(), SmatConfig::default());
+        quiet.rebase_overlay(&old_cells, old_epoch);
+        assert!(quiet.overlay_snapshot().is_empty());
+        assert_eq!(quiet.overlay_epoch(), old_epoch);
+    }
+
+    #[test]
+    fn preflight_memo_is_epoch_keyed_and_rejects_nonfinite_overrides() {
+        use crate::config::PreflightMode;
+        use crate::overlay::MatrixUpdate;
+        use smat_diag::{DiagCode, DiagnosticsExt};
+        let a = interleaved(32);
+        let cfg = SmatConfig {
+            preflight: PreflightMode::Force,
+            ..SmatConfig::default()
+        };
+        let engine = Smat::prepare(&a, cfg);
+        assert!(engine.try_spmm(&rhs(32, 8)).is_ok());
+        assert_eq!(engine.preflight_cache_len(), 1);
+        // Mutating re-keys the memo: same n, new epoch, fresh analysis.
+        engine.apply_updates(&[MatrixUpdate::Update {
+            row: 0,
+            col: 1,
+            value: F16::from_f32(f32::NAN),
+        }]);
+        let err = engine.try_spmm(&rhs(32, 8)).unwrap_err();
+        let SimError::PreflightRejected { diagnostics } = err else {
+            panic!("expected a pre-flight rejection, got {err:?}");
+        };
+        assert!(diagnostics.codes().contains(&DiagCode::NonFinitePayload));
+        assert_eq!(
+            engine.preflight_cache_len(),
+            2,
+            "old-epoch memo must not answer for the mutated payload"
+        );
+        // Deleting the poisoned cell clears the rejection at the new epoch.
+        engine.apply_updates(&[MatrixUpdate::Delete { row: 0, col: 1 }]);
+        assert!(engine.try_spmm(&rhs(32, 8)).is_ok());
+    }
+
+    #[test]
+    fn overlay_axpby_matches_merged_rebuild() {
+        use crate::overlay::MatrixUpdate;
+        let a = interleaved(48);
+        let b = rhs(48, 8);
+        let c0 = Dense::from_fn(48, 8, |i, j| F16::from_f64(((i + j) % 3) as f64));
+        let engine = Smat::prepare(&a, SmatConfig::default());
+        engine.apply_updates(&[MatrixUpdate::Update {
+            row: 4,
+            col: 9,
+            value: F16::from_f64(-2.0),
+        }]);
+        let rebuilt = Smat::prepare(&engine.merged_csr(), SmatConfig::default());
+        assert_eq!(
+            engine.spmm_axpby(&b, &c0, 2.0, 3.0).c,
+            rebuilt.spmm_axpby(&b, &c0, 2.0, 3.0).c
+        );
     }
 
     #[test]

@@ -265,6 +265,43 @@ impl Planner {
             .map(|c| c.model(use_tc).predict(x))
     }
 
+    /// The modeled per-request surcharge of executing `overlay_terms`
+    /// scalar correction terms on top of the Tensor Core base, against an
+    /// `n_cols`-wide right-hand side: the *marginal* scalar cost
+    /// `T_e(scalar) · overlay_terms · ⌈n/NTILE⌉` (no launch constant — the
+    /// overlay rides on an already-paid launch). `None` when uncalibrated.
+    pub fn overlay_surcharge_ms(&self, overlay_terms: usize, n_cols: usize) -> Option<f64> {
+        let x = overlay_terms as f64 * n_cols.div_ceil(NTILE).max(1) as f64;
+        self.lock_state()
+            .calibration
+            .map(|c| c.model(false).t_e_ms * x)
+    }
+
+    /// Whether compacting a mutated matrix (re-preparing `base ⊕ overlay`)
+    /// has crossed the amortization point: the overlay's scalar surcharge
+    /// over the next `horizon` expected requests exceeds the modeled cost
+    /// of one full Tensor Core pass over the `base_ne`-block base — the
+    /// deterministic proxy for the prepare (both are one linear sweep of
+    /// the matrix; using the model instead of a host wall clock keeps the
+    /// decision a pure function of content, so replays are bitwise
+    /// reproducible). `None` when uncalibrated — callers fall back to a
+    /// structural threshold.
+    pub fn should_compact(
+        &self,
+        base_ne: usize,
+        overlay_terms: usize,
+        n_cols: usize,
+        horizon: u64,
+    ) -> Option<bool> {
+        let surcharge = self.overlay_surcharge_ms(overlay_terms, n_cols)?;
+        let ntiles = n_cols.div_ceil(NTILE).max(1) as f64;
+        let reprepare = self
+            .lock_state()
+            .calibration
+            .map(|c| c.model(true).predict(base_ne as f64 * ntiles))?;
+        Some(surcharge * horizon as f64 >= reprepare)
+    }
+
     /// Chooses a configuration for matrix `a` and a planning width of
     /// `n_cols` output columns.
     ///
@@ -686,6 +723,47 @@ mod tests {
         let d = planner.decide(&a, 8, &SmatConfig::default());
         let engine = Smat::prepare(&a, d.apply(&SmatConfig::default()));
         assert_eq!(d.n_e, engine.bcsr().nblocks());
+    }
+
+    #[test]
+    fn overlay_surcharge_is_marginal_and_linear_in_terms() {
+        let planner = calibrated_planner();
+        let one = planner.overlay_surcharge_ms(1, 8).unwrap();
+        let ten = planner.overlay_surcharge_ms(10, 8).unwrap();
+        assert!(one > 0.0);
+        assert_eq!(ten.to_bits(), (10.0 * one).to_bits(), "no launch constant");
+        assert_eq!(planner.overlay_surcharge_ms(0, 8).unwrap(), 0.0);
+        // Uncalibrated planners decline to price the overlay.
+        assert!(Planner::new(PlanSpace::default())
+            .overlay_surcharge_ms(4, 8)
+            .is_none());
+    }
+
+    #[test]
+    fn should_compact_crosses_the_amortization_point() {
+        let planner = calibrated_planner();
+        // A tiny overlay on a large base over a short horizon: keep serving
+        // the overlay.
+        assert_eq!(planner.should_compact(4096, 1, 8, 1), Some(false));
+        // A huge overlay over a long horizon on a small base: re-prepare.
+        assert_eq!(planner.should_compact(8, 4096, 8, 1024), Some(true));
+        // Monotone in the horizon: once compaction wins at horizon h, it
+        // still wins at every longer horizon.
+        let mut seen_true = false;
+        for h in [1u64, 4, 16, 64, 256, 1024, 4096] {
+            let d = planner.should_compact(64, 32, 8, h).unwrap();
+            assert!(!seen_true || d, "decision regressed at horizon {h}");
+            seen_true = d;
+        }
+        // Uncalibrated: no decision.
+        assert!(Planner::new(PlanSpace::default())
+            .should_compact(64, 32, 8, 16)
+            .is_none());
+        // Deterministic: bitwise-identical inputs, identical decision.
+        assert_eq!(
+            planner.should_compact(64, 32, 8, 16),
+            planner.should_compact(64, 32, 8, 16)
+        );
     }
 
     #[test]

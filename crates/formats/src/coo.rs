@@ -115,6 +115,45 @@ impl<T: Element> Coo<T> {
         self.to_csr().spmm_reference(b)
     }
 
+    /// Merges a sorted set of cell *overrides* into `base`: a base entry
+    /// whose `(row, col)` appears in `overrides` is replaced by the
+    /// override value, overrides at unstored cells become insertions, and
+    /// a zero override deletes the cell. The result is the triplet list of
+    /// `base ⊕ overrides` — the compaction operand of a delta overlay.
+    ///
+    /// `overrides` must be sorted by `(row, col)` with unique coordinates
+    /// (debug-asserted); values are `f64` because overlays track exact
+    /// widened payloads.
+    ///
+    /// # Panics
+    /// Panics if an override coordinate is out of bounds for `base`.
+    pub fn with_overrides(base: &Csr<T>, overrides: &[(usize, usize, f64)]) -> Coo<T> {
+        debug_assert!(
+            overrides
+                .windows(2)
+                .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+            "overrides must be sorted by (row, col) and unique"
+        );
+        let mut out = Coo::with_capacity(base.nrows(), base.ncols(), base.nnz() + overrides.len());
+        for (r, c, v) in base.iter() {
+            // Overridden base cells are skipped here; the override value
+            // (if nonzero) is pushed below. A binary search per base entry
+            // keeps the merge O(nnz·log(overlay)).
+            if overrides
+                .binary_search_by_key(&(r, c), |&(or, oc, _)| (or, oc))
+                .is_err()
+            {
+                out.push(r, c, v);
+            }
+        }
+        for &(r, c, v) in overrides {
+            if v != 0.0 {
+                out.push(r, c, T::from_f64(v));
+            }
+        }
+        out
+    }
+
     /// Converts to CSR. Duplicates are summed and zeros dropped on the way.
     pub fn to_csr(&self) -> Csr<T> {
         let mut canonical = self.clone();
@@ -195,6 +234,34 @@ mod tests {
         m.push(0, 0, 1.0); // duplicate, summed during conversion
         let b = crate::dense::Dense::from_fn(3, 2, |i, j| (i + 2 * j) as f32);
         assert_eq!(m.spmm_reference(&b), m.to_csr().spmm_reference(&b));
+    }
+
+    #[test]
+    fn with_overrides_replaces_inserts_and_deletes() {
+        let mut m = Coo::<f32>::new(3, 3);
+        m.push(0, 0, 2.0);
+        m.push(0, 2, 1.0);
+        m.push(2, 0, 5.0);
+        let base = m.to_csr();
+        // Replace (0,0), delete (0,2), insert (1,1).
+        let merged = Coo::with_overrides(&base, &[(0, 0, 7.0), (0, 2, 0.0), (1, 1, 4.0)]).to_csr();
+        assert_eq!(merged.get(0, 0), Some(7.0));
+        assert_eq!(merged.get(0, 2), None, "zero override deletes the cell");
+        assert_eq!(merged.get(1, 1), Some(4.0));
+        assert_eq!(merged.get(2, 0), Some(5.0), "untouched cells survive");
+        assert_eq!(merged.nnz(), 3);
+    }
+
+    #[test]
+    fn with_overrides_of_empty_set_is_identity() {
+        let mut m = Coo::<f32>::new(2, 2);
+        m.push(0, 1, 1.5);
+        m.push(1, 0, -3.0);
+        let base = m.to_csr();
+        let merged = Coo::with_overrides(&base, &[]).to_csr();
+        assert_eq!(merged.row_ptr(), base.row_ptr());
+        assert_eq!(merged.col_idx(), base.col_idx());
+        assert_eq!(merged.values(), base.values());
     }
 
     #[test]

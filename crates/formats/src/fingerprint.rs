@@ -57,8 +57,8 @@ impl Default for Fnv1a {
     }
 }
 
-/// Compact identity of a sparse matrix: shape, nonzero count, and structure
-/// and value digests. `Eq`/`Hash`-able, `Copy`, 40 bytes.
+/// Compact identity of a sparse matrix: shape, nonzero count, structure
+/// and value digests, plus an overlay epoch. `Eq`/`Hash`-able, `Copy`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, serde::Serialize)]
 pub struct MatrixFingerprint {
     /// Number of rows.
@@ -71,6 +71,14 @@ pub struct MatrixFingerprint {
     pub structure_hash: u64,
     /// FNV-1a digest of the value payload (exact `f64` bit patterns).
     pub value_hash: u64,
+    /// Overlay epoch: the number of in-place mutations applied on top of
+    /// the fingerprinted base content. `0` for a freshly fingerprinted
+    /// matrix ([`MatrixFingerprint::of_csr`]); a mutable engine stamps its
+    /// current mutation counter in with [`MatrixFingerprint::with_epoch`].
+    /// The epoch participates in `Eq`/`Hash`, so any cache keyed by
+    /// fingerprint (plan caches, preflight memos, planner decisions) is
+    /// invalidated by construction the moment the matrix mutates.
+    pub epoch: u64,
 }
 
 impl MatrixFingerprint {
@@ -95,10 +103,20 @@ impl MatrixFingerprint {
             nnz: a.nnz(),
             structure_hash: sh.finish(),
             value_hash: vh.finish(),
+            epoch: 0,
         }
     }
 
+    /// The same base identity at a given overlay epoch. Epoch 0 is the
+    /// unmutated base; fingerprints at different epochs are unequal and
+    /// hash apart, which is the whole invalidation mechanism.
+    pub fn with_epoch(self, epoch: u64) -> Self {
+        MatrixFingerprint { epoch, ..self }
+    }
+
     /// Short hex form (`<structure>-<values>`), used in logs and stats.
+    /// The overlay epoch is not part of the hex form (it identifies base
+    /// content); [`std::fmt::Display`] appends it when nonzero.
     pub fn short_hex(&self) -> String {
         format!("{:016x}-{:016x}", self.structure_hash, self.value_hash)
     }
@@ -113,7 +131,11 @@ impl std::fmt::Display for MatrixFingerprint {
             self.ncols,
             self.nnz,
             self.short_hex()
-        )
+        )?;
+        if self.epoch > 0 {
+            write!(f, " epoch={}", self.epoch)?;
+        }
+        Ok(())
     }
 }
 
@@ -182,6 +204,19 @@ mod tests {
         let s = f.to_string();
         assert!(s.starts_with("16x16 nnz=16 "), "{s}");
         assert_eq!(f.short_hex().len(), 33);
+        assert!(!s.contains("epoch"), "epoch 0 stays out of the display");
+    }
+
+    #[test]
+    fn epoch_is_part_of_identity_but_not_of_the_hex_form() {
+        let base = MatrixFingerprint::of_csr(&sample(0, 1.0));
+        assert_eq!(base.epoch, 0);
+        let mutated = base.with_epoch(3);
+        assert_ne!(base, mutated, "epochs must not collide in caches");
+        assert_eq!(mutated.with_epoch(0), base, "epoch is the only delta");
+        assert_eq!(base.short_hex(), mutated.short_hex());
+        let s = mutated.to_string();
+        assert!(s.ends_with(" epoch=3"), "{s}");
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 
-use smat::{RunReport, Smat};
+use smat::{OverlaySnapshot, RunReport, Smat};
 use smat_baselines::CusparseLike;
 use smat_formats::{Dense, Element};
 use smat_gpusim::{Gpu, SimError};
@@ -18,21 +18,27 @@ use smat_gpusim::{Gpu, SimError};
 /// the panels, launches once on `gpu`, and splits the output back in input
 /// order. Returns one `C` per input panel plus the shared launch report.
 ///
+/// `overlay` is the epoch-pinned delta the batch admitted under (batches
+/// are same-epoch by construction — the batcher keys on `(matrix key,
+/// epoch)`); the prepared base runs on the Tensor Core path and the
+/// overlay's corrections merge in afterwards, bitwise-deterministically.
+///
 /// # Panics
 /// Panics if `panels` is empty or their row counts disagree.
 pub fn spmm_batched<T: Element>(
     smat: &Smat<T>,
     gpu: &Gpu,
     panels: &[&Dense<T>],
+    overlay: &OverlaySnapshot,
 ) -> Result<(Vec<Dense<T>>, RunReport), SimError> {
     if panels.len() == 1 {
         // Nothing to coalesce; skip the concat/split copies.
-        let run = smat.try_spmm_on(gpu, panels[0])?;
+        let run = smat.try_spmm_on_pinned(gpu, panels[0], overlay)?;
         return Ok((vec![run.c], run.report));
     }
     let widths: Vec<usize> = panels.iter().map(|p| p.ncols()).collect();
     let wide = Dense::hconcat(panels);
-    let run = smat.try_spmm_on(gpu, &wide)?;
+    let run = smat.try_spmm_on_pinned(gpu, &wide, overlay)?;
     Ok((run.c.split_cols(&widths), run.report))
 }
 
@@ -53,6 +59,7 @@ pub fn spmm_scalar_fallback<T: Element>(
     smat: &Smat<T>,
     gpu: &Gpu,
     panels: &[&Dense<T>],
+    overlay: &OverlaySnapshot,
 ) -> Result<(Vec<Dense<T>>, f64), SimError> {
     let csr = smat.fallback_csr();
     let widths: Vec<usize> = panels.iter().map(|p| p.ncols()).collect();
@@ -68,7 +75,11 @@ pub fn spmm_scalar_fallback<T: Element>(
     let permuted = smat.permute_rhs(joined);
     let b_eff = permuted.as_ref().unwrap_or(joined);
     let (launch, c_permuted) = CusparseLike::new(gpu, &csr).spmm(b_eff)?;
-    let c = smat.restore_row_order(&c_permuted);
+    let mut c = smat.restore_row_order(&c_permuted);
+    // Overlay corrections apply in original coordinates — after the row
+    // restore, against the un-permuted B — exactly like the TC path, so
+    // degraded completions stay bitwise indistinguishable.
+    overlay.apply_corrections(&mut c, joined, 1.0);
     let cs = if panels.len() == 1 {
         vec![c]
     } else {
@@ -137,7 +148,8 @@ mod tests {
         let b1 = Dense::from_fn(96, 8, |i, j| F16::from_f64(((i + j) % 3) as f64));
         let b2 = Dense::from_fn(96, 16, |i, j| F16::from_f64(((i * j) % 4) as f64 - 1.0));
         let b3 = Dense::from_fn(96, 5, |i, j| F16::from_f64(((2 * i + j) % 5) as f64));
-        let (cs, report) = spmm_batched(&smat, &gpu, &[&b1, &b2, &b3]).unwrap();
+        let (cs, report) =
+            spmm_batched(&smat, &gpu, &[&b1, &b2, &b3], &OverlaySnapshot::empty()).unwrap();
         assert_eq!(cs.len(), 3);
         assert_eq!(cs[0], smat.spmm(&b1).c);
         assert_eq!(cs[1], smat.spmm(&b2).c);
@@ -151,7 +163,8 @@ mod tests {
         let smat = Smat::prepare(&a, SmatConfig::default());
         let gpu = Gpu::new(smat.config().device.clone());
         let b = Dense::from_fn(128, 8, |i, j| F16::from_f64(((i + j) % 3) as f64));
-        let (_, one_batched) = spmm_batched(&smat, &gpu, &[&b, &b, &b, &b]).unwrap();
+        let (_, one_batched) =
+            spmm_batched(&smat, &gpu, &[&b, &b, &b, &b], &OverlaySnapshot::empty()).unwrap();
         let solo = smat.spmm(&b).report;
         assert!(
             one_batched.elapsed_ms() < 4.0 * solo.elapsed_ms(),
@@ -168,13 +181,49 @@ mod tests {
         let gpu = Gpu::new(smat.config().device.clone());
         let b1 = Dense::from_fn(96, 8, |i, j| F16::from_f64(((i + j) % 3) as f64));
         let b2 = Dense::from_fn(96, 16, |i, j| F16::from_f64(((i * j) % 4) as f64 - 1.0));
-        let (tc, _) = spmm_batched(&smat, &gpu, &[&b1, &b2]).unwrap();
-        let (scalar, sim_ms) = spmm_scalar_fallback(&smat, &gpu, &[&b1, &b2]).unwrap();
+        let empty = OverlaySnapshot::empty();
+        let (tc, _) = spmm_batched(&smat, &gpu, &[&b1, &b2], &empty).unwrap();
+        let (scalar, sim_ms) = spmm_scalar_fallback(&smat, &gpu, &[&b1, &b2], &empty).unwrap();
         assert_eq!(scalar, tc, "degraded completions must be indistinguishable");
         assert!(sim_ms > 0.0);
         // Single-panel shortcut agrees too.
-        let (solo, _) = spmm_scalar_fallback(&smat, &gpu, &[&b1]).unwrap();
+        let (solo, _) = spmm_scalar_fallback(&smat, &gpu, &[&b1], &empty).unwrap();
         assert_eq!(solo[0], tc[0]);
+    }
+
+    #[test]
+    fn overlay_batches_agree_across_tc_and_scalar_paths() {
+        // Mutate, pin the snapshot, and check: batched TC + corrections,
+        // the scalar rung, and a from-scratch rebuild of the merged matrix
+        // all produce the same bytes.
+        let a = matrix(96);
+        let smat = Smat::prepare(&a, SmatConfig::default());
+        smat.apply_updates(&[
+            smat::MatrixUpdate::Update {
+                row: 0,
+                col: 3,
+                value: F16::from_f64(4.0),
+            },
+            smat::MatrixUpdate::Insert {
+                row: 50,
+                col: 77,
+                value: F16::from_f64(-2.0),
+            },
+            smat::MatrixUpdate::Delete { row: 10, col: 30 },
+        ]);
+        let overlay = smat.overlay_snapshot();
+        let gpu = Gpu::new(smat.config().device.clone());
+        let b1 = Dense::from_fn(96, 8, |i, j| F16::from_f64(((i + j) % 3) as f64));
+        let b2 = Dense::from_fn(96, 16, |i, j| F16::from_f64(((i * j) % 4) as f64 - 1.0));
+        let (tc, _) = spmm_batched(&smat, &gpu, &[&b1, &b2], &overlay).unwrap();
+        let (scalar, _) = spmm_scalar_fallback(&smat, &gpu, &[&b1, &b2], &overlay).unwrap();
+        assert_eq!(scalar, tc, "degraded overlay path must match TC");
+        let merged = smat.merged_csr();
+        assert_eq!(tc[0], merged.spmm_reference(&b1));
+        assert_eq!(tc[1], merged.spmm_reference(&b2));
+        // The pinned empty snapshot still computes the pre-mutation result.
+        let (old, _) = spmm_batched(&smat, &gpu, &[&b1], &OverlaySnapshot::empty()).unwrap();
+        assert_eq!(old[0], a.spmm_reference(&b1));
     }
 
     #[test]

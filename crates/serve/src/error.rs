@@ -58,6 +58,20 @@ pub enum ServeError {
     ShutDown,
     /// The referenced matrix key is not registered.
     UnknownMatrix,
+    /// A mutation targeted a cell outside the matrix bounds.
+    UpdateOutOfBounds {
+        /// Registered matrix rows.
+        nrows: usize,
+        /// Registered matrix columns.
+        ncols: usize,
+        /// Offending row index.
+        row: usize,
+        /// Offending column index.
+        col: usize,
+    },
+    /// The key names a sharded registration, which serves immutable row
+    /// shards; in-place mutation is only supported for unsharded tenants.
+    MutationUnsupported,
 }
 
 impl std::fmt::Display for ServeError {
@@ -79,6 +93,18 @@ impl std::fmt::Display for ServeError {
             ServeError::Sim(e) => write!(f, "simulated launch failed: {e}"),
             ServeError::ShutDown => write!(f, "server shut down before completion"),
             ServeError::UnknownMatrix => write!(f, "matrix key not registered"),
+            ServeError::UpdateOutOfBounds {
+                nrows,
+                ncols,
+                row,
+                col,
+            } => write!(
+                f,
+                "update targets ({row},{col}) outside the {nrows}x{ncols} matrix"
+            ),
+            ServeError::MutationUnsupported => {
+                write!(f, "sharded registrations do not support mutation")
+            }
         }
     }
 }
@@ -113,5 +139,18 @@ mod tests {
         };
         assert_eq!(p.label(), "preflight");
         assert!(ServeError::ShutDown.to_string().contains("shut down"));
+        assert_eq!(
+            ServeError::UpdateOutOfBounds {
+                nrows: 4,
+                ncols: 8,
+                row: 9,
+                col: 1
+            }
+            .to_string(),
+            "update targets (9,1) outside the 4x8 matrix"
+        );
+        assert!(ServeError::MutationUnsupported
+            .to_string()
+            .contains("sharded"));
     }
 }

@@ -40,6 +40,16 @@
 //!   deterministic hedged re-dispatch, and graceful degradation to the
 //!   scalar `baselines::cusparse` path — all surfaced in
 //!   [`ChaosStats`] and as `chaos`-category trace events.
+//! * dynamic matrices — registered tenants accept in-place cell mutations
+//!   ([`Server::mutate`]): updates accumulate in a COO overlay on the
+//!   prepared handle, requests pin the overlay epoch at admission (plans,
+//!   batches, and execution all key on it, so a mutated matrix can never
+//!   launch under a stale plan), and when the calibrated cost model prices
+//!   the overlay's scalar surcharge above the re-preparation cost
+//!   ([`CompactionPolicy`]), a background compaction re-prepares
+//!   `base ⊕ overlay` and atomically swaps the registry handle — serving
+//!   never blocks, and in-flight requests finish on the epoch they
+//!   admitted under.
 //! * concurrency verification — every lock, condvar, and protocol-bearing
 //!   atomic in this crate is a checked `smat-sanitize` primitive, so
 //!   lock-order analysis covers the engine when enabled (zero overhead
@@ -76,8 +86,10 @@ pub use plan::{Plan, PlanCache, PlanStats};
 pub use registry::{
     config_digest, AdmissionState, MatrixKey, ParkResult, PreparedMatrixRegistry, RegistryStats,
 };
-pub use server::{ResponseFuture, ServeResponse, Server, ServerConfig};
-pub use smat::{Calibration, PlanDecision, PlanSource, PlanSpace, Planner};
+pub use server::{CompactionPolicy, ResponseFuture, ServeResponse, Server, ServerConfig};
+pub use smat::{
+    Calibration, MatrixUpdate, OverlaySnapshot, PlanDecision, PlanSource, PlanSpace, Planner,
+};
 pub use smat_shard::{FanoutJoin, ShardPlan, ShardPolicy};
 pub use smat_trace::TraceHandle;
 pub use stats::{ChaosStats, DeviceStats, LatencyStats, ServerStats};

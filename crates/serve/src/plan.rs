@@ -7,6 +7,16 @@
 //! pair, so repeat requests (the dominant serving case) skip both the
 //! schedule analysis and the admission decision work, and inadmissible
 //! plans are refused before they occupy queue slots.
+//!
+//! Dynamic matrices make "matrix" a moving target: every overlay mutation
+//! changes the effective content. The cache therefore keys on the tenant's
+//! [`MatrixKey`] with its fingerprint stamped by the *overlay epoch* the
+//! request admitted under ([`smat_formats::MatrixFingerprint::with_epoch`])
+//! — a plan
+//! built against epoch `e` can never be applied at any other epoch, so a
+//! mutated matrix structurally cannot launch under a stale plan. The epoch
+//! is pinned at admission (not re-read), matching the execution path's
+//! snapshot pinning.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -14,7 +24,7 @@ use std::sync::Arc;
 use smat_sanitize::sync::Mutex;
 
 use serde::Serialize;
-use smat::Smat;
+use smat::{OverlaySnapshot, Smat};
 use smat_diag::{Diagnostic, DiagnosticsExt};
 use smat_formats::Element;
 use smat_gpusim::Gpu;
@@ -83,9 +93,28 @@ impl PlanCache {
         }
     }
 
-    /// Returns the plan for (`key`, `n`), building it from the prepared
-    /// handle on first use.
+    /// Returns the plan for (`key`, `n`) at the handle's *current* overlay
+    /// epoch, building it on first use. Serving paths that pinned a
+    /// snapshot at admission use [`PlanCache::get_or_build_pinned`] so the
+    /// plan matches the epoch the request executes on.
     pub fn get_or_build<T: Element>(&self, key: MatrixKey, n: usize, smat: &Smat<T>) -> Arc<Plan> {
+        self.get_or_build_pinned(key, n, smat, &smat.overlay_snapshot())
+    }
+
+    /// Returns the plan for (`key`, `n`) under a pinned overlay snapshot.
+    /// The cache key carries `overlay.epoch()` inside the fingerprint, so
+    /// entries built before a mutation are unreachable after it.
+    pub fn get_or_build_pinned<T: Element>(
+        &self,
+        key: MatrixKey,
+        n: usize,
+        smat: &Smat<T>,
+        overlay: &OverlaySnapshot,
+    ) -> Arc<Plan> {
+        let key = MatrixKey {
+            fingerprint: key.fingerprint.with_epoch(overlay.epoch()),
+            ..key
+        };
         // POLICY (poisoning): recover. The LRU map only sees panic-free
         // get/insert calls under the lock (plans are built outside it), so
         // a poisoned flag cannot indicate a torn map.
@@ -96,7 +125,7 @@ impl PlanCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         // Built outside the lock: racing builders compute identical plans
         // and the last insert wins.
-        let plan = Arc::new(build_plan(n, smat));
+        let plan = Arc::new(build_plan(n, smat, overlay));
         self.plans
             .lock_or_recover()
             .insert((key, n), Arc::clone(&plan));
@@ -113,11 +142,11 @@ impl PlanCache {
     }
 }
 
-fn build_plan<T: Element>(n: usize, smat: &Smat<T>) -> Plan {
+fn build_plan<T: Element>(n: usize, smat: &Smat<T>, overlay: &OverlaySnapshot) -> Plan {
     let cfg = smat.config();
     let gpu = Gpu::new(cfg.device.clone());
     let launch = smat::build_launch_config(&gpu, smat.bcsr(), n, cfg.opts, cfg.schedule);
-    let diagnostics = smat.preflight_cached(n);
+    let diagnostics = smat.preflight_cached_at(n, overlay);
     let admissible = !diagnostics.has_errors();
     Plan {
         n,
@@ -189,6 +218,44 @@ mod tests {
         let plan = PlanCache::new(4).get_or_build(key, 8, &smat);
         assert!(!plan.admissible);
         assert!(plan.diagnostics.has_errors());
+    }
+
+    #[test]
+    fn mutated_matrix_never_reuses_a_stale_plan() {
+        // Satellite regression: the cache key carries the overlay epoch, so
+        // a mutation makes every pre-mutation entry unreachable — a stale
+        // plan (and its stale pre-flight verdict) can never gate a launch
+        // against the mutated matrix.
+        let a = matrix();
+        let cfg = SmatConfig::default();
+        let key = MatrixKey::new(MatrixFingerprint::of_csr(&a), &cfg);
+        let smat = Smat::prepare(&a, cfg);
+        let cache = PlanCache::new(8);
+        let before = cache.get_or_build(key, 8, &smat);
+        let pinned = smat.overlay_snapshot();
+        smat.apply_updates(&[smat::MatrixUpdate::Update {
+            row: 0,
+            col: 0,
+            value: F16::from_f64(5.0),
+        }]);
+        // Same (key, n) after the mutation: a fresh entry, not the stale
+        // one.
+        let after = cache.get_or_build(key, 8, &smat);
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "epoch 1 must not see the epoch-0 plan"
+        );
+        assert_eq!(cache.stats().misses, 2);
+        // A request that pinned the epoch-0 snapshot at admission still
+        // resolves its own (cached) plan.
+        let replay = cache.get_or_build_pinned(key, 8, &smat, &pinned);
+        assert!(Arc::ptr_eq(&before, &replay));
+        assert_eq!(cache.stats().hits, 1);
+        // The plan's diagnostics come from the epoch-pinned preflight memo.
+        assert!(Arc::ptr_eq(
+            &after.diagnostics,
+            &smat.preflight_cached_at(8, &smat.overlay_snapshot())
+        ));
     }
 
     #[test]

@@ -107,6 +107,10 @@ pub struct RegistryStats {
     pub warm_prepares: u64,
     /// Waiters parked on an in-flight preparation.
     pub parked: u64,
+    /// Background compactions that published a fresh handle (a
+    /// `compact_prepare` whose prepare succeeded *and* found its tenant
+    /// still resident at publish time).
+    pub compactions: u64,
     /// Resident entries right now.
     pub entries: usize,
     /// Configured bound.
@@ -130,7 +134,9 @@ type Slot<T> = Arc<ParkSlot<Smat<T>>>;
 
 /// Concurrent, size-bounded LRU of prepared matrices.
 pub struct PreparedMatrixRegistry<T> {
-    entries: Mutex<LruMap<MatrixKey, Slot<T>>>,
+    /// `Arc` so compaction threads can publish into the map without owning
+    /// the registry (which would deadlock the joining `Drop`).
+    entries: Arc<Mutex<LruMap<MatrixKey, Slot<T>>>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -139,7 +145,13 @@ pub struct PreparedMatrixRegistry<T> {
     prepares: Arc<AtomicU64>,
     warm_prepares: AtomicU64,
     parked: AtomicU64,
+    /// Fresh handles published by background compactions.
+    compactions: Arc<AtomicU64>,
+    /// Keys with a compaction in flight — the single-flight guard of
+    /// [`PreparedMatrixRegistry::compact_prepare`].
+    compacting: Arc<Mutex<Vec<MatrixKey>>>,
     warm_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    compact_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 /// Fulfills the slot (running `prepare` only if this caller wins the
@@ -166,14 +178,17 @@ impl<T: Element> PreparedMatrixRegistry<T> {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         PreparedMatrixRegistry {
-            entries: Mutex::labeled("registry.entries", LruMap::new(capacity)),
+            entries: Arc::new(Mutex::labeled("registry.entries", LruMap::new(capacity))),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             prepares: Arc::new(AtomicU64::new(0)),
             warm_prepares: AtomicU64::new(0),
             parked: AtomicU64::new(0),
+            compactions: Arc::new(AtomicU64::new(0)),
+            compacting: Arc::new(Mutex::labeled("registry.compacting", Vec::new())),
             warm_threads: Mutex::labeled("registry.warm_threads", Vec::new()),
+            compact_threads: Mutex::labeled("registry.compact_threads", Vec::new()),
         }
     }
 
@@ -326,6 +341,125 @@ impl<T: Element> PreparedMatrixRegistry<T> {
         }
     }
 
+    /// Looks up `key` without preparing, bumping LRU recency, or touching
+    /// the hit/miss counters — the lookup the mutation path uses, where a
+    /// retry loop re-reading the current handle must not distort cache
+    /// statistics or recency. Returns `None` while the entry is still
+    /// preparing.
+    pub fn peek(&self, key: &MatrixKey) -> Option<Smat<T>> {
+        // POLICY (poisoning): recover (see `slot_of`).
+        self.entries
+            .lock_or_recover()
+            .peek(key)
+            .and_then(|s| s.get())
+    }
+
+    /// Re-prepares `key` on a background thread from its *current* handle
+    /// (base ⊕ overlay) and atomically swaps the fresh handle in — the
+    /// compaction path of dynamic matrices. Returns `false` without
+    /// spawning if the key is not resident-and-ready or a compaction for it
+    /// is already in flight (single-flight per key).
+    ///
+    /// Protocol guarantees, verified by `tests/model_check.rs` and the
+    /// chaos suite:
+    ///
+    /// * **Serving never blocks**: the old handle keeps serving until the
+    ///   swap; in-flight requests pinned to it finish on the overlay epoch
+    ///   they admitted under.
+    /// * **No lost update**: after publishing, the compactor reads the old
+    ///   handle's *final* overlay snapshot and rebases it onto the fresh
+    ///   handle ([`Smat::rebase_overlay`], insert-if-absent — an override
+    ///   a racing mutator already retried onto the fresh handle is strictly
+    ///   newer and wins). A mutation that raced the swap either landed in
+    ///   that final snapshot or was retried by its mutator's own
+    ///   current-handle check; it cannot vanish.
+    /// * **No resurrection**: the fresh handle is published only if the
+    ///   tenant is still resident *with the same handle* at publish time —
+    ///   an eviction or re-registration mid-compaction discards the fresh
+    ///   handle instead of resurrecting a forgotten tenant.
+    /// * **Eviction-safe**: the compactor owns a clone of the old handle,
+    ///   so LRU eviction mid-compaction can never free the matrix under
+    ///   the running `prepare` (the shard-handle pinning rule).
+    /// * **Fault-isolated**: a panicking `prepare` leaves the old handle
+    ///   serving, clears the single-flight guard, and counts nothing.
+    pub fn compact_prepare(
+        &self,
+        key: MatrixKey,
+        prepare: impl FnOnce(&Smat<T>) -> Smat<T> + Send + 'static,
+    ) -> bool {
+        let Some(old) = self.peek(&key) else {
+            return false;
+        };
+        {
+            // POLICY (poisoning): recover. Push/retain-only key list.
+            let mut compacting = self.compacting.lock_or_recover();
+            if compacting.contains(&key) {
+                return false;
+            }
+            compacting.push(key);
+        }
+        let entries = Arc::clone(&self.entries);
+        let compacting = Arc::clone(&self.compacting);
+        let compactions = Arc::clone(&self.compactions);
+        let handle = std::thread::Builder::new()
+            .name("smat-serve-compact".into())
+            .spawn(move || {
+                /// Clears the single-flight guard on every exit path,
+                /// panicking `prepare` included.
+                struct Unflag(Arc<Mutex<Vec<MatrixKey>>>, MatrixKey);
+                impl Drop for Unflag {
+                    fn drop(&mut self) {
+                        self.0.lock_or_recover().retain(|k| *k != self.1);
+                    }
+                }
+                let _unflag = Unflag(compacting, key);
+                let fresh = prepare(&old);
+                let published = {
+                    // POLICY (poisoning): recover (see `slot_of`).
+                    let mut map = entries.lock_or_recover();
+                    match map.peek(&key).and_then(|s| s.get()) {
+                        Some(current) if current.ptr_eq(&old) => {
+                            let slot: Slot<T> = Arc::new(ParkSlot::new());
+                            let publish = fresh.clone();
+                            slot.fulfill(move || publish);
+                            // Same-key insert replaces the slot without an
+                            // LRU eviction; parked waiters on the old slot
+                            // still drain with the old handle — correct,
+                            // they admitted under its epoch.
+                            map.insert(key, slot);
+                            true
+                        }
+                        _ => false,
+                    }
+                };
+                if published {
+                    // Read the old handle's overlay only *after* the swap
+                    // is visible: any mutation ordered before a mutator's
+                    // current-handle re-check is in this snapshot, and any
+                    // ordered after was retried onto `fresh` directly.
+                    let last = old.overlay_snapshot();
+                    fresh.rebase_overlay(last.cells(), last.epoch());
+                    compactions.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+            .expect("spawn compaction thread");
+        // POLICY (poisoning): recover. Push/drain only.
+        self.compact_threads.lock_or_recover().push(handle);
+        true
+    }
+
+    /// Blocks until every in-flight background compaction has finished
+    /// (published or abandoned). The replay driver calls this at window
+    /// boundaries so compaction timing never leaks into batch composition.
+    /// A compaction that panicked is joined here too; its panic is
+    /// discarded (the old handle simply kept serving).
+    pub fn wait_compactions(&self) {
+        let handles = std::mem::take(&mut *self.compact_threads.lock_or_recover());
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
     /// Evicts `key` explicitly. In-flight requests holding the handle keep
     /// it alive; the registry just forgets it. An in-flight warm prepare of
     /// the key still completes and serves its parked waiters (they hold the
@@ -359,6 +493,7 @@ impl<T: Element> PreparedMatrixRegistry<T> {
             prepares: self.prepares.load(Ordering::Relaxed),
             warm_prepares: self.warm_prepares.load(Ordering::Relaxed),
             parked: self.parked.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
             entries: entries.len(),
             capacity: entries.capacity(),
         }
@@ -371,6 +506,9 @@ impl<T> Drop for PreparedMatrixRegistry<T> {
         // panic was already delivered (the join error is discarded) and the
         // slot it abandoned was left re-fulfillable.
         for h in self.warm_threads.get_mut().drain(..) {
+            let _ = h.join();
+        }
+        for h in self.compact_threads.get_mut().drain(..) {
             let _ = h.join();
         }
     }
@@ -628,6 +766,140 @@ mod tests {
         let b = smat_formats::Dense::from_fn(64, 8, |i, j| F16::from_f64(((i + j) % 3) as f64));
         assert_eq!(handle.spmm(&b).c, a.spmm_reference(&b));
         // Drop joins the panicked warm thread, discarding its panic.
+    }
+
+    #[test]
+    fn compact_prepare_swaps_the_handle_and_counts() {
+        let cfg = SmatConfig::default();
+        let a = matrix(0);
+        let key = key_of(&a, &cfg);
+        let reg: PreparedMatrixRegistry<F16> = PreparedMatrixRegistry::new(4);
+        let (old, _) = reg.get_or_prepare(key, || Smat::prepare(&a, cfg.clone()));
+        // Mutate, then compact: the fresh handle must serve base ⊕ overlay
+        // with an empty (folded-in) overlay.
+        old.apply_updates(&[smat::MatrixUpdate::Update {
+            row: 0,
+            col: 1,
+            value: F16::from_f64(7.0),
+        }]);
+        let merged = old.merged_csr();
+        assert!(reg.compact_prepare(key, |h| {
+            Smat::prepare(&h.merged_csr(), h.config().clone())
+        }));
+        reg.wait_compactions();
+        let fresh = reg.get(&key).expect("tenant still resident");
+        assert!(!fresh.ptr_eq(&old), "the handle was swapped");
+        assert_eq!(
+            fresh.overlay_snapshot().correction_terms(),
+            0,
+            "the override is folded into the fresh base"
+        );
+        assert_eq!(
+            fresh.overlay_epoch(),
+            old.overlay_epoch(),
+            "the rebase carries the epoch forward"
+        );
+        let b = smat_formats::Dense::from_fn(64, 8, |i, j| F16::from_f64(((i + j) % 3) as f64));
+        assert_eq!(fresh.spmm(&b).c, merged.spmm_reference(&b));
+        let s = reg.stats();
+        assert_eq!(s.compactions, 1);
+        assert_eq!(s.evictions, 0, "a swap is not an eviction");
+    }
+
+    #[test]
+    fn compact_prepare_is_single_flight_and_needs_residency() {
+        let cfg = SmatConfig::default();
+        let a = matrix(1);
+        let key = key_of(&a, &cfg);
+        let reg: PreparedMatrixRegistry<F16> = PreparedMatrixRegistry::new(4);
+        assert!(
+            !reg.compact_prepare(key, |_| panic!("nothing to compact")),
+            "absent tenants cannot compact"
+        );
+        reg.get_or_prepare(key, || Smat::prepare(&a, cfg.clone()));
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let g = Arc::clone(&gate);
+        assert!(reg.compact_prepare(key, move |h| {
+            g.wait();
+            Smat::prepare(&h.merged_csr(), h.config().clone())
+        }));
+        assert!(
+            !reg.compact_prepare(key, |_| panic!("duplicate compaction")),
+            "second compaction of the same key must be refused"
+        );
+        gate.wait();
+        reg.wait_compactions();
+        assert_eq!(reg.stats().compactions, 1);
+        // The guard cleared: a new compaction is admissible again.
+        assert!(reg.compact_prepare(key, |h| Smat::prepare(&h.merged_csr(), h.config().clone())));
+        reg.wait_compactions();
+        assert_eq!(reg.stats().compactions, 2);
+    }
+
+    #[test]
+    fn eviction_during_compaction_pins_the_handle_and_skips_publish() {
+        // Satellite regression: evicting a tenant mid-compaction must
+        // neither free the handle under the compactor nor resurrect the
+        // tenant when the compactor finishes.
+        let cfg = SmatConfig::default();
+        let a = matrix(2);
+        let key = key_of(&a, &cfg);
+        let reg: PreparedMatrixRegistry<F16> = PreparedMatrixRegistry::new(4);
+        let (old, _) = reg.get_or_prepare(key, || Smat::prepare(&a, cfg.clone()));
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let g = Arc::clone(&gate);
+        assert!(reg.compact_prepare(key, move |h| {
+            g.wait(); // hold the prepare until the eviction lands
+                      // The pinned handle is fully usable mid-eviction.
+            Smat::prepare(&h.merged_csr(), h.config().clone())
+        }));
+        assert!(reg.invalidate(&key), "tenant evicted mid-compaction");
+        gate.wait();
+        reg.wait_compactions();
+        assert!(
+            reg.get(&key).is_none(),
+            "a finished compaction must not resurrect an evicted tenant"
+        );
+        assert_eq!(
+            reg.stats().compactions,
+            0,
+            "abandoned publishes don't count"
+        );
+        // The old handle survived the whole episode (the compactor's pin).
+        let b = smat_formats::Dense::from_fn(64, 8, |i, j| F16::from_f64(((i + j) % 3) as f64));
+        assert_eq!(old.spmm(&b).c, a.spmm_reference(&b));
+    }
+
+    #[test]
+    fn panicked_compaction_leaves_the_old_handle_serving() {
+        let cfg = SmatConfig::default();
+        let a = matrix(3);
+        let key = key_of(&a, &cfg);
+        let reg: PreparedMatrixRegistry<F16> = PreparedMatrixRegistry::new(4);
+        let (old, _) = reg.get_or_prepare(key, || Smat::prepare(&a, cfg.clone()));
+        assert!(reg.compact_prepare(key, |_| panic!("compaction blew up")));
+        reg.wait_compactions();
+        let current = reg.get(&key).expect("tenant still resident");
+        assert!(current.ptr_eq(&old), "the old handle still serves");
+        assert_eq!(reg.stats().compactions, 0);
+        // The single-flight guard was cleared by the unwind: retry works.
+        assert!(reg.compact_prepare(key, |h| Smat::prepare(&h.merged_csr(), h.config().clone())));
+        reg.wait_compactions();
+        assert_eq!(reg.stats().compactions, 1);
+    }
+
+    #[test]
+    fn peek_is_counter_and_recency_neutral() {
+        let cfg = SmatConfig::default();
+        let a = matrix(4);
+        let key = key_of(&a, &cfg);
+        let reg: PreparedMatrixRegistry<F16> = PreparedMatrixRegistry::new(4);
+        assert!(reg.peek(&key).is_none());
+        reg.get_or_prepare(key, || Smat::prepare(&a, cfg.clone()));
+        let before = reg.stats();
+        assert!(reg.peek(&key).is_some());
+        let after = reg.stats();
+        assert_eq!((before.hits, before.misses), (after.hits, after.misses));
     }
 
     #[test]

@@ -20,7 +20,7 @@ use std::task::{Context, Poll};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use smat::{Planner, Smat, SmatConfig};
+use smat::{MatrixUpdate, OverlaySnapshot, Planner, Smat, SmatConfig};
 use smat_formats::{Csr, Dense, Element, MatrixFingerprint};
 use smat_gpusim::{compose_key, FaultConfig, FaultPlan, Gpu, SimError};
 use smat_shard::{partition, FanoutJoin, ShardPlan};
@@ -84,6 +84,52 @@ pub struct ServerConfig {
     /// Tenants that pin a configuration via
     /// [`Server::register_with_config`] bypass the planner entirely.
     pub planner: Option<Arc<Planner>>,
+    /// When to fold a mutated tenant's overlay back into a prepared base
+    /// (see [`Server::mutate`] and [`Server::compact`]).
+    pub compaction: CompactionPolicy,
+}
+
+/// Background-compaction policy for dynamic matrices.
+///
+/// Every [`Server::mutate`] call accumulates into the tenant's COO overlay;
+/// requests keep serving (base on the Tensor Core path, overlay corrections
+/// on the scalar path) but each correction term costs scalar work per
+/// launch. Compaction re-prepares `base ⊕ overlay` on a background thread
+/// and atomically swaps the registry handle — serving never blocks, and
+/// in-flight requests finish on the snapshot they admitted under.
+///
+/// The trigger prefers the calibrated cost model
+/// ([`Planner::should_compact`]): compact when the overlay's per-launch
+/// scalar surcharge, amortized over `horizon` launches, exceeds the
+/// predicted one-time re-preparation cost. Without a calibrated planner the
+/// structural fallback fires when the overlay reaches
+/// `max(min_overlay_cells, overlay_nnz_fraction · base nnz)` correction
+/// terms. Both triggers are pure functions of matrix content, so the
+/// decision replays deterministically.
+#[derive(Clone, Copy, Debug)]
+pub struct CompactionPolicy {
+    /// Consider compaction automatically after every mutation batch.
+    /// `false` leaves compaction to explicit [`Server::compact`] calls.
+    pub auto: bool,
+    /// Structural-fallback floor: never auto-compact below this many
+    /// overlay correction terms (amortization is hopeless for tiny deltas).
+    pub min_overlay_cells: usize,
+    /// Structural-fallback fraction of the base nnz at which the overlay is
+    /// considered heavy enough to fold in.
+    pub overlay_nnz_fraction: f64,
+    /// Launches the cost model amortizes the re-preparation over.
+    pub horizon: u64,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            auto: true,
+            min_overlay_cells: 64,
+            overlay_nnz_fraction: 0.02,
+            horizon: 256,
+        }
+    }
 }
 
 impl Default for ServerConfig {
@@ -100,6 +146,7 @@ impl Default for ServerConfig {
             recovery: RecoveryPolicy::default(),
             shard_max_bytes: None,
             planner: None,
+            compaction: CompactionPolicy::default(),
         }
     }
 }
@@ -202,6 +249,12 @@ impl<T: Send> Responder<T> {
 struct Request<T> {
     key: MatrixKey,
     smat: Smat<T>,
+    /// The overlay snapshot pinned at admission. The batcher keys on
+    /// `(key, overlay.epoch())` so a batch is same-epoch by construction,
+    /// and execution applies exactly this delta — a mutation (or a
+    /// background compaction swap) landing after admission cannot change
+    /// what an in-flight request computes.
+    overlay: Arc<OverlaySnapshot>,
     b: Dense<T>,
     deadline: Option<Instant>,
     enq: Instant,
@@ -266,6 +319,8 @@ struct Central {
     fanouts: AtomicU64,
     /// Per-shard sub-requests those fan-outs emitted.
     shard_subrequests: AtomicU64,
+    /// Mutation batches applied through [`Server::mutate`].
+    mutations: AtomicU64,
     /// Trace identity source: every submission (accepted or not) draws a
     /// seq. Not exported in stats — the `submitted` counter keeps its
     /// accepted-only semantics.
@@ -495,6 +550,149 @@ impl<T: Element> Server<T> {
         self.sharded.plan(key)
     }
 
+    /// Applies a batch of cell mutations to the registered matrix `key` and
+    /// returns the overlay epoch the batch landed at.
+    ///
+    /// The updates accumulate in the tenant's COO overlay: subsequent
+    /// submissions admit under the new epoch and compute against
+    /// `base ⊕ overlay` (bitwise identical to a from-scratch re-prepare of
+    /// the mutated matrix), while requests already admitted finish on the
+    /// snapshot they pinned. Nothing re-prepares inline — when the policy
+    /// says the overlay has grown past the amortization point, a background
+    /// compaction folds it into a fresh prepared handle and atomically
+    /// swaps it in ([`Server::compact`]).
+    ///
+    /// Every update carries absolute cell state (an explicit value, or
+    /// deletion), so re-applying a batch is idempotent; the swap race with
+    /// a concurrent compaction is resolved by re-applying to the fresh
+    /// handle, never by blocking either side.
+    ///
+    /// Errors: [`ServeError::UnknownMatrix`] for unregistered keys,
+    /// [`ServeError::MutationUnsupported`] for sharded registrations (shard
+    /// fingerprints are content-derived; mutating them is future work), and
+    /// [`ServeError::UpdateOutOfBounds`] if any update targets a cell
+    /// outside the matrix — checked up front, so a rejected batch mutates
+    /// nothing.
+    pub fn mutate(&self, key: MatrixKey, ops: &[MatrixUpdate<T>]) -> Result<u64, ServeError> {
+        if self.sharded.lookup(&key).is_some() {
+            return Err(ServeError::MutationUnsupported);
+        }
+        // `peek`, not `get`: mutation is not a serving lookup and must not
+        // perturb LRU recency or the hit/miss counters.
+        let Some(mut handle) = self.registry.peek(&key) else {
+            return Err(ServeError::UnknownMatrix);
+        };
+        let fp = handle.fingerprint();
+        for op in ops {
+            let (row, col) = op.cell();
+            if row >= fp.nrows || col >= fp.ncols {
+                return Err(ServeError::UpdateOutOfBounds {
+                    nrows: fp.nrows,
+                    ncols: fp.ncols,
+                    row,
+                    col,
+                });
+            }
+        }
+        if ops.is_empty() {
+            return Ok(handle.overlay_epoch());
+        }
+        // Apply, then confirm the handle is still the resident one. A
+        // background compaction publishing between the peek and the apply
+        // would strand the updates on the retired handle (the compactor's
+        // rebase only carries what it observed) — re-apply to the fresh
+        // handle; absolute-state updates make the double-apply harmless.
+        let epoch = loop {
+            let epoch = handle.apply_updates(ops);
+            match self.registry.peek(&key) {
+                Some(cur) if cur.ptr_eq(&handle) => break epoch,
+                Some(cur) => handle = cur,
+                // Evicted mid-mutation: the updates rode the retired handle
+                // out. The tenant is gone either way.
+                None => break epoch,
+            }
+        };
+        self.shared
+            .central
+            .mutations
+            .fetch_add(1, Ordering::Relaxed);
+        if self.config.compaction.auto && self.overlay_past_amortization(&handle) {
+            self.compact(key);
+        }
+        Ok(epoch)
+    }
+
+    /// Whether `handle`'s overlay has grown past the re-preparation
+    /// amortization point under the configured policy. Prefers the
+    /// calibrated cost model; falls back to the structural threshold when
+    /// the planner is absent or uncalibrated. Pure function of matrix
+    /// content — deterministic across replays.
+    fn overlay_past_amortization(&self, handle: &Smat<T>) -> bool {
+        let terms = handle.overlay_snapshot().correction_terms();
+        if terms == 0 {
+            return false;
+        }
+        let policy = &self.config.compaction;
+        let model = self.config.planner.as_ref().and_then(|p| {
+            p.should_compact(
+                handle.bcsr().nblocks(),
+                terms,
+                self.config.column_budget,
+                policy.horizon,
+            )
+        });
+        model.unwrap_or_else(|| {
+            let floor = policy
+                .min_overlay_cells
+                .max((policy.overlay_nnz_fraction * handle.fingerprint().nnz as f64) as usize)
+                .max(1);
+            terms >= floor
+        })
+    }
+
+    /// Starts a background compaction of `key`: re-prepares
+    /// `base ⊕ overlay` off-thread (reusing the warm-prepare park/publish
+    /// machinery) and atomically swaps the registry handle. Serving never
+    /// blocks — submissions keep admitting against the old handle until the
+    /// swap, and in-flight requests finish on the snapshot they pinned.
+    /// Mutations racing the swap are rebased onto the fresh handle.
+    ///
+    /// Returns `false` (without spawning) if the key is not resident or a
+    /// compaction for it is already in flight. With an admission planner
+    /// the merged matrix is re-planned from the base configuration;
+    /// otherwise it re-prepares under the old handle's configuration.
+    pub fn compact(&self, key: MatrixKey) -> bool {
+        let cfg = self.config.smat.clone();
+        let planner = self.config.planner.clone();
+        let width = self.config.column_budget;
+        self.registry.compact_prepare(key, move |old| {
+            let merged = old.merged_csr();
+            match planner {
+                Some(p) => {
+                    let d = p.decide(&merged, width, &cfg);
+                    Smat::prepare_with_plan(&merged, d.apply(&cfg), d)
+                }
+                None => Smat::prepare(&merged, old.config().clone()),
+            }
+        })
+    }
+
+    /// Blocks until every in-flight background compaction has finished
+    /// (published or bailed). Replay drivers call this at window boundaries
+    /// so epoch swaps land at deterministic points in the trace.
+    pub fn quiesce_compactions(&self) {
+        self.registry.wait_compactions();
+    }
+
+    /// Drops the registration for `key` (sharded or not). In-flight
+    /// requests and compactions keep their pinned handles; new submissions
+    /// see [`ServeError::UnknownMatrix`]. Returns whether anything was
+    /// removed.
+    pub fn invalidate(&self, key: &MatrixKey) -> bool {
+        let was_sharded = self.sharded.remove(key);
+        self.registry.invalidate(key) || was_sharded
+    }
+
     /// Submits `C = A·B` for the registered matrix `key` with the
     /// configured default deadline. Returns a future resolving to the
     /// response (or a typed rejection). Admission control runs inline:
@@ -677,6 +875,7 @@ impl<T: Element> Server<T> {
         };
         let active_ms = (wall_ms - paused_ms).max(0.0);
         let c = &self.shared.central;
+        let registry = self.registry.stats();
         // POLICY (poisoning): recover. Two-scalar accumulator.
         let (plan_err_sum, plan_predictions) = *c.plan_err.lock_or_recover();
         let devices: Vec<DeviceStats> = self
@@ -717,6 +916,8 @@ impl<T: Element> Server<T> {
             batches: c.batches.load(Ordering::Relaxed),
             batched_requests: c.batched_requests.load(Ordering::Relaxed),
             max_batch: c.max_batch.load(Ordering::Relaxed),
+            mutations: c.mutations.load(Ordering::Relaxed),
+            compactions: registry.compactions,
             fanout_requests: c.fanouts.load(Ordering::Relaxed),
             shard_subrequests: c.shard_subrequests.load(Ordering::Relaxed),
             queue_depth: devices.iter().map(|d| d.queue_depth).sum(),
@@ -730,7 +931,7 @@ impl<T: Element> Server<T> {
             },
             plan_refits: self.shared.planner.as_ref().map_or(0, |p| p.refits()),
             plan_observations: self.shared.planner.as_ref().map_or(0, |p| p.observations()),
-            registry: self.registry.stats(),
+            registry,
             plans: self.plans.stats(),
             chaos: self.shared.chaos.snapshot(),
             latency: LatencyStats::from_samples(&c.latencies.lock_or_recover()),
@@ -756,6 +957,8 @@ impl<T: Element> Server<T> {
         // Background shard prepares first: their parked submissions fan out
         // on the warm thread and land in queues before the drain begins.
         self.sharded.join_warm();
+        // Then background compactions, so no swap publishes mid-teardown.
+        self.registry.wait_compactions();
         self.shared.shutdown.store(true, Ordering::Release);
         for dev in &self.shared.devices {
             dev.cv.notify_all();
@@ -809,7 +1012,12 @@ fn admit_prepared<T: Element>(
         }));
         return false;
     }
-    let plan = plans.get_or_build(key, b.ncols(), &smat);
+    // Pin the overlay epoch now: the plan, the batch key, and the executed
+    // correction set all derive from this snapshot, so the request finishes
+    // on the epoch it admitted under even if a mutation or a compaction
+    // swap lands while it waits in queue.
+    let overlay = smat.overlay_snapshot();
+    let plan = plans.get_or_build_pinned(key, b.ncols(), &smat, &overlay);
     if !plan.admissible {
         if responder.is_direct() {
             shared
@@ -840,6 +1048,7 @@ fn admit_prepared<T: Element>(
     let mut request = Some(Request {
         key,
         smat,
+        overlay,
         b,
         deadline,
         enq,
@@ -1082,7 +1291,9 @@ fn worker_loop<T: Element>(shared: &PoolShared<T>, idx: usize) {
             }
             take_batch(
                 &mut q,
-                |r: &Request<T>| r.key,
+                // Same-epoch by construction: one pinned overlay serves the
+                // whole launch.
+                |r: &Request<T>| (r.key, r.overlay.epoch()),
                 |r| r.b.ncols(),
                 shared.column_budget,
             )
@@ -1139,6 +1350,7 @@ fn run_with_recovery<T: Element>(
     shared: &PoolShared<T>,
     home: usize,
     smat: &Smat<T>,
+    overlay: &OverlaySnapshot,
     panels: &[&Dense<T>],
     work_id: u64,
 ) -> Result<RecoveryOutcome<T>, SimError> {
@@ -1159,7 +1371,7 @@ fn run_with_recovery<T: Element>(
         }
         let lane = u32::from(exec != home);
         let gpu = attempt_gpu(shared, exec, work_id, attempt, lane);
-        match spmm_batched(smat, &gpu, panels) {
+        match spmm_batched(smat, &gpu, panels, overlay) {
             Ok((cs, report)) => {
                 if exec == home && shared.breakers[exec].record_success() {
                     chaos_instant("breaker_close", exec, work_id, attempt);
@@ -1198,7 +1410,7 @@ fn run_with_recovery<T: Element>(
             let target = (exec + f as usize) % ndev;
             let total = policy.max_attempts + f;
             let gpu = attempt_gpu(shared, target, work_id, total, 2);
-            match spmm_scalar_fallback(smat, &gpu, panels) {
+            match spmm_scalar_fallback(smat, &gpu, panels, overlay) {
                 Ok((cs, sim_ms)) => {
                     if target == home && shared.breakers[target].record_success() {
                         chaos_instant("breaker_close", target, work_id, total);
@@ -1364,7 +1576,14 @@ fn execute_batch<T: Element>(
         // The batch's work identity for fault keys is the lead request's
         // submission seq — pure request content, stable across replays.
         let work_id = live[0].seq;
-        let result = run_with_recovery(shared, idx, &live[0].smat, &panels, work_id);
+        let result = run_with_recovery(
+            shared,
+            idx,
+            &live[0].smat,
+            &live[0].overlay,
+            &panels,
+            work_id,
+        );
         if let Ok(out) = &result {
             launch_span.arg("sim_ms", out.sim_ms);
             launch_span.arg("attempts", out.attempts as u64);
@@ -1845,6 +2064,195 @@ mod tests {
             stats.devices.iter().any(|d| d.breaker_open),
             "certain faults must leave a breaker open"
         );
+    }
+
+    #[test]
+    fn mutate_serves_the_updated_product_and_bumps_epoch() {
+        let server: Server<F16> = Server::new(ServerConfig {
+            devices: 1,
+            // Keep compaction manual so the test exercises the pure overlay
+            // serving path.
+            compaction: CompactionPolicy {
+                auto: false,
+                ..CompactionPolicy::default()
+            },
+            ..ServerConfig::default()
+        });
+        let a = matrix(64, 0);
+        let key = server.register(&a);
+        let b = rhs(64, 8, 1);
+        assert_eq!(
+            block_on(server.submit(key, b.clone())).unwrap().c,
+            a.spmm_reference(&b)
+        );
+        let epoch = server
+            .mutate(
+                key,
+                &[
+                    MatrixUpdate::Update {
+                        row: 0,
+                        col: 0,
+                        value: F16::from_f64(3.0),
+                    },
+                    MatrixUpdate::Delete { row: 5, col: 5 },
+                ],
+            )
+            .unwrap();
+        assert_eq!(epoch, 2, "epoch advances by the op count");
+        let merged = server.registry().peek(&key).unwrap().merged_csr();
+        let resp = block_on(server.submit(key, b.clone())).unwrap();
+        assert_eq!(
+            resp.c,
+            merged.spmm_reference(&b),
+            "post-mutation serving must equal the merged matrix"
+        );
+        let stats = server.stats();
+        assert_eq!(stats.mutations, 1);
+        assert_eq!(stats.compactions, 0);
+        // Empty batches are free: no epoch movement, no mutation counted.
+        assert_eq!(server.mutate(key, &[]).unwrap(), 2);
+        assert_eq!(server.stats().mutations, 1);
+    }
+
+    #[test]
+    fn in_flight_requests_finish_on_their_admission_epoch() {
+        let server: Server<F16> = Server::new(ServerConfig {
+            devices: 1,
+            compaction: CompactionPolicy {
+                auto: false,
+                ..CompactionPolicy::default()
+            },
+            ..ServerConfig::default()
+        });
+        let a = matrix(64, 0);
+        let key = server.register(&a);
+        server.pause();
+        // Admitted (and epoch-pinned) before the mutation lands...
+        let pinned = server.submit(key, rhs(64, 8, 0));
+        server
+            .mutate(
+                key,
+                &[MatrixUpdate::Insert {
+                    row: 1,
+                    col: 2,
+                    value: F16::from_f64(-7.0),
+                }],
+            )
+            .unwrap();
+        // ...and one admitted after it.
+        let fresh = server.submit(key, rhs(64, 8, 0));
+        server.resume();
+        let merged = server.registry().peek(&key).unwrap().merged_csr();
+        assert_eq!(
+            pinned.wait().unwrap().c,
+            a.spmm_reference(&rhs(64, 8, 0)),
+            "a request admitted at epoch 0 must compute the epoch-0 product"
+        );
+        assert_eq!(
+            fresh.wait().unwrap().c,
+            merged.spmm_reference(&rhs(64, 8, 0))
+        );
+    }
+
+    #[test]
+    fn mutations_on_sharded_unknown_or_out_of_bounds_are_rejected() {
+        let server: Server<F16> = Server::new(ServerConfig {
+            shard_max_bytes: Some(1),
+            ..ServerConfig::default()
+        });
+        let a = matrix(64, 0);
+        let sharded_key = server.register(&a);
+        let up = MatrixUpdate::Update {
+            row: 0,
+            col: 0,
+            value: F16::from_f64(1.0),
+        };
+        assert!(matches!(
+            server.mutate(sharded_key, std::slice::from_ref(&up)),
+            Err(ServeError::MutationUnsupported)
+        ));
+        let unsharded: Server<F16> = Server::new(ServerConfig::default());
+        let key = unsharded.register(&a);
+        let bogus = MatrixKey {
+            fingerprint: MatrixFingerprint::of_csr(&matrix(32, 1)),
+            config_digest: key.config_digest,
+        };
+        assert!(matches!(
+            unsharded.mutate(bogus, std::slice::from_ref(&up)),
+            Err(ServeError::UnknownMatrix)
+        ));
+        // Out-of-bounds rejects the whole batch before any op applies.
+        let bad = [up, MatrixUpdate::Delete { row: 2, col: 64 }];
+        assert!(matches!(
+            unsharded.mutate(key, &bad),
+            Err(ServeError::UpdateOutOfBounds {
+                nrows: 64,
+                ncols: 64,
+                row: 2,
+                col: 64
+            })
+        ));
+        assert_eq!(
+            unsharded.registry().peek(&key).unwrap().overlay_epoch(),
+            0,
+            "a rejected batch must mutate nothing"
+        );
+        assert_eq!(unsharded.stats().mutations, 0);
+    }
+
+    #[test]
+    fn compaction_folds_the_overlay_and_serving_stays_correct() {
+        let server: Server<F16> = Server::new(ServerConfig {
+            devices: 1,
+            // Structural trigger at a single overlay cell: the first
+            // mutation schedules a background compaction (no planner, so
+            // the model path defers to the fallback threshold).
+            compaction: CompactionPolicy {
+                auto: true,
+                min_overlay_cells: 1,
+                overlay_nnz_fraction: 0.0,
+                horizon: 256,
+            },
+            ..ServerConfig::default()
+        });
+        let a = matrix(64, 0);
+        let key = server.register(&a);
+        server
+            .mutate(
+                key,
+                &[MatrixUpdate::Update {
+                    row: 3,
+                    col: 3,
+                    value: F16::from_f64(9.0),
+                }],
+            )
+            .unwrap();
+        server.quiesce_compactions();
+        let stats = server.stats();
+        assert_eq!(stats.mutations, 1);
+        assert_eq!(stats.compactions, 1, "auto-compaction must have published");
+        let handle = server.registry().peek(&key).unwrap();
+        assert_eq!(
+            handle.overlay_snapshot().correction_terms(),
+            0,
+            "the folded base absorbs every correction"
+        );
+        assert_eq!(handle.overlay_epoch(), 1, "the swap carries the epoch");
+        // The swapped handle serves the mutated product (oracle built by
+        // the formats-level override merge, independent of the pipeline).
+        let b = rhs(64, 16, 3);
+        let merged = Coo::with_overrides(&a, &[(3, 3, 9.0)]).to_csr();
+        assert_eq!(
+            block_on(server.submit(key, b.clone())).unwrap().c,
+            merged.spmm_reference(&b)
+        );
+        // Invalidation forgets the tenant entirely.
+        assert!(server.invalidate(&key));
+        assert!(matches!(
+            server.submit(key, b).wait(),
+            Err(ServeError::UnknownMatrix)
+        ));
+        assert!(!server.invalidate(&key), "second invalidation is a no-op");
     }
 
     #[test]

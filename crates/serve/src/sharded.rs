@@ -93,6 +93,14 @@ impl<T: Element> ShardTable<T> {
             .map(|entry| entry.plan)
     }
 
+    /// Forgets the sharded registration for `key`, if any. In-flight
+    /// fan-outs keep their pinned entry; the table just stops resolving the
+    /// parent key (mirrors registry invalidation for unsharded tenants).
+    pub fn remove(&self, key: &MatrixKey) -> bool {
+        // POLICY (poisoning): recover (see `lookup`).
+        self.slots.lock_or_recover().remove(key).is_some()
+    }
+
     /// Records a background shard-prepare thread for joining.
     pub fn push_warm(&self, handle: JoinHandle<()>) {
         // POLICY (poisoning): recover. Push/drain only.

@@ -166,6 +166,17 @@ pub struct ServerStats {
     pub batched_requests: u64,
     /// Largest batch observed, in requests.
     pub max_batch: u64,
+    /// Mutation batches applied through [`Server::mutate`](crate::Server)
+    /// (each may carry many cell updates; the overlay epoch advances by the
+    /// op count). Driven purely by the request stream — part of the
+    /// deterministic counter group.
+    pub mutations: u64,
+    /// Background compactions that published a fresh handle (mirrors
+    /// [`RegistryStats::compactions`]). Deterministic under drained replay:
+    /// the compaction *decision* is a pure function of matrix content and
+    /// the calibrated model, and the driver quiesces compactions at window
+    /// boundaries.
+    pub compactions: u64,
     /// Sharded requests fanned out across the pool by the matrix-level
     /// scheduler (each counts once in `submitted`/`completed`).
     pub fanout_requests: u64,

@@ -15,11 +15,20 @@
 //! note. The final test is the counterexample: it hands the breaker a
 //! *second* writer and the checker finds the schedule on which the
 //! trip disappears — the reason the server keeps breakers single-writer.
+//!
+//! The dynamic-matrix additions model the **compaction epoch-swap**
+//! protocol of `PreparedMatrixRegistry::compact_prepare` (snapshot →
+//! prepare → publish-if-same-handle → rebase) against the mutation retry
+//! loop of `Server::mutate` (apply → re-check current handle → retry onto
+//! the fresh one): no update is ever lost, the newest write wins over the
+//! rebase, and a reader never observes a torn (published-but-unfolded)
+//! handle. Two counterexamples close the suite: rebase-by-overwrite loses
+//! the newest write, and publish-before-fold is a torn read.
 
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-use smat_sanitize::sync::AtomicU32;
+use smat_sanitize::sync::{AtomicU32, Mutex};
 use smat_sanitize::{model, DiagCode, DiagnosticsExt, ModelConfig, ModelReport};
 use smat_serve::{CircuitBreaker, ParkSlot};
 
@@ -175,6 +184,233 @@ fn breaker_single_writer_trips_once_per_open_under_the_model() {
         assert_eq!(closes.load(Ordering::SeqCst), 1, "one close per success");
     });
     assert_clean(&report);
+}
+
+/// One dynamic tenant's handle, reduced to a single conceptual cell: the
+/// prepared base holds the cell value folded in at prepare time, the
+/// overlay is an absolute override of it (`Smat`'s copy-on-write snapshot
+/// collapses to a mutex here because the model checker serializes access),
+/// and the epoch counts applied mutations.
+struct CellHandle {
+    /// Cell value folded into the prepared base (written once, before
+    /// publish, by whoever prepares the handle).
+    base: AtomicU32,
+    /// Absolute overlay override of the cell, `0` = no override.
+    overlay: Mutex<u32>,
+    epoch: AtomicU32,
+}
+
+impl CellHandle {
+    fn new(base: u32) -> CellHandle {
+        CellHandle {
+            base: AtomicU32::new(base),
+            overlay: Mutex::labeled("model.cell_overlay", 0),
+            epoch: AtomicU32::new(0),
+        }
+    }
+
+    /// `Smat::apply_updates` for the one cell: absolute override + epoch
+    /// bump under the overlay lock.
+    fn apply(&self, value: u32) {
+        let mut cell = self.overlay.lock().unwrap();
+        *cell = value;
+        self.epoch.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The served value of the cell: overlay override if present, folded
+    /// base otherwise.
+    fn value(&self) -> u32 {
+        let cell = *self.overlay.lock().unwrap();
+        if cell != 0 {
+            cell
+        } else {
+            self.base.load(Ordering::SeqCst)
+        }
+    }
+}
+
+/// `Server::mutate`'s retry loop against the published-handle index:
+/// apply to the current handle, then re-check — if a compaction swapped
+/// mid-apply, re-apply the (absolute, hence idempotent) update to the
+/// fresh handle.
+fn model_mutate(handles: &[Arc<CellHandle>; 2], published: &AtomicU32, value: u32) {
+    let mut h = published.load(Ordering::SeqCst) as usize;
+    loop {
+        handles[h].apply(value);
+        let cur = published.load(Ordering::SeqCst) as usize;
+        if cur == h {
+            break;
+        }
+        h = cur;
+    }
+}
+
+/// `compact_prepare`'s thread body: snapshot the old overlay, fold it into
+/// a fresh base, publish, then rebase the old handle's *final* overlay
+/// insert-if-absent (a racing mutator's retried write is strictly newer
+/// and must win).
+fn model_compact(old: &CellHandle, fresh: &CellHandle, published: &AtomicU32) {
+    let snap = *old.overlay.lock().unwrap();
+    let folded = if snap != 0 {
+        snap
+    } else {
+        old.base.load(Ordering::SeqCst)
+    };
+    fresh.base.store(folded, Ordering::SeqCst);
+    published.store(1, Ordering::SeqCst);
+    // Rebase AFTER the swap is visible: any mutation ordered before its
+    // mutator's re-check is in this final snapshot; any ordered after was
+    // retried onto `fresh` directly.
+    let last = *old.overlay.lock().unwrap();
+    let last_epoch = old.epoch.load(Ordering::SeqCst);
+    if last != 0 && last != snap {
+        let mut cell = fresh.overlay.lock().unwrap();
+        if *cell == 0 {
+            *cell = last;
+        }
+    }
+    fresh.epoch.fetch_max(last_epoch, Ordering::SeqCst);
+}
+
+#[test]
+fn compaction_epoch_swap_loses_no_update_under_the_model() {
+    // A mutator writing 5 then 7 races the full snapshot → fold → publish
+    // → rebase sequence, with a concurrent reader. Invariants on every
+    // schedule: the final published value is 7 (the newest write is never
+    // lost to the swap and never overwritten by the rebase), the epoch
+    // accounts for both mutations, and no read observes a torn handle
+    // (a published-but-unfolded base would serve 0).
+    let cfg = ModelConfig {
+        max_schedules: 40_000,
+        ..ModelConfig::named("serve.epoch_swap")
+    };
+    let report = model::check(cfg, || {
+        let handles = [Arc::new(CellHandle::new(3)), Arc::new(CellHandle::new(0))];
+        let published = Arc::new(AtomicU32::new(0));
+        let (h1, p1) = (handles.clone(), Arc::clone(&published));
+        let mutator = model::spawn(move || {
+            model_mutate(&h1, &p1, 5);
+            model_mutate(&h1, &p1, 7);
+        });
+        let (h2, p2) = (handles.clone(), Arc::clone(&published));
+        let compactor = model::spawn(move || {
+            model_compact(&h2[0], &h2[1], &p2);
+        });
+        let (h3, p3) = (handles.clone(), Arc::clone(&published));
+        let reader = model::spawn(move || {
+            // Pin the handle the way admission does, then read through it:
+            // any epoch-consistent value is legal, a torn 0 never is.
+            let pinned = &h3[p3.load(Ordering::SeqCst) as usize];
+            let v = pinned.value();
+            assert!(
+                v == 3 || v == 5 || v == 7,
+                "torn read: published handle served {v}"
+            );
+        });
+        mutator.join();
+        compactor.join();
+        reader.join();
+        let current = &handles[published.load(Ordering::SeqCst) as usize];
+        assert_eq!(
+            current.value(),
+            7,
+            "the newest write survives the swap on every schedule"
+        );
+        assert!(
+            current.epoch.load(Ordering::SeqCst) >= 1,
+            "the published epoch reflects the mutation history"
+        );
+    });
+    assert_clean(&report);
+    assert!(report.schedules > 1, "{}", report.summary());
+}
+
+#[test]
+fn rebase_by_overwrite_loses_the_newest_write_and_the_model_proves_it() {
+    // The counterexample behind insert-if-absent: if the rebase *overwrote*
+    // the fresh overlay with the old handle's final snapshot, there is a
+    // schedule where a mutator's retried newer write (7) lands on the
+    // fresh handle first and the rebase then clobbers it with the stale
+    // snapshot (5) — the newest update silently vanishes.
+    let cfg = ModelConfig {
+        max_schedules: 40_000,
+        ..ModelConfig::named("serve.epoch_swap_overwrite")
+    };
+    let report = model::check(cfg, || {
+        let handles = [Arc::new(CellHandle::new(3)), Arc::new(CellHandle::new(0))];
+        let published = Arc::new(AtomicU32::new(0));
+        let (h1, p1) = (handles.clone(), Arc::clone(&published));
+        let mutator = model::spawn(move || {
+            model_mutate(&h1, &p1, 5);
+            model_mutate(&h1, &p1, 7);
+        });
+        let (h2, p2) = (handles.clone(), Arc::clone(&published));
+        let compactor = model::spawn(move || {
+            let (old, fresh) = (&h2[0], &h2[1]);
+            let snap = *old.overlay.lock().unwrap();
+            let folded = if snap != 0 {
+                snap
+            } else {
+                old.base.load(Ordering::SeqCst)
+            };
+            fresh.base.store(folded, Ordering::SeqCst);
+            p2.store(1, Ordering::SeqCst);
+            let last = *old.overlay.lock().unwrap();
+            if last != 0 {
+                // BUG under test: unconditional overwrite instead of
+                // insert-if-absent.
+                *fresh.overlay.lock().unwrap() = last;
+            }
+        });
+        mutator.join();
+        compactor.join();
+        let current = &handles[published.load(Ordering::SeqCst) as usize];
+        assert_eq!(current.value(), 7, "newest write must win");
+    });
+    assert!(
+        report
+            .findings
+            .codes()
+            .contains(&DiagCode::ModelInvariantViolation),
+        "expected the checker to find the clobbered-write schedule: {report:?}"
+    );
+    assert!(!report.is_clean());
+}
+
+#[test]
+fn publishing_before_folding_is_a_torn_read_and_the_model_proves_it() {
+    // The counterexample behind fold-then-publish: swap the published
+    // index before storing the folded base and there is a schedule where
+    // a reader pins the fresh handle with its base still unwritten — it
+    // serves 0 for a cell that has been 3 since epoch zero.
+    let report = model::check(ModelConfig::named("serve.epoch_swap_torn"), || {
+        let handles = [Arc::new(CellHandle::new(3)), Arc::new(CellHandle::new(0))];
+        let published = Arc::new(AtomicU32::new(0));
+        let (h1, p1) = (handles.clone(), Arc::clone(&published));
+        let compactor = model::spawn(move || {
+            let (old, fresh) = (&h1[0], &h1[1]);
+            // BUG under test: publish first, fold after.
+            p1.store(1, Ordering::SeqCst);
+            let folded = old.base.load(Ordering::SeqCst);
+            fresh.base.store(folded, Ordering::SeqCst);
+        });
+        let (h2, p2) = (handles.clone(), Arc::clone(&published));
+        let reader = model::spawn(move || {
+            let pinned = &h2[p2.load(Ordering::SeqCst) as usize];
+            let v = pinned.value();
+            assert_ne!(v, 0, "published handle served an unfolded base");
+        });
+        compactor.join();
+        reader.join();
+    });
+    assert!(
+        report
+            .findings
+            .codes()
+            .contains(&DiagCode::ModelInvariantViolation),
+        "expected the checker to find the torn-read schedule: {report:?}"
+    );
+    assert!(!report.is_clean());
 }
 
 #[test]

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier};
 
 use proptest::prelude::*;
-use smat::{Smat, SmatConfig};
+use smat::{OverlaySnapshot, Smat, SmatConfig};
 use smat_formats::{Coo, Csr, Dense, Element, MatrixFingerprint, F16};
 use smat_gpusim::Gpu;
 use smat_serve::{spmm_batched, MatrixKey, PreparedMatrixRegistry, Server, ServerConfig};
@@ -213,7 +213,7 @@ proptest! {
             .map(|(i, &w)| rhs(a.ncols(), w, 13 * i + 1))
             .collect();
         let refs: Vec<&Dense<F16>> = panels.iter().collect();
-        let (batched, _) = spmm_batched(&smat, &gpu, &refs).expect("batched launch");
+        let (batched, _) = spmm_batched(&smat, &gpu, &refs, &OverlaySnapshot::empty()).expect("batched launch");
         prop_assert_eq!(batched.len(), panels.len());
         for (got, b) in batched.iter().zip(&panels) {
             let solo = smat.try_spmm_on(&gpu, b).expect("solo launch");

@@ -27,4 +27,4 @@ pub use generators::{
     rmat_with_probs, scramble_rows,
 };
 pub use suitesparse::{by_name, table1, Mimic, MimicKind};
-pub use trace::{serve_trace, TraceRequest, TraceSpec};
+pub use trace::{mutation_trace, serve_trace, TraceMutation, TraceRequest, TraceSpec};

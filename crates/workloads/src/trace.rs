@@ -52,6 +52,12 @@ pub struct TraceSpec {
     /// or cold end, so sharded and unsharded requests interleave
     /// throughout the trace rather than phase-separating.
     pub large_matrices: usize,
+    /// Expected mutations per request (see [`mutation_trace`]). `0.0` (the
+    /// default) generates a static trace; `0.1` interleaves roughly one
+    /// cell mutation per ten requests. Mutations only target small
+    /// (unsharded) tenants — the serving engine rejects mutation of
+    /// sharded registrations.
+    pub mutate_rate: f64,
 }
 
 impl Default for TraceSpec {
@@ -63,8 +69,30 @@ impl Default for TraceSpec {
             zipf_s: 1.0,
             seed: 42,
             large_matrices: 0,
+            mutate_rate: 0.0,
         }
     }
+}
+
+/// One cell mutation of a dynamic serving trace, scheduled *before* the
+/// request with the same `seq` is submitted.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct TraceMutation {
+    /// The request position this mutation lands in front of.
+    pub seq: usize,
+    /// Index of the target matrix (always a small/unsharded tenant).
+    pub matrix: usize,
+    /// Target row (within the matrix's dimensions as supplied to
+    /// [`mutation_trace`]).
+    pub row: usize,
+    /// Target column.
+    pub col: usize,
+    /// New cell value for upserts (small-integer scheme, so every
+    /// precision stays bit-exact against the f64 reference). Ignored when
+    /// `delete` is set.
+    pub value: f64,
+    /// Whether the mutation removes the cell instead of upserting it.
+    pub delete: bool,
 }
 
 /// Which popularity ranks are large: `large` ranks spread evenly over
@@ -145,6 +173,74 @@ pub fn serve_trace(spec: &TraceSpec) -> Vec<TraceRequest> {
     out
 }
 
+/// Generates the mutation schedule of a dynamic trace: for each request
+/// position an independent Bernoulli draw at [`TraceSpec::mutate_rate`]
+/// emits one cell mutation to apply before that request. Targets are drawn
+/// Zipf-style over the *small* tenants only (`dims[k]` gives tenant `k`'s
+/// `(nrows, ncols)`); roughly one in five mutations is a deletion, the
+/// rest upsert small-integer values, so replays stay bit-exact in every
+/// precision.
+///
+/// A separate RNG stream (seed ⊕ a fixed tweak) keeps the request trace
+/// byte-identical whether or not mutations are enabled — the dynamic trace
+/// is the static trace plus a schedule, not a different trace.
+///
+/// Returns an empty schedule when the rate is zero or every tenant is
+/// large.
+///
+/// # Panics
+/// Panics if `dims` has fewer entries than `spec.n_matrices`.
+pub fn mutation_trace(spec: &TraceSpec, dims: &[(usize, usize)]) -> Vec<TraceMutation> {
+    assert!(
+        dims.len() >= spec.n_matrices,
+        "need dimensions for all {} tenants, got {}",
+        spec.n_matrices,
+        dims.len()
+    );
+    if spec.mutate_rate <= 0.0 {
+        return Vec::new();
+    }
+    let large = large_ranks(spec.n_matrices, spec.large_matrices);
+    let small: Vec<usize> = (0..spec.n_matrices).filter(|&k| !large[k]).collect();
+    if small.is_empty() {
+        return Vec::new();
+    }
+    let weights: Vec<f64> = (0..small.len())
+        .map(|k| 1.0 / ((k + 1) as f64).powf(spec.zipf_s))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x6d75_7461_7465); // "mutate"
+    let mut out = Vec::new();
+    for seq in 0..spec.requests {
+        if rng.gen::<f64>() >= spec.mutate_rate {
+            continue;
+        }
+        let mut p = rng.gen::<f64>() * total;
+        let mut pick = small.len() - 1;
+        for (k, w) in weights.iter().enumerate() {
+            if p < *w {
+                pick = k;
+                break;
+            }
+            p -= *w;
+        }
+        let matrix = small[pick];
+        let (nrows, ncols) = dims[matrix];
+        let delete = rng.gen::<f64>() < 0.2;
+        // Small nonzero integers: exact in f16/bf16/f32/f64 alike.
+        let value = [-2.0, -1.0, 1.0, 2.0][rng.gen_range(0..4usize)];
+        out.push(TraceMutation {
+            seq,
+            matrix,
+            row: rng.gen_range(0..nrows),
+            col: rng.gen_range(0..ncols),
+            value,
+            delete,
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +265,7 @@ mod tests {
             zipf_s: 1.2,
             seed: 3,
             large_matrices: 0,
+            mutate_rate: 0.0,
         };
         let trace = serve_trace(&spec);
         assert_eq!(trace.len(), 200);
@@ -189,6 +286,7 @@ mod tests {
             zipf_s: 1.0,
             seed: 11,
             large_matrices: 0,
+            mutate_rate: 0.0,
         };
         let trace = serve_trace(&spec);
         let mut counts = [0usize; 4];
@@ -210,6 +308,7 @@ mod tests {
             zipf_s: 1.0,
             seed: 9,
             large_matrices: 2,
+            mutate_rate: 0.0,
         };
         let trace = serve_trace(&spec);
         // Ranks 0 and 2 are large (stride 2); flags follow the matrix.
@@ -237,6 +336,53 @@ mod tests {
         let six = large_ranks(6, 4);
         assert_eq!(six.iter().filter(|&&f| f).count(), 4);
         assert!(six[0], "rank 0 is always large when any rank is");
+    }
+
+    #[test]
+    fn mutation_schedule_is_deterministic_and_leaves_requests_unchanged() {
+        let static_spec = TraceSpec::default();
+        let dynamic_spec = TraceSpec {
+            mutate_rate: 0.25,
+            ..TraceSpec::default()
+        };
+        // The request stream is invariant under the mutation rate.
+        assert_eq!(serve_trace(&static_spec), serve_trace(&dynamic_spec));
+        let dims = vec![(64, 64); 4];
+        let muts = mutation_trace(&dynamic_spec, &dims);
+        assert_eq!(muts, mutation_trace(&dynamic_spec, &dims), "replayable");
+        assert!(!muts.is_empty(), "rate 0.25 over 256 requests must fire");
+        assert!(muts.len() < 256);
+        for m in &muts {
+            assert!(m.matrix < 4);
+            assert!(m.row < 64 && m.col < 64);
+            assert!(m.seq < 256);
+            assert!(m.delete || m.value.abs() == 1.0 || m.value.abs() == 2.0);
+        }
+        // Sorted by schedule position (construction order).
+        assert!(muts.windows(2).all(|w| w[0].seq <= w[1].seq));
+        // Zero rate: empty schedule.
+        assert!(mutation_trace(&static_spec, &dims).is_empty());
+    }
+
+    #[test]
+    fn mutations_avoid_large_tenants() {
+        let spec = TraceSpec {
+            requests: 400,
+            large_matrices: 2,
+            mutate_rate: 0.5,
+            ..TraceSpec::default()
+        };
+        let dims = vec![(64, 64); 4];
+        let muts = mutation_trace(&spec, &dims);
+        assert!(!muts.is_empty());
+        // Ranks 0 and 2 are large (stride 2): only 1 and 3 may mutate.
+        assert!(muts.iter().all(|m| m.matrix == 1 || m.matrix == 3));
+        // All tenants large: nothing to mutate.
+        let all_large = TraceSpec {
+            large_matrices: 4,
+            ..spec
+        };
+        assert!(mutation_trace(&all_large, &dims).is_empty());
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! cargo run --release --example serve -- --warm-prepare --sanitize
 //! cargo run --release --example serve -- --devices 3 --shard-max-bytes 20000 --large-matrices 2
 //! cargo run --release --example serve -- --plan
+//! cargo run --release --example serve -- --mutate-rate 0.1
 //! ```
 //!
 //! `--shard-max-bytes N` (0 = off) turns on partitioned serving: matrices
@@ -31,6 +32,18 @@
 //! under the *same decisions made manually* — because planner-chosen
 //! configurations preserve exactness.
 //!
+//! `--mutate-rate R` makes the matrices dynamic: a deterministic mutation
+//! schedule (expected `R` cell updates per request, Zipf-targeted at the
+//! small tenants) is interleaved with the request windows. Each window
+//! applies its mutations through [`Server::mutate`] and quiesces any
+//! background compaction before submitting, so epoch swaps land at
+//! deterministic trace positions and the double-replay check covers the
+//! whole dynamic path. Verification replays every update against
+//! independently prepared reference handles. `--naive-update` serves the
+//! same schedule the strawman way — re-registering the fully merged matrix
+//! after every mutation (paying `T_init` each time) — for the
+//! `bench_update.sh` comparison.
+//!
 //! `--sanitize` runs both replays under the `smat-sanitize` lock-order
 //! engine and fails the run (exit 1) on any concurrency finding.
 //!
@@ -43,17 +56,18 @@
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use smat_repro::formats::{Csr, Dense, Element, Fnv1a, F16};
+use smat_repro::formats::{Coo, Csr, Dense, Element, Fnv1a, F16};
 use smat_repro::gpusim::{FaultConfig, SimError};
 use smat_repro::reorder::ReorderAlgorithm;
 use smat_repro::serve::{
-    AdmissionState, Calibration, ChaosStats, MatrixKey, PlanDecision, PlanSpace, Planner,
-    ServeError, Server, ServerConfig, ServerStats,
+    AdmissionState, Calibration, ChaosStats, MatrixKey, MatrixUpdate, PlanDecision, PlanSpace,
+    Planner, ServeError, Server, ServerConfig, ServerStats,
 };
 use smat_repro::shard::estimated_csr_bytes;
 use smat_repro::smat::{Smat, SmatConfig};
 use smat_repro::workloads::{
-    calibration_bands, random_uniform, serve_trace, TraceRequest, TraceSpec,
+    calibration_bands, mutation_trace, random_uniform, serve_trace, TraceMutation, TraceRequest,
+    TraceSpec,
 };
 
 struct Args {
@@ -89,6 +103,11 @@ struct Args {
     /// Choose each tenant's configuration with the calibrated admission
     /// planner instead of serving everything under the base config.
     plan: bool,
+    /// Expected cell mutations per request (0 = static matrices).
+    mutate_rate: f64,
+    /// Serve mutations the strawman way: re-register the merged matrix
+    /// after every update instead of accumulating a delta overlay.
+    naive_update: bool,
 }
 
 impl Default for Args {
@@ -110,6 +129,8 @@ impl Default for Args {
             shard_max_bytes: 0,
             large_matrices: 0,
             plan: false,
+            mutate_rate: 0.0,
+            naive_update: false,
         }
     }
 }
@@ -141,7 +162,8 @@ fn usage() -> ExitCode {
          \u{20}            [--window W] [--budget COLS] [--size DIM] [--trace PATH]\n\
          \u{20}            [--chaos-seed S] [--fault-rate R] [--reorder NAME]\n\
          \u{20}            [--warm-prepare] [--sanitize] [--plan]\n\
-         \u{20}            [--shard-max-bytes N] [--large-matrices M]"
+         \u{20}            [--shard-max-bytes N] [--large-matrices M]\n\
+         \u{20}            [--mutate-rate R] [--naive-update]"
     );
     ExitCode::from(2)
 }
@@ -176,6 +198,14 @@ fn parse_args() -> Result<Args, String> {
             "--warm-prepare" => args.warm_prepare = true,
             "--sanitize" => args.sanitize = true,
             "--plan" => args.plan = true,
+            "--naive-update" => args.naive_update = true,
+            "--mutate-rate" => {
+                args.mutate_rate = it
+                    .next()
+                    .ok_or("--mutate-rate needs a value")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--mutate-rate: {e}"))?;
+            }
             "--shard-max-bytes" => args.shard_max_bytes = value("--shard-max-bytes")?,
             "--large-matrices" => args.large_matrices = value("--large-matrices")?,
             "--fault-rate" => {
@@ -193,6 +223,12 @@ fn parse_args() -> Result<Args, String> {
     }
     if !(0.0..=1.0).contains(&args.fault_rate) {
         return Err("--fault-rate must be within [0, 1]".into());
+    }
+    if !(0.0..=1.0).contains(&args.mutate_rate) {
+        return Err("--mutate-rate must be within [0, 1]".into());
+    }
+    if args.naive_update && args.mutate_rate == 0.0 {
+        return Err("--naive-update needs --mutate-rate > 0".into());
     }
     Ok(args)
 }
@@ -238,6 +274,11 @@ struct DeterministicSummary {
     batches: u64,
     batched_requests: u64,
     max_batch: u64,
+    /// Mutation batches applied and background compactions published —
+    /// both pure functions of the trace + schedule under the quiesced
+    /// window discipline.
+    mutations: u64,
+    compactions: u64,
     registry_hits: u64,
     registry_misses: u64,
     registry_prepares: u64,
@@ -279,6 +320,8 @@ impl DeterministicSummary {
             batches: stats.batches,
             batched_requests: stats.batched_requests,
             max_batch: stats.max_batch,
+            mutations: stats.mutations,
+            compactions: stats.compactions,
             registry_hits: stats.registry.hits,
             registry_misses: stats.registry.misses,
             registry_prepares: stats.registry.prepares,
@@ -322,11 +365,28 @@ struct Replay {
 /// `references` are prepared *outside* the server (same `SmatConfig`), so
 /// verification of sharded tenants — whose parent keys never enter the
 /// registry — neither misses the registry nor perturbs its counters.
+/// Converts a scheduled trace mutation into the serving-layer update op.
+fn to_update(m: &TraceMutation) -> MatrixUpdate<F16> {
+    if m.delete {
+        MatrixUpdate::Delete {
+            row: m.row,
+            col: m.col,
+        }
+    } else {
+        MatrixUpdate::Update {
+            row: m.row,
+            col: m.col,
+            value: F16::from_f64(m.value),
+        }
+    }
+}
+
 fn replay(
     args: &Args,
     matrices: &[Csr<F16>],
     references: &[Smat<F16>],
     trace: &[TraceRequest],
+    mutations: &[TraceMutation],
     plan_cal: Option<Calibration>,
     verify: bool,
 ) -> Replay {
@@ -355,9 +415,16 @@ fn replay(
         // both replays register identical configurations and the
         // deterministic summary stays comparable.
         planner: plan_cal.map(|cal| Arc::new(Planner::with_calibration(PlanSpace::default(), cal))),
+        // Compact eagerly enough that a default-sized mutating trace
+        // exercises the fold-in path; the calibrated model (with `--plan`)
+        // still overrides this structural floor.
+        compaction: smat_repro::serve::CompactionPolicy {
+            min_overlay_cells: 16,
+            ..smat_repro::serve::CompactionPolicy::default()
+        },
         ..ServerConfig::default()
     });
-    let keys: Vec<MatrixKey> = if args.warm_prepare {
+    let mut keys: Vec<MatrixKey> = if args.warm_prepare {
         // Background preparation: all matrices prepare concurrently while
         // this thread only pays the fingerprint pass. The readiness spin is
         // counter-neutral (unlike `wait_ready`) so the deterministic
@@ -384,8 +451,57 @@ fn replay(
     let mut plan_checked = 0u64;
     let mut plan_rel_sum = 0.0f64;
     let mut plan_rel_max = 0.0f64;
+    // Dynamic-matrix state: cheap handle clones of the references (the
+    // overlay path mutates them in lockstep with the server) and, for the
+    // naive strawman, an owned copy of each base matrix to merge into.
+    let mut refs: Vec<Smat<F16>> = references.to_vec();
+    let mut bases: Vec<Csr<F16>> = if args.naive_update {
+        matrices.to_vec()
+    } else {
+        Vec::new()
+    };
+    let mut mcur = 0usize;
     for window in trace.chunks(args.window) {
         server.pause();
+        // This window's mutations land before its submissions, and any
+        // background compaction they trigger is quiesced before admission —
+        // so epoch swaps happen at deterministic trace positions and the
+        // double-replay check covers the dynamic path.
+        let window_last = window.last().expect("chunks are non-empty").seq;
+        let mut window_mutated = false;
+        while mcur < mutations.len() && mutations[mcur].seq <= window_last {
+            let m = &mutations[mcur];
+            mcur += 1;
+            window_mutated = true;
+            if args.naive_update {
+                // Strawman: merge into the base and re-register (a fresh
+                // fingerprint, a fresh T_init-paying prepare).
+                let value = if m.delete { 0.0 } else { m.value };
+                bases[m.matrix] =
+                    Coo::with_overrides(&bases[m.matrix], &[(m.row, m.col, value)]).to_csr();
+                // Retire the stale entry first: the registry is sized for
+                // one live handle per tenant, and the window is drained, so
+                // nothing in flight still needs the old key.
+                server.invalidate(&keys[m.matrix]);
+                keys[m.matrix] = server.register(&bases[m.matrix]);
+                if verify {
+                    refs[m.matrix] = Smat::prepare(&bases[m.matrix], smat_config(args));
+                }
+            } else {
+                let op = to_update(m);
+                server
+                    .mutate(keys[m.matrix], std::slice::from_ref(&op))
+                    .expect("scheduled mutation must apply");
+                if verify {
+                    // The reference handle tracks the same overlay, so the
+                    // solo-run oracle is always at the server's epoch.
+                    refs[m.matrix].apply_updates(std::slice::from_ref(&op));
+                }
+            }
+        }
+        if window_mutated {
+            server.quiesce_compactions();
+        }
         let futures: Vec<_> = window
             .iter()
             .map(|req| {
@@ -433,7 +549,7 @@ fn replay(
             if verify {
                 // Unbatched reference: an identically-prepared handle, one
                 // launch for this request alone. Must be bitwise identical.
-                let solo = references[req.matrix].spmm(&panel(tenant_dim(args, req.large), req));
+                let solo = refs[req.matrix].spmm(&panel(tenant_dim(args, req.large), req));
                 if solo.c != resp.c {
                     eprintln!("MISMATCH at seq {}", req.seq);
                     mismatches += 1;
@@ -471,6 +587,7 @@ fn main() -> ExitCode {
         zipf_s: 1.0,
         seed: args.seed,
         large_matrices: args.large_matrices,
+        mutate_rate: args.mutate_rate,
     };
     let trace = serve_trace(&spec);
     // Which tenants the trace marked large (doubled dimension below).
@@ -478,6 +595,15 @@ fn main() -> ExitCode {
     for r in &trace {
         is_large[r.matrix] = r.large;
     }
+    // The mutation schedule rides a separate RNG stream, so the request
+    // trace above is byte-identical with and without mutations.
+    let dims: Vec<(usize, usize)> = (0..args.matrices)
+        .map(|m| {
+            let d = tenant_dim(&args, is_large[m]);
+            (d, d)
+        })
+        .collect();
+    let muts = mutation_trace(&spec, &dims);
     // Distinct sparsity per matrix so the prepared pipelines differ.
     let matrices: Vec<Csr<F16>> = (0..args.matrices)
         .map(|m| {
@@ -541,6 +667,18 @@ fn main() -> ExitCode {
             args.fault_rate
         );
     }
+    if args.mutate_rate > 0.0 {
+        eprintln!(
+            "mutations: {} scheduled at rate {}{}",
+            muts.len(),
+            args.mutate_rate,
+            if args.naive_update {
+                " (naive re-prepare-per-update mode)"
+            } else {
+                " (overlay mode)"
+            }
+        );
+    }
 
     // Lock-order smoke: record every checked-lock acquisition across both
     // replays (and the warm-prepare threads they spawn) and analyze the
@@ -559,7 +697,7 @@ fn main() -> ExitCode {
     if args.trace.is_some() {
         tracer.enable();
     }
-    let first = replay(&args, &matrices, &references, &trace, plan_cal, true);
+    let first = replay(&args, &matrices, &references, &trace, &muts, plan_cal, true);
     if let Some(path) = &args.trace {
         tracer.disable();
         let events = tracer.drain();
@@ -609,7 +747,21 @@ fn main() -> ExitCode {
             first.stats.plan_observations,
         );
     }
-    let second = replay(&args, &matrices, &references, &trace, plan_cal, false);
+    if args.mutate_rate > 0.0 {
+        eprintln!(
+            "run 1 mutations: {} applied | {} background compactions",
+            first.stats.mutations, first.stats.compactions,
+        );
+    }
+    let second = replay(
+        &args,
+        &matrices,
+        &references,
+        &trace,
+        &muts,
+        plan_cal,
+        false,
+    );
     let runs_identical = first.summary == second.summary;
     eprintln!(
         "run 2: end state {} run 1",
@@ -652,6 +804,9 @@ fn main() -> ExitCode {
         "chaos_seed": args.chaos_seed,
         "fault_rate": args.fault_rate,
         "shard_max_bytes": args.shard_max_bytes,
+        "mutate_rate": args.mutate_rate,
+        "naive_update": args.naive_update,
+        "mutations_applied": muts.len(),
         "fanout_requests": first.stats.fanout_requests,
         "shard_subrequests": first.stats.shard_subrequests,
         "registry_hit_rate": first.stats.registry.hit_rate(),

@@ -213,10 +213,80 @@ pub mod bool {
     }
 }
 
+/// A boxed, object-safe strategy — the common type [`prop_oneof!`] arms
+/// erase to.
+pub struct BoxedStrategy<T>(Box<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> BoxedStrategy<T> {
+    /// Boxes any strategy producing `T`.
+    pub fn new<S>(s: S) -> Self
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        BoxedStrategy(Box::new(move |rng| s.generate(rng)))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// A weighted union of boxed strategies: picks an arm with probability
+/// proportional to its weight, then draws from it.
+pub struct WeightedUnion<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u32,
+}
+
+impl<T> WeightedUnion<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    ///
+    /// # Panics
+    /// Panics if `arms` is empty or all weights are zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u32 = arms.iter().map(|(w, _)| w).sum();
+        assert!(total > 0, "prop_oneof! needs at least one positive weight");
+        WeightedUnion { arms, total }
+    }
+}
+
+impl<T> Strategy for WeightedUnion<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.gen_range(0..self.total);
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("weights sum to total")
+    }
+}
+
+/// Weighted choice between strategies, like the real crate's `prop_oneof!`:
+/// `prop_oneof![2 => a, 1 => b]` draws from `a` twice as often as `b`;
+/// weights default to 1 when omitted.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::WeightedUnion::new(vec![
+            $(($weight, $crate::BoxedStrategy::new($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1u32 => $strat),+]
+    };
+}
+
 /// Everything a property test needs: `use proptest::prelude::*`.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, WeightedUnion,
     };
 }
 
@@ -303,6 +373,18 @@ mod tests {
         ) {
             prop_assert!(v.len() < 8);
             prop_assert!(usize::from(b) <= 1);
+        }
+
+        #[test]
+        fn oneof_draws_from_every_arm(
+            picks in crate::collection::vec(
+                prop_oneof![3 => (0i32..10).prop_map(|v| v), 1 => Just(99i32)],
+                32..33,
+            ),
+        ) {
+            for p in &picks {
+                prop_assert!((0..10).contains(p) || *p == 99);
+            }
         }
     }
 }

@@ -14,7 +14,9 @@
 //!   documented ULP bound instead (see
 //!   `narrow_accumulation_is_ulp_bounded_against_the_oracle`).
 
-use smat::{Calibration, PlanSpace, Planner};
+use std::collections::BTreeMap;
+
+use smat::{Calibration, MatrixUpdate, PlanSpace, Planner};
 use smat_formats::{Bcsr, Coo, Csc, Csr, Dense, Element, Ell, SrBcrs, F16};
 use smat_gpusim::{DeviceConfig, Gpu};
 use smat_reorder::ReorderAlgorithm;
@@ -325,6 +327,125 @@ fn sharded_execution_conforms_for_every_reordering_and_shard_count() {
                 sharded.plan().nshards()
             );
         }
+    }
+}
+
+/// The scripted mutation sequence for the dynamic-matrix arm: updates of
+/// occupied cells, inserts into unoccupied cells (including an empty row
+/// and the empty trailing column block of [`awkward_matrix`]), deletes of
+/// both kinds, a delete of an absent cell, and a re-insert after delete.
+fn mutation_script() -> Vec<MatrixUpdate<F16>> {
+    let v = F16::from_f64;
+    vec![
+        // (0,0) is occupied in the awkward matrix; overwrite it.
+        MatrixUpdate::Update {
+            row: 0,
+            col: 0,
+            value: v(2.0),
+        },
+        // Columns 72..80 are structurally empty; insert there.
+        MatrixUpdate::Insert {
+            row: 5,
+            col: 75,
+            value: v(-2.0),
+        },
+        // Row 3 is an empty row (3 % 7 == 3); populate it.
+        MatrixUpdate::Insert {
+            row: 3,
+            col: 40,
+            value: v(1.0),
+        },
+        // Delete an occupied base cell.
+        MatrixUpdate::Delete { row: 1, col: 3 },
+        // Rewrite the cell inserted two steps ago.
+        MatrixUpdate::Update {
+            row: 5,
+            col: 75,
+            value: v(3.0),
+        },
+        // Delete a cell that was never present (absolute no-op state).
+        MatrixUpdate::Delete { row: 50, col: 74 },
+        // Delete the overlay-inserted cell again.
+        MatrixUpdate::Delete { row: 3, col: 40 },
+        // Re-insert over the deleted base cell.
+        MatrixUpdate::Insert {
+            row: 1,
+            col: 3,
+            value: v(-1.0),
+        },
+    ]
+}
+
+#[test]
+fn mutated_pipelines_conform_for_every_format_and_reordering() {
+    // Dynamic-matrix arm: replay the mutation script one step at a time and
+    // after EVERY step compare the overlayed pipeline against a dense
+    // oracle rebuilt from scratch (base ⊕ overrides-so-far). Any divergence
+    // between the incremental delta path and a clean re-preparation is a
+    // conformance bug. Runs over every format round-trip and every
+    // reordering, because the overlay corrections are applied in the
+    // original coordinate space *after* the permuted-space kernel.
+    let base = awkward_matrix();
+    let b = rhs(base.ncols(), 9);
+    for (fmt, a) in format_roundtrips(&base) {
+        for alg in all_reorderings() {
+            let cfg = SmatConfig {
+                reorder: alg,
+                ..SmatConfig::default()
+            };
+            let smat = Smat::prepare(&a, cfg);
+            let mut cells: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+            for (step, op) in mutation_script().iter().enumerate() {
+                let epoch = smat.apply_updates(std::slice::from_ref(op));
+                assert_eq!(
+                    epoch,
+                    (step + 1) as u64,
+                    "each mutation bumps the epoch exactly once"
+                );
+                let (row, col) = op.cell();
+                cells.insert((row, col), op.value_f64());
+                let overrides: Vec<(usize, usize, f64)> =
+                    cells.iter().map(|(&(r, c), &v)| (r, c, v)).collect();
+                let merged = Coo::with_overrides(&a, &overrides).to_csr();
+                let want = dense_oracle(&merged, &b);
+                assert_eq!(
+                    smat.spmm(&b).c,
+                    want,
+                    "format {fmt}, reorder {}, step {step} ({op:?})",
+                    alg.name()
+                );
+                assert_eq!(
+                    smat.merged_csr().to_dense(),
+                    merged.to_dense(),
+                    "format {fmt}, reorder {}, step {step}: compaction \
+                     operand diverged from the override merge",
+                    alg.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mutated_spmm_matches_a_from_scratch_rebuild_at_every_epoch() {
+    // The compaction contract: at any epoch, re-preparing `merged_csr()`
+    // from scratch (even under a different reordering) yields a pipeline
+    // whose product is bitwise identical to the overlayed one. This is the
+    // exact swap `smat-serve` performs in the background.
+    let a = awkward_matrix();
+    let b = rhs(a.ncols(), 9);
+    let smat = Smat::prepare(&a, SmatConfig::default());
+    for op in mutation_script() {
+        smat.apply_updates(std::slice::from_ref(&op));
+        let overlayed = smat.spmm(&b).c;
+        let rebuilt = Smat::prepare(&smat.merged_csr(), SmatConfig::default()).spmm(&b);
+        assert_eq!(overlayed, rebuilt.c, "rebuild at epoch {op:?}");
+        let reordered_cfg = SmatConfig {
+            reorder: ReorderAlgorithm::ReverseCuthillMcKee,
+            ..SmatConfig::default()
+        };
+        let rebuilt_rcm = Smat::prepare(&smat.merged_csr(), reordered_cfg).spmm(&b);
+        assert_eq!(overlayed, rebuilt_rcm.c, "RCM rebuild at {op:?}");
     }
 }
 

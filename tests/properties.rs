@@ -3,7 +3,7 @@
 //! kernel-vs-reference agreement on arbitrary matrices and configurations.
 
 use proptest::prelude::*;
-use smat::{AccumMode, OptFlags, PlanSpace, Planner, Smat, SmatConfig};
+use smat::{AccumMode, MatrixUpdate, OptFlags, PlanSpace, Planner, Smat, SmatConfig};
 use smat_formats::{Bcsr, Coo, Csr, Dense, Element, Permutation, SrBcrs, F16};
 use smat_reorder::{reorder, ReorderAlgorithm};
 
@@ -359,6 +359,95 @@ proptest! {
         let r = reorder(&a, ReorderAlgorithm::Bisection, 8, 8);
         prop_assert_eq!(r.row_perm.len(), a.nrows());
         prop_assert_eq!(r.apply(&a).nnz(), a.nnz());
+    }
+}
+
+/// One step of an arbitrary dynamic-matrix schedule: either a cell
+/// mutation (insert/update/delete, encoded by `value`: 0 = delete) or an
+/// SpMM query at some RHS width.
+#[derive(Clone, Debug)]
+enum DynStep {
+    Mutate { row: usize, col: usize, value: i32 },
+    Query { n: usize },
+}
+
+fn dyn_schedule() -> impl Strategy<Value = Vec<DynStep>> {
+    proptest::collection::vec(
+        prop_oneof![
+            3 => (0usize..1_000_000, 0usize..1_000_000, -3i32..=3).prop_map(|(r, c, v)| {
+                DynStep::Mutate { row: r, col: c, value: v }
+            }),
+            1 => (1usize..8).prop_map(|n| DynStep::Query { n }),
+        ],
+        1..24,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_update_query_interleaving_matches_a_from_scratch_rebuild(
+        a in sparse_matrix(),
+        schedule in dyn_schedule(),
+    ) {
+        // The dynamic-matrix contract: after ANY interleaving of cell
+        // mutations and SpMM queries, (1) every query against the overlayed
+        // handle is bitwise identical to a handle prepared from scratch at
+        // the same epoch, and (2) the epoch counts mutations exactly. The
+        // mutation coordinates are drawn from the full usize range and
+        // folded into bounds here, so occupied cells, holes, and repeat
+        // hits of the same cell all occur.
+        let smat = Smat::prepare(&a, SmatConfig::default());
+        let mut cells: std::collections::BTreeMap<(usize, usize), f64> =
+            std::collections::BTreeMap::new();
+        let mut applied = 0u64;
+        for step in &schedule {
+            match *step {
+                DynStep::Mutate { row, col, value } => {
+                    let (row, col) = (row % a.nrows(), col % a.ncols());
+                    let op: MatrixUpdate<F16> = if value == 0 {
+                        MatrixUpdate::Delete { row, col }
+                    } else {
+                        MatrixUpdate::Update {
+                            row,
+                            col,
+                            value: F16::from_f64(value as f64),
+                        }
+                    };
+                    applied += 1;
+                    prop_assert_eq!(
+                        smat.apply_updates(std::slice::from_ref(&op)),
+                        applied,
+                        "epoch must count mutations"
+                    );
+                    cells.insert((row, col), value as f64);
+                }
+                DynStep::Query { n } => {
+                    let b = rhs(a.ncols(), n);
+                    let overrides: Vec<(usize, usize, f64)> =
+                        cells.iter().map(|(&(r, c), &v)| (r, c, v)).collect();
+                    let merged = Coo::with_overrides(&a, &overrides).to_csr();
+                    let rebuilt = Smat::prepare(&merged, SmatConfig::default());
+                    prop_assert_eq!(
+                        smat.spmm(&b).c,
+                        rebuilt.spmm(&b).c,
+                        "overlayed product diverged from the epoch-{} rebuild",
+                        applied
+                    );
+                    prop_assert_eq!(smat.spmm(&b).c, merged.spmm_reference(&b));
+                }
+            }
+        }
+        prop_assert_eq!(smat.overlay_epoch(), applied);
+        // Terminal check even if the schedule ended on a mutation: the
+        // compaction operand equals the override merge.
+        let overrides: Vec<(usize, usize, f64)> =
+            cells.iter().map(|(&(r, c), &v)| (r, c, v)).collect();
+        prop_assert_eq!(
+            smat.merged_csr().to_dense(),
+            Coo::with_overrides(&a, &overrides).to_csr().to_dense()
+        );
     }
 }
 
